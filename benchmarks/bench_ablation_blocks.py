@@ -1,0 +1,66 @@
+"""Ablation A2 — block-size sweep for the closure store.
+
+Smaller blocks let the lazy engine stop mid-group (fewer wasted entries)
+but cost more block reads; larger blocks amortize reads for the full-load
+algorithms.  DESIGN.md calls this layout choice out — this bench measures
+both sides of it.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    clear_workbench_cache,
+    get_workbench,
+    print_header,
+    print_table,
+)
+from repro.core.topk_en import TopkEN
+from repro.runtime.graph import build_runtime_graph
+
+BLOCK_SIZES = (8, 32, 128)
+DATASET = "GS2"
+
+
+def test_ablation_block_size(benchmark, report):
+    rows = []
+    for block_size in BLOCK_SIZES:
+        wb = get_workbench(DATASET, block_size=block_size)
+        query = wb.query(20, seed=2)
+        before = wb.store.counter.snapshot()
+        build_runtime_graph(wb.store, query)
+        full_delta = wb.store.counter.delta_since(before)
+        before = wb.store.counter.snapshot()
+        engine = TopkEN(wb.store, query)
+        engine.top_k(20)
+        lazy_delta = wb.store.counter.delta_since(before)
+        rows.append(
+            [
+                block_size,
+                full_delta.blocks_read,
+                full_delta.entries_read,
+                lazy_delta.blocks_read,
+                lazy_delta.entries_read,
+            ]
+        )
+    with report("ablation_blocks"):
+        print_header(f"Ablation A2: block size sweep on {DATASET}, T20, k=20")
+        print_table(
+            [
+                "block size",
+                "full-load blocks",
+                "full-load entries",
+                "lazy blocks",
+                "lazy entries",
+            ],
+            rows,
+        )
+        # Bigger blocks => fewer block reads for the sequential full load.
+        full_blocks = [r[1] for r in rows]
+        assert full_blocks == sorted(full_blocks, reverse=True)
+
+    wb = get_workbench(DATASET, block_size=32)
+    query = wb.query(20, seed=2)
+    benchmark.pedantic(
+        lambda: TopkEN(wb.store, query).top_k(20), rounds=3, iterations=1
+    )
+    clear_workbench_cache()

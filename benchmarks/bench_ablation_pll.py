@@ -1,0 +1,67 @@
+"""Ablation A3 — managing closure size: 2-hop labels vs materialized closure.
+
+Section 5 proposes answering shortest-distance queries from a pruned
+landmark (2-hop) index instead of storing the full closure.  This bench
+compares index size against closure size and the per-query lookup costs.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.bench import get_workbench, print_header, print_table, time_call
+from repro.closure.pll import PrunedLandmarkIndex
+
+DATASET = "GD2"
+PROBES = 3000
+
+
+def test_ablation_pll(benchmark, report):
+    wb = get_workbench(DATASET)
+    build_seconds, pll = time_call(lambda: PrunedLandmarkIndex(wb.graph))
+    rng = random.Random(0)
+    nodes = sorted(wb.graph.nodes(), key=repr)
+    pairs = [
+        (rng.choice(nodes), rng.choice(nodes)) for _ in range(PROBES)
+    ]
+
+    closure_seconds, _ = time_call(
+        lambda: [wb.closure.distance(u, v) for u, v in pairs]
+    )
+    pll_seconds, _ = time_call(lambda: [pll.distance(u, v) for u, v in pairs])
+
+    mismatches = sum(
+        1 for u, v in pairs if pll.distance(u, v) != wb.closure.distance(u, v)
+    )
+
+    with report("ablation_pll"):
+        print_header(
+            f"Ablation A3: 2-hop labels vs materialized closure on {DATASET}"
+        )
+        print_table(
+            ["store", "entries", "build (s)", f"{PROBES} probes (s)"],
+            [
+                [
+                    "materialized closure",
+                    wb.closure.num_pairs,
+                    f"{wb.closure_seconds:.2f}",
+                    f"{closure_seconds:.4f}",
+                ],
+                [
+                    "pruned landmark index",
+                    pll.index_size(),
+                    f"{build_seconds:.2f}",
+                    f"{pll_seconds:.4f}",
+                ],
+            ],
+        )
+        ratio = wb.closure.num_pairs / max(pll.index_size(), 1)
+        print(f"space saving: {ratio:.1f}x fewer entries; "
+              f"mismatching probes: {mismatches}")
+        assert mismatches == 0
+
+    benchmark.pedantic(
+        lambda: [pll.distance(u, v) for u, v in pairs[:500]],
+        rounds=3,
+        iterations=1,
+    )

@@ -1,0 +1,80 @@
+"""Figure 6 — Topk / Topk-EN vs DP-B / DP-P (T20, vary k).
+
+Reproduces all six subfigures:
+  (a)(b) total time       — GD3 / GS3
+  (c)(d) top-1 time       — with the CPU / simulated-I/O split
+  (e)(f) enumeration time — time after the top-1 match
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    ALGOS,
+    get_workbench,
+    print_bars,
+    print_header,
+    print_series,
+    run_algorithm,
+    speedup_summary,
+)
+from repro.core.topk_en import TopkEN
+
+from conftest import QUERIES_PER_SET
+
+K_VALUES = (1, 10, 20, 100)
+QUERY_SIZE = 20
+
+
+def _collect(dataset: str):
+    wb = get_workbench(dataset)
+    queries = wb.queries(QUERY_SIZE, count=QUERIES_PER_SET, seed=6)
+    total = {alg: [] for alg in ALGOS}
+    top1 = {alg: [] for alg in ALGOS}
+    top1_io = {alg: [] for alg in ALGOS}
+    enum = {alg: [] for alg in ALGOS}
+    for k in K_VALUES:
+        sums = {alg: [0.0, 0.0, 0.0, 0.0] for alg in ALGOS}
+        for query in queries:
+            for alg in ALGOS:
+                res = run_algorithm(wb.store, query, k, alg)
+                sums[alg][0] += res.total_seconds
+                sums[alg][1] += res.top1_seconds
+                sums[alg][2] += res.top1.io_seconds
+                sums[alg][3] += res.enum_seconds
+        n = len(queries)
+        for alg in ALGOS:
+            total[alg].append(sums[alg][0] / n)
+            top1[alg].append(sums[alg][1] / n)
+            top1_io[alg].append(sums[alg][2] / n)
+            enum[alg].append(sums[alg][3] / n)
+    return total, top1, top1_io, enum
+
+
+@pytest.mark.parametrize("dataset", ["GD3", "GS3"])
+def test_fig6_comparison(benchmark, report, dataset):
+    total, top1, top1_io, enum = _collect(dataset)
+    with report(f"fig6_{dataset}"):
+        print_header(
+            f"Figure 6 ({'a,c,e' if dataset == 'GD3' else 'b,d,f'}): "
+            f"DP-B/DP-P/Topk/Topk-EN on {dataset}, T{QUERY_SIZE}",
+            f"averaged over {QUERIES_PER_SET} queries; simulated I/O included",
+        )
+        print_series("k", K_VALUES, total, title="total time (fig 6a/6b)")
+        print_bars(total, [f"k={k}" for k in K_VALUES], title="total time (bars)")
+        print_series("k", K_VALUES, top1, title="top-1 time (fig 6c/6d)")
+        print_bars(top1, [f"k={k}" for k in K_VALUES], title="top-1 time (bars)")
+        print_series(
+            "k", K_VALUES, top1_io, title="top-1 simulated I/O component"
+        )
+        print_series("k", K_VALUES, enum, title="enumeration time (fig 6e/6f)")
+        print(speedup_summary(total, "DP-P", "Topk-EN"))
+        print(speedup_summary(top1, "Topk", "Topk-EN"))
+
+    # Benchmark kernel: Topk-EN end-to-end at the paper's default k=20.
+    wb = get_workbench(dataset)
+    query = wb.query(QUERY_SIZE, seed=60)
+    benchmark.pedantic(
+        lambda: TopkEN(wb.store, query).top_k(20), rounds=3, iterations=1
+    )

@@ -1,0 +1,87 @@
+"""Figure 7 — scalability of Topk and Topk-EN.
+
+  (a)(b) vary k   (T50, GD3/GS3)
+  (c)(d) vary T   (k=20)
+  (e)(f) vary G   (dataset ladders, T20 at laptop scale)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    get_workbench,
+    print_bars,
+    print_header,
+    print_series,
+    run_algorithm,
+)
+from repro.core.topk_en import TopkEN
+
+from conftest import FULL, QUERIES_PER_SET
+
+PAIR = ("Topk", "Topk-EN")
+GD_LADDER = ("GD1", "GD2", "GD3")
+GS_LADDER = ("GS1", "GS2", "GS3") + (("GS4",) if FULL else ())
+
+
+def _avg_total(wb, queries, k, alg):
+    total = 0.0
+    for query in queries:
+        total += run_algorithm(wb.store, query, k, alg).total_seconds
+    return total / len(queries)
+
+
+@pytest.mark.parametrize("dataset", ["GD3", "GS3"])
+def test_fig7_vary_k(benchmark, report, dataset):
+    wb = get_workbench(dataset)
+    queries = wb.queries(50, count=QUERIES_PER_SET, seed=7)
+    ks = (10, 20, 100)
+    series = {alg: [_avg_total(wb, queries, k, alg) for k in ks] for alg in PAIR}
+    with report(f"fig7ab_{dataset}"):
+        print_header(f"Figure 7(a/b): vary k on {dataset}, T50")
+        print_series("k", ks, series)
+    query = wb.query(50, seed=70)
+    benchmark.pedantic(
+        lambda: TopkEN(wb.store, query).top_k(20), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("dataset", ["GD3", "GS3"])
+def test_fig7_vary_query_size(benchmark, report, dataset):
+    wb = get_workbench(dataset)
+    sizes = (10, 30, 50) + ((70,) if FULL else ())
+    series = {alg: [] for alg in PAIR}
+    for size in sizes:
+        queries = wb.queries(size, count=QUERIES_PER_SET, seed=size + 1)
+        for alg in PAIR:
+            series[alg].append(_avg_total(wb, queries, 20, alg))
+    with report(f"fig7cd_{dataset}"):
+        print_header(f"Figure 7(c/d): vary query size on {dataset}, k=20")
+        print_series("T", [f"T{s}" for s in sizes], series)
+        print_bars(series, [f"T{s}" for s in sizes])
+    query = wb.query(30, seed=71)
+    benchmark.pedantic(
+        lambda: TopkEN(wb.store, query).top_k(20), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.parametrize("ladder_name,ladder", [("GD", GD_LADDER), ("GS", GS_LADDER)])
+def test_fig7_vary_data_graph(benchmark, report, ladder_name, ladder):
+    series = {alg: [] for alg in PAIR}
+    for dataset in ladder:
+        wb = get_workbench(dataset)
+        queries = wb.queries(10, count=QUERIES_PER_SET, seed=11)
+        for alg in PAIR:
+            series[alg].append(_avg_total(wb, queries, 20, alg))
+    with report(f"fig7ef_{ladder_name}"):
+        print_header(
+            f"Figure 7(e/f): vary data graph ({ladder_name} ladder), "
+            "T10, k=20"
+        )
+        print_series("G", list(ladder), series)
+    wb = get_workbench(ladder[0])
+    query = wb.query(10, seed=72)
+    benchmark.pedantic(
+        lambda: TopkEN(wb.store, query).top_k(20), rounds=3, iterations=1
+    )

@@ -1,0 +1,89 @@
+"""Figure 8 — Topk-GT: general twig queries with duplicate labels.
+
+The paper's Eval-IV: query sets generated without the distinct-label
+restriction (every query tree has duplicated labels), run with the
+extended lazy engine on both datasets, varying k, query size, and graph.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import get_workbench, print_header, print_series, time_call
+from repro.twig.general import TopkGT
+
+from conftest import FULL, QUERIES_PER_SET
+
+DATASETS = ("GD3", "GS3")
+GD_LADDER = ("GD1", "GD2", "GD3")
+
+
+def _queries(wb, size, seed):
+    return wb.queries(
+        size, count=QUERIES_PER_SET, seed=seed, distinct_labels=False
+    )
+
+
+def _avg_seconds(wb, queries, k):
+    total = 0.0
+    for query in queries:
+        seconds, _ = time_call(lambda: TopkGT(wb.store, query).top_k(k))
+        total += seconds
+    return total / len(queries)
+
+
+def test_fig8a_vary_k(benchmark, report):
+    ks = (10, 20, 100)
+    series = {}
+    for dataset in DATASETS:
+        wb = get_workbench(dataset)
+        queries = _queries(wb, 20, seed=8)
+        series[f"Topk-GT {dataset}"] = [
+            _avg_seconds(wb, queries, k) for k in ks
+        ]
+    with report("fig8a_vary_k"):
+        print_header("Figure 8(a): Topk-GT, duplicate labels, vary k (T20)")
+        print_series("k", ks, series)
+        dup = _queries(get_workbench("GD3"), 20, seed=8)[0]
+        print(f"label duplication ratio of a sample query: "
+              f"{dup.label_duplication_ratio():.2f}")
+    wb = get_workbench("GS3")
+    query = _queries(wb, 20, seed=80)[0]
+    benchmark.pedantic(
+        lambda: TopkGT(wb.store, query).top_k(20), rounds=3, iterations=1
+    )
+
+
+def test_fig8b_vary_query_size(benchmark, report):
+    sizes = (10, 30, 50) + ((70,) if FULL else ())
+    series = {}
+    for dataset in DATASETS:
+        wb = get_workbench(dataset)
+        series[f"Topk-GT {dataset}"] = [
+            _avg_seconds(wb, _queries(wb, size, seed=size), 20)
+            for size in sizes
+        ]
+    with report("fig8b_vary_T"):
+        print_header("Figure 8(b): Topk-GT, vary query size (k=20)")
+        print_series("T", [f"T{s}" for s in sizes], series)
+    wb = get_workbench("GS3")
+    query = _queries(wb, 30, seed=81)[0]
+    benchmark.pedantic(
+        lambda: TopkGT(wb.store, query).top_k(20), rounds=3, iterations=1
+    )
+
+
+def test_fig8cd_vary_data_graph(benchmark, report):
+    series = {"Topk-GT": []}
+    for dataset in GD_LADDER:
+        wb = get_workbench(dataset)
+        queries = _queries(wb, 10, seed=83)
+        series["Topk-GT"].append(_avg_seconds(wb, queries, 20))
+    with report("fig8cd_vary_G"):
+        print_header("Figure 8(c/d): Topk-GT, vary data graph (T10, k=20)")
+        print_series("G", list(GD_LADDER), series)
+    wb = get_workbench("GD1")
+    query = _queries(wb, 10, seed=84)[0]
+    benchmark.pedantic(
+        lambda: TopkGT(wb.store, query).top_k(20), rounds=3, iterations=1
+    )

@@ -1,0 +1,77 @@
+"""Figure 9 — kGPM: mtree (DP-based tree matcher) vs mtree+ (Topk-EN).
+
+  (a) vary k with query Q2;
+  (b) vary query Q1..Q4 with k=20.
+
+Timings include the simulated I/O of the shared closure store (mtree's
+tree matcher loads the full run-time graph of the spanning tree; mtree+
+pulls blocks on demand) — the same cost model as Figure 6.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    get_workbench,
+    measure,
+    print_header,
+    print_series,
+    speedup_summary,
+)
+from repro.closure.store import ClosureStore
+from repro.closure.transitive import TransitiveClosure
+from repro.gpm import KGPMEngine
+from repro.workloads.queries import kgpm_query_suite
+
+DATASET = "GS2"
+
+
+def _engines():
+    wb = get_workbench(DATASET)
+    bidirected = wb.graph.bidirected()
+    closure = TransitiveClosure(bidirected)
+    store = ClosureStore(bidirected, closure)
+    plus = KGPMEngine(
+        wb.graph, tree_algorithm="topk-en", closure=closure, store=store
+    )
+    base = KGPMEngine(
+        wb.graph, tree_algorithm="dp-b", closure=closure, store=store
+    )
+    suite = kgpm_query_suite(closure, seed=9)
+    return base, plus, store, suite
+
+
+def _timed(engine, store, query, k) -> float:
+    run, _ = measure(
+        engine.tree_algorithm, store.counter, lambda: engine.top_k(query, k)
+    )
+    return run.total_seconds
+
+
+def test_fig9_kgpm(benchmark, report):
+    base, plus, store, suite = _engines()
+    ks = (10, 20, 50)
+    q2 = suite["Q2"]
+    vary_k = {
+        "mtree": [_timed(base, store, q2, k) for k in ks],
+        "mtree+": [_timed(plus, store, q2, k) for k in ks],
+    }
+    names = ("Q1", "Q2", "Q3", "Q4")
+    vary_q = {
+        "mtree": [_timed(base, store, suite[n], 20) for n in names],
+        "mtree+": [_timed(plus, store, suite[n], 20) for n in names],
+    }
+    with report("fig9_kgpm"):
+        print_header(
+            f"Figure 9: kGPM on {DATASET} (undirected semantics, "
+            "CPU + simulated I/O)"
+        )
+        print_series("k", ks, vary_k, title="(a) vary k, query Q2")
+        print_series("query", list(names), vary_q, title="(b) vary query, k=20")
+        print(speedup_summary(vary_q, "mtree", "mtree+"))
+        for name in names:
+            a = [m.score for m in base.top_k(suite[name], 5)]
+            b = [m.score for m in plus.top_k(suite[name], 5)]
+            assert a == b, name
+        print("mtree and mtree+ returned identical top-5 scores on Q1..Q4")
+
+    benchmark.pedantic(lambda: plus.top_k(q2, 20), rounds=3, iterations=1)

@@ -1,0 +1,67 @@
+"""Table 2 — pre-computation cost of transitive closures.
+
+Reproduces the paper's offline-cost table: closure computation time and
+stored size for the real-like (GD*) and synthetic (GS*) ladders, at the
+library's laptop scale (see DESIGN.md for the scaling substitution).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench import get_workbench, print_header, print_table
+from repro.closure.transitive import TransitiveClosure
+from repro.graph.generators import powerlaw_graph
+
+from conftest import FULL
+
+GD_LADDER = ("GD1", "GD2", "GD3")
+GS_LADDER = ("GS1", "GS2", "GS3") + (("GS4",) if FULL else ())
+
+
+def _rows(names):
+    rows = []
+    for name in names:
+        wb = get_workbench(name)
+        stats = wb.store.size_statistics()
+        rows.append(
+            [
+                name,
+                wb.graph.num_nodes,
+                wb.graph.num_edges,
+                f"{wb.closure_seconds:.2f}",
+                wb.closure.num_pairs,
+                f"{wb.store.estimated_bytes() / 1e6:.1f}MB",
+                f"{wb.closure.average_theta():.0f}",
+            ]
+        )
+    return rows
+
+
+def test_table2_closure_costs(benchmark, report):
+    with report("table2_closure"):
+        print_header(
+            "Table 2: computational costs of transitive closures",
+            "paper: seconds + GB at full scale; here: scaled ladder",
+        )
+        columns = ["graph", "nodes", "edges", "TC time (s)", "TC pairs",
+                   "TC size", "theta"]
+        print_table(columns, _rows(GD_LADDER), title="real-like (citation)")
+        print_table(columns, _rows(GS_LADDER), title="synthetic (power-law)")
+
+    # Benchmark kernel: one mid-ladder closure computation.
+    graph = powerlaw_graph(800, num_labels=200, seed=0)
+    benchmark.pedantic(
+        lambda: TransitiveClosure(graph), rounds=3, iterations=1
+    )
+
+
+def test_closure_time_grows_with_size(report):
+    """Sanity: the ladder's closure cost is monotone (paper Table 2 trend)."""
+    times = []
+    for name in GD_LADDER:
+        wb = get_workbench(name)
+        # Rebuild timing is cached in the workbench.
+        times.append((wb.graph.num_nodes, wb.closure.num_pairs))
+    sizes = [t[1] for t in times]
+    assert sizes == sorted(sizes)

@@ -1,0 +1,53 @@
+"""Benchmark-suite configuration.
+
+Every experiment writes its paper-style report to ``benchmarks/results/``
+(and prints it, visible with ``pytest -s``); the pytest-benchmark fixture
+times one representative kernel per experiment.  Set ``REPRO_BENCH_FULL=1``
+for the heavier ladder rungs (bigger graphs, more queries per set).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Heavier rungs (GS4, more queries per set) only with REPRO_BENCH_FULL=1.
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+#: Queries per set (the paper uses 100; scaled down for laptop runs).
+QUERIES_PER_SET = 5 if FULL else 2
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir, request):
+    """Capture report prints and persist them under benchmarks/results/."""
+
+    @contextlib.contextmanager
+    def recorder(name: str):
+        buffer = io.StringIO()
+
+        class _Tee(io.TextIOBase):
+            def write(self, text):
+                buffer.write(text)
+                return len(text)
+
+        with contextlib.redirect_stdout(_Tee()):
+            yield
+        text = buffer.getvalue()
+        (results_dir / f"{name}.txt").write_text(text)
+        # Re-emit so `pytest -s` shows it too.
+        print(text)
+
+    return recorder

@@ -1,0 +1,67 @@
+"""Graph-pattern matching (kGPM): queries with cycles via mtree+.
+
+Tree queries cannot express cyclic constraints ("an author, a venue, and
+a topic that are all pairwise related").  The Section 5 extension
+decomposes a query *graph* into a spanning tree, streams tree matches
+with Topk-EN, and verifies the non-tree edges — this example runs it on a
+synthetic knowledge-graph-ish network and compares mtree (DP-based tree
+matcher) with mtree+ (Topk-EN inside).  Run with::
+
+    python examples/kgpm_cycles.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import QueryGraph
+from repro.gpm import KGPMEngine, spanning_tree
+from repro.graph import powerlaw_graph
+
+
+def main() -> None:
+    graph = powerlaw_graph(1200, num_labels=30, seed=11)
+    print(f"data graph: {graph.num_nodes} nodes, {graph.num_edges} edges "
+          "(treated as undirected)")
+
+    # Find a realizable triangle + tail pattern from the graph's labels:
+    # pick labels of a short closed walk.
+    labels = sorted(graph.labels())
+    pattern = QueryGraph(
+        {0: labels[0], 1: labels[1], 2: labels[2], 3: labels[3]},
+        [(0, 1), (1, 2), (2, 0), (2, 3)],  # triangle with a pendant
+    )
+    tree, non_tree = spanning_tree(pattern)
+    print(f"query: {pattern.num_nodes} nodes, {pattern.num_edges} edges; "
+          f"spanning tree root {tree.root}, "
+          f"{len(non_tree)} non-tree edge(s) to verify")
+
+    plus = KGPMEngine(graph, tree_algorithm="topk-en")
+    base = KGPMEngine(
+        graph, tree_algorithm="dp-b", closure=plus.closure, store=plus.store
+    )
+
+    started = time.perf_counter()
+    top_plus = plus.top_k(pattern, 5)
+    t_plus = time.perf_counter() - started
+    started = time.perf_counter()
+    top_base = base.top_k(pattern, 5)
+    t_base = time.perf_counter() - started
+
+    assert [m.score for m in top_plus] == [m.score for m in top_base]
+    print(f"\nmtree+ (Topk-EN inside): {t_plus * 1000:.1f} ms, "
+          f"consumed {plus.stats.tree_matches_consumed} tree matches")
+    print(f"mtree  (DP-B inside):    {t_base * 1000:.1f} ms, "
+          f"consumed {base.stats.tree_matches_consumed} tree matches")
+
+    if top_plus:
+        print("\nbest pattern matches (score sums ALL query-edge distances):")
+        for rank, match in enumerate(top_plus, start=1):
+            nodes = {q: n for q, n in sorted(match.assignment.items())}
+            print(f"  #{rank}  score={match.score:g}  {nodes}")
+    else:
+        print("\nno match for this pattern — try another seed")
+
+
+if __name__ == "__main__":
+    main()

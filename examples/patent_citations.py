@@ -1,0 +1,75 @@
+"""Patent/citation impact analysis — the paper's Figure 1 scenario at scale.
+
+Generates a DBLP-like citation network, then finds the k patent triples
+(CS -> Economy, CS -> Social Science) with the closest citation
+relationships, comparing the lazy Topk-EN engine against the full-load
+Topk and reporting how little of the run-time graph the lazy engine
+touched.  Run with::
+
+    python examples/patent_citations.py [num_nodes]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.closure import ClosureStore, TransitiveClosure
+from repro.core import TopkEnumerator, TopkEN
+from repro.graph import citation_graph
+from repro.runtime import build_runtime_graph
+from repro.workloads import random_query_tree
+
+
+def main(num_nodes: int = 2500) -> None:
+    print(f"building citation network with {num_nodes} papers...")
+    graph = citation_graph(num_nodes, num_labels=60, seed=42)
+    print(f"  {graph.num_nodes} nodes, {graph.num_edges} citation edges, "
+          f"{len(graph.labels())} venues")
+
+    started = time.perf_counter()
+    closure = TransitiveClosure(graph)
+    print(f"  transitive closure: {closure.num_pairs} pairs "
+          f"in {time.perf_counter() - started:.2f}s "
+          f"(theta = {closure.average_theta():.0f})")
+    store = ClosureStore(graph, closure, block_size=64)
+
+    # A 12-node twig extracted from the data itself (always realizable).
+    query = random_query_tree(closure, 12, seed=7)
+    print(f"\nquery: {query.num_nodes} venues, root at "
+          f"{query.label(query.root)!r}")
+
+    # Full-load Topk (Algorithm 1).
+    started = time.perf_counter()
+    gr = build_runtime_graph(store, query)
+    topk = TopkEnumerator(gr)
+    full_matches = topk.top_k(10)
+    full_seconds = time.perf_counter() - started
+    print(f"\nTopk (full run-time graph): {gr.num_edges} edges loaded, "
+          f"{full_seconds * 1000:.1f} ms")
+
+    # Lazy Topk-EN (Algorithm 3).
+    started = time.perf_counter()
+    lazy = TopkEN(store, query)
+    lazy.compute_first()
+    top1_loads = lazy.stats.edges_loaded
+    lazy_matches = lazy.top_k(10)
+    lazy_seconds = time.perf_counter() - started
+    print(f"Topk-EN (priority access): {top1_loads} edges for the top-1, "
+          f"{lazy.stats.edges_loaded} after top-10, "
+          f"{lazy_seconds * 1000:.1f} ms")
+
+    assert [m.score for m in full_matches] == [m.score for m in lazy_matches]
+    print("\ntop matches (identical for both engines):")
+    for rank, match in enumerate(lazy_matches[:5], start=1):
+        papers = sorted(match.assignment.values())
+        print(f"  #{rank}  score={match.score:g}  papers {papers[:4]}...")
+
+    saved = 1 - top1_loads / max(gr.raw_num_edges, 1)
+    print(f"\nfor the top-1 match the lazy engine skipped {saved:.0%} of the "
+          f"run-time graph's {gr.raw_num_edges} raw edges — deeper k pulls "
+          "in more (the paper's Figure 6(e) trade-off)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 2500)

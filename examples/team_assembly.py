@@ -1,0 +1,92 @@
+"""Team assembly over a professional network — the paper's second scenario.
+
+A company assembles a product team: a lead architect who has worked
+(directly or through collaborators) with a backend engineer, a frontend
+engineer, a data scientist, and a designer; the data scientist should
+additionally know an ML researcher.  Collaboration distance measures how
+well people can work together — the top-k tree matches are the k most
+tightly-connected candidate teams.
+
+The collaboration graph is undirected, so the example also demonstrates
+the Section 5 recipe: bidirect the data graph and run the directed
+machinery unchanged.  Run with::
+
+    python examples/team_assembly.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import LabeledDiGraph, QueryTree, TreeMatcher
+
+
+ROLES = ["architect", "backend", "frontend", "data-sci", "designer", "ml-res"]
+
+
+def build_network(num_people: int = 300, seed: int = 3) -> LabeledDiGraph:
+    """A random collaboration network with role-labeled people."""
+    rng = random.Random(seed)
+    graph = LabeledDiGraph()
+    for person in range(num_people):
+        graph.add_node(f"person{person}", rng.choice(ROLES))
+    # Collaboration edges: preferential attachment keeps it connected and
+    # gives a few well-connected hubs, like real professional networks.
+    pool = [0]
+    for person in range(1, num_people):
+        for collaborator in {rng.choice(pool), rng.randrange(person)}:
+            if collaborator != person:
+                graph.add_edge(f"person{person}", f"person{collaborator}")
+                pool.append(collaborator)
+        pool.append(person)
+    return graph
+
+
+def main() -> None:
+    network = build_network()
+    undirected = network.bidirected()  # collaboration is symmetric
+    print(f"collaboration network: {network.num_nodes} people, "
+          f"{network.num_edges} collaborations")
+
+    team_spec = QueryTree(
+        {
+            "lead": "architect",
+            "be": "backend",
+            "fe": "frontend",
+            "ds": "data-sci",
+            "ux": "designer",
+            "ml": "ml-res",
+        },
+        [
+            ("lead", "be"),
+            ("lead", "fe"),
+            ("lead", "ds"),
+            ("lead", "ux"),
+            ("ds", "ml"),
+        ],
+    )
+
+    matcher = TreeMatcher(undirected)
+    teams = matcher.top_k(team_spec, k=5)
+
+    print("\nbest candidate teams (score = total collaboration distance; "
+          f"minimum possible {team_spec.num_nodes - 1}):")
+    for rank, team in enumerate(teams, start=1):
+        lineup = ", ".join(
+            f"{role}: {person}" for role, person in sorted(team.assignment.items())
+        )
+        print(f"  #{rank}  score={team.score:g}")
+        print(f"       {lineup}")
+
+    # A perfectly-connected team (all direct collaborations) would score 5.
+    if teams and teams[0].score == team_spec.num_nodes - 1:
+        print("\nthe top team collaborates pairwise directly — "
+              "no intermediaries needed.")
+    elif teams:
+        print(f"\nclosest available team needs "
+              f"{teams[0].score - (team_spec.num_nodes - 1):g} intermediary "
+              "hops in total.")
+
+
+if __name__ == "__main__":
+    main()

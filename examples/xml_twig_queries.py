@@ -1,0 +1,108 @@
+"""General twig queries — '/' vs '//' axes, wildcards, duplicate labels.
+
+Models a small product-catalog document graph (XML-ish) and runs the
+Section 5 extensions end to end with Topk-GT:
+
+* a ``/`` (child) edge that only matches direct containment,
+* a ``//`` (descendant) edge matching any nesting depth,
+* a wildcard node, and
+* a query with duplicate labels.
+
+Run with::
+
+    python examples/xml_twig_queries.py
+"""
+
+from __future__ import annotations
+
+from repro import LabeledDiGraph, QueryTree, WILDCARD
+from repro.closure import ClosureStore
+from repro.graph.query import EdgeType
+from repro.twig import TopkGT
+
+
+def build_catalog() -> LabeledDiGraph:
+    """catalog -> categories -> products -> (price, review...)."""
+    g = LabeledDiGraph()
+    nodes = {
+        "catalog": "catalog",
+        "cat_books": "category",
+        "cat_music": "category",
+        "shelf_sci": "shelf",
+        "book1": "product",
+        "book2": "product",
+        "album1": "product",
+        "price1": "price",
+        "price2": "price",
+        "price3": "price",
+        "rev1": "review",
+        "rev2": "review",
+    }
+    for node, label in nodes.items():
+        g.add_node(node, label)
+    edges = [
+        ("catalog", "cat_books"),
+        ("catalog", "cat_music"),
+        ("cat_books", "shelf_sci"),
+        ("shelf_sci", "book1"),   # book1 nested under a shelf
+        ("cat_books", "book2"),   # book2 directly under the category
+        ("cat_music", "album1"),
+        ("book1", "price1"),
+        ("book2", "price2"),
+        ("album1", "price3"),
+        ("book1", "rev1"),
+        ("album1", "rev2"),
+    ]
+    for tail, head in edges:
+        g.add_edge(tail, head)
+    return g
+
+
+def show(title, matches):
+    print(f"\n{title}")
+    if not matches:
+        print("  (no matches)")
+    for match in matches:
+        assignment = ", ".join(
+            f"{q}={n}" for q, n in sorted(match.assignment.items(), key=str)
+        )
+        print(f"  score={match.score:g}  {assignment}")
+
+
+def main() -> None:
+    catalog = build_catalog()
+    store = ClosureStore.build(catalog)
+
+    # 1. '//' vs '/': products anywhere under a category vs directly under.
+    anywhere = QueryTree(
+        {"c": "category", "p": "product"},
+        [("c", "p", EdgeType.DESCENDANT)],
+    )
+    direct = QueryTree(
+        {"c": "category", "p": "product"},
+        [("c", "p", EdgeType.CHILD)],
+    )
+    show("category//product (any depth):",
+         TopkGT(store, anywhere).top_k(10))
+    show("category/product (direct children only):",
+         TopkGT(store, direct).top_k(10))
+
+    # 2. Wildcard: any node that has both a price and a review below it.
+    wildcard = QueryTree(
+        {"root": "category", "any": WILDCARD, "pr": "price", "rv": "review"},
+        [("root", "any"), ("any", "pr"), ("any", "rv")],
+    )
+    show("category//*[.//price][.//review]:",
+         TopkGT(store, wildcard).top_k(5))
+
+    # 3. Duplicate labels: two product positions under the same catalog.
+    duo = QueryTree(
+        {"root": "catalog", "p1": "product", "p2": "product"},
+        [("root", "p1"), ("root", "p2")],
+    )
+    matches = TopkGT(store, duo).top_k(3)
+    show("catalog with two product positions (labels repeat):", matches)
+
+
+if __name__ == "__main__":
+    main()

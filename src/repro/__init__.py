@@ -1,0 +1,43 @@
+"""repro — reproduction of "Optimal Enumeration: Efficient Top-k Tree
+Matching" (Chang et al., PVLDB 8(5), 2015).
+
+Public API tour::
+
+    from repro import LabeledDiGraph, QueryTree, TreeMatcher
+
+    graph = LabeledDiGraph()
+    graph.add_node("p1", "CS"); graph.add_node("p2", "Econ")
+    graph.add_edge("p1", "p2")
+
+    query = QueryTree({0: "CS", 1: "Econ"}, [(0, 1)])
+    matcher = TreeMatcher(graph)          # offline: closure + block store
+    matches = matcher.top_k(query, k=5)   # online: Topk-EN by default
+
+Subpackages: :mod:`repro.graph` (data model & generators),
+:mod:`repro.closure` (transitive closure, block store, 2-hop labels),
+:mod:`repro.runtime` (run-time graphs and L/H slots), :mod:`repro.core`
+(Topk, Topk-EN, DP-B, DP-P), :mod:`repro.twig` (general twig queries),
+:mod:`repro.gpm` (graph-pattern matching), :mod:`repro.workloads`
+(paper datasets/query sets), :mod:`repro.bench` (experiment harness).
+"""
+
+from repro.core.api import ALGORITHMS, TreeMatcher, top_k_tree_matches
+from repro.core.matches import Match
+from repro.graph.digraph import LabeledDiGraph, graph_from_edges
+from repro.graph.query import WILDCARD, EdgeType, QueryGraph, QueryTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "LabeledDiGraph",
+    "graph_from_edges",
+    "QueryTree",
+    "QueryGraph",
+    "EdgeType",
+    "WILDCARD",
+    "Match",
+    "TreeMatcher",
+    "top_k_tree_matches",
+    "ALGORITHMS",
+    "__version__",
+]

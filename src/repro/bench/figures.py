@@ -1,0 +1,81 @@
+"""ASCII rendering of benchmark figures.
+
+The paper presents most results as grouped log-scale bar charts.  This
+module renders the same series as text bars so benchmark reports carry a
+visual summary alongside the numeric tables — useful in CI logs and the
+``benchmarks/results/`` records.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: Width of the bar area in characters.
+BAR_WIDTH = 40
+
+
+def _log_fraction(value: float, lo: float, hi: float) -> float:
+    """Position of ``value`` on a log scale from ``lo`` to ``hi`` in [0,1]."""
+    if value <= 0 or hi <= lo:
+        return 0.0
+    span = math.log10(hi) - math.log10(lo)
+    if span <= 0:
+        return 1.0
+    frac = (math.log10(value) - math.log10(lo)) / span
+    return min(max(frac, 0.0), 1.0)
+
+
+def render_bars(
+    series: dict[str, Sequence[float]],
+    x_labels: Sequence,
+    unit: str = "s",
+    width: int = BAR_WIDTH,
+) -> str:
+    """Render grouped horizontal bars (log scale), one group per x value.
+
+    ``series`` maps a series name to one value per x label; non-positive
+    or missing values render as empty bars.  Returns a multi-line string.
+    """
+    values = [
+        v
+        for vs in series.values()
+        for v in vs
+        if v is not None and v > 0
+    ]
+    if not values:
+        return "(no positive values to plot)\n"
+    lo = min(values)
+    hi = max(values)
+    # Give the smallest value a visible stub by extending the range a bit.
+    lo_axis = lo / 2
+    name_width = max(len(name) for name in series)
+    lines: list[str] = []
+    for i, x in enumerate(x_labels):
+        lines.append(f"{x}:")
+        for name, vs in series.items():
+            value = vs[i] if i < len(vs) else None
+            if value is None or value <= 0:
+                bar = ""
+                shown = "-"
+            else:
+                frac = _log_fraction(value, lo_axis, hi)
+                bar = "#" * max(1, round(frac * width))
+                shown = f"{value:.4g}{unit}"
+            lines.append(f"  {name.ljust(name_width)} |{bar.ljust(width)}| {shown}")
+    lines.append(
+        f"  (log scale: {lo_axis:.3g}{unit} .. {hi:.4g}{unit})"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def print_bars(
+    series: dict[str, Sequence[float]],
+    x_labels: Sequence,
+    unit: str = "s",
+    title: str = "",
+) -> None:
+    """Print :func:`render_bars` output with an optional title line."""
+    if title:
+        print(f"-- {title}")
+    print(render_bars(series, x_labels, unit=unit), end="")

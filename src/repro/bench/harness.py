@@ -1,0 +1,140 @@
+"""Experiment harness: timing, I/O split, and table/series reporting.
+
+Every benchmark in ``benchmarks/`` funnels through this module so that
+all tables and figures are printed in one consistent format:
+
+* :func:`time_call` — wall-clock one call, returning (seconds, result).
+* :class:`AlgoRun` — one measured algorithm execution with CPU seconds,
+  simulated I/O seconds (from the metered block store and the
+  :class:`~repro.storage.iostats.IOCostModel`), and engine statistics.
+* :func:`print_table` / :func:`print_series` — the rows/series the paper
+  reports, echoed to stdout so ``pytest benchmarks/ --benchmark-only``
+  output doubles as the experiment record.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.storage.iostats import IOCostModel, IOCounter
+
+#: Cost model shared by all benchmarks (see DESIGN.md substitutions).
+DEFAULT_COST_MODEL = IOCostModel()
+
+
+def time_call(fn: Callable[[], Any]) -> tuple[float, Any]:
+    """Run ``fn`` once and return ``(elapsed_seconds, result)``."""
+    started = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - started, result
+
+
+@dataclass
+class AlgoRun:
+    """One measured algorithm execution."""
+
+    algorithm: str
+    cpu_seconds: float
+    io_counter: IOCounter
+    cost_model: IOCostModel = DEFAULT_COST_MODEL
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def io_seconds(self) -> float:
+        """Simulated I/O time for the blocks this run touched."""
+        return self.cost_model.io_seconds(self.io_counter)
+
+    @property
+    def total_seconds(self) -> float:
+        """CPU + simulated I/O — the paper's "total time"."""
+        return self.cpu_seconds + self.io_seconds
+
+
+def measure(
+    algorithm: str,
+    counter: IOCounter,
+    fn: Callable[[], Any],
+    cost_model: IOCostModel = DEFAULT_COST_MODEL,
+    **detail,
+) -> tuple[AlgoRun, Any]:
+    """Run ``fn`` with I/O metering isolated to this call."""
+    before = counter.snapshot()
+    cpu, result = time_call(fn)
+    delta = counter.delta_since(before)
+    run = AlgoRun(algorithm, cpu, delta, cost_model, detail=dict(detail))
+    return run, result
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Human-scaled duration: us/ms/s."""
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:7.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:7.2f}ms"
+    return f"{seconds:7.3f}s "
+
+
+def print_header(title: str, subtitle: str = "") -> None:
+    """Banner for one experiment (table/figure id + workload)."""
+    line = "=" * max(len(title), len(subtitle), 60)
+    print()
+    print(line)
+    print(title)
+    if subtitle:
+        print(subtitle)
+    print(line)
+
+
+def print_table(
+    columns: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> None:
+    """Fixed-width table, one row per sequence in ``rows``."""
+    if title:
+        print(f"-- {title}")
+    widths = [len(str(c)) for c in columns]
+    str_rows = [[_cell(x) for x in row] for row in rows]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header = "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(columns))
+    print(header)
+    print("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def print_series(
+    x_name: str,
+    x_values: Sequence[Any],
+    series: dict[str, Sequence[float]],
+    title: str = "",
+    unit: str = "s",
+) -> None:
+    """A figure as text: one column per x value, one row per series."""
+    columns = [x_name] + [str(x) for x in x_values]
+    rows = []
+    for name, values in series.items():
+        rows.append([name] + [f"{v:.5g}{unit}" if v is not None else "-" for v in values])
+    print_table(columns, rows, title=title)
+
+
+def speedup_summary(series: dict[str, Sequence[float]], baseline: str, over: str) -> str:
+    """Geometric-mean speedup of ``over`` relative to ``baseline``."""
+    base = series[baseline]
+    fast = series[over]
+    ratios = [b / f for b, f in zip(base, fast) if f and b]
+    if not ratios:
+        return f"{over} vs {baseline}: n/a"
+    product = 1.0
+    for r in ratios:
+        product *= r
+    gmean = product ** (1.0 / len(ratios))
+    return f"{over} is {gmean:.1f}x faster than {baseline} (geo-mean over {len(ratios)} points)"

@@ -1,0 +1,23 @@
+"""Transitive closure computation, block store layout, and 2-hop labels."""
+
+from repro.closure.constrained import (
+    constrained_closure,
+    constrained_sources,
+    constrained_store,
+)
+from repro.closure.hybrid import HybridStore
+from repro.closure.ondemand import OnDemandStore
+from repro.closure.pll import PrunedLandmarkIndex
+from repro.closure.store import ClosureStore
+from repro.closure.transitive import TransitiveClosure
+
+__all__ = [
+    "TransitiveClosure",
+    "ClosureStore",
+    "OnDemandStore",
+    "HybridStore",
+    "PrunedLandmarkIndex",
+    "constrained_closure",
+    "constrained_sources",
+    "constrained_store",
+]

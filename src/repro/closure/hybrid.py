@@ -1,0 +1,132 @@
+"""Hybrid hot/cold closure store (Section 5, "Managing Closure Size").
+
+The paper proposes: "pre-compute and store in the transitive closure only
+the 'hot' lists ..., while others may be computed on the fly by using the
+2-hop node labeling techniques".  :class:`HybridStore` implements exactly
+that split: the label pairs with the most closure edges (the hot lists,
+which dominate storage and are the ones full scans amortize well) are
+served from a materialized :class:`~repro.closure.store.ClosureStore`,
+and every other pair falls back to the
+:class:`~repro.closure.ondemand.OnDemandStore`'s backward searches and
+2-hop point queries.
+
+The class implements the same store interface the engines consume, so
+``TopkEN``/``DPP`` run unchanged over any hot fraction from 0 (pure
+on-demand) to 1 (fully materialized).
+"""
+
+from __future__ import annotations
+
+from repro.closure.ondemand import OnDemandStore
+from repro.closure.store import ClosureStore
+from repro.closure.transitive import TransitiveClosure
+from repro.exceptions import ClosureError
+from repro.graph.digraph import Label, LabeledDiGraph, NodeId
+from repro.storage.blocks import DEFAULT_BLOCK_SIZE, BlockTable
+from repro.storage.iostats import IOCounter
+
+
+class HybridStore:
+    """Hot label pairs materialized; cold pairs assembled on demand."""
+
+    def __init__(
+        self,
+        graph: LabeledDiGraph,
+        hot_fraction: float = 0.2,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        counter: IOCounter | None = None,
+        closure: TransitiveClosure | None = None,
+    ) -> None:
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ClosureError(
+                f"hot_fraction must be in [0, 1], got {hot_fraction}"
+            )
+        self._graph = graph
+        if closure is None:
+            closure = TransitiveClosure(graph)
+        self._materialized = ClosureStore(
+            graph, closure, block_size=block_size, counter=counter
+        )
+        self.counter = self._materialized.counter
+        self._ondemand = OnDemandStore(
+            graph, block_size=block_size, counter=self.counter
+        )
+        self.hot_pairs = self._select_hot_pairs(closure, hot_fraction)
+
+    @staticmethod
+    def _select_hot_pairs(
+        closure: TransitiveClosure, hot_fraction: float
+    ) -> frozenset[tuple[Label, Label]]:
+        counts = closure.same_type_statistics()
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], repr(kv[0])))
+        keep = round(len(ranked) * hot_fraction)
+        return frozenset(pair for pair, _ in ranked[:keep])
+
+    # ------------------------------------------------------------------
+    def _is_hot(self, tail_label: Label | None, head_label: Label | None) -> bool:
+        """A lookup is served hot only when all its pairs are hot.
+
+        Wildcard lookups (``None`` on either side) span many pairs; they
+        are served hot only when *every* matching pair is hot, otherwise
+        the on-demand path answers them uniformly.
+        """
+        if tail_label is not None and head_label is not None:
+            return (tail_label, head_label) in self.hot_pairs
+        # Wildcards: conservative check across the matching pairs.
+        for pair in self._materialized._pairs_matching(tail_label, head_label):
+            if pair not in self.hot_pairs:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Store interface
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> LabeledDiGraph:
+        """The data graph."""
+        return self._graph
+
+    def incoming_group(self, head: NodeId, tail_label: Label | None) -> BlockTable:
+        """``L^alpha_v`` from the hot tables when possible."""
+        head_label = self._graph.label(head)
+        if self._is_hot(tail_label, head_label):
+            return self._materialized.incoming_group(head, tail_label)
+        return self._ondemand.incoming_group(head, tail_label)
+
+    def read_d_table(
+        self, tail_label: Label | None, head_label: Label | None
+    ) -> dict[NodeId, float]:
+        """``D^alpha_beta`` from the hot side or recomputed."""
+        if self._is_hot(tail_label, head_label):
+            return self._materialized.read_d_table(tail_label, head_label)
+        return self._ondemand.read_d_table(tail_label, head_label)
+
+    def read_e_table(self, tail_label, head_label):
+        """``E^alpha_beta`` from the hot side or recomputed."""
+        if self._is_hot(tail_label, head_label):
+            return self._materialized.read_e_table(tail_label, head_label)
+        return self._ondemand.read_e_table(tail_label, head_label)
+
+    def distance(self, tail: NodeId, head: NodeId) -> float | None:
+        """Point distances always use the 2-hop index (uniform semantics)."""
+        return self._ondemand.distance(tail, head)
+
+    def has_direct_edge(self, tail: NodeId, head: NodeId) -> bool:
+        """True when ``tail -> head`` is a data-graph edge."""
+        return self._graph.has_edge(tail, head)
+
+    # ------------------------------------------------------------------
+    def storage_statistics(self) -> dict[str, int | float]:
+        """Hot-side storage vs what a full materialization would need."""
+        counts = self._materialized.closure.same_type_statistics()
+        hot_entries = sum(counts.get(pair, 0) for pair in self.hot_pairs)
+        total_entries = sum(counts.values())
+        return {
+            "hot_pairs": len(self.hot_pairs),
+            "total_pairs": len(counts),
+            "hot_entries": hot_entries,
+            "total_entries": total_entries,
+            "hot_storage_fraction": (
+                hot_entries / total_entries if total_entries else 0.0
+            ),
+        }

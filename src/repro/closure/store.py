@@ -1,0 +1,301 @@
+"""Block-organized closure store — the disk layout of Sections 3.1 & 4.1.
+
+For every pair of labels ``alpha, beta`` the store keeps:
+
+* ``L`` groups: the incoming closure edges to each ``beta``-labeled node
+  ``v`` from ``alpha``-labeled nodes, as one contiguous, distance-sorted
+  block run per node (the paper's ``L^alpha_v`` groups inside table
+  ``L^alpha_beta``).  Each entry is ``(tail, distance, is_direct)``; the
+  ``is_direct`` flag marks closure edges that are also data-graph edges and
+  supports the ``/`` axis of Section 5.
+* ``D^alpha_beta``: per target node ``v``, ``d^alpha_v`` — the minimum
+  incoming distance from ``alpha`` nodes.  The paper stores only values
+  greater than 1; we store all of them so the node universe of a label is
+  recoverable from the ``D`` table alone (documented deviation, see
+  DESIGN.md).
+* ``E^alpha_beta``: per source node ``v`` labeled ``alpha``, its single
+  minimum-distance outgoing closure edge to a ``beta`` node (the paper's
+  ``E_v`` entries, regrouped by label pair).
+
+All reads go through the metered block layer so algorithms can be compared
+by blocks touched, and wildcard lookups (label ``None``) merge across the
+corresponding label dimension.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.closure.transitive import TransitiveClosure
+from repro.exceptions import ClosureError
+from repro.graph.digraph import Label, LabeledDiGraph, NodeId
+from repro.storage.blocks import DEFAULT_BLOCK_SIZE, BlockTable, TableDirectory
+from repro.storage.iostats import IOCounter
+
+#: Entry of an ``L`` group: (tail node, shortest distance, is direct edge).
+LEntry = tuple[NodeId, float, bool]
+#: Entry of a ``D`` table: (target node, minimum incoming distance).
+DEntry = tuple[NodeId, float]
+#: Entry of an ``E`` table: (source node, target node, distance).
+EEntry = tuple[NodeId, NodeId, float]
+
+
+def _fmt(label: Label) -> str:
+    return repr(label)
+
+
+class ClosureStore:
+    """Metered, block-organized view of a transitive closure."""
+
+    def __init__(
+        self,
+        graph: LabeledDiGraph,
+        closure: TransitiveClosure,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        counter: IOCounter | None = None,
+    ) -> None:
+        self._graph = graph
+        self._closure = closure
+        self.directory = TableDirectory(counter=counter, block_size=block_size)
+        self.counter = self.directory.counter
+
+        # (tail_label, head_node) -> BlockTable of LEntry, distance-sorted.
+        self._groups: dict[tuple[Label, NodeId], BlockTable] = {}
+        # (tail_label, head_label) -> sorted list of head nodes with groups.
+        self._targets_by_pair: dict[tuple[Label, Label], list[NodeId]] = {}
+        # head node -> set of tail labels with a non-empty group.
+        self._tail_labels_of: dict[NodeId, set[Label]] = {}
+        # (tail_label, head_label) -> D table.
+        self._d_tables: dict[tuple[Label, Label], BlockTable] = {}
+        # (tail_label, head_label) -> E table.
+        self._e_tables: dict[tuple[Label, Label], BlockTable] = {}
+
+        self._build()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        graph: LabeledDiGraph,
+        closure: TransitiveClosure | None = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        counter: IOCounter | None = None,
+    ) -> "ClosureStore":
+        """Compute the closure (if not given) and lay it out in blocks."""
+        if closure is None:
+            closure = TransitiveClosure(graph)
+        return cls(graph, closure, block_size=block_size, counter=counter)
+
+    def _build(self) -> None:
+        label = self._graph.label
+        incoming: dict[tuple[Label, NodeId], list[LEntry]] = {}
+        best_out: dict[tuple[NodeId, Label], tuple[float, NodeId]] = {}
+        for tail, head, dist in self._closure.pairs():
+            tail_label = label(tail)
+            head_label = label(head)
+            is_direct = self._graph.has_edge(tail, head)
+            incoming.setdefault((tail_label, head), []).append(
+                (tail, dist, is_direct)
+            )
+            out_key = (tail, head_label)
+            best = best_out.get(out_key)
+            if best is None or dist < best[0]:
+                best_out[out_key] = (dist, head)
+
+        d_rows: dict[tuple[Label, Label], list[DEntry]] = {}
+        for (tail_label, head), entries in incoming.items():
+            entries.sort(key=lambda e: (e[1], repr(e[0])))
+            name = f"L/{_fmt(tail_label)}/{_fmt(label(head))}/{head!r}"
+            self._groups[(tail_label, head)] = self.directory.create(name, entries)
+            head_label = label(head)
+            pair = (tail_label, head_label)
+            self._targets_by_pair.setdefault(pair, []).append(head)
+            self._tail_labels_of.setdefault(head, set()).add(tail_label)
+            d_rows.setdefault(pair, []).append((head, entries[0][1]))
+
+        for pair, rows in self._targets_by_pair.items():
+            rows.sort(key=repr)
+        for pair, rows in d_rows.items():
+            rows.sort(key=lambda e: repr(e[0]))
+            name = f"D/{_fmt(pair[0])}/{_fmt(pair[1])}"
+            self._d_tables[pair] = self.directory.create(name, rows)
+
+        e_rows: dict[tuple[Label, Label], list[EEntry]] = {}
+        for (tail, head_label), (dist, head) in best_out.items():
+            pair = (label(tail), head_label)
+            e_rows.setdefault(pair, []).append((tail, head, dist))
+        for pair, rows in e_rows.items():
+            rows.sort(key=lambda e: repr(e[0]))
+            name = f"E/{_fmt(pair[0])}/{_fmt(pair[1])}"
+            self._e_tables[pair] = self.directory.create(name, rows)
+
+    # ------------------------------------------------------------------
+    # Structural lookups (directory metadata, unmetered)
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> LabeledDiGraph:
+        """The data graph this store was built from."""
+        return self._graph
+
+    @property
+    def closure(self) -> TransitiveClosure:
+        """The in-memory closure (used for unmetered distance probes)."""
+        return self._closure
+
+    def _pairs_matching(
+        self, tail_label: Label | None, head_label: Label | None
+    ) -> Iterator[tuple[Label, Label]]:
+        for pair in self._targets_by_pair:
+            if tail_label is not None and pair[0] != tail_label:
+                continue
+            if head_label is not None and pair[1] != head_label:
+                continue
+            yield pair
+
+    def group_targets(
+        self, tail_label: Label | None, head_label: Label | None
+    ) -> list[NodeId]:
+        """Head nodes with a non-empty incoming group for the label pair.
+
+        ``None`` on either side acts as a wildcard and merges the matching
+        tables (Section 5 wildcard support).
+        """
+        if tail_label is not None and head_label is not None:
+            return list(self._targets_by_pair.get((tail_label, head_label), ()))
+        seen: set[NodeId] = set()
+        for pair in self._pairs_matching(tail_label, head_label):
+            seen.update(self._targets_by_pair[pair])
+        return sorted(seen, key=repr)
+
+    def tail_labels_of(self, head: NodeId) -> frozenset[Label]:
+        """Tail labels with a non-empty incoming group into ``head``."""
+        return frozenset(self._tail_labels_of.get(head, ()))
+
+    # ------------------------------------------------------------------
+    # Metered reads
+    # ------------------------------------------------------------------
+    def incoming_group(self, head: NodeId, tail_label: Label | None) -> BlockTable:
+        """Open the ``L^alpha_v`` group for node ``head`` (metered open).
+
+        With ``tail_label=None`` (wildcard parent) the groups for every tail
+        label are merged into one distance-sorted virtual table.
+        """
+        self.counter.record_open()
+        if tail_label is not None:
+            table = self._groups.get((tail_label, head))
+            if table is not None:
+                return table
+            return BlockTable(
+                f"L/{_fmt(tail_label)}/?/{head!r}", (), self.counter,
+                self.directory.block_size,
+            )
+        merged: list[LEntry] = []
+        for alpha in self._tail_labels_of.get(head, ()):
+            merged.extend(self._groups[(alpha, head)].peek_unmetered())
+        merged.sort(key=lambda e: (e[1], repr(e[0])))
+        return BlockTable(
+            f"L/*/{head!r}", merged, self.counter, self.directory.block_size
+        )
+
+    def read_pair_table(
+        self,
+        tail_label: Label | None,
+        head_label: Label | None,
+        direct_only: bool = False,
+    ) -> Iterator[tuple[NodeId, NodeId, float]]:
+        """Read every closure triple for a label pair (fully metered).
+
+        This is the run-time-graph identification read of Section 3.1: the
+        full ``L^alpha_beta`` table streamed from storage.  ``direct_only``
+        filters to closure edges that are also data-graph edges (``/``
+        axis).
+        """
+        for pair in self._pairs_matching(tail_label, head_label):
+            self.counter.record_open()
+            for head in self._targets_by_pair[pair]:
+                table = self._groups[(pair[0], head)]
+                for block in table.iter_blocks():
+                    for tail, dist, is_direct in block:
+                        if direct_only and not is_direct:
+                            continue
+                        yield tail, head, dist
+
+    def read_d_table(
+        self, tail_label: Label | None, head_label: Label | None
+    ) -> dict[NodeId, float]:
+        """Read ``D^alpha_beta`` (metered): node -> min incoming distance.
+
+        Wildcards merge tables by taking the minimum per node.
+        """
+        result: dict[NodeId, float] = {}
+        for pair in self._pairs_matching(tail_label, head_label):
+            table = self._d_tables[pair]
+            self.counter.record_open()
+            for block in table.iter_blocks():
+                for node, dist in block:
+                    best = result.get(node)
+                    if best is None or dist < best:
+                        result[node] = dist
+        return result
+
+    def read_e_table(
+        self, tail_label: Label | None, head_label: Label | None
+    ) -> list[EEntry]:
+        """Read ``E^alpha_beta`` (metered): min outgoing edge per source.
+
+        With a wildcard head label, each source keeps its overall minimum
+        outgoing closure edge.
+        """
+        merged: dict[NodeId, tuple[float, NodeId]] = {}
+        for pair in self._pairs_matching(tail_label, head_label):
+            table = self._e_tables[pair]
+            self.counter.record_open()
+            for block in table.iter_blocks():
+                for tail, head, dist in block:
+                    best = merged.get(tail)
+                    if best is None or dist < best[0]:
+                        merged[tail] = (dist, head)
+        return [
+            (tail, head, dist)
+            for tail, (dist, head) in sorted(merged.items(), key=lambda kv: repr(kv[0]))
+        ]
+
+    # ------------------------------------------------------------------
+    # Convenience probes (unmetered; used by verifiers and tests)
+    # ------------------------------------------------------------------
+    def distance(self, tail: NodeId, head: NodeId) -> float | None:
+        """Shortest distance from ``tail`` to ``head`` (or ``None``)."""
+        return self._closure.distance(tail, head)
+
+    def has_direct_edge(self, tail: NodeId, head: NodeId) -> bool:
+        """True when ``tail -> head`` is an edge of the data graph."""
+        return self._graph.has_edge(tail, head)
+
+    # ------------------------------------------------------------------
+    # Size statistics (Table 2)
+    # ------------------------------------------------------------------
+    def size_statistics(self) -> dict[str, int]:
+        """Entry/block counts by table family, for the Table 2 report."""
+        stats = {
+            "l_entries": 0,
+            "l_blocks": 0,
+            "d_entries": 0,
+            "e_entries": 0,
+        }
+        for table in self._groups.values():
+            stats["l_entries"] += table.num_entries
+            stats["l_blocks"] += table.num_blocks
+        for table in self._d_tables.values():
+            stats["d_entries"] += table.num_entries
+        for table in self._e_tables.values():
+            stats["e_entries"] += table.num_entries
+        stats["total_entries"] = (
+            stats["l_entries"] + stats["d_entries"] + stats["e_entries"]
+        )
+        return stats
+
+    def estimated_bytes(self, bytes_per_entry: int = 12) -> int:
+        """Rough on-disk size (the paper's GB column) from entry counts."""
+        if bytes_per_entry <= 0:
+            raise ClosureError("bytes_per_entry must be positive")
+        return self.size_statistics()["total_entries"] * bytes_per_entry

@@ -1,0 +1,106 @@
+"""High-level facade: one object, all algorithms.
+
+:class:`TreeMatcher` owns the offline artifacts (transitive closure +
+block store) for one data graph and answers top-k twig queries with any of
+the implemented algorithms.  This is the entry point examples and most
+tests use; the algorithm classes remain available for instrumented runs.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from repro.closure.store import ClosureStore
+from repro.closure.transitive import TransitiveClosure
+from repro.core.baseline_dp import DPBEnumerator
+from repro.core.baseline_dpp import DPPEnumerator
+from repro.core.brute_force import brute_force_topk
+from repro.core.matches import Match
+from repro.core.topk import TopkEnumerator
+from repro.core.topk_en import TopkEN
+from repro.graph.digraph import LabeledDiGraph
+from repro.graph.query import QueryTree
+from repro.runtime.graph import build_runtime_graph
+from repro.storage.blocks import DEFAULT_BLOCK_SIZE
+from repro.twig.semantics import EQUALITY, LabelMatcher
+
+Algorithm = Literal["topk-en", "topk", "dp-b", "dp-p", "brute-force"]
+
+#: All supported algorithm names, in the order the paper introduces them.
+ALGORITHMS: tuple[str, ...] = ("dp-b", "dp-p", "topk", "topk-en", "brute-force")
+
+
+class TreeMatcher:
+    """Top-k twig matching over one data graph.
+
+    Builds the transitive closure and the block-organized closure store
+    once (the paper's offline pre-computation); each :meth:`top_k` call
+    then runs the requested algorithm.  The default algorithm is
+    ``topk-en`` — the paper's overall winner.
+    """
+
+    def __init__(
+        self,
+        graph: LabeledDiGraph,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        matcher: LabelMatcher = EQUALITY,
+        node_weight=None,
+    ) -> None:
+        self.graph = graph
+        self.closure = TransitiveClosure(graph)
+        self.store = ClosureStore(graph, self.closure, block_size=block_size)
+        self.label_matcher = matcher
+        self.node_weight = node_weight
+
+    def top_k(
+        self, query: QueryTree, k: int, algorithm: Algorithm = "topk-en"
+    ) -> list[Match]:
+        """Return the ``k`` lowest-score matches of ``query``.
+
+        Fewer than ``k`` matches are returned when the graph has fewer.
+        """
+        engine = self.engine(query, algorithm)
+        if algorithm == "brute-force":
+            return engine  # already the result list
+        return engine.top_k(k)
+
+    def engine(self, query: QueryTree, algorithm: Algorithm = "topk-en"):
+        """Build (and return) the algorithm engine for ``query``.
+
+        Useful when the caller wants streaming access or statistics; for
+        ``brute-force`` the full sorted result list is returned instead.
+        """
+        if algorithm == "topk-en":
+            return TopkEN(
+                self.store, query, matcher=self.label_matcher,
+                node_weight=self.node_weight,
+            )
+        if algorithm == "dp-p":
+            return DPPEnumerator(
+                self.store, query, matcher=self.label_matcher,
+                node_weight=self.node_weight,
+            )
+        if algorithm == "topk":
+            gr = build_runtime_graph(self.store, query, matcher=self.label_matcher)
+            return TopkEnumerator(gr, node_weight=self.node_weight)
+        if algorithm == "dp-b":
+            gr = build_runtime_graph(self.store, query, matcher=self.label_matcher)
+            return DPBEnumerator(gr, node_weight=self.node_weight)
+        if algorithm == "brute-force":
+            gr = build_runtime_graph(self.store, query, matcher=self.label_matcher)
+            from repro.core.brute_force import all_matches
+
+            return all_matches(gr, node_weight=self.node_weight)[
+                : len(self.graph) ** 2 + 10
+            ]
+        raise ValueError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+
+
+def top_k_tree_matches(
+    graph: LabeledDiGraph,
+    query: QueryTree,
+    k: int,
+    algorithm: Algorithm = "topk-en",
+) -> list[Match]:
+    """One-shot convenience: build a :class:`TreeMatcher` and query it."""
+    return TreeMatcher(graph).top_k(query, k, algorithm=algorithm)

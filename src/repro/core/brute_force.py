@@ -1,0 +1,61 @@
+"""Exhaustive match enumeration — the correctness oracle for tests.
+
+Not part of the paper: enumerates *all* tree-pattern matches by explicit
+backtracking over the run-time graph and sorts them by penalty score.
+Exponential in general; tests keep instances small and the ``limit``
+guard fails loudly if an instance explodes.
+"""
+
+from __future__ import annotations
+
+from repro.core.matches import Match
+from repro.exceptions import MatchingError
+from repro.graph.query import QueryTree
+from repro.runtime.graph import RuntimeGraph
+
+
+def all_matches(
+    gr: RuntimeGraph, limit: int = 200_000, node_weight=None
+) -> list[Match]:
+    """Enumerate every match of ``gr.query``, sorted by score.
+
+    Ties are broken by the repr of the assignment so the order is total
+    and deterministic.  Raises :class:`MatchingError` when more than
+    ``limit`` partial assignments are expanded.  ``node_weight`` adds
+    per-node weights to the score (footnote 2).
+    """
+    weight_of = node_weight if node_weight is not None else (lambda node: 0.0)
+    query: QueryTree = gr.query
+    order = list(query.bfs_order())
+    results: list[Match] = []
+    expanded = 0
+
+    def backtrack(index: int, assignment: dict, score: float) -> None:
+        nonlocal expanded
+        expanded += 1
+        if expanded > limit:
+            raise MatchingError(f"brute force exceeded {limit} expansions")
+        if index == len(order):
+            results.append(Match(assignment=dict(assignment), score=score))
+            return
+        u = order[index]
+        parent = query.parent(u)
+        if parent is None:
+            for v in gr.roots():
+                assignment[u] = v
+                backtrack(index + 1, assignment, score + weight_of(v))
+                del assignment[u]
+            return
+        for v, dist in gr.slot(parent, assignment[parent], u):
+            assignment[u] = v
+            backtrack(index + 1, assignment, score + dist + weight_of(v))
+            del assignment[u]
+
+    backtrack(0, {}, 0.0)
+    results.sort(key=lambda m: (m.score, repr(sorted(m.assignment.items(), key=repr))))
+    return results
+
+
+def brute_force_topk(gr: RuntimeGraph, k: int, limit: int = 200_000) -> list[Match]:
+    """First ``k`` matches of :func:`all_matches`."""
+    return all_matches(gr, limit=limit)[:k]

@@ -1,0 +1,78 @@
+"""Diversified top-k matching — the paper's stated future work.
+
+The conclusion lists "generate the 'diverse' top-k results" as an open
+problem: consecutive top-k matches often differ in a single node, which
+is uninformative for exploratory queries.  This module implements the
+standard greedy swap-distance filter on top of any best-first match
+stream: a match is emitted only if it differs from every previously
+emitted match in at least ``min_distance`` query positions.
+
+Because every engine in this library exposes matches as a non-decreasing
+score stream, the greedy filter inherits the classic guarantee: each
+emitted match is the *lowest-scoring* match satisfying the diversity
+constraint against the already-emitted set.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.matches import Match
+
+
+def assignment_distance(a: Match, b: Match) -> int:
+    """Number of query positions where two matches differ."""
+    keys = set(a.assignment) | set(b.assignment)
+    return sum(1 for key in keys if a.assignment.get(key) != b.assignment.get(key))
+
+
+def diversify(
+    stream: Iterable[Match],
+    min_distance: int = 2,
+    max_considered: int | None = None,
+) -> Iterator[Match]:
+    """Filter a best-first match stream down to pairwise-diverse matches.
+
+    Parameters
+    ----------
+    stream:
+        Matches in non-decreasing score order (any engine's ``stream()``).
+    min_distance:
+        Minimum number of differing positions against *every* previously
+        emitted match.  ``1`` disables filtering (all matches differ in at
+        least one position by construction).
+    max_considered:
+        Optional cap on how many stream matches to inspect; ``None``
+        consumes the stream until exhausted or the consumer stops.
+    """
+    if min_distance < 1:
+        raise ValueError(f"min_distance must be >= 1, got {min_distance}")
+    emitted: list[Match] = []
+    for index, match in enumerate(stream):
+        if max_considered is not None and index >= max_considered:
+            return
+        if all(assignment_distance(match, prev) >= min_distance for prev in emitted):
+            emitted.append(match)
+            yield match
+
+
+def diverse_top_k(
+    engine, k: int, min_distance: int = 2, max_considered: int | None = None
+) -> list[Match]:
+    """The ``k`` best pairwise-diverse matches from an engine.
+
+    ``engine`` is any object with a ``stream()`` method yielding matches
+    best-first (TopkEnumerator, TopkEN, DPBEnumerator, ...).
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if k == 0:
+        return []
+    out: list[Match] = []
+    for match in diversify(
+        engine.stream(), min_distance=min_distance, max_considered=max_considered
+    ):
+        out.append(match)
+        if len(out) >= k:
+            break
+    return out

@@ -1,0 +1,170 @@
+"""Match representation and O(n_T) recovery from compact refs.
+
+Section 3.3 ("Recovering the Match from Score"): the enumeration never
+stores full matches for candidates — each candidate is a *ref* holding its
+score, a link to the parent match it was derived from, and the single node
+replacement that distinguishes it.  Only when a ref is popped as a top-l
+result is the full assignment materialized, by copying the parent's
+assignment and re-expanding the best subtree below the replacement point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Mapping
+
+from repro.exceptions import MatchingError
+from repro.graph.query import QNodeId, QueryTree
+
+NodeId = Hashable
+
+
+@dataclass(frozen=True)
+class Match:
+    """A complete tree-pattern match: assignment plus penalty score."""
+
+    assignment: Mapping[QNodeId, NodeId]
+    score: float
+
+    def __post_init__(self) -> None:
+        # Engines accumulate scores in int or float arithmetic depending on
+        # the edge-weight types they saw; normalize at the API boundary.
+        object.__setattr__(self, "score", float(self.score))
+
+    def mapped_nodes(self) -> tuple[NodeId, ...]:
+        """Data nodes in query breadth-first order-independent sorted form."""
+        return tuple(sorted(self.assignment.values(), key=repr))
+
+    def __iter__(self):
+        yield from self.assignment.items()
+
+
+class MatchRef:
+    """Compact candidate: parent link + one node replacement.
+
+    Attributes
+    ----------
+    score:
+        Full penalty score (maintained incrementally, Section 3.3).
+    parent:
+        The materialized match this candidate was derived from (``None``
+        for the top-1 seed).
+    div_qnode:
+        The query node whose assignment was replaced (the Lawler division
+        position of the subspace this ref is the best match of).
+    new_node:
+        The data node now assigned at ``div_qnode``.
+    rank:
+        Rank of ``new_node`` in its slot (drives the next Case-1 request).
+    slot:
+        The slot object the replacement was drawn from (shared L/H lists).
+    exclusions:
+        Exclusion chain for dynamic slots (``None`` for static slots,
+        where the rank encodes the exclusion set).
+    round_heap:
+        The per-round queue ``Q_l`` this ref was the representative of.
+    """
+
+    __slots__ = (
+        "score",
+        "parent",
+        "div_qnode",
+        "new_node",
+        "rank",
+        "slot",
+        "exclusions",
+        "round_heap",
+        "assignment",
+        "pending_since",
+        "sel_key",
+    )
+
+    def __init__(
+        self,
+        score: float,
+        parent: "MatchRef | None",
+        div_qnode: QNodeId,
+        new_node: NodeId,
+        rank: int,
+        slot: Any,
+        exclusions: Any = None,
+    ) -> None:
+        self.score = score
+        self.parent = parent
+        self.div_qnode = div_qnode
+        self.new_node = new_node
+        self.rank = rank
+        self.slot = slot
+        self.exclusions = exclusions
+        self.round_heap = None
+        self.assignment: dict[QNodeId, NodeId] | None = None
+        self.pending_since = None
+        #: Slot key of ``new_node`` at selection time (drives incremental
+        #: score arithmetic in the dynamic-slot enumerator).
+        self.sel_key: float | None = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MatchRef(score={self.score}, div={self.div_qnode!r}, "
+            f"node={self.new_node!r}, rank={self.rank})"
+        )
+
+
+SlotMin = Callable[[QNodeId, NodeId, QNodeId], tuple[float, tuple[QNodeId, NodeId]] | None]
+
+
+def materialize(query: QueryTree, ref: MatchRef, slot_min: SlotMin) -> dict[QNodeId, NodeId]:
+    """Recover the full assignment of a popped ref in O(n_T).
+
+    ``slot_min`` returns the frozen rank-1 entry of the slot
+    ``(parent query node, parent data node, child query node)`` —
+    the best-child pointers built during initialization.  The walk sets
+    ``div_qnode`` to the replacement node and re-expands its subtree along
+    those pointers; everything outside the subtree is copied from the
+    parent match.
+    """
+    if ref.assignment is not None:
+        return ref.assignment
+    if ref.parent is None:
+        assignment: dict[QNodeId, NodeId] = {}
+    else:
+        parent_assignment = ref.parent.assignment
+        if parent_assignment is None:
+            raise MatchingError("parent match must be materialized first")
+        assignment = dict(parent_assignment)
+    assignment[ref.div_qnode] = ref.new_node
+    stack = [ref.div_qnode]
+    while stack:
+        u = stack.pop()
+        v = assignment[u]
+        for u_child in query.children(u):
+            best = slot_min(u, v, u_child)
+            if best is None:
+                raise MatchingError(
+                    f"no viable child at slot ({u!r}, {v!r}, {u_child!r}) "
+                    "during materialization"
+                )
+            _, child_rnode = best
+            assignment[u_child] = child_rnode[1]
+            stack.append(u_child)
+    ref.assignment = assignment
+    return assignment
+
+
+@dataclass
+class EnumerationStats:
+    """Counters reported by the enumerators (for benches and tests)."""
+
+    rounds: int = 0
+    candidates_generated: int = 0
+    case1_requests: int = 0
+    case2_requests: int = 0
+    empty_subspaces: int = 0
+    pending_parks: int = 0
+    expansions: int = 0
+    edges_loaded: int = 0
+    active_nodes: int = 0
+    init_seconds: float = 0.0
+    top1_seconds: float = 0.0
+    enum_seconds: float = 0.0
+    extra: dict = field(default_factory=dict)

@@ -1,0 +1,260 @@
+"""Algorithm 1 — the optimal Lawler-based enumerator (``Topk``).
+
+Works over a fully loaded run-time graph.  One-time initialization builds
+the ``L``/``H`` slots bottom-up and the ``bs`` scores (O(m_R)); each
+enumeration round then costs O(n_T + log k):
+
+* exactly one Case-1 replacement (Theorem 3.1) — an ``ith(rank)`` request
+  on the slot the popped match was drawn from (O(log) via the shared
+  extracted prefix);
+* at most ``n_T`` Case-2 replacements (Theorem 3.2) — O(1) ``ith(2)``
+  peeks;
+* queue maintenance through the per-round heaps ``Q_l`` and the global
+  heap ``Q`` (O(log k)).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator
+
+from repro.core.matches import EnumerationStats, Match, MatchRef, materialize
+from repro.graph.query import QNodeId, QueryTree
+from repro.runtime.graph import RNode, RuntimeGraph
+from repro.runtime.slots import StaticSlot
+from repro.utils.heap import TieBreakHeap
+
+_INF = float("inf")
+
+
+def _ZERO(node) -> float:
+    """Default node-weight function: pure edge-distance scoring."""
+    return 0.0
+
+
+class TopkEnumerator:
+    """Stateful enumerator: build once, then stream matches best-first.
+
+    ``node_weight`` optionally adds a non-negative per-node weight to the
+    penalty score (the paper's footnote 2):
+    ``S(M) = sum of edge distances + sum of node weights``.
+    """
+
+    def __init__(self, gr: RuntimeGraph, node_weight=None) -> None:
+        self.gr = gr
+        self.query = gr.query
+        self._node_weight = node_weight if node_weight is not None else _ZERO
+        self.stats = EnumerationStats()
+        started = time.perf_counter()
+        # (u, v, u_child) -> StaticSlot of (key, (u_child, v_child)).
+        self._slots: dict[tuple[QNodeId, RNode | None, QNodeId], StaticSlot] = {}
+        self._bs: dict[RNode, float] = {}
+        self._build_slots()
+        self._root_slot = self._build_root_slot()
+        self.stats.init_seconds = time.perf_counter() - started
+        self._queue = TieBreakHeap()
+        self._started = False
+        self.results: list[Match] = []
+
+    # ------------------------------------------------------------------
+    # Initialization (bottom-up bs + L/H lists)
+    # ------------------------------------------------------------------
+    def _build_slots(self) -> None:
+        query = self.query
+        gr = self.gr
+        bs = self._bs
+        weight_of = self._node_weight
+        for u in reversed(list(query.bfs_order())):
+            kids = query.children(u)
+            for v in gr.viable_candidates(u):
+                if not kids:
+                    bs[(u, v)] = float(weight_of(v))
+                    continue
+                total = float(weight_of(v))
+                for u_child in kids:
+                    entries = []
+                    for v_child, dist in gr.slot(u, v, u_child):
+                        child_bs = bs.get((u_child, v_child))
+                        if child_bs is None:
+                            continue
+                        entries.append((child_bs + dist, (u_child, v_child)))
+                    slot = StaticSlot(entries)
+                    self._slots[(u, v, u_child)] = slot
+                    best = slot.min()
+                    if best is None:
+                        total = _INF
+                        break
+                    total += best[0]
+                if total < _INF:
+                    bs[(u, v)] = total
+
+    def _build_root_slot(self) -> StaticSlot:
+        root = self.query.root
+        entries = [
+            (self._bs[(root, v)], (root, v))
+            for v in self.gr.roots()
+            if (root, v) in self._bs
+        ]
+        return StaticSlot(entries)
+
+    # ------------------------------------------------------------------
+    # Slot access helpers
+    # ------------------------------------------------------------------
+    def _slot_of(self, u: QNodeId, v, u_child: QNodeId) -> StaticSlot | None:
+        return self._slots.get((u, v, u_child))
+
+    def _slot_min(self, u: QNodeId, v, u_child: QNodeId):
+        slot = self._slots.get((u, v, u_child))
+        if slot is None:
+            return None
+        return slot.min()
+
+    def top1_score(self) -> float | None:
+        """Score of the best match, or ``None`` when no match exists."""
+        best = self._root_slot.min()
+        return None if best is None else best[0]
+
+    # ------------------------------------------------------------------
+    # Enumeration
+    # ------------------------------------------------------------------
+    def _seed(self) -> None:
+        self._started = True
+        best = self._root_slot.min()
+        if best is None:
+            return
+        score, rnode = best
+        ref = MatchRef(
+            score=score,
+            parent=None,
+            div_qnode=self.query.root,
+            new_node=rnode[1],
+            rank=1,
+            slot=self._root_slot,
+        )
+        self._queue.push(score, ref)
+
+    def _promote_sibling(self, ref: MatchRef) -> None:
+        """When a ref pops from ``Q``, promote the next best of its ``Q_l``."""
+        heap: TieBreakHeap | None = ref.round_heap
+        if heap is None or not heap:
+            return
+        score, sibling = heap.pop()
+        sibling.round_heap = heap
+        self._queue.push(score, sibling)
+
+    def _divide(self, ref: MatchRef) -> None:
+        """Split the popped match's subspace (procedure Divide)."""
+        query = self.query
+        order = query.bfs_order()
+        assignment = ref.assignment
+        candidates: list[MatchRef] = []
+
+        # Case 1 (Theorem 3.1): next rank at the popped match's own slot.
+        self.stats.case1_requests += 1
+        old = ref.slot.ith(ref.rank)
+        nxt = ref.slot.ith(ref.rank + 1)
+        if nxt is None:
+            self.stats.empty_subspaces += 1
+        else:
+            ref.slot.materialize_rank(ref.rank + 1)
+            new_score = ref.score + (nxt[0] - old[0])
+            # The popped match serves as materialization parent: the two
+            # agree everywhere outside the replaced subtree.
+            candidates.append(
+                MatchRef(
+                    score=new_score,
+                    parent=ref,
+                    div_qnode=ref.div_qnode,
+                    new_node=nxt[1][1],
+                    rank=ref.rank + 1,
+                    slot=ref.slot,
+                )
+            )
+
+        # Case 2 (Theorem 3.2): second-best sibling at every later position.
+        div_position = query.position(ref.div_qnode)
+        for position in range(div_position + 1, query.num_nodes):
+            u_x = order[position]
+            parent_q = query.parent(u_x)
+            slot = self._slot_of(parent_q, assignment[parent_q], u_x)
+            self.stats.case2_requests += 1
+            if slot is None:
+                self.stats.empty_subspaces += 1
+                continue
+            second = slot.ith(2)
+            if second is None:
+                self.stats.empty_subspaces += 1
+                continue
+            first = slot.ith(1)
+            new_score = ref.score + (second[0] - first[0])
+            candidates.append(
+                MatchRef(
+                    score=new_score,
+                    parent=ref,
+                    div_qnode=u_x,
+                    new_node=second[1][1],
+                    rank=2,
+                    slot=slot,
+                )
+            )
+
+        self.stats.candidates_generated += len(candidates)
+        if not candidates:
+            return
+        # Per-round queue Q_l: only the best enters Q, carrying Q_l along.
+        best_index = min(range(len(candidates)), key=lambda i: candidates[i].score)
+        best = candidates.pop(best_index)
+        if candidates:
+            round_heap = TieBreakHeap()
+            for cand in candidates:
+                round_heap.push(cand.score, cand)
+            best.round_heap = round_heap
+        self._queue.push(best.score, best)
+
+    def _advance(self) -> Match | None:
+        """Produce the next-best match, or ``None`` when exhausted."""
+        if not self._started:
+            self._seed()
+        if not self._queue:
+            return None
+        score, ref = self._queue.pop()
+        self._promote_sibling(ref)
+        assignment = materialize(self.query, ref, self._slot_min)
+        self.stats.rounds += 1
+        self._divide(ref)
+        match = Match(assignment=dict(assignment), score=score)
+        self.results.append(match)
+        return match
+
+    def __iter__(self) -> Iterator[Match]:
+        return self.stream()
+
+    def stream(self) -> Iterator[Match]:
+        """Yield matches in non-decreasing score order.
+
+        Already-produced matches replay from the cache, so multiple
+        ``stream()``/``top_k()`` calls are consistent with one another.
+        """
+        index = 0
+        while True:
+            while index < len(self.results):
+                yield self.results[index]
+                index += 1
+            if self._advance() is None:
+                return
+
+    def top_k(self, k: int) -> list[Match]:
+        """Return up to ``k`` best matches (fewer when G has fewer)."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        started = time.perf_counter()
+        while len(self.results) < k:
+            if self._advance() is None:
+                break
+        self.stats.enum_seconds += time.perf_counter() - started
+        return list(self.results[:k])
+
+
+def topk_matches(gr: RuntimeGraph, k: int) -> list[Match]:
+    """Convenience wrapper: enumerate the top-``k`` matches of ``gr``."""
+    return TopkEnumerator(gr).top_k(k)

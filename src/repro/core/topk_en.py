@@ -1,0 +1,650 @@
+"""Algorithms 2 & 3 — priority-based lazy access (``ComputeFirst``/``Topk-EN``).
+
+Instead of loading the whole run-time graph, the engine pulls closure
+blocks on demand, steered by the global priority queue ``Qg``.  Every
+queued run-time node ``v`` carries
+
+    ``lb(v) = bs(v) + e_v + L(q(v))``
+
+where ``bs`` is the best known subtree score at ``v``, ``e_v`` lower-bounds
+the distance of any *unloaded* incoming edge to ``v`` (the ``D`` table
+minimum before the first block, then the last loaded distance — groups are
+distance-sorted), and ``L(u) = n_T - 1 - |T_u|`` is the structural bound on
+the rest of the query (Section 4.2).  With ``bound="loose"`` the ``L``
+term is dropped — that is the weaker DP-P trigger the paper compares
+against, reused by our DP-P baseline and the bound-tightness ablation.
+
+Monotonicity of popped ``lb`` values (Theorem 4.1) makes the current top
+of ``Qg`` a *guard*: any match that involves a not-yet-loaded edge scores
+at least the guard.  ``ComputeFirst`` (Algorithm 2) pops and expands until
+a root-position node surfaces — its ``bs`` is then the top-1 score
+(Theorem 4.2).  Enumeration (Algorithm 3) runs the same Lawler divisions
+as Algorithm 1 but over *dynamic* slots: a candidate computed from
+partially loaded slots is emitted only once its score is at or below the
+guard; otherwise it parks in a pending pool and is re-evaluated after
+expansions (the paper's delayed insertion into ``Q``).
+
+Implementation deviations from the paper's letter (all documented in
+DESIGN.md, all correctness-preserving): full ``D`` tables, leaf copies
+entering ``Qg``, exclusion chains instead of rank arithmetic on dynamic
+slots, and no per-round ``Q_l`` sub-heaps.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Hashable, Iterator
+
+from repro.closure.store import ClosureStore
+from repro.core.matches import EnumerationStats, Match, MatchRef, materialize
+from repro.exceptions import MatchingError
+from repro.graph.query import EdgeType, QNodeId, QueryTree
+from repro.runtime.slots import DynamicSlot, ExclusionChain
+from repro.storage.blocks import BlockTable
+from repro.twig.semantics import EQUALITY, LabelMatcher
+from repro.utils.heap import LazyDeletionHeap, TieBreakHeap
+
+_INF = float("inf")
+NodeId = Hashable
+
+
+def _zero_weight(node) -> float:
+    """Default node-weight function: pure edge-distance scoring."""
+    return 0.0
+RNode = tuple[QNodeId, NodeId]
+
+#: Trigger bounds: the paper's structural bound vs the DP-P-style loose one.
+BOUNDS = ("structural", "loose")
+
+
+class _NodeState:
+    """Per run-time-node bookkeeping for the lazy engine."""
+
+    __slots__ = (
+        "rnode",
+        "qnode",
+        "data_node",
+        "bs",
+        "slots",
+        "slot_mins",
+        "nonempty_slots",
+        "active",
+        "popped",
+        "exhausted",
+        "matchable",
+        "e_floor",
+        "lb",
+        "cursor",
+    )
+
+    def __init__(self, rnode: RNode) -> None:
+        self.rnode = rnode
+        self.qnode, self.data_node = rnode
+        self.bs = 0.0
+        self.slots: dict[QNodeId, DynamicSlot] = {}
+        self.slot_mins: dict[QNodeId, float] = {}
+        self.nonempty_slots = 0
+        self.active = False
+        self.popped = False
+        self.exhausted = False
+        self.matchable = True
+        self.e_floor = 0.0
+        self.lb = _INF
+        self.cursor: "_GroupCursor | None" = None
+
+
+class _GroupCursor:
+    """Block-by-block reader over a node's incoming ``L`` group."""
+
+    __slots__ = ("table", "next_block", "done")
+
+    def __init__(self, table: BlockTable) -> None:
+        self.table = table
+        self.next_block = 0
+        self.done = table.num_blocks == 0
+
+    def read_next(self) -> tuple:
+        block = self.table.read_block(self.next_block)
+        self.next_block += 1
+        if self.next_block >= self.table.num_blocks:
+            self.done = True
+        return block
+
+
+class _Pending:
+    """A Lawler subspace whose best match cannot be certified yet."""
+
+    __slots__ = ("parent", "div_qnode", "slot", "exclusions", "base_score")
+
+    def __init__(self, parent, div_qnode, slot, exclusions, base_score) -> None:
+        self.parent = parent
+        self.div_qnode = div_qnode
+        self.slot = slot
+        self.exclusions = exclusions
+        self.base_score = base_score
+
+    def tentative(self) -> tuple[float, tuple | None]:
+        """(score, (key, node)) for the current best non-excluded entry."""
+        best = self.slot.best_excluding(self.exclusions)
+        if best is None:
+            return _INF, None
+        return self.base_score + best[0], best
+
+
+class LazyTopkEngine:
+    """Shared machinery of ``Topk-EN`` (tight bound) and ``DP-P`` (loose)."""
+
+    def __init__(
+        self,
+        store: ClosureStore,
+        query: QueryTree,
+        matcher: LabelMatcher = EQUALITY,
+        bound: str = "structural",
+        node_weight=None,
+    ) -> None:
+        if bound not in BOUNDS:
+            raise ValueError(f"bound must be one of {BOUNDS}, got {bound!r}")
+        self.store = store
+        self.query = query
+        self.matcher = matcher
+        self.bound = bound
+        # Footnote 2: optional non-negative per-node weights in the score.
+        self._weighted = node_weight is not None
+        self._node_weight = node_weight if node_weight is not None else _zero_weight
+        self.stats = EnumerationStats()
+        self._alphabet = store.graph.labels()
+        self._min_weight = self._minimum_edge_weight()
+        self._states: dict[RNode, _NodeState] = {}
+        self._dmin: dict[RNode, float] = {}
+        # Leaf copies waiting outside Qg until their slot is constrained.
+        self._dormant: dict[QNodeId, list[_NodeState]] = {}
+        self._qg: LazyDeletionHeap = LazyDeletionHeap(key_of=lambda s: s.lb)
+        self._root_slot = DynamicSlot()
+        self._queue = TieBreakHeap()
+        self._pending: list[_Pending] = []
+        self.results: list[Match] = []
+        self._seeded = False
+        self._top1_done = False
+        started = time.perf_counter()
+        self._initialize()
+        self.stats.init_seconds = time.perf_counter() - started
+
+    # ------------------------------------------------------------------
+    # Initialization (Algorithm 2, line 1-3)
+    # ------------------------------------------------------------------
+    def _minimum_edge_weight(self) -> float:
+        weights = [w for _, __, w in self.store.graph.edges()]
+        return min(weights) if weights else 0.0
+
+    def _tail_labels(self, qnode: QNodeId) -> list | None:
+        return self.matcher.data_labels_for(self.query.label(qnode), self._alphabet)
+
+    def _structural_bound(self, qnode: QNodeId) -> float:
+        if self.bound == "loose":
+            return 0.0
+        return self.query.remaining_lower_bound(qnode) * self._min_weight
+
+    def _initialize(self) -> None:
+        query = self.query
+        if query.num_nodes == 1:
+            self._initialize_single_node()
+            return
+        # D tables for every query edge: candidate universes + e_v floors.
+        candidates_of: dict[QNodeId, dict[NodeId, float]] = {}
+        for u_p, u, _ in query.edges():
+            tail_labels = self._tail_labels(u_p)
+            head_labels = self._tail_labels(u)
+            merged: dict[NodeId, float] = {}
+            for tl in tail_labels if tail_labels is not None else [None]:
+                for hl in head_labels if head_labels is not None else [None]:
+                    for node, dist in self.store.read_d_table(tl, hl).items():
+                        best = merged.get(node)
+                        if best is None or dist < best:
+                            merged[node] = dist
+            candidates_of[u] = merged
+            for node, dist in merged.items():
+                self._dmin[(u, node)] = dist
+
+        # Leaf copies: active with bs = 0, but *dormant* — they only join Qg
+        # once an enumeration subspace constrains their slot.  For the top-1
+        # phase the E-table minima make their expansion unnecessary: any
+        # match using an unloaded leaf edge is dominated by the match that
+        # swaps in the parent's E-minimum leaf, which is already loaded
+        # (see DESIGN.md, "lazy leaf activation").  Leaves reached by a '/'
+        # edge get no E pre-seed (E rows carry no direct-edge flag), so
+        # their copies join Qg immediately.
+        for u in query.nodes():
+            if not query.is_leaf(u):
+                continue
+            # Dormancy relies on the E pre-seed being the slot's true
+            # minimum; '/' edges have no pre-seed and node weights can move
+            # the minimum to a different leaf, so both cases queue leaves
+            # immediately instead.
+            immediate = (
+                self.query.edge_type(query.parent(u), u) is EdgeType.CHILD
+                or self._weighted
+            )
+            bound = self._structural_bound(u)
+            dormant: list[_NodeState] = []
+            for node, dist in candidates_of.get(u, {}).items():
+                state = self._state((u, node))
+                state.active = True
+                state.e_floor = dist
+                state.bs = float(self._node_weight(node))
+                state.lb = state.bs + dist + bound
+                if immediate:
+                    self._qg.push(state)
+                    self.stats.active_nodes += 1
+                else:
+                    dormant.append(state)
+            if not immediate:
+                self._dormant[u] = dormant
+
+        # E tables for leaf edges: pre-seed parent slots with the minimum
+        # outgoing edge per prospective parent ('/'-edges excluded: E rows
+        # carry no direct-edge flag).
+        for u_p, u, etype in query.edges():
+            if not query.is_leaf(u) or etype is EdgeType.CHILD:
+                continue
+            tail_labels = self._tail_labels(u_p)
+            head_labels = self._tail_labels(u)
+            for tl in tail_labels if tail_labels is not None else [None]:
+                for hl in head_labels if head_labels is not None else [None]:
+                    for tail, head, dist in self.store.read_e_table(tl, hl):
+                        self.stats.extra["e_init_entries"] = (
+                            self.stats.extra.get("e_init_entries", 0) + 1
+                        )
+                        key = dist + float(self._node_weight(head))
+                        self._insert_edge(u_p, tail, u, key, (u, head))
+
+    def _initialize_single_node(self) -> None:
+        """Degenerate one-node query: every label match is a score-0 match."""
+        root = self.query.root
+        labels = self._tail_labels(root)
+        if labels is None:
+            nodes = set(self.store.graph.nodes())
+        else:
+            nodes = set()
+            for label in labels:
+                nodes |= self.store.graph.nodes_with_label(label)
+        for node in sorted(nodes, key=repr):
+            self._root_slot.insert(float(self._node_weight(node)), (root, node))
+        self._top1_done = True
+
+    # ------------------------------------------------------------------
+    # State and slot bookkeeping
+    # ------------------------------------------------------------------
+    def _state(self, rnode: RNode) -> _NodeState:
+        state = self._states.get(rnode)
+        if state is None:
+            state = _NodeState(rnode)
+            self._states[rnode] = state
+        return state
+
+    def _guard(self) -> float:
+        if not self._qg:
+            return _INF
+        key, _ = self._qg.peek()
+        return key
+
+    def _insert_edge(
+        self,
+        u_parent: QNodeId,
+        parent_node: NodeId,
+        u_child: QNodeId,
+        key_delta: float,
+        child_rnode: RNode,
+    ) -> None:
+        """Register a loaded edge in the parent copy's child slot.
+
+        ``key_delta`` is ``bs(child) + delta(parent, child)`` — final on
+        arrival (Theorem 4.2).  Handles activation and ``bs``/``lb``
+        updates of the parent copy.
+        """
+        parent_rnode = (u_parent, parent_node)
+        state = self._state(parent_rnode)
+        slot = state.slots.get(u_child)
+        if slot is None:
+            slot = DynamicSlot()
+            state.slots[u_child] = slot
+        was_empty = not slot
+        if not slot.insert(key_delta, child_rnode):
+            return
+        if was_empty:
+            state.nonempty_slots += 1
+            state.slot_mins[u_child] = key_delta
+            if state.nonempty_slots == len(self.query.children(u_parent)):
+                self._activate(state)
+            return
+        current = state.slot_mins[u_child]
+        if key_delta < current:
+            state.slot_mins[u_child] = key_delta
+            if state.active:
+                if state.popped:
+                    raise MatchingError(
+                        "bs decreased after pop — Theorem 4.2 violated "
+                        f"at {parent_rnode!r}"
+                    )
+                state.bs += key_delta - current
+                self._refresh_lb(state)
+
+    def _activate(self, state: _NodeState) -> None:
+        """All child slots non-empty: compute bs and queue on Qg."""
+        u = state.qnode
+        is_root = self.query.parent(u) is None
+        if not is_root and state.rnode not in self._dmin:
+            # No incoming edge from the parent's label: the copy can never
+            # participate in a match — leave it inactive.
+            state.matchable = False
+            return
+        state.active = True
+        state.bs = float(self._node_weight(state.data_node)) + sum(
+            state.slot_mins.values()
+        )
+        state.e_floor = 0.0 if is_root else self._dmin[state.rnode]
+        self.stats.active_nodes += 1
+        self._refresh_lb(state)
+
+    def _refresh_lb(self, state: _NodeState) -> None:
+        u = state.qnode
+        if self.query.parent(u) is None:
+            state.lb = state.bs
+        else:
+            state.lb = state.bs + state.e_floor + self._structural_bound(u)
+        if not state.popped:
+            self._qg.push(state)
+
+    # ------------------------------------------------------------------
+    # Expansion (procedure Expand of Algorithm 2)
+    # ------------------------------------------------------------------
+    def _open_cursor(self, state: _NodeState) -> _GroupCursor:
+        u = state.qnode
+        u_parent = self.query.parent(u)
+        tail_labels = self._tail_labels(u_parent)
+        if tail_labels is None:
+            table = self.store.incoming_group(state.data_node, None)
+        elif len(tail_labels) == 1:
+            table = self.store.incoming_group(state.data_node, tail_labels[0])
+        else:
+            # Containment-style matchers: merge all groups, filter on label.
+            table = self.store.incoming_group(state.data_node, None)
+        return _GroupCursor(table)
+
+    def _accepts_tail(self, u_parent: QNodeId, tail: NodeId) -> bool:
+        return self.matcher.matches(
+            self.query.label(u_parent), self.store.graph.label(tail)
+        )
+
+    def _expand_step(self) -> None:
+        """Pop the Qg top; either surface a root match or load its blocks."""
+        _, state = self._qg.pop()
+        state.popped = True
+        u = state.qnode
+        if self.query.parent(u) is None:
+            # A root-position copy: its bs is a complete match score.
+            self._root_slot.insert(state.bs, state.rnode)
+            state.exhausted = True
+            return
+        self.stats.expansions += 1
+        u_parent = self.query.parent(u)
+        direct_only = self.query.edge_type(u_parent, u) is EdgeType.CHILD
+        if state.cursor is None:
+            state.cursor = self._open_cursor(state)
+        cursor = state.cursor
+        while True:
+            if cursor.done:
+                state.exhausted = True
+                state.e_floor = _INF
+                return
+            block = cursor.read_next()
+            for tail, dist, is_direct in block:
+                self.stats.edges_loaded += 1
+                if direct_only and not is_direct:
+                    continue
+                if not self._accepts_tail(u_parent, tail):
+                    continue
+                self._insert_edge(u_parent, tail, u, state.bs + dist, state.rnode)
+            if block:
+                state.e_floor = max(state.e_floor, block[-1][1])
+            if cursor.done:
+                state.exhausted = True
+                state.e_floor = _INF
+                return
+            # "If an estimation of the next block still makes v the top,
+            # keep loading" (Algorithm 2 line 14).
+            new_lb = state.bs + state.e_floor + self._structural_bound(u)
+            if self._qg and new_lb > self._guard():
+                state.lb = new_lb
+                state.popped = False
+                self._qg.push(state)
+                return
+
+    # ------------------------------------------------------------------
+    # Top-1 (Algorithm 2 main loop)
+    # ------------------------------------------------------------------
+    def compute_first(self) -> float | None:
+        """Run ``ComputeFirst``: returns the top-1 score (or ``None``)."""
+        started = time.perf_counter()
+        while not self._top1_done:
+            if not self._qg:
+                self._top1_done = True
+                break
+            before = len(self._root_slot)
+            self._expand_step()
+            if len(self._root_slot) > before:
+                self._top1_done = True
+        self.stats.top1_seconds += time.perf_counter() - started
+        best = self._root_slot.min()
+        return None if best is None else best[0]
+
+    # ------------------------------------------------------------------
+    # Enumeration (Algorithm 3)
+    # ------------------------------------------------------------------
+    def _slot_min(self, u: QNodeId, v: NodeId, u_child: QNodeId):
+        state = self._states.get((u, v))
+        if state is None:
+            return None
+        slot = state.slots.get(u_child)
+        if slot is None:
+            return None
+        return slot.min()
+
+    def _seed(self) -> None:
+        self._seeded = True
+        if not self._top1_done:
+            self.compute_first()
+        best = self._root_slot.min()
+        if best is None:
+            return
+        score, rnode = best
+        ref = MatchRef(
+            score=score,
+            parent=None,
+            div_qnode=self.query.root,
+            new_node=rnode[1],
+            rank=1,
+            slot=self._root_slot,
+            exclusions=None,
+        )
+        ref.sel_key = score
+        self._queue.push(score, ref)
+
+    def _wake_dormant_leaves(self, qnode: QNodeId) -> bool:
+        """Queue the dormant leaf copies of ``qnode`` on Qg (first constraint)."""
+        dormant = self._dormant.pop(qnode, None)
+        if not dormant:
+            return False
+        for state in dormant:
+            self._qg.push(state)
+            self.stats.active_nodes += 1
+        return True
+
+    def _emit_candidate(
+        self, parent: MatchRef, div_qnode: QNodeId, slot: DynamicSlot,
+        exclusions, base_score: float, guard: float,
+    ) -> None:
+        """Insert the subspace's best match into Q, or park it pending."""
+        if div_qnode in self._dormant:
+            # First subspace constraining this leaf position: its unloaded
+            # sibling edges become relevant, so the copies must join Qg
+            # before the guard can certify anything about this slot.
+            self._wake_dormant_leaves(div_qnode)
+            self._pending.append(
+                _Pending(parent, div_qnode, slot, exclusions, base_score)
+            )
+            self.stats.pending_parks += 1
+            return
+        best = slot.best_excluding(exclusions)
+        if best is not None and base_score + best[0] <= guard:
+            key, node = best
+            ref = MatchRef(
+                score=base_score + key,
+                parent=parent,
+                div_qnode=div_qnode,
+                new_node=node[1],
+                rank=0,
+                slot=slot,
+                exclusions=exclusions,
+            )
+            ref.sel_key = key
+            self._queue.push(ref.score, ref)
+            self.stats.candidates_generated += 1
+        else:
+            self._pending.append(
+                _Pending(parent, div_qnode, slot, exclusions, base_score)
+            )
+            self.stats.pending_parks += 1
+
+    def _divide(self, ref: MatchRef, guard: float) -> None:
+        query = self.query
+        order = query.bfs_order()
+        assignment = ref.assignment
+
+        # Case 1: exclude the popped match's own node in its slot.
+        self.stats.case1_requests += 1
+        exclusions = ExclusionChain.extend(ref.exclusions, (ref.div_qnode, ref.new_node))
+        base = ref.score - ref.sel_key
+        self._emit_candidate(ref, ref.div_qnode, ref.slot, exclusions, base, guard)
+
+        # Case 2: second-best sibling at every later position.
+        div_position = query.position(ref.div_qnode)
+        for position in range(div_position + 1, query.num_nodes):
+            u_x = order[position]
+            parent_q = query.parent(u_x)
+            state = self._states.get((parent_q, assignment[parent_q]))
+            self.stats.case2_requests += 1
+            if state is None:
+                self.stats.empty_subspaces += 1
+                continue
+            slot = state.slots.get(u_x)
+            if slot is None:
+                self.stats.empty_subspaces += 1
+                continue
+            occupant = (u_x, assignment[u_x])
+            first = slot.min()
+            if first is None:
+                self.stats.empty_subspaces += 1
+                continue
+            base = ref.score - first[0]
+            exclusions = ExclusionChain.extend(None, occupant)
+            self._emit_candidate(ref, u_x, slot, exclusions, base, guard)
+
+    def _sweep_pending(self, guard: float) -> None:
+        """Re-check parked subspaces against the current guard."""
+        if not self._pending:
+            return
+        survivors: list[_Pending] = []
+        for item in self._pending:
+            tentative, best = item.tentative()
+            if tentative <= guard and best is not None:
+                key, node = best
+                ref = MatchRef(
+                    score=tentative,
+                    parent=item.parent,
+                    div_qnode=item.div_qnode,
+                    new_node=node[1],
+                    rank=0,
+                    slot=item.slot,
+                    exclusions=item.exclusions,
+                )
+                ref.sel_key = key
+                self._queue.push(ref.score, ref)
+                self.stats.candidates_generated += 1
+            elif tentative == _INF and guard == _INF:
+                self.stats.empty_subspaces += 1  # provably empty subspace
+            else:
+                survivors.append(item)
+        self._pending = survivors
+
+    def _next_ref(self) -> MatchRef | None:
+        """Procedure Next of Algorithm 3."""
+        while True:
+            guard = self._guard()
+            self._sweep_pending(guard)
+            if self._queue and self._queue.peek_key() <= guard:
+                _, ref = self._queue.pop()
+                return ref
+            if not self._qg:
+                if self._queue:
+                    _, ref = self._queue.pop()
+                    return ref
+                return None
+            self._expand_step()
+
+    def _advance(self) -> Match | None:
+        if not self._seeded:
+            self._seed()
+        ref = self._next_ref()
+        if ref is None:
+            return None
+        assignment = materialize(self.query, ref, self._slot_min)
+        self.stats.rounds += 1
+        self._divide(ref, self._guard())
+        match = Match(assignment=dict(assignment), score=ref.score)
+        self.results.append(match)
+        return match
+
+    def stream(self) -> Iterator[Match]:
+        """Yield matches best-first; replays cached results on re-iteration."""
+        index = 0
+        while True:
+            while index < len(self.results):
+                yield self.results[index]
+                index += 1
+            if self._advance() is None:
+                return
+
+    def __iter__(self) -> Iterator[Match]:
+        return self.stream()
+
+    def top_k(self, k: int) -> list[Match]:
+        """Return up to ``k`` best matches."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        started = time.perf_counter()
+        while len(self.results) < k:
+            if self._advance() is None:
+                break
+        self.stats.enum_seconds += time.perf_counter() - started
+        return list(self.results[:k])
+
+
+class TopkEN(LazyTopkEngine):
+    """Algorithm 3 with the paper's tight structural trigger."""
+
+    def __init__(
+        self,
+        store: ClosureStore,
+        query: QueryTree,
+        matcher: LabelMatcher = EQUALITY,
+        node_weight=None,
+    ) -> None:
+        super().__init__(
+            store, query, matcher=matcher, bound="structural",
+            node_weight=node_weight,
+        )
+
+
+def topk_en_matches(store: ClosureStore, query: QueryTree, k: int) -> list[Match]:
+    """Convenience wrapper: lazy top-``k`` matching straight from the store."""
+    return TopkEN(store, query).top_k(k)

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError` so that callers
+can catch everything coming from this package with a single clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Structural problem with a data graph (duplicate node, bad edge...)."""
+
+
+class QueryError(ReproError):
+    """Malformed query tree or query graph."""
+
+
+class NotATreeError(QueryError):
+    """The supplied query edges do not form a single rooted tree."""
+
+
+class ClosureError(ReproError):
+    """Problem while computing or querying a transitive closure."""
+
+
+class StorageError(ReproError):
+    """Problem in the simulated block storage layer."""
+
+
+class MatchingError(ReproError):
+    """Internal inconsistency detected during top-k matching."""
+
+
+class DecompositionError(ReproError):
+    """A query graph could not be decomposed for kGPM evaluation."""

@@ -1,0 +1,20 @@
+"""Top-k graph pattern matching (kGPM): mtree / mtree+ (Section 5, Fig 9)."""
+
+from repro.gpm.decompose import (
+    best_decomposition,
+    candidate_decompositions,
+    decomposition_cost,
+    spanning_tree,
+)
+from repro.gpm.mtree import KGPMEngine, KGPMStats, brute_force_kgpm, kgpm_matches
+
+__all__ = [
+    "KGPMEngine",
+    "KGPMStats",
+    "kgpm_matches",
+    "brute_force_kgpm",
+    "spanning_tree",
+    "candidate_decompositions",
+    "best_decomposition",
+    "decomposition_cost",
+]

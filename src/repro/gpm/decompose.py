@@ -1,0 +1,87 @@
+"""Query-graph decomposition for kGPM (Section 5 / Cheng et al. [7]).
+
+The kGPM framework evaluates a general query graph by picking a spanning
+tree, enumerating its tree matches in score order, and verifying the
+non-tree edges.  This module builds rooted spanning trees of a
+:class:`~repro.graph.query.QueryGraph` and scores candidate decompositions
+so the cheapest tree (by expected run-time-graph size) can be selected.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+from repro.closure.transitive import TransitiveClosure
+from repro.exceptions import DecompositionError
+from repro.graph.query import QNodeId, QueryGraph, QueryTree
+
+#: A decomposition: rooted spanning tree + the non-tree edges to verify.
+Decomposition = tuple[QueryTree, list[tuple[QNodeId, QNodeId]]]
+
+
+def spanning_tree(query: QueryGraph, root: QNodeId | None = None) -> Decomposition:
+    """BFS spanning tree of ``query`` rooted at ``root``.
+
+    Defaults to the maximum-degree node (ties broken by repr) — hub roots
+    keep the tree shallow, which keeps run-time graphs small.  Returns the
+    rooted tree (all edges ``//``) and the remaining non-tree edges.
+    """
+    if root is None:
+        root = max(query.nodes(), key=lambda u: (query.degree(u), repr(u)))
+    elif root not in set(query.nodes()):
+        raise DecompositionError(f"root {root!r} not a query node")
+
+    labels = query.labels()
+    tree_edges: list[tuple[QNodeId, QNodeId]] = []
+    seen = {root}
+    frontier: deque[QNodeId] = deque([root])
+    while frontier:
+        node = frontier.popleft()
+        for nxt in sorted(query.neighbors(node), key=repr):
+            if nxt in seen:
+                continue
+            seen.add(nxt)
+            tree_edges.append((node, nxt))
+            frontier.append(nxt)
+    if len(seen) != query.num_nodes:
+        raise DecompositionError("query graph is not connected")
+
+    covered = {frozenset(edge) for edge in tree_edges}
+    non_tree = [
+        (u, v) for u, v in query.edges() if frozenset((u, v)) not in covered
+    ]
+    return QueryTree(labels, tree_edges), non_tree
+
+
+def candidate_decompositions(query: QueryGraph) -> list[Decomposition]:
+    """One BFS decomposition per possible root, deterministic order."""
+    return [spanning_tree(query, root) for root in sorted(query.nodes(), key=repr)]
+
+
+def decomposition_cost(
+    decomposition: Decomposition, type_counts: dict[tuple, int]
+) -> float:
+    """Expected run-time-graph size of a decomposition.
+
+    ``type_counts`` maps label pairs to their closure-edge counts (the
+    paper's per-type ``theta``); the cost of a tree is the total count over
+    its edges — the number of closure entries its run-time graph loads.
+    Undirected data graphs store both orientations, so the pair is looked
+    up both ways.
+    """
+    tree, _ = decomposition
+    total = 0.0
+    for parent, child, _ in tree.edges():
+        pair = (tree.label(parent), tree.label(child))
+        total += type_counts.get(pair, 0) + type_counts.get(pair[::-1], 0)
+    return total
+
+
+def best_decomposition(
+    query: QueryGraph, closure: TransitiveClosure
+) -> Decomposition:
+    """Cheapest BFS decomposition under :func:`decomposition_cost`."""
+    counts = closure.same_type_statistics()
+    candidates = candidate_decompositions(query)
+    return min(candidates, key=lambda d: decomposition_cost(d, counts))

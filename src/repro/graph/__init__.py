@@ -1,0 +1,32 @@
+"""Graph substrate: labeled digraphs, query trees/graphs, generators."""
+
+from repro.graph.digraph import LabeledDiGraph, graph_from_edges
+from repro.graph.generators import (
+    citation_graph,
+    erdos_renyi_graph,
+    layered_graph,
+    powerlaw_graph,
+)
+from repro.graph.query import (
+    WILDCARD,
+    EdgeType,
+    QueryGraph,
+    QueryTree,
+    path_query,
+    star_query,
+)
+
+__all__ = [
+    "LabeledDiGraph",
+    "graph_from_edges",
+    "QueryTree",
+    "QueryGraph",
+    "EdgeType",
+    "WILDCARD",
+    "path_query",
+    "star_query",
+    "powerlaw_graph",
+    "citation_graph",
+    "erdos_renyi_graph",
+    "layered_graph",
+]

@@ -1,0 +1,255 @@
+"""Node-labeled directed graphs — the data model of the paper (Section 2).
+
+A :class:`LabeledDiGraph` is a directed graph ``G = (V, E, l)`` where every
+node carries a label drawn from an alphabet and every edge carries a
+positive weight (the paper's experiments use unit weights; the scoring
+machinery supports general positive weights throughout).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Mapping
+
+from repro.exceptions import GraphError
+
+NodeId = Hashable
+Label = Hashable
+
+
+class LabeledDiGraph:
+    """A node-labeled, edge-weighted directed graph.
+
+    Nodes are arbitrary hashable identifiers; each node has exactly one
+    label.  Edges are directed and carry a positive (integer or float)
+    weight, defaulting to 1 as in the paper's experiments.
+
+    The structure is append-mostly: the matching pipeline never mutates a
+    data graph after closure construction, but node/edge removal is provided
+    for workload extraction utilities.
+    """
+
+    def __init__(self) -> None:
+        self._labels: dict[NodeId, Label] = {}
+        self._succ: dict[NodeId, dict[NodeId, float]] = {}
+        self._pred: dict[NodeId, dict[NodeId, float]] = {}
+        self._by_label: dict[Label, set[NodeId]] = {}
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId, label: Label) -> None:
+        """Add ``node`` with ``label``; re-adding with the same label is a no-op."""
+        existing = self._labels.get(node)
+        if existing is not None:
+            if existing != label:
+                raise GraphError(
+                    f"node {node!r} already exists with label {existing!r}, "
+                    f"cannot relabel to {label!r}"
+                )
+            return
+        if label is None:
+            raise GraphError("node labels must not be None")
+        self._labels[node] = label
+        self._succ[node] = {}
+        self._pred[node] = {}
+        self._by_label.setdefault(label, set()).add(node)
+
+    def add_edge(self, tail: NodeId, head: NodeId, weight: float = 1) -> None:
+        """Add the directed edge ``tail -> head`` with a positive weight.
+
+        Parallel edges collapse to the minimum weight (only shortest
+        distances matter to the matching semantics).  Self-loops are
+        rejected: they can never shorten a path and the closure definition
+        excludes trivial reachability.
+        """
+        if tail not in self._labels or head not in self._labels:
+            raise GraphError(f"both endpoints of ({tail!r}, {head!r}) must exist")
+        if tail == head:
+            raise GraphError(f"self-loop on {tail!r} not allowed")
+        if weight <= 0:
+            raise GraphError(f"edge weight must be positive, got {weight!r}")
+        previous = self._succ[tail].get(head)
+        if previous is None:
+            self._num_edges += 1
+            self._succ[tail][head] = weight
+            self._pred[head][tail] = weight
+        elif weight < previous:
+            self._succ[tail][head] = weight
+            self._pred[head][tail] = weight
+
+    def remove_edge(self, tail: NodeId, head: NodeId) -> None:
+        """Remove the edge ``tail -> head``; raise if absent."""
+        try:
+            del self._succ[tail][head]
+            del self._pred[head][tail]
+        except KeyError as exc:
+            raise GraphError(f"edge ({tail!r}, {head!r}) not in graph") from exc
+        self._num_edges -= 1
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove ``node`` and all incident edges; raise if absent."""
+        if node not in self._labels:
+            raise GraphError(f"node {node!r} not in graph")
+        for head in list(self._succ[node]):
+            self.remove_edge(node, head)
+        for tail in list(self._pred[node]):
+            self.remove_edge(tail, node)
+        label = self._labels.pop(node)
+        self._by_label[label].discard(node)
+        if not self._by_label[label]:
+            del self._by_label[label]
+        del self._succ[node]
+        del self._pred[node]
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes (``n_G`` in the paper)."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges (``m_G`` in the paper)."""
+        return self._num_edges
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._labels
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over node identifiers."""
+        return iter(self._labels)
+
+    def edges(self) -> Iterator[tuple[NodeId, NodeId, float]]:
+        """Iterate over ``(tail, head, weight)`` triples."""
+        for tail, heads in self._succ.items():
+            for head, weight in heads.items():
+                yield tail, head, weight
+
+    def label(self, node: NodeId) -> Label:
+        """Return the label of ``node``."""
+        try:
+            return self._labels[node]
+        except KeyError as exc:
+            raise GraphError(f"node {node!r} not in graph") from exc
+
+    def labels(self) -> set[Label]:
+        """Return the set of labels present in the graph (the alphabet used)."""
+        return set(self._by_label)
+
+    def nodes_with_label(self, label: Label) -> frozenset[NodeId]:
+        """Return all nodes carrying ``label`` (empty set if none)."""
+        return frozenset(self._by_label.get(label, ()))
+
+    def successors(self, node: NodeId) -> Mapping[NodeId, float]:
+        """Return ``{head: weight}`` for out-edges of ``node``."""
+        try:
+            return self._succ[node]
+        except KeyError as exc:
+            raise GraphError(f"node {node!r} not in graph") from exc
+
+    def predecessors(self, node: NodeId) -> Mapping[NodeId, float]:
+        """Return ``{tail: weight}`` for in-edges of ``node``."""
+        try:
+            return self._pred[node]
+        except KeyError as exc:
+            raise GraphError(f"node {node!r} not in graph") from exc
+
+    def has_edge(self, tail: NodeId, head: NodeId) -> bool:
+        """True when the direct edge ``tail -> head`` exists."""
+        succ = self._succ.get(tail)
+        return succ is not None and head in succ
+
+    def edge_weight(self, tail: NodeId, head: NodeId) -> float:
+        """Weight of the direct edge ``tail -> head``; raise if absent."""
+        try:
+            return self._succ[tail][head]
+        except KeyError as exc:
+            raise GraphError(f"edge ({tail!r}, {head!r}) not in graph") from exc
+
+    def out_degree(self, node: NodeId) -> int:
+        """Number of out-edges of ``node``."""
+        return len(self.successors(node))
+
+    def in_degree(self, node: NodeId) -> int:
+        """Number of in-edges of ``node``."""
+        return len(self.predecessors(node))
+
+    def is_unit_weighted(self) -> bool:
+        """True when every edge weight equals 1 (enables BFS closures)."""
+        return all(weight == 1 for _, _, weight in self.edges())
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def copy(self) -> "LabeledDiGraph":
+        """Return a deep structural copy."""
+        clone = LabeledDiGraph()
+        for node, label in self._labels.items():
+            clone.add_node(node, label)
+        for tail, head, weight in self.edges():
+            clone.add_edge(tail, head, weight)
+        return clone
+
+    def subgraph(self, nodes: Iterable[NodeId]) -> "LabeledDiGraph":
+        """Return the induced subgraph on ``nodes``."""
+        keep = set(nodes)
+        missing = keep - set(self._labels)
+        if missing:
+            raise GraphError(f"nodes not in graph: {sorted(map(repr, missing))}")
+        sub = LabeledDiGraph()
+        for node in keep:
+            sub.add_node(node, self._labels[node])
+        for tail in keep:
+            for head, weight in self._succ[tail].items():
+                if head in keep:
+                    sub.add_edge(tail, head, weight)
+        return sub
+
+    def bidirected(self) -> "LabeledDiGraph":
+        """Return the graph with every edge made bidirectional.
+
+        Used by the kGPM extension (Section 5): undirected data graphs are
+        handled by making each edge bidirectional and running the directed
+        machinery unchanged.
+        """
+        both = LabeledDiGraph()
+        for node, label in self._labels.items():
+            both.add_node(node, label)
+        for tail, head, weight in self.edges():
+            both.add_edge(tail, head, weight)
+            both.add_edge(head, tail, weight)
+        return both
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LabeledDiGraph(nodes={self.num_nodes}, edges={self.num_edges}, "
+            f"labels={len(self._by_label)})"
+        )
+
+
+def graph_from_edges(
+    labeled_nodes: Mapping[NodeId, Label],
+    edges: Iterable[tuple[NodeId, NodeId] | tuple[NodeId, NodeId, float]],
+) -> LabeledDiGraph:
+    """Build a :class:`LabeledDiGraph` from a label map and an edge list.
+
+    Edge tuples may be ``(tail, head)`` (weight 1) or ``(tail, head, w)``.
+    This is the convenience constructor used throughout tests and examples.
+    """
+    graph = LabeledDiGraph()
+    for node, label in labeled_nodes.items():
+        graph.add_node(node, label)
+    for edge in edges:
+        if len(edge) == 2:
+            tail, head = edge
+            graph.add_edge(tail, head)
+        else:
+            tail, head, weight = edge
+            graph.add_edge(tail, head, weight)
+    return graph

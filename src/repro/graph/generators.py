@@ -1,0 +1,184 @@
+"""Synthetic dataset generators (Section 6 workloads).
+
+Two families, mirroring the paper's evaluation:
+
+* :func:`powerlaw_graph` — a directed scale-free graph with a configurable
+  average out-degree and uniformly assigned labels; stands in for the Boost
+  Graph Library power-law generator the paper uses for ``GS1..GS6``
+  (average out-degree 3, 200 labels).
+* :func:`citation_graph` — a preferential-attachment citation DAG with
+  Zipf-distributed venue labels; a scaled-down substitute for the DBLP
+  citation network used for ``GD1..GD5`` (heavy-tailed in-degree, DAG-like
+  edges pointing from newer to older papers, few hot labels + long tail).
+
+Both are fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import LabeledDiGraph
+from repro.utils.rng import make_rng, zipf_weights
+
+
+def _label_names(count: int, prefix: str) -> list[str]:
+    return [f"{prefix}{i}" for i in range(count)]
+
+
+def powerlaw_graph(
+    num_nodes: int,
+    avg_out_degree: float = 3.0,
+    num_labels: int = 200,
+    seed: int | random.Random | None = 0,
+    label_prefix: str = "L",
+) -> LabeledDiGraph:
+    """Directed scale-free graph via preferential attachment.
+
+    Each new node emits ``~avg_out_degree`` edges whose targets are drawn
+    preferentially by in-degree (plus one smoothing count), producing a
+    power-law in-degree distribution like the Boost generator the paper
+    uses.  Labels are assigned uniformly at random from ``num_labels``
+    distinct labels.  To keep the graph connected in the weak sense (the
+    paper extracts connected graphs), every node also receives one edge
+    from a uniformly random earlier node.
+    """
+    if num_nodes < 2:
+        raise GraphError("powerlaw_graph needs at least 2 nodes")
+    rng = make_rng(seed)
+    labels = _label_names(num_labels, label_prefix)
+    graph = LabeledDiGraph()
+    for node in range(num_nodes):
+        graph.add_node(node, rng.choice(labels))
+
+    # targets: repeated-node list implementing preferential attachment.
+    targets: list[int] = [0]
+    graph.add_edge(1, 0)
+    targets.extend([0, 1])
+    for node in range(2, num_nodes):
+        fanout = max(1, int(rng.gauss(avg_out_degree, 1.0)))
+        chosen: set[int] = set()
+        # One uniform edge guarantees weak connectivity.
+        chosen.add(rng.randrange(node))
+        while len(chosen) < min(fanout, node):
+            chosen.add(rng.choice(targets))
+        for target in chosen:
+            if target != node:
+                graph.add_edge(node, target)
+                targets.append(target)
+        targets.append(node)
+    return graph
+
+
+def citation_graph(
+    num_nodes: int,
+    num_labels: int = 60,
+    avg_citations: float = 3.0,
+    zipf_exponent: float = 1.1,
+    seed: int | random.Random | None = 0,
+    label_prefix: str = "V",
+) -> LabeledDiGraph:
+    """DBLP-like citation DAG (substitute for the paper's real dataset).
+
+    Node ``i`` represents a paper appearing at a venue (its label, drawn
+    from a Zipf distribution so a few venues are hot); it cites earlier
+    papers with recency-biased preferential attachment.  The result is a
+    DAG whose edges point from citing (newer) to cited (older) papers, as
+    in the paper's DBLP graph where each edge is a citation.
+    """
+    if num_nodes < 2:
+        raise GraphError("citation_graph needs at least 2 nodes")
+    rng = make_rng(seed)
+    venues = _label_names(num_labels, label_prefix)
+    weights = zipf_weights(num_labels, zipf_exponent)
+    graph = LabeledDiGraph()
+    venue_of = rng.choices(venues, weights=weights, k=num_nodes)
+    for node in range(num_nodes):
+        graph.add_node(node, venue_of[node])
+
+    # Preferential attachment over earlier papers, with a recency window so
+    # citation chains stay shallow-ish like real citation data.
+    cited_pool: list[int] = [0]
+    for node in range(1, num_nodes):
+        fanout = max(1, int(rng.gauss(avg_citations, 1.0)))
+        chosen: set[int] = set()
+        chosen.add(rng.randrange(node))
+        attempts = 0
+        while len(chosen) < min(fanout, node) and attempts < 8 * fanout:
+            attempts += 1
+            if rng.random() < 0.5 and node > 1:
+                # Recency bias: cite a recent paper.
+                lo = max(0, node - 200)
+                chosen.add(rng.randrange(lo, node))
+            else:
+                chosen.add(rng.choice(cited_pool))
+        for target in chosen:
+            graph.add_edge(node, target)
+            cited_pool.append(target)
+        cited_pool.append(node)
+    return graph
+
+
+def erdos_renyi_graph(
+    num_nodes: int,
+    num_edges: int,
+    num_labels: int = 10,
+    seed: int | random.Random | None = 0,
+    label_prefix: str = "E",
+) -> LabeledDiGraph:
+    """Uniform random directed graph; handy for randomized testing."""
+    if num_nodes < 2:
+        raise GraphError("erdos_renyi_graph needs at least 2 nodes")
+    rng = make_rng(seed)
+    labels = _label_names(num_labels, label_prefix)
+    graph = LabeledDiGraph()
+    for node in range(num_nodes):
+        graph.add_node(node, rng.choice(labels))
+    added = 0
+    attempts = 0
+    limit = 20 * num_edges + 100
+    while added < num_edges and attempts < limit:
+        attempts += 1
+        tail = rng.randrange(num_nodes)
+        head = rng.randrange(num_nodes)
+        if tail == head or graph.has_edge(tail, head):
+            continue
+        graph.add_edge(tail, head)
+        added += 1
+    return graph
+
+
+def layered_graph(
+    layer_labels: Sequence[str],
+    nodes_per_layer: int,
+    edge_probability: float = 0.5,
+    weight_range: tuple[int, int] = (1, 1),
+    seed: int | random.Random | None = 0,
+) -> LabeledDiGraph:
+    """A layered DAG where layer ``i`` nodes all carry ``layer_labels[i]``.
+
+    Edges go from layer ``i`` to layer ``i+1`` with the given probability.
+    This shape makes run-time graphs dense and is used by unit tests and
+    micro-benchmarks where slot sizes must be controlled precisely.
+    """
+    rng = make_rng(seed)
+    graph = LabeledDiGraph()
+    layers: list[list[str]] = []
+    for depth, label in enumerate(layer_labels):
+        layer = [f"{label}#{i}" for i in range(nodes_per_layer)]
+        layers.append(layer)
+        for node in layer:
+            graph.add_node(node, label)
+    lo, hi = weight_range
+    for upper, lower in zip(layers, layers[1:]):
+        for tail in upper:
+            linked = False
+            for head in lower:
+                if rng.random() < edge_probability:
+                    graph.add_edge(tail, head, rng.randint(lo, hi))
+                    linked = True
+            if not linked:
+                graph.add_edge(tail, rng.choice(lower), rng.randint(lo, hi))
+    return graph

@@ -1,0 +1,348 @@
+"""Query trees (twig patterns) and query graphs.
+
+A :class:`QueryTree` is the paper's rooted tree ``T``: a directed tree with
+node labels and per-edge axis semantics.  Edges are either ``DESCENDANT``
+(``//`` — maps to any directed path in the data graph, the paper's default)
+or ``CHILD`` (``/`` — maps to a direct edge only; Section 5 extension).
+Nodes may be wildcards (label ``*``) and different nodes may share a label;
+the core algorithms of Section 3/4 assume distinct non-wildcard labels and
+``//`` edges, while :mod:`repro.twig.general` lifts those restrictions.
+
+A :class:`QueryGraph` is the general (undirected) pattern used by the kGPM
+extension (Section 5 / Figure 9).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Hashable, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import NotATreeError, QueryError
+
+QNodeId = Hashable
+Label = Hashable
+
+#: Sentinel label for wildcard query nodes (matches any data node).
+WILDCARD = "*"
+
+
+class EdgeType(enum.Enum):
+    """Axis semantics of a twig edge (XPath ``/`` vs ``//``)."""
+
+    CHILD = "/"
+    DESCENDANT = "//"
+
+
+class QueryTree:
+    """A rooted, node-labeled query tree ``T``.
+
+    Parameters
+    ----------
+    labels:
+        Mapping from query-node id to label.  Use :data:`WILDCARD` for
+        wildcard nodes.
+    edges:
+        ``(parent, child)`` or ``(parent, child, EdgeType)`` tuples; the
+        edge type defaults to ``//`` (descendant), the paper's base setting.
+
+    The constructor validates the tree shape (single root, connected,
+    acyclic) and pre-computes the top-down breadth-first node order used by
+    the enumeration algorithms (Lemma 3.1: every node's parent precedes it).
+    """
+
+    def __init__(
+        self,
+        labels: Mapping[QNodeId, Label],
+        edges: Iterable[
+            tuple[QNodeId, QNodeId] | tuple[QNodeId, QNodeId, EdgeType]
+        ],
+    ) -> None:
+        if not labels:
+            raise QueryError("a query tree needs at least one node")
+        self._labels: dict[QNodeId, Label] = dict(labels)
+        self._children: dict[QNodeId, list[QNodeId]] = {
+            node: [] for node in self._labels
+        }
+        self._parent: dict[QNodeId, QNodeId] = {}
+        self._edge_type: dict[tuple[QNodeId, QNodeId], EdgeType] = {}
+
+        for edge in edges:
+            if len(edge) == 2:
+                parent, child = edge
+                etype = EdgeType.DESCENDANT
+            else:
+                parent, child, etype = edge
+            if parent not in self._labels or child not in self._labels:
+                raise QueryError(f"edge ({parent!r}, {child!r}) references unknown node")
+            if child in self._parent:
+                raise NotATreeError(f"node {child!r} has two parents")
+            if parent == child:
+                raise NotATreeError(f"self-loop on {parent!r}")
+            self._parent[child] = parent
+            self._children[parent].append(child)
+            self._edge_type[(parent, child)] = etype
+
+        roots = [node for node in self._labels if node not in self._parent]
+        if len(roots) != 1:
+            raise NotATreeError(f"expected exactly one root, found {len(roots)}")
+        self._root: QNodeId = roots[0]
+
+        self._bfs_order = self._compute_bfs_order()
+        if len(self._bfs_order) != len(self._labels):
+            raise NotATreeError("query tree is not connected")
+        self._position = {node: i for i, node in enumerate(self._bfs_order)}
+        self._subtree_size = self._compute_subtree_sizes()
+        self._depth = self._compute_depths()
+
+    # ------------------------------------------------------------------
+    def _compute_bfs_order(self) -> list[QNodeId]:
+        order = [self._root]
+        frontier = [self._root]
+        seen = {self._root}
+        while frontier:
+            next_frontier: list[QNodeId] = []
+            for node in frontier:
+                for child in self._children[node]:
+                    if child in seen:
+                        raise NotATreeError("cycle detected in query tree")
+                    seen.add(child)
+                    order.append(child)
+                    next_frontier.append(child)
+            frontier = next_frontier
+        return order
+
+    def _compute_subtree_sizes(self) -> dict[QNodeId, int]:
+        sizes = {node: 1 for node in self._labels}
+        for node in reversed(self._bfs_order):
+            for child in self._children[node]:
+                sizes[node] += sizes[child]
+        return sizes
+
+    def _compute_depths(self) -> dict[QNodeId, int]:
+        depths = {self._root: 0}
+        for node in self._bfs_order[1:]:
+            depths[node] = depths[self._parent[node]] + 1
+        return depths
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> QNodeId:
+        """The unique root of ``T``."""
+        return self._root
+
+    @property
+    def num_nodes(self) -> int:
+        """``n_T`` — number of query nodes."""
+        return len(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, node: QNodeId) -> bool:
+        return node in self._labels
+
+    def nodes(self) -> Iterator[QNodeId]:
+        """Iterate nodes in top-down breadth-first order (Lemma 3.1)."""
+        return iter(self._bfs_order)
+
+    def bfs_order(self) -> Sequence[QNodeId]:
+        """Nodes in top-down breadth-first order; index = Lawler position."""
+        return self._bfs_order
+
+    def position(self, node: QNodeId) -> int:
+        """0-based index of ``node`` in the breadth-first order."""
+        return self._position[node]
+
+    def label(self, node: QNodeId) -> Label:
+        """Label of ``node`` (possibly :data:`WILDCARD`)."""
+        try:
+            return self._labels[node]
+        except KeyError as exc:
+            raise QueryError(f"query node {node!r} unknown") from exc
+
+    def is_wildcard(self, node: QNodeId) -> bool:
+        """True when ``node`` is a wildcard (label ``*``)."""
+        return self.label(node) == WILDCARD
+
+    def parent(self, node: QNodeId) -> QNodeId | None:
+        """Parent of ``node`` (``None`` for the root)."""
+        if node not in self._labels:
+            raise QueryError(f"query node {node!r} unknown")
+        return self._parent.get(node)
+
+    def children(self, node: QNodeId) -> Sequence[QNodeId]:
+        """Children of ``node`` in insertion order."""
+        try:
+            return self._children[node]
+        except KeyError as exc:
+            raise QueryError(f"query node {node!r} unknown") from exc
+
+    def is_leaf(self, node: QNodeId) -> bool:
+        """True when ``node`` has no children."""
+        return not self.children(node)
+
+    def edges(self) -> Iterator[tuple[QNodeId, QNodeId, EdgeType]]:
+        """Iterate ``(parent, child, edge_type)`` triples."""
+        for (parent, child), etype in self._edge_type.items():
+            yield parent, child, etype
+
+    def edge_type(self, parent: QNodeId, child: QNodeId) -> EdgeType:
+        """Axis of the edge ``parent -> child``."""
+        try:
+            return self._edge_type[(parent, child)]
+        except KeyError as exc:
+            raise QueryError(f"({parent!r}, {child!r}) is not a query edge") from exc
+
+    def subtree_size(self, node: QNodeId) -> int:
+        """``|T_u|`` — number of nodes in the subtree rooted at ``node``."""
+        return self._subtree_size[node]
+
+    def depth(self, node: QNodeId) -> int:
+        """Depth of ``node`` (root = 0)."""
+        return self._depth[node]
+
+    def max_degree(self) -> int:
+        """``d_T`` — maximum number of children over all nodes."""
+        return max(len(kids) for kids in self._children.values())
+
+    def remaining_lower_bound(self, node: QNodeId) -> int:
+        """The paper's ``L(u) = n_T - 1 - |T_u|`` structural lower bound.
+
+        It bounds from below the score of the best match of
+        ``T - (T_u + (parent(u), u))``: every one of those remaining edges
+        contributes at least the minimum positive edge weight (1 for the
+        unit-weight graphs of the experiments).  Zero for the root, whose
+        removal leaves nothing.
+        """
+        if node == self._root:
+            return 0
+        return self.num_nodes - 1 - self._subtree_size[node]
+
+    def has_distinct_labels(self) -> bool:
+        """True when all node labels are distinct and non-wildcard."""
+        labels = list(self._labels.values())
+        return WILDCARD not in labels and len(set(labels)) == len(labels)
+
+    def label_duplication_ratio(self) -> float:
+        """The paper's ``1 - #distinct labels / #nodes`` (Eval-IV)."""
+        labels = list(self._labels.values())
+        return 1.0 - len(set(labels)) / len(labels)
+
+    def uses_only_descendant_edges(self) -> bool:
+        """True when every edge uses ``//`` semantics."""
+        return all(etype is EdgeType.DESCENDANT for etype in self._edge_type.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryTree(nodes={self.num_nodes}, root={self._root!r})"
+
+
+def path_query(labels: Sequence[Label]) -> QueryTree:
+    """Build a simple root-to-leaf path query from a label sequence."""
+    if not labels:
+        raise QueryError("path query needs at least one label")
+    nodes = {i: label for i, label in enumerate(labels)}
+    edges = [(i, i + 1) for i in range(len(labels) - 1)]
+    return QueryTree(nodes, edges)
+
+
+def star_query(root_label: Label, child_labels: Sequence[Label]) -> QueryTree:
+    """Build a depth-1 star query: one root with the given leaf labels."""
+    nodes: dict[QNodeId, Label] = {0: root_label}
+    edges = []
+    for i, label in enumerate(child_labels, start=1):
+        nodes[i] = label
+        edges.append((0, i))
+    return QueryTree(nodes, edges)
+
+
+class QueryGraph:
+    """An undirected, node-labeled query graph for kGPM (Section 5).
+
+    The kGPM semantics (from Cheng et al. [7], as summarized in the paper)
+    map every query node to a same-labeled data node and score a match by
+    the sum over *all* query edges of the shortest distance between mapped
+    endpoints in the (undirected) data graph.
+    """
+
+    def __init__(
+        self,
+        labels: Mapping[QNodeId, Label],
+        edges: Iterable[tuple[QNodeId, QNodeId]],
+    ) -> None:
+        if not labels:
+            raise QueryError("a query graph needs at least one node")
+        self._labels = dict(labels)
+        self._adj: dict[QNodeId, set[QNodeId]] = {node: set() for node in self._labels}
+        self._edges: set[frozenset[QNodeId]] = set()
+        for u, v in edges:
+            if u not in self._labels or v not in self._labels:
+                raise QueryError(f"edge ({u!r}, {v!r}) references unknown node")
+            if u == v:
+                raise QueryError(f"self-loop on {u!r}")
+            key = frozenset((u, v))
+            if key in self._edges:
+                continue
+            self._edges.add(key)
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+        if not self._connected():
+            raise QueryError("query graph must be connected")
+
+    def _connected(self) -> bool:
+        start = next(iter(self._labels))
+        seen = {start}
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for other in self._adj[node]:
+                if other not in seen:
+                    seen.add(other)
+                    stack.append(other)
+        return len(seen) == len(self._labels)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of query nodes."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected query edges."""
+        return len(self._edges)
+
+    def nodes(self) -> Iterator[QNodeId]:
+        """Iterate over query node ids."""
+        return iter(self._labels)
+
+    def label(self, node: QNodeId) -> Label:
+        """Label of ``node``."""
+        try:
+            return self._labels[node]
+        except KeyError as exc:
+            raise QueryError(f"query node {node!r} unknown") from exc
+
+    def labels(self) -> dict[QNodeId, Label]:
+        """Return a copy of the node-to-label mapping."""
+        return dict(self._labels)
+
+    def neighbors(self, node: QNodeId) -> frozenset[QNodeId]:
+        """Neighbors of ``node``."""
+        try:
+            return frozenset(self._adj[node])
+        except KeyError as exc:
+            raise QueryError(f"query node {node!r} unknown") from exc
+
+    def edges(self) -> Iterator[tuple[QNodeId, QNodeId]]:
+        """Iterate undirected edges as ordered pairs (deterministic order)."""
+        for key in self._edges:
+            u, v = sorted(key, key=repr)
+            yield u, v
+
+    def degree(self, node: QNodeId) -> int:
+        """Number of incident edges of ``node``."""
+        return len(self._adj[node])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryGraph(nodes={self.num_nodes}, edges={self.num_edges})"

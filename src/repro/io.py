@@ -1,0 +1,184 @@
+"""Serialization: load/save graphs, queries, and matches.
+
+Two interchange formats:
+
+* **TSV** for data graphs — one declaration per line, tab-separated::
+
+      node <id> <label>
+      edge <tail> <head> [weight]
+
+  Lines starting with ``#`` and blank lines are ignored.  This mirrors the
+  edge-list dumps common for citation/web datasets.
+
+* **JSON** for query trees, query graphs, and match lists — explicit and
+  self-describing, used by the CLI.
+
+All node ids and labels round-trip as strings in these formats (matching
+what external files can express); in-memory construction remains free to
+use arbitrary hashables.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.core.matches import Match
+from repro.exceptions import GraphError, QueryError
+from repro.graph.digraph import LabeledDiGraph
+from repro.graph.query import EdgeType, QueryGraph, QueryTree
+
+# ----------------------------------------------------------------------
+# Data graphs (TSV)
+# ----------------------------------------------------------------------
+
+
+def load_graph_tsv(source: str | Path | TextIO) -> LabeledDiGraph:
+    """Parse a TSV graph file (see module docstring for the format)."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return load_graph_tsv(handle)
+    graph = LabeledDiGraph()
+    pending_edges: list[tuple[str, str, float]] = []
+    for lineno, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split("\t")
+        kind = parts[0]
+        if kind == "node":
+            if len(parts) != 3:
+                raise GraphError(f"line {lineno}: node needs id and label")
+            graph.add_node(parts[1], parts[2])
+        elif kind == "edge":
+            if len(parts) not in (3, 4):
+                raise GraphError(f"line {lineno}: edge needs tail, head[, weight]")
+            weight = float(parts[3]) if len(parts) == 4 else 1.0
+            pending_edges.append((parts[1], parts[2], weight))
+        else:
+            raise GraphError(f"line {lineno}: unknown declaration {kind!r}")
+    for tail, head, weight in pending_edges:
+        graph.add_edge(tail, head, weight)
+    return graph
+
+
+def save_graph_tsv(graph: LabeledDiGraph, target: str | Path | TextIO) -> None:
+    """Write a graph in the TSV format (stable, sorted order)."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            save_graph_tsv(graph, handle)
+            return
+    for node in sorted(graph.nodes(), key=repr):
+        target.write(f"node\t{node}\t{graph.label(node)}\n")
+    for tail, head, weight in sorted(graph.edges(), key=repr):
+        if weight == 1:
+            target.write(f"edge\t{tail}\t{head}\n")
+        else:
+            target.write(f"edge\t{tail}\t{head}\t{weight:g}\n")
+
+
+# ----------------------------------------------------------------------
+# Queries (JSON)
+# ----------------------------------------------------------------------
+
+
+def query_tree_to_dict(query: QueryTree) -> dict:
+    """JSON-ready representation of a query tree."""
+    return {
+        "kind": "query-tree",
+        "nodes": {str(u): query.label(u) for u in query.nodes()},
+        "edges": [
+            {"parent": str(p), "child": str(c), "axis": etype.value}
+            for p, c, etype in query.edges()
+        ],
+    }
+
+
+def query_tree_from_dict(data: dict) -> QueryTree:
+    """Inverse of :func:`query_tree_to_dict`."""
+    if data.get("kind") != "query-tree":
+        raise QueryError(f"not a query-tree document: kind={data.get('kind')!r}")
+    labels = dict(data["nodes"])
+    edges = []
+    for edge in data["edges"]:
+        axis = EdgeType(edge.get("axis", "//"))
+        edges.append((edge["parent"], edge["child"], axis))
+    return QueryTree(labels, edges)
+
+
+def query_graph_to_dict(query: QueryGraph) -> dict:
+    """JSON-ready representation of a kGPM query graph."""
+    return {
+        "kind": "query-graph",
+        "nodes": {str(u): query.label(u) for u in query.nodes()},
+        "edges": [{"u": str(u), "v": str(v)} for u, v in query.edges()],
+    }
+
+
+def query_graph_from_dict(data: dict) -> QueryGraph:
+    """Inverse of :func:`query_graph_to_dict`."""
+    if data.get("kind") != "query-graph":
+        raise QueryError(f"not a query-graph document: kind={data.get('kind')!r}")
+    return QueryGraph(
+        dict(data["nodes"]),
+        [(edge["u"], edge["v"]) for edge in data["edges"]],
+    )
+
+
+def load_query(source: str | Path | TextIO) -> QueryTree | QueryGraph:
+    """Load a query (tree or graph) from a JSON file."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8") as handle:
+            return load_query(handle)
+    data = json.load(source)
+    kind = data.get("kind")
+    if kind == "query-tree":
+        return query_tree_from_dict(data)
+    if kind == "query-graph":
+        return query_graph_from_dict(data)
+    raise QueryError(f"unknown query kind {kind!r}")
+
+
+def save_query(
+    query: QueryTree | QueryGraph, target: str | Path | TextIO
+) -> None:
+    """Save a query (tree or graph) as JSON."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="utf-8") as handle:
+            save_query(query, handle)
+            return
+    if isinstance(query, QueryTree):
+        data = query_tree_to_dict(query)
+    else:
+        data = query_graph_to_dict(query)
+    json.dump(data, target, indent=2, sort_keys=True)
+    target.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Matches (JSON)
+# ----------------------------------------------------------------------
+
+
+def matches_to_json(matches: Iterable[Match]) -> str:
+    """Serialize a match list to a JSON string."""
+    payload = [
+        {
+            "score": match.score,
+            "assignment": {str(q): str(n) for q, n in match.assignment.items()},
+        }
+        for match in matches
+    ]
+    return json.dumps({"kind": "matches", "matches": payload}, indent=2)
+
+
+def matches_from_json(text: str) -> list[Match]:
+    """Inverse of :func:`matches_to_json` (string node ids)."""
+    data = json.loads(text)
+    if data.get("kind") != "matches":
+        raise QueryError("not a matches document")
+    return [
+        Match(assignment=dict(entry["assignment"]), score=entry["score"])
+        for entry in data["matches"]
+    ]

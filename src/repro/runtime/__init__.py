@@ -1,0 +1,14 @@
+"""Run-time graph materialization and sibling-list (slot) structures."""
+
+from repro.runtime.graph import RNode, RuntimeGraph, assignment_score, build_runtime_graph
+from repro.runtime.slots import DynamicSlot, ExclusionChain, StaticSlot
+
+__all__ = [
+    "RuntimeGraph",
+    "RNode",
+    "build_runtime_graph",
+    "assignment_score",
+    "StaticSlot",
+    "DynamicSlot",
+    "ExclusionChain",
+]

@@ -1,0 +1,203 @@
+"""Sibling candidate lists — the ``L``/``H`` structure of Section 3.3.
+
+A *slot* holds, for one run-time-graph node ``x`` and one child query node
+``u'``, the candidates ``(x', bs(x') + delta(x, x'))`` among which Lawler
+replacements pick.  Two variants:
+
+* :class:`StaticSlot` — contents fixed at construction (Algorithm 1).  It
+  keeps the paper's split: a sorted extracted prefix ``H`` (the ranks
+  requested so far) and a binary min-heap ``L`` with the rest.  Rank 1 and
+  rank ``len(H)+1`` are O(1); deeper ranks pop from ``L`` in O(log)
+  amortized, and the prefix is shared by all subspaces using the slot.
+* :class:`DynamicSlot` — entries arrive over time as closure blocks are
+  loaded (Algorithm 3).  Ranks are not stable under insertion, so the slot
+  keeps a fully sorted list and exclusion is by node identity via
+  persistent :class:`ExclusionChain` sets (see DESIGN.md for why this
+  deviation is correctness-preserving).
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from typing import Any, Iterable, Iterator
+
+Entry = tuple[float, Any]  # (key, payload node)
+
+
+class StaticSlot:
+    """Immutable candidate set with L/H rank extraction (Algorithm 1)."""
+
+    __slots__ = ("_h", "_l", "_counter")
+
+    def __init__(self, entries: Iterable[Entry]) -> None:
+        items = [(key, repr(node), node) for key, node in entries]
+        self._h: list[Entry] = []
+        if items:
+            # One scan for the minimum, heapify the rest: the paper's
+            # linear-time initialization.
+            best_index = min(range(len(items)), key=lambda i: items[i][:2])
+            best = items.pop(best_index)
+            self._h.append((best[0], best[2]))
+        heapq.heapify(items)
+        self._l = items
+
+    def __len__(self) -> int:
+        return len(self._h) + len(self._l)
+
+    def __bool__(self) -> bool:
+        return bool(self._h) or bool(self._l)
+
+    @property
+    def extracted(self) -> list[Entry]:
+        """The sorted ``H`` prefix extracted so far."""
+        return self._h
+
+    def min(self) -> Entry | None:
+        """Rank-1 candidate (O(1)); ``None`` when empty."""
+        if self._h:
+            return self._h[0]
+        return None
+
+    def ith(self, rank: int) -> Entry | None:
+        """The ``rank``-th (1-based) lowest candidate, or ``None``.
+
+        Rank ``len(H)+1`` peeks the heap top without extracting (the O(1)
+        Case-2 path of Theorem 3.2); deeper ranks extract heap elements
+        into ``H`` (the Case-1 path of Theorem 3.1, O(log) per element).
+        """
+        if rank <= 0:
+            raise ValueError(f"rank must be >= 1, got {rank}")
+        h = self._h
+        if rank <= len(h):
+            return h[rank - 1]
+        l = self._l
+        if rank == len(h) + 1:
+            if l:
+                key, _, node = l[0]
+                return (key, node)
+            return None
+        while len(h) < rank and l:
+            key, _, node = heapq.heappop(l)
+            h.append((key, node))
+        if rank <= len(h):
+            return h[rank - 1]
+        return None
+
+    def materialize_rank(self, rank: int) -> None:
+        """Ensure ranks ``1..rank`` live in ``H`` (used after a Case-1 pick).
+
+        Keeps later O(1) ``ith`` calls for those ranks and mirrors the
+        paper's "remove it from ``L`` to ``H``" bookkeeping.
+        """
+        h, l = self._h, self._l
+        while len(h) < rank and l:
+            key, _, node = heapq.heappop(l)
+            h.append((key, node))
+
+
+class ExclusionChain:
+    """A persistent (shared-structure) set of excluded nodes.
+
+    Lawler subspaces exclude node sets that grow one element at a time
+    along a chain ``U ⊂ U ∪ {y1} ⊂ ...``; persistent cons cells share that
+    structure in O(1) per extension.  Membership is a chain walk — chains
+    are short in practice (bounded by the number of times one slot fed
+    consecutive top-l results).
+    """
+
+    __slots__ = ("node", "prev", "size")
+
+    def __init__(self, node: Any, prev: "ExclusionChain | None") -> None:
+        self.node = node
+        self.prev = prev
+        self.size = 1 + (prev.size if prev is not None else 0)
+
+    @staticmethod
+    def extend(chain: "ExclusionChain | None", node: Any) -> "ExclusionChain":
+        """Return a new chain with ``node`` added."""
+        return ExclusionChain(node, chain)
+
+    @staticmethod
+    def contains(chain: "ExclusionChain | None", node: Any) -> bool:
+        """True when ``node`` is in ``chain``."""
+        while chain is not None:
+            if chain.node == node:
+                return True
+            chain = chain.prev
+        return False
+
+    @staticmethod
+    def length(chain: "ExclusionChain | None") -> int:
+        """Number of excluded nodes."""
+        return 0 if chain is None else chain.size
+
+    @staticmethod
+    def iterate(chain: "ExclusionChain | None") -> Iterator[Any]:
+        """Iterate excluded nodes, most recent first."""
+        while chain is not None:
+            yield chain.node
+            chain = chain.prev
+
+
+class DynamicSlot:
+    """Insertable candidate set with exclusion-based selection (Algorithm 3).
+
+    ``version`` increments on every insertion; pending Lawler candidates
+    record the version they were computed against so the enumerator knows
+    when a recomputation could change the outcome.
+    """
+
+    __slots__ = ("_entries", "_nodes", "version")
+
+    def __init__(self) -> None:
+        self._entries: list[tuple[float, str, Any]] = []
+        self._nodes: set[Any] = set()
+        self.version = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, node: Any) -> bool:
+        return node in self._nodes
+
+    def insert(self, key: float, node: Any) -> bool:
+        """Insert a candidate; returns False when ``node`` is already present.
+
+        Duplicates can arise when an edge is pre-seeded from an ``E`` table
+        and later re-read from an ``L`` block; first insertion wins (both
+        carry the same shortest distance, and ``bs`` is final on arrival —
+        Theorem 4.2).
+        """
+        if node in self._nodes:
+            return False
+        self._nodes.add(node)
+        insort(self._entries, (key, repr(node), node))
+        self.version += 1
+        return True
+
+    def min(self) -> Entry | None:
+        """Lowest-key candidate, or ``None``."""
+        if not self._entries:
+            return None
+        key, _, node = self._entries[0]
+        return (key, node)
+
+    def best_excluding(
+        self, excluded: ExclusionChain | None
+    ) -> Entry | None:
+        """Lowest-key candidate whose node is not in ``excluded``."""
+        if ExclusionChain.length(excluded) == 0:
+            return self.min()
+        for key, _, node in self._entries:
+            if not ExclusionChain.contains(excluded, node):
+                return (key, node)
+        return None
+
+    def entries(self) -> Iterator[Entry]:
+        """Iterate ``(key, node)`` in non-decreasing key order."""
+        for key, _, node in self._entries:
+            yield (key, node)

@@ -1,0 +1,12 @@
+"""Simulated block storage with I/O accounting."""
+
+from repro.storage.blocks import DEFAULT_BLOCK_SIZE, BlockTable, TableDirectory
+from repro.storage.iostats import IOCostModel, IOCounter
+
+__all__ = [
+    "BlockTable",
+    "TableDirectory",
+    "DEFAULT_BLOCK_SIZE",
+    "IOCounter",
+    "IOCostModel",
+]

@@ -1,0 +1,38 @@
+"""General twig-pattern matching (Section 5): Topk-GT and label semantics.
+
+``repro.twig.general`` is imported lazily: the low-level packages import
+``repro.twig.semantics`` while ``general`` builds on the core engines, so
+an eager import here would be circular.
+"""
+
+from repro.twig.semantics import EQUALITY, ContainmentMatcher, LabelMatcher
+
+__all__ = [
+    "TopkGT",
+    "general_topk",
+    "validate_general_query",
+    "LabelMatcher",
+    "ContainmentMatcher",
+    "EQUALITY",
+]
+
+_LAZY = {
+    "TopkGT": "general",
+    "general_topk": "general",
+    "validate_general_query": "general",
+    "UndirectedTreeQuery": "undirected",
+    "select_root": "undirected",
+    "undirected_top_k": "undirected",
+}
+
+__all__ += ["UndirectedTreeQuery", "select_root", "undirected_top_k"]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is not None:
+        import importlib
+
+        module = importlib.import_module(f"repro.twig.{module_name}")
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,86 @@
+"""Topk-GT — general top-k twig matching (Section 5 extensions).
+
+The copy-based run-time graph makes the general case a thin layer over
+the core engines: duplicate labels, wildcard nodes, ``/`` edges, and
+label containment are all expressed through
+
+* ``(query node, data node)`` copies (already the core representation),
+* a :class:`~repro.twig.semantics.LabelMatcher` deciding which data labels
+  each query node may map to, and
+* the ``is_direct`` flag on closure entries for ``/`` edges.
+
+:class:`TopkGT` is the paper's Topk-GT: the lazy Topk-EN engine run over
+a general twig query.  :func:`general_topk` also exposes the fully-loaded
+algorithms for cross-checking.
+"""
+
+from __future__ import annotations
+
+from repro.closure.store import ClosureStore
+from repro.core.baseline_dp import DPBEnumerator
+from repro.core.brute_force import all_matches
+from repro.core.matches import Match
+from repro.core.topk import TopkEnumerator
+from repro.core.topk_en import TopkEN
+from repro.exceptions import QueryError
+from repro.graph.query import WILDCARD, QueryTree
+from repro.runtime.graph import build_runtime_graph
+from repro.twig.semantics import EQUALITY, ContainmentMatcher, LabelMatcher
+
+
+def validate_general_query(query: QueryTree) -> None:
+    """Sanity-check a general twig query.
+
+    Wildcard roots are rejected: with an unlabeled root every data node is
+    a root candidate, which the paper flags as blowing up the run-time
+    graph; supporting it is possible but never useful in the benchmarks.
+    """
+    if query.label(query.root) == WILDCARD:
+        raise QueryError("wildcard roots are not supported")
+
+
+class TopkGT(TopkEN):
+    """Topk-EN extended to general twig queries (duplicate labels,
+    wildcards, ``/`` edges, containment — pick the matcher accordingly)."""
+
+    def __init__(
+        self,
+        store: ClosureStore,
+        query: QueryTree,
+        matcher: LabelMatcher = EQUALITY,
+    ) -> None:
+        validate_general_query(query)
+        super().__init__(store, query, matcher=matcher)
+
+
+def general_topk(
+    store: ClosureStore,
+    query: QueryTree,
+    k: int,
+    matcher: LabelMatcher = EQUALITY,
+    algorithm: str = "topk-gt",
+) -> list[Match]:
+    """Top-k general twig matching with a choice of engine.
+
+    ``topk-gt`` (default) is the lazy engine; ``topk`` and ``dp-b`` run on
+    the fully loaded run-time graph; ``brute-force`` is the test oracle.
+    """
+    validate_general_query(query)
+    if algorithm == "topk-gt":
+        return TopkGT(store, query, matcher=matcher).top_k(k)
+    gr = build_runtime_graph(store, query, matcher=matcher)
+    if algorithm == "topk":
+        return TopkEnumerator(gr).top_k(k)
+    if algorithm == "dp-b":
+        return DPBEnumerator(gr).top_k(k)
+    if algorithm == "brute-force":
+        return all_matches(gr)[:k]
+    raise ValueError(f"unknown algorithm {algorithm!r}")
+
+
+__all__ = [
+    "TopkGT",
+    "general_topk",
+    "validate_general_query",
+    "ContainmentMatcher",
+]

@@ -1,0 +1,101 @@
+"""Top-k matching of *undirected* tree queries, with root selection.
+
+The paper's conclusion raises "selecting the 'best' node as a root from
+an undirected tree" as future work; its Section 5 sketches the
+mechanism (used by kGPM): make every data edge bidirectional, pick a
+root, and run the directed machinery.  The root choice does not affect
+*results* — any rooting of the same undirected tree admits exactly the
+same matches with the same scores — but it changes the run-time graph
+size and therefore the cost.
+
+This module implements both the mechanism and the cost-based root
+selection: candidate rootings are scored by the expected run-time-graph
+size (sum of per-type closure counts over the rooted tree's edges, the
+same estimator the kGPM decomposer uses).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping
+
+from repro.closure.store import ClosureStore
+from repro.closure.transitive import TransitiveClosure
+from repro.core.matches import Match
+from repro.core.topk_en import TopkEN
+from repro.exceptions import QueryError
+from repro.graph.digraph import LabeledDiGraph
+from repro.graph.query import QueryGraph, QueryTree
+from repro.gpm.decompose import decomposition_cost, spanning_tree
+
+QNodeId = Hashable
+
+
+class UndirectedTreeQuery:
+    """An unrooted, node-labeled tree pattern.
+
+    Internally a :class:`QueryGraph` that must be acyclic; ``rooted_at``
+    produces the directed :class:`QueryTree` for any chosen root.
+    """
+
+    def __init__(
+        self,
+        labels: Mapping[QNodeId, object],
+        edges: Iterable[tuple[QNodeId, QNodeId]],
+    ) -> None:
+        self.graph = QueryGraph(labels, edges)
+        if self.graph.num_edges != self.graph.num_nodes - 1:
+            raise QueryError("an undirected tree query must be acyclic")
+
+    def rooted_at(self, root: QNodeId) -> QueryTree:
+        """The directed rooting of this tree at ``root``."""
+        tree, non_tree = spanning_tree(self.graph, root=root)
+        assert not non_tree  # acyclic by construction
+        return tree
+
+    def rootings(self) -> list[QueryTree]:
+        """All possible rootings, in deterministic node order."""
+        return [self.rooted_at(u) for u in sorted(self.graph.nodes(), key=repr)]
+
+
+def select_root(
+    query: UndirectedTreeQuery, closure: TransitiveClosure
+) -> QueryTree:
+    """Pick the rooting with the smallest expected run-time graph.
+
+    The estimator sums, over the rooted tree's (directed) edges, the
+    closure-edge counts of the corresponding label pairs — exactly the
+    number of closure entries the run-time graph identification loads.
+    """
+    counts = closure.same_type_statistics()
+    best_tree = None
+    best_cost = None
+    for tree in query.rootings():
+        cost = decomposition_cost((tree, []), counts)
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_tree = tree
+    assert best_tree is not None
+    return best_tree
+
+
+def undirected_top_k(
+    graph: LabeledDiGraph,
+    query: UndirectedTreeQuery,
+    k: int,
+    store: ClosureStore | None = None,
+    root: QNodeId | None = None,
+) -> list[Match]:
+    """Top-k matches of an undirected tree query over an undirected graph.
+
+    The data graph is bidirected (Section 5); the query is rooted either
+    at ``root`` or by :func:`select_root`, and Topk-EN runs on the result.
+    The returned assignments and scores are root-invariant.
+    """
+    if store is None:
+        bidirected = graph.bidirected()
+        store = ClosureStore.build(bidirected)
+    if root is not None:
+        tree = query.rooted_at(root)
+    else:
+        tree = select_root(query, store.closure)
+    return TopkEN(store, tree).top_k(k)

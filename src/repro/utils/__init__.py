@@ -1,0 +1,6 @@
+"""Small reusable utilities (heaps, RNG helpers) shared across subpackages."""
+
+from repro.utils.heap import LazyDeletionHeap, TieBreakHeap
+from repro.utils.rng import make_rng, zipf_weights
+
+__all__ = ["LazyDeletionHeap", "TieBreakHeap", "make_rng", "zipf_weights"]

@@ -1,0 +1,124 @@
+"""Heap utilities used by the enumeration algorithms.
+
+Two small wrappers around :mod:`heapq`:
+
+* :class:`TieBreakHeap` — a min-heap of ``(key, payload)`` pairs that never
+  compares payloads (it inserts a monotone sequence number between the key
+  and the payload), so payloads need not be orderable.
+* :class:`LazyDeletionHeap` — a min-heap keyed by an external, mutable key
+  per item.  Stale entries (whose key changed since insertion) are skipped
+  on pop.  This is the standard "lazy decrease-key" idiom used for the
+  global priority queue ``Qg`` of Algorithm 2/3, where ``lb`` values of
+  queued nodes are updated as edges are loaded.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterator
+
+
+class TieBreakHeap:
+    """Min-heap of ``(key, payload)`` pairs with stable tie-breaking.
+
+    Payloads are never compared; ties on the key pop in insertion order.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[Any, int, Any]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, key: Any, payload: Any) -> None:
+        """Insert ``payload`` with priority ``key``."""
+        heapq.heappush(self._heap, (key, next(self._counter), payload))
+
+    def pop(self) -> tuple[Any, Any]:
+        """Remove and return the ``(key, payload)`` pair with minimal key."""
+        key, _, payload = heapq.heappop(self._heap)
+        return key, payload
+
+    def peek(self) -> tuple[Any, Any]:
+        """Return (without removing) the minimal ``(key, payload)`` pair."""
+        key, _, payload = self._heap[0]
+        return key, payload
+
+    def peek_key(self) -> Any:
+        """Return the minimal key without removing its entry."""
+        return self._heap[0][0]
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Iterate over ``(key, payload)`` pairs in arbitrary (heap) order."""
+        for key, _, payload in self._heap:
+            yield key, payload
+
+
+class LazyDeletionHeap:
+    """Min-heap with mutable per-item keys and lazy invalidation.
+
+    The current key of an item is obtained through ``key_of`` (a callable
+    supplied at construction).  :meth:`push` records the key at insertion
+    time; :meth:`pop` and :meth:`peek` silently discard entries whose
+    recorded key no longer matches the current key — the caller re-pushes an
+    item whenever its key changes (in either direction).  This supports both
+    decrease-key and increase-key updates with plain :mod:`heapq`.
+    """
+
+    def __init__(self, key_of: Callable[[Any], Any]) -> None:
+        self._key_of = key_of
+        self._heap: list[tuple[Any, int, Any]] = []
+        self._counter = itertools.count()
+        self._live: dict[int, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __bool__(self) -> bool:
+        return bool(self._live)
+
+    def push(self, item: Any) -> None:
+        """Insert ``item`` (or refresh its key after an update)."""
+        key = self._key_of(item)
+        self._live[id(item)] = key
+        heapq.heappush(self._heap, (key, next(self._counter), item))
+
+    def discard(self, item: Any) -> None:
+        """Remove ``item`` from the heap (lazily)."""
+        self._live.pop(id(item), None)
+
+    def _skim(self) -> None:
+        """Drop stale heap entries from the front."""
+        heap = self._heap
+        while heap:
+            key, _, item = heap[0]
+            live_key = self._live.get(id(item), _MISSING)
+            if live_key is _MISSING or live_key != key:
+                heapq.heappop(heap)
+            else:
+                return
+
+    def peek(self) -> tuple[Any, Any]:
+        """Return the live minimal ``(key, item)`` pair without removing it."""
+        self._skim()
+        key, _, item = self._heap[0]
+        return key, item
+
+    def pop(self) -> tuple[Any, Any]:
+        """Remove and return the live minimal ``(key, item)`` pair."""
+        self._skim()
+        key, _, item = heapq.heappop(self._heap)
+        del self._live[id(item)]
+        return key, item
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()

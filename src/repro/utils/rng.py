@@ -1,0 +1,33 @@
+"""Deterministic randomness helpers for workload generation."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+
+def make_rng(seed: int | random.Random | None) -> random.Random:
+    """Return a :class:`random.Random` from a seed, an RNG, or ``None``.
+
+    Passing an existing RNG returns it unchanged so composed generators can
+    share a stream; passing an int (or ``None``) creates a fresh stream.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def zipf_weights(n: int, exponent: float = 1.0) -> list[float]:
+    """Return unnormalized Zipf weights ``1/rank**exponent`` for ``n`` ranks.
+
+    Used to draw skewed label distributions (a few hot venue labels, a long
+    tail of rare ones) for the DBLP-like citation workload.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return [1.0 / (rank ** exponent) for rank in range(1, n + 1)]
+
+
+def weighted_choice(rng: random.Random, items: Sequence, weights: Sequence[float]):
+    """Draw one item according to ``weights`` using the supplied RNG."""
+    return rng.choices(items, weights=weights, k=1)[0]

@@ -1,0 +1,33 @@
+"""Workload builders: the paper's datasets and query sets, scaled down."""
+
+from repro.workloads.datasets import (
+    DEFAULT_SCALE,
+    PAPER_GD_SIZES,
+    PAPER_GS_SIZES,
+    DatasetSpec,
+    build_dataset,
+    dataset_spec,
+    default_real_dataset,
+    default_synthetic_dataset,
+)
+from repro.workloads.queries import (
+    kgpm_query_suite,
+    query_set,
+    random_query_graph,
+    random_query_tree,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "dataset_spec",
+    "build_dataset",
+    "default_real_dataset",
+    "default_synthetic_dataset",
+    "DEFAULT_SCALE",
+    "PAPER_GD_SIZES",
+    "PAPER_GS_SIZES",
+    "random_query_tree",
+    "query_set",
+    "random_query_graph",
+    "kgpm_query_suite",
+]

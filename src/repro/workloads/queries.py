@@ -1,0 +1,179 @@
+"""Query-set generation (Section 6, "Query Set").
+
+The paper generates, per data graph, query sets ``T10..T100`` of rooted
+trees that are *subtrees of the run-time graph* extracted by random walks,
+so every query has at least one match.  :func:`random_query_tree` samples
+such a tree from the transitive closure: starting at a random node, it
+repeatedly attaches closure successors of already-picked nodes, keeping
+labels distinct (the base setting) or allowing duplicates (Eval-IV).
+
+kGPM query graphs ``Q1..Q4`` (Figure 9) are sampled the same way and then
+densified with extra edges between mapped nodes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.closure.transitive import TransitiveClosure
+from repro.exceptions import QueryError
+from repro.graph.digraph import LabeledDiGraph, NodeId
+from repro.graph.query import QueryGraph, QueryTree
+from repro.utils.rng import make_rng
+
+
+def random_query_tree(
+    closure: TransitiveClosure,
+    size: int,
+    distinct_labels: bool = True,
+    seed: int | random.Random | None = 0,
+    max_attempts: int = 200,
+    locality: float = 4.0,
+) -> QueryTree:
+    """Extract a realizable rooted tree query of ``size`` nodes.
+
+    Walks the closure: a random start node becomes the root; children are
+    attached by sampling closure successors of already-embedded nodes,
+    weighted toward *near* successors (probability proportional to
+    ``1 / distance**locality``) — real twig workloads relate closely linked
+    entities, and this keeps the embedding's score close to the best
+    match's, as in the paper's random-walk extraction over the run-time
+    graph.  ``locality=0`` gives the uniform walk.
+
+    With ``distinct_labels=True`` every tree node gets a fresh label (the
+    paper's base setting); otherwise labels may repeat (general twig
+    queries, Eval-IV).  Raises :class:`QueryError` when the graph cannot
+    support a tree of the requested size.
+    """
+    if size < 1:
+        raise QueryError(f"query size must be >= 1, got {size}")
+    rng = make_rng(seed)
+    graph = closure.graph
+    nodes = sorted(graph.nodes(), key=repr)
+    if not nodes:
+        raise QueryError("data graph is empty")
+
+    for _ in range(max_attempts):
+        tree = _try_extract_tree(
+            closure, graph, nodes, size, distinct_labels, rng, locality
+        )
+        if tree is not None:
+            return tree
+    raise QueryError(
+        f"could not extract a size-{size} query tree "
+        f"(distinct_labels={distinct_labels}) after {max_attempts} attempts"
+    )
+
+
+def _try_extract_tree(
+    closure: TransitiveClosure,
+    graph: LabeledDiGraph,
+    nodes: list[NodeId],
+    size: int,
+    distinct_labels: bool,
+    rng: random.Random,
+    locality: float,
+) -> QueryTree | None:
+    start = rng.choice(nodes)
+    labels = {0: graph.label(start)}
+    edges: list[tuple[int, int]] = []
+    embedded: list[NodeId] = [start]
+    used_labels = {graph.label(start)}
+    stuck = 0
+    while len(embedded) < size and stuck < 10 * size + 20:
+        parent_index = rng.randrange(len(embedded))
+        succ = closure.successors(embedded[parent_index])
+        if not succ:
+            stuck += 1
+            continue
+        candidates = sorted(succ.items(), key=lambda kv: repr(kv[0]))
+        if locality > 0:
+            weights = [1.0 / (dist ** locality) for _, dist in candidates]
+            child = rng.choices([n for n, _ in candidates], weights=weights, k=1)[0]
+        else:
+            child = rng.choice([n for n, _ in candidates])
+        child_label = graph.label(child)
+        if distinct_labels and child_label in used_labels:
+            stuck += 1
+            continue
+        index = len(embedded)
+        embedded.append(child)
+        labels[index] = child_label
+        used_labels.add(child_label)
+        edges.append((parent_index, index))
+        stuck = 0
+    if len(embedded) < size:
+        return None
+    return QueryTree(labels, edges)
+
+
+def query_set(
+    closure: TransitiveClosure,
+    size: int,
+    count: int,
+    distinct_labels: bool = True,
+    seed: int = 0,
+) -> list[QueryTree]:
+    """The paper's ``T<size>`` query set: ``count`` random trees.
+
+    (The paper uses 100 trees per set; benchmarks here default to fewer to
+    stay laptop-scale — the count is a parameter.)
+    """
+    rng = make_rng(seed)
+    return [
+        random_query_tree(closure, size, distinct_labels=distinct_labels, seed=rng)
+        for _ in range(count)
+    ]
+
+
+def random_query_graph(
+    closure: TransitiveClosure,
+    size: int,
+    extra_edges: int = 1,
+    seed: int | random.Random | None = 0,
+    max_attempts: int = 200,
+) -> QueryGraph:
+    """Sample a connected kGPM query graph with ``size`` nodes.
+
+    A realizable tree skeleton is extracted first (over the bidirected
+    closure semantics used by kGPM), then up to ``extra_edges`` additional
+    edges are added between embedded nodes that are mutually reachable, so
+    the graph pattern stays satisfiable.
+    """
+    rng = make_rng(seed)
+    tree = random_query_tree(
+        closure, size, distinct_labels=True, seed=rng, max_attempts=max_attempts
+    )
+    labels = {u: tree.label(u) for u in tree.nodes()}
+    edges = [(p, c) for p, c, _ in tree.edges()]
+    node_list = list(tree.nodes())
+    existing = {frozenset(e) for e in edges}
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < 20 * (extra_edges + 1):
+        attempts += 1
+        u, v = rng.sample(node_list, 2)
+        key = frozenset((u, v))
+        if key in existing:
+            continue
+        existing.add(key)
+        edges.append((u, v))
+        added += 1
+    return QueryGraph(labels, edges)
+
+
+def kgpm_query_suite(
+    closure: TransitiveClosure, seed: int = 0
+) -> dict[str, QueryGraph]:
+    """The Figure 9 suite ``Q1..Q4``: growing size and edge density."""
+    rng = make_rng(seed)
+    shapes = {
+        "Q1": (4, 1),
+        "Q2": (5, 1),
+        "Q3": (6, 2),
+        "Q4": (7, 2),
+    }
+    return {
+        name: random_query_graph(closure, size, extra_edges=extra, seed=rng)
+        for name, (size, extra) in shapes.items()
+    }

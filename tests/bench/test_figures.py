@@ -1,0 +1,53 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.bench.figures import _log_fraction, print_bars, render_bars
+
+
+class TestLogFraction:
+    def test_endpoints(self):
+        assert _log_fraction(1.0, 1.0, 100.0) == 0.0
+        assert _log_fraction(100.0, 1.0, 100.0) == 1.0
+
+    def test_midpoint(self):
+        assert _log_fraction(10.0, 1.0, 100.0) == pytest.approx(0.5)
+
+    def test_clamping(self):
+        assert _log_fraction(0.001, 1.0, 100.0) == 0.0
+        assert _log_fraction(1e9, 1.0, 100.0) == 1.0
+
+    def test_nonpositive_value(self):
+        assert _log_fraction(0.0, 1.0, 100.0) == 0.0
+
+    def test_degenerate_range(self):
+        assert _log_fraction(5.0, 5.0, 5.0) == 0.0
+
+
+class TestRenderBars:
+    def test_contains_all_series_and_values(self):
+        text = render_bars(
+            {"fast": [0.01, 0.02], "slow": [1.0, 2.0]}, ["k=10", "k=20"]
+        )
+        assert "fast" in text and "slow" in text
+        assert "k=10:" in text and "k=20:" in text
+        assert "2s" in text
+
+    def test_longer_bar_for_larger_value(self):
+        text = render_bars({"a": [0.01], "b": [10.0]}, ["x"])
+        lines = [l for l in text.splitlines() if "|" in l]
+        bar_a = lines[0].split("|")[1].count("#")
+        bar_b = lines[1].split("|")[1].count("#")
+        assert bar_b > bar_a
+
+    def test_missing_values_render_dash(self):
+        text = render_bars({"a": [None, 1.0]}, ["x", "y"])
+        assert " -" in text
+
+    def test_all_nonpositive(self):
+        assert "no positive values" in render_bars({"a": [0.0]}, ["x"])
+
+    def test_print_bars(self, capsys):
+        print_bars({"a": [1.0]}, ["x"], title="demo")
+        out = capsys.readouterr().out
+        assert "demo" in out and "#" in out

@@ -1,0 +1,96 @@
+"""Tests for label-constrained closure pre-computation."""
+
+import random
+
+import pytest
+
+from repro.closure.constrained import (
+    constrained_closure,
+    constrained_sources,
+    constrained_store,
+    tail_labels_of_queries,
+)
+from repro.closure.store import ClosureStore
+from repro.closure.transitive import TransitiveClosure
+from repro.core.topk import TopkEnumerator
+from repro.core.topk_en import TopkEN
+from repro.graph.digraph import graph_from_edges
+from repro.graph.generators import citation_graph
+from repro.graph.query import WILDCARD, QueryTree
+from repro.runtime.graph import build_runtime_graph
+from repro.workloads import random_query_tree
+
+
+class TestTailLabels:
+    def test_non_leaf_labels_collected(self):
+        q = QueryTree({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        assert tail_labels_of_queries([q]) == {"a", "b"}
+
+    def test_union_over_queries(self):
+        q1 = QueryTree({0: "a", 1: "b"}, [(0, 1)])
+        q2 = QueryTree({0: "x", 1: "y"}, [(0, 1)])
+        assert tail_labels_of_queries([q1, q2]) == {"a", "x"}
+
+    def test_wildcard_tail_disables_restriction(self):
+        q = QueryTree({0: "a", 1: WILDCARD, 2: "c"}, [(0, 1), (1, 2)])
+        assert tail_labels_of_queries([q]) is None
+
+    def test_wildcard_leaf_is_fine(self):
+        q = QueryTree({0: "a", 1: WILDCARD}, [(0, 1)])
+        assert tail_labels_of_queries([q]) == {"a"}
+
+
+class TestConstrainedSources:
+    def test_sources_match_labels(self, figure4_graph):
+        q = QueryTree({0: "c", 1: "d"}, [(0, 1)])
+        sources = constrained_sources(figure4_graph, [q])
+        assert sources == ["v3", "v4", "v5", "v6"]
+
+    def test_wildcard_returns_none(self, figure4_graph):
+        q = QueryTree({0: "a", 1: WILDCARD, 2: "d"}, [(0, 1), (1, 2)])
+        assert constrained_sources(figure4_graph, [q]) is None
+
+
+class TestEquivalence:
+    def test_same_results_for_covered_queries(self, figure4_graph, figure4_query):
+        full = ClosureStore.build(figure4_graph)
+        small = constrained_store(figure4_graph, [figure4_query])
+        assert small.closure.is_partial
+        want = [
+            m.score
+            for m in TopkEnumerator(
+                build_runtime_graph(full, figure4_query)
+            ).top_k(4)
+        ]
+        got_topk = [
+            m.score
+            for m in TopkEnumerator(
+                build_runtime_graph(small, figure4_query)
+            ).top_k(4)
+        ]
+        got_en = [m.score for m in TopkEN(small, figure4_query).top_k(4)]
+        assert got_topk == got_en == want == [3, 4, 5, 6]
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_randomized_equivalence(self, seed):
+        g = citation_graph(250, num_labels=25, seed=seed)
+        closure = TransitiveClosure(g)
+        query = random_query_tree(closure, 5, seed=seed)
+        full = ClosureStore(g, closure)
+        small = constrained_store(g, [query])
+        want = [m.score for m in TopkEN(full, query).top_k(10)]
+        got = [m.score for m in TopkEN(small, query).top_k(10)]
+        assert got == want
+
+    def test_closure_is_smaller(self):
+        g = citation_graph(300, num_labels=30, seed=3)
+        closure = TransitiveClosure(g)
+        query = random_query_tree(closure, 4, seed=1)
+        small = constrained_closure(g, [query])
+        assert small.num_pairs < closure.num_pairs
+
+    def test_wildcard_falls_back_to_full(self):
+        g = graph_from_edges({"x": "a", "y": "b"}, [("x", "y")])
+        q = QueryTree({0: "a", 1: WILDCARD, 2: "b"}, [(0, 1), (1, 2)])
+        closure = constrained_closure(g, [q])
+        assert not closure.is_partial

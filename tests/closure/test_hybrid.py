@@ -1,0 +1,98 @@
+"""Tests for the hybrid hot/cold closure store."""
+
+import random
+
+import pytest
+
+from repro.closure.hybrid import HybridStore
+from repro.closure.store import ClosureStore
+from repro.core.topk_en import TopkEN
+from repro.exceptions import ClosureError
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.query import QueryTree
+
+
+class TestConstruction:
+    def test_hot_fraction_bounds(self, figure4_graph):
+        with pytest.raises(ClosureError):
+            HybridStore(figure4_graph, hot_fraction=-0.1)
+        with pytest.raises(ClosureError):
+            HybridStore(figure4_graph, hot_fraction=1.5)
+
+    def test_extreme_fractions(self, figure4_graph):
+        cold = HybridStore(figure4_graph, hot_fraction=0.0)
+        hot = HybridStore(figure4_graph, hot_fraction=1.0)
+        assert len(cold.hot_pairs) == 0
+        stats = hot.storage_statistics()
+        assert stats["hot_pairs"] == stats["total_pairs"]
+        assert stats["hot_storage_fraction"] == 1.0
+
+    def test_hot_pairs_are_the_biggest(self, figure4_graph):
+        store = HybridStore(figure4_graph, hot_fraction=0.3)
+        counts = store._materialized.closure.same_type_statistics()
+        if not store.hot_pairs:
+            pytest.skip("fraction too small for this graph")
+        coldest_hot = min(counts[p] for p in store.hot_pairs)
+        hottest_cold = max(
+            (c for p, c in counts.items() if p not in store.hot_pairs),
+            default=0,
+        )
+        assert coldest_hot >= hottest_cold
+
+
+class TestTableEquivalence:
+    @pytest.mark.parametrize("fraction", [0.0, 0.4, 1.0])
+    def test_groups_match_materialized(self, figure4_graph, fraction):
+        hybrid = HybridStore(figure4_graph, hot_fraction=fraction, block_size=2)
+        full = ClosureStore.build(figure4_graph, block_size=2)
+        for head in ("v7", "v5"):
+            for alpha in ("a", "c"):
+                assert (
+                    hybrid.incoming_group(head, alpha).peek_unmetered()
+                    == full.incoming_group(head, alpha).peek_unmetered()
+                )
+
+    def test_d_and_e_tables_match(self, figure4_graph):
+        hybrid = HybridStore(figure4_graph, hot_fraction=0.5)
+        full = ClosureStore.build(figure4_graph)
+        assert hybrid.read_d_table("c", "d") == full.read_d_table("c", "d")
+        assert hybrid.read_e_table("c", "d") == full.read_e_table("c", "d")
+
+    def test_distances(self, figure4_graph):
+        hybrid = HybridStore(figure4_graph, hot_fraction=0.5)
+        assert hybrid.distance("v1", "v7") == 2
+        assert hybrid.distance("v7", "v1") is None
+        assert hybrid.has_direct_edge("v1", "v2")
+
+
+class TestEnginesOverHybrid:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_topk_en_agrees_at_any_fraction(self, seed):
+        rng = random.Random(seed)
+        g = erdos_renyi_graph(
+            rng.randint(6, 13), rng.randint(8, 30), num_labels=4, seed=seed
+        )
+        labels = sorted(g.labels())
+        rng.shuffle(labels)
+        size = min(len(labels), rng.randint(2, 4))
+        q = QueryTree(
+            {i: labels[i] for i in range(size)},
+            [(rng.randrange(i), i) for i in range(1, size)],
+        )
+        reference = [
+            m.score for m in TopkEN(ClosureStore.build(g), q).top_k(10)
+        ]
+        for fraction in (0.0, 0.3, 1.0):
+            hybrid = HybridStore(g, hot_fraction=fraction, block_size=4)
+            got = [m.score for m in TopkEN(hybrid, q).top_k(10)]
+            assert got == reference, (seed, fraction)
+
+    def test_storage_fraction_sublinear(self):
+        # Hot lists concentrate storage: 20% of pairs should hold well
+        # over 20% of the entries on a skewed citation graph.
+        from repro.graph.generators import citation_graph
+
+        g = citation_graph(400, num_labels=25, seed=2)
+        hybrid = HybridStore(g, hot_fraction=0.2)
+        stats = hybrid.storage_statistics()
+        assert stats["hot_storage_fraction"] > 0.4

@@ -1,0 +1,76 @@
+"""Tests for pruned landmark labeling (2-hop distance index)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.closure.pll import PrunedLandmarkIndex
+from repro.closure.transitive import TransitiveClosure
+from repro.graph.digraph import graph_from_edges
+from repro.graph.generators import citation_graph, erdos_renyi_graph
+
+
+class TestSmallGraphs:
+    def test_chain(self):
+        g = graph_from_edges({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        pll = PrunedLandmarkIndex(g)
+        assert pll.distance(0, 2) == 2
+        assert pll.distance(2, 0) is None
+        assert pll.distance(0, 0) is None
+
+    def test_cycle_self_distance(self):
+        g = graph_from_edges(
+            {0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (2, 0)]
+        )
+        pll = PrunedLandmarkIndex(g)
+        assert pll.distance(0, 0) == 3
+        assert pll.distance(1, 1) == 3
+
+    def test_weighted(self):
+        g = graph_from_edges(
+            {0: "a", 1: "b", 2: "c"},
+            [(0, 1, 5), (0, 2, 1), (2, 1, 2)],
+        )
+        pll = PrunedLandmarkIndex(g)
+        assert pll.distance(0, 1) == 3
+
+    def test_custom_order(self):
+        g = graph_from_edges({0: "a", 1: "b"}, [(0, 1)])
+        pll = PrunedLandmarkIndex(g, order=[1, 0])
+        assert pll.distance(0, 1) == 1
+
+
+class TestAgreementWithClosure:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_unit(self, seed):
+        g = erdos_renyi_graph(20, 55, seed=seed)
+        tc = TransitiveClosure(g)
+        pll = PrunedLandmarkIndex(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert pll.distance(u, v) == tc.distance(u, v), (u, v)
+
+    @given(st.integers(0, 100_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_weighted_property(self, seed):
+        rng = random.Random(seed)
+        base = erdos_renyi_graph(rng.randint(4, 14), rng.randint(4, 30), seed=seed)
+        g = graph_from_edges(
+            {v: base.label(v) for v in base.nodes()},
+            [(t, h, rng.randint(1, 4)) for t, h, _ in base.edges()],
+        )
+        tc = TransitiveClosure(g)
+        pll = PrunedLandmarkIndex(g)
+        for u in g.nodes():
+            for v in g.nodes():
+                assert pll.distance(u, v) == tc.distance(u, v), (u, v)
+
+    def test_index_smaller_than_closure_on_dag(self):
+        g = citation_graph(400, seed=1)
+        tc = TransitiveClosure(g)
+        pll = PrunedLandmarkIndex(g)
+        # The 2-hop cover should undercut the materialized closure —
+        # that is its entire purpose (Section 5, "Managing Closure Size").
+        assert pll.index_size() < tc.num_pairs

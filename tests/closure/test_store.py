@@ -1,0 +1,145 @@
+"""Tests for the block-organized closure store (L/D/E tables)."""
+
+import pytest
+
+from repro.closure.store import ClosureStore
+from repro.closure.transitive import TransitiveClosure
+from repro.graph.digraph import graph_from_edges
+
+
+@pytest.fixture
+def store(figure4_graph):
+    return ClosureStore(
+        figure4_graph, TransitiveClosure(figure4_graph), block_size=2
+    )
+
+
+class TestLGroups:
+    def test_incoming_group_sorted_by_distance(self, store):
+        table = store.incoming_group("v7", "c")
+        entries = table.read_all()
+        assert [tail for tail, _, __ in entries] == ["v5", "v6", "v3", "v4"]
+        assert [dist for _, dist, __ in entries] == [1, 2, 3, 4]
+
+    def test_incoming_group_direct_flags(self, store):
+        entries = store.incoming_group("v7", "a").read_all()
+        # v1 reaches v7 only through c-nodes: not a direct edge.
+        assert entries == (("v1", 2, False),)
+
+    def test_missing_group_is_empty(self, store):
+        assert store.incoming_group("v1", "d").read_all() == ()
+
+    def test_wildcard_group_merges_labels(self, store):
+        entries = store.incoming_group("v7", None).read_all()
+        tails = [tail for tail, _, __ in entries]
+        assert "v1" in tails and "v5" in tails
+        dists = [d for _, d, __ in entries]
+        assert dists == sorted(dists)
+
+    def test_group_open_metered(self, store):
+        before = store.counter.tables_opened
+        store.incoming_group("v7", "c")
+        assert store.counter.tables_opened == before + 1
+
+
+class TestPairTables:
+    def test_read_pair_table(self, store):
+        triples = sorted(store.read_pair_table("c", "d"))
+        assert triples == [
+            ("v3", "v7", 3),
+            ("v4", "v7", 4),
+            ("v5", "v7", 1),
+            ("v6", "v7", 2),
+        ]
+
+    def test_read_pair_table_direct_only(self, store):
+        # a -> d only via paths, so the direct-only view is empty.
+        assert list(store.read_pair_table("a", "d", direct_only=True)) == []
+        direct = sorted(store.read_pair_table("a", "c", direct_only=True))
+        assert len(direct) == 4
+
+    def test_read_pair_table_meters_blocks(self, store):
+        before = store.counter.blocks_read
+        list(store.read_pair_table("c", "d"))
+        assert store.counter.blocks_read > before
+
+    def test_wildcard_tail(self, store):
+        triples = list(store.read_pair_table(None, "d"))
+        tails = {t for t, _, __ in triples}
+        assert tails == {"v1", "v3", "v4", "v5", "v6"}
+
+
+class TestDTables:
+    def test_d_values_are_group_minima(self, store):
+        d = store.read_d_table("c", "d")
+        assert d == {"v7": 1}
+        d2 = store.read_d_table("a", "c")
+        assert d2 == {"v3": 1, "v4": 1, "v5": 1, "v6": 1}
+
+    def test_d_wildcard_merges_min(self, store):
+        d = store.read_d_table(None, "d")
+        assert d["v7"] == 1
+
+    def test_missing_pair_empty(self, store):
+        assert store.read_d_table("d", "a") == {}
+
+
+class TestETables:
+    def test_e_minimum_outgoing(self, store):
+        e = dict(
+            (tail, (head, dist))
+            for tail, head, dist in store.read_e_table("c", "d")
+        )
+        assert e == {
+            "v3": ("v7", 3),
+            "v4": ("v7", 4),
+            "v5": ("v7", 1),
+            "v6": ("v7", 2),
+        }
+
+    def test_e_wildcard_head_takes_overall_min(self, store):
+        rows = {t: (h, d) for t, h, d in store.read_e_table("v_label_x", None)}
+        assert rows == {}  # unknown tail label
+        rows = {t: (h, d) for t, h, d in store.read_e_table("a", None)}
+        # v1's global minimum outgoing closure edge has distance 1.
+        assert rows["v1"][1] == 1
+
+
+class TestStatistics:
+    def test_size_statistics(self, store):
+        stats = store.size_statistics()
+        closure = store.closure
+        assert stats["l_entries"] == closure.num_pairs
+        assert stats["total_entries"] == (
+            stats["l_entries"] + stats["d_entries"] + stats["e_entries"]
+        )
+        assert store.estimated_bytes() == stats["total_entries"] * 12
+
+    def test_estimated_bytes_validation(self, store):
+        from repro.exceptions import ClosureError
+
+        with pytest.raises(ClosureError):
+            store.estimated_bytes(0)
+
+    def test_group_targets(self, store):
+        assert store.group_targets("c", "d") == ["v7"]
+        assert set(store.group_targets("a", None)) >= {"v3", "v7"}
+
+    def test_tail_labels_of(self, store):
+        assert store.tail_labels_of("v7") == frozenset({"a", "c"})
+
+
+class TestDistanceProbes:
+    def test_distance(self, store):
+        assert store.distance("v1", "v7") == 2
+        assert store.distance("v7", "v1") is None
+
+    def test_has_direct_edge(self, store):
+        assert store.has_direct_edge("v1", "v5")
+        assert not store.has_direct_edge("v1", "v7")
+
+
+def test_store_builds_without_precomputed_closure():
+    g = graph_from_edges({0: "a", 1: "b"}, [(0, 1)])
+    store = ClosureStore.build(g)
+    assert store.distance(0, 1) == 1

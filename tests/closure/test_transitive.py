@@ -1,0 +1,130 @@
+"""Tests for transitive-closure computation."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.closure.transitive import TransitiveClosure
+from repro.exceptions import ClosureError
+from repro.graph.digraph import graph_from_edges
+from repro.graph.generators import erdos_renyi_graph
+
+
+def chain_graph():
+    return graph_from_edges(
+        {0: "a", 1: "b", 2: "c"}, [(0, 1, 2), (1, 2, 3)]
+    )
+
+
+class TestBasics:
+    def test_chain(self):
+        tc = TransitiveClosure(chain_graph())
+        assert tc.distance(0, 1) == 2
+        assert tc.distance(0, 2) == 5
+        assert tc.distance(2, 0) is None
+        assert tc.num_pairs == 3
+
+    def test_successors(self):
+        tc = TransitiveClosure(chain_graph())
+        assert dict(tc.successors(0)) == {1: 2, 2: 5}
+        assert dict(tc.successors(2)) == {}
+
+    def test_pairs_iteration(self):
+        tc = TransitiveClosure(chain_graph())
+        assert sorted(tc.pairs()) == [(0, 1, 2), (0, 2, 5), (1, 2, 3)]
+
+    def test_pairs_with_labels(self):
+        tc = TransitiveClosure(chain_graph())
+        rows = sorted(tc.pairs_with_labels())
+        assert rows[0] == (0, "a", 1, "b", 2)
+
+    def test_build_seconds_recorded(self):
+        tc = TransitiveClosure(chain_graph())
+        assert tc.build_seconds >= 0.0
+
+
+class TestPartialClosure:
+    def test_restricted_sources(self):
+        tc = TransitiveClosure(chain_graph(), sources=[0])
+        assert tc.is_partial
+        assert tc.distance(0, 2) == 5
+        with pytest.raises(ClosureError):
+            tc.distance(1, 2)
+        with pytest.raises(ClosureError):
+            tc.successors(1)
+
+
+class TestTypeStatistics:
+    def test_same_type_counts(self):
+        g = graph_from_edges(
+            {0: "a", 1: "a", 2: "b"}, [(0, 2), (1, 2)]
+        )
+        tc = TransitiveClosure(g)
+        assert tc.same_type_statistics() == {("a", "b"): 2}
+        assert tc.average_theta() == 2.0
+
+    def test_empty_graph_theta(self):
+        g = graph_from_edges({0: "a"}, [])
+        tc = TransitiveClosure(g)
+        assert tc.average_theta() == 0.0
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_unit_weight_agreement(self, seed):
+        g = erdos_renyi_graph(25, 70, seed=seed)
+        tc = TransitiveClosure(g)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(g.nodes())
+        nxg.add_edges_from((t, h) for t, h, _ in g.edges())
+        lengths = dict(nx.all_pairs_shortest_path_length(nxg))
+        for u in g.nodes():
+            for v in g.nodes():
+                expected = lengths.get(u, {}).get(v)
+                if u == v:
+                    # networkx reports 0 for the empty path; the closure
+                    # wants the shortest non-empty cycle instead.
+                    continue
+                assert tc.distance(u, v) == expected, (u, v)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_weighted_agreement(self, seed):
+        rng = random.Random(seed)
+        g = erdos_renyi_graph(rng.randint(4, 15), rng.randint(4, 35), seed=seed)
+        # Randomize weights.
+        weighted = graph_from_edges(
+            {v: g.label(v) for v in g.nodes()},
+            [(t, h, rng.randint(1, 5)) for t, h, _ in g.edges()],
+        )
+        tc = TransitiveClosure(weighted)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(weighted.nodes())
+        nxg.add_weighted_edges_from(weighted.edges())
+        for u in weighted.nodes():
+            lengths = nx.single_source_dijkstra_path_length(nxg, u)
+            for v in weighted.nodes():
+                if u == v:
+                    continue
+                assert tc.distance(u, v) == lengths.get(v), (u, v)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_self_cycle_distances(self, seed):
+        g = erdos_renyi_graph(12, 40, seed=seed + 40)
+        tc = TransitiveClosure(g)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(g.nodes())
+        nxg.add_edges_from((t, h) for t, h, _ in g.edges())
+        for v in g.nodes():
+            best = None
+            for w in nxg.successors(v):
+                try:
+                    cand = 1 + nx.shortest_path_length(nxg, w, v)
+                except nx.NetworkXNoPath:
+                    continue
+                if best is None or cand < best:
+                    best = cand
+            assert tc.distance(v, v) == best, v

@@ -1,0 +1,120 @@
+"""Shared fixtures: small deterministic graphs and paper worked examples."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.closure.store import ClosureStore
+from repro.closure.transitive import TransitiveClosure
+from repro.graph.digraph import LabeledDiGraph, graph_from_edges
+from repro.graph.query import QueryTree
+
+
+@pytest.fixture
+def diamond_graph() -> LabeledDiGraph:
+    """a -> {b1, b2} -> c, with distinct shortest distances."""
+    return graph_from_edges(
+        {"a0": "a", "b1": "b", "b2": "b", "c0": "c"},
+        [("a0", "b1", 1), ("a0", "b2", 2), ("b1", "c0", 1), ("b2", "c0", 1)],
+    )
+
+
+@pytest.fixture
+def figure4_graph() -> LabeledDiGraph:
+    """The run-time graph of the paper's Figure 4(b), as a data graph.
+
+    One root v1(a) with child v2(b) and four c-children v3..v6, all of
+    which reach the single leaf v7(d).  Weights are chosen to reproduce
+    the paper's L/H lists: H_{v1,c} = (v5, 2) and L_{v1,c} contains
+    (v6, 3), (v3, 4), (v4, 5).
+    """
+    return graph_from_edges(
+        {
+            "v1": "a",
+            "v2": "b",
+            "v3": "c",
+            "v4": "c",
+            "v5": "c",
+            "v6": "c",
+            "v7": "d",
+        },
+        [
+            ("v1", "v2", 1),
+            ("v1", "v3", 1),
+            ("v1", "v4", 1),
+            ("v1", "v5", 1),
+            ("v1", "v6", 1),
+            ("v3", "v7", 3),
+            ("v4", "v7", 4),
+            ("v5", "v7", 1),
+            ("v6", "v7", 2),
+        ],
+    )
+
+
+@pytest.fixture
+def figure4_query() -> QueryTree:
+    """The paper's Figure 4(a): u1(a) -> u2(b), u1 -> u3(c) -> u4(d)."""
+    return QueryTree(
+        {"u1": "a", "u2": "b", "u3": "c", "u4": "d"},
+        [("u1", "u2"), ("u1", "u3"), ("u3", "u4")],
+    )
+
+
+@pytest.fixture
+def figure1_graph() -> LabeledDiGraph:
+    """A patent-citation graph in the spirit of the paper's Figure 1(b).
+
+    Labels: C (computer science), E (economy), S (social science).  Edge
+    weights are all 1; v1 reaches both an E and an S patent directly,
+    giving the top-1 match score 2, while v2's best combination scores 3.
+    """
+    return graph_from_edges(
+        {
+            "v1": "C",
+            "v2": "C",
+            "v3": "C",
+            "v4": "S",
+            "v5": "E",
+            "v6": "E",
+            "v7": "S",
+        },
+        [
+            ("v1", "v4"),
+            ("v1", "v5"),
+            ("v2", "v5"),
+            ("v5", "v4"),
+            ("v2", "v6"),
+            ("v6", "v7"),
+            ("v3", "v6"),
+            ("v3", "v7"),
+        ],
+    )
+
+
+@pytest.fixture
+def figure1_query() -> QueryTree:
+    """Figure 1(a): a C-labeled root with E and S children (both ``//``)."""
+    return QueryTree({"uC": "C", "uE": "E", "uS": "S"}, [("uC", "uE"), ("uC", "uS")])
+
+
+def make_store(graph: LabeledDiGraph, block_size: int = 64) -> ClosureStore:
+    """Build a closure store (helper shared by many test modules)."""
+    return ClosureStore(graph, TransitiveClosure(graph), block_size=block_size)
+
+
+@pytest.fixture
+def store_factory():
+    """Factory fixture wrapping :func:`make_store`."""
+    return make_store
+
+
+def random_tree_query(rng: random.Random, labels: list, max_size: int = 5) -> QueryTree:
+    """A random query tree over the given label alphabet (test helper)."""
+    size = min(len(labels), rng.randint(2, max_size))
+    picked = rng.sample(labels, size)
+    nodes = {i: picked[i] for i in range(size)}
+    edges = [(rng.randrange(i), i) for i in range(1, size)]
+    return QueryTree(nodes, edges)

@@ -1,0 +1,99 @@
+"""Tests for the DP-B and DP-P baselines."""
+
+import pytest
+
+from repro.closure.store import ClosureStore
+from repro.closure.transitive import TransitiveClosure
+from repro.core.baseline_dp import DPBEnumerator, dpb_matches
+from repro.core.baseline_dpp import DPPEnumerator, dpp_matches
+from repro.graph.digraph import graph_from_edges
+from repro.graph.query import QueryTree
+from repro.runtime.graph import build_runtime_graph
+
+
+def make_store(graph, block_size=2):
+    return ClosureStore(graph, TransitiveClosure(graph), block_size=block_size)
+
+
+class TestDPB:
+    def test_figure4_sequence(self, figure4_graph, figure4_query):
+        store = make_store(figure4_graph)
+        gr = build_runtime_graph(store, figure4_query)
+        matches = dpb_matches(gr, 10)
+        assert [m.score for m in matches] == [3, 4, 5, 6]
+        assert [m.assignment["u3"] for m in matches] == ["v5", "v6", "v3", "v4"]
+
+    def test_top1_score(self, figure4_graph, figure4_query):
+        store = make_store(figure4_graph)
+        gr = build_runtime_graph(store, figure4_query)
+        assert DPBEnumerator(gr).top1_score() == 3
+
+    def test_no_match(self):
+        g = graph_from_edges({"x": "a", "y": "b"}, [("x", "y")])
+        q = QueryTree({0: "b", 1: "a"}, [(0, 1)])
+        gr = build_runtime_graph(make_store(g), q)
+        engine = DPBEnumerator(gr)
+        assert engine.top1_score() is None
+        assert engine.top_k(3) == []
+
+    def test_deep_ranks_at_inner_nodes(self):
+        # Force rank > 1 requests at inner node streams: two b-nodes each
+        # with two c-children of different weights.
+        g = graph_from_edges(
+            {"a0": "a", "b0": "b", "b1": "b", "c0": "c", "c1": "c"},
+            [
+                ("a0", "b0", 1),
+                ("a0", "b1", 1),
+                ("b0", "c0", 1),
+                ("b0", "c1", 4),
+                ("b1", "c0", 2),
+                ("b1", "c1", 3),
+            ],
+        )
+        q = QueryTree({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        gr = build_runtime_graph(make_store(g), q)
+        matches = dpb_matches(gr, 10)
+        assert [m.score for m in matches] == [2, 3, 4, 5]
+
+    def test_stream_replay(self, figure4_graph, figure4_query):
+        gr = build_runtime_graph(make_store(figure4_graph), figure4_query)
+        engine = DPBEnumerator(gr)
+        engine.top_k(2)
+        assert len(list(engine.stream())) == 4
+
+    def test_k_negative(self, figure4_graph, figure4_query):
+        gr = build_runtime_graph(make_store(figure4_graph), figure4_query)
+        with pytest.raises(ValueError):
+            DPBEnumerator(gr).top_k(-1)
+
+    def test_multi_child_combinations(self, figure1_graph, figure1_query):
+        gr = build_runtime_graph(make_store(figure1_graph), figure1_query)
+        matches = dpb_matches(gr, 100)
+        assert [m.score for m in matches] == [2, 2, 3, 3, 3, 3]
+
+
+class TestDPP:
+    def test_figure4_sequence(self, figure4_graph, figure4_query):
+        store = make_store(figure4_graph)
+        matches = dpp_matches(store, figure4_query, 10)
+        assert [m.score for m in matches] == [3, 4, 5, 6]
+
+    def test_uses_loose_bound(self, figure4_graph, figure4_query):
+        store = make_store(figure4_graph)
+        engine = DPPEnumerator(store, figure4_query)
+        assert engine.bound == "loose"
+
+    def test_rescan_runs_every_round(self, figure4_graph, figure4_query):
+        store = make_store(figure4_graph)
+        engine = DPPEnumerator(store, figure4_query)
+        matches = engine.top_k(4)
+        # The DP rescan is a cost model (per-slot linear minima), recorded
+        # after each emission; it must have run and produced a finite sum.
+        assert len(matches) == 4
+        rescan = engine.stats.extra["dp_rescan_score"]
+        assert isinstance(rescan, float) and rescan >= 0
+
+    def test_no_match(self):
+        g = graph_from_edges({"x": "a", "y": "b"}, [("x", "y")])
+        q = QueryTree({0: "b", 1: "a"}, [(0, 1)])
+        assert dpp_matches(make_store(g), q, 3) == []

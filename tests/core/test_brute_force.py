@@ -1,0 +1,48 @@
+"""Tests for the brute-force oracle itself."""
+
+import pytest
+
+from repro.closure.store import ClosureStore
+from repro.closure.transitive import TransitiveClosure
+from repro.core.brute_force import all_matches, brute_force_topk
+from repro.exceptions import MatchingError
+from repro.graph.digraph import graph_from_edges
+from repro.graph.query import QueryTree
+from repro.runtime.graph import build_runtime_graph
+
+
+def make_gr(graph, query):
+    store = ClosureStore(graph, TransitiveClosure(graph))
+    return build_runtime_graph(store, query)
+
+
+def test_counts_all_combinations(figure1_graph, figure1_query):
+    gr = make_gr(figure1_graph, figure1_query)
+    matches = all_matches(gr)
+    assert len(matches) == 6
+    assert [m.score for m in matches] == [2, 2, 3, 3, 3, 3]
+
+
+def test_sorted_with_deterministic_ties(figure1_graph, figure1_query):
+    gr = make_gr(figure1_graph, figure1_query)
+    a = all_matches(gr)
+    b = all_matches(gr)
+    assert [m.assignment for m in a] == [m.assignment for m in b]
+
+
+def test_limit_enforced(figure1_graph, figure1_query):
+    gr = make_gr(figure1_graph, figure1_query)
+    with pytest.raises(MatchingError, match="exceeded"):
+        all_matches(gr, limit=3)
+
+
+def test_topk_prefix(figure1_graph, figure1_query):
+    gr = make_gr(figure1_graph, figure1_query)
+    assert [m.score for m in brute_force_topk(gr, 2)] == [2, 2]
+
+
+def test_empty_graph_no_matches():
+    g = graph_from_edges({"x": "a"}, [])
+    q = QueryTree({0: "a", 1: "b"}, [(0, 1)])
+    gr = make_gr(g, q)
+    assert all_matches(gr) == []

@@ -1,0 +1,89 @@
+"""Tests for diversified top-k (future-work feature)."""
+
+import pytest
+
+from repro.closure.store import ClosureStore
+from repro.core.diversity import assignment_distance, diverse_top_k, diversify
+from repro.core.matches import Match
+from repro.core.topk import TopkEnumerator
+from repro.runtime.graph import build_runtime_graph
+
+
+def m(score, **assignment):
+    return Match(assignment=assignment, score=score)
+
+
+class TestAssignmentDistance:
+    def test_identical(self):
+        a = m(1, u="x", v="y")
+        assert assignment_distance(a, a) == 0
+
+    def test_partial_difference(self):
+        assert assignment_distance(m(1, u="x", v="y"), m(2, u="x", v="z")) == 1
+
+    def test_disjoint_keys(self):
+        assert assignment_distance(m(1, u="x"), m(2, w="x")) == 2
+
+
+class TestDiversify:
+    def test_filters_near_duplicates(self):
+        stream = [
+            m(1, u="a", v="b", w="c"),
+            m(2, u="a", v="b", w="d"),   # distance 1: dropped
+            m(3, u="x", v="y", w="c"),   # distance 2: kept
+            m(4, u="a", v="y", w="d"),   # dist 2 from first, 2 from third: kept
+        ]
+        got = list(diversify(stream, min_distance=2))
+        assert [x.score for x in got] == [1, 3, 4]
+
+    def test_min_distance_one_keeps_everything(self):
+        stream = [m(1, u="a"), m(2, u="b"), m(3, u="c")]
+        assert len(list(diversify(stream, min_distance=1))) == 3
+
+    def test_max_considered(self):
+        stream = [m(i, u=f"n{i}") for i in range(10)]
+        got = list(diversify(stream, min_distance=1, max_considered=4))
+        assert len(got) == 4
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            list(diversify([], min_distance=0))
+
+
+class TestDiverseTopK:
+    def test_on_real_engine(self, figure1_graph, figure1_query):
+        store = ClosureStore.build(figure1_graph)
+        gr = build_runtime_graph(store, figure1_query)
+        engine = TopkEnumerator(gr)
+        plain = engine.top_k(6)
+        diverse = diverse_top_k(TopkEnumerator(gr), 3, min_distance=2)
+        # Diverse matches are a subsequence of the plain stream...
+        plain_keys = [tuple(sorted(m.assignment.items())) for m in plain]
+        for match in diverse:
+            assert tuple(sorted(match.assignment.items())) in plain_keys
+        # ...scores stay non-decreasing...
+        scores = [m.score for m in diverse]
+        assert scores == sorted(scores)
+        # ...and every pair differs in >= 2 positions.
+        for i, a in enumerate(diverse):
+            for b in diverse[i + 1 :]:
+                assert assignment_distance(a, b) >= 2
+
+    def test_greedy_optimality(self, figure1_graph, figure1_query):
+        """The first diverse match is the global top-1."""
+        store = ClosureStore.build(figure1_graph)
+        gr = build_runtime_graph(store, figure1_query)
+        top1 = TopkEnumerator(gr).top_k(1)[0]
+        diverse = diverse_top_k(TopkEnumerator(gr), 1, min_distance=3)
+        assert diverse[0].score == top1.score
+
+    def test_k_zero(self, figure1_graph, figure1_query):
+        store = ClosureStore.build(figure1_graph)
+        gr = build_runtime_graph(store, figure1_query)
+        assert diverse_top_k(TopkEnumerator(gr), 0) == []
+
+    def test_k_negative(self, figure1_graph, figure1_query):
+        store = ClosureStore.build(figure1_graph)
+        gr = build_runtime_graph(store, figure1_query)
+        with pytest.raises(ValueError):
+            diverse_top_k(TopkEnumerator(gr), -1)

@@ -1,0 +1,165 @@
+"""Property-based invariants of the enumeration machinery.
+
+These check structural laws of Lawler's procedure and the engines'
+laziness guarantees over randomized instances — complementary to the
+score-agreement tests in ``test_agreement.py``.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.closure.store import ClosureStore
+from repro.core.brute_force import all_matches
+from repro.core.topk import TopkEnumerator
+from repro.core.topk_en import TopkEN
+from repro.graph.digraph import graph_from_edges
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.query import QueryTree
+from repro.runtime.graph import build_runtime_graph
+
+
+def random_setup(seed: int):
+    rng = random.Random(seed)
+    g = erdos_renyi_graph(
+        rng.randint(6, 14), rng.randint(8, 34), num_labels=4, seed=seed
+    )
+    store = ClosureStore.build(g, block_size=rng.choice([2, 8, 64]))
+    labels = sorted(g.labels())
+    rng.shuffle(labels)
+    size = min(len(labels), rng.randint(2, 5))
+    query = QueryTree(
+        {i: labels[i] for i in range(size)},
+        [(rng.randrange(i), i) for i in range(1, size)],
+    )
+    return rng, store, query
+
+
+@given(seed=st.integers(0, 10**9))
+@settings(max_examples=40, deadline=None)
+def test_complete_and_duplicate_free(seed):
+    """Exhaustive enumeration visits every match exactly once."""
+    _, store, query = random_setup(seed)
+    gr = build_runtime_graph(store, query)
+    oracle = all_matches(gr)
+    enumerated = TopkEnumerator(gr).top_k(len(oracle) + 50)
+    assert len(enumerated) == len(oracle)
+    keys = {tuple(sorted(m.assignment.items())) for m in enumerated}
+    assert len(keys) == len(enumerated)
+
+
+@given(seed=st.integers(0, 10**9))
+@settings(max_examples=40, deadline=None)
+def test_scores_non_decreasing(seed):
+    _, store, query = random_setup(seed)
+    gr = build_runtime_graph(store, query)
+    scores = [m.score for m in TopkEnumerator(gr).top_k(100)]
+    assert scores == sorted(scores)
+
+
+@given(seed=st.integers(0, 10**9))
+@settings(max_examples=30, deadline=None)
+def test_rounds_equal_emitted(seed):
+    """Laziness: exactly one Lawler round per emitted match."""
+    rng, store, query = random_setup(seed)
+    gr = build_runtime_graph(store, query)
+    k = rng.randint(1, 12)
+    engine = TopkEnumerator(gr)
+    got = engine.top_k(k)
+    assert engine.stats.rounds == len(got)
+
+
+@given(seed=st.integers(0, 10**9))
+@settings(max_examples=30, deadline=None)
+def test_en_loads_monotone_in_k(seed):
+    """Loading more results never touches fewer edges."""
+    _, store, query = random_setup(seed)
+    first = TopkEN(store, query)
+    first.top_k(1)
+    loads_k1 = first.stats.edges_loaded
+    second = TopkEN(store, query)
+    second.top_k(10)
+    assert second.stats.edges_loaded >= loads_k1
+
+
+@given(seed=st.integers(0, 10**9))
+@settings(max_examples=30, deadline=None)
+def test_every_match_satisfies_connectivity(seed):
+    """Every emitted assignment maps query edges to reachable pairs."""
+    _, store, query = random_setup(seed)
+    matches = TopkEN(store, query).top_k(15)
+    for match in matches:
+        for u_p, u, _ in query.edges():
+            dist = store.distance(
+                match.assignment[u_p], match.assignment[u]
+            )
+            assert dist is not None and dist >= 0
+
+
+class TestTieHandling:
+    def test_massive_ties_enumerate_fully(self):
+        # 6 identical branches: 6 matches, all score 1.
+        labels = {"r": "a"}
+        edges = []
+        for i in range(6):
+            labels[f"b{i}"] = "b"
+            edges.append(("r", f"b{i}"))
+        g = graph_from_edges(labels, edges)
+        q = QueryTree({0: "a", 1: "b"}, [(0, 1)])
+        store = ClosureStore.build(g)
+        gr = build_runtime_graph(store, q)
+        matches = TopkEnumerator(gr).top_k(100)
+        assert [m.score for m in matches] == [1] * 6
+        assert len({m.assignment[1] for m in matches}) == 6
+
+    def test_ties_consistent_across_engines(self):
+        labels = {"r": "a"}
+        edges = []
+        for i in range(5):
+            labels[f"b{i}"] = "b"
+            edges.append(("r", f"b{i}", 2))
+        g = graph_from_edges(labels, edges)
+        q = QueryTree({0: "a", 1: "b"}, [(0, 1)])
+        store = ClosureStore.build(g)
+        gr = build_runtime_graph(store, q)
+        a = {m.assignment[1] for m in TopkEnumerator(gr).top_k(3)}
+        b = {m.assignment[1] for m in TopkEN(store, q).top_k(3)}
+        # Both pick 3 of the 5 tied nodes; sets may differ but sizes match
+        # and scores are identical.
+        assert len(a) == len(b) == 3
+
+
+class TestDeepChains:
+    def test_long_path_query(self):
+        # Path graph a0 -> a1 -> ... -> a9, path query of length 10.
+        labels = {f"n{i}": f"l{i}" for i in range(10)}
+        edges = [(f"n{i}", f"n{i+1}") for i in range(9)]
+        g = graph_from_edges(labels, edges)
+        q = QueryTree(
+            {i: f"l{i}" for i in range(10)}, [(i, i + 1) for i in range(9)]
+        )
+        store = ClosureStore.build(g)
+        for engine in (TopkEnumerator(build_runtime_graph(store, q)),
+                       TopkEN(store, q)):
+            matches = engine.top_k(5)
+            assert len(matches) == 1
+            assert matches[0].score == 9
+
+    def test_wide_star_query(self):
+        labels = {"hub": "h"}
+        edges = []
+        for i in range(30):
+            labels[f"s{i}"] = f"spoke{i % 3}"
+            edges.append(("hub", f"s{i}", 1 + i % 4))
+        g = graph_from_edges(labels, edges)
+        q = QueryTree(
+            {0: "h", 1: "spoke0", 2: "spoke1", 3: "spoke2"},
+            [(0, 1), (0, 2), (0, 3)],
+        )
+        store = ClosureStore.build(g)
+        gr = build_runtime_graph(store, q)
+        oracle = all_matches(gr)
+        got = TopkEnumerator(gr).top_k(50)
+        assert [m.score for m in got] == [m.score for m in oracle[:50]]

@@ -1,0 +1,94 @@
+"""Tests for match refs, materialization, and stats containers."""
+
+import pytest
+
+from repro.core.matches import EnumerationStats, Match, MatchRef, materialize
+from repro.exceptions import MatchingError
+from repro.graph.query import QueryTree
+
+
+def toy_query():
+    return QueryTree({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+
+
+def slot_min_table(table):
+    def slot_min(u, v, u_child):
+        return table.get((u, v, u_child))
+
+    return slot_min
+
+
+class TestMatch:
+    def test_mapped_nodes_sorted(self):
+        m = Match({0: "x", 1: "a"}, 2.0)
+        assert m.mapped_nodes() == ("a", "x")
+
+    def test_iteration(self):
+        m = Match({0: "x"}, 1.0)
+        assert list(m) == [(0, "x")]
+
+    def test_frozen(self):
+        m = Match({0: "x"}, 1.0)
+        with pytest.raises(AttributeError):
+            m.score = 5
+
+
+class TestMaterialize:
+    def make_table(self):
+        # Best-child pointers: (a0 -> b0 -> c0), sibling b1 -> c1.
+        return {
+            (0, "a0", 1): (1.0, (1, "b0")),
+            (1, "b0", 2): (1.0, (2, "c0")),
+            (1, "b1", 2): (2.0, (2, "c1")),
+        }
+
+    def test_seed_materialization(self):
+        q = toy_query()
+        ref = MatchRef(2.0, None, 0, "a0", 1, slot=None)
+        got = materialize(q, ref, slot_min_table(self.make_table()))
+        assert got == {0: "a0", 1: "b0", 2: "c0"}
+        assert ref.assignment == got
+
+    def test_replacement_materialization(self):
+        q = toy_query()
+        seed = MatchRef(2.0, None, 0, "a0", 1, slot=None)
+        materialize(q, seed, slot_min_table(self.make_table()))
+        # Replace position 1 with b1: subtree below re-expands to c1.
+        child = MatchRef(4.0, seed, 1, "b1", 2, slot=None)
+        got = materialize(q, child, slot_min_table(self.make_table()))
+        assert got == {0: "a0", 1: "b1", 2: "c1"}
+
+    def test_cached(self):
+        q = toy_query()
+        ref = MatchRef(2.0, None, 0, "a0", 1, slot=None)
+        table = self.make_table()
+        first = materialize(q, ref, slot_min_table(table))
+        table.clear()  # must not be consulted again
+        second = materialize(q, ref, slot_min_table(table))
+        assert first is second
+
+    def test_unmaterialized_parent_rejected(self):
+        q = toy_query()
+        parent = MatchRef(2.0, None, 0, "a0", 1, slot=None)
+        child = MatchRef(3.0, parent, 1, "b1", 2, slot=None)
+        with pytest.raises(MatchingError, match="materialized first"):
+            materialize(q, child, slot_min_table(self.make_table()))
+
+    def test_missing_slot_rejected(self):
+        q = toy_query()
+        ref = MatchRef(2.0, None, 0, "a0", 1, slot=None)
+        with pytest.raises(MatchingError, match="no viable child"):
+            materialize(q, ref, slot_min_table({}))
+
+
+class TestEnumerationStats:
+    def test_defaults(self):
+        stats = EnumerationStats()
+        assert stats.rounds == 0
+        assert stats.extra == {}
+
+    def test_extra_is_per_instance(self):
+        a = EnumerationStats()
+        b = EnumerationStats()
+        a.extra["x"] = 1
+        assert b.extra == {}

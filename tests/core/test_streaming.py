@@ -1,0 +1,66 @@
+"""Streaming-semantics tests: partial consumption, interleaving, iterators."""
+
+import itertools
+
+import pytest
+
+from repro.closure.store import ClosureStore
+from repro.core.baseline_dp import DPBEnumerator
+from repro.core.topk import TopkEnumerator
+from repro.core.topk_en import TopkEN
+from repro.runtime.graph import build_runtime_graph
+
+
+@pytest.fixture
+def engines(figure1_graph, figure1_query):
+    store = ClosureStore.build(figure1_graph)
+    gr = build_runtime_graph(store, figure1_query)
+    return [
+        TopkEnumerator(gr),
+        TopkEN(store, figure1_query),
+        DPBEnumerator(gr),
+    ]
+
+EXPECTED = [2.0, 2.0, 3.0, 3.0, 3.0, 3.0]
+
+
+class TestStreamProtocol:
+    def test_iter_protocol(self, engines):
+        for engine in engines:
+            scores = [m.score for m in itertools.islice(engine, 3)]
+            assert scores == EXPECTED[:3], type(engine).__name__
+
+    def test_partial_then_full(self, engines):
+        for engine in engines:
+            stream = engine.stream()
+            first = next(stream)
+            assert first.score == EXPECTED[0]
+            rest = [m.score for m in stream]
+            assert [first.score] + rest == EXPECTED, type(engine).__name__
+
+    def test_two_streams_interleaved(self, engines):
+        for engine in engines:
+            s1 = engine.stream()
+            s2 = engine.stream()
+            a = next(s1)
+            b = next(s2)
+            assert a.score == b.score == EXPECTED[0]
+            # Advancing one stream must not skip results on the other.
+            next(s1)
+            assert next(s2).score == EXPECTED[1], type(engine).__name__
+
+    def test_stream_after_topk(self, engines):
+        for engine in engines:
+            engine.top_k(4)
+            assert [m.score for m in engine.stream()] == EXPECTED
+
+    def test_topk_after_stream(self, engines):
+        for engine in engines:
+            list(itertools.islice(engine.stream(), 2))
+            assert [m.score for m in engine.top_k(6)] == EXPECTED
+
+    def test_exhausted_stream_stops(self, engines):
+        for engine in engines:
+            scores = [m.score for m in engine.stream()]
+            assert scores == EXPECTED
+            assert list(engine.stream()) == engine.results

@@ -1,0 +1,134 @@
+"""Tests for Algorithm 1 (Topk) — including the paper's worked examples."""
+
+import pytest
+
+from repro.closure.store import ClosureStore
+from repro.closure.transitive import TransitiveClosure
+from repro.core.brute_force import all_matches
+from repro.core.topk import TopkEnumerator, topk_matches
+from repro.graph.digraph import graph_from_edges
+from repro.graph.query import QueryTree
+from repro.runtime.graph import build_runtime_graph
+
+
+def make_gr(graph, query, block_size=4):
+    store = ClosureStore(graph, TransitiveClosure(graph), block_size=block_size)
+    return build_runtime_graph(store, query)
+
+
+class TestFigure4Examples:
+    """Examples 3.3 / 3.4: the L/H construction and the first four matches."""
+
+    def test_top1_is_example_3_3(self, figure4_graph, figure4_query):
+        gr = make_gr(figure4_graph, figure4_query)
+        engine = TopkEnumerator(gr)
+        assert engine.top1_score() == 3
+        top1 = engine.top_k(1)[0]
+        assert top1.assignment == {"u1": "v1", "u2": "v2", "u3": "v5", "u4": "v7"}
+
+    def test_enumeration_follows_example_3_4(self, figure4_graph, figure4_query):
+        gr = make_gr(figure4_graph, figure4_query)
+        matches = topk_matches(gr, 10)
+        # Example 3.4: v5 -> v6 -> v3 -> v4 at the c-position.
+        assert [m.score for m in matches] == [3, 4, 5, 6]
+        assert [m.assignment["u3"] for m in matches] == ["v5", "v6", "v3", "v4"]
+
+    def test_slot_contents_match_figure_4c(self, figure4_graph, figure4_query):
+        gr = make_gr(figure4_graph, figure4_query)
+        engine = TopkEnumerator(gr)
+        slot = engine._slots[("u1", "v1", "u3")]
+        assert slot.min() == (2, ("u3", "v5"))  # H_{v1,c} = {(v5, 2)}
+        ranks = [slot.ith(r) for r in (2, 3, 4)]
+        assert [(k, n[1]) for k, n in ranks] == [(3, "v6"), (4, "v3"), (5, "v4")]
+
+
+class TestFigure1Example:
+    """The introduction's patent-citation example (reconstruction)."""
+
+    def test_two_best_matches_score_two(self, figure1_graph, figure1_query):
+        gr = make_gr(figure1_graph, figure1_query)
+        matches = topk_matches(gr, 10)
+        assert [m.score for m in matches] == [2, 2, 3, 3, 3, 3]
+        best_roots = {m.assignment["uC"] for m in matches[:2]}
+        assert best_roots == {"v1", "v3"}
+
+
+class TestEdgeCases:
+    def test_no_match(self):
+        g = graph_from_edges({"x": "a", "y": "b"}, [("x", "y")])
+        q = QueryTree({0: "b", 1: "a"}, [(0, 1)])
+        gr = make_gr(g, q)
+        engine = TopkEnumerator(gr)
+        assert engine.top1_score() is None
+        assert engine.top_k(5) == []
+
+    def test_k_zero(self, figure4_graph, figure4_query):
+        gr = make_gr(figure4_graph, figure4_query)
+        assert topk_matches(gr, 0) == []
+
+    def test_k_negative(self, figure4_graph, figure4_query):
+        gr = make_gr(figure4_graph, figure4_query)
+        with pytest.raises(ValueError):
+            topk_matches(gr, -1)
+
+    def test_k_larger_than_match_count(self, figure4_graph, figure4_query):
+        gr = make_gr(figure4_graph, figure4_query)
+        assert len(topk_matches(gr, 1000)) == 4
+
+    def test_single_node_query(self, figure4_graph):
+        q = QueryTree({0: "c"}, [])
+        gr = make_gr(figure4_graph, q)
+        matches = topk_matches(gr, 10)
+        assert len(matches) == 4
+        assert all(m.score == 0 for m in matches)
+
+    def test_weighted_edges(self):
+        g = graph_from_edges(
+            {"a0": "a", "b0": "b", "b1": "b"},
+            [("a0", "b0", 2.5), ("a0", "b1", 1.25)],
+        )
+        q = QueryTree({0: "a", 1: "b"}, [(0, 1)])
+        matches = topk_matches(make_gr(g, q), 5)
+        assert [m.score for m in matches] == [1.25, 2.5]
+
+    def test_stream_is_replayable(self, figure4_graph, figure4_query):
+        gr = make_gr(figure4_graph, figure4_query)
+        engine = TopkEnumerator(gr)
+        first_two = engine.top_k(2)
+        replay = list(engine.stream())
+        assert [m.score for m in replay[:2]] == [m.score for m in first_two]
+        assert len(replay) == 4
+
+    def test_top_k_monotone_calls(self, figure4_graph, figure4_query):
+        gr = make_gr(figure4_graph, figure4_query)
+        engine = TopkEnumerator(gr)
+        two = engine.top_k(2)
+        four = engine.top_k(4)
+        assert [m.score for m in four[:2]] == [m.score for m in two]
+
+
+class TestInvariants:
+    def test_scores_non_decreasing(self, figure1_graph, figure1_query):
+        gr = make_gr(figure1_graph, figure1_query)
+        matches = topk_matches(gr, 100)
+        scores = [m.score for m in matches]
+        assert scores == sorted(scores)
+
+    def test_no_duplicate_assignments(self, figure1_graph, figure1_query):
+        gr = make_gr(figure1_graph, figure1_query)
+        matches = topk_matches(gr, 100)
+        seen = {tuple(sorted(m.assignment.items())) for m in matches}
+        assert len(seen) == len(matches)
+
+    def test_matches_complete_against_oracle(self, figure1_graph, figure1_query):
+        gr = make_gr(figure1_graph, figure1_query)
+        assert len(topk_matches(gr, 1000)) == len(all_matches(gr))
+
+    def test_stats_populated(self, figure4_graph, figure4_query):
+        gr = make_gr(figure4_graph, figure4_query)
+        engine = TopkEnumerator(gr)
+        engine.top_k(4)
+        assert engine.stats.rounds == 4
+        assert engine.stats.case1_requests == 4
+        assert engine.stats.case2_requests > 0
+        assert engine.stats.init_seconds >= 0

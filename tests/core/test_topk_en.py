@@ -1,0 +1,153 @@
+"""Tests for Algorithms 2 & 3 (ComputeFirst / Topk-EN) — lazy loading."""
+
+import pytest
+
+from repro.closure.store import ClosureStore
+from repro.closure.transitive import TransitiveClosure
+from repro.core.topk_en import BOUNDS, LazyTopkEngine, TopkEN, topk_en_matches
+from repro.graph.digraph import graph_from_edges
+from repro.graph.query import EdgeType, QueryTree
+
+
+def make_store(graph, block_size=2):
+    return ClosureStore(graph, TransitiveClosure(graph), block_size=block_size)
+
+
+class TestExample42:
+    """Example 4.2: ComputeFirst finds the top-1 after expanding only v5."""
+
+    def test_top1_score(self, figure4_graph, figure4_query):
+        store = make_store(figure4_graph)
+        engine = TopkEN(store, figure4_query)
+        assert engine.compute_first() == 3
+
+    def test_only_v5_expands(self, figure4_graph, figure4_query):
+        store = make_store(figure4_graph)
+        engine = TopkEN(store, figure4_query)
+        engine.compute_first()
+        # The paper's Figure 5: only (v1, v5) is loaded beyond the E/D
+        # initialization — one expansion, one L-group edge.
+        assert engine.stats.expansions == 1
+        assert engine.stats.edges_loaded == 1
+
+    def test_full_enumeration_matches_example_3_4(
+        self, figure4_graph, figure4_query
+    ):
+        store = make_store(figure4_graph)
+        matches = topk_en_matches(store, figure4_query, 10)
+        assert [m.score for m in matches] == [3, 4, 5, 6]
+        assert [m.assignment["u3"] for m in matches] == ["v5", "v6", "v3", "v4"]
+
+
+class TestLazyBehaviour:
+    def test_enumeration_loads_more_than_top1(self, figure4_graph, figure4_query):
+        store = make_store(figure4_graph)
+        engine = TopkEN(store, figure4_query)
+        engine.compute_first()
+        top1_loads = engine.stats.edges_loaded
+        engine.top_k(4)
+        assert engine.stats.edges_loaded >= top1_loads
+
+    def test_dormant_leaves_wake_on_demand(self, figure4_graph, figure4_query):
+        store = make_store(figure4_graph)
+        engine = TopkEN(store, figure4_query)
+        engine.compute_first()
+        assert engine._dormant  # leaves still waiting
+        engine.top_k(2)
+        # The second match replaces the c-node: only the c slot was
+        # constrained, so the d-leaf stays dormant only if its slot was
+        # never constrained; with 4 matches requested it eventually wakes.
+        engine.top_k(4)
+        assert "u2" not in engine._dormant or "u4" not in engine._dormant
+
+    def test_bound_validation(self, figure4_graph, figure4_query):
+        store = make_store(figure4_graph)
+        with pytest.raises(ValueError):
+            LazyTopkEngine(store, figure4_query, bound="bogus")
+        assert BOUNDS == ("structural", "loose")
+
+    def test_loose_bound_same_results(self, figure4_graph, figure4_query):
+        store = make_store(figure4_graph)
+        tight = TopkEN(store, figure4_query).top_k(4)
+        loose = LazyTopkEngine(store, figure4_query, bound="loose").top_k(4)
+        assert [m.score for m in tight] == [m.score for m in loose]
+
+    def test_loose_bound_never_loads_less(self, figure1_graph, figure1_query):
+        store = make_store(figure1_graph)
+        tight = TopkEN(store, figure1_query)
+        tight.top_k(6)
+        loose = LazyTopkEngine(store, figure1_query, bound="loose")
+        loose.top_k(6)
+        assert loose.stats.edges_loaded >= tight.stats.edges_loaded
+
+
+class TestEdgeCases:
+    def test_no_match(self):
+        g = graph_from_edges({"x": "a", "y": "b"}, [("x", "y")])
+        q = QueryTree({0: "b", 1: "a"}, [(0, 1)])
+        engine = TopkEN(make_store(g), q)
+        assert engine.compute_first() is None
+        assert engine.top_k(3) == []
+
+    def test_single_node_query(self, figure4_graph):
+        q = QueryTree({0: "c"}, [])
+        matches = topk_en_matches(make_store(figure4_graph), q, 10)
+        assert len(matches) == 4
+        assert all(m.score == 0 for m in matches)
+
+    def test_k_negative(self, figure4_graph, figure4_query):
+        engine = TopkEN(make_store(figure4_graph), figure4_query)
+        with pytest.raises(ValueError):
+            engine.top_k(-2)
+
+    def test_child_edge_leaf(self, figure4_graph):
+        # '/' edge to the leaf: direct a->d edges do not exist.
+        q = QueryTree({0: "a", 1: "d"}, [(0, 1, EdgeType.CHILD)])
+        engine = TopkEN(make_store(figure4_graph), q)
+        assert engine.top_k(3) == []
+
+    def test_child_edge_realizable(self, figure4_graph):
+        q = QueryTree(
+            {0: "c", 1: "d"}, [(0, 1, EdgeType.CHILD)]
+        )
+        matches = topk_en_matches(make_store(figure4_graph), q, 10)
+        assert [m.score for m in matches] == [1, 2, 3, 4]
+
+    def test_tiny_blocks(self, figure1_graph, figure1_query):
+        store = make_store(figure1_graph, block_size=1)
+        matches = topk_en_matches(store, figure1_query, 10)
+        assert [m.score for m in matches] == [2, 2, 3, 3, 3, 3]
+
+    def test_stream_replay(self, figure4_graph, figure4_query):
+        engine = TopkEN(make_store(figure4_graph), figure4_query)
+        a = [m.score for m in engine.top_k(2)]
+        b = [m.score for m in engine.stream()]
+        assert b[:2] == a
+        assert len(b) == 4
+
+
+class TestGuardSafety:
+    def test_weighted_graph(self):
+        g = graph_from_edges(
+            {"a0": "a", "b0": "b", "b1": "b", "c0": "c", "c1": "c"},
+            [
+                ("a0", "b0", 3),
+                ("a0", "b1", 1),
+                ("b0", "c0", 1),
+                ("b1", "c1", 5),
+                ("b1", "c0", 7),
+            ],
+        )
+        q = QueryTree({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        matches = topk_en_matches(make_store(g), q, 10)
+        # All matches: (a0,b0,c0)=4, (a0,b1,c1)=6, (a0,b1,c0)=8.
+        assert [m.score for m in matches] == [4, 6, 8]
+
+    def test_many_roots(self):
+        labels = {"r%d" % i: "a" for i in range(6)}
+        labels["leaf"] = "b"
+        edges = [("r%d" % i, "leaf", i + 1) for i in range(6)]
+        g = graph_from_edges(labels, edges)
+        q = QueryTree({0: "a", 1: "b"}, [(0, 1)])
+        matches = topk_en_matches(make_store(g), q, 6)
+        assert [m.score for m in matches] == [1, 2, 3, 4, 5, 6]

@@ -1,0 +1,157 @@
+"""White-box tests of the lazy engine's internal machinery.
+
+The score-level behavior of Topk-EN is covered by the oracle-agreement
+suites; these tests pin down the *mechanism*: guard values, node states,
+dormant-leaf lifecycle, pending parks, cursor progress, and bound
+arithmetic.
+"""
+
+import pytest
+
+from repro.closure.store import ClosureStore
+from repro.core.topk_en import LazyTopkEngine, TopkEN
+from repro.graph.digraph import graph_from_edges
+from repro.graph.query import QueryTree
+
+
+def make_store(graph, block_size=2):
+    return ClosureStore.build(graph, block_size=block_size)
+
+
+class TestStructuralBound:
+    def test_values_follow_subtree_sizes(self, figure4_graph, figure4_query):
+        engine = TopkEN(make_store(figure4_graph), figure4_query)
+        # n_T = 4: L(root)=0, L(u2)=4-1-1=2, L(u3)=4-1-2=1, L(u4)=2.
+        assert engine._structural_bound("u1") == 0
+        assert engine._structural_bound("u2") == 2
+        assert engine._structural_bound("u3") == 1
+        assert engine._structural_bound("u4") == 2
+
+    def test_loose_bound_is_zero(self, figure4_graph, figure4_query):
+        engine = LazyTopkEngine(
+            make_store(figure4_graph), figure4_query, bound="loose"
+        )
+        assert all(
+            engine._structural_bound(u) == 0 for u in figure4_query.nodes()
+        )
+
+    def test_bound_scales_with_min_weight(self):
+        g = graph_from_edges(
+            {"a0": "a", "b0": "b", "c0": "c"},
+            [("a0", "b0", 3), ("b0", "c0", 4)],
+        )
+        q = QueryTree({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        engine = TopkEN(make_store(g), q)
+        # min edge weight 3; L(leaf) = (3 - 1 - 1) * 3 = 3.
+        assert engine._min_weight == 3
+        assert engine._structural_bound(2) == 3
+
+
+class TestNodeStates:
+    def test_states_after_top1(self, figure4_graph, figure4_query):
+        engine = TopkEN(make_store(figure4_graph), figure4_query)
+        engine.compute_first()
+        v5 = engine._states[("u3", "v5")]
+        assert v5.popped and v5.active
+        root = engine._states[("u1", "v1")]
+        assert root.popped  # the root pop *is* the top-1 signal
+        assert root.bs == 3
+
+    def test_bs_values_match_example(self, figure4_graph, figure4_query):
+        engine = TopkEN(make_store(figure4_graph), figure4_query)
+        engine.compute_first()
+        for v, expected in (("v3", 3), ("v4", 4), ("v5", 1), ("v6", 2)):
+            state = engine._states[("u3", v)]
+            assert state.bs == expected, v
+
+    def test_unmatchable_copies_not_queued(self):
+        # b1 has no incoming 'a' edge: it must never activate.
+        g = graph_from_edges(
+            {"a0": "a", "b0": "b", "b1": "b", "c0": "c", "c1": "c"},
+            [("a0", "b0"), ("b0", "c0"), ("b1", "c1")],
+        )
+        q = QueryTree({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        engine = TopkEN(make_store(g), q)
+        engine.top_k(5)
+        state = engine._states.get((1, "b1"))
+        assert state is not None
+        assert not state.matchable
+        assert not state.popped
+
+
+class TestGuard:
+    def test_guard_infinite_when_drained(self, figure4_graph, figure4_query):
+        engine = TopkEN(make_store(figure4_graph), figure4_query)
+        engine.top_k(100)  # exhaust everything
+        assert engine._guard() == float("inf")
+
+    def test_guard_finite_mid_run(self, figure4_graph, figure4_query):
+        engine = TopkEN(make_store(figure4_graph), figure4_query)
+        engine.compute_first()
+        assert engine._guard() < float("inf")
+
+
+class TestDormantLeafLifecycle:
+    def test_leaves_dormant_after_init(self, figure4_graph, figure4_query):
+        engine = TopkEN(make_store(figure4_graph), figure4_query)
+        assert set(engine._dormant) == {"u2", "u4"}
+        assert len(engine._dormant["u4"]) == 1  # only v7 carries label d
+
+    def test_wake_is_idempotent(self, figure4_graph, figure4_query):
+        engine = TopkEN(make_store(figure4_graph), figure4_query)
+        assert engine._wake_dormant_leaves("u4")
+        assert not engine._wake_dormant_leaves("u4")
+
+    def test_full_enumeration_wakes_constrained_leaves(
+        self, figure4_graph, figure4_query
+    ):
+        engine = TopkEN(make_store(figure4_graph), figure4_query)
+        engine.top_k(4)
+        # Case-2 divisions constrain both leaf positions in round 1.
+        assert "u4" not in engine._dormant
+        assert "u2" not in engine._dormant
+
+    def test_pending_parks_recorded(self, figure4_graph, figure4_query):
+        engine = TopkEN(make_store(figure4_graph), figure4_query)
+        engine.top_k(4)
+        assert engine.stats.pending_parks >= 1
+
+
+class TestExpansionCursors:
+    def test_cursor_progress_and_exhaustion(self, figure4_graph, figure4_query):
+        engine = TopkEN(make_store(figure4_graph, block_size=1), figure4_query)
+        engine.top_k(4)
+        v5 = engine._states[("u3", "v5")]
+        assert v5.cursor is not None
+        assert v5.exhausted
+        assert v5.e_floor == float("inf")
+
+    def test_edges_loaded_counts_scanned_entries(
+        self, figure4_graph, figure4_query
+    ):
+        engine = TopkEN(make_store(figure4_graph), figure4_query)
+        engine.top_k(4)
+        # Full enumeration eventually scans each c-node's single incoming
+        # edge plus the leaves' groups; never more than the closure holds.
+        closure_pairs = engine.store.closure.num_pairs
+        assert 1 <= engine.stats.edges_loaded <= closure_pairs
+
+
+class TestPendingPool:
+    def test_pending_drains_by_exhaustion(self, figure4_graph, figure4_query):
+        engine = TopkEN(make_store(figure4_graph), figure4_query)
+        matches = engine.top_k(100)
+        assert len(matches) == 4
+        # After exhausting the space, nothing may linger pending.
+        assert engine._pending == []
+
+    def test_root_slot_collects_all_roots(self):
+        labels = {"r%d" % i: "a" for i in range(3)}
+        labels["leaf"] = "b"
+        g = graph_from_edges(
+            labels, [("r%d" % i, "leaf", i + 1) for i in range(3)]
+        )
+        q = QueryTree({0: "a", 1: "b"}, [(0, 1)])
+        engine = TopkEN(make_store(g), q)
+        engine.top_k(3)
+        assert len(engine._root_slot) == 3

@@ -1,0 +1,82 @@
+"""Tests for kGPM query decomposition."""
+
+import pytest
+
+from repro.closure.transitive import TransitiveClosure
+from repro.exceptions import DecompositionError
+from repro.gpm.decompose import (
+    best_decomposition,
+    candidate_decompositions,
+    decomposition_cost,
+    spanning_tree,
+)
+from repro.graph.digraph import graph_from_edges
+from repro.graph.query import QueryGraph
+
+
+def triangle():
+    return QueryGraph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (2, 0)])
+
+
+class TestSpanningTree:
+    def test_covers_all_nodes(self):
+        tree, non_tree = spanning_tree(triangle())
+        assert tree.num_nodes == 3
+        assert len(list(tree.edges())) == 2
+        assert len(non_tree) == 1
+
+    def test_root_default_max_degree(self):
+        qg = QueryGraph(
+            {0: "a", 1: "b", 2: "c", 3: "d"},
+            [(0, 1), (0, 2), (0, 3)],
+        )
+        tree, non_tree = spanning_tree(qg)
+        assert tree.root == 0
+        assert non_tree == []
+
+    def test_explicit_root(self):
+        tree, _ = spanning_tree(triangle(), root=2)
+        assert tree.root == 2
+
+    def test_unknown_root(self):
+        with pytest.raises(DecompositionError):
+            spanning_tree(triangle(), root=99)
+
+    def test_tree_plus_nontree_is_query(self):
+        qg = triangle()
+        tree, non_tree = spanning_tree(qg)
+        covered = {frozenset((p, c)) for p, c, _ in tree.edges()}
+        covered |= {frozenset(e) for e in non_tree}
+        assert covered == {frozenset(e) for e in qg.edges()}
+
+
+class TestDecompositionChoice:
+    def test_candidates_one_per_root(self):
+        decos = candidate_decompositions(triangle())
+        assert len(decos) == 3
+        assert {d[0].root for d in decos} == {0, 1, 2}
+
+    def test_cost_uses_type_counts(self):
+        tree, non_tree = spanning_tree(triangle(), root=0)
+        counts = {("a", "b"): 100, ("b", "c"): 1, ("a", "c"): 1}
+        cost = decomposition_cost((tree, non_tree), counts)
+        # Tree from root 0 covers (a,b) and (a,c) -> 101.
+        assert cost == 101
+
+    def test_best_decomposition_picks_cheapest(self):
+        # Data graph where a<->b closure entries dominate: the best tree
+        # avoids the (a, b) edge when possible.
+        g = graph_from_edges(
+            {f"a{i}": "a" for i in range(4)}
+            | {f"b{i}": "b" for i in range(4)}
+            | {"c0": "c"},
+            [(f"a{i}", f"b{j}") for i in range(4) for j in range(4)]
+            + [("b0", "c0"), ("c0", "a0")],
+        )
+        closure = TransitiveClosure(g.bidirected())
+        qg = triangle()
+        tree, non_tree = best_decomposition(qg, closure)
+        counts = closure.same_type_statistics()
+        cost = decomposition_cost((tree, non_tree), counts)
+        for other in candidate_decompositions(qg):
+            assert cost <= decomposition_cost(other, counts)

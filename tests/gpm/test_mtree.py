@@ -1,0 +1,115 @@
+"""Tests for kGPM (mtree / mtree+)."""
+
+import random
+
+import pytest
+
+from repro.core.matches import Match
+from repro.gpm import KGPMEngine, brute_force_kgpm, kgpm_matches
+from repro.graph.digraph import graph_from_edges
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.query import QueryGraph
+
+
+def square_graph():
+    """A 4-cycle data graph with distinct labels plus a chord."""
+    return graph_from_edges(
+        {"w": "a", "x": "b", "y": "c", "z": "d"},
+        [("w", "x"), ("x", "y"), ("y", "z"), ("z", "w"), ("w", "y")],
+    )
+
+
+class TestBasics:
+    def test_triangle_query(self):
+        g = square_graph()
+        q = QueryGraph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (2, 0)])
+        matches = kgpm_matches(g, q, 3)
+        assert len(matches) == 1
+        assert matches[0].score == 3  # all three pairs adjacent
+        assert matches[0].assignment == {0: "w", 1: "x", 2: "y"}
+
+    def test_tree_query_passthrough(self):
+        g = square_graph()
+        q = QueryGraph({0: "a", 1: "b"}, [(0, 1)])
+        matches = kgpm_matches(g, q, 3)
+        assert [m.score for m in matches] == [1]
+
+    def test_invalid_algorithm(self):
+        with pytest.raises(ValueError):
+            KGPMEngine(square_graph(), tree_algorithm="nope")
+
+    def test_k_zero(self):
+        g = square_graph()
+        q = QueryGraph({0: "a", 1: "b"}, [(0, 1)])
+        assert KGPMEngine(g).top_k(q, 0) == []
+
+    def test_stats_populated(self):
+        g = square_graph()
+        q = QueryGraph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (2, 0)])
+        engine = KGPMEngine(g)
+        engine.top_k(q, 1)
+        assert engine.stats.tree_matches_consumed >= 1
+        assert engine.stats.verify_probes >= 1
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("seed", range(20))
+    def test_mtree_variants_match_oracle(self, seed):
+        rng = random.Random(seed)
+        g = erdos_renyi_graph(
+            rng.randint(6, 11), rng.randint(8, 24), num_labels=4, seed=seed
+        )
+        labels = sorted(g.labels())
+        rng.shuffle(labels)
+        size = min(len(labels), rng.randint(3, 4))
+        qlabels = {i: labels[i] for i in range(size)}
+        edges = [(rng.randrange(i), i) for i in range(1, size)]
+        for _ in range(rng.randint(0, 2)):
+            a, b = rng.sample(range(size), 2)
+            edges.append((a, b))
+        q = QueryGraph(qlabels, edges)
+        plus = KGPMEngine(g, tree_algorithm="topk-en")
+        base = KGPMEngine(
+            g, tree_algorithm="dp-b", closure=plus.closure, store=plus.store
+        )
+        oracle = brute_force_kgpm(plus, q, 500)
+        k = rng.choice([1, 4, 12])
+        want = [m.score for m in oracle[:k]]
+        assert [m.score for m in plus.top_k(q, k)] == want
+        assert [m.score for m in base.top_k(q, k)] == want
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_decomposition_choice_does_not_change_results(self, seed):
+        rng = random.Random(seed + 300)
+        g = erdos_renyi_graph(8, 18, num_labels=4, seed=seed)
+        labels = sorted(g.labels())
+        if len(labels) < 3:
+            pytest.skip("degenerate labeling")
+        q = QueryGraph(
+            {0: labels[0], 1: labels[1], 2: labels[2]},
+            [(0, 1), (1, 2), (2, 0)],
+        )
+        engine = KGPMEngine(g)
+        a = [m.score for m in engine.top_k(q, 5, choose_best_tree=True)]
+        b = [m.score for m in engine.top_k(q, 5, choose_best_tree=False)]
+        assert a == b
+
+    def test_verified_scores_include_nontree_edges(self):
+        g = graph_from_edges(
+            {"w": "a", "x": "b", "y": "c"},
+            [("w", "x"), ("x", "y")],
+        )
+        q = QueryGraph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (2, 0)])
+        matches = kgpm_matches(g, q, 3)
+        # delta(a, c) = 2 through b (bidirected), so the triangle costs 4.
+        assert [m.score for m in matches] == [4]
+
+    def test_unreachable_pairs_discarded(self):
+        g = graph_from_edges(
+            {"w": "a", "x": "b", "y": "c", "w2": "a", "x2": "b"},
+            [("w", "x"), ("x", "y"), ("w2", "x2")],
+        )
+        q = QueryGraph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (2, 0)])
+        engine = KGPMEngine(g)
+        matches = engine.top_k(q, 10)
+        assert len(matches) == 1  # the (w2, x2) component has no c node

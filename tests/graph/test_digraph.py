@@ -1,0 +1,187 @@
+"""Unit tests for the labeled digraph data model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import LabeledDiGraph, graph_from_edges
+
+
+def small_graph() -> LabeledDiGraph:
+    return graph_from_edges(
+        {"x": "a", "y": "b", "z": "b"},
+        [("x", "y", 2), ("x", "z"), ("y", "z", 3)],
+    )
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = small_graph()
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+        assert len(g) == 3
+
+    def test_add_node_idempotent_same_label(self):
+        g = LabeledDiGraph()
+        g.add_node(1, "a")
+        g.add_node(1, "a")
+        assert g.num_nodes == 1
+
+    def test_relabel_rejected(self):
+        g = LabeledDiGraph()
+        g.add_node(1, "a")
+        with pytest.raises(GraphError, match="relabel"):
+            g.add_node(1, "b")
+
+    def test_none_label_rejected(self):
+        g = LabeledDiGraph()
+        with pytest.raises(GraphError):
+            g.add_node(1, None)
+
+    def test_edge_requires_endpoints(self):
+        g = LabeledDiGraph()
+        g.add_node(1, "a")
+        with pytest.raises(GraphError):
+            g.add_edge(1, 2)
+
+    def test_self_loop_rejected(self):
+        g = LabeledDiGraph()
+        g.add_node(1, "a")
+        with pytest.raises(GraphError, match="self-loop"):
+            g.add_edge(1, 1)
+
+    def test_nonpositive_weight_rejected(self):
+        g = LabeledDiGraph()
+        g.add_node(1, "a")
+        g.add_node(2, "b")
+        with pytest.raises(GraphError, match="positive"):
+            g.add_edge(1, 2, 0)
+        with pytest.raises(GraphError, match="positive"):
+            g.add_edge(1, 2, -3)
+
+    def test_parallel_edges_keep_minimum_weight(self):
+        g = LabeledDiGraph()
+        g.add_node(1, "a")
+        g.add_node(2, "b")
+        g.add_edge(1, 2, 5)
+        g.add_edge(1, 2, 2)
+        g.add_edge(1, 2, 9)
+        assert g.edge_weight(1, 2) == 2
+        assert g.num_edges == 1
+
+
+class TestInspection:
+    def test_labels_and_lookup(self):
+        g = small_graph()
+        assert g.label("x") == "a"
+        assert g.labels() == {"a", "b"}
+        assert g.nodes_with_label("b") == frozenset({"y", "z"})
+        assert g.nodes_with_label("missing") == frozenset()
+
+    def test_successors_predecessors(self):
+        g = small_graph()
+        assert dict(g.successors("x")) == {"y": 2, "z": 1}
+        assert dict(g.predecessors("z")) == {"x": 1, "y": 3}
+        assert g.out_degree("x") == 2
+        assert g.in_degree("z") == 2
+
+    def test_has_edge_and_weight(self):
+        g = small_graph()
+        assert g.has_edge("x", "y")
+        assert not g.has_edge("y", "x")
+        assert g.edge_weight("y", "z") == 3
+        with pytest.raises(GraphError):
+            g.edge_weight("z", "x")
+
+    def test_unknown_node_raises(self):
+        g = small_graph()
+        with pytest.raises(GraphError):
+            g.label("nope")
+        with pytest.raises(GraphError):
+            g.successors("nope")
+        with pytest.raises(GraphError):
+            g.predecessors("nope")
+
+    def test_is_unit_weighted(self):
+        g = small_graph()
+        assert not g.is_unit_weighted()
+        unit = graph_from_edges({1: "a", 2: "b"}, [(1, 2)])
+        assert unit.is_unit_weighted()
+
+    def test_edges_iteration(self):
+        g = small_graph()
+        assert sorted(g.edges()) == [("x", "y", 2), ("x", "z", 1), ("y", "z", 3)]
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = small_graph()
+        g.remove_edge("x", "y")
+        assert not g.has_edge("x", "y")
+        assert g.num_edges == 2
+        with pytest.raises(GraphError):
+            g.remove_edge("x", "y")
+
+    def test_remove_node_cascades(self):
+        g = small_graph()
+        g.remove_node("z")
+        assert g.num_nodes == 2
+        assert g.num_edges == 1  # only x->y remains
+        assert "b" in g.labels()  # y still carries b
+        g.remove_node("y")
+        assert g.labels() == {"a"}
+
+    def test_remove_missing_node(self):
+        g = small_graph()
+        with pytest.raises(GraphError):
+            g.remove_node("ghost")
+
+
+class TestDerivation:
+    def test_copy_is_independent(self):
+        g = small_graph()
+        clone = g.copy()
+        clone.remove_node("z")
+        assert g.num_nodes == 3
+        assert clone.num_nodes == 2
+
+    def test_subgraph(self):
+        g = small_graph()
+        sub = g.subgraph(["x", "y"])
+        assert sub.num_nodes == 2
+        assert sub.num_edges == 1
+        assert sub.has_edge("x", "y")
+
+    def test_subgraph_unknown_node(self):
+        g = small_graph()
+        with pytest.raises(GraphError):
+            g.subgraph(["x", "ghost"])
+
+    def test_bidirected_doubles_edges(self):
+        g = small_graph()
+        both = g.bidirected()
+        assert both.num_edges == 6
+        assert both.has_edge("y", "x")
+        assert both.edge_weight("y", "x") == 2
+
+
+@given(
+    edges=st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=40
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_edge_count_matches_distinct_pairs(edges):
+    """Property: num_edges equals the number of distinct non-loop pairs."""
+    g = LabeledDiGraph()
+    for i in range(10):
+        g.add_node(i, f"l{i % 3}")
+    expected = set()
+    for tail, head in edges:
+        if tail == head:
+            continue
+        g.add_edge(tail, head)
+        expected.add((tail, head))
+    assert g.num_edges == len(expected)
+    assert {(t, h) for t, h, _ in g.edges()} == expected

@@ -1,0 +1,103 @@
+"""Tests for the synthetic dataset generators."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import (
+    citation_graph,
+    erdos_renyi_graph,
+    layered_graph,
+    powerlaw_graph,
+)
+from repro.graph.traversal import connected_component
+
+
+class TestPowerlaw:
+    def test_determinism(self):
+        a = powerlaw_graph(300, seed=5)
+        b = powerlaw_graph(300, seed=5)
+        assert sorted(a.edges()) == sorted(b.edges())
+        assert {n: a.label(n) for n in a.nodes()} == {
+            n: b.label(n) for n in b.nodes()
+        }
+
+    def test_different_seeds_differ(self):
+        a = powerlaw_graph(300, seed=1)
+        b = powerlaw_graph(300, seed=2)
+        assert sorted(a.edges()) != sorted(b.edges())
+
+    def test_average_out_degree_close_to_target(self):
+        g = powerlaw_graph(2000, avg_out_degree=3.0, seed=0)
+        avg = g.num_edges / g.num_nodes
+        assert 1.5 <= avg <= 4.5
+
+    def test_heavy_tail_in_degree(self):
+        g = powerlaw_graph(2000, seed=0)
+        degrees = sorted((g.in_degree(v) for v in g.nodes()), reverse=True)
+        # Preferential attachment: the hottest node dominates the median.
+        assert degrees[0] >= 10 * max(degrees[len(degrees) // 2], 1)
+
+    def test_weakly_connected(self):
+        g = powerlaw_graph(500, seed=3)
+        assert len(connected_component(g, 0)) == g.num_nodes
+
+    def test_label_alphabet_respected(self):
+        g = powerlaw_graph(400, num_labels=7, seed=0)
+        assert len(g.labels()) <= 7
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            powerlaw_graph(1)
+
+
+class TestCitation:
+    def test_is_dag(self):
+        g = citation_graph(500, seed=4)
+        # Edges always point from newer (higher id) to older papers.
+        assert all(tail > head for tail, head, _ in g.edges())
+
+    def test_determinism(self):
+        a = citation_graph(300, seed=9)
+        b = citation_graph(300, seed=9)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_zipf_labels_are_skewed(self):
+        g = citation_graph(3000, num_labels=30, seed=0)
+        counts = sorted(
+            (len(g.nodes_with_label(l)) for l in g.labels()), reverse=True
+        )
+        assert counts[0] >= 4 * counts[-1]
+
+    def test_too_small_rejected(self):
+        with pytest.raises(GraphError):
+            citation_graph(1)
+
+
+class TestErdosRenyi:
+    def test_edge_budget(self):
+        g = erdos_renyi_graph(50, 120, seed=0)
+        assert g.num_edges <= 120
+        assert g.num_edges >= 100  # dense enough to nearly fill the budget
+
+    def test_determinism(self):
+        a = erdos_renyi_graph(40, 80, seed=2)
+        b = erdos_renyi_graph(40, 80, seed=2)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestLayered:
+    def test_structure(self):
+        g = layered_graph(["a", "b", "c"], nodes_per_layer=4, seed=1)
+        assert g.num_nodes == 12
+        for tail, head, _ in g.edges():
+            assert g.label(tail) != g.label(head)
+
+    def test_every_upper_node_has_a_child(self):
+        g = layered_graph(["a", "b"], nodes_per_layer=5,
+                          edge_probability=0.01, seed=1)
+        for v in g.nodes_with_label("a"):
+            assert g.out_degree(v) >= 1
+
+    def test_weight_range(self):
+        g = layered_graph(["a", "b"], 3, weight_range=(2, 5), seed=0)
+        assert all(2 <= w <= 5 for _, __, w in g.edges())

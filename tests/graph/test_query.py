@@ -1,0 +1,189 @@
+"""Unit tests for query trees and query graphs."""
+
+import pytest
+
+from repro.exceptions import NotATreeError, QueryError
+from repro.graph.query import (
+    WILDCARD,
+    EdgeType,
+    QueryGraph,
+    QueryTree,
+    path_query,
+    star_query,
+)
+
+
+def fig2_query() -> QueryTree:
+    """u1(a) -> u2(b), u1 -> u3(c); u3 -> u4(d), u3 -> u5(e)."""
+    return QueryTree(
+        {"u1": "a", "u2": "b", "u3": "c", "u4": "d", "u5": "e"},
+        [("u1", "u2"), ("u1", "u3"), ("u3", "u4"), ("u3", "u5")],
+    )
+
+
+class TestShapeValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError):
+            QueryTree({}, [])
+
+    def test_single_node_tree(self):
+        q = QueryTree({0: "a"}, [])
+        assert q.root == 0
+        assert q.num_nodes == 1
+        assert q.is_leaf(0)
+
+    def test_two_parents_rejected(self):
+        with pytest.raises(NotATreeError, match="two parents"):
+            QueryTree({0: "a", 1: "b", 2: "c"}, [(0, 2), (1, 2)])
+
+    def test_two_roots_rejected(self):
+        with pytest.raises(NotATreeError, match="root"):
+            QueryTree({0: "a", 1: "b", 2: "c", 3: "d"}, [(0, 1), (2, 3)])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(NotATreeError):
+            QueryTree({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (2, 0)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(NotATreeError):
+            QueryTree({0: "a", 1: "b"}, [(0, 0), (0, 1)])
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(QueryError):
+            QueryTree({0: "a"}, [(0, 99)])
+
+
+class TestBfsOrder:
+    def test_lemma_3_1_parent_precedes_child(self):
+        q = fig2_query()
+        order = list(q.bfs_order())
+        for node in order[1:]:
+            assert order.index(q.parent(node)) < order.index(node)
+
+    def test_root_first(self):
+        q = fig2_query()
+        assert q.bfs_order()[0] == "u1"
+        assert q.position("u1") == 0
+
+    def test_breadth_first_levels(self):
+        q = fig2_query()
+        depths = [q.depth(u) for u in q.bfs_order()]
+        assert depths == sorted(depths)
+
+
+class TestAccessors:
+    def test_children_and_parent(self):
+        q = fig2_query()
+        assert list(q.children("u1")) == ["u2", "u3"]
+        assert q.parent("u4") == "u3"
+        assert q.parent("u1") is None
+        assert q.is_leaf("u2")
+        assert not q.is_leaf("u3")
+
+    def test_subtree_sizes(self):
+        q = fig2_query()
+        assert q.subtree_size("u1") == 5
+        assert q.subtree_size("u3") == 3
+        assert q.subtree_size("u4") == 1
+
+    def test_remaining_lower_bound(self):
+        q = fig2_query()
+        # Paper: L(u) = nT - 1 - |T_u|; zero for the root.
+        assert q.remaining_lower_bound("u1") == 0
+        assert q.remaining_lower_bound("u3") == 5 - 1 - 3
+        assert q.remaining_lower_bound("u4") == 5 - 1 - 1
+
+    def test_max_degree(self):
+        q = fig2_query()
+        assert q.max_degree() == 2
+
+    def test_edge_types_default_descendant(self):
+        q = fig2_query()
+        assert q.edge_type("u1", "u2") is EdgeType.DESCENDANT
+        assert q.uses_only_descendant_edges()
+
+    def test_explicit_child_edge(self):
+        q = QueryTree({0: "a", 1: "b"}, [(0, 1, EdgeType.CHILD)])
+        assert q.edge_type(0, 1) is EdgeType.CHILD
+        assert not q.uses_only_descendant_edges()
+
+    def test_edge_type_unknown_edge(self):
+        q = fig2_query()
+        with pytest.raises(QueryError):
+            q.edge_type("u2", "u1")
+
+    def test_unknown_node_accessors(self):
+        q = fig2_query()
+        with pytest.raises(QueryError):
+            q.label("nope")
+        with pytest.raises(QueryError):
+            q.children("nope")
+        with pytest.raises(QueryError):
+            q.parent("nope")
+
+
+class TestLabelProperties:
+    def test_distinct_labels(self):
+        q = fig2_query()
+        assert q.has_distinct_labels()
+        assert q.label_duplication_ratio() == 0.0
+
+    def test_duplicate_labels_ratio(self):
+        q = QueryTree({0: "a", 1: "b", 2: "b", 3: "a"}, [(0, 1), (0, 2), (1, 3)])
+        assert not q.has_distinct_labels()
+        assert q.label_duplication_ratio() == pytest.approx(0.5)
+
+    def test_wildcard_detection(self):
+        q = QueryTree({0: "a", 1: WILDCARD}, [(0, 1)])
+        assert q.is_wildcard(1)
+        assert not q.is_wildcard(0)
+        assert not q.has_distinct_labels()
+
+
+class TestBuilders:
+    def test_path_query(self):
+        q = path_query(["a", "b", "c"])
+        assert q.num_nodes == 3
+        assert q.depth(2) == 2
+        assert q.label(q.root) == "a"
+
+    def test_path_query_empty(self):
+        with pytest.raises(QueryError):
+            path_query([])
+
+    def test_star_query(self):
+        q = star_query("r", ["x", "y", "z"])
+        assert q.num_nodes == 4
+        assert q.max_degree() == 3
+        assert all(q.is_leaf(c) for c in q.children(q.root))
+
+
+class TestQueryGraph:
+    def test_basic(self):
+        qg = QueryGraph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (2, 0)])
+        assert qg.num_nodes == 3
+        assert qg.num_edges == 3
+        assert qg.degree(0) == 2
+        assert qg.neighbors(1) == frozenset({0, 2})
+
+    def test_duplicate_edges_collapse(self):
+        qg = QueryGraph({0: "a", 1: "b"}, [(0, 1), (1, 0)])
+        assert qg.num_edges == 1
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(QueryError, match="connected"):
+            QueryGraph({0: "a", 1: "b", 2: "c", 3: "d"}, [(0, 1), (2, 3)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(QueryError):
+            QueryGraph({0: "a", 1: "b"}, [(0, 0), (0, 1)])
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(QueryError):
+            QueryGraph({0: "a"}, [(0, 5)])
+
+    def test_labels_copy(self):
+        qg = QueryGraph({0: "a", 1: "b"}, [(0, 1)])
+        labels = qg.labels()
+        labels[0] = "mutated"
+        assert qg.label(0) == "a"

@@ -1,0 +1,88 @@
+"""Tests for traversal primitives (BFS/Dijkstra distances)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import graph_from_edges
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.traversal import (
+    bfs_distances,
+    connected_component,
+    dijkstra_distances,
+    reachable_from,
+    single_source_distances,
+)
+
+
+def line_graph():
+    return graph_from_edges(
+        {i: f"l{i}" for i in range(4)}, [(0, 1), (1, 2), (2, 3)]
+    )
+
+
+class TestBfs:
+    def test_line(self):
+        g = line_graph()
+        assert bfs_distances(g, 0) == {1: 1, 2: 2, 3: 3}
+        assert bfs_distances(g, 3) == {}
+
+    def test_no_self_distance_without_cycle(self):
+        g = line_graph()
+        assert 0 not in bfs_distances(g, 0)
+
+    def test_cycle_gives_self_distance(self):
+        g = graph_from_edges({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (2, 0)])
+        d = bfs_distances(g, 0)
+        assert d[0] == 3
+        assert d[1] == 1
+        assert d[2] == 2
+
+    def test_two_cycle(self):
+        g = graph_from_edges({0: "a", 1: "b"}, [(0, 1), (1, 0)])
+        assert bfs_distances(g, 0) == {1: 1, 0: 2}
+
+
+class TestDijkstra:
+    def test_weighted_shortcut(self):
+        g = graph_from_edges(
+            {0: "a", 1: "b", 2: "c"},
+            [(0, 1, 10), (0, 2, 1), (2, 1, 2)],
+        )
+        assert dijkstra_distances(g, 0) == {2: 1, 1: 3}
+
+    def test_cycle_self_distance_weighted(self):
+        g = graph_from_edges(
+            {0: "a", 1: "b"}, [(0, 1, 2.5), (1, 0, 1.5)]
+        )
+        d = dijkstra_distances(g, 0)
+        assert d[0] == 4.0
+
+    def test_dispatch_matches_bfs_on_unit_graphs(self):
+        g = erdos_renyi_graph(30, 80, seed=1)
+        for source in list(g.nodes())[:10]:
+            assert single_source_distances(g, source) == dijkstra_distances(
+                g, source
+            )
+
+
+class TestReachability:
+    def test_reachable_from(self):
+        g = line_graph()
+        assert reachable_from(g, 0) == {1, 2, 3}
+        assert reachable_from(g, 3) == set()
+
+    def test_connected_component_ignores_direction(self):
+        g = line_graph()
+        assert connected_component(g, 3) == {0, 1, 2, 3}
+
+
+@given(st.integers(0, 1_000_000))
+@settings(max_examples=25, deadline=None)
+def test_bfs_equals_dijkstra_property(seed):
+    """Property: on unit-weight random graphs BFS == Dijkstra everywhere."""
+    rng = random.Random(seed)
+    g = erdos_renyi_graph(rng.randint(5, 25), rng.randint(5, 60), seed=seed)
+    for source in g.nodes():
+        assert bfs_distances(g, source) == dijkstra_distances(g, source)

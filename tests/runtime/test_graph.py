@@ -1,0 +1,143 @@
+"""Tests for run-time graph identification and pruning."""
+
+import pytest
+
+from repro.closure.store import ClosureStore
+from repro.closure.transitive import TransitiveClosure
+from repro.exceptions import MatchingError
+from repro.graph.digraph import graph_from_edges
+from repro.graph.query import EdgeType, QueryTree
+from repro.runtime.graph import assignment_score, build_runtime_graph
+from repro.twig.semantics import ContainmentMatcher
+
+
+def make_store(graph, block_size=4):
+    return ClosureStore(graph, TransitiveClosure(graph), block_size=block_size)
+
+
+class TestFigure4:
+    def test_slots_and_candidates(self, figure4_graph, figure4_query):
+        store = make_store(figure4_graph)
+        gr = build_runtime_graph(store, figure4_query)
+        assert gr.viable_candidates("u1") == {"v1"}
+        assert gr.viable_candidates("u3") == {"v3", "v4", "v5", "v6"}
+        assert gr.viable_candidates("u4") == {"v7"}
+        assert gr.roots() == ["v1"]
+        slot = dict(gr.slot("u1", "v1", "u3"))
+        assert slot == {"v3": 1, "v4": 1, "v5": 1, "v6": 1}
+
+    def test_raw_statistics(self, figure4_graph, figure4_query):
+        store = make_store(figure4_graph)
+        gr = build_runtime_graph(store, figure4_query)
+        # Raw edges: a->b (1), a->c (4), c->d (4) = 9.
+        assert gr.raw_num_edges == 9
+        assert gr.num_edges == 9  # nothing pruned here
+        assert gr.raw_num_nodes == 7
+        assert gr.max_slot_size() == 4
+
+
+class TestPruning:
+    def test_bottom_up_prunes_childless_candidates(self):
+        # b2 has no c-child, so (u_b, b2) must be pruned, and with it the
+        # root a2 that only reaches b2.
+        g = graph_from_edges(
+            {"a1": "a", "a2": "a", "b1": "b", "b2": "b", "c1": "c"},
+            [("a1", "b1"), ("a2", "b2"), ("b1", "c1")],
+        )
+        q = QueryTree({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        gr = build_runtime_graph(make_store(g), q)
+        assert gr.viable_candidates(1) == {"b1"}
+        assert gr.roots() == ["a1"]
+        assert gr.raw_num_edges > gr.num_edges
+
+    def test_top_down_prunes_orphans(self):
+        # c2 is only reachable from b2, which is not reachable from any
+        # root: top-down pruning must drop both.
+        g = graph_from_edges(
+            {"a1": "a", "b1": "b", "b2": "b", "c1": "c", "c2": "c"},
+            [("a1", "b1"), ("b1", "c1"), ("b2", "c2")],
+        )
+        q = QueryTree({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        gr = build_runtime_graph(make_store(g), q)
+        assert gr.viable_candidates(1) == {"b1"}
+        assert gr.viable_candidates(2) == {"c1"}
+
+    def test_prune_disabled_keeps_raw(self):
+        g = graph_from_edges(
+            {"a1": "a", "b1": "b", "b2": "b", "c1": "c"},
+            [("a1", "b1"), ("a1", "b2"), ("b1", "c1")],
+        )
+        q = QueryTree({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        gr = build_runtime_graph(make_store(g), q, prune=False)
+        assert "b2" in gr.viable_candidates(1)
+
+    def test_empty_result_when_unmatchable(self):
+        g = graph_from_edges({"a1": "a", "b1": "b"}, [("a1", "b1")])
+        q = QueryTree({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        gr = build_runtime_graph(make_store(g), q)
+        assert gr.roots() == []
+        assert gr.num_nodes == 0
+
+
+class TestEdgeSemantics:
+    def test_child_edges_restrict_to_direct(self, figure4_graph):
+        store = make_store(figure4_graph)
+        q = QueryTree({0: "a", 1: "d"}, [(0, 1, EdgeType.CHILD)])
+        gr = build_runtime_graph(store, q)
+        assert gr.roots() == []  # a reaches d only via 2-hop paths
+        q2 = QueryTree({0: "a", 1: "d"}, [(0, 1, EdgeType.DESCENDANT)])
+        gr2 = build_runtime_graph(store, q2)
+        assert gr2.roots() == ["v1"]
+
+    def test_wildcard_child(self, figure4_graph):
+        from repro.graph.query import WILDCARD
+
+        store = make_store(figure4_graph)
+        q = QueryTree({0: "c", 1: WILDCARD}, [(0, 1)])
+        gr = build_runtime_graph(store, q)
+        # Every c-node reaches v7 (label d); wildcard admits it.
+        assert gr.viable_candidates(1) == {"v7"}
+
+    def test_single_node_query(self, figure4_graph):
+        store = make_store(figure4_graph)
+        q = QueryTree({0: "c"}, [])
+        gr = build_runtime_graph(store, q)
+        assert gr.viable_candidates(0) == {"v3", "v4", "v5", "v6"}
+
+    def test_containment_matcher(self):
+        g = graph_from_edges(
+            {"x": "red+blue", "y": "blue", "z": "red"},
+            [("x", "y"), ("x", "z")],
+        )
+        q = QueryTree({0: "red", 1: "blue"}, [(0, 1)])
+        gr = build_runtime_graph(make_store(g), q, matcher=ContainmentMatcher())
+        # Root label "red" is contained in "red+blue" (x) and "red" (z);
+        # only x has a blue-containing successor.
+        assert gr.roots() == ["x"]
+        assert gr.viable_candidates(1) == {"y"}
+
+
+class TestAssignmentScore:
+    def test_valid_assignment(self, figure4_graph, figure4_query):
+        store = make_store(figure4_graph)
+        score = assignment_score(
+            store,
+            figure4_query,
+            {"u1": "v1", "u2": "v2", "u3": "v5", "u4": "v7"},
+        )
+        assert score == 1 + 1 + 1
+
+    def test_unreachable_assignment_rejected(self, figure4_graph, figure4_query):
+        store = make_store(figure4_graph)
+        with pytest.raises(MatchingError):
+            assignment_score(
+                store,
+                figure4_query,
+                {"u1": "v2", "u2": "v1", "u3": "v5", "u4": "v7"},
+            )
+
+    def test_child_edge_checked(self, figure4_graph):
+        store = make_store(figure4_graph)
+        q = QueryTree({0: "a", 1: "d"}, [(0, 1, EdgeType.CHILD)])
+        with pytest.raises(MatchingError):
+            assignment_score(store, q, {0: "v1", 1: "v7"})

@@ -1,0 +1,173 @@
+"""Tests for the L/H slot structures (Section 3.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.slots import DynamicSlot, ExclusionChain, StaticSlot
+
+
+def entries(*keys):
+    return [(k, f"n{i}") for i, k in enumerate(keys)]
+
+
+class TestStaticSlot:
+    def test_init_extracts_minimum(self):
+        slot = StaticSlot(entries(5, 2, 9, 4))
+        assert slot.min() == (2, "n1")
+        assert len(slot.extracted) == 1
+
+    def test_empty(self):
+        slot = StaticSlot([])
+        assert slot.min() is None
+        assert slot.ith(1) is None
+        assert not slot
+
+    def test_rank_two_peeks_without_extraction(self):
+        slot = StaticSlot(entries(5, 2, 9, 4))
+        assert slot.ith(2) == (4, "n3")
+        # Peek must not grow H (the O(1) Case-2 path).
+        assert len(slot.extracted) == 1
+        # And it is repeatable.
+        assert slot.ith(2) == (4, "n3")
+
+    def test_deep_rank_extracts(self):
+        slot = StaticSlot(entries(5, 2, 9, 4))
+        assert slot.ith(3) == (5, "n0")
+        assert len(slot.extracted) >= 3
+        assert slot.ith(4) == (9, "n2")
+        assert slot.ith(5) is None
+
+    def test_ranks_are_sorted(self):
+        keys = [7, 1, 3, 3, 9, 2, 8]
+        slot = StaticSlot(entries(*keys))
+        got = [slot.ith(r)[0] for r in range(1, len(keys) + 1)]
+        assert got == sorted(keys)
+
+    def test_invalid_rank(self):
+        slot = StaticSlot(entries(1))
+        with pytest.raises(ValueError):
+            slot.ith(0)
+
+    def test_materialize_rank(self):
+        slot = StaticSlot(entries(5, 2, 9, 4))
+        slot.materialize_rank(3)
+        assert [k for k, _ in slot.extracted] == [2, 4, 5]
+
+    def test_tie_breaking_deterministic(self):
+        slot_a = StaticSlot(entries(1, 1, 1))
+        slot_b = StaticSlot(entries(1, 1, 1))
+        ranks_a = [slot_a.ith(r) for r in (1, 2, 3)]
+        ranks_b = [slot_b.ith(r) for r in (1, 2, 3)]
+        assert ranks_a == ranks_b
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_rank_sequence_matches_sorted_property(self, keys):
+        slot = StaticSlot(entries(*keys))
+        got = [slot.ith(r)[0] for r in range(1, len(keys) + 1)]
+        assert got == sorted(keys)
+        assert slot.ith(len(keys) + 1) is None
+
+
+class TestExclusionChain:
+    def test_empty_chain(self):
+        assert ExclusionChain.length(None) == 0
+        assert not ExclusionChain.contains(None, "x")
+        assert list(ExclusionChain.iterate(None)) == []
+
+    def test_extension_shares_structure(self):
+        c1 = ExclusionChain.extend(None, "a")
+        c2 = ExclusionChain.extend(c1, "b")
+        c3 = ExclusionChain.extend(c1, "c")  # branch off c1
+        assert ExclusionChain.contains(c2, "a")
+        assert ExclusionChain.contains(c2, "b")
+        assert not ExclusionChain.contains(c2, "c")
+        assert ExclusionChain.contains(c3, "c")
+        assert ExclusionChain.length(c2) == 2
+        assert list(ExclusionChain.iterate(c2)) == ["b", "a"]
+
+
+class TestDynamicSlot:
+    def test_insert_and_min(self):
+        slot = DynamicSlot()
+        assert slot.min() is None
+        slot.insert(5, "a")
+        slot.insert(2, "b")
+        assert slot.min() == (2, "b")
+        assert len(slot) == 2
+
+    def test_duplicate_insert_rejected(self):
+        slot = DynamicSlot()
+        assert slot.insert(5, "a")
+        assert not slot.insert(3, "a")
+        assert slot.min() == (5, "a")
+        assert len(slot) == 1
+
+    def test_version_increments(self):
+        slot = DynamicSlot()
+        v0 = slot.version
+        slot.insert(1, "a")
+        assert slot.version == v0 + 1
+        slot.insert(1, "a")  # duplicate: no version bump
+        assert slot.version == v0 + 1
+
+    def test_best_excluding(self):
+        slot = DynamicSlot()
+        slot.insert(1, "a")
+        slot.insert(2, "b")
+        slot.insert(3, "c")
+        chain = ExclusionChain.extend(None, "a")
+        assert slot.best_excluding(chain) == (2, "b")
+        chain = ExclusionChain.extend(chain, "b")
+        assert slot.best_excluding(chain) == (3, "c")
+        chain = ExclusionChain.extend(chain, "c")
+        assert slot.best_excluding(chain) is None
+
+    def test_best_excluding_empty_chain(self):
+        slot = DynamicSlot()
+        slot.insert(4, "x")
+        assert slot.best_excluding(None) == (4, "x")
+
+    def test_entries_sorted(self):
+        slot = DynamicSlot()
+        for key, node in [(5, "a"), (1, "b"), (3, "c")]:
+            slot.insert(key, node)
+        assert [k for k, _ in slot.entries()] == [1, 3, 5]
+
+    def test_contains(self):
+        slot = DynamicSlot()
+        slot.insert(1, "a")
+        assert "a" in slot
+        assert "b" not in slot
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 10)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_implementation(self, pairs):
+        """Property: best_excluding == min over a plain filtered dict."""
+        slot = DynamicSlot()
+        reference: dict[int, int] = {}
+        for key, node in pairs:
+            if slot.insert(key, node):
+                reference[node] = key
+        rng = random.Random(42)
+        excluded_nodes = rng.sample(
+            sorted(reference), k=min(len(reference), 3)
+        )
+        chain = None
+        for node in excluded_nodes:
+            chain = ExclusionChain.extend(chain, node)
+        got = slot.best_excluding(chain)
+        remaining = {n: k for n, k in reference.items() if n not in excluded_nodes}
+        if not remaining:
+            assert got is None
+        else:
+            assert got[0] == min(remaining.values())

@@ -1,0 +1,119 @@
+"""End-to-end tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.digraph import graph_from_edges
+from repro.graph.query import QueryGraph, QueryTree
+from repro.io import save_graph_tsv, save_query
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    graph = graph_from_edges(
+        {"a0": "a", "b0": "b", "b1": "b", "c0": "c"},
+        [("a0", "b0"), ("a0", "b1", 2), ("b0", "c0"), ("b1", "c0")],
+    )
+    path = tmp_path / "graph.tsv"
+    save_graph_tsv(graph, path)
+    return path
+
+
+@pytest.fixture
+def tree_query_file(tmp_path):
+    query = QueryTree({"r": "a", "m": "b", "l": "c"}, [("r", "m"), ("m", "l")])
+    path = tmp_path / "query.json"
+    save_query(query, path)
+    return path
+
+
+@pytest.fixture
+def graph_query_file(tmp_path):
+    query = QueryGraph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (2, 0)])
+    path = tmp_path / "qg.json"
+    save_query(query, path)
+    return path
+
+
+class TestMatch:
+    def test_outputs_matches(self, graph_file, tree_query_file, capsys):
+        code = main(
+            [
+                "match",
+                "--graph", str(graph_file),
+                "--query", str(tree_query_file),
+                "-k", "5",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "matches"
+        scores = [m["score"] for m in payload["matches"]]
+        assert scores == [2.0, 3.0]
+
+    @pytest.mark.parametrize("alg", ["dp-b", "dp-p", "topk", "topk-en"])
+    def test_all_algorithms(self, graph_file, tree_query_file, capsys, alg):
+        code = main(
+            [
+                "match",
+                "--graph", str(graph_file),
+                "--query", str(tree_query_file),
+                "--algorithm", alg,
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [m["score"] for m in payload["matches"]] == [2.0, 3.0]
+
+    def test_rejects_graph_query(self, graph_file, graph_query_file, capsys):
+        code = main(
+            ["match", "--graph", str(graph_file), "--query", str(graph_query_file)]
+        )
+        assert code == 2
+
+
+class TestGpm:
+    def test_cycle_query(self, graph_file, graph_query_file, capsys):
+        code = main(
+            ["gpm", "--graph", str(graph_file), "--query", str(graph_query_file)]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["matches"], "expected at least one pattern match"
+
+    def test_rejects_tree_query(self, graph_file, tree_query_file):
+        code = main(
+            ["gpm", "--graph", str(graph_file), "--query", str(tree_query_file)]
+        )
+        assert code == 2
+
+
+class TestStats:
+    def test_reports_closure(self, graph_file, capsys):
+        code = main(["stats", "--graph", str(graph_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "closure pairs" in out
+        assert "theta" in out
+
+
+class TestGenerate:
+    @pytest.mark.parametrize("family", ["citation", "powerlaw", "uniform"])
+    def test_generates_loadable_graph(self, tmp_path, capsys, family):
+        out = tmp_path / "gen.tsv"
+        code = main(
+            [
+                "generate",
+                "--family", family,
+                "--nodes", "60",
+                "--labels", "5",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        from repro.io import load_graph_tsv
+
+        graph = load_graph_tsv(out)
+        assert graph.num_nodes == 60

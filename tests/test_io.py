@@ -1,0 +1,118 @@
+"""Tests for serialization (TSV graphs, JSON queries/matches)."""
+
+import io
+
+import pytest
+
+from repro.core.matches import Match
+from repro.exceptions import GraphError, QueryError
+from repro.graph.digraph import graph_from_edges
+from repro.graph.query import EdgeType, QueryGraph, QueryTree
+from repro.io import (
+    load_graph_tsv,
+    load_query,
+    matches_from_json,
+    matches_to_json,
+    query_graph_from_dict,
+    query_graph_to_dict,
+    query_tree_from_dict,
+    query_tree_to_dict,
+    save_graph_tsv,
+    save_query,
+)
+
+
+class TestGraphTsv:
+    def test_round_trip(self, tmp_path):
+        graph = graph_from_edges(
+            {"a": "x", "b": "y"}, [("a", "b", 2.5)]
+        )
+        path = tmp_path / "g.tsv"
+        save_graph_tsv(graph, path)
+        loaded = load_graph_tsv(path)
+        assert loaded.num_nodes == 2
+        assert loaded.edge_weight("a", "b") == 2.5
+        assert loaded.label("a") == "x"
+
+    def test_unit_weights_omitted(self):
+        graph = graph_from_edges({"a": "x", "b": "y"}, [("a", "b")])
+        buffer = io.StringIO()
+        save_graph_tsv(graph, buffer)
+        assert "edge\ta\tb\n" in buffer.getvalue()
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# header\n\nnode\tn1\tA\nnode\tn2\tB\nedge\tn1\tn2\t3\n"
+        graph = load_graph_tsv(io.StringIO(text))
+        assert graph.edge_weight("n1", "n2") == 3
+
+    def test_edges_may_precede_nodes(self):
+        text = "edge\tn1\tn2\nnode\tn1\tA\nnode\tn2\tB\n"
+        graph = load_graph_tsv(io.StringIO(text))
+        assert graph.has_edge("n1", "n2")
+
+    def test_malformed_node_line(self):
+        with pytest.raises(GraphError, match="line 1"):
+            load_graph_tsv(io.StringIO("node\tonlyid\n"))
+
+    def test_unknown_declaration(self):
+        with pytest.raises(GraphError, match="unknown declaration"):
+            load_graph_tsv(io.StringIO("vertex\ta\tb\n"))
+
+
+class TestQueryJson:
+    def test_tree_round_trip(self, tmp_path):
+        query = QueryTree(
+            {"r": "a", "c": "b"}, [("r", "c", EdgeType.CHILD)]
+        )
+        path = tmp_path / "q.json"
+        save_query(query, path)
+        loaded = load_query(path)
+        assert isinstance(loaded, QueryTree)
+        assert loaded.label("r") == "a"
+        assert loaded.edge_type("r", "c") is EdgeType.CHILD
+
+    def test_tree_dict_round_trip(self):
+        query = QueryTree({"r": "a", "c": "b", "d": "c"}, [("r", "c"), ("r", "d")])
+        clone = query_tree_from_dict(query_tree_to_dict(query))
+        assert {u: clone.label(u) for u in clone.nodes()} == {
+            str(u): query.label(u) for u in query.nodes()
+        }
+
+    def test_graph_round_trip(self, tmp_path):
+        query = QueryGraph({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (2, 0)])
+        path = tmp_path / "qg.json"
+        save_query(query, path)
+        loaded = load_query(path)
+        assert isinstance(loaded, QueryGraph)
+        assert loaded.num_edges == 3
+
+    def test_graph_dict_round_trip(self):
+        query = QueryGraph({0: "a", 1: "b"}, [(0, 1)])
+        clone = query_graph_from_dict(query_graph_to_dict(query))
+        assert clone.num_nodes == 2
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(QueryError):
+            query_tree_from_dict({"kind": "query-graph", "nodes": {}, "edges": []})
+        with pytest.raises(QueryError):
+            query_graph_from_dict({"kind": "query-tree", "nodes": {}, "edges": []})
+
+    def test_unknown_kind(self):
+        with pytest.raises(QueryError, match="unknown query kind"):
+            load_query(io.StringIO('{"kind": "mystery"}'))
+
+
+class TestMatchesJson:
+    def test_round_trip(self):
+        matches = [
+            Match({"u": "v1"}, 2.0),
+            Match({"u": "v2"}, 3.5),
+        ]
+        text = matches_to_json(matches)
+        loaded = matches_from_json(text)
+        assert [m.score for m in loaded] == [2.0, 3.5]
+        assert loaded[0].assignment == {"u": "v1"}
+
+    def test_wrong_document(self):
+        with pytest.raises(QueryError):
+            matches_from_json('{"kind": "nope"}')

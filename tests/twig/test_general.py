@@ -1,0 +1,136 @@
+"""Tests for Topk-GT: general twig queries end-to-end."""
+
+import random
+
+import pytest
+
+from repro.closure.store import ClosureStore
+from repro.closure.transitive import TransitiveClosure
+from repro.core.brute_force import all_matches
+from repro.exceptions import QueryError
+from repro.graph.digraph import graph_from_edges
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.query import WILDCARD, EdgeType, QueryTree
+from repro.runtime.graph import build_runtime_graph
+from repro.twig import ContainmentMatcher, TopkGT, general_topk
+
+
+def make_store(graph, block_size=2):
+    return ClosureStore(graph, TransitiveClosure(graph), block_size=block_size)
+
+
+class TestDuplicateLabels:
+    def test_same_label_twice(self, figure4_graph):
+        # c -> c is unsatisfiable here (no c reaches another c)...
+        q = QueryTree({0: "a", 1: "c", 2: "c"}, [(0, 1), (0, 2)])
+        store = make_store(figure4_graph)
+        matches = TopkGT(store, q).top_k(3)
+        # Both c positions map independently (non-injective allowed); all
+        # four c-nodes sit at distance 1, so the best match doubles up one
+        # node at score 2.
+        assert matches[0].score == 2
+        assert matches[0].assignment[1] == matches[0].assignment[2]
+
+    def test_non_injective_allowed(self):
+        g = graph_from_edges(
+            {"r": "a", "x": "b"}, [("r", "x")]
+        )
+        q = QueryTree({0: "a", 1: "b", 2: "b"}, [(0, 1), (0, 2)])
+        matches = TopkGT(make_store(g), q).top_k(5)
+        assert len(matches) == 1
+        assert matches[0].assignment[1] == matches[0].assignment[2] == "x"
+
+
+class TestWildcards:
+    def test_wildcard_leaf(self, figure4_graph):
+        q = QueryTree({0: "c", 1: WILDCARD}, [(0, 1)])
+        store = make_store(figure4_graph)
+        matches = TopkGT(store, q).top_k(10)
+        # Each c-node's only descendant is v7.
+        assert [m.score for m in matches] == [1, 2, 3, 4]
+
+    def test_wildcard_internal(self, figure4_graph):
+        q = QueryTree({0: "a", 1: WILDCARD, 2: "d"}, [(0, 1), (1, 2)])
+        store = make_store(figure4_graph)
+        matches = TopkGT(store, q).top_k(3)
+        # Best: v1 -> v5 -> v7 with score 2.
+        assert matches[0].score == 2
+        assert matches[0].assignment[1] == "v5"
+
+    def test_wildcard_root_rejected(self, figure4_graph):
+        q = QueryTree({0: WILDCARD, 1: "d"}, [(0, 1)])
+        with pytest.raises(QueryError, match="wildcard root"):
+            TopkGT(make_store(figure4_graph), q)
+
+
+class TestChildEdges:
+    def test_child_edge_enforced(self, figure4_graph):
+        store = make_store(figure4_graph)
+        q = QueryTree(
+            {0: "a", 1: "c", 2: "d"},
+            [(0, 1, EdgeType.CHILD), (1, 2, EdgeType.CHILD)],
+        )
+        matches = TopkGT(store, q).top_k(10)
+        assert [m.score for m in matches] == [2, 3, 4, 5]
+
+    def test_mixed_edges(self, figure4_graph):
+        store = make_store(figure4_graph)
+        q = QueryTree(
+            {0: "a", 1: "d"},
+            [(0, 1, EdgeType.DESCENDANT)],
+        )
+        assert TopkGT(store, q).top_k(1)[0].score == 2
+
+
+class TestContainment:
+    def test_containment_end_to_end(self):
+        g = graph_from_edges(
+            {
+                "p1": "db+ml",
+                "p2": "db",
+                "c1": "sys+db",
+                "c2": "ml",
+            },
+            [("p1", "c1", 1), ("p1", "c2", 2), ("p2", "c1", 1)],
+        )
+        q = QueryTree({0: "db", 1: "db"}, [(0, 1)])
+        store = make_store(g)
+        matches = general_topk(store, q, 5, matcher=ContainmentMatcher())
+        # Parents containing db: p1, p2; children containing db: c1.
+        assert [m.score for m in matches] == [1, 1]
+        roots = {m.assignment[0] for m in matches}
+        assert roots == {"p1", "p2"}
+
+
+class TestAlgorithmsAgree:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_gt_matches_oracle(self, seed):
+        rng = random.Random(seed)
+        g = erdos_renyi_graph(
+            rng.randint(6, 12), rng.randint(8, 30), num_labels=3, seed=seed
+        )
+        store = make_store(g, block_size=rng.choice([1, 4, 32]))
+        labels = sorted(g.labels())
+        size = rng.randint(2, 5)
+        qlabels = {0: rng.choice(labels)}
+        edges = []
+        for i in range(1, size):
+            qlabels[i] = rng.choice(
+                labels + ([WILDCARD] if rng.random() < 0.3 else [])
+            )
+            etype = (
+                EdgeType.CHILD if rng.random() < 0.3 else EdgeType.DESCENDANT
+            )
+            edges.append((rng.randrange(i), i, etype))
+        q = QueryTree(qlabels, edges)
+        gr = build_runtime_graph(store, q)
+        oracle = [m.score for m in all_matches(gr, limit=400_000)]
+        k = rng.choice([1, 5, 20])
+        for alg in ("topk-gt", "topk", "dp-b", "brute-force"):
+            got = [m.score for m in general_topk(store, q, k, algorithm=alg)]
+            assert got == oracle[:k], (alg, seed)
+
+    def test_unknown_algorithm(self, figure4_graph, figure4_query):
+        store = make_store(figure4_graph)
+        with pytest.raises(ValueError):
+            general_topk(store, figure4_query, 1, algorithm="nope")

@@ -1,0 +1,59 @@
+"""Tests for label-matching semantics."""
+
+from repro.graph.query import WILDCARD
+from repro.twig.semantics import EQUALITY, ContainmentMatcher, LabelMatcher
+
+
+class TestEqualityMatcher:
+    def test_exact_match(self):
+        assert EQUALITY.matches("a", "a")
+        assert not EQUALITY.matches("a", "b")
+
+    def test_wildcard_matches_everything(self):
+        assert EQUALITY.matches(WILDCARD, "anything")
+
+    def test_data_labels_for(self):
+        assert EQUALITY.data_labels_for("a", ["a", "b"]) == ["a"]
+        assert EQUALITY.data_labels_for(WILDCARD, ["a", "b"]) is None
+
+    def test_data_labels_for_absent_label(self):
+        # Equality matching does not consult the alphabet.
+        assert LabelMatcher().data_labels_for("zz", ["a"]) == ["zz"]
+
+
+class TestContainmentMatcher:
+    def test_string_tokens(self):
+        m = ContainmentMatcher()
+        assert m.matches("red", "red+blue")
+        assert m.matches("red+blue", "blue+red+green")
+        assert not m.matches("red+blue", "red")
+
+    def test_frozenset_labels(self):
+        m = ContainmentMatcher()
+        assert m.matches(frozenset({"a"}), frozenset({"a", "b"}))
+        assert not m.matches(frozenset({"a", "c"}), frozenset({"a", "b"}))
+
+    def test_tuple_and_scalar_labels(self):
+        m = ContainmentMatcher()
+        assert m.matches(("a",), ("a", "b"))
+        assert m.matches(5, (5, 6))
+        assert not m.matches(7, (5, 6))
+
+    def test_wildcard(self):
+        m = ContainmentMatcher()
+        assert m.matches(WILDCARD, "x")
+        assert m.data_labels_for(WILDCARD, ["x"]) is None
+
+    def test_data_labels_for_scans_alphabet(self):
+        m = ContainmentMatcher()
+        labels = ["red", "red+blue", "blue", "green+red"]
+        assert m.data_labels_for("red", labels) == [
+            "red",
+            "red+blue",
+            "green+red",
+        ]
+
+    def test_custom_delimiter(self):
+        m = ContainmentMatcher(delimiter="|")
+        assert m.matches("a", "a|b")
+        assert not m.matches("a", "a+b")  # '+' is literal now

@@ -1,0 +1,97 @@
+"""Tests for undirected tree queries and root selection."""
+
+import random
+
+import pytest
+
+from repro.closure.store import ClosureStore
+from repro.core.topk_en import TopkEN
+from repro.exceptions import QueryError
+from repro.graph.digraph import graph_from_edges
+from repro.graph.generators import erdos_renyi_graph
+from repro.twig.undirected import (
+    UndirectedTreeQuery,
+    select_root,
+    undirected_top_k,
+)
+
+
+def collaboration_graph():
+    return graph_from_edges(
+        {"p1": "a", "p2": "b", "p3": "c", "p4": "b", "p5": "c"},
+        [("p1", "p2"), ("p2", "p3"), ("p1", "p4"), ("p4", "p5")],
+    )
+
+
+class TestUndirectedTreeQuery:
+    def test_rooted_at_every_node(self):
+        q = UndirectedTreeQuery({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        for root in (0, 1, 2):
+            tree = q.rooted_at(root)
+            assert tree.root == root
+            assert tree.num_nodes == 3
+
+    def test_cyclic_rejected(self):
+        with pytest.raises(QueryError, match="acyclic"):
+            UndirectedTreeQuery(
+                {0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (2, 0)]
+            )
+
+    def test_rootings_enumerates_all(self):
+        q = UndirectedTreeQuery({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        assert {t.root for t in q.rootings()} == {0, 1, 2}
+
+
+class TestRootInvariance:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_scores_identical_for_every_root(self, seed):
+        rng = random.Random(seed)
+        g = erdos_renyi_graph(
+            rng.randint(6, 12), rng.randint(8, 26), num_labels=4, seed=seed
+        )
+        labels = sorted(g.labels())
+        rng.shuffle(labels)
+        size = min(len(labels), 4)
+        if size < 2:
+            pytest.skip("degenerate labeling")
+        q = UndirectedTreeQuery(
+            {i: labels[i] for i in range(size)},
+            [(rng.randrange(i), i) for i in range(1, size)],
+        )
+        store = ClosureStore.build(g.bidirected())
+        reference = None
+        for tree in q.rootings():
+            scores = [m.score for m in TopkEN(store, tree).top_k(8)]
+            if reference is None:
+                reference = scores
+            else:
+                assert scores == reference, tree.root
+
+
+class TestRootSelection:
+    def test_select_root_minimizes_cost(self):
+        g = collaboration_graph()
+        store = ClosureStore.build(g.bidirected())
+        q = UndirectedTreeQuery({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        chosen = select_root(q, store.closure)
+        counts = store.closure.same_type_statistics()
+        from repro.gpm.decompose import decomposition_cost
+
+        chosen_cost = decomposition_cost((chosen, []), counts)
+        for tree in q.rootings():
+            assert chosen_cost <= decomposition_cost((tree, []), counts)
+
+    def test_undirected_top_k_end_to_end(self):
+        g = collaboration_graph()
+        q = UndirectedTreeQuery({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        matches = undirected_top_k(g, q, 5)
+        assert matches
+        # Best: p1-p2-p3 or p1-p4-p5, both with two unit hops.
+        assert matches[0].score == 2
+
+    def test_explicit_root_same_scores(self):
+        g = collaboration_graph()
+        q = UndirectedTreeQuery({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2)])
+        auto = [m.score for m in undirected_top_k(g, q, 5)]
+        explicit = [m.score for m in undirected_top_k(g, q, 5, root=2)]
+        assert auto == explicit

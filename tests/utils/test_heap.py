@@ -1,0 +1,127 @@
+"""Tests for heap utilities."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.heap import LazyDeletionHeap, TieBreakHeap
+
+
+class TestTieBreakHeap:
+    def test_orders_by_key(self):
+        h = TieBreakHeap()
+        for key in [5, 1, 3]:
+            h.push(key, f"p{key}")
+        assert h.pop() == (1, "p1")
+        assert h.peek() == (3, "p3")
+        assert h.peek_key() == 3
+        assert len(h) == 2
+
+    def test_ties_pop_in_insertion_order(self):
+        h = TieBreakHeap()
+        h.push(1, "first")
+        h.push(1, "second")
+        assert h.pop()[1] == "first"
+        assert h.pop()[1] == "second"
+
+    def test_unorderable_payloads(self):
+        h = TieBreakHeap()
+        h.push(1, {"a": 1})
+        h.push(1, {"b": 2})  # dicts are not orderable; must not raise
+        assert h.pop()[0] == 1
+
+    def test_items_iteration(self):
+        h = TieBreakHeap()
+        h.push(2, "x")
+        h.push(1, "y")
+        assert sorted(h.items()) == [(1, "y"), (2, "x")]
+
+    @given(st.lists(st.integers(-50, 50), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_heap_sort_property(self, keys):
+        h = TieBreakHeap()
+        for key in keys:
+            h.push(key, None)
+        out = [h.pop()[0] for _ in range(len(keys))]
+        assert out == sorted(keys)
+
+
+class _Item:
+    def __init__(self, key):
+        self.key = key
+
+
+class TestLazyDeletionHeap:
+    def test_basic_order(self):
+        h = LazyDeletionHeap(key_of=lambda item: item.key)
+        items = [_Item(k) for k in (4, 2, 9)]
+        for item in items:
+            h.push(item)
+        key, item = h.pop()
+        assert key == 2 and item is items[1]
+
+    def test_increase_key_requires_repush(self):
+        h = LazyDeletionHeap(key_of=lambda item: item.key)
+        a, b = _Item(1), _Item(5)
+        h.push(a)
+        h.push(b)
+        a.key = 10
+        h.push(a)  # refresh
+        key, item = h.pop()
+        assert item is b and key == 5
+        key, item = h.pop()
+        assert item is a and key == 10
+        assert not h
+
+    def test_decrease_key(self):
+        h = LazyDeletionHeap(key_of=lambda item: item.key)
+        a, b = _Item(8), _Item(5)
+        h.push(a)
+        h.push(b)
+        a.key = 1
+        h.push(a)
+        assert h.pop()[1] is a
+
+    def test_discard(self):
+        h = LazyDeletionHeap(key_of=lambda item: item.key)
+        a, b = _Item(1), _Item(2)
+        h.push(a)
+        h.push(b)
+        h.discard(a)
+        assert len(h) == 1
+        assert h.pop()[1] is b
+
+    def test_peek_skims_stale(self):
+        h = LazyDeletionHeap(key_of=lambda item: item.key)
+        a = _Item(1)
+        h.push(a)
+        a.key = 3
+        h.push(a)
+        key, item = h.peek()
+        assert key == 3 and item is a
+
+    def test_randomized_against_reference(self):
+        rng = random.Random(0)
+        h = LazyDeletionHeap(key_of=lambda item: item.key)
+        live: dict[int, _Item] = {}
+        for step in range(400):
+            op = rng.random()
+            if op < 0.5 or not live:
+                item = _Item(rng.randint(0, 100))
+                live[id(item)] = item
+                h.push(item)
+            elif op < 0.8:
+                item = rng.choice(list(live.values()))
+                item.key = rng.randint(0, 100)
+                h.push(item)
+            else:
+                key, item = h.pop()
+                assert key == item.key
+                assert key == min(i.key for i in live.values())
+                del live[id(item)]
+        while live:
+            key, item = h.pop()
+            assert key == min(i.key for i in live.values())
+            del live[id(item)]

@@ -1,0 +1,42 @@
+"""Tests for RNG helpers."""
+
+import random
+
+import pytest
+
+from repro.utils.rng import make_rng, weighted_choice, zipf_weights
+
+
+class TestMakeRng:
+    def test_from_int(self):
+        assert make_rng(7).random() == random.Random(7).random()
+
+    def test_from_none(self):
+        assert isinstance(make_rng(None), random.Random)
+
+    def test_passthrough(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+
+class TestZipf:
+    def test_shape(self):
+        w = zipf_weights(4, exponent=1.0)
+        assert w == [1.0, 0.5, pytest.approx(1 / 3), 0.25]
+
+    def test_exponent_skews(self):
+        flat = zipf_weights(10, exponent=0.5)
+        steep = zipf_weights(10, exponent=2.0)
+        assert steep[0] / steep[-1] > flat[0] / flat[-1]
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+
+
+def test_weighted_choice_respects_weights():
+    rng = random.Random(0)
+    picks = [
+        weighted_choice(rng, ["a", "b"], [0.99, 0.01]) for _ in range(200)
+    ]
+    assert picks.count("a") > 150

@@ -1,0 +1,54 @@
+"""Tests for the named dataset ladder."""
+
+import pytest
+
+from repro.workloads.datasets import (
+    PAPER_GD_SIZES,
+    PAPER_GS_SIZES,
+    build_dataset,
+    dataset_spec,
+    default_real_dataset,
+    default_synthetic_dataset,
+)
+
+
+class TestSpecs:
+    def test_gd_spec(self):
+        spec = dataset_spec("GD3", scale=1 / 100)
+        assert spec.family == "citation"
+        assert spec.num_nodes == PAPER_GD_SIZES["GD3"] // 100
+
+    def test_gs_spec(self):
+        spec = dataset_spec("GS2", scale=1 / 100)
+        assert spec.family == "powerlaw"
+        assert spec.num_labels == 200
+
+    def test_minimum_size_floor(self):
+        spec = dataset_spec("GD1", scale=1e-9)
+        assert spec.num_nodes == 200
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            dataset_spec("GX9")
+
+    def test_ladder_is_monotone(self):
+        sizes = [
+            dataset_spec(name, scale=1 / 50).num_nodes
+            for name in ("GD1", "GD2", "GD3", "GD4", "GD5")
+        ]
+        assert sizes == sorted(sizes)
+
+
+class TestBuilds:
+    def test_build_deterministic(self):
+        a = build_dataset("GS1", scale=1 / 100)
+        b = build_dataset("GS1", scale=1 / 100)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_defaults(self):
+        real = default_real_dataset(scale=1 / 100)
+        synth = default_synthetic_dataset(scale=1 / 100)
+        assert real.num_nodes == 1000
+        assert synth.num_nodes == 1000
+        # Citation graphs are DAGs; power-law graphs generally are not.
+        assert all(t > h for t, h, _ in real.edges())

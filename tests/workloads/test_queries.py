@@ -1,0 +1,88 @@
+"""Tests for query-set generation."""
+
+import pytest
+
+from repro.closure.transitive import TransitiveClosure
+from repro.core.topk import topk_matches
+from repro.closure.store import ClosureStore
+from repro.exceptions import QueryError
+from repro.graph.generators import citation_graph, powerlaw_graph
+from repro.runtime.graph import build_runtime_graph
+from repro.workloads.queries import (
+    kgpm_query_suite,
+    query_set,
+    random_query_graph,
+    random_query_tree,
+)
+
+
+@pytest.fixture(scope="module")
+def closure():
+    return TransitiveClosure(citation_graph(400, num_labels=40, seed=3))
+
+
+class TestRandomQueryTree:
+    def test_size_and_distinct_labels(self, closure):
+        q = random_query_tree(closure, 6, seed=1)
+        assert q.num_nodes == 6
+        assert q.has_distinct_labels()
+
+    def test_deterministic(self, closure):
+        a = random_query_tree(closure, 5, seed=9)
+        b = random_query_tree(closure, 5, seed=9)
+        assert {u: a.label(u) for u in a.nodes()} == {
+            u: b.label(u) for u in b.nodes()
+        }
+
+    def test_always_realizable(self, closure):
+        store = ClosureStore(closure.graph, closure)
+        for seed in range(5):
+            q = random_query_tree(closure, 5, seed=seed)
+            gr = build_runtime_graph(store, q)
+            assert topk_matches(gr, 1), f"seed {seed} gave unmatchable query"
+
+    def test_duplicate_labels_mode(self, closure):
+        queries = [
+            random_query_tree(closure, 8, distinct_labels=False, seed=s)
+            for s in range(10)
+        ]
+        # At least one of ten queries should actually repeat a label.
+        assert any(not q.has_distinct_labels() for q in queries)
+
+    def test_invalid_size(self, closure):
+        with pytest.raises(QueryError):
+            random_query_tree(closure, 0)
+
+    def test_impossible_size_raises(self, closure):
+        with pytest.raises(QueryError, match="could not extract"):
+            random_query_tree(closure, 10_000, max_attempts=3)
+
+    def test_locality_zero_uniform_walk(self, closure):
+        q = random_query_tree(closure, 4, seed=2, locality=0)
+        assert q.num_nodes == 4
+
+
+class TestQuerySet:
+    def test_count_and_sizes(self, closure):
+        qs = query_set(closure, size=4, count=5, seed=0)
+        assert len(qs) == 5
+        assert all(q.num_nodes == 4 for q in qs)
+
+    def test_sets_differ(self, closure):
+        qs = query_set(closure, size=4, count=5, seed=0)
+        labelings = {tuple(sorted(map(str, (q.label(u) for u in q.nodes())))) for q in qs}
+        assert len(labelings) > 1
+
+
+class TestQueryGraphs:
+    def test_random_query_graph(self, closure):
+        qg = random_query_graph(closure, 5, extra_edges=2, seed=0)
+        assert qg.num_nodes == 5
+        assert qg.num_edges >= 4  # spanning tree edges at minimum
+
+    def test_kgpm_suite(self):
+        closure = TransitiveClosure(powerlaw_graph(400, num_labels=60, seed=2))
+        suite = kgpm_query_suite(closure, seed=0)
+        assert set(suite) == {"Q1", "Q2", "Q3", "Q4"}
+        sizes = [suite[name].num_nodes for name in ("Q1", "Q2", "Q3", "Q4")]
+        assert sizes == sorted(sizes)
