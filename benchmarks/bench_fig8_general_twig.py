@@ -7,7 +7,6 @@ extended lazy engine on both datasets, varying k, query size, and graph.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench import get_workbench, print_header, print_series, time_call
 from repro.twig.general import TopkGT

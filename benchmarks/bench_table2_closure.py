@@ -7,8 +7,6 @@ library's laptop scale (see DESIGN.md for the scaling substitution).
 
 from __future__ import annotations
 
-import time
-
 from repro.bench import get_workbench, print_header, print_table
 from repro.closure.transitive import TransitiveClosure
 from repro.graph.generators import powerlaw_graph
@@ -23,7 +21,6 @@ def _rows(names):
     rows = []
     for name in names:
         wb = get_workbench(name)
-        stats = wb.store.size_statistics()
         rows.append(
             [
                 name,

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 
-from repro import QueryGraph
+from repro import MatchEngine, QueryGraph
 from repro.gpm import KGPMEngine, spanning_tree
 from repro.graph import powerlaw_graph
 
@@ -36,7 +36,13 @@ def main() -> None:
           f"spanning tree root {tree.root}, "
           f"{len(non_tree)} non-tree edge(s) to verify")
 
-    plus = KGPMEngine(graph, tree_algorithm="topk-en")
+    # One MatchEngine owns the offline artifacts; both kGPM variants share
+    # them (kGPM bidirects the data graph, so build the index over that).
+    shared = MatchEngine(graph.bidirected(), backend="full")
+    plus = KGPMEngine(
+        graph, tree_algorithm="topk-en",
+        closure=shared.closure, store=shared.store,
+    )
     base = KGPMEngine(
         graph, tree_algorithm="dp-b", closure=plus.closure, store=plus.store
     )

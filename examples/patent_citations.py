@@ -14,7 +14,7 @@ from __future__ import annotations
 import sys
 import time
 
-from repro.closure import ClosureStore, TransitiveClosure
+from repro import MatchEngine
 from repro.core import TopkEnumerator, TopkEN
 from repro.graph import citation_graph
 from repro.runtime import build_runtime_graph
@@ -27,12 +27,13 @@ def main(num_nodes: int = 2500) -> None:
     print(f"  {graph.num_nodes} nodes, {graph.num_edges} citation edges, "
           f"{len(graph.labels())} venues")
 
-    started = time.perf_counter()
-    closure = TransitiveClosure(graph)
+    # The engine owns the offline artifacts (full closure + block store).
+    engine = MatchEngine(graph, backend="full", block_size=64)
+    closure = engine.closure
+    store = engine.store
     print(f"  transitive closure: {closure.num_pairs} pairs "
-          f"in {time.perf_counter() - started:.2f}s "
+          f"in {engine.backend.build_seconds:.2f}s "
           f"(theta = {closure.average_theta():.0f})")
-    store = ClosureStore(graph, closure, block_size=64)
 
     # A 12-node twig extracted from the data itself (always realizable).
     query = random_query_tree(closure, 12, seed=7)

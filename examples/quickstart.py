@@ -1,14 +1,15 @@
-"""Quickstart: top-k twig matching in a dozen lines.
+"""Quickstart: top-k twig matching through the MatchEngine in a dozen lines.
 
 Builds a small labeled citation graph, asks for the three best matches of
-a two-branch twig query, and prints them.  Run with::
+a two-branch twig query, inspects the query plan, and streams a few more
+results lazily.  Run with::
 
     python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import LabeledDiGraph, QueryTree, TreeMatcher
+from repro import LabeledDiGraph, MatchEngine, QueryTree
 
 
 def main() -> None:
@@ -39,21 +40,30 @@ def main() -> None:
         [("root", "econ"), ("root", "soc")],
     )
 
-    # Offline: transitive closure + block store.  Online: Topk-EN.
-    matcher = TreeMatcher(graph)
-    matches = matcher.top_k(query, k=3)
+    # Offline: the engine picks and builds a closure backend.  Online:
+    # the planner picks an algorithm per query ("auto" by default).
+    engine = MatchEngine(graph)
+    print(engine.explain(query, k=3).describe())
 
-    print(f"top-{len(matches)} matches (lower score = closer citations):")
+    matches = engine.top_k(query, k=3)
+    print(f"\ntop-{len(matches)} matches (lower score = closer citations):")
     for rank, match in enumerate(matches, start=1):
         chain = ", ".join(
             f"{qnode}={node}" for qnode, node in sorted(match.assignment.items())
         )
         print(f"  #{rank}  score={match.score:g}  {chain}")
 
+    # Streaming: take a couple, then resume without recomputation.
+    stream = engine.stream(query)
+    first = stream.take(2)
+    rest = stream.take(2)
+    print(f"\nstreamed scores: {[m.score for m in first]} "
+          f"then {[m.score for m in rest]} (no recompute)")
+
     # The same query through every implemented algorithm — they agree.
-    for algorithm in ("dp-b", "dp-p", "topk", "topk-en"):
-        scores = [m.score for m in matcher.top_k(query, 3, algorithm=algorithm)]
-        print(f"  {algorithm:8s} -> scores {scores}")
+    for algorithm in ("dp-b", "dp-p", "topk", "topk-en", "brute-force"):
+        scores = [m.score for m in engine.top_k(query, 3, algorithm=algorithm)]
+        print(f"  {algorithm:12s} -> scores {scores}")
 
 
 if __name__ == "__main__":

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 
-from repro import LabeledDiGraph, QueryTree, TreeMatcher
+from repro import LabeledDiGraph, MatchEngine, QueryTree
 
 
 ROLES = ["architect", "backend", "frontend", "data-sci", "designer", "ml-res"]
@@ -66,8 +66,8 @@ def main() -> None:
         ],
     )
 
-    matcher = TreeMatcher(undirected)
-    teams = matcher.top_k(team_spec, k=5)
+    engine = MatchEngine(undirected)
+    teams = engine.top_k(team_spec, k=5)
 
     print("\nbest candidate teams (score = total collaboration distance; "
           f"minimum possible {team_spec.num_nodes - 1}):")

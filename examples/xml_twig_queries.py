@@ -15,8 +15,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import LabeledDiGraph, QueryTree, WILDCARD
-from repro.closure import ClosureStore
+from repro import LabeledDiGraph, MatchEngine, QueryTree, WILDCARD
 from repro.graph.query import EdgeType
 from repro.twig import TopkGT
 
@@ -71,7 +70,9 @@ def show(title, matches):
 
 def main() -> None:
     catalog = build_catalog()
-    store = ClosureStore.build(catalog)
+    # TopkGT consumes the closure store directly; the engine builds and
+    # owns it (and could persist it with engine.save_index).
+    store = MatchEngine(catalog, backend="full").store
 
     # 1. '//' vs '/': products anywhere under a category vs directly under.
     anywhere = QueryTree(

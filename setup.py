@@ -1,4 +1,9 @@
-"""Legacy shim so editable installs work offline (no wheel package available)."""
+"""Legacy shim so editable installs work offline (no wheel package available).
+
+All real packaging metadata lives in ``pyproject.toml`` (src layout,
+``repro`` console script); this file only keeps ``python setup.py`` /
+old-style ``pip install -e .`` flows working.
+"""
 from setuptools import setup
 
 setup()

@@ -3,30 +3,44 @@ Matching" (Chang et al., PVLDB 8(5), 2015).
 
 Public API tour::
 
-    from repro import LabeledDiGraph, QueryTree, TreeMatcher
+    from repro import LabeledDiGraph, MatchEngine, QueryTree
 
     graph = LabeledDiGraph()
     graph.add_node("p1", "CS"); graph.add_node("p2", "Econ")
     graph.add_edge("p1", "p2")
 
     query = QueryTree({0: "CS", 1: "Econ"}, [(0, 1)])
-    matcher = TreeMatcher(graph)          # offline: closure + block store
-    matches = matcher.top_k(query, k=5)   # online: Topk-EN by default
+    engine = MatchEngine(graph)           # offline: planned backend
+    matches = engine.top_k(query, k=5)    # online: planned algorithm
 
-Subpackages: :mod:`repro.graph` (data model & generators),
-:mod:`repro.closure` (transitive closure, block store, 2-hop labels),
-:mod:`repro.runtime` (run-time graphs and L/H slots), :mod:`repro.core`
-(Topk, Topk-EN, DP-B, DP-P), :mod:`repro.twig` (general twig queries),
-:mod:`repro.gpm` (graph-pattern matching), :mod:`repro.workloads`
-(paper datasets/query sets), :mod:`repro.bench` (experiment harness).
+    print(engine.explain(query).describe())   # inspect the query plan
+    stream = engine.stream(query)             # lazy, resumable results
+    engine.save_index("dataset.idx.json")     # pay the offline cost once
+
+Subpackages: :mod:`repro.engine` (MatchEngine, planner, streams,
+persistence — the primary API), :mod:`repro.graph` (data model &
+generators), :mod:`repro.closure` (transitive closure, block store, 2-hop
+labels), :mod:`repro.runtime` (run-time graphs and L/H slots),
+:mod:`repro.core` (Topk, Topk-EN, DP-B, DP-P), :mod:`repro.twig` (general
+twig queries), :mod:`repro.gpm` (graph-pattern matching),
+:mod:`repro.workloads` (paper datasets/query sets), :mod:`repro.bench`
+(experiment harness).  :class:`TreeMatcher` remains as a deprecated shim.
 """
 
 from repro.core.api import ALGORITHMS, TreeMatcher, top_k_tree_matches
 from repro.core.matches import Match
+from repro.engine import (
+    BACKENDS,
+    EngineBuilder,
+    EngineConfig,
+    MatchEngine,
+    QueryPlan,
+    ResultStream,
+)
 from repro.graph.digraph import LabeledDiGraph, graph_from_edges
 from repro.graph.query import WILDCARD, EdgeType, QueryGraph, QueryTree
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "LabeledDiGraph",
@@ -36,6 +50,12 @@ __all__ = [
     "EdgeType",
     "WILDCARD",
     "Match",
+    "MatchEngine",
+    "EngineConfig",
+    "EngineBuilder",
+    "QueryPlan",
+    "ResultStream",
+    "BACKENDS",
     "TreeMatcher",
     "top_k_tree_matches",
     "ALGORITHMS",

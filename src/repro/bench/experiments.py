@@ -1,8 +1,9 @@
 """Shared experiment setup: cached workbenches and phase-split runs.
 
-A *workbench* bundles one dataset with its transitive closure and block
-store (the offline artifacts); it is cached per (dataset, scale, block
-size) so a benchmark session pays each closure once.
+A *workbench* bundles one dataset with a fully materialized
+:class:`~repro.engine.MatchEngine` (the offline artifacts: closure +
+block store); it is cached per (dataset, scale, block size) so a
+benchmark session pays each closure once.
 
 :func:`run_algorithm` executes one algorithm on one query with the phase
 split the paper plots: top-1 generation (Figure 6(c)(d)) and subsequent
@@ -11,10 +12,9 @@ enumeration (Figure 6(e)(f)), each with CPU and simulated-I/O seconds.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
-from repro.bench.harness import DEFAULT_COST_MODEL, AlgoRun, measure
+from repro.bench.harness import AlgoRun, measure
 from repro.closure.store import ClosureStore
 from repro.closure.transitive import TransitiveClosure
 from repro.core.baseline_dp import DPBEnumerator
@@ -22,6 +22,7 @@ from repro.core.baseline_dpp import DPPEnumerator
 from repro.core.matches import Match
 from repro.core.topk import TopkEnumerator
 from repro.core.topk_en import TopkEN
+from repro.engine import MatchEngine
 from repro.graph.digraph import LabeledDiGraph
 from repro.graph.query import QueryTree
 from repro.runtime.graph import RuntimeGraph, build_runtime_graph
@@ -35,7 +36,7 @@ ALGOS = ("DP-B", "DP-P", "Topk", "Topk-EN")
 
 @dataclass
 class Workbench:
-    """One dataset with its offline artifacts."""
+    """One dataset with its offline artifacts (engine-backed)."""
 
     name: str
     scale: float
@@ -43,6 +44,7 @@ class Workbench:
     closure: TransitiveClosure
     store: ClosureStore
     closure_seconds: float
+    engine: MatchEngine | None = None
 
     def query(self, size: int, seed: int = 0, distinct_labels: bool = True) -> QueryTree:
         """A realizable random query tree over this dataset."""
@@ -74,11 +76,11 @@ def get_workbench(
     if bench is not None:
         return bench
     graph = build_dataset(name, scale)
-    started = time.perf_counter()
-    closure = TransitiveClosure(graph)
-    closure_seconds = time.perf_counter() - started
-    store = ClosureStore(graph, closure, block_size=block_size)
-    bench = Workbench(name, scale, graph, closure, store, closure_seconds)
+    engine = MatchEngine(graph, backend="full", block_size=block_size)
+    bench = Workbench(
+        name, scale, graph, engine.closure, engine.store,
+        engine.backend.build_seconds, engine=engine,
+    )
     _CACHE[key] = bench
     return bench
 

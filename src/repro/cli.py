@@ -5,25 +5,37 @@ Subcommands::
     python -m repro.cli match   --graph g.tsv --query q.json -k 10
     python -m repro.cli gpm     --graph g.tsv --query qg.json -k 10
     python -m repro.cli stats   --graph g.tsv
+    python -m repro.cli index   --graph g.tsv --backend full --out g.idx.json
     python -m repro.cli generate --family citation --nodes 1000 --out g.tsv
 
-``match`` runs top-k tree matching with a chosen algorithm and prints the
-matches as JSON; ``gpm`` does the same for graph patterns via mtree+;
-``stats`` reports closure/theta statistics (the offline cost of Table 2);
+``match`` runs top-k tree matching through :class:`repro.engine.MatchEngine`
+with a chosen algorithm/backend (``auto`` lets the planner pick) and prints
+the matches as JSON; ``--explain`` prints the query plan, ``--load-index``
+answers from a persisted index instead of rebuilding the closure.  ``gpm``
+does the same for graph patterns via mtree+; ``stats`` reports
+closure/theta statistics (the offline cost of Table 2); ``index`` builds
+and saves an index (the paper's offline phase, paid once per dataset);
 ``generate`` writes one of the synthetic workload graphs.
+
+With ``pip install -e .`` the same interface is exposed as the ``repro``
+console script.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
-from repro.core.api import ALGORITHMS, TreeMatcher
+from repro.engine import BACKENDS, ENGINE_ALGORITHMS, MatchEngine
+from repro.exceptions import ReproError
 from repro.gpm.mtree import KGPMEngine
 from repro.graph.generators import citation_graph, erdos_renyi_graph, powerlaw_graph
 from repro.graph.query import QueryGraph, QueryTree
 from repro.io import load_graph_tsv, load_query, matches_to_json, save_graph_tsv
+
+_BACKEND_CHOICES = ("auto",) + BACKENDS
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -34,12 +46,28 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     match = sub.add_parser("match", help="top-k tree matching")
-    match.add_argument("--graph", required=True, help="data graph (TSV)")
+    match.add_argument("--graph", help="data graph (TSV)")
     match.add_argument("--query", required=True, help="query tree (JSON)")
     match.add_argument("-k", type=int, default=10, help="number of matches")
     match.add_argument(
-        "--algorithm", choices=ALGORITHMS, default="topk-en",
-        help="matching algorithm",
+        "--algorithm", choices=ENGINE_ALGORITHMS, default="topk-en",
+        help="matching algorithm ('auto' lets the planner pick)",
+    )
+    match.add_argument(
+        "--backend", choices=_BACKEND_CHOICES, default="auto",
+        help="closure backend ('auto' picks from graph size)",
+    )
+    match.add_argument(
+        "--explain", action="store_true",
+        help="print the query plan to stderr before running",
+    )
+    match.add_argument(
+        "--load-index", metavar="PATH",
+        help="answer from a saved index instead of --graph",
+    )
+    match.add_argument(
+        "--save-index", metavar="PATH",
+        help="persist the built index for later --load-index runs",
     )
 
     gpm = sub.add_parser("gpm", help="top-k graph pattern matching (mtree+)")
@@ -54,6 +82,19 @@ def _build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="offline statistics for a graph")
     stats.add_argument("--graph", required=True, help="data graph (TSV)")
 
+    index = sub.add_parser("index", help="build and save an index (offline phase)")
+    index.add_argument("--graph", required=True, help="data graph (TSV)")
+    index.add_argument("--out", required=True, help="output index path (JSON)")
+    index.add_argument(
+        "--backend", choices=_BACKEND_CHOICES, default="full",
+        help="closure backend to materialize",
+    )
+    index.add_argument(
+        "--workload", metavar="QUERY.json", action="append", default=[],
+        help="query tree the index must support (repeatable; required for "
+        "--backend constrained)",
+    )
+
     gen = sub.add_parser("generate", help="generate a synthetic data graph")
     gen.add_argument(
         "--family", choices=("citation", "powerlaw", "uniform"),
@@ -67,21 +108,49 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_match(args) -> int:
-    graph = load_graph_tsv(args.graph)
     query = load_query(args.query)
     if not isinstance(query, QueryTree):
         print("error: 'match' expects a query-tree document", file=sys.stderr)
         return 2
-    matcher = TreeMatcher(graph)
+    if args.load_index:
+        if args.graph:
+            print(
+                "error: pass either --graph or --load-index, not both",
+                file=sys.stderr,
+            )
+            return 2
+        if args.backend != "auto":
+            print(
+                "error: --backend is determined by the loaded index; "
+                "drop it or rebuild the index with `repro index --backend ...`",
+                file=sys.stderr,
+            )
+            return 2
+        engine = MatchEngine.load(args.load_index)
+    elif args.graph:
+        graph = load_graph_tsv(args.graph)
+        # The constrained backend needs a workload — for one-shot matching
+        # that is exactly the query being asked.
+        workload = (query,) if args.backend == "constrained" else None
+        engine = MatchEngine(graph, backend=args.backend, workload=workload)
+    else:
+        print("error: 'match' needs --graph or --load-index", file=sys.stderr)
+        return 2
+    plan = engine.explain(query, args.k, algorithm=args.algorithm)
+    if args.explain:
+        print(plan.describe(), file=sys.stderr)
     started = time.perf_counter()
-    matches = matcher.top_k(query, args.k, algorithm=args.algorithm)
+    matches = engine.top_k(query, args.k, algorithm=args.algorithm)
     elapsed = time.perf_counter() - started
     print(matches_to_json(matches))
     print(
         f"# {len(matches)} matches in {elapsed * 1000:.1f} ms "
-        f"({args.algorithm})",
+        f"({plan.algorithm}, {engine.backend_name} backend)",
         file=sys.stderr,
     )
+    if args.save_index:
+        engine.save_index(args.save_index)
+        print(f"# index saved to {args.save_index}", file=sys.stderr)
     return 0
 
 
@@ -106,9 +175,9 @@ def _cmd_gpm(args) -> int:
 
 def _cmd_stats(args) -> int:
     graph = load_graph_tsv(args.graph)
-    matcher = TreeMatcher(graph)
-    closure = matcher.closure
-    store_stats = matcher.store.size_statistics()
+    engine = MatchEngine(graph, backend="full")
+    closure = engine.closure
+    store_stats = engine.store.size_statistics()
     print(f"nodes:            {graph.num_nodes}")
     print(f"edges:            {graph.num_edges}")
     print(f"labels:           {len(graph.labels())}")
@@ -116,7 +185,30 @@ def _cmd_stats(args) -> int:
     print(f"closure build:    {closure.build_seconds:.2f}s")
     print(f"average theta:    {closure.average_theta():.1f}")
     print(f"store entries:    {store_stats['total_entries']}")
-    print(f"store size (est): {matcher.store.estimated_bytes() / 1e6:.1f} MB")
+    print(f"store size (est): {engine.store.estimated_bytes() / 1e6:.1f} MB")
+    return 0
+
+
+def _cmd_index(args) -> int:
+    graph = load_graph_tsv(args.graph)
+    workload = []
+    for path in args.workload:
+        query = load_query(path)
+        if not isinstance(query, QueryTree):
+            print(f"error: {path} is not a query-tree document", file=sys.stderr)
+            return 2
+        workload.append(query)
+    started = time.perf_counter()
+    engine = MatchEngine(
+        graph, backend=args.backend, workload=tuple(workload) or None
+    )
+    built = time.perf_counter() - started
+    engine.save_index(args.out)
+    print(
+        f"built {engine.backend_name} index in {built:.2f}s "
+        f"({engine.backend.describe()}); saved to {args.out}",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -144,9 +236,18 @@ def main(argv: list[str] | None = None) -> int:
         "match": _cmd_match,
         "gpm": _cmd_gpm,
         "stats": _cmd_stats,
+        "index": _cmd_index,
         "generate": _cmd_generate,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except (ReproError, OSError, json.JSONDecodeError) as exc:
+        # One clean line + exit 2 for every anticipated failure: engine
+        # misconfiguration, malformed graph/query/index documents, and
+        # unreadable files.  (JSONDecodeError subclasses ValueError, not
+        # ReproError, and covers corrupt --load-index / --query files.)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

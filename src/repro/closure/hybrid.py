@@ -36,6 +36,7 @@ class HybridStore:
         block_size: int = DEFAULT_BLOCK_SIZE,
         counter: IOCounter | None = None,
         closure: TransitiveClosure | None = None,
+        distance_index=None,
     ) -> None:
         if not 0.0 <= hot_fraction <= 1.0:
             raise ClosureError(
@@ -49,8 +50,10 @@ class HybridStore:
         )
         self.counter = self._materialized.counter
         self._ondemand = OnDemandStore(
-            graph, block_size=block_size, counter=self.counter
+            graph, block_size=block_size, counter=self.counter,
+            distance_index=distance_index,
         )
+        self.hot_fraction = hot_fraction
         self.hot_pairs = self._select_hot_pairs(closure, hot_fraction)
 
     @staticmethod
@@ -86,6 +89,16 @@ class HybridStore:
         """The data graph."""
         return self._graph
 
+    @property
+    def closure(self) -> TransitiveClosure:
+        """The full closure backing the materialized (hot) side."""
+        return self._materialized.closure
+
+    @property
+    def distance_index(self):
+        """The 2-hop index answering point distance queries (cold side)."""
+        return self._ondemand.distance_index
+
     def incoming_group(self, head: NodeId, tail_label: Label | None) -> BlockTable:
         """``L^alpha_v`` from the hot tables when possible."""
         head_label = self._graph.label(head)
@@ -106,6 +119,25 @@ class HybridStore:
         if self._is_hot(tail_label, head_label):
             return self._materialized.read_e_table(tail_label, head_label)
         return self._ondemand.read_e_table(tail_label, head_label)
+
+    def read_pair_table(
+        self,
+        tail_label: Label | None,
+        head_label: Label | None,
+        direct_only: bool = False,
+    ):
+        """Full ``L^alpha_beta`` stream, hot tables when possible.
+
+        Gives the fully-loaded algorithms (Topk, DP-B, brute force) the
+        same interface as the other stores.
+        """
+        if self._is_hot(tail_label, head_label):
+            return self._materialized.read_pair_table(
+                tail_label, head_label, direct_only=direct_only
+            )
+        return self._ondemand.read_pair_table(
+            tail_label, head_label, direct_only=direct_only
+        )
 
     def distance(self, tail: NodeId, head: NodeId) -> float | None:
         """Point distances always use the 2-hop index (uniform semantics)."""

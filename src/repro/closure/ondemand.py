@@ -151,6 +151,30 @@ class OnDemandStore:
                 result[head] = best
         return result
 
+    def read_pair_table(
+        self,
+        tail_label: Label | None,
+        head_label: Label | None,
+        direct_only: bool = False,
+    ) -> Iterator[tuple[NodeId, NodeId, float]]:
+        """Stream every closure triple for a label pair, assembled lazily.
+
+        Mirrors :meth:`repro.closure.store.ClosureStore.read_pair_table`
+        so the fully-loaded algorithms (Topk, DP-B, brute force) run over
+        this store unchanged: one backward search per qualifying head node
+        supplies the triples, and ``direct_only`` keeps only closure edges
+        that are also data-graph edges (``/`` axis).
+        """
+        self.counter.record_open()
+        label_of = self._graph.label
+        for head in self._heads_with_label(head_label):
+            for tail, dist in self._incoming_distances(head).items():
+                if tail_label is not None and label_of(tail) != tail_label:
+                    continue
+                if direct_only and not self._graph.has_edge(tail, head):
+                    continue
+                yield tail, head, dist
+
     def read_e_table(
         self, tail_label: Label | None, head_label: Label | None
     ) -> list[EEntry]:
@@ -182,6 +206,11 @@ class OnDemandStore:
         if tail_label is not None and head_label is not None:
             self._e_cache[(tail_label, head_label)] = rows
         return rows
+
+    @property
+    def distance_index(self) -> PrunedLandmarkIndex:
+        """The 2-hop index answering point distance queries."""
+        return self._pll
 
     def distance(self, tail: NodeId, head: NodeId) -> float | None:
         """Point distance via the 2-hop index (Section 5)."""

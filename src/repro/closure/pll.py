@@ -85,7 +85,6 @@ class PrunedLandmarkIndex:
         target = self.label_in if forward else self.label_out
         if unit:
             frontier: deque[tuple[NodeId, float]] = deque()
-            seen = {landmark}
             for nxt, w in self._neighbors(landmark, forward):
                 frontier.append((nxt, w))
             dist_of: dict[NodeId, float] = {}
@@ -146,6 +145,30 @@ class PrunedLandmarkIndex:
                         counter += 1
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_labels(
+        cls,
+        graph: LabeledDiGraph,
+        label_out: dict[NodeId, dict[NodeId, float]],
+        label_in: dict[NodeId, dict[NodeId, float]],
+    ) -> "PrunedLandmarkIndex":
+        """Rebuild an index from persisted 2-hop labels.
+
+        Distance queries only need the label maps, so the pruned searches
+        — the expensive construction phase — are skipped entirely.  Nodes
+        absent from the persisted maps get empty labels.
+        """
+        self = cls.__new__(cls)
+        self._graph = graph
+        self._rank = {}
+        self.label_out = {v: {} for v in graph.nodes()}
+        self.label_in = {v: {} for v in graph.nodes()}
+        for node, labels in label_out.items():
+            self.label_out[node] = dict(labels)
+        for node, labels in label_in.items():
+            self.label_in[node] = dict(labels)
+        return self
+
     def distance(self, tail: NodeId, head: NodeId) -> float | None:
         """Shortest distance via the 2-hop cover (``None`` if unreachable).
 

@@ -24,7 +24,7 @@ corresponding label dimension.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.closure.transitive import TransitiveClosure
 from repro.exceptions import ClosureError

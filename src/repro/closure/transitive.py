@@ -49,6 +49,28 @@ class TransitiveClosure:
         self._type_counts: dict[tuple[Label, Label], int] | None = None
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_distances(
+        cls,
+        graph: LabeledDiGraph,
+        distances: Mapping[NodeId, Mapping[NodeId, float]],
+        partial: bool = False,
+    ) -> "TransitiveClosure":
+        """Rebuild a closure from previously computed distance rows.
+
+        Used by index persistence (:mod:`repro.engine`): the shortest-path
+        computation — the expensive offline phase — is skipped entirely and
+        ``build_seconds`` is reported as 0.
+        """
+        self = cls.__new__(cls)
+        self._graph = graph
+        self._dist = {tail: dict(row) for tail, row in distances.items()}
+        self._num_pairs = sum(len(row) for row in self._dist.values())
+        self.build_seconds = 0.0
+        self._partial = partial
+        self._type_counts = None
+        return self
+
     @property
     def graph(self) -> LabeledDiGraph:
         """The underlying data graph."""

@@ -1,42 +1,54 @@
-"""High-level facade: one object, all algorithms.
+"""Deprecated facade — superseded by :mod:`repro.engine`.
 
-:class:`TreeMatcher` owns the offline artifacts (transitive closure +
-block store) for one data graph and answers top-k twig queries with any of
-the implemented algorithms.  This is the entry point examples and most
-tests use; the algorithm classes remain available for instrumented runs.
+:class:`TreeMatcher` was the original one-object entry point: it
+hard-wired one eager transitive closure + block store and selected
+algorithms by string.  The engine layer (:class:`repro.engine.MatchEngine`)
+generalizes all of that — pluggable closure backends, an automatic query
+planner, lazy result streams, and index persistence — so this module now
+only keeps the old names working:
+
+* ``TreeMatcher(graph)`` builds a ``MatchEngine`` pinned to the ``full``
+  backend and forwards every call (a :class:`DeprecationWarning` fires).
+* ``top_k_tree_matches(...)`` forwards to a one-shot engine.
+
+New code should use::
+
+    from repro.engine import MatchEngine
+
+    engine = MatchEngine(graph)          # backend/algorithm chosen by plan
+    matches = engine.top_k(query, k=5)
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Literal
 
-from repro.closure.store import ClosureStore
-from repro.closure.transitive import TransitiveClosure
-from repro.core.baseline_dp import DPBEnumerator
-from repro.core.baseline_dpp import DPPEnumerator
-from repro.core.brute_force import brute_force_topk
 from repro.core.matches import Match
-from repro.core.topk import TopkEnumerator
-from repro.core.topk_en import TopkEN
+from repro.engine.config import ALGORITHMS  # re-exported for compatibility
+from repro.engine.core import MatchEngine
 from repro.graph.digraph import LabeledDiGraph
 from repro.graph.query import QueryTree
-from repro.runtime.graph import build_runtime_graph
 from repro.storage.blocks import DEFAULT_BLOCK_SIZE
 from repro.twig.semantics import EQUALITY, LabelMatcher
 
 Algorithm = Literal["topk-en", "topk", "dp-b", "dp-p", "brute-force"]
 
-#: All supported algorithm names, in the order the paper introduces them.
-ALGORITHMS: tuple[str, ...] = ("dp-b", "dp-p", "topk", "topk-en", "brute-force")
+__all__ = ["ALGORITHMS", "Algorithm", "TreeMatcher", "top_k_tree_matches"]
+
+_DEPRECATION = (
+    "TreeMatcher is deprecated; use repro.engine.MatchEngine, which adds "
+    "pluggable closure backends, query planning, result streams, and "
+    "index persistence"
+)
 
 
 class TreeMatcher:
-    """Top-k twig matching over one data graph.
+    """Deprecated: thin shim over a ``full``-backend :class:`MatchEngine`.
 
-    Builds the transitive closure and the block-organized closure store
-    once (the paper's offline pre-computation); each :meth:`top_k` call
-    then runs the requested algorithm.  The default algorithm is
-    ``topk-en`` — the paper's overall winner.
+    Preserves the original surface — ``top_k``, ``engine``, and the
+    ``graph`` / ``closure`` / ``store`` offline artifacts — while all
+    work happens in :mod:`repro.engine`.
     """
 
     def __init__(
@@ -46,9 +58,17 @@ class TreeMatcher:
         matcher: LabelMatcher = EQUALITY,
         node_weight=None,
     ) -> None:
+        warnings.warn(_DEPRECATION, DeprecationWarning, stacklevel=2)
+        self._engine = MatchEngine(
+            graph,
+            backend="full",
+            block_size=block_size,
+            label_matcher=matcher,
+            node_weight=node_weight,
+        )
         self.graph = graph
-        self.closure = TransitiveClosure(graph)
-        self.store = ClosureStore(graph, self.closure, block_size=block_size)
+        self.closure = self._engine.closure
+        self.store = self._engine.store
         self.label_matcher = matcher
         self.node_weight = node_weight
 
@@ -58,42 +78,19 @@ class TreeMatcher:
         """Return the ``k`` lowest-score matches of ``query``.
 
         Fewer than ``k`` matches are returned when the graph has fewer.
+        Every algorithm — including ``brute-force`` — honors ``k``.
         """
-        engine = self.engine(query, algorithm)
-        if algorithm == "brute-force":
-            return engine  # already the result list
-        return engine.top_k(k)
+        return self._engine.top_k(query, k, algorithm=algorithm)
 
     def engine(self, query: QueryTree, algorithm: Algorithm = "topk-en"):
         """Build (and return) the algorithm engine for ``query``.
 
-        Useful when the caller wants streaming access or statistics; for
-        ``brute-force`` the full sorted result list is returned instead.
+        Always an engine-like object exposing ``top_k(k)`` / ``stream()``
+        / ``stats`` — for ``brute-force`` too (a
+        :class:`~repro.core.brute_force.BruteForceEngine`), which used to
+        leak a bare, arbitrarily truncated list.
         """
-        if algorithm == "topk-en":
-            return TopkEN(
-                self.store, query, matcher=self.label_matcher,
-                node_weight=self.node_weight,
-            )
-        if algorithm == "dp-p":
-            return DPPEnumerator(
-                self.store, query, matcher=self.label_matcher,
-                node_weight=self.node_weight,
-            )
-        if algorithm == "topk":
-            gr = build_runtime_graph(self.store, query, matcher=self.label_matcher)
-            return TopkEnumerator(gr, node_weight=self.node_weight)
-        if algorithm == "dp-b":
-            gr = build_runtime_graph(self.store, query, matcher=self.label_matcher)
-            return DPBEnumerator(gr, node_weight=self.node_weight)
-        if algorithm == "brute-force":
-            gr = build_runtime_graph(self.store, query, matcher=self.label_matcher)
-            from repro.core.brute_force import all_matches
-
-            return all_matches(gr, node_weight=self.node_weight)[
-                : len(self.graph) ** 2 + 10
-            ]
-        raise ValueError(f"unknown algorithm {algorithm!r}; choose from {ALGORITHMS}")
+        return self._engine.engine_for(query, algorithm=algorithm)
 
 
 def top_k_tree_matches(
@@ -102,5 +99,12 @@ def top_k_tree_matches(
     k: int,
     algorithm: Algorithm = "topk-en",
 ) -> list[Match]:
-    """One-shot convenience: build a :class:`TreeMatcher` and query it."""
-    return TreeMatcher(graph).top_k(query, k, algorithm=algorithm)
+    """Deprecated one-shot convenience; use ``MatchEngine(graph).top_k``."""
+    warnings.warn(
+        "top_k_tree_matches is deprecated; use "
+        "repro.engine.MatchEngine(graph).top_k(query, k)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    engine = MatchEngine(graph, backend="full")
+    return engine.top_k(query, k, algorithm=algorithm)

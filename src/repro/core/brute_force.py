@@ -8,7 +8,9 @@ guard fails loudly if an instance explodes.
 
 from __future__ import annotations
 
-from repro.core.matches import Match
+from typing import Iterator
+
+from repro.core.matches import EnumerationStats, Match
 from repro.exceptions import MatchingError
 from repro.graph.query import QueryTree
 from repro.runtime.graph import RuntimeGraph
@@ -59,3 +61,48 @@ def all_matches(
 def brute_force_topk(gr: RuntimeGraph, k: int, limit: int = 200_000) -> list[Match]:
     """First ``k`` matches of :func:`all_matches`."""
     return all_matches(gr, limit=limit)[:k]
+
+
+class BruteForceEngine:
+    """Engine-like facade over exhaustive enumeration.
+
+    Exposes the same ``top_k`` / ``stream`` / ``compute_first`` / ``stats``
+    surface as the real enumerators so the facade and engine layers treat
+    ``brute-force`` uniformly: ``top_k(k)`` honors ``k``, and ``stream``
+    replays cached results before advancing, like the lazy engines.
+    """
+
+    def __init__(
+        self, gr: RuntimeGraph, node_weight=None, limit: int = 200_000
+    ) -> None:
+        self._all = all_matches(gr, limit=limit, node_weight=node_weight)
+        self.stats = EnumerationStats()
+        self.results: list[Match] = []
+
+    def compute_first(self) -> float | None:
+        """Score of the best match (``None`` when there is none)."""
+        return self._all[0].score if self._all else None
+
+    def top_k(self, k: int) -> list[Match]:
+        """Return up to ``k`` best matches."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        if len(self.results) < k:
+            self.results = list(self._all[:k])
+            self.stats.rounds = len(self.results)
+        return list(self._all[:k])
+
+    def stream(self) -> Iterator[Match]:
+        """Yield matches best-first; replays cached results on re-iteration."""
+        index = 0
+        while True:
+            while index < len(self.results):
+                yield self.results[index]
+                index += 1
+            if len(self.results) >= len(self._all):
+                return
+            self.results.append(self._all[len(self.results)])
+            self.stats.rounds = len(self.results)
+
+    def __iter__(self) -> Iterator[Match]:
+        return self.stream()

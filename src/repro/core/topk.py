@@ -19,7 +19,7 @@ import time
 from typing import Iterator
 
 from repro.core.matches import EnumerationStats, Match, MatchRef, materialize
-from repro.graph.query import QNodeId, QueryTree
+from repro.graph.query import QNodeId
 from repro.runtime.graph import RNode, RuntimeGraph
 from repro.runtime.slots import StaticSlot
 from repro.utils.heap import TieBreakHeap

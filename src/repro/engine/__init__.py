@@ -1,0 +1,52 @@
+"""Pluggable-backend match engine: planning, streaming, persistence.
+
+This package is the primary public API of the reproduction.  See
+:class:`MatchEngine` for the tour; :mod:`repro.engine.backends` for the
+five reachability backends; :mod:`repro.engine.planner` for the
+``algorithm="auto"`` rules; :mod:`repro.engine.stream` for lazy result
+consumption.  The older :class:`repro.TreeMatcher` facade is a deprecated
+shim over this engine.
+"""
+
+from repro.engine.backends import (
+    ConstrainedBackend,
+    FullClosureBackend,
+    HybridBackend,
+    OnDemandBackend,
+    PLLBackend,
+    ReachabilityBackend,
+    build_backend,
+    restore_backend,
+)
+from repro.engine.config import (
+    ALGORITHMS,
+    BACKENDS,
+    ENGINE_ALGORITHMS,
+    EngineBuilder,
+    EngineConfig,
+)
+from repro.engine.core import INDEX_FORMAT_VERSION, MatchEngine
+from repro.engine.planner import Planner, QueryPlan, choose_backend
+from repro.engine.stream import ResultStream
+
+__all__ = [
+    "MatchEngine",
+    "EngineConfig",
+    "EngineBuilder",
+    "QueryPlan",
+    "Planner",
+    "ResultStream",
+    "ReachabilityBackend",
+    "FullClosureBackend",
+    "OnDemandBackend",
+    "HybridBackend",
+    "PLLBackend",
+    "ConstrainedBackend",
+    "build_backend",
+    "restore_backend",
+    "choose_backend",
+    "BACKENDS",
+    "ALGORITHMS",
+    "ENGINE_ALGORITHMS",
+    "INDEX_FORMAT_VERSION",
+]

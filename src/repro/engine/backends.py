@@ -1,0 +1,403 @@
+"""Reachability backends — one protocol over all closure machineries.
+
+The paper's index choices (Sections 3.1, 4.1, 5 "Managing Closure Size")
+all answer the same store interface the enumerators consume; this module
+wraps each of them as a :class:`ReachabilityBackend` the engine can
+select, describe, and persist:
+
+``full``
+    Eager transitive closure laid out in the block store — the paper's
+    default offline pre-computation (fastest queries, largest index).
+``ondemand``
+    No materialized closure: backward searches assemble exactly the
+    needed groups per query; a 2-hop index answers point distances.
+``hybrid``
+    Hot label pairs materialized, cold pairs assembled on demand
+    (Section 5's hot-list proposal).
+``pll``
+    Like ``ondemand``, but the pruned-landmark 2-hop index is built
+    explicitly up front and is the index persistence saves/loads.
+``constrained``
+    Closure restricted to the sources a declared query workload can
+    touch — supports exactly those queries, often far cheaper offline.
+
+Each backend exposes the store the enumerators use, its offline build
+time, size statistics, and a JSON payload that lets
+``MatchEngine.save_index``/``load`` skip the offline computation next time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol, runtime_checkable
+
+from repro.closure.constrained import constrained_closure, tail_labels_of_queries
+from repro.closure.hybrid import HybridStore
+from repro.closure.ondemand import OnDemandStore
+from repro.closure.pll import PrunedLandmarkIndex
+from repro.closure.store import ClosureStore
+from repro.closure.transitive import TransitiveClosure
+from repro.engine.config import BACKENDS, EngineConfig
+from repro.exceptions import EngineError
+from repro.graph.digraph import LabeledDiGraph
+
+
+@runtime_checkable
+class ReachabilityBackend(Protocol):
+    """What the engine needs from a closure backend."""
+
+    name: str
+    build_seconds: float
+
+    @property
+    def store(self):
+        """The store object the enumerators consume."""
+        ...
+
+    def statistics(self) -> dict:
+        """Size/cost statistics of the offline artifacts."""
+        ...
+
+    def describe(self) -> str:
+        """One-line human description (used by ``explain`` and the CLI)."""
+        ...
+
+    def payload(self) -> dict:
+        """JSON-ready offline artifacts for index persistence."""
+        ...
+
+
+class _BackendBase:
+    """Shared plumbing: timing and the common attribute surface."""
+
+    name = "?"
+
+    def __init__(self) -> None:
+        self.build_seconds = 0.0
+        self._store = None
+
+    @property
+    def store(self):
+        return self._store
+
+    @property
+    def closure(self) -> TransitiveClosure | None:
+        """The materialized closure, when this backend keeps one."""
+        return None
+
+    @property
+    def distance_index(self) -> PrunedLandmarkIndex | None:
+        """The 2-hop index, when this backend keeps one."""
+        return None
+
+    def statistics(self) -> dict:
+        return {"backend": self.name, "build_seconds": self.build_seconds}
+
+
+class FullClosureBackend(_BackendBase):
+    """Eager transitive closure + block store (the paper's default)."""
+
+    name = "full"
+
+    def __init__(
+        self,
+        graph: LabeledDiGraph,
+        config: EngineConfig,
+        closure: TransitiveClosure | None = None,
+    ) -> None:
+        super().__init__()
+        started = time.perf_counter()
+        self._closure = closure if closure is not None else TransitiveClosure(graph)
+        self._store = ClosureStore(
+            graph, self._closure, block_size=config.block_size
+        )
+        self.build_seconds = time.perf_counter() - started
+
+    @property
+    def closure(self) -> TransitiveClosure:
+        return self._closure
+
+    def statistics(self) -> dict:
+        stats = super().statistics()
+        stats["closure_pairs"] = self._closure.num_pairs
+        stats.update(self._store.size_statistics())
+        return stats
+
+    def describe(self) -> str:
+        return (
+            f"full transitive closure ({self._closure.num_pairs} pairs, "
+            f"block size {self._store.directory.block_size})"
+        )
+
+    def payload(self) -> dict:
+        from repro.io import closure_to_dict
+
+        return {"closure": closure_to_dict(self._closure)}
+
+
+class OnDemandBackend(_BackendBase):
+    """No materialized closure; groups assembled per query."""
+
+    name = "ondemand"
+
+    def __init__(
+        self,
+        graph: LabeledDiGraph,
+        config: EngineConfig,
+        distance_index: PrunedLandmarkIndex | None = None,
+    ) -> None:
+        super().__init__()
+        started = time.perf_counter()
+        self._store = OnDemandStore(
+            graph, block_size=config.block_size, distance_index=distance_index
+        )
+        self.build_seconds = time.perf_counter() - started
+
+    @property
+    def distance_index(self) -> PrunedLandmarkIndex:
+        return self._store.distance_index
+
+    def statistics(self) -> dict:
+        stats = super().statistics()
+        stats.update(self._store.cache_statistics())
+        return stats
+
+    def describe(self) -> str:
+        return (
+            "on-demand closure assembly "
+            f"(2-hop index: {self._store.distance_index.index_size()} labels)"
+        )
+
+    def payload(self) -> dict:
+        from repro.io import pll_to_dict
+
+        return {"pll": pll_to_dict(self._store.distance_index)}
+
+
+class HybridBackend(_BackendBase):
+    """Hot label pairs materialized, cold pairs on demand (Section 5)."""
+
+    name = "hybrid"
+
+    def __init__(
+        self,
+        graph: LabeledDiGraph,
+        config: EngineConfig,
+        closure: TransitiveClosure | None = None,
+        distance_index: PrunedLandmarkIndex | None = None,
+    ) -> None:
+        super().__init__()
+        started = time.perf_counter()
+        self._store = HybridStore(
+            graph,
+            hot_fraction=config.hot_fraction,
+            block_size=config.block_size,
+            closure=closure,
+            distance_index=distance_index,
+        )
+        self.build_seconds = time.perf_counter() - started
+
+    @property
+    def closure(self) -> TransitiveClosure:
+        return self._store.closure
+
+    @property
+    def distance_index(self) -> PrunedLandmarkIndex:
+        return self._store.distance_index
+
+    def statistics(self) -> dict:
+        stats = super().statistics()
+        stats.update(self._store.storage_statistics())
+        return stats
+
+    def describe(self) -> str:
+        storage = self._store.storage_statistics()
+        return (
+            f"hybrid hot/cold closure ({storage['hot_pairs']}/"
+            f"{storage['total_pairs']} label pairs materialized, "
+            f"{storage['hot_storage_fraction']:.0%} of entries)"
+        )
+
+    def payload(self) -> dict:
+        from repro.io import closure_to_dict, pll_to_dict
+
+        return {
+            "closure": closure_to_dict(self._store.closure),
+            "pll": pll_to_dict(self._store.distance_index),
+        }
+
+
+class PLLBackend(OnDemandBackend):
+    """2-hop labels as the primary persisted index (Section 5, [1, 8, 26])."""
+
+    name = "pll"
+
+    def __init__(
+        self,
+        graph: LabeledDiGraph,
+        config: EngineConfig,
+        distance_index: PrunedLandmarkIndex | None = None,
+    ) -> None:
+        started = time.perf_counter()
+        if distance_index is None:
+            distance_index = PrunedLandmarkIndex(graph)
+        super().__init__(graph, config, distance_index=distance_index)
+        self.build_seconds = time.perf_counter() - started
+
+    def describe(self) -> str:
+        return (
+            "pruned landmark labeling "
+            f"({self._store.distance_index.index_size()} 2-hop labels; "
+            "groups assembled on demand)"
+        )
+
+
+class ConstrainedBackend(_BackendBase):
+    """Closure restricted to the declared workload's tail labels."""
+
+    name = "constrained"
+
+    def __init__(
+        self,
+        graph: LabeledDiGraph,
+        config: EngineConfig,
+        closure: TransitiveClosure | None = None,
+    ) -> None:
+        super().__init__()
+        if not config.workload:
+            raise EngineError(
+                "constrained backend needs a declared workload of query trees"
+            )
+        started = time.perf_counter()
+        if closure is None:
+            closure = constrained_closure(
+                graph, config.workload, matcher=config.label_matcher
+            )
+        self._closure = closure
+        self._store = ClosureStore(
+            graph, closure, block_size=config.block_size
+        )
+        self.workload = tuple(config.workload)
+        self.tail_labels = tail_labels_of_queries(self.workload)
+        # Data labels whose nodes are closure sources — the coverage the
+        # engine checks queries against.  None = unrestricted (the
+        # workload had non-leaf wildcards, so the full closure was built).
+        if self.tail_labels is None:
+            self.covered_labels: frozenset | None = None
+        else:
+            alphabet = graph.labels()
+            covered: set = set()
+            unrestricted = False
+            for label in self.tail_labels:
+                data_labels = config.label_matcher.data_labels_for(
+                    label, alphabet
+                )
+                if data_labels is None:
+                    unrestricted = True
+                    break
+                covered.update(data_labels)
+            self.covered_labels = None if unrestricted else frozenset(covered)
+        self.build_seconds = time.perf_counter() - started
+
+    def supports(self, query, matcher) -> bool:
+        """True when this index covers every non-leaf label of ``query``.
+
+        The constrained closure only has rows whose sources carry a
+        covered label; a query needing other tails would silently get
+        partial (wrong) answers, so the engine rejects it up front.
+        """
+        if self.covered_labels is None:
+            return True
+        alphabet = self._store.graph.labels()
+        for u in query.nodes():
+            if query.is_leaf(u):
+                continue
+            data_labels = matcher.data_labels_for(query.label(u), alphabet)
+            if data_labels is None:
+                return False
+            if not set(data_labels) <= self.covered_labels:
+                return False
+        return True
+
+    @property
+    def closure(self) -> TransitiveClosure:
+        return self._closure
+
+    def statistics(self) -> dict:
+        stats = super().statistics()
+        stats["closure_pairs"] = self._closure.num_pairs
+        stats["partial"] = self._closure.is_partial
+        stats.update(self._store.size_statistics())
+        return stats
+
+    def describe(self) -> str:
+        scope = (
+            "all labels (workload has non-leaf wildcards)"
+            if self.tail_labels is None
+            else f"{len(self.tail_labels)} tail label(s)"
+        )
+        return (
+            f"workload-constrained closure ({self._closure.num_pairs} pairs, "
+            f"sources limited to {scope})"
+        )
+
+    def payload(self) -> dict:
+        from repro.io import closure_to_dict, query_tree_to_dict
+
+        return {
+            "closure": closure_to_dict(self._closure),
+            "workload": [query_tree_to_dict(q) for q in self.workload],
+        }
+
+
+_BUILDERS = {
+    "full": FullClosureBackend,
+    "ondemand": OnDemandBackend,
+    "hybrid": HybridBackend,
+    "pll": PLLBackend,
+    "constrained": ConstrainedBackend,
+}
+
+
+def build_backend(
+    graph: LabeledDiGraph, config: EngineConfig, name: str
+) -> ReachabilityBackend:
+    """Construct the named backend for ``graph`` (pays the offline cost)."""
+    if name not in _BUILDERS:
+        raise EngineError(f"unknown backend {name!r}; choose from {BACKENDS}")
+    return _BUILDERS[name](graph, config)
+
+
+def restore_backend(
+    graph: LabeledDiGraph, config: EngineConfig, name: str, payload: dict
+) -> ReachabilityBackend:
+    """Rebuild the named backend from a persisted payload.
+
+    The expensive offline artifacts (closure distance rows, 2-hop labels)
+    come from the payload, so no shortest-path computation runs; only the
+    linear block layout is redone.
+    """
+    from repro.io import closure_from_dict, pll_from_dict, query_tree_from_dict
+
+    if name == "full":
+        closure = closure_from_dict(graph, payload["closure"])
+        return FullClosureBackend(graph, config, closure=closure)
+    if name == "ondemand":
+        index = pll_from_dict(graph, payload["pll"])
+        return OnDemandBackend(graph, config, distance_index=index)
+    if name == "hybrid":
+        closure = closure_from_dict(graph, payload["closure"])
+        index = pll_from_dict(graph, payload["pll"])
+        return HybridBackend(graph, config, closure=closure, distance_index=index)
+    if name == "pll":
+        index = pll_from_dict(graph, payload["pll"])
+        return PLLBackend(graph, config, distance_index=index)
+    if name == "constrained":
+        closure = closure_from_dict(graph, payload["closure"])
+        workload = tuple(
+            query_tree_from_dict(q) for q in payload.get("workload", [])
+        )
+        if workload:
+            config = config.replace(workload=workload)
+        return ConstrainedBackend(graph, config, closure=closure)
+    raise EngineError(f"unknown backend {name!r} in persisted index")

@@ -1,0 +1,151 @@
+"""Engine configuration: :class:`EngineConfig` and the fluent builder.
+
+An :class:`EngineConfig` captures every physical choice the paper leaves
+open — which reachability machinery backs the index (full transitive
+closure, on-demand assembly, hot/cold hybrid, 2-hop labels, or a
+workload-constrained closure), which algorithm answers queries, label
+semantics, node weights, and the block size of the simulated disk layout.
+:class:`~repro.engine.core.MatchEngine` is a pure function of
+``(graph, config)``, so configs are also what index persistence records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable
+
+from repro.exceptions import EngineError
+from repro.graph.query import QueryTree
+from repro.storage.blocks import DEFAULT_BLOCK_SIZE
+from repro.twig.semantics import EQUALITY, LabelMatcher
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.engine.core import MatchEngine
+
+#: Closure backends, in increasing order of laziness (see repro.closure).
+BACKENDS: tuple[str, ...] = ("full", "ondemand", "hybrid", "pll", "constrained")
+
+#: Concrete algorithm names, in the order the paper introduces them.
+ALGORITHMS: tuple[str, ...] = ("dp-b", "dp-p", "topk", "topk-en", "brute-force")
+
+#: Everything ``algorithm=`` accepts ("auto" delegates to the planner).
+ENGINE_ALGORITHMS: tuple[str, ...] = ALGORITHMS + ("auto",)
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Declarative engine configuration (all fields have sensible defaults).
+
+    ``backend="auto"`` lets the planner pick a backend from graph size;
+    ``algorithm="auto"`` lets it pick per query from label selectivity.
+    ``workload`` declares the query trees a ``constrained`` backend must
+    support (and is what makes ``backend="auto"`` choose ``constrained``).
+    """
+
+    backend: str = "auto"
+    algorithm: str = "auto"
+    block_size: int = DEFAULT_BLOCK_SIZE
+    label_matcher: LabelMatcher = EQUALITY
+    node_weight: Callable | None = None
+    hot_fraction: float = 0.2
+    workload: tuple[QueryTree, ...] | None = None
+    #: Planner knob: full-load Topk when the estimated run-time graph has
+    #: at most this many copies.
+    full_load_threshold: int = 64
+    #: Planner knob: graph size (nodes) up to which "auto" picks the fully
+    #: materialized closure; beyond it, on-demand assembly.
+    small_graph_nodes: int = 2048
+    #: Brute-force expansion guard (mirrors repro.core.brute_force).
+    brute_force_limit: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS + ("auto",):
+            raise EngineError(
+                f"unknown backend {self.backend!r}; choose from "
+                f"{BACKENDS + ('auto',)}"
+            )
+        if self.algorithm not in ENGINE_ALGORITHMS:
+            raise EngineError(
+                f"unknown algorithm {self.algorithm!r}; choose from "
+                f"{ENGINE_ALGORITHMS}"
+            )
+        if self.block_size <= 0:
+            raise EngineError(
+                f"block_size must be positive, got {self.block_size}"
+            )
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise EngineError(
+                f"hot_fraction must be in [0, 1], got {self.hot_fraction}"
+            )
+        if self.backend == "constrained" and not self.workload:
+            raise EngineError(
+                "backend='constrained' needs a declared workload "
+                "(EngineConfig(workload=...) or builder().workload(...))"
+            )
+        if self.workload is not None:
+            object.__setattr__(self, "workload", tuple(self.workload))
+
+    def replace(self, **changes) -> "EngineConfig":
+        """A copy with the given fields changed (validation re-runs)."""
+        return replace(self, **changes)
+
+
+@dataclass
+class EngineBuilder:
+    """Fluent construction of a :class:`~repro.engine.core.MatchEngine`.
+
+    Example::
+
+        engine = (MatchEngine.builder()
+                  .backend("pll")
+                  .algorithm("auto")
+                  .block_size(32)
+                  .build(graph))
+    """
+
+    _changes: dict = field(default_factory=dict)
+
+    def backend(self, name: str) -> "EngineBuilder":
+        """Select the closure backend (or ``"auto"``)."""
+        self._changes["backend"] = name
+        return self
+
+    def algorithm(self, name: str) -> "EngineBuilder":
+        """Select the default matching algorithm (or ``"auto"``)."""
+        self._changes["algorithm"] = name
+        return self
+
+    def block_size(self, size: int) -> "EngineBuilder":
+        """Block size of the simulated disk layout."""
+        self._changes["block_size"] = size
+        return self
+
+    def label_matcher(self, matcher: LabelMatcher) -> "EngineBuilder":
+        """Label semantics (equality, wildcard, containment...)."""
+        self._changes["label_matcher"] = matcher
+        return self
+
+    def node_weight(self, weight: Callable | None) -> "EngineBuilder":
+        """Optional per-node weight added to match scores (footnote 2)."""
+        self._changes["node_weight"] = weight
+        return self
+
+    def hot_fraction(self, fraction: float) -> "EngineBuilder":
+        """Hot-list fraction of the ``hybrid`` backend."""
+        self._changes["hot_fraction"] = fraction
+        return self
+
+    def workload(self, *queries: QueryTree) -> "EngineBuilder":
+        """Declare the queries a ``constrained`` closure must support."""
+        self._changes["workload"] = tuple(queries)
+        return self
+
+    def config(self) -> EngineConfig:
+        """The accumulated :class:`EngineConfig` (validated)."""
+        return EngineConfig(**self._changes)
+
+    def build(self, graph) -> "MatchEngine":
+        """Build the engine (pays the backend's offline cost now)."""
+        from repro.engine.core import MatchEngine
+
+        return MatchEngine(graph, self.config())

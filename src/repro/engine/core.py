@@ -1,0 +1,275 @@
+"""The :class:`MatchEngine` — primary public API of the reproduction.
+
+One engine owns one data graph plus the offline artifacts of a chosen
+reachability backend, and answers top-k twig queries with any algorithm:
+
+    from repro.engine import MatchEngine
+
+    engine = MatchEngine(graph)                 # backend/algorithm "auto"
+    matches = engine.top_k(query, k=5)          # planned execution
+    print(engine.explain(query, k=5).describe())
+
+    stream = engine.stream(query)               # lazy, resumable
+    first = stream.take(3)
+    more = stream.take(3)                       # ranks 4-6, no recompute
+
+    engine.save_index("dataset.idx.json")       # offline cost paid once
+    engine2 = MatchEngine.load("dataset.idx.json")
+
+The engine separates the logical query API from the physical index choice
+(the five closure backends of :mod:`repro.engine.backends`), plans per
+query, streams results, and persists indexes via :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.baseline_dp import DPBEnumerator
+from repro.core.baseline_dpp import DPPEnumerator
+from repro.core.brute_force import BruteForceEngine
+from repro.core.matches import Match
+from repro.core.topk import TopkEnumerator
+from repro.core.topk_en import TopkEN
+from repro.engine.backends import ReachabilityBackend, build_backend, restore_backend
+from repro.engine.config import EngineBuilder, EngineConfig
+from repro.engine.planner import Planner, QueryPlan, choose_backend
+from repro.engine.stream import ResultStream
+from repro.exceptions import EngineError
+from repro.graph.digraph import LabeledDiGraph
+from repro.graph.query import QueryTree
+from repro.runtime.graph import build_runtime_graph
+
+#: Persisted-index format version (bumped on breaking layout changes).
+INDEX_FORMAT_VERSION = 1
+
+
+class MatchEngine:
+    """Top-k twig matching over one data graph, any backend, any algorithm.
+
+    Parameters
+    ----------
+    graph:
+        The data graph.
+    config:
+        An :class:`EngineConfig`; keyword overrides are accepted instead
+        (``MatchEngine(graph, backend="pll", block_size=32)``).
+    """
+
+    def __init__(
+        self,
+        graph: LabeledDiGraph,
+        config: EngineConfig | None = None,
+        *,
+        _backend: ReachabilityBackend | None = None,
+        **overrides,
+    ) -> None:
+        if config is not None and overrides:
+            raise EngineError(
+                "pass either an EngineConfig or keyword overrides, not both"
+            )
+        if config is None:
+            config = EngineConfig(**overrides)
+        self.graph = graph
+        self.config = config
+        backend_name, backend_reasons = choose_backend(graph, config)
+        if _backend is not None:
+            backend_name = _backend.name
+            backend_reasons = (f"backend {_backend.name!r} restored from index",)
+            self._backend = _backend
+        else:
+            self._backend = build_backend(graph, config, backend_name)
+        self.planner = Planner(graph, config, backend_name, backend_reasons)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def builder(cls) -> EngineBuilder:
+        """A fluent :class:`EngineBuilder` (``.backend(...)....build(g)``)."""
+        return EngineBuilder()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> ReachabilityBackend:
+        """The active reachability backend."""
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the active backend (``full``, ``ondemand``, ...)."""
+        return self._backend.name
+
+    @property
+    def store(self):
+        """The closure store the enumerators consume."""
+        return self._backend.store
+
+    @property
+    def closure(self):
+        """The materialized closure, when the backend keeps one."""
+        return self._backend.closure
+
+    def statistics(self) -> dict:
+        """Backend/offline statistics (size, build time, cache usage)."""
+        return self._backend.statistics()
+
+    def explain(
+        self, query: QueryTree, k: int = 10, algorithm: str | None = None
+    ) -> QueryPlan:
+        """The plan :meth:`top_k`/:meth:`stream` would execute, with reasons."""
+        return self.planner.plan(query, k, algorithm=algorithm)
+
+    # ------------------------------------------------------------------
+    # Query execution
+    # ------------------------------------------------------------------
+    def engine_for(self, query: QueryTree, algorithm: str | None = None):
+        """Build the raw enumerator the plan selects (advanced use).
+
+        All returned objects expose ``top_k(k)`` / ``stream()`` /
+        ``results`` / ``stats``; the lazy ones add ``compute_first()``.
+        """
+        plan = self.planner.plan(query, k=10, algorithm=algorithm)
+        return self._build_enumerator(query, plan.algorithm)
+
+    def _build_enumerator(self, query: QueryTree, algorithm: str):
+        config = self.config
+        supports = getattr(self._backend, "supports", None)
+        if supports is not None and not supports(query, config.label_matcher):
+            raise EngineError(
+                "query is outside the declared workload of this constrained "
+                "index (its non-leaf labels were not pre-computed as closure "
+                "sources); rebuild with the query in `workload` or use "
+                "another backend"
+            )
+        store = self._backend.store
+        if algorithm == "topk-en":
+            return TopkEN(
+                store, query, matcher=config.label_matcher,
+                node_weight=config.node_weight,
+            )
+        if algorithm == "dp-p":
+            return DPPEnumerator(
+                store, query, matcher=config.label_matcher,
+                node_weight=config.node_weight,
+            )
+        if algorithm == "topk":
+            gr = build_runtime_graph(store, query, matcher=config.label_matcher)
+            return TopkEnumerator(gr, node_weight=config.node_weight)
+        if algorithm == "dp-b":
+            gr = build_runtime_graph(store, query, matcher=config.label_matcher)
+            return DPBEnumerator(gr, node_weight=config.node_weight)
+        if algorithm == "brute-force":
+            gr = build_runtime_graph(store, query, matcher=config.label_matcher)
+            return BruteForceEngine(
+                gr, node_weight=config.node_weight,
+                limit=config.brute_force_limit,
+            )
+        raise EngineError(f"unknown algorithm {algorithm!r}")
+
+    def top_k(
+        self, query: QueryTree, k: int, algorithm: str | None = None
+    ) -> list[Match]:
+        """The ``k`` lowest-score matches of ``query`` (fewer if the graph
+        has fewer)."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        plan = self.planner.plan(query, k, algorithm=algorithm)
+        return self._build_enumerator(query, plan.algorithm).top_k(k)
+
+    def stream(
+        self, query: QueryTree, algorithm: str | None = None, k_hint: int = 10
+    ) -> ResultStream:
+        """A lazy :class:`ResultStream` over ``query``'s matches.
+
+        ``k_hint`` only informs the planner's algorithm choice; the stream
+        itself can run past it without recomputation.
+        """
+        plan = self.planner.plan(query, k_hint, algorithm=algorithm)
+        return ResultStream(self._build_enumerator(query, plan.algorithm), plan)
+
+    def batch(
+        self,
+        queries: Iterable[QueryTree],
+        k: int,
+        algorithm: str | None = None,
+    ) -> list[list[Match]]:
+        """Answer many queries over the shared index (offline cost paid once).
+
+        Returns one top-k list per query, in input order.  All queries
+        reuse this engine's backend — with the materialized backends the
+        closure is never recomputed, and with the lazy ones their caches
+        (backward searches, 2-hop labels) warm up across the batch.
+        """
+        return [self.top_k(query, k, algorithm=algorithm) for query in queries]
+
+    # ------------------------------------------------------------------
+    # Index persistence
+    # ------------------------------------------------------------------
+    def save_index(self, path: str | Path) -> None:
+        """Persist the offline artifacts (graph + closure/2-hop labels).
+
+        The written JSON document lets :meth:`load` answer queries without
+        re-running the shortest-path pre-computation — the paper's
+        once-per-dataset offline phase.
+        """
+        from repro.io import graph_to_dict
+
+        document = {
+            "kind": "repro-index",
+            "version": INDEX_FORMAT_VERSION,
+            "backend": self._backend.name,
+            "config": {
+                "block_size": self.config.block_size,
+                "hot_fraction": self.config.hot_fraction,
+            },
+            "graph": graph_to_dict(self.graph),
+            "payload": self._backend.payload(),
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str | Path, **overrides) -> "MatchEngine":
+        """Rebuild an engine from :meth:`save_index` output.
+
+        Keyword overrides customize the non-serializable config fields
+        (``label_matcher``, ``node_weight``, planner knobs); the backend,
+        block size, and hot fraction come from the index document.  Node
+        ids and labels come back as strings (the :mod:`repro.io`
+        convention for external artifacts).
+        """
+        from repro.io import graph_from_dict
+
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        if document.get("kind") != "repro-index":
+            raise EngineError(
+                f"not a repro-index document: kind={document.get('kind')!r}"
+            )
+        version = document.get("version")
+        if version != INDEX_FORMAT_VERSION:
+            raise EngineError(
+                f"unsupported index version {version!r} "
+                f"(this build reads version {INDEX_FORMAT_VERSION})"
+            )
+        backend_name = document["backend"]
+        stored = document.get("config", {})
+        overrides.setdefault("block_size", stored.get("block_size"))
+        overrides.setdefault("hot_fraction", stored.get("hot_fraction"))
+        overrides = {k: v for k, v in overrides.items() if v is not None}
+        # Build with backend="auto" first: the constrained backend's
+        # workload only exists inside the persisted payload, and config
+        # validation would otherwise demand it up front.
+        config = EngineConfig(**{**overrides, "backend": "auto"})
+        graph = graph_from_dict(document["graph"])
+        backend = restore_backend(graph, config, backend_name, document["payload"])
+        if backend_name == "constrained":
+            config = config.replace(workload=backend.workload)
+        config = config.replace(backend=backend_name)
+        return cls(graph, config, _backend=backend)

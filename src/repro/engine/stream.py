@@ -1,0 +1,108 @@
+"""Lazy result streams over the incremental enumerators.
+
+The paper's headline property is *optimal enumeration*: matches surface
+one at a time in score order, with work proportional to how far the
+caller actually goes.  :class:`ResultStream` packages that as an API
+object: ``next()`` / iteration / ``take(k)`` pull matches on demand, and
+pulling more later resumes the underlying enumerator exactly where it
+stopped — no recomputation, because every engine caches emitted results
+and continues from its internal frontier.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.matches import EnumerationStats, Match
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.engine.planner import QueryPlan
+
+
+class ResultStream:
+    """Incremental view of one query's matches, best-first.
+
+    Wraps an enumerator (Topk-EN, DP-P, Topk, DP-B, or the brute-force
+    facade) that exposes ``stream()``/``results``.  The stream keeps its
+    own cursor; independent ``iter()`` calls replay from the first match
+    (served from the enumerator's cache) before advancing it further.
+    """
+
+    def __init__(self, source, plan: "QueryPlan | None" = None) -> None:
+        self._source = source
+        self.plan = plan
+        self._cursor = 0
+        self._iter = source.stream()
+        self._exhausted = False
+
+    # ------------------------------------------------------------------
+    @property
+    def results(self) -> list[Match]:
+        """Matches emitted so far (shared enumerator cache, best-first)."""
+        return list(self._source.results)
+
+    @property
+    def consumed(self) -> int:
+        """How many matches this stream's cursor has returned."""
+        return self._cursor
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the enumeration space is provably empty."""
+        return self._exhausted
+
+    @property
+    def stats(self) -> EnumerationStats | None:
+        """The underlying engine's instrumentation counters."""
+        return getattr(self._source, "stats", None)
+
+    # ------------------------------------------------------------------
+    def _advance_to(self, index: int) -> bool:
+        """Ensure at least ``index + 1`` matches are computed."""
+        while len(self._source.results) <= index:
+            try:
+                next(self._iter)
+            except StopIteration:
+                self._exhausted = True
+                return False
+        return True
+
+    def next(self) -> Match | None:
+        """The next best match, or ``None`` when enumeration is done."""
+        if not self._advance_to(self._cursor):
+            return None
+        match = self._source.results[self._cursor]
+        self._cursor += 1
+        return match
+
+    def __next__(self) -> Match:
+        match = self.next()
+        if match is None:
+            raise StopIteration
+        return match
+
+    def take(self, k: int) -> list[Match]:
+        """Up to ``k`` further matches from the current cursor.
+
+        Consecutive ``take`` calls continue the enumeration: after
+        ``take(5)``, a later ``take(5)`` returns ranks 6-10 without
+        recomputing ranks 1-5.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        out: list[Match] = []
+        for _ in range(k):
+            match = self.next()
+            if match is None:
+                break
+            out.append(match)
+        return out
+
+    def __iter__(self) -> Iterator[Match]:
+        """Iterate all matches from rank 1 (independent of the cursor)."""
+        index = 0
+        while True:
+            if len(self._source.results) <= index and not self._advance_to(index):
+                return
+            yield self._source.results[index]
+            index += 1

@@ -36,5 +36,9 @@ class MatchingError(ReproError):
     """Internal inconsistency detected during top-k matching."""
 
 
+class EngineError(ReproError):
+    """Invalid engine configuration or use of the ``repro.engine`` API."""
+
+
 class DecompositionError(ReproError):
     """A query graph could not be decomposed for kGPM evaluation."""

@@ -10,8 +10,6 @@ so the cheapest tree (by expected run-time-graph size) can be selected.
 from __future__ import annotations
 
 from collections import deque
-from typing import Hashable
-
 from repro.closure.transitive import TransitiveClosure
 from repro.exceptions import DecompositionError
 from repro.graph.query import QNodeId, QueryGraph, QueryTree

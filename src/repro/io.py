@@ -13,6 +13,10 @@ Two interchange formats:
 * **JSON** for query trees, query graphs, and match lists — explicit and
   self-describing, used by the CLI.
 
+* **JSON dicts** for offline index artifacts (graphs, transitive closures,
+  2-hop labels) — the building blocks of ``repro.engine`` index
+  persistence (`MatchEngine.save_index` / `MatchEngine.load`).
+
 All node ids and labels round-trip as strings in these formats (matching
 what external files can express); in-memory construction remains free to
 use arbitrary hashables.
@@ -24,6 +28,8 @@ import json
 from pathlib import Path
 from typing import Iterable, TextIO
 
+from repro.closure.pll import PrunedLandmarkIndex
+from repro.closure.transitive import TransitiveClosure
 from repro.core.matches import Match
 from repro.exceptions import GraphError, QueryError
 from repro.graph.digraph import LabeledDiGraph
@@ -182,3 +188,86 @@ def matches_from_json(text: str) -> list[Match]:
         Match(assignment=dict(entry["assignment"]), score=entry["score"])
         for entry in data["matches"]
     ]
+
+
+# ----------------------------------------------------------------------
+# Index artifacts (JSON dicts) — used by repro.engine persistence
+# ----------------------------------------------------------------------
+
+
+def graph_to_dict(graph: LabeledDiGraph) -> dict:
+    """JSON-ready representation of a data graph (string ids/labels)."""
+    return {
+        "kind": "labeled-digraph",
+        "nodes": {str(node): str(graph.label(node)) for node in graph.nodes()},
+        "edges": [
+            [str(tail), str(head), weight]
+            for tail, head, weight in sorted(graph.edges(), key=repr)
+        ],
+    }
+
+
+def graph_from_dict(data: dict) -> LabeledDiGraph:
+    """Inverse of :func:`graph_to_dict`."""
+    if data.get("kind") != "labeled-digraph":
+        raise GraphError(
+            f"not a labeled-digraph document: kind={data.get('kind')!r}"
+        )
+    graph = LabeledDiGraph()
+    for node, label in data["nodes"].items():
+        graph.add_node(node, label)
+    for tail, head, weight in data["edges"]:
+        graph.add_edge(tail, head, float(weight))
+    return graph
+
+
+def closure_to_dict(closure: TransitiveClosure) -> dict:
+    """JSON-ready representation of a (possibly partial) closure."""
+    rows: dict[str, dict[str, float]] = {}
+    for tail, head, dist in closure.pairs():
+        rows.setdefault(str(tail), {})[str(head)] = dist
+    # Partial closures must remember sources with no successors too, so
+    # emptiness stays distinguishable from "not a source".
+    if closure.is_partial:
+        for tail in closure._dist:
+            rows.setdefault(str(tail), {})
+    return {
+        "kind": "transitive-closure",
+        "partial": closure.is_partial,
+        "rows": rows,
+    }
+
+
+def closure_from_dict(graph: LabeledDiGraph, data: dict) -> TransitiveClosure:
+    """Inverse of :func:`closure_to_dict` — no shortest-path recompute."""
+    if data.get("kind") != "transitive-closure":
+        raise GraphError(
+            f"not a transitive-closure document: kind={data.get('kind')!r}"
+        )
+    return TransitiveClosure.from_distances(
+        graph, data["rows"], partial=bool(data.get("partial", False))
+    )
+
+
+def pll_to_dict(index: PrunedLandmarkIndex) -> dict:
+    """JSON-ready representation of 2-hop labels (empty labels omitted)."""
+    return {
+        "kind": "pll-index",
+        "out": {
+            str(node): {str(lm): d for lm, d in labels.items()}
+            for node, labels in index.label_out.items()
+            if labels
+        },
+        "in": {
+            str(node): {str(lm): d for lm, d in labels.items()}
+            for node, labels in index.label_in.items()
+            if labels
+        },
+    }
+
+
+def pll_from_dict(graph: LabeledDiGraph, data: dict) -> PrunedLandmarkIndex:
+    """Inverse of :func:`pll_to_dict` — no pruned-search recompute."""
+    if data.get("kind") != "pll-index":
+        raise GraphError(f"not a pll-index document: kind={data.get('kind')!r}")
+    return PrunedLandmarkIndex.from_labels(graph, data["out"], data["in"])

@@ -16,7 +16,7 @@ use this builder.
 
 from __future__ import annotations
 
-from typing import Hashable, Iterator
+from typing import Iterator
 
 from repro.closure.store import ClosureStore
 from repro.exceptions import MatchingError

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.bench.experiments import (
-    Workbench,
     average_runs,
     clear_workbench_cache,
     get_workbench,

@@ -1,7 +1,5 @@
 """Tests for label-constrained closure pre-computation."""
 
-import random
-
 import pytest
 
 from repro.closure.constrained import (

@@ -9,7 +9,6 @@ from repro.closure.store import ClosureStore
 from repro.closure.transitive import TransitiveClosure
 from repro.core.baseline_dpp import DPPEnumerator
 from repro.core.topk_en import TopkEN
-from repro.graph.digraph import graph_from_edges
 from repro.graph.generators import citation_graph, erdos_renyi_graph
 from repro.graph.query import QueryTree
 

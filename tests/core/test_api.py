@@ -1,10 +1,12 @@
-"""Tests for the TreeMatcher facade."""
+"""Tests for the deprecated TreeMatcher facade (shim over repro.engine)."""
 
 import pytest
 
 from repro.core.api import ALGORITHMS, TreeMatcher, top_k_tree_matches
-from repro.graph.digraph import graph_from_edges
 from repro.graph.query import QueryTree
+
+# The facade is deprecated by design; these tests exercise it on purpose.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 @pytest.fixture
@@ -27,6 +29,12 @@ def test_every_algorithm_runs(matcher, figure4_query, alg):
     assert [m.score for m in matches][:3] == [3, 4, 5]
 
 
+def test_brute_force_honors_k(matcher, figure4_query):
+    matches = matcher.top_k(figure4_query, 2, algorithm="brute-force")
+    assert len(matches) == 2
+    assert [m.score for m in matches] == [3, 4]
+
+
 def test_unknown_algorithm(matcher, figure4_query):
     with pytest.raises(ValueError, match="unknown algorithm"):
         matcher.top_k(figure4_query, 1, algorithm="magic")
@@ -36,6 +44,14 @@ def test_engine_exposes_stats(matcher, figure4_query):
     engine = matcher.engine(figure4_query, "topk-en")
     engine.top_k(2)
     assert engine.stats.rounds == 2
+
+
+def test_engine_is_engine_like_for_brute_force(matcher, figure4_query):
+    """The old facade leaked a bare truncated list here; now it is an
+    engine-like object with top_k/stream/stats."""
+    engine = matcher.engine(figure4_query, "brute-force")
+    assert [m.score for m in engine.top_k(2)] == [3, 4]
+    assert hasattr(engine, "stream") and hasattr(engine, "stats")
 
 
 def test_one_shot_helper(figure4_graph, figure4_query):
@@ -54,3 +70,17 @@ def test_matcher_reusable_across_queries(figure4_graph):
 def test_offline_artifacts_exposed(matcher):
     assert matcher.closure.num_pairs > 0
     assert matcher.store.size_statistics()["total_entries"] > 0
+
+
+class TestDeprecation:
+    """Satellite: the old facade warns, loudly and testably."""
+
+    @pytest.mark.filterwarnings("default::DeprecationWarning")
+    def test_tree_matcher_fires_deprecation(self, figure4_graph):
+        with pytest.warns(DeprecationWarning, match="repro.engine.MatchEngine"):
+            TreeMatcher(figure4_graph)
+
+    @pytest.mark.filterwarnings("default::DeprecationWarning")
+    def test_one_shot_fires_deprecation(self, figure4_graph, figure4_query):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            top_k_tree_matches(figure4_graph, figure4_query, 1)

@@ -6,7 +6,6 @@ from repro import TreeMatcher
 from repro.closure.store import ClosureStore
 from repro.core.topk import TopkEnumerator
 from repro.core.topk_en import TopkEN
-from repro.exceptions import GraphError, QueryError
 from repro.graph.digraph import LabeledDiGraph, graph_from_edges
 from repro.graph.query import QueryTree
 from repro.runtime.graph import build_runtime_graph

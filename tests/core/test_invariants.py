@@ -7,7 +7,6 @@ score-agreement tests in ``test_agreement.py``.
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,6 @@ import random
 import pytest
 
 from repro.closure.store import ClosureStore
-from repro.closure.transitive import TransitiveClosure
 from repro.core.baseline_dp import DPBEnumerator
 from repro.core.baseline_dpp import DPPEnumerator
 from repro.core.brute_force import all_matches

@@ -6,8 +6,6 @@ dormant-leaf lifecycle, pending parks, cursor progress, and bound
 arithmetic.
 """
 
-import pytest
-
 from repro.closure.store import ClosureStore
 from repro.core.topk_en import LazyTopkEngine, TopkEN
 from repro.graph.digraph import graph_from_edges

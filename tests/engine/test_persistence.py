@@ -1,0 +1,120 @@
+"""Index persistence: save/load round-trips that skip the offline phase."""
+
+import json
+
+import pytest
+
+from repro.engine import BACKENDS, MatchEngine
+from repro.exceptions import EngineError
+from repro.graph.digraph import graph_from_edges
+from repro.graph.query import QueryTree
+
+
+@pytest.fixture
+def string_graph():
+    """Figure-4-like graph with string node ids (ids survive JSON as-is)."""
+    return graph_from_edges(
+        {
+            "v1": "a", "v2": "b", "v3": "c", "v4": "c",
+            "v5": "c", "v6": "c", "v7": "d",
+        },
+        [
+            ("v1", "v2", 1), ("v1", "v3", 1), ("v1", "v4", 1),
+            ("v1", "v5", 1), ("v1", "v6", 1), ("v3", "v7", 3),
+            ("v4", "v7", 4), ("v5", "v7", 1), ("v6", "v7", 2),
+        ],
+    )
+
+
+@pytest.fixture
+def query():
+    return QueryTree(
+        {"u1": "a", "u2": "b", "u3": "c", "u4": "d"},
+        [("u1", "u2"), ("u1", "u3"), ("u3", "u4")],
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_same_answers_after_reload(self, tmp_path, string_graph, query, backend):
+        kwargs = {"workload": (query,)} if backend == "constrained" else {}
+        engine = MatchEngine(string_graph, backend=backend, **kwargs)
+        want = [m.score for m in engine.top_k(query, 4)]
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+
+        loaded = MatchEngine.load(path)
+        assert loaded.backend_name == backend
+        assert [m.score for m in loaded.top_k(query, 4)] == want == [3, 4, 5, 6]
+
+    def test_no_closure_recompute_on_load(self, tmp_path, string_graph, query,
+                                          monkeypatch):
+        """A loaded full index answers without re-running shortest paths."""
+        engine = MatchEngine(string_graph, backend="full")
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("shortest-path computation ran after load")
+
+        import repro.closure.transitive as transitive
+        import repro.graph.traversal as traversal
+
+        monkeypatch.setattr(traversal, "single_source_distances", boom)
+        monkeypatch.setattr(transitive, "single_source_distances", boom)
+        loaded = MatchEngine.load(path)
+        assert loaded.closure.build_seconds == 0.0
+        assert [m.score for m in loaded.top_k(query, 2)] == [3, 4]
+
+    def test_no_pll_recompute_on_load(self, tmp_path, string_graph, query,
+                                      monkeypatch):
+        """A loaded pll index answers without re-running pruned searches."""
+        engine = MatchEngine(string_graph, backend="pll")
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+
+        from repro.closure.pll import PrunedLandmarkIndex
+
+        def boom(self, *args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("pruned search ran after load")
+
+        monkeypatch.setattr(PrunedLandmarkIndex, "_expand", boom)
+        loaded = MatchEngine.load(path)
+        assert [m.score for m in loaded.top_k(query, 2)] == [3, 4]
+        # Point distances still come from the restored labels.
+        assert loaded.store.distance("v1", "v7") == 2
+
+    def test_block_size_round_trips(self, tmp_path, string_graph, query):
+        engine = MatchEngine(string_graph, backend="full", block_size=2)
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+        loaded = MatchEngine.load(path)
+        assert loaded.config.block_size == 2
+        assert loaded.store.directory.block_size == 2
+
+    def test_constrained_workload_round_trips(self, tmp_path, string_graph, query):
+        engine = MatchEngine(string_graph, backend="constrained", workload=(query,))
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+        loaded = MatchEngine.load(path)
+        assert loaded.backend_name == "constrained"
+        assert len(loaded.config.workload) == 1
+        assert loaded.closure.is_partial
+
+
+class TestDocumentValidation:
+    def test_rejects_other_kinds(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"kind": "matches"}))
+        with pytest.raises(EngineError, match="not a repro-index"):
+            MatchEngine.load(path)
+
+    def test_rejects_future_versions(self, tmp_path, string_graph):
+        engine = MatchEngine(string_graph, backend="full")
+        path = tmp_path / "index.json"
+        engine.save_index(path)
+        document = json.loads(path.read_text())
+        document["version"] = 99
+        path.write_text(json.dumps(document))
+        with pytest.raises(EngineError, match="unsupported index version"):
+            MatchEngine.load(path)

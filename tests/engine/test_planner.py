@@ -1,0 +1,109 @@
+"""Planner golden tests: deterministic choices with inspectable reasons."""
+
+import pytest
+
+from repro.engine import EngineConfig, MatchEngine
+from repro.engine.planner import choose_backend
+from repro.graph.digraph import LabeledDiGraph
+from repro.graph.query import QueryTree
+
+
+def _big_graph(num_nodes: int) -> LabeledDiGraph:
+    """A cheap path graph of the requested size (structure irrelevant to
+    backend choice, which looks only at node counts)."""
+    g = LabeledDiGraph()
+    for i in range(num_nodes):
+        g.add_node(i, f"l{i % 5}")
+    for i in range(num_nodes - 1):
+        g.add_edge(i, i + 1)
+    return g
+
+
+class TestBackendChoice:
+    def test_small_graph_full(self, figure4_graph):
+        name, reasons = choose_backend(figure4_graph, EngineConfig())
+        assert name == "full"
+        assert any("full closure" in r for r in reasons)
+
+    def test_workload_forces_constrained(self, figure4_graph, figure4_query):
+        config = EngineConfig(workload=(figure4_query,))
+        name, reasons = choose_backend(figure4_graph, config)
+        assert name == "constrained"
+        assert any("workload" in r for r in reasons)
+
+    def test_large_graph_ondemand(self):
+        config = EngineConfig(small_graph_nodes=10)
+        name, reasons = choose_backend(_big_graph(50), config)
+        assert name == "ondemand"
+        assert any("on demand" in r for r in reasons)
+
+    def test_hybrid_never_auto_picked(self):
+        """Hybrid materializes the full closure AND a 2-hop index, so it
+        must be an explicit choice, never the auto default."""
+        for n in (5, 50, 500):
+            name, _ = choose_backend(_big_graph(n), EngineConfig(small_graph_nodes=10))
+            assert name != "hybrid"
+
+    def test_explicit_backend_wins(self):
+        config = EngineConfig(backend="pll", small_graph_nodes=10)
+        name, reasons = choose_backend(_big_graph(50), config)
+        assert name == "pll"
+        assert any("explicitly requested" in r for r in reasons)
+
+
+class TestExplainGoldens:
+    def test_tiny_query_plans_full_load(self, figure4_graph, figure4_query):
+        engine = MatchEngine(figure4_graph)
+        plan = engine.explain(figure4_query, k=3)
+        assert plan.algorithm == "topk"
+        assert plan.backend == "full"
+        assert plan.query_nodes == 4
+        # a=1, b=1, c=4, d=1 candidates in the Figure 4 graph.
+        assert dict(plan.candidate_estimates) == {"u1": 1, "u2": 1, "u3": 4, "u4": 1}
+        assert plan.est_runtime_nodes == 7
+        assert any("tiny candidate space" in r for r in plan.reasons)
+
+    def test_large_space_small_k_plans_lazy(self):
+        engine = MatchEngine(_big_graph(300), full_load_threshold=64)
+        query = QueryTree({0: "l0", 1: "l1"}, [(0, 1)])
+        plan = engine.explain(query, k=2)
+        assert plan.algorithm == "topk-en"
+        assert plan.est_runtime_nodes == 120  # 60 l0-nodes + 60 l1-nodes
+        assert any("lazy access" in r for r in plan.reasons)
+
+    def test_huge_k_amortizes_full_load(self):
+        engine = MatchEngine(_big_graph(300))
+        query = QueryTree({0: "l0", 1: "l1"}, [(0, 1)])
+        plan = engine.explain(query, k=500)
+        assert plan.algorithm == "topk"
+        assert any("amortizes" in r for r in plan.reasons)
+
+    def test_single_node_query(self, figure4_graph):
+        engine = MatchEngine(figure4_graph)
+        plan = engine.explain(QueryTree({0: "c"}, []), k=3)
+        assert plan.algorithm == "topk-en"
+        assert any("single-node" in r for r in plan.reasons)
+
+    def test_explicit_algorithm_recorded(self, figure4_graph, figure4_query):
+        engine = MatchEngine(figure4_graph)
+        plan = engine.explain(figure4_query, k=3, algorithm="dp-p")
+        assert plan.algorithm == "dp-p"
+        assert any("explicitly requested" in r for r in plan.reasons)
+
+    def test_describe_mentions_choices(self, figure4_graph, figure4_query):
+        engine = MatchEngine(figure4_graph)
+        text = engine.explain(figure4_query, k=3).describe()
+        assert "algorithm='topk'" in text
+        assert "backend='full'" in text
+        assert "candidates per query node" in text
+
+    def test_unknown_algorithm_raises(self, figure4_graph, figure4_query):
+        engine = MatchEngine(figure4_graph)
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            engine.explain(figure4_query, k=1, algorithm="magic")
+
+    def test_plan_matches_execution(self, figure4_graph, figure4_query):
+        """The planned algorithm is what stream() actually runs."""
+        engine = MatchEngine(figure4_graph)
+        stream = engine.stream(figure4_query)
+        assert stream.plan.algorithm == engine.explain(figure4_query).algorithm

@@ -1,0 +1,83 @@
+"""ResultStream semantics: lazy pulls, resume-past-k, independent iteration."""
+
+import pytest
+
+from repro.engine import MatchEngine
+from repro.engine.config import ALGORITHMS
+from repro.graph.query import QueryTree
+
+
+@pytest.fixture
+def engine(figure4_graph):
+    return MatchEngine(figure4_graph, backend="full")
+
+
+class TestStreaming:
+    def test_take_resumes_without_recompute(self, engine, figure4_query):
+        stream = engine.stream(figure4_query)
+        assert [m.score for m in stream.take(2)] == [3, 4]
+        # Resuming continues from rank 3 — same enumerator, no rebuild.
+        assert [m.score for m in stream.take(2)] == [5, 6]
+        assert stream.consumed == 4
+
+    def test_next_and_exhaustion(self, engine):
+        query = QueryTree({0: "a", 1: "b"}, [(0, 1)])
+        stream = engine.stream(query)
+        first = stream.next()
+        assert first is not None and first.score == 1
+        assert stream.next() is None
+        assert stream.exhausted
+
+    def test_iteration_replays_from_rank_one(self, engine, figure4_query):
+        stream = engine.stream(figure4_query)
+        stream.take(3)  # move the cursor
+        scores = [m.score for m in stream]
+        assert scores[:4] == [3, 4, 5, 6]
+        # The cursor was not disturbed by the full iteration.
+        assert stream.consumed == 3
+
+    def test_dunder_next(self, engine, figure4_query):
+        stream = engine.stream(figure4_query)
+        assert next(stream).score == 3
+        assert next(stream).score == 4
+
+    def test_negative_take_rejected(self, engine, figure4_query):
+        with pytest.raises(ValueError, match="non-negative"):
+            engine.stream(figure4_query).take(-1)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_every_algorithm_streams(self, engine, figure4_query, algorithm):
+        stream = engine.stream(figure4_query, algorithm=algorithm)
+        assert [m.score for m in stream.take(3)] == [3, 4, 5]
+        assert stream.stats is not None
+
+    def test_stream_exposes_plan(self, engine, figure4_query):
+        stream = engine.stream(figure4_query, algorithm="dp-b")
+        assert stream.plan.algorithm == "dp-b"
+
+    def test_results_snapshot(self, engine, figure4_query):
+        stream = engine.stream(figure4_query)
+        stream.take(2)
+        assert [m.score for m in stream.results] == [3, 4]
+
+
+class TestBruteForceEngine:
+    """Satellite fix: brute force honors k through an engine-like object."""
+
+    def test_top_k_honors_k(self, engine, figure4_query):
+        matches = engine.top_k(figure4_query, 2, algorithm="brute-force")
+        assert [m.score for m in matches] == [3, 4]
+
+    def test_engine_like_object(self, engine, figure4_query):
+        from repro.core.brute_force import BruteForceEngine
+
+        raw = engine.engine_for(figure4_query, algorithm="brute-force")
+        assert isinstance(raw, BruteForceEngine)
+        assert raw.compute_first() == 3
+        assert [m.score for m in raw.top_k(3)] == [3, 4, 5]
+        assert raw.stats.rounds >= 3
+
+    def test_agrees_with_lazy_engine(self, engine, figure4_query):
+        brute = engine.top_k(figure4_query, 6, algorithm="brute-force")
+        lazy = engine.top_k(figure4_query, 6, algorithm="topk-en")
+        assert [m.score for m in brute] == [m.score for m in lazy]

@@ -4,7 +4,6 @@ import random
 
 import pytest
 
-from repro.core.matches import Match
 from repro.gpm import KGPMEngine, brute_force_kgpm, kgpm_matches
 from repro.graph.digraph import graph_from_edges
 from repro.graph.generators import erdos_renyi_graph
@@ -80,7 +79,6 @@ class TestAgreement:
 
     @pytest.mark.parametrize("seed", range(6))
     def test_decomposition_choice_does_not_change_results(self, seed):
-        rng = random.Random(seed + 300)
         g = erdos_renyi_graph(8, 18, num_labels=4, seed=seed)
         labels = sorted(g.labels())
         if len(labels) < 3:

@@ -73,6 +73,123 @@ class TestMatch:
         )
         assert code == 2
 
+    def test_needs_graph_or_index(self, tree_query_file, capsys):
+        code = main(["match", "--query", str(tree_query_file)])
+        assert code == 2
+        assert "--graph or --load-index" in capsys.readouterr().err
+
+    def test_graph_and_index_conflict(self, tmp_path, graph_file,
+                                      tree_query_file, capsys):
+        index_path = tmp_path / "g.idx.json"
+        assert main(
+            [
+                "match",
+                "--graph", str(graph_file),
+                "--query", str(tree_query_file),
+                "--save-index", str(index_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "match",
+                "--graph", str(graph_file),
+                "--load-index", str(index_path),
+                "--query", str(tree_query_file),
+            ]
+        )
+        assert code == 2
+        assert "not both" in capsys.readouterr().err
+        code = main(
+            [
+                "match",
+                "--load-index", str(index_path),
+                "--backend", "pll",
+                "--query", str(tree_query_file),
+            ]
+        )
+        assert code == 2
+        assert "determined by the loaded index" in capsys.readouterr().err
+
+    def test_corrupt_index_clean_error(self, tmp_path, tree_query_file, capsys):
+        bogus = tmp_path / "corrupt.idx.json"
+        bogus.write_text("{not json")
+        code = main(
+            ["match", "--load-index", str(bogus), "--query", str(tree_query_file)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_constrained_backend_uses_query_as_workload(
+        self, graph_file, tree_query_file, capsys
+    ):
+        code = main(
+            [
+                "match",
+                "--graph", str(graph_file),
+                "--query", str(tree_query_file),
+                "--backend", "constrained",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [m["score"] for m in payload["matches"]] == [2.0, 3.0]
+
+    @pytest.mark.parametrize("backend", ["full", "ondemand", "hybrid", "pll"])
+    def test_backend_selection(self, graph_file, tree_query_file, capsys, backend):
+        code = main(
+            [
+                "match",
+                "--graph", str(graph_file),
+                "--query", str(tree_query_file),
+                "--backend", backend,
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [m["score"] for m in payload["matches"]] == [2.0, 3.0]
+
+    def test_auto_algorithm_with_explain(self, graph_file, tree_query_file, capsys):
+        code = main(
+            [
+                "match",
+                "--graph", str(graph_file),
+                "--query", str(tree_query_file),
+                "--algorithm", "auto",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "QueryPlan" in captured.err
+        payload = json.loads(captured.out)
+        assert [m["score"] for m in payload["matches"]] == [2.0, 3.0]
+
+    def test_save_then_load_index(self, tmp_path, graph_file, tree_query_file,
+                                  capsys):
+        index_path = tmp_path / "g.idx.json"
+        code = main(
+            [
+                "match",
+                "--graph", str(graph_file),
+                "--query", str(tree_query_file),
+                "--save-index", str(index_path),
+            ]
+        )
+        assert code == 0
+        assert index_path.exists()
+        capsys.readouterr()
+        code = main(
+            [
+                "match",
+                "--load-index", str(index_path),
+                "--query", str(tree_query_file),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [m["score"] for m in payload["matches"]] == [2.0, 3.0]
+
 
 class TestGpm:
     def test_cycle_query(self, graph_file, graph_query_file, capsys):
@@ -97,6 +214,27 @@ class TestStats:
         out = capsys.readouterr().out
         assert "closure pairs" in out
         assert "theta" in out
+
+
+class TestIndex:
+    def test_build_and_query(self, tmp_path, graph_file, tree_query_file, capsys):
+        index_path = tmp_path / "built.idx.json"
+        code = main(
+            [
+                "index",
+                "--graph", str(graph_file),
+                "--backend", "pll",
+                "--out", str(index_path),
+            ]
+        )
+        assert code == 0
+        assert "saved to" in capsys.readouterr().err
+        code = main(
+            ["match", "--load-index", str(index_path), "--query", str(tree_query_file)]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [m["score"] for m in payload["matches"]] == [2.0, 3.0]
 
 
 class TestGenerate:

@@ -1,0 +1,64 @@
+"""Round-trips for the index-artifact converters in repro.io."""
+
+import pytest
+
+from repro.closure.pll import PrunedLandmarkIndex
+from repro.closure.transitive import TransitiveClosure
+from repro.exceptions import GraphError
+from repro.io import (
+    closure_from_dict,
+    closure_to_dict,
+    graph_from_dict,
+    graph_to_dict,
+    pll_from_dict,
+    pll_to_dict,
+)
+
+
+class TestGraphDict:
+    def test_round_trip(self, figure4_graph):
+        data = graph_to_dict(figure4_graph)
+        back = graph_from_dict(data)
+        assert back.num_nodes == figure4_graph.num_nodes
+        assert back.num_edges == figure4_graph.num_edges
+        for tail, head, weight in figure4_graph.edges():
+            assert back.edge_weight(str(tail), str(head)) == weight
+            assert back.label(str(tail)) == str(figure4_graph.label(tail))
+
+    def test_kind_checked(self):
+        with pytest.raises(GraphError, match="labeled-digraph"):
+            graph_from_dict({"kind": "something-else"})
+
+
+class TestClosureDict:
+    def test_round_trip_skips_recompute(self, figure4_graph):
+        closure = TransitiveClosure(figure4_graph)
+        back = closure_from_dict(figure4_graph, closure_to_dict(closure))
+        assert back.num_pairs == closure.num_pairs
+        assert back.build_seconds == 0.0
+        for tail, head, dist in closure.pairs():
+            assert back.distance(tail, head) == dist
+
+    def test_partial_flag_round_trips(self, figure4_graph):
+        closure = TransitiveClosure(figure4_graph, sources=["v1"])
+        back = closure_from_dict(figure4_graph, closure_to_dict(closure))
+        assert back.is_partial
+        assert back.num_pairs == closure.num_pairs
+
+    def test_kind_checked(self, figure4_graph):
+        with pytest.raises(GraphError, match="transitive-closure"):
+            closure_from_dict(figure4_graph, {"kind": "nope"})
+
+
+class TestPLLDict:
+    def test_round_trip_distances(self, figure4_graph):
+        index = PrunedLandmarkIndex(figure4_graph)
+        back = pll_from_dict(figure4_graph, pll_to_dict(index))
+        for u in figure4_graph.nodes():
+            for v in figure4_graph.nodes():
+                assert back.distance(u, v) == index.distance(u, v)
+        assert back.index_size() == index.index_size()
+
+    def test_kind_checked(self, figure4_graph):
+        with pytest.raises(GraphError, match="pll-index"):
+            pll_from_dict(figure4_graph, {"kind": "nope"})

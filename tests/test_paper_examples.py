@@ -6,11 +6,8 @@ edges, subspace counts).  These are the highest-level fidelity checks in
 the suite.
 """
 
-import pytest
-
-from repro import QueryTree, TreeMatcher
+from repro import TreeMatcher
 from repro.closure.store import ClosureStore
-from repro.closure.transitive import TransitiveClosure
 from repro.core.topk import TopkEnumerator
 from repro.core.topk_en import TopkEN
 from repro.runtime.graph import build_runtime_graph

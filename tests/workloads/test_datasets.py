@@ -4,7 +4,6 @@ import pytest
 
 from repro.workloads.datasets import (
     PAPER_GD_SIZES,
-    PAPER_GS_SIZES,
     build_dataset,
     dataset_spec,
     default_real_dataset,
