@@ -14,7 +14,7 @@ from __future__ import annotations
 import sys
 import time
 
-from repro import MatchEngine
+from repro import MatchEngine, to_dsl
 from repro.core import TopkEnumerator, TopkEN
 from repro.graph import citation_graph
 from repro.runtime import build_runtime_graph
@@ -39,6 +39,7 @@ def main(num_nodes: int = 2500) -> None:
     query = random_query_tree(closure, 12, seed=7)
     print(f"\nquery: {query.num_nodes} venues, root at "
           f"{query.label(query.root)!r}")
+    print(f"  declarative form: {to_dsl(query)}")
 
     # Full-load Topk (Algorithm 1).
     started = time.perf_counter()

@@ -1,15 +1,15 @@
 """Quickstart: top-k twig matching through the MatchEngine in a dozen lines.
 
 Builds a small labeled citation graph, asks for the three best matches of
-a two-branch twig query, inspects the query plan, and streams a few more
-results lazily.  Run with::
+a two-branch twig query written in the XPath-style DSL, inspects the
+query plan, and streams a few more results lazily.  Run with::
 
     python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import LabeledDiGraph, MatchEngine, QueryTree
+from repro import LabeledDiGraph, MatchEngine, Q
 
 
 def main() -> None:
@@ -33,12 +33,10 @@ def main() -> None:
     ]:
         graph.add_edge(tail, head)
 
-    # The twig query of Figure 1(a): a CS patent whose influence reaches
-    # both an Economy and a Social-Science patent ('//' semantics).
-    query = QueryTree(
-        {"root": "CS", "econ": "Econ", "soc": "Soc"},
-        [("root", "econ"), ("root", "soc")],
-    )
+    # The twig query of Figure 1(a), written declaratively: a CS patent
+    # whose influence reaches both an Economy and a Social-Science patent
+    # ('//' semantics).  One string is the whole query.
+    query = "CS[Econ]//Soc"
 
     # Offline: the engine picks and builds a closure backend.  Online:
     # the planner picks an algorithm per query ("auto" by default).
@@ -52,6 +50,13 @@ def main() -> None:
             f"{qnode}={node}" for qnode, node in sorted(match.assignment.items())
         )
         print(f"  #{rank}  score={match.score:g}  {chain}")
+
+    # The fluent builder spells the same query programmatically.
+    built = Q("CS").descendant("Econ").descendant("Soc")
+    assert [m.score for m in engine.top_k(built, k=3)] == \
+        [m.score for m in matches]
+    print(f"\nbuilder form Q('CS').descendant('Econ').descendant('Soc') "
+          f"== DSL {built.to_dsl()!r}")
 
     # Streaming: take a couple, then resume without recomputation.
     stream = engine.stream(query)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import random
 
-from repro import LabeledDiGraph, MatchEngine, QueryTree
+from repro import LabeledDiGraph, MatchEngine, QueryTree, to_dsl
 
 
 ROLES = ["architect", "backend", "frontend", "data-sci", "designer", "ml-res"]
@@ -68,6 +68,12 @@ def main() -> None:
 
     engine = MatchEngine(undirected)
     teams = engine.top_k(team_spec, k=5)
+
+    # Hand-built trees keep their node names in the results; the same
+    # query round-trips through the declarative layer as one string.
+    print(f"declarative form: {to_dsl(team_spec)}")
+    assert [m.score for m in engine.top_k(to_dsl(team_spec), k=5)] == \
+        [m.score for m in teams]
 
     print("\nbest candidate teams (score = total collaboration distance; "
           f"minimum possible {team_spec.num_nodes - 1}):")

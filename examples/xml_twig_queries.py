@@ -1,12 +1,14 @@
 """General twig queries — '/' vs '//' axes, wildcards, duplicate labels.
 
 Models a small product-catalog document graph (XML-ish) and runs the
-Section 5 extensions end to end with Topk-GT:
+Section 5 extensions end to end through the MatchEngine's declarative
+query layer — every query is one DSL string:
 
-* a ``/`` (child) edge that only matches direct containment,
-* a ``//`` (descendant) edge matching any nesting depth,
-* a wildcard node, and
-* a query with duplicate labels.
+* ``category/product`` — a ``/`` (child) edge, direct containment only,
+* ``category//product`` — a ``//`` (descendant) edge, any nesting depth,
+* ``category//*[price][review]`` — a wildcard node with two branches,
+* ``catalog[product]//product`` — duplicate labels,
+* ``catalog//~book`` — label containment (token subsets).
 
 Run with::
 
@@ -15,9 +17,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import LabeledDiGraph, MatchEngine, QueryTree, WILDCARD
-from repro.graph.query import EdgeType
-from repro.twig import TopkGT
+from repro import LabeledDiGraph, MatchEngine
 
 
 def build_catalog() -> LabeledDiGraph:
@@ -36,6 +36,8 @@ def build_catalog() -> LabeledDiGraph:
         "price3": "price",
         "rev1": "review",
         "rev2": "review",
+        # a token-labeled special edition: containment queries match it
+        "book3": "book+special",
     }
     for node, label in nodes.items():
         g.add_node(node, label)
@@ -51,14 +53,16 @@ def build_catalog() -> LabeledDiGraph:
         ("album1", "price3"),
         ("book1", "rev1"),
         ("album1", "rev2"),
+        ("cat_books", "book3"),
     ]
     for tail, head in edges:
         g.add_edge(tail, head)
     return g
 
 
-def show(title, matches):
-    print(f"\n{title}")
+def show(engine: MatchEngine, query: str, k: int = 10) -> None:
+    matches = engine.top_k(query, k=k)
+    print(f"\n{query}")
     if not matches:
         print("  (no matches)")
     for match in matches:
@@ -69,40 +73,23 @@ def show(title, matches):
 
 
 def main() -> None:
-    catalog = build_catalog()
-    # TopkGT consumes the closure store directly; the engine builds and
-    # owns it (and could persist it with engine.save_index).
-    store = MatchEngine(catalog, backend="full").store
+    engine = MatchEngine(build_catalog(), backend="full")
 
     # 1. '//' vs '/': products anywhere under a category vs directly under.
-    anywhere = QueryTree(
-        {"c": "category", "p": "product"},
-        [("c", "p", EdgeType.DESCENDANT)],
-    )
-    direct = QueryTree(
-        {"c": "category", "p": "product"},
-        [("c", "p", EdgeType.CHILD)],
-    )
-    show("category//product (any depth):",
-         TopkGT(store, anywhere).top_k(10))
-    show("category/product (direct children only):",
-         TopkGT(store, direct).top_k(10))
+    show(engine, "category//product")
+    show(engine, "category/product")
 
     # 2. Wildcard: any node that has both a price and a review below it.
-    wildcard = QueryTree(
-        {"root": "category", "any": WILDCARD, "pr": "price", "rv": "review"},
-        [("root", "any"), ("any", "pr"), ("any", "rv")],
-    )
-    show("category//*[.//price][.//review]:",
-         TopkGT(store, wildcard).top_k(5))
+    show(engine, "category//*[price][review]", k=5)
 
     # 3. Duplicate labels: two product positions under the same catalog.
-    duo = QueryTree(
-        {"root": "catalog", "p1": "product", "p2": "product"},
-        [("root", "p1"), ("root", "p2")],
-    )
-    matches = TopkGT(store, duo).top_k(3)
-    show("catalog with two product positions (labels repeat):", matches)
+    show(engine, "catalog[product]//product", k=3)
+
+    # 4. Containment: labels are token sets; ~book matches 'book+special'.
+    show(engine, "catalog//~book", k=3)
+
+    # The compiled semantics are part of the plan:
+    print("\n" + engine.explain("category//*[price][review]", k=5).describe())
 
 
 if __name__ == "__main__":

@@ -3,28 +3,44 @@ Matching" (Chang et al., PVLDB 8(5), 2015).
 
 Public API tour::
 
-    from repro import LabeledDiGraph, MatchEngine, QueryTree
+    from repro import LabeledDiGraph, MatchEngine
 
     graph = LabeledDiGraph()
     graph.add_node("p1", "CS"); graph.add_node("p2", "Econ")
     graph.add_edge("p1", "p2")
 
-    query = QueryTree({0: "CS", 1: "Econ"}, [(0, 1)])
-    engine = MatchEngine(graph)           # offline: planned backend
-    matches = engine.top_k(query, k=5)    # online: planned algorithm
+    engine = MatchEngine(graph)               # offline: planned backend
+    matches = engine.top_k("CS//Econ", k=5)   # online: XPath-style DSL
 
-    print(engine.explain(query).describe())   # inspect the query plan
-    stream = engine.stream(query)             # lazy, resumable results
-    engine.save_index("dataset.idx.json")     # pay the offline cost once
+Queries are declarative — one string (or fluent builder) covers the
+whole paper::
 
-Subpackages: :mod:`repro.engine` (MatchEngine, planner, streams,
-persistence — the primary API), :mod:`repro.graph` (data model &
-generators), :mod:`repro.closure` (transitive closure, block store, 2-hop
-labels), :mod:`repro.runtime` (run-time graphs and L/H slots),
-:mod:`repro.core` (Topk, Topk-EN, DP-B, DP-P), :mod:`repro.twig` (general
-twig queries), :mod:`repro.gpm` (graph-pattern matching),
-:mod:`repro.workloads` (paper datasets/query sets), :mod:`repro.bench`
-(experiment harness).  :class:`TreeMatcher` remains as a deprecated shim.
+    engine.top_k("A//B[C]", k=5)              # twig with a branch
+    engine.top_k("A/B", k=5)                  # '/' = direct edge only
+    engine.top_k("A//*[C]", k=5)              # wildcard node
+    engine.top_k("A//~db+systems", k=5)       # label containment
+    engine.top_k("graph(a:A, b:B, c:C; a-b, b-c, c-a)", k=5)  # cyclic kGPM
+
+    from repro import Q, Pattern
+    engine.top_k(Q("A").descendant(Q("B").descendant("C")), k=5)
+    engine.top_k(Pattern.from_edges({"a": "A", "b": "B"}, [("a", "b")]), k=5)
+
+    print(engine.explain("A//B[C]").describe())  # inspect the query plan
+    stream = engine.stream("A//B[C]")            # lazy, resumable results
+    engine.save_index("dataset.idx.json")        # pay the offline cost once
+
+Hand-built :class:`QueryTree`/:class:`QueryGraph` objects remain first
+class; every form funnels through :func:`repro.query.compile_query`.
+
+Subpackages: :mod:`repro.query` (DSL parser, builders, query compiler),
+:mod:`repro.engine` (MatchEngine, planner, streams, persistence),
+:mod:`repro.graph` (data model & generators), :mod:`repro.closure`
+(transitive closure, block store, 2-hop labels), :mod:`repro.runtime`
+(run-time graphs and L/H slots), :mod:`repro.core` (Topk, Topk-EN, DP-B,
+DP-P), :mod:`repro.twig` (general twig queries), :mod:`repro.gpm`
+(graph-pattern matching), :mod:`repro.workloads` (paper datasets/query
+sets), :mod:`repro.bench` (experiment harness).  :class:`TreeMatcher`
+remains as a deprecated shim.
 """
 
 from repro.core.api import ALGORITHMS, TreeMatcher, top_k_tree_matches
@@ -37,10 +53,12 @@ from repro.engine import (
     QueryPlan,
     ResultStream,
 )
+from repro.exceptions import QueryError, QuerySyntaxError, ReproError
 from repro.graph.digraph import LabeledDiGraph, graph_from_edges
 from repro.graph.query import WILDCARD, EdgeType, QueryGraph, QueryTree
+from repro.query import CompiledQuery, Pattern, Q, compile_query, parse, to_dsl
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "LabeledDiGraph",
@@ -55,6 +73,15 @@ __all__ = [
     "EngineBuilder",
     "QueryPlan",
     "ResultStream",
+    "Q",
+    "Pattern",
+    "parse",
+    "to_dsl",
+    "compile_query",
+    "CompiledQuery",
+    "ReproError",
+    "QueryError",
+    "QuerySyntaxError",
     "BACKENDS",
     "TreeMatcher",
     "top_k_tree_matches",

@@ -2,17 +2,25 @@
 
 Subcommands::
 
-    python -m repro.cli match   --graph g.tsv --query q.json -k 10
-    python -m repro.cli gpm     --graph g.tsv --query qg.json -k 10
+    python -m repro.cli match   --graph g.tsv --query 'A//B[C]' -k 10
+    python -m repro.cli gpm     --graph g.tsv --query 'graph(a:A, b:B; a-b)'
+    python -m repro.cli query   check 'A//B[C][*]/D'
+    python -m repro.cli query   show  'A//~db+systems'
     python -m repro.cli stats   --graph g.tsv
     python -m repro.cli index   --graph g.tsv --backend full --out g.idx.json
     python -m repro.cli generate --family citation --nodes 1000 --out g.tsv
 
-``match`` runs top-k tree matching through :class:`repro.engine.MatchEngine`
-with a chosen algorithm/backend (``auto`` lets the planner pick) and prints
-the matches as JSON; ``--explain`` prints the query plan, ``--load-index``
-answers from a persisted index instead of rebuilding the closure.  ``gpm``
-does the same for graph patterns via mtree+; ``stats`` reports
+``--query`` accepts either DSL text (``A//B[C]``, ``graph(a:A, b:B; a-b)``)
+or a path to a query JSON document; malformed DSL exits with code 2 and a
+caret-annotated syntax error.  ``match`` runs top-k matching through
+:class:`repro.engine.MatchEngine` with a chosen algorithm/backend
+(``auto`` lets the planner pick) and prints the matches as JSON;
+``--explain`` prints the query plan (including the compiled semantics),
+``--load-index`` answers from a persisted index instead of rebuilding the
+closure.  Cyclic ``graph(...)`` patterns route through the kGPM
+decomposition framework automatically.  ``gpm`` forces the kGPM path with
+an explicit tree matcher choice; ``query check``/``query show`` validate
+and pretty-print queries without touching a graph; ``stats`` reports
 closure/theta statistics (the offline cost of Table 2); ``index`` builds
 and saves an index (the paper's offline phase, paid once per dataset);
 ``generate`` writes one of the synthetic workload graphs.
@@ -24,18 +32,34 @@ console script.
 from __future__ import annotations
 
 import argparse
-import json
+import os
 import sys
 import time
 
 from repro.engine import BACKENDS, ENGINE_ALGORITHMS, MatchEngine
-from repro.exceptions import ReproError
+from repro.exceptions import QuerySyntaxError, ReproError
 from repro.gpm.mtree import KGPMEngine
 from repro.graph.generators import citation_graph, erdos_renyi_graph, powerlaw_graph
-from repro.graph.query import QueryGraph, QueryTree
+from repro.graph.query import QueryTree
 from repro.io import load_graph_tsv, load_query, matches_to_json, save_graph_tsv
+from repro.query import CompiledQuery, compile_query
 
 _BACKEND_CHOICES = ("auto",) + BACKENDS
+
+_MATCH_ALGORITHMS = ENGINE_ALGORITHMS + ("mtree+", "mtree")
+
+
+def _compile_query_arg(value: str) -> CompiledQuery:
+    """``--query`` accepts DSL text or a path to a query JSON document.
+
+    Anything that exists on disk (or ends in ``.json``) is treated as a
+    file; everything else is parsed as DSL.
+    """
+    if os.path.exists(value):
+        return compile_query(load_query(value))
+    if value.endswith(".json"):
+        raise ReproError(f"query file {value!r} does not exist")
+    return compile_query(value)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -45,13 +69,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    match = sub.add_parser("match", help="top-k tree matching")
+    match = sub.add_parser("match", help="top-k pattern matching")
     match.add_argument("--graph", help="data graph (TSV)")
-    match.add_argument("--query", required=True, help="query tree (JSON)")
+    match.add_argument(
+        "--query", required=True,
+        help="DSL text (e.g. 'A//B[C]', 'graph(a:A, b:B; a-b)') or a "
+        "query JSON path",
+    )
     match.add_argument("-k", type=int, default=10, help="number of matches")
     match.add_argument(
-        "--algorithm", choices=ENGINE_ALGORITHMS, default="topk-en",
-        help="matching algorithm ('auto' lets the planner pick)",
+        "--algorithm", choices=_MATCH_ALGORITHMS, default="auto",
+        help="matching algorithm ('auto' lets the planner pick; "
+        "'mtree+'/'mtree' apply to cyclic patterns)",
     )
     match.add_argument(
         "--backend", choices=_BACKEND_CHOICES, default="auto",
@@ -72,12 +101,28 @@ def _build_parser() -> argparse.ArgumentParser:
 
     gpm = sub.add_parser("gpm", help="top-k graph pattern matching (mtree+)")
     gpm.add_argument("--graph", required=True, help="data graph (TSV)")
-    gpm.add_argument("--query", required=True, help="query graph (JSON)")
+    gpm.add_argument(
+        "--query", required=True,
+        help="graph-pattern DSL ('graph(a:A, b:B; a-b)') or query JSON path",
+    )
     gpm.add_argument("-k", type=int, default=10)
     gpm.add_argument(
         "--tree-algorithm", choices=("topk-en", "dp-b"), default="topk-en",
         help="tree matcher inside the decomposition framework",
     )
+
+    query = sub.add_parser(
+        "query", help="validate / inspect a declarative query (no graph needed)"
+    )
+    qsub = query.add_subparsers(dest="query_command", required=True)
+    qcheck = qsub.add_parser(
+        "check", help="parse + compile; exit 2 with a caret-annotated error"
+    )
+    qcheck.add_argument("query", help="DSL text or query JSON path")
+    qshow = qsub.add_parser(
+        "show", help="print the compiled form (canonical DSL, nodes, semantics)"
+    )
+    qshow.add_argument("query", help="DSL text or query JSON path")
 
     stats = sub.add_parser("stats", help="offline statistics for a graph")
     stats.add_argument("--graph", required=True, help="data graph (TSV)")
@@ -108,10 +153,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_match(args) -> int:
-    query = load_query(args.query)
-    if not isinstance(query, QueryTree):
-        print("error: 'match' expects a query-tree document", file=sys.stderr)
-        return 2
+    compiled = _compile_query_arg(args.query)
     if args.load_index:
         if args.graph:
             print(
@@ -129,18 +171,25 @@ def _cmd_match(args) -> int:
         engine = MatchEngine.load(args.load_index)
     elif args.graph:
         graph = load_graph_tsv(args.graph)
+        if args.backend == "constrained" and compiled.is_cyclic:
+            print(
+                "error: the constrained backend indexes tree workloads; "
+                "cyclic patterns need another backend",
+                file=sys.stderr,
+            )
+            return 2
         # The constrained backend needs a workload — for one-shot matching
         # that is exactly the query being asked.
-        workload = (query,) if args.backend == "constrained" else None
+        workload = (compiled.tree,) if args.backend == "constrained" else None
         engine = MatchEngine(graph, backend=args.backend, workload=workload)
     else:
         print("error: 'match' needs --graph or --load-index", file=sys.stderr)
         return 2
-    plan = engine.explain(query, args.k, algorithm=args.algorithm)
+    plan = engine.explain(compiled, args.k, algorithm=args.algorithm)
     if args.explain:
         print(plan.describe(), file=sys.stderr)
     started = time.perf_counter()
-    matches = engine.top_k(query, args.k, algorithm=args.algorithm)
+    matches = engine.top_k(compiled, args.k, algorithm=args.algorithm)
     elapsed = time.perf_counter() - started
     print(matches_to_json(matches))
     print(
@@ -156,19 +205,63 @@ def _cmd_match(args) -> int:
 
 def _cmd_gpm(args) -> int:
     graph = load_graph_tsv(args.graph)
-    query = load_query(args.query)
-    if not isinstance(query, QueryGraph):
-        print("error: 'gpm' expects a query-graph document", file=sys.stderr)
+    compiled = _compile_query_arg(args.query)
+    if not compiled.is_cyclic:
+        print(
+            "error: 'gpm' expects a graph pattern — the 'graph(...)' DSL "
+            "form or a query-graph document (tree queries go to 'match')",
+            file=sys.stderr,
+        )
         return 2
-    engine = KGPMEngine(graph, tree_algorithm=args.tree_algorithm)
+    kwargs = {}
+    if compiled.matcher is not None:  # e.g. ~token containment labels
+        kwargs["matcher"] = compiled.matcher
+    engine = KGPMEngine(graph, tree_algorithm=args.tree_algorithm, **kwargs)
     started = time.perf_counter()
-    matches = engine.top_k(query, args.k)
+    matches = engine.top_k(compiled.pattern, args.k)
     elapsed = time.perf_counter() - started
     print(matches_to_json(matches))
     print(
         f"# {len(matches)} matches in {elapsed * 1000:.1f} ms "
         f"(mtree{'+' if args.tree_algorithm == 'topk-en' else ''})",
         file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_query(args) -> int:
+    compiled = _compile_query_arg(args.query)
+    kind = "cyclic pattern" if compiled.is_cyclic else "tree"
+    if args.query_command == "check":
+        print(f"ok: {compiled.to_dsl()} ({kind}, {compiled.num_nodes} nodes)")
+        return 0
+    # show: canonical DSL + lowered structure + compiled semantics.
+    print(f"canonical: {compiled.to_dsl()}")
+    print(f"kind:      {kind}")
+    if compiled.is_cyclic:
+        pattern = compiled.pattern
+        for node in pattern.nodes():
+            print(f"  node {node}: label={pattern.label(node)}")
+        for u, v in pattern.edges():
+            print(f"  edge {u} -- {v}")
+    else:
+        tree = compiled.tree
+        for node in tree.bfs_order():
+            parent = tree.parent(node)
+            if parent is None:
+                print(f"  node {node}: label={tree.label(node)} (root)")
+            else:
+                axis = tree.edge_type(parent, node).value
+                print(
+                    f"  node {node}: label={tree.label(node)} "
+                    f"({parent} {axis} {node})"
+                )
+    print(
+        f"semantics: matcher={compiled.matcher_kind}, "
+        f"direct edges={compiled.direct_edges}, "
+        f"wildcards={compiled.wildcards}, "
+        f"containment nodes={compiled.containment_nodes}, "
+        f"duplicate labels={'yes' if compiled.has_duplicate_labels else 'no'}"
     )
     return 0
 
@@ -235,17 +328,23 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "match": _cmd_match,
         "gpm": _cmd_gpm,
+        "query": _cmd_query,
         "stats": _cmd_stats,
         "index": _cmd_index,
         "generate": _cmd_generate,
     }
     try:
         return handlers[args.command](args)
-    except (ReproError, OSError, json.JSONDecodeError) as exc:
+    except QuerySyntaxError as exc:
+        # Caret-annotated diagnostic on its own lines, never a traceback.
+        print(f"error: invalid query syntax\n{exc}", file=sys.stderr)
+        return 2
+    except (ReproError, OSError, ValueError) as exc:
         # One clean line + exit 2 for every anticipated failure: engine
-        # misconfiguration, malformed graph/query/index documents, and
-        # unreadable files.  (JSONDecodeError subclasses ValueError, not
-        # ReproError, and covers corrupt --load-index / --query files.)
+        # misconfiguration, malformed graph/query/index documents,
+        # unreadable files, and algorithm/query-shape mismatches (the
+        # planner raises ValueError for those; JSONDecodeError — corrupt
+        # --load-index / --query files — subclasses ValueError too).
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

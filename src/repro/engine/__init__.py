@@ -26,7 +26,12 @@ from repro.engine.config import (
     EngineConfig,
 )
 from repro.engine.core import INDEX_FORMAT_VERSION, MatchEngine
-from repro.engine.planner import Planner, QueryPlan, choose_backend
+from repro.engine.planner import (
+    CYCLIC_ALGORITHMS,
+    Planner,
+    QueryPlan,
+    choose_backend,
+)
 from repro.engine.stream import ResultStream
 
 __all__ = [
@@ -48,5 +53,6 @@ __all__ = [
     "BACKENDS",
     "ALGORITHMS",
     "ENGINE_ALGORITHMS",
+    "CYCLIC_ALGORITHMS",
     "INDEX_FORMAT_VERSION",
 ]

@@ -38,6 +38,7 @@ from repro.closure.pll import PrunedLandmarkIndex
 from repro.closure.store import ClosureStore
 from repro.closure.transitive import TransitiveClosure
 from repro.engine.config import BACKENDS, EngineConfig
+from repro.query.compiler import workload_matcher
 from repro.exceptions import EngineError
 from repro.graph.digraph import LabeledDiGraph
 
@@ -269,9 +270,13 @@ class ConstrainedBackend(_BackendBase):
                 "constrained backend needs a declared workload of query trees"
             )
         started = time.perf_counter()
+        # Compiled containment workloads carry ContainsLabel labels the
+        # equality matcher cannot expand; upgrade when needed so the
+        # index pre-computes the right closure sources.
+        matcher = workload_matcher(config.workload, config.label_matcher)
         if closure is None:
             closure = constrained_closure(
-                graph, config.workload, matcher=config.label_matcher
+                graph, config.workload, matcher=matcher
             )
         self._closure = closure
         self._store = ClosureStore(
@@ -289,9 +294,7 @@ class ConstrainedBackend(_BackendBase):
             covered: set = set()
             unrestricted = False
             for label in self.tail_labels:
-                data_labels = config.label_matcher.data_labels_for(
-                    label, alphabet
-                )
+                data_labels = matcher.data_labels_for(label, alphabet)
                 if data_labels is None:
                     unrestricted = True
                     break

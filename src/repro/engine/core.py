@@ -1,24 +1,32 @@
 """The :class:`MatchEngine` — primary public API of the reproduction.
 
 One engine owns one data graph plus the offline artifacts of a chosen
-reachability backend, and answers top-k twig queries with any algorithm:
+reachability backend, and answers top-k queries written in any form —
+DSL text, fluent builders, typed ASTs, or raw query objects — with any
+algorithm:
 
     from repro.engine import MatchEngine
 
     engine = MatchEngine(graph)                 # backend/algorithm "auto"
-    matches = engine.top_k(query, k=5)          # planned execution
-    print(engine.explain(query, k=5).describe())
+    matches = engine.top_k("A//B[C]", k=5)      # XPath-style DSL
+    print(engine.explain("A//B[C]", k=5).describe())
 
-    stream = engine.stream(query)               # lazy, resumable
+    stream = engine.stream("A//B[C]")           # lazy, resumable
     first = stream.take(3)
     more = stream.take(3)                       # ranks 4-6, no recompute
+
+    engine.top_k("graph(a:A, b:B, c:C; a-b, b-c, c-a)", k=3)  # cyclic kGPM
 
     engine.save_index("dataset.idx.json")       # offline cost paid once
     engine2 = MatchEngine.load("dataset.idx.json")
 
-The engine separates the logical query API from the physical index choice
-(the five closure backends of :mod:`repro.engine.backends`), plans per
-query, streams results, and persists indexes via :mod:`repro.io`.
+Every query form is normalized through one chokepoint —
+:func:`repro.query.compile_query` — before planning and execution, so
+DSL strings, ``Q(...)``/``Pattern`` builders, and hand-built
+``QueryTree``/``QueryGraph`` objects behave identically.  The engine
+separates the logical query API from the physical index choice (the five
+closure backends of :mod:`repro.engine.backends`), plans per query,
+streams results, and persists indexes via :mod:`repro.io`.
 """
 
 from __future__ import annotations
@@ -27,6 +35,8 @@ import json
 from pathlib import Path
 from typing import Iterable
 
+from repro.closure.store import ClosureStore
+from repro.closure.transitive import TransitiveClosure
 from repro.core.baseline_dp import DPBEnumerator
 from repro.core.baseline_dpp import DPPEnumerator
 from repro.core.brute_force import BruteForceEngine
@@ -38,8 +48,9 @@ from repro.engine.config import EngineBuilder, EngineConfig
 from repro.engine.planner import Planner, QueryPlan, choose_backend
 from repro.engine.stream import ResultStream
 from repro.exceptions import EngineError
+from repro.gpm.mtree import KGPMEngine
 from repro.graph.digraph import LabeledDiGraph
-from repro.graph.query import QueryTree
+from repro.query.compiler import CompiledQuery, compile_query
 from repro.runtime.graph import build_runtime_graph
 
 #: Persisted-index format version (bumped on breaking layout changes).
@@ -82,6 +93,12 @@ class MatchEngine:
         else:
             self._backend = build_backend(graph, config, backend_name)
         self.planner = Planner(graph, config, backend_name, backend_reasons)
+        # Cyclic (kGPM) queries need a bidirected closure independent of
+        # the tree backend; built lazily on the first cyclic query.  The
+        # KGPMEngine instances are cached too (keyed by tree algorithm
+        # and matcher) since their setup re-copies the graph.
+        self._kgpm_artifacts: tuple[TransitiveClosure, ClosureStore] | None = None
+        self._kgpm_engines: dict[tuple[str, int], KGPMEngine] = {}
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -118,28 +135,50 @@ class MatchEngine:
         """Backend/offline statistics (size, build time, cache usage)."""
         return self._backend.statistics()
 
-    def explain(
-        self, query: QueryTree, k: int = 10, algorithm: str | None = None
-    ) -> QueryPlan:
-        """The plan :meth:`top_k`/:meth:`stream` would execute, with reasons."""
-        return self.planner.plan(query, k, algorithm=algorithm)
+    def compile(self, query) -> CompiledQuery:
+        """Normalize any query form through :func:`repro.query.compile_query`.
+
+        Accepts DSL text (``"A//B[C]"``), fluent builders (``Q``/
+        ``Pattern``), typed ASTs, raw ``QueryTree``/``QueryGraph``
+        objects, and already-compiled queries.  Every query API on this
+        engine goes through this one chokepoint.
+        """
+        return compile_query(query)
+
+    def explain(self, query, k: int = 10, algorithm: str | None = None) -> QueryPlan:
+        """The plan :meth:`top_k`/:meth:`stream` would execute, with reasons.
+
+        The plan also surfaces the compiled query semantics: matcher
+        kind, ``/``-edge count, wildcard count, and cyclic-or-tree.
+        """
+        return self.planner.plan(self.compile(query), k, algorithm=algorithm)
 
     # ------------------------------------------------------------------
     # Query execution
     # ------------------------------------------------------------------
-    def engine_for(self, query: QueryTree, algorithm: str | None = None):
+    def engine_for(self, query, algorithm: str | None = None):
         """Build the raw enumerator the plan selects (advanced use).
 
         All returned objects expose ``top_k(k)`` / ``stream()`` /
         ``results`` / ``stats``; the lazy ones add ``compute_first()``.
+        Tree queries only — cyclic patterns run inside the kGPM
+        decomposition framework and have no single enumerator.
         """
-        plan = self.planner.plan(query, k=10, algorithm=algorithm)
-        return self._build_enumerator(query, plan.algorithm)
+        compiled = self.compile(query)
+        if compiled.is_cyclic:
+            raise EngineError(
+                "cyclic patterns have no standalone enumerator; use "
+                "top_k() or repro.gpm.KGPMEngine directly"
+            )
+        plan = self.planner.plan(compiled, k=10, algorithm=algorithm)
+        return self._build_enumerator(compiled, plan.algorithm)
 
-    def _build_enumerator(self, query: QueryTree, algorithm: str):
+    def _build_enumerator(self, compiled: CompiledQuery, algorithm: str):
         config = self.config
+        query = compiled.tree
+        matcher = compiled.effective_matcher(config.label_matcher)
         supports = getattr(self._backend, "supports", None)
-        if supports is not None and not supports(query, config.label_matcher):
+        if supports is not None and not supports(query, matcher):
             raise EngineError(
                 "query is outside the declared workload of this constrained "
                 "index (its non-leaf labels were not pre-computed as closure "
@@ -149,61 +188,104 @@ class MatchEngine:
         store = self._backend.store
         if algorithm == "topk-en":
             return TopkEN(
-                store, query, matcher=config.label_matcher,
+                store, query, matcher=matcher,
                 node_weight=config.node_weight,
             )
         if algorithm == "dp-p":
             return DPPEnumerator(
-                store, query, matcher=config.label_matcher,
+                store, query, matcher=matcher,
                 node_weight=config.node_weight,
             )
         if algorithm == "topk":
-            gr = build_runtime_graph(store, query, matcher=config.label_matcher)
+            gr = build_runtime_graph(store, query, matcher=matcher)
             return TopkEnumerator(gr, node_weight=config.node_weight)
         if algorithm == "dp-b":
-            gr = build_runtime_graph(store, query, matcher=config.label_matcher)
+            gr = build_runtime_graph(store, query, matcher=matcher)
             return DPBEnumerator(gr, node_weight=config.node_weight)
         if algorithm == "brute-force":
-            gr = build_runtime_graph(store, query, matcher=config.label_matcher)
+            gr = build_runtime_graph(store, query, matcher=matcher)
             return BruteForceEngine(
                 gr, node_weight=config.node_weight,
                 limit=config.brute_force_limit,
             )
         raise EngineError(f"unknown algorithm {algorithm!r}")
 
-    def top_k(
-        self, query: QueryTree, k: int, algorithm: str | None = None
-    ) -> list[Match]:
+    def _kgpm_engine(self, compiled: CompiledQuery, plan_algorithm: str) -> KGPMEngine:
+        """A kGPM engine over this graph, reusing one bidirected closure.
+
+        Engines are cached per (tree algorithm, matcher): compiled
+        containment queries share one matcher instance, so repeated
+        cyclic queries reuse the same engine instead of re-copying the
+        graph each call.
+        """
+        if self._kgpm_artifacts is None:
+            bidirected = self.graph.bidirected()
+            closure = TransitiveClosure(bidirected)
+            store = ClosureStore(
+                bidirected, closure, block_size=self.config.block_size
+            )
+            self._kgpm_artifacts = (closure, store)
+        closure, store = self._kgpm_artifacts
+        tree_algorithm = "dp-b" if plan_algorithm == "mtree" else "topk-en"
+        matcher = compiled.effective_matcher(self.config.label_matcher)
+        key = (tree_algorithm, id(matcher))
+        engine = self._kgpm_engines.get(key)
+        if engine is None:
+            engine = KGPMEngine(
+                self.graph,
+                tree_algorithm=tree_algorithm,
+                block_size=self.config.block_size,
+                closure=closure,
+                store=store,
+                matcher=matcher,
+            )
+            self._kgpm_engines[key] = engine
+        return engine
+
+    def top_k(self, query, k: int, algorithm: str | None = None) -> list[Match]:
         """The ``k`` lowest-score matches of ``query`` (fewer if the graph
-        has fewer)."""
+        has fewer).
+
+        ``query`` may be DSL text, a ``Q``/``Pattern`` builder, a typed
+        AST, or a raw ``QueryTree``/``QueryGraph``; cyclic patterns run
+        through the kGPM decomposition framework.
+        """
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
-        plan = self.planner.plan(query, k, algorithm=algorithm)
-        return self._build_enumerator(query, plan.algorithm).top_k(k)
+        compiled = self.compile(query)
+        plan = self.planner.plan(compiled, k, algorithm=algorithm)
+        if compiled.is_cyclic:
+            return self._kgpm_engine(compiled, plan.algorithm).top_k(
+                compiled.pattern, k
+            )
+        return self._build_enumerator(compiled, plan.algorithm).top_k(k)
 
-    def stream(
-        self, query: QueryTree, algorithm: str | None = None, k_hint: int = 10
-    ) -> ResultStream:
+    def stream(self, query, algorithm: str | None = None, k_hint: int = 10) -> ResultStream:
         """A lazy :class:`ResultStream` over ``query``'s matches.
 
         ``k_hint`` only informs the planner's algorithm choice; the stream
-        itself can run past it without recomputation.
+        itself can run past it without recomputation.  Tree queries only —
+        the kGPM threshold loop cannot resume lazily, so cyclic patterns
+        must use :meth:`top_k`.
         """
-        plan = self.planner.plan(query, k_hint, algorithm=algorithm)
-        return ResultStream(self._build_enumerator(query, plan.algorithm), plan)
+        compiled = self.compile(query)
+        if compiled.is_cyclic:
+            raise EngineError(
+                "cyclic patterns do not stream (the kGPM threshold "
+                "algorithm needs a target k); use top_k() instead"
+            )
+        plan = self.planner.plan(compiled, k_hint, algorithm=algorithm)
+        return ResultStream(self._build_enumerator(compiled, plan.algorithm), plan)
 
-    def batch(
-        self,
-        queries: Iterable[QueryTree],
-        k: int,
-        algorithm: str | None = None,
-    ) -> list[list[Match]]:
+    def batch(self, queries: Iterable, k: int, algorithm: str | None = None) -> list[list[Match]]:
         """Answer many queries over the shared index (offline cost paid once).
 
-        Returns one top-k list per query, in input order.  All queries
-        reuse this engine's backend — with the materialized backends the
-        closure is never recomputed, and with the lazy ones their caches
-        (backward searches, 2-hop labels) warm up across the batch.
+        Returns one top-k list per query, in input order; the queries may
+        mix every supported form (DSL text, builders, raw trees/graphs).
+        All queries reuse this engine's backend — with the materialized
+        backends the closure is never recomputed, and with the lazy ones
+        their caches (backward searches, 2-hop labels) warm up across the
+        batch.
         """
         return [self.top_k(query, k, algorithm=algorithm) for query in queries]
 

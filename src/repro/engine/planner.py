@@ -9,24 +9,48 @@ inspectable rules over cheap statistics — node/edge counts and label
 selectivity from :class:`~repro.graph.digraph.LabeledDiGraph` — and every
 decision carries its reasons in the returned :class:`QueryPlan`
 (``engine.explain(query)``).
+
+Queries reach the planner in any declarative form (DSL text, builders,
+ASTs, raw ``QueryTree``/``QueryGraph``); :func:`repro.query.compile_query`
+normalizes them, and the resulting compiled semantics — matcher kind,
+direct-edge count, cyclic-or-tree — are part of the plan.  Cyclic
+patterns plan onto the kGPM decomposition framework (``mtree+`` with
+Topk-EN inside, or ``mtree`` with DP-B).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.engine.config import ALGORITHMS, EngineConfig
 from repro.graph.digraph import LabeledDiGraph
-from repro.graph.query import QNodeId, QueryTree
+from repro.graph.query import QNodeId
+from repro.query.compiler import CompiledQuery, compile_query
+from repro.twig.semantics import LabelMatcher
+
+#: Cyclic (kGPM) plan algorithms: the decomposition framework with the
+#: paper's Topk-EN inside (``mtree+``) or the DP baseline (``mtree``).
+CYCLIC_ALGORITHMS: tuple[str, ...] = ("mtree+", "mtree")
+
+#: Tree-algorithm names accepted as aliases when the query is cyclic.
+_CYCLIC_ALIASES = {
+    "topk-en": "mtree+",
+    "mtree+": "mtree+",
+    "dp-b": "mtree",
+    "mtree": "mtree",
+}
 
 
 @dataclass(frozen=True)
 class QueryPlan:
     """One planned execution: the choices made and why.
 
-    ``candidate_estimates`` maps each query node (in breadth-first order)
-    to the number of data nodes its label can match — the planner's view
-    of the run-time graph size before any closure access.
+    ``candidate_estimates`` maps each query node (breadth-first order for
+    trees, declaration order for cyclic patterns) to the number of data
+    nodes its label can match — the planner's view of the run-time graph
+    size before any closure access.  ``matcher_kind``, ``direct_edges``,
+    and ``cyclic`` surface the compiled query semantics; ``dsl`` is the
+    canonical pretty-printed query.
     """
 
     algorithm: str
@@ -36,12 +60,21 @@ class QueryPlan:
     candidate_estimates: tuple[tuple[QNodeId, int], ...]
     est_runtime_nodes: int
     reasons: tuple[str, ...]
+    cyclic: bool = False
+    direct_edges: int = 0
+    wildcards: int = 0
+    matcher_kind: str = "equality"
+    dsl: str = field(default="", compare=False)
 
     def describe(self) -> str:
         """Multi-line, human-readable plan (the CLI's ``--explain``)."""
         lines = [
             f"QueryPlan: algorithm={self.algorithm!r} backend={self.backend!r} "
             f"k={self.k}",
+            f"  query: {self.dsl}" if self.dsl else "  query: (unprintable)",
+            f"  semantics: {'cyclic pattern' if self.cyclic else 'tree'}, "
+            f"matcher={self.matcher_kind}, direct edges={self.direct_edges}, "
+            f"wildcards={self.wildcards}",
             f"  query nodes: {self.query_nodes}; estimated run-time copies: "
             f"{self.est_runtime_nodes}",
         ]
@@ -102,16 +135,36 @@ class Planner:
         self.backend_reasons = tuple(backend_reasons)
 
     # ------------------------------------------------------------------
-    def candidate_estimates(
-        self, query: QueryTree
-    ) -> tuple[tuple[QNodeId, int], ...]:
-        """Per query node, how many data nodes its label can match."""
-        graph = self.graph
+    def _matcher_kind(self, compiled: CompiledQuery) -> str:
+        if compiled.matcher is not None:
+            return compiled.matcher_kind
         matcher = self.config.label_matcher
+        if type(matcher) is LabelMatcher:
+            return "equality"
+        return type(matcher).__name__
+
+    def candidate_estimates(
+        self, query
+    ) -> tuple[tuple[QNodeId, int], ...]:
+        """Per query node, how many data nodes its label can match.
+
+        Accepts any query form (DSL, builder, AST, ``QueryTree``/
+        ``QueryGraph``, or an already-compiled query).
+        """
+        compiled = compile_query(query)
+        matcher = compiled.effective_matcher(self.config.label_matcher)
+        graph = self.graph
         alphabet = graph.labels()
+        if compiled.is_cyclic:
+            pattern = compiled.pattern
+            nodes = list(pattern.nodes())
+            label_of = pattern.label
+        else:
+            nodes = list(compiled.tree.bfs_order())
+            label_of = compiled.tree.label
         out = []
-        for u in query.bfs_order():
-            labels = matcher.data_labels_for(query.label(u), alphabet)
+        for u in nodes:
+            labels = matcher.data_labels_for(label_of(u), alphabet)
             if labels is None:
                 count = graph.num_nodes
             else:
@@ -120,16 +173,58 @@ class Planner:
         return tuple(out)
 
     # ------------------------------------------------------------------
-    def plan(
-        self, query: QueryTree, k: int, algorithm: str | None = None
-    ) -> QueryPlan:
-        """Pick an algorithm for ``(query, k)`` (or honor an explicit one)."""
+    def plan(self, query, k: int, algorithm: str | None = None) -> QueryPlan:
+        """Pick an algorithm for ``(query, k)`` (or honor an explicit one).
+
+        ``query`` may be any declarative form; it is normalized through
+        :func:`repro.query.compile_query` first.
+        """
+        compiled = compile_query(query)
         requested = algorithm if algorithm is not None else self.config.algorithm
-        estimates = self.candidate_estimates(query)
+        estimates = self.candidate_estimates(compiled)
         est_runtime_nodes = sum(count for _, count in estimates)
         reasons = list(self.backend_reasons)
 
+        if compiled.is_cyclic:
+            chosen = self._plan_cyclic(compiled, requested, reasons)
+        else:
+            chosen = self._plan_tree(
+                compiled, requested, k, est_runtime_nodes, reasons
+            )
+
+        try:
+            dsl = compiled.to_dsl()
+        except Exception:  # labels the DSL cannot express
+            dsl = ""
+        return QueryPlan(
+            algorithm=chosen,
+            backend=self.backend_name,
+            k=k,
+            query_nodes=compiled.num_nodes,
+            candidate_estimates=estimates,
+            est_runtime_nodes=est_runtime_nodes,
+            reasons=tuple(reasons),
+            cyclic=compiled.is_cyclic,
+            direct_edges=compiled.direct_edges,
+            wildcards=compiled.wildcards,
+            matcher_kind=self._matcher_kind(compiled),
+            dsl=dsl,
+        )
+
+    def _plan_tree(
+        self,
+        compiled: CompiledQuery,
+        requested: str,
+        k: int,
+        est_runtime_nodes: int,
+        reasons: list[str],
+    ) -> str:
         if requested != "auto":
+            if requested in CYCLIC_ALGORITHMS:
+                raise ValueError(
+                    f"algorithm {requested!r} only applies to cyclic "
+                    "graph(...) patterns; this query is a tree"
+                )
             if requested not in ALGORITHMS:
                 # ValueError, not EngineError: the original facade raised
                 # ValueError here and callers match on it.
@@ -137,41 +232,56 @@ class Planner:
                     f"unknown algorithm {requested!r}; choose from "
                     f"{ALGORITHMS + ('auto',)}"
                 )
-            chosen = requested
             reasons.append(f"algorithm {requested!r} explicitly requested")
-        elif query.num_nodes == 1:
-            chosen = "topk-en"
+            return requested
+        if compiled.num_nodes == 1:
             reasons.append(
                 "single-node query: the lazy engine answers straight from "
                 "the label index"
             )
-        elif est_runtime_nodes <= self.config.full_load_threshold:
-            chosen = "topk"
+            return "topk-en"
+        if est_runtime_nodes <= self.config.full_load_threshold:
             reasons.append(
                 f"tiny candidate space (≈{est_runtime_nodes} copies ≤ "
                 f"{self.config.full_load_threshold}): fully loading the "
                 "run-time graph is cheapest"
             )
-        elif k >= est_runtime_nodes:
-            chosen = "topk"
+            return "topk"
+        if k >= est_runtime_nodes:
             reasons.append(
                 f"k={k} covers the estimated candidate space "
                 f"(≈{est_runtime_nodes} copies): enumeration amortizes a "
                 "full load"
             )
-        else:
-            chosen = "topk-en"
-            reasons.append(
-                f"large candidate space (≈{est_runtime_nodes} copies) with "
-                f"small k={k}: priority-based lazy access loads the least"
-            )
-
-        return QueryPlan(
-            algorithm=chosen,
-            backend=self.backend_name,
-            k=k,
-            query_nodes=query.num_nodes,
-            candidate_estimates=estimates,
-            est_runtime_nodes=est_runtime_nodes,
-            reasons=tuple(reasons),
+            return "topk"
+        reasons.append(
+            f"large candidate space (≈{est_runtime_nodes} copies) with "
+            f"small k={k}: priority-based lazy access loads the least"
         )
+        return "topk-en"
+
+    def _plan_cyclic(
+        self, compiled: CompiledQuery, requested: str, reasons: list[str]
+    ) -> str:
+        pattern = compiled.pattern
+        non_tree = pattern.num_edges - (pattern.num_nodes - 1)
+        if requested == "auto":
+            reasons.append(
+                f"cyclic pattern ({pattern.num_edges} edges over "
+                f"{pattern.num_nodes} nodes, {non_tree} non-tree): "
+                "decompose into a spanning tree and verify the rest "
+                "(mtree+ streams tree matches with Topk-EN)"
+            )
+            return "mtree+"
+        chosen = _CYCLIC_ALIASES.get(requested)
+        if chosen is None:
+            raise ValueError(
+                f"algorithm {requested!r} cannot execute a cyclic pattern; "
+                f"choose from {CYCLIC_ALGORITHMS} (or 'topk-en'/'dp-b' for "
+                "the tree matcher inside the decomposition)"
+            )
+        reasons.append(
+            f"algorithm {requested!r} explicitly requested "
+            f"(cyclic pattern -> {chosen})"
+        )
+        return chosen

@@ -24,6 +24,27 @@ class NotATreeError(QueryError):
     """The supplied query edges do not form a single rooted tree."""
 
 
+class QuerySyntaxError(QueryError):
+    """Malformed query DSL text, with caret-annotated source position.
+
+    ``str(exc)`` renders the offending source line with a ``^`` marker::
+
+        A//B[[C]
+             ^
+        expected a label, '*', '~', or '{...}'
+
+    ``message``, ``source``, and ``position`` stay accessible for callers
+    that want to render the diagnostic themselves.
+    """
+
+    def __init__(self, message: str, source: str, position: int) -> None:
+        self.message = message
+        self.source = source
+        self.position = max(0, min(position, len(source)))
+        caret = " " * self.position + "^"
+        super().__init__(f"{source}\n{caret}\n{message}")
+
+
 class ClosureError(ReproError):
     """Problem while computing or querying a transitive closure."""
 

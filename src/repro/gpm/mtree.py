@@ -27,6 +27,7 @@ from repro.graph.digraph import LabeledDiGraph
 from repro.graph.query import QNodeId, QueryGraph
 from repro.runtime.graph import build_runtime_graph
 from repro.storage.blocks import DEFAULT_BLOCK_SIZE
+from repro.twig.semantics import EQUALITY, LabelMatcher
 from repro.gpm.decompose import Decomposition, best_decomposition, spanning_tree
 
 TREE_ALGORITHMS = ("dp-b", "topk-en")
@@ -54,6 +55,9 @@ class KGPMEngine:
     tree_algorithm:
         ``"dp-b"`` gives the paper's ``mtree`` baseline; ``"topk-en"``
         gives ``mtree+``.
+    matcher:
+        Label semantics for the tree matcher inside the decomposition
+        (equality by default; compiled queries may carry containment).
     """
 
     def __init__(
@@ -63,6 +67,7 @@ class KGPMEngine:
         block_size: int = DEFAULT_BLOCK_SIZE,
         closure: TransitiveClosure | None = None,
         store: ClosureStore | None = None,
+        matcher: LabelMatcher = EQUALITY,
     ) -> None:
         if tree_algorithm not in TREE_ALGORITHMS:
             raise ValueError(
@@ -71,6 +76,7 @@ class KGPMEngine:
             )
         started = time.perf_counter()
         self.tree_algorithm = tree_algorithm
+        self.matcher = matcher
         self.graph = graph.bidirected()
         self.closure = closure if closure is not None else TransitiveClosure(self.graph)
         self.store = (
@@ -87,8 +93,8 @@ class KGPMEngine:
     def _tree_stream(self, decomposition: Decomposition):
         tree, _ = decomposition
         if self.tree_algorithm == "topk-en":
-            return TopkEN(self.store, tree).stream()
-        gr = build_runtime_graph(self.store, tree)
+            return TopkEN(self.store, tree, matcher=self.matcher).stream()
+        gr = build_runtime_graph(self.store, tree, matcher=self.matcher)
         return DPBEnumerator(gr).stream()
 
     def _full_score(
@@ -179,7 +185,7 @@ def brute_force_kgpm(
     from repro.core.brute_force import all_matches
 
     tree, non_tree = spanning_tree(query)
-    gr = build_runtime_graph(engine.store, tree)
+    gr = build_runtime_graph(engine.store, tree, matcher=engine.matcher)
     scored: list[Match] = []
     for match in all_matches(gr, limit=limit):
         full = engine._full_score(match.assignment, match.score, non_tree)

@@ -83,18 +83,41 @@ class QueryTree:
             self._edge_type[(parent, child)] = etype
 
         roots = [node for node in self._labels if node not in self._parent]
-        if len(roots) != 1:
-            raise NotATreeError(f"expected exactly one root, found {len(roots)}")
+        if not roots:
+            raise NotATreeError(
+                "no root: every node has a parent, so the edges contain a "
+                f"cycle through {self._find_cycle_node()!r}"
+            )
+        if len(roots) > 1:
+            named = ", ".join(repr(r) for r in roots[:4])
+            raise NotATreeError(
+                f"expected exactly one root, found {len(roots)}: {named}"
+                + (", ..." if len(roots) > 4 else "")
+            )
         self._root: QNodeId = roots[0]
 
         self._bfs_order = self._compute_bfs_order()
         if len(self._bfs_order) != len(self._labels):
-            raise NotATreeError("query tree is not connected")
+            orphans = [n for n in self._labels if n not in set(self._bfs_order)]
+            raise NotATreeError(
+                "query tree is not connected: node "
+                f"{orphans[0]!r} is not reachable from the root {self._root!r}"
+            )
         self._position = {node: i for i, node in enumerate(self._bfs_order)}
         self._subtree_size = self._compute_subtree_sizes()
         self._depth = self._compute_depths()
 
     # ------------------------------------------------------------------
+    def _find_cycle_node(self) -> QNodeId:
+        """Follow parent pointers until one repeats (only called when every
+        node has a parent, i.e. a cycle must exist)."""
+        node = next(iter(self._labels))
+        seen = set()
+        while node not in seen:
+            seen.add(node)
+            node = self._parent[node]
+        return node
+
     def _compute_bfs_order(self) -> list[QNodeId]:
         order = [self._root]
         frontier = [self._root]
@@ -104,7 +127,9 @@ class QueryTree:
             for node in frontier:
                 for child in self._children[node]:
                     if child in seen:
-                        raise NotATreeError("cycle detected in query tree")
+                        raise NotATreeError(
+                            f"cycle detected at node {child!r}"
+                        )
                     seen.add(child)
                     order.append(child)
                     next_frontier.append(child)
@@ -153,7 +178,10 @@ class QueryTree:
 
     def position(self, node: QNodeId) -> int:
         """0-based index of ``node`` in the breadth-first order."""
-        return self._position[node]
+        try:
+            return self._position[node]
+        except KeyError as exc:
+            raise QueryError(f"query node {node!r} unknown") from exc
 
     def label(self, node: QNodeId) -> Label:
         """Label of ``node`` (possibly :data:`WILDCARD`)."""
@@ -197,11 +225,17 @@ class QueryTree:
 
     def subtree_size(self, node: QNodeId) -> int:
         """``|T_u|`` — number of nodes in the subtree rooted at ``node``."""
-        return self._subtree_size[node]
+        try:
+            return self._subtree_size[node]
+        except KeyError as exc:
+            raise QueryError(f"query node {node!r} unknown") from exc
 
     def depth(self, node: QNodeId) -> int:
         """Depth of ``node`` (root = 0)."""
-        return self._depth[node]
+        try:
+            return self._depth[node]
+        except KeyError as exc:
+            raise QueryError(f"query node {node!r} unknown") from exc
 
     def max_degree(self) -> int:
         """``d_T`` — maximum number of children over all nodes."""
@@ -287,10 +321,14 @@ class QueryGraph:
             self._edges.add(key)
             self._adj[u].add(v)
             self._adj[v].add(u)
-        if not self._connected():
-            raise QueryError("query graph must be connected")
+        unreachable = self._unreachable_node()
+        if unreachable is not None:
+            raise QueryError(
+                f"query graph must be connected: node {unreachable!r} has "
+                "no path to the other query nodes"
+            )
 
-    def _connected(self) -> bool:
+    def _unreachable_node(self) -> QNodeId | None:
         start = next(iter(self._labels))
         seen = {start}
         stack = [start]
@@ -300,7 +338,10 @@ class QueryGraph:
                 if other not in seen:
                     seen.add(other)
                     stack.append(other)
-        return len(seen) == len(self._labels)
+        for node in self._labels:
+            if node not in seen:
+                return node
+        return None
 
     @property
     def num_nodes(self) -> int:
@@ -342,7 +383,10 @@ class QueryGraph:
 
     def degree(self, node: QNodeId) -> int:
         """Number of incident edges of ``node``."""
-        return len(self._adj[node])
+        try:
+            return len(self._adj[node])
+        except KeyError as exc:
+            raise QueryError(f"query node {node!r} unknown") from exc
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"QueryGraph(nodes={self.num_nodes}, edges={self.num_edges})"

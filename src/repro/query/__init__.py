@@ -1,0 +1,60 @@
+"""Declarative query layer: DSL, fluent builders, and the query compiler.
+
+Three ways to write the same query, all normalized by
+:func:`compile_query` before execution:
+
+* **DSL text** — ``engine.top_k("A//B[C][*]/D", k=5)``.  ``//`` is the
+  descendant axis, ``/`` the direct-child axis, ``[...]`` a branch
+  predicate, ``*`` a wildcard node, ``~tok1+tok2`` a containment label,
+  ``{...}`` escapes exotic labels, and ``graph(a:A, b:B; a-b, ...)``
+  writes cyclic kGPM patterns.
+* **Fluent builders** — ``Q("A").child(Q("B").descendant("C"))`` and
+  ``Pattern.from_edges({...}, [...])``.
+* **Raw objects** — :class:`~repro.graph.query.QueryTree` /
+  ``QueryGraph``, unchanged.
+
+:func:`parse` turns DSL text into a typed AST (raising caret-annotated
+:class:`~repro.exceptions.QuerySyntaxError`); :func:`to_dsl` pretty-prints
+any query form back to canonical DSL (``parse(to_dsl(q)) == q``).
+"""
+
+from repro.exceptions import QuerySyntaxError
+from repro.query.ast import (
+    GraphPattern,
+    LabelKind,
+    LabelSpec,
+    PatternEdge,
+    PatternNode,
+    TreePattern,
+)
+from repro.query.builder import Pattern, Q
+from repro.query.compiler import (
+    CompiledLabelMatcher,
+    CompiledQuery,
+    ContainsLabel,
+    compile_query,
+    to_dsl,
+)
+from repro.query.lexer import Token, TokenKind, tokenize
+from repro.query.parser import parse
+
+__all__ = [
+    "Q",
+    "Pattern",
+    "parse",
+    "to_dsl",
+    "compile_query",
+    "CompiledQuery",
+    "CompiledLabelMatcher",
+    "ContainsLabel",
+    "QuerySyntaxError",
+    "TreePattern",
+    "GraphPattern",
+    "PatternNode",
+    "PatternEdge",
+    "LabelSpec",
+    "LabelKind",
+    "Token",
+    "TokenKind",
+    "tokenize",
+]

@@ -1,0 +1,176 @@
+"""Fluent builders producing the same AST as the DSL parser.
+
+Tree patterns::
+
+    from repro.query import Q
+
+    Q("A").child(Q("B").descendant("C"))      # same AST as "A/B//C"
+    Q("A").descendant("B").descendant("C")    # "A[B]//C" (two branches)
+    Q("A").descendant(Q.wildcard())           # "A//*"
+    Q("A").child(Q.contains("db", "systems")) # "A/~db+systems"
+
+Cyclic (kGPM) patterns::
+
+    from repro.query import Pattern
+
+    Pattern.from_edges(
+        {"a": "A", "b": "B", "c": "C"},
+        [("a", "b"), ("b", "c"), ("c", "a")],
+    )                                          # graph(a:A, b:B, c:C; a-b, b-c, c-a)
+
+Builders are consumed by :func:`repro.query.compiler.compile_query` (and
+therefore by every :class:`~repro.engine.core.MatchEngine` entry point)
+exactly like DSL strings, raw ASTs, and raw query objects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.exceptions import QueryError
+from repro.graph.query import WILDCARD, EdgeType
+from repro.query.ast import (
+    GraphPattern,
+    LabelSpec,
+    PatternEdge,
+    PatternNode,
+    TreePattern,
+)
+
+
+def _coerce_spec(label) -> LabelSpec:
+    """str / '*' / LabelSpec / childless Q — anything that names one node."""
+    if isinstance(label, LabelSpec):
+        return label
+    if isinstance(label, Q):
+        if label._children:
+            raise QueryError(
+                "expected a plain node label here, got a Q with children"
+            )
+        return label._spec
+    if label == WILDCARD:
+        return LabelSpec.wildcard()
+    if isinstance(label, str):
+        return LabelSpec.label(label)
+    raise QueryError(
+        f"cannot use {label!r} as a query label; pass a string, '*', "
+        "Q.wildcard(), or Q.contains(...)"
+    )
+
+
+class Q:
+    """Fluent tree-pattern node: ``Q("A").child("B").descendant("C")``.
+
+    ``child``/``descendant`` append a branch (``/`` / ``//`` edge) and
+    return ``self``, so chains read top-down; pass another ``Q`` to nest
+    deeper structure.  ``Q("*")`` is the wildcard; :meth:`Q.contains`
+    builds a containment node.
+    """
+
+    def __init__(self, label) -> None:
+        self._spec = _coerce_spec(label)
+        self._children: list[tuple[EdgeType, "Q"]] = []
+
+    # -- node constructors ---------------------------------------------
+    @classmethod
+    def wildcard(cls) -> "Q":
+        """A wildcard node (DSL ``*``)."""
+        return cls(LabelSpec.wildcard())
+
+    @classmethod
+    def contains(cls, *tokens: str) -> "Q":
+        """A containment node (DSL ``~tok1+tok2``): the data label must
+        contain every token."""
+        if not tokens:
+            raise QueryError("Q.contains() needs at least one token")
+        return cls(LabelSpec.contains(*tokens))
+
+    # -- structure ------------------------------------------------------
+    def _attach(self, axis: EdgeType, node) -> "Q":
+        child = node if isinstance(node, Q) else Q(node)
+        self._children.append((axis, child))
+        return self
+
+    def child(self, node) -> "Q":
+        """Attach a direct-child branch (DSL ``/``)."""
+        return self._attach(EdgeType.CHILD, node)
+
+    def descendant(self, node) -> "Q":
+        """Attach a descendant branch (DSL ``//``)."""
+        return self._attach(EdgeType.DESCENDANT, node)
+
+    # -- conversion -----------------------------------------------------
+    def _to_node(self) -> PatternNode:
+        return PatternNode(
+            self._spec,
+            tuple(
+                PatternEdge(axis, child._to_node())
+                for axis, child in self._children
+            ),
+        )
+
+    def to_ast(self) -> TreePattern:
+        """The equivalent :class:`~repro.query.ast.TreePattern`."""
+        return TreePattern(self._to_node())
+
+    def to_dsl(self) -> str:
+        """Canonical DSL text for this pattern."""
+        from repro.query.compiler import to_dsl
+
+        return to_dsl(self.to_ast())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Q({self.to_dsl()!r})"
+
+
+class Pattern:
+    """Cyclic (kGPM) pattern builder over named, labeled nodes."""
+
+    def __init__(
+        self,
+        nodes: Iterable[tuple[str, LabelSpec]],
+        edges: Iterable[tuple[str, str]],
+    ) -> None:
+        self._nodes = tuple(nodes)
+        self._edges = tuple(edges)
+
+    @classmethod
+    def from_edges(
+        cls,
+        labels: Mapping,
+        edges: Iterable[tuple],
+    ) -> "Pattern":
+        """Build a graph pattern from a label mapping and an edge list.
+
+        ``labels`` maps node names to labels (strings, ``"*"``,
+        ``Q.contains(...)``, or :class:`LabelSpec`); ``edges`` are
+        undirected name pairs.  Names are stringified, so integer node
+        ids work too.  Edge endpoints must be declared in ``labels``.
+        """
+        declared = {str(name): _coerce_spec(label) for name, label in labels.items()}
+        if not declared:
+            raise QueryError("a graph pattern needs at least one node")
+        pairs: list[tuple[str, str]] = []
+        for u, v in edges:
+            u, v = str(u), str(v)
+            for endpoint in (u, v):
+                if endpoint not in declared:
+                    raise QueryError(
+                        f"edge ({u!r}, {v!r}) references undeclared node "
+                        f"{endpoint!r}"
+                    )
+            pairs.append((u, v))
+        return cls(tuple(declared.items()), pairs)
+
+    def to_ast(self) -> GraphPattern:
+        """The equivalent :class:`~repro.query.ast.GraphPattern`."""
+        return GraphPattern(self._nodes, self._edges)
+
+    def to_dsl(self) -> str:
+        """Canonical DSL text (the ``graph(...)`` form)."""
+        from repro.query.compiler import to_dsl
+
+        return to_dsl(self.to_ast())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pattern({self.to_dsl()!r})"

@@ -1,0 +1,114 @@
+"""Hand-written tokenizer for the query DSL.
+
+Token stream for strings like ``A//B[C][*]/D``, ``~db+systems//paper``,
+``{weird label!}//X``, and the cyclic form ``graph(a:A, b:B; a-b)``.
+
+Bare names are word characters only (``[A-Za-z0-9_]``); anything else —
+spaces, punctuation, unicode — goes through the ``{...}`` escape, which
+yields a NAME token flagged as escaped (so ``{graph}`` is always a label,
+never the ``graph(...)`` keyword).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import QuerySyntaxError
+
+
+class TokenKind(enum.Enum):
+    NAME = "name"              #: bare word or {escaped} label
+    SLASH = "/"
+    DSLASH = "//"
+    LBRACKET = "["
+    RBRACKET = "]"
+    STAR = "*"
+    TILDE = "~"
+    PLUS = "+"
+    LPAREN = "("
+    RPAREN = ")"
+    COLON = ":"
+    COMMA = ","
+    SEMICOLON = ";"
+    DASH = "-"
+    END = "end of query"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    pos: int
+    escaped: bool = False
+
+    def describe(self) -> str:
+        if self.kind is TokenKind.END:
+            return "end of query"
+        return f"{self.text!r}"
+
+
+_PUNCT = {
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "*": TokenKind.STAR,
+    "~": TokenKind.TILDE,
+    "+": TokenKind.PLUS,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ":": TokenKind.COLON,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMICOLON,
+    "-": TokenKind.DASH,
+}
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a DSL string; raises :class:`QuerySyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "/":
+            if i + 1 < n and source[i + 1] == "/":
+                tokens.append(Token(TokenKind.DSLASH, "//", i))
+                i += 2
+            else:
+                tokens.append(Token(TokenKind.SLASH, "/", i))
+                i += 1
+            continue
+        if ch == "{":
+            end = source.find("}", i + 1)
+            if end < 0:
+                raise QuerySyntaxError("unterminated '{' escape", source, i)
+            inner = source[i + 1 : end]
+            if not inner:
+                raise QuerySyntaxError("empty '{}' label", source, i)
+            tokens.append(Token(TokenKind.NAME, inner, i, escaped=True))
+            i = end + 1
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, i))
+            i += 1
+            continue
+        if _is_name_char(ch):
+            start = i
+            while i < n and _is_name_char(source[i]):
+                i += 1
+            tokens.append(Token(TokenKind.NAME, source[start:i], start))
+            continue
+        raise QuerySyntaxError(
+            f"unexpected character {ch!r} (use '{{...}}' to escape exotic labels)",
+            source,
+            i,
+        )
+    tokens.append(Token(TokenKind.END, "", n))
+    return tokens

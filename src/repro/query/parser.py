@@ -1,0 +1,187 @@
+"""Recursive-descent parser for the query DSL.
+
+Grammar (whitespace free between any two tokens)::
+
+    query        := graph_query | step
+    step         := node predicate* continuation?
+    node         := NAME | '{' any '}' | '*' | '~' token ('+' token)*
+    predicate    := '[' axis? step ']'          -- a branch; axis defaults to //
+    continuation := axis step                   -- the path keeps going
+    axis         := '/' | '//'
+    graph_query  := 'graph' '(' decls ';' links ')'
+    decls        := NAME ':' node (',' NAME ':' node)*
+    links        := NAME '-' NAME (',' NAME '-' NAME)*
+
+Examples::
+
+    A//B[C][*]/D          tree: A -// B, B -// C, B -// *, B -/ D
+    paper[~db+systems]    tree: paper with a containment-labeled branch
+    graph(a:A, b:B, c:C; a-b, b-c, c-a)   cyclic kGPM triangle
+
+Every syntax error is a :class:`~repro.exceptions.QuerySyntaxError` whose
+string rendering points a caret at the offending character.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import QuerySyntaxError
+from repro.graph.query import EdgeType
+from repro.query.ast import (
+    GraphPattern,
+    LabelSpec,
+    PatternEdge,
+    PatternNode,
+    TreePattern,
+)
+from repro.query.lexer import Token, TokenKind, tokenize
+
+_NODE_START = (TokenKind.NAME, TokenKind.STAR, TokenKind.TILDE)
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.source = source
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind is not TokenKind.END:
+            self.index += 1
+        return token
+
+    def expect(self, kind: TokenKind, what: str) -> Token:
+        if self.current.kind is not kind:
+            self.fail(f"expected {what}, got {self.current.describe()}")
+        return self.advance()
+
+    def fail(self, message: str, token: Token | None = None) -> None:
+        token = token if token is not None else self.current
+        raise QuerySyntaxError(message, self.source, token.pos)
+
+    # ------------------------------------------------------------------
+    def parse(self) -> TreePattern | GraphPattern:
+        if (
+            self.current.kind is TokenKind.NAME
+            and not self.current.escaped
+            and self.current.text == "graph"
+            and self.tokens[self.index + 1].kind is TokenKind.LPAREN
+        ):
+            pattern = self.parse_graph()
+        else:
+            pattern = TreePattern(root=self.parse_step())
+        if self.current.kind is not TokenKind.END:
+            self.fail(f"unexpected {self.current.describe()} after the query")
+        return pattern
+
+    # -- tree form ------------------------------------------------------
+    def parse_step(self) -> PatternNode:
+        spec = self.parse_node()
+        children: list[PatternEdge] = []
+        while self.current.kind is TokenKind.LBRACKET:
+            self.advance()
+            axis = self.parse_axis(default=EdgeType.DESCENDANT)
+            children.append(PatternEdge(axis, self.parse_step()))
+            self.expect(TokenKind.RBRACKET, "']' closing the branch predicate")
+        if self.current.kind in (TokenKind.SLASH, TokenKind.DSLASH):
+            axis = self.parse_axis(default=None)
+            children.append(PatternEdge(axis, self.parse_step()))
+        return PatternNode(spec, tuple(children))
+
+    def parse_axis(self, default: EdgeType | None) -> EdgeType:
+        if self.current.kind is TokenKind.SLASH:
+            self.advance()
+            return EdgeType.CHILD
+        if self.current.kind is TokenKind.DSLASH:
+            self.advance()
+            return EdgeType.DESCENDANT
+        if default is None:
+            self.fail("expected '/' or '//'")
+        return default
+
+    def parse_node(self) -> LabelSpec:
+        token = self.current
+        if token.kind is TokenKind.NAME:
+            self.advance()
+            return LabelSpec.label(token.text)
+        if token.kind is TokenKind.STAR:
+            self.advance()
+            return LabelSpec.wildcard()
+        if token.kind is TokenKind.TILDE:
+            self.advance()
+            tokens = [
+                self.expect(TokenKind.NAME, "a token after '~'").text
+            ]
+            while self.current.kind is TokenKind.PLUS:
+                self.advance()
+                tokens.append(
+                    self.expect(TokenKind.NAME, "a token after '+'").text
+                )
+            return LabelSpec.contains(*tokens)
+        self.fail(
+            "expected a label, '*' (wildcard), '~tokens' (containment), "
+            "or '{...}' (escaped label)"
+        )
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    # -- graph form -----------------------------------------------------
+    def parse_graph(self) -> GraphPattern:
+        self.advance()  # 'graph'
+        self.expect(TokenKind.LPAREN, "'(' after 'graph'")
+        nodes: list[tuple[str, LabelSpec]] = []
+        declared: set[str] = set()
+        while True:
+            name_token = self.current
+            name = self.expect(TokenKind.NAME, "a node name").text
+            if name in declared:
+                self.fail(f"node {name!r} declared twice", name_token)
+            declared.add(name)
+            self.expect(TokenKind.COLON, "':' between node name and label")
+            nodes.append((name, self.parse_node()))
+            if self.current.kind is TokenKind.COMMA:
+                self.advance()
+                continue
+            break
+        edges: list[tuple[str, str]] = []
+        if self.current.kind is TokenKind.SEMICOLON:
+            self.advance()
+        if self.current.kind is TokenKind.RPAREN:
+            self.advance()
+            return GraphPattern(tuple(nodes), ())
+        while True:
+            u_token = self.current
+            u = self.expect(TokenKind.NAME, "an edge endpoint").text
+            self.expect(TokenKind.DASH, "'-' between edge endpoints")
+            v_token = self.current
+            v = self.expect(TokenKind.NAME, "an edge endpoint").text
+            if u not in declared:
+                self.fail(f"edge references undeclared node {u!r}", u_token)
+            if v not in declared:
+                self.fail(f"edge references undeclared node {v!r}", v_token)
+            edges.append((u, v))
+            if self.current.kind is TokenKind.COMMA:
+                self.advance()
+                continue
+            break
+        self.expect(TokenKind.RPAREN, "')' closing the graph pattern")
+        return GraphPattern(tuple(nodes), tuple(edges))
+
+
+def parse(source: str) -> TreePattern | GraphPattern:
+    """Parse DSL text into a typed AST.
+
+    Returns a :class:`~repro.query.ast.TreePattern` for path/twig syntax
+    and a :class:`~repro.query.ast.GraphPattern` for the ``graph(...)``
+    form.  Raises :class:`~repro.exceptions.QuerySyntaxError` (with a
+    caret-annotated message) on malformed input.
+    """
+    if not isinstance(source, str):
+        raise TypeError(f"expected DSL text, got {type(source).__name__}")
+    if not source.strip():
+        raise QuerySyntaxError("empty query", source, 0)
+    return _Parser(source).parse()

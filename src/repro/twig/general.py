@@ -12,6 +12,14 @@ label containment are all expressed through
 :class:`TopkGT` is the paper's Topk-GT: the lazy Topk-EN engine run over
 a general twig query.  :func:`general_topk` also exposes the fully-loaded
 algorithms for cross-checking.
+
+This module is the low-level execution path.  The public surface for all
+of these features is the declarative query layer: DSL strings like
+``"A//*[B]/C"`` or ``"A//~db+systems"`` compile (via
+:func:`repro.query.compile_query`) to the same ``QueryTree`` +
+``LabelMatcher`` machinery and run through
+:meth:`repro.engine.MatchEngine.top_k` — no direct import of this module
+needed.
 """
 
 from __future__ import annotations

@@ -13,6 +13,7 @@ from repro.workloads.datasets import (
 from repro.workloads.queries import (
     kgpm_query_suite,
     query_set,
+    query_set_with_dsl,
     random_query_graph,
     random_query_tree,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "PAPER_GS_SIZES",
     "random_query_tree",
     "query_set",
+    "query_set_with_dsl",
     "random_query_graph",
     "kgpm_query_suite",
 ]

@@ -126,6 +126,31 @@ def query_set(
     ]
 
 
+def query_set_with_dsl(
+    closure: TransitiveClosure,
+    size: int,
+    count: int,
+    distinct_labels: bool = True,
+    seed: int = 0,
+) -> list[tuple[QueryTree, str]]:
+    """Like :func:`query_set`, but each tree comes with its DSL text.
+
+    The text is the canonical declarative form (:func:`repro.query.to_dsl`)
+    — directly usable as ``repro match --query '...'`` or
+    ``engine.top_k(text, k)``, and handy for logging/persisting workloads
+    as human-readable strings.  Generated queries use closure-realizable
+    labels, so any exotic label falls back to the ``{...}`` escape.
+    """
+    from repro.query import to_dsl
+
+    return [
+        (tree, to_dsl(tree))
+        for tree in query_set(
+            closure, size, count, distinct_labels=distinct_labels, seed=seed
+        )
+    ]
+
+
 def random_query_graph(
     closure: TransitiveClosure,
     size: int,

@@ -53,6 +53,53 @@ class TestShapeValidation:
             QueryTree({0: "a"}, [(0, 99)])
 
 
+class TestErrorDiagnostics:
+    """Construction/lookup errors are QueryError naming the offending node,
+    never a bare KeyError (satellite hardening)."""
+
+    def test_cycle_names_a_member(self):
+        with pytest.raises(NotATreeError, match="cycle"):
+            QueryTree({0: "a", 1: "b", 2: "c"}, [(0, 1), (1, 2), (2, 0)])
+
+    def test_multiple_roots_named(self):
+        with pytest.raises(NotATreeError, match="0.*2|2.*0"):
+            QueryTree({0: "a", 1: "b", 2: "c", 3: "d"}, [(0, 1), (2, 3)])
+
+    def test_disconnected_cycle_component_named(self):
+        # One real root plus a detached 2-cycle: not connected.
+        with pytest.raises(NotATreeError, match="not reachable from the root"):
+            QueryTree({0: "a", 1: "b", 2: "c"}, [(1, 2), (2, 1)])
+
+    def test_unknown_edge_names_node(self):
+        with pytest.raises(QueryError, match="99"):
+            QueryTree({0: "a"}, [(0, 99)])
+
+    @pytest.mark.parametrize(
+        "method", ["position", "subtree_size", "depth", "label", "parent", "children"]
+    )
+    def test_tree_lookups_raise_query_error(self, method):
+        q = fig2_query()
+        with pytest.raises(QueryError, match="unknown"):
+            getattr(q, method)("nope")
+
+    def test_graph_unknown_edge_names_node(self):
+        with pytest.raises(QueryError, match="z"):
+            QueryGraph({"x": "a", "y": "b"}, [("x", "y"), ("x", "z")])
+
+    def test_graph_disconnected_names_node(self):
+        with pytest.raises(QueryError, match="connected"):
+            QueryGraph({0: "a", 1: "b", 2: "c"}, [(0, 1)])
+
+    def test_graph_degree_raises_query_error(self):
+        g = QueryGraph({0: "a", 1: "b"}, [(0, 1)])
+        with pytest.raises(QueryError, match="unknown"):
+            g.degree(99)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(QueryError, match="at least one node"):
+            QueryGraph({}, [])
+
+
 class TestBfsOrder:
     def test_lemma_3_1_parent_precedes_child(self):
         q = fig2_query()

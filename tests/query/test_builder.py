@@ -1,0 +1,73 @@
+"""Fluent builder tests: Q / Pattern produce the same AST as the DSL."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.query import GraphPattern, LabelSpec, Pattern, Q, parse
+
+
+class TestQ:
+    def test_matches_parsed_dsl(self):
+        built = Q("A").descendant(
+            Q("B").descendant("C").descendant(Q.wildcard()).child("D")
+        )
+        assert built.to_ast() == parse("A//B[C][*]/D")
+
+    def test_child_of_nested_builder(self):
+        assert Q("A").child(Q("B").descendant("C")).to_ast() == parse("A/B//C")
+
+    def test_multiple_branches(self):
+        assert Q("A").descendant("B").descendant("C").to_ast() == parse("A[B]//C")
+
+    def test_star_string_is_wildcard(self):
+        assert Q("A").descendant("*").to_ast() == parse("A//*")
+
+    def test_contains(self):
+        assert Q("A").descendant(Q.contains("db", "ml")).to_ast() == parse(
+            "A//~db+ml"
+        )
+
+    def test_contains_needs_tokens(self):
+        with pytest.raises(QueryError, match="at least one token"):
+            Q.contains()
+
+    def test_to_dsl_round_trip(self):
+        built = Q("A").descendant(Q("B").child("C")).descendant("D")
+        assert parse(built.to_dsl()) == built.to_ast()
+
+    def test_bad_label_type(self):
+        with pytest.raises(QueryError, match="cannot use"):
+            Q(3.14)
+
+    def test_builder_with_children_not_a_label(self):
+        with pytest.raises(QueryError, match="plain node label"):
+            Q.contains("a")._spec  # fine
+            Pattern.from_edges({"a": Q("A").child("B")}, [])
+
+
+class TestPattern:
+    def test_matches_parsed_dsl(self):
+        built = Pattern.from_edges(
+            {"a": "A", "b": "B", "c": "C"},
+            [("a", "b"), ("b", "c"), ("c", "a")],
+        )
+        assert built.to_ast() == parse("graph(a:A, b:B, c:C; a-b, b-c, c-a)")
+
+    def test_integer_names_stringified(self):
+        built = Pattern.from_edges({0: "A", 1: "B"}, [(0, 1)])
+        assert isinstance(built.to_ast(), GraphPattern)
+        assert built.to_ast().node_names() == ("0", "1")
+
+    def test_label_specs_allowed(self):
+        built = Pattern.from_edges(
+            {"a": LabelSpec.contains("db"), "b": "B"}, [("a", "b")]
+        )
+        assert built.to_ast() == parse("graph(a:~db, b:B; a-b)")
+
+    def test_undeclared_endpoint(self):
+        with pytest.raises(QueryError, match="undeclared node 'z'"):
+            Pattern.from_edges({"a": "A"}, [("a", "z")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(QueryError, match="at least one node"):
+            Pattern.from_edges({}, [])

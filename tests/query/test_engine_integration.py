@@ -1,0 +1,296 @@
+"""The declarative layer through MatchEngine: every form, every backend.
+
+Acceptance tests for the query-layer redesign: DSL strings, builders,
+ASTs, and raw query objects all execute through ``compile_query()`` and
+return identical top-k results on all five backends; ``explain()``
+surfaces the compiled semantics; and the general-twig features
+(wildcards, ``/`` edges, containment) run end-to-end through the engine
+— note this module never imports ``repro.twig``.
+"""
+
+import pytest
+
+from repro.engine import MatchEngine
+from repro.exceptions import EngineError, QuerySyntaxError
+from repro.graph.digraph import graph_from_edges
+from repro.graph.query import QueryGraph, QueryTree
+from repro.query import Pattern, Q, parse
+
+ALL_BACKENDS = ("full", "ondemand", "hybrid", "pll", "constrained")
+
+
+@pytest.fixture
+def catalog_graph():
+    """A small document-ish graph exercising every query feature."""
+    return graph_from_edges(
+        {
+            "root": "catalog",
+            "c1": "category",
+            "c2": "category",
+            "s1": "shelf",
+            "p1": "product",
+            "p2": "product",
+            "p3": "product",
+            "x1": "price",
+            "x2": "price",
+            "r1": "review",
+            "sp": "book+special",
+        },
+        [
+            ("root", "c1"), ("root", "c2"),
+            ("c1", "s1"), ("s1", "p1"), ("c1", "p2"), ("c2", "p3"),
+            ("p1", "x1"), ("p2", "x2"), ("p1", "r1"),
+            ("c1", "sp"),
+        ],
+    )
+
+
+def _signature(matches):
+    """Byte-identical comparison key: scores + normalized assignments."""
+    return [
+        (m.score, sorted((str(q), str(v)) for q, v in m.assignment.items()))
+        for m in matches
+    ]
+
+
+def _engine(graph, backend, query_for_workload=None):
+    if backend == "constrained":
+        workload = (query_for_workload,)
+        return MatchEngine(graph, backend=backend, workload=workload)
+    return MatchEngine(graph, backend=backend)
+
+
+class TestEveryFormEveryBackend:
+    """DSL / builder / AST / raw QueryTree agree byte-for-byte."""
+
+    DSL = "category//product[price]"
+
+    def _forms(self):
+        builder = Q("category").descendant(Q("product").descendant("price"))
+        ast = parse(self.DSL)
+        raw = QueryTree(
+            {"n0": "category", "n1": "product", "n2": "price"},
+            [("n0", "n1"), ("n1", "n2")],
+        )
+        return {"dsl": self.DSL, "builder": builder, "ast": ast, "raw": raw}
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_identical_results_across_forms(self, catalog_graph, backend):
+        forms = self._forms()
+        workload = forms["raw"]
+        engine = _engine(catalog_graph, backend, workload)
+        signatures = {
+            name: _signature(engine.top_k(query, k=10))
+            for name, query in forms.items()
+        }
+        baseline = signatures["dsl"]
+        assert baseline, "expected matches in the fixture graph"
+        for name, signature in signatures.items():
+            assert signature == baseline, f"{name} diverged on {backend}"
+
+    def test_identical_results_across_backends(self, catalog_graph):
+        forms = self._forms()
+        per_backend = [
+            _signature(
+                _engine(catalog_graph, backend, forms["raw"]).top_k(
+                    forms["dsl"], k=10
+                )
+            )
+            for backend in ALL_BACKENDS
+        ]
+        for signature in per_backend[1:]:
+            assert signature == per_backend[0]
+
+    @pytest.mark.parametrize(
+        "algorithm", ["dp-b", "dp-p", "topk", "topk-en", "brute-force"]
+    )
+    def test_all_algorithms_on_dsl(self, catalog_graph, algorithm):
+        engine = MatchEngine(catalog_graph, backend="full")
+        scores = [
+            m.score for m in engine.top_k(self.DSL, k=10, algorithm=algorithm)
+        ]
+        auto = [m.score for m in engine.top_k(self.DSL, k=10)]
+        assert scores == auto
+
+
+class TestGeneralTwigThroughEngine:
+    """Section 5 features end-to-end without touching repro.twig."""
+
+    @pytest.mark.parametrize("backend", ("full", "ondemand", "hybrid", "pll"))
+    def test_direct_edge_semantics(self, catalog_graph, backend):
+        engine = MatchEngine(catalog_graph, backend=backend)
+        anywhere = engine.top_k("category//product", k=10)
+        direct = engine.top_k("category/product", k=10)
+        # p1 sits under a shelf: reachable by //, not by /.
+        assert {m.assignment["n1"] for m in anywhere} == {"p1", "p2", "p3"}
+        assert {m.assignment["n1"] for m in direct} == {"p2", "p3"}
+
+    def test_wildcard_node(self, catalog_graph):
+        engine = MatchEngine(catalog_graph)
+        matches = engine.top_k("category//*[price]", k=20)
+        wild = {m.assignment["n1"] for m in matches}
+        assert "s1" in wild  # a shelf also has a price below it
+        assert "p1" in wild
+
+    def test_containment(self, catalog_graph):
+        engine = MatchEngine(catalog_graph)
+        matches = engine.top_k("catalog//~book", k=10)
+        assert {m.assignment["n1"] for m in matches} == {"sp"}
+        both = engine.top_k("catalog//~book+special", k=10)
+        assert {m.assignment["n1"] for m in both} == {"sp"}
+        nothing = engine.top_k("catalog//~book+missing", k=10)
+        assert nothing == []
+
+    def test_duplicate_labels(self, catalog_graph):
+        engine = MatchEngine(catalog_graph)
+        matches = engine.top_k("catalog[category]//category", k=10)
+        pairs = {
+            (m.assignment["n1"], m.assignment["n2"]) for m in matches
+        }
+        # both orders of the two categories appear
+        assert ("c1", "c2") in pairs and ("c2", "c1") in pairs
+
+    def test_brute_force_agrees_on_general_features(self, catalog_graph):
+        engine = MatchEngine(catalog_graph, backend="full")
+        for dsl in ("category/product", "category//*[price]", "catalog//~book"):
+            lazy = _signature(engine.top_k(dsl, k=5, algorithm="topk-en"))
+            oracle = _signature(engine.top_k(dsl, k=5, algorithm="brute-force"))
+            assert [s for s, _ in lazy] == [s for s, _ in oracle], dsl
+
+
+class TestCyclicThroughEngine:
+    def test_graph_dsl_routes_to_kgpm(self, catalog_graph):
+        engine = MatchEngine(catalog_graph)
+        matches = engine.top_k(
+            "graph(a:category, b:product, c:price; a-b, b-c, c-a)", k=3
+        )
+        assert matches
+        assert set(matches[0].assignment) == {"a", "b", "c"}
+
+    def test_forms_agree(self, catalog_graph):
+        engine = MatchEngine(catalog_graph)
+        dsl = "graph(a:category, b:product; a-b)"
+        built = Pattern.from_edges(
+            {"a": "category", "b": "product"}, [("a", "b")]
+        )
+        raw = QueryGraph({"a": "category", "b": "product"}, [("a", "b")])
+        signatures = [
+            _signature(engine.top_k(q, k=5)) for q in (dsl, built, raw)
+        ]
+        assert signatures[0] == signatures[1] == signatures[2]
+
+    def test_mtree_variants_agree(self, catalog_graph):
+        engine = MatchEngine(catalog_graph)
+        dsl = "graph(a:category, b:product, c:price; a-b, b-c, c-a)"
+        plus = engine.top_k(dsl, k=3)
+        base = engine.top_k(dsl, k=3, algorithm="mtree")
+        assert [m.score for m in plus] == [m.score for m in base]
+
+    def test_stream_rejected_for_cyclic(self, catalog_graph):
+        engine = MatchEngine(catalog_graph)
+        with pytest.raises(EngineError, match="do not stream"):
+            engine.stream("graph(a:category, b:product; a-b)")
+
+    def test_engine_for_rejected_for_cyclic(self, catalog_graph):
+        engine = MatchEngine(catalog_graph)
+        with pytest.raises(EngineError, match="no standalone enumerator"):
+            engine.engine_for("graph(a:category, b:product; a-b)")
+
+    def test_kgpm_engine_reused_across_queries(self, catalog_graph):
+        """Repeated cyclic queries reuse one cached KGPMEngine instead of
+        re-copying the graph per call."""
+        engine = MatchEngine(catalog_graph)
+        engine.top_k("graph(a:category, b:product; a-b)", k=2)
+        first = dict(engine._kgpm_engines)
+        engine.top_k("graph(a:category, b:price; a-b)", k=2)
+        assert dict(engine._kgpm_engines) == first  # same instance, no rebuild
+
+    def test_cyclic_containment_matcher_applied(self, catalog_graph):
+        engine = MatchEngine(catalog_graph)
+        matches = engine.top_k("graph(a:category, b:~book; a-b)", k=5)
+        assert {m.assignment["b"] for m in matches} == {"sp"}
+
+    def test_tree_algorithm_rejected_for_cyclic(self, catalog_graph):
+        engine = MatchEngine(catalog_graph)
+        with pytest.raises(ValueError, match="cannot execute a cyclic"):
+            engine.top_k("graph(a:category, b:product; a-b)", k=2,
+                         algorithm="dp-p")
+
+    def test_cyclic_algorithm_rejected_for_tree(self, catalog_graph):
+        engine = MatchEngine(catalog_graph)
+        with pytest.raises(ValueError, match="only applies to cyclic"):
+            engine.top_k("category//product", k=2, algorithm="mtree+")
+
+
+class TestConstrainedContainment:
+    def test_constrained_workload_with_containment(self, catalog_graph):
+        """A compiled containment query can BE the constrained workload."""
+        from repro.query import compile_query
+
+        compiled = compile_query("catalog//~book")
+        engine = MatchEngine(
+            catalog_graph, backend="constrained", workload=(compiled.tree,)
+        )
+        matches = engine.top_k(compiled, k=5)
+        assert {m.assignment["n1"] for m in matches} == {"sp"}
+        full = MatchEngine(catalog_graph, backend="full").top_k(
+            "catalog//~book", k=5
+        )
+        assert _signature(matches) == _signature(full)
+
+
+class TestExplainSemantics:
+    def test_tree_semantics_surfaced(self, catalog_graph):
+        engine = MatchEngine(catalog_graph)
+        plan = engine.explain("category//*[price]/review", k=4)
+        assert plan.cyclic is False
+        assert plan.direct_edges == 1
+        assert plan.wildcards == 1
+        assert plan.matcher_kind == "equality"
+        assert plan.dsl == "category//*[price]/review"
+        described = plan.describe()
+        assert "semantics: tree" in described
+        assert "direct edges=1" in described
+
+    def test_containment_matcher_surfaced(self, catalog_graph):
+        plan = MatchEngine(catalog_graph).explain("catalog//~book", k=2)
+        assert plan.matcher_kind == "containment"
+
+    def test_cyclic_semantics_surfaced(self, catalog_graph):
+        engine = MatchEngine(catalog_graph)
+        plan = engine.explain(
+            "graph(a:category, b:product, c:price; a-b, b-c, c-a)", k=2
+        )
+        assert plan.cyclic is True
+        assert plan.algorithm == "mtree+"
+        assert "cyclic pattern" in plan.describe()
+
+    def test_plan_algorithm_matches_execution_for_dsl(self, catalog_graph):
+        engine = MatchEngine(catalog_graph)
+        stream = engine.stream("category//product")
+        assert stream.plan.algorithm == engine.explain("category//product").algorithm
+
+
+class TestStreamsAndBatch:
+    def test_stream_accepts_dsl(self, catalog_graph):
+        engine = MatchEngine(catalog_graph)
+        stream = engine.stream("category//product")
+        first = stream.take(2)
+        rest = stream.take(10)
+        assert len(first) == 2
+        all_at_once = engine.top_k("category//product", k=12)
+        assert [m.score for m in first + rest] == [m.score for m in all_at_once]
+
+    def test_batch_mixes_forms(self, catalog_graph):
+        engine = MatchEngine(catalog_graph)
+        raw = QueryTree({"a": "category", "b": "product"}, [("a", "b")])
+        results = engine.batch(
+            ["category//product", Q("category").descendant("product"), raw], k=5
+        )
+        assert _signature(results[0]) == _signature(results[1])
+        assert [m.score for m in results[0]] == [m.score for m in results[2]]
+
+    def test_syntax_error_propagates_from_engine(self, catalog_graph):
+        engine = MatchEngine(catalog_graph)
+        with pytest.raises(QuerySyntaxError):
+            engine.top_k("category//", k=3)

@@ -1,0 +1,189 @@
+"""Tokenizer and recursive-descent parser tests for the query DSL."""
+
+import pytest
+
+from repro.exceptions import QuerySyntaxError
+from repro.graph.query import EdgeType
+from repro.query import (
+    GraphPattern,
+    LabelKind,
+    LabelSpec,
+    PatternEdge,
+    PatternNode,
+    TokenKind,
+    TreePattern,
+    parse,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_simple_tokens(self):
+        kinds = [t.kind for t in tokenize("A//B[C]/D")]
+        assert kinds == [
+            TokenKind.NAME,
+            TokenKind.DSLASH,
+            TokenKind.NAME,
+            TokenKind.LBRACKET,
+            TokenKind.NAME,
+            TokenKind.RBRACKET,
+            TokenKind.SLASH,
+            TokenKind.NAME,
+            TokenKind.END,
+        ]
+
+    def test_positions_point_into_source(self):
+        tokens = tokenize("A//B")
+        assert [t.pos for t in tokens] == [0, 1, 3, 4]
+
+    def test_escaped_label(self):
+        token = tokenize("{hello world!}")[0]
+        assert token.kind is TokenKind.NAME
+        assert token.text == "hello world!"
+        assert token.escaped
+
+    def test_whitespace_skipped(self):
+        assert len(tokenize("  A  //  B  ")) == 4  # A, //, B, END
+
+    def test_unterminated_escape(self):
+        with pytest.raises(QuerySyntaxError, match="unterminated"):
+            tokenize("{oops")
+
+    def test_empty_escape(self):
+        with pytest.raises(QuerySyntaxError, match="empty"):
+            tokenize("{}")
+
+    def test_illegal_character_position(self):
+        with pytest.raises(QuerySyntaxError) as err:
+            tokenize("AB@C")
+        assert err.value.position == 2
+        assert "^" in str(err.value)
+
+
+class TestTreeParsing:
+    def test_single_node(self):
+        assert parse("A") == TreePattern(PatternNode(LabelSpec.label("A")))
+
+    def test_descendant_chain(self):
+        ast = parse("A//B")
+        assert ast == TreePattern(
+            PatternNode(
+                LabelSpec.label("A"),
+                (
+                    PatternEdge(
+                        EdgeType.DESCENDANT, PatternNode(LabelSpec.label("B"))
+                    ),
+                ),
+            )
+        )
+
+    def test_child_axis(self):
+        ast = parse("A/B")
+        assert ast.root.children[0].axis is EdgeType.CHILD
+
+    def test_predicates_then_continuation_order(self):
+        ast = parse("A//B[C][*]/D")
+        b = ast.root.children[0].child
+        specs = [e.child.spec for e in b.children]
+        assert specs[0] == LabelSpec.label("C")
+        assert specs[1] == LabelSpec.wildcard()
+        assert specs[2] == LabelSpec.label("D")
+        assert [e.axis for e in b.children] == [
+            EdgeType.DESCENDANT,
+            EdgeType.DESCENDANT,
+            EdgeType.CHILD,
+        ]
+
+    def test_predicate_with_explicit_axis(self):
+        ast = parse("A[/B]")
+        assert ast.root.children[0].axis is EdgeType.CHILD
+
+    def test_nested_predicates(self):
+        ast = parse("A[B[C]//D]")
+        b = ast.root.children[0].child
+        assert len(b.children) == 2
+
+    def test_containment_tokens(self):
+        ast = parse("A//~db+systems+x")
+        spec = ast.root.children[0].child.spec
+        assert spec.kind is LabelKind.CONTAINS
+        assert spec.tokens == ("db", "systems", "x")
+
+    def test_escaped_label_in_tree(self):
+        ast = parse("{my label}//B")
+        assert ast.root.spec == LabelSpec.label("my label")
+
+    def test_escaped_graph_is_a_label(self):
+        """``{graph}(...)`` never triggers the graph form."""
+        ast = parse("{graph}//B")
+        assert isinstance(ast, TreePattern)
+        assert ast.root.spec.text == "graph"
+
+    def test_graph_without_paren_is_a_label(self):
+        ast = parse("graph//B")
+        assert isinstance(ast, TreePattern)
+
+
+class TestGraphParsing:
+    def test_triangle(self):
+        ast = parse("graph(a:A, b:B, c:C; a-b, b-c, c-a)")
+        assert isinstance(ast, GraphPattern)
+        assert ast.node_names() == ("a", "b", "c")
+        assert ast.edges == (("a", "b"), ("b", "c"), ("c", "a"))
+
+    def test_single_node_no_edges(self):
+        ast = parse("graph(a:A)")
+        assert ast.edges == ()
+
+    def test_containment_label_in_graph(self):
+        ast = parse("graph(a:~db+ml, b:B; a-b)")
+        assert ast.nodes[0][1].kind is LabelKind.CONTAINS
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(QuerySyntaxError, match="declared twice"):
+            parse("graph(a:A, a:B; a-a)")
+
+    def test_undeclared_edge_endpoint(self):
+        with pytest.raises(QuerySyntaxError, match="undeclared node 'z'"):
+            parse("graph(a:A, b:B; a-z)")
+
+
+class TestSyntaxErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "   ",
+            "A//",
+            "//A",
+            "A[[B]",
+            "A[B",
+            "A]",
+            "A//B]",
+            "A B",
+            "A++B",
+            "~",
+            "A//~",
+            "A//~db+",
+            "graph(",
+            "graph(a)",
+            "graph(a:A,)",
+            "graph(a:A; a)",
+            "graph(a:A; a-)",
+        ],
+    )
+    def test_malformed_raises_syntax_error(self, bad):
+        with pytest.raises(QuerySyntaxError):
+            parse(bad)
+
+    def test_caret_points_at_offender(self):
+        with pytest.raises(QuerySyntaxError) as err:
+            parse("A//B[[C]")
+        rendered = str(err.value)
+        lines = rendered.splitlines()
+        assert lines[0] == "A//B[[C]"
+        assert lines[1].index("^") == 5
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError):
+            parse(42)

@@ -1,0 +1,129 @@
+"""Round-trip property: ``parse(to_dsl(q)) == q`` for every query form."""
+
+import random
+
+import pytest
+
+from repro.graph.query import EdgeType, QueryGraph, QueryTree
+from repro.query import Pattern, Q, compile_query, parse, to_dsl
+
+TREE_CASES = [
+    "A",
+    "A//B",
+    "A/B",
+    "A//B//C",
+    "A[B]//C",
+    "A[/B]//C",
+    "A//B[C][*]/D",
+    "A[B[C]//D]//E",
+    "A//*[B][C]",
+    "A//~db",
+    "A//~db+systems",
+    "~x//~y+z",
+    "{weird label!}//B",
+    "A//{a+b}",
+    "A[{hi there}]//B",
+    "graph(a:A, b:B; a-b)",
+    "graph(a:A, b:B, c:C; a-b, b-c, c-a)",
+    "graph(a:~db+ml, b:*; a-b)",
+    "graph({n one}:A, b:{l two}; {n one}-b)",
+    "graph(a:A)",
+]
+
+
+class TestDslRoundTrip:
+    @pytest.mark.parametrize("text", TREE_CASES)
+    def test_parse_to_dsl_parse(self, text):
+        ast = parse(text)
+        assert parse(to_dsl(ast)) == ast
+
+    @pytest.mark.parametrize("text", TREE_CASES)
+    def test_canonical_form_is_fixpoint(self, text):
+        """to_dsl(parse(to_dsl(parse(s)))) == to_dsl(parse(s))."""
+        canonical = to_dsl(parse(text))
+        assert to_dsl(parse(canonical)) == canonical
+
+
+class TestBuilderRoundTrip:
+    def test_q_round_trip(self):
+        built = Q("A").descendant(Q("B").descendant("C").child("D"))
+        assert parse(built.to_dsl()) == built.to_ast()
+
+    def test_pattern_round_trip(self):
+        built = Pattern.from_edges(
+            {"a": "A", "b": "B", "c": "C"}, [("a", "b"), ("b", "c"), ("c", "a")]
+        )
+        assert parse(built.to_dsl()) == built.to_ast()
+
+
+class TestRawObjectRoundTrip:
+    def test_query_tree_round_trip_structure(self):
+        """A hand-built tree's DSL re-compiles to an isomorphic tree."""
+        tree = QueryTree(
+            {"r": "A", "x": "B", "y": "C", "z": "D"},
+            [("r", "x"), ("x", "y", EdgeType.CHILD), ("r", "z")],
+        )
+        recompiled = compile_query(to_dsl(tree)).tree
+        assert recompiled.num_nodes == tree.num_nodes
+        labels = sorted(str(recompiled.label(u)) for u in recompiled.nodes())
+        assert labels == sorted(str(tree.label(u)) for u in tree.nodes())
+        direct = [
+            (str(recompiled.label(p)), str(recompiled.label(c)))
+            for p, c, e in recompiled.edges()
+            if e is EdgeType.CHILD
+        ]
+        assert direct == [("B", "C")]
+
+    def test_query_graph_round_trip_structure(self):
+        graph = QueryGraph(
+            {"a": "A", "b": "B", "c": "C"},
+            [("a", "b"), ("b", "c"), ("c", "a")],
+        )
+        recompiled = compile_query(to_dsl(graph)).pattern
+        assert recompiled.num_nodes == 3
+        assert recompiled.num_edges == 3
+        assert {recompiled.label(u) for u in recompiled.nodes()} == {"A", "B", "C"}
+
+    def test_compiled_to_dsl_reparses_to_same_ast(self):
+        for text in TREE_CASES:
+            compiled = compile_query(text)
+            assert parse(compiled.to_dsl()) == compiled.ast
+
+
+class TestRandomizedRoundTrip:
+    def _random_tree_ast(self, rng: random.Random):
+        labels = [f"L{i}" for i in range(8)] + ["weird one", "x+y"]
+        size = rng.randint(1, 7)
+
+        def build(budget):
+            spec = rng.choice(labels)
+            q = Q(spec)
+            while budget[0] > 0 and rng.random() < 0.6:
+                budget[0] -= 1
+                child = build(budget)
+                if rng.random() < 0.5:
+                    q.child(child)
+                else:
+                    q.descendant(child)
+            return q
+
+        return build([size - 1]).to_ast()
+
+    def test_random_trees(self):
+        rng = random.Random(7)
+        for _ in range(100):
+            ast = self._random_tree_ast(rng)
+            assert parse(to_dsl(ast)) == ast
+
+    def test_workload_generated_trees(self):
+        """Generated workload queries emit DSL that re-parses cleanly."""
+        from repro.closure.transitive import TransitiveClosure
+        from repro.graph.generators import citation_graph
+        from repro.workloads.queries import query_set_with_dsl
+
+        graph = citation_graph(120, num_labels=20, seed=3)
+        closure = TransitiveClosure(graph)
+        for tree, text in query_set_with_dsl(closure, size=5, count=5, seed=1):
+            recompiled = compile_query(text).tree
+            assert recompiled.num_nodes == tree.num_nodes
+            assert parse(text) == parse(to_dsl(recompiled))

@@ -67,11 +67,16 @@ class TestMatch:
         payload = json.loads(capsys.readouterr().out)
         assert [m["score"] for m in payload["matches"]] == [2.0, 3.0]
 
-    def test_rejects_graph_query(self, graph_file, graph_query_file, capsys):
+    def test_graph_query_routes_to_kgpm(self, graph_file, graph_query_file, capsys):
+        """`match` is the universal entry point: cyclic patterns run too."""
         code = main(
             ["match", "--graph", str(graph_file), "--query", str(graph_query_file)]
         )
-        assert code == 2
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["matches"], "expected at least one pattern match"
+        assert "mtree+" in captured.err
 
     def test_needs_graph_or_index(self, tree_query_file, capsys):
         code = main(["match", "--query", str(tree_query_file)])
@@ -191,6 +196,176 @@ class TestMatch:
         assert [m["score"] for m in payload["matches"]] == [2.0, 3.0]
 
 
+class TestMatchDsl:
+    """`--query` accepts DSL text directly (the declarative surface)."""
+
+    def test_dsl_query(self, graph_file, capsys):
+        code = main(
+            ["match", "--graph", str(graph_file), "--query", "a//b//c", "-k", "5"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [m["score"] for m in payload["matches"]] == [2.0, 3.0]
+
+    def test_dsl_matches_json_query(self, graph_file, tree_query_file, capsys):
+        main(["match", "--graph", str(graph_file), "--query", str(tree_query_file)])
+        json_scores = [
+            m["score"] for m in json.loads(capsys.readouterr().out)["matches"]
+        ]
+        main(["match", "--graph", str(graph_file), "--query", "a//b//c"])
+        dsl_scores = [
+            m["score"] for m in json.loads(capsys.readouterr().out)["matches"]
+        ]
+        assert dsl_scores == json_scores
+
+    def test_direct_edge_dsl(self, graph_file, capsys):
+        code = main(["match", "--graph", str(graph_file), "--query", "a/b/c"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        # every closure pair here is also a direct edge in the fixture
+        assert [m["score"] for m in payload["matches"]] == [2.0, 3.0]
+
+    def test_explain_shows_semantics(self, graph_file, capsys):
+        code = main(
+            [
+                "match",
+                "--graph", str(graph_file),
+                "--query", "a//b[c]",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "semantics:" in err
+        assert "matcher=equality" in err
+
+    def test_cyclic_dsl(self, graph_file, capsys):
+        code = main(
+            [
+                "match",
+                "--graph", str(graph_file),
+                "--query", "graph(x:a, y:b, z:c; x-y, y-z, z-x)",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["matches"]
+        assert "mtree+" in captured.err
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["a//", "a[[b]", "a//b]", "a@b", "{unclosed", "a//b[", "graph(x:a; x-y)"],
+    )
+    def test_malformed_dsl_exits_2_with_caret(self, graph_file, capsys, bad):
+        """Satellite: malformed --query exits 2 with a caret, no traceback."""
+        code = main(["match", "--graph", str(graph_file), "--query", bad])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "invalid query syntax" in err
+        assert "^" in err
+        assert "Traceback" not in err
+
+    def test_missing_json_file_clean_error(self, graph_file, capsys):
+        code = main(
+            ["match", "--graph", str(graph_file), "--query", "no/such/q.json"]
+        )
+        assert code == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_wildcard_root_clean_error(self, graph_file, capsys):
+        code = main(["match", "--graph", str(graph_file), "--query", "*//a"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "wildcard roots" in err
+        assert "Traceback" not in err
+
+    def test_cyclic_algorithm_on_tree_clean_error(self, graph_file, capsys):
+        code = main(
+            [
+                "match",
+                "--graph", str(graph_file),
+                "--query", "a//b",
+                "--algorithm", "mtree+",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "only applies to cyclic" in err
+        assert "Traceback" not in err
+
+    def test_tree_algorithm_on_cyclic_clean_error(self, graph_file, capsys):
+        code = main(
+            [
+                "match",
+                "--graph", str(graph_file),
+                "--query", "graph(x:a, y:b; x-y)",
+                "--algorithm", "dp-p",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot execute a cyclic pattern" in err
+        assert "Traceback" not in err
+
+    def test_constrained_backend_with_containment_query(self, tmp_path, capsys):
+        """The one-shot constrained workload honors compiled ~ semantics."""
+        from repro.graph.digraph import graph_from_edges
+
+        graph = graph_from_edges(
+            {"r": "root", "s": "db+systems", "t": "ml"},
+            [("r", "s"), ("r", "t")],
+        )
+        path = tmp_path / "tok.tsv"
+        save_graph_tsv(graph, path)
+        code = main(
+            [
+                "match",
+                "--graph", str(path),
+                "--query", "root//~db",
+                "--backend", "constrained",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [m["assignment"]["n1"] for m in payload["matches"]] == ["s"]
+
+
+class TestQuerySubcommand:
+    def test_check_ok(self, capsys):
+        code = main(["query", "check", "A//B[C][*]/D"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ok: A//B[C][*]/D" in out
+        assert "5 nodes" in out
+
+    def test_check_syntax_error(self, capsys):
+        code = main(["query", "check", "A//B[[C]"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "^" in err
+        assert "Traceback" not in err
+
+    def test_show_tree(self, capsys):
+        code = main(["query", "show", "A//~db+systems[/X]"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "canonical: A//~db+systems/X" in out
+        assert "matcher=containment" in out
+        assert "direct edges=1" in out
+
+    def test_show_graph(self, capsys):
+        code = main(["query", "show", "graph(a:A, b:B; a-b)"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cyclic pattern" in out
+        assert "edge a -- b" in out
+
+    def test_check_json_file(self, tree_query_file, capsys):
+        code = main(["query", "check", str(tree_query_file)])
+        assert code == 0
+        assert "tree" in capsys.readouterr().out
+
+
 class TestGpm:
     def test_cycle_query(self, graph_file, graph_query_file, capsys):
         code = main(
@@ -205,6 +380,28 @@ class TestGpm:
             ["gpm", "--graph", str(graph_file), "--query", str(tree_query_file)]
         )
         assert code == 2
+
+    def test_containment_labels_honored(self, tmp_path, capsys):
+        """gpm compiles ~ labels with the containment matcher (regression:
+        it used to drop the compiled matcher and return no matches)."""
+        from repro.graph.digraph import graph_from_edges
+
+        graph = graph_from_edges(
+            {"x": "hub", "y": "db+systems"},
+            [("x", "y")],
+        )
+        path = tmp_path / "tok.tsv"
+        save_graph_tsv(graph, path)
+        code = main(
+            [
+                "gpm",
+                "--graph", str(path),
+                "--query", "graph(a:hub, b:~db; a-b)",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [m["assignment"]["b"] for m in payload["matches"]] == ["y"]
 
 
 class TestStats:
