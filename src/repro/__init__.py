@@ -32,8 +32,21 @@ whole paper::
 Hand-built :class:`QueryTree`/:class:`QueryGraph` objects remain first
 class; every form funnels through :func:`repro.query.compile_query`.
 
+For serving concurrent traffic, wrap the engine in a
+:class:`repro.service.MatchService` — snapshot-isolated sessions, plan
+and result caches, a bounded worker pool, and an incremental update
+path::
+
+    from repro import MatchService
+
+    with MatchService(graph, max_workers=4) as service:
+        service.top_k("CS//Econ", k=5)                      # caches warm
+        service.submit("CS//Econ", 5).result()              # async
+        service.apply_updates(edges_added=[("p2", "p1")])   # new snapshot
+
 Subpackages: :mod:`repro.query` (DSL parser, builders, query compiler),
 :mod:`repro.engine` (MatchEngine, planner, streams, persistence),
+:mod:`repro.service` (concurrent serving: snapshots, caching, workers),
 :mod:`repro.graph` (data model & generators), :mod:`repro.closure`
 (transitive closure, block store, 2-hop labels), :mod:`repro.runtime`
 (run-time graphs and L/H slots), :mod:`repro.core` (Topk, Topk-EN, DP-B,
@@ -50,15 +63,22 @@ from repro.engine import (
     EngineBuilder,
     EngineConfig,
     MatchEngine,
+    PreparedQuery,
     QueryPlan,
     ResultStream,
 )
-from repro.exceptions import QueryError, QuerySyntaxError, ReproError
+from repro.exceptions import (
+    QueryError,
+    QuerySyntaxError,
+    ReproError,
+    ServiceError,
+)
 from repro.graph.digraph import LabeledDiGraph, graph_from_edges
 from repro.graph.query import WILDCARD, EdgeType, QueryGraph, QueryTree
 from repro.query import CompiledQuery, Pattern, Q, compile_query, parse, to_dsl
+from repro.service import MatchService, ServiceResponse, Snapshot, UpdateReport
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "LabeledDiGraph",
@@ -69,10 +89,16 @@ __all__ = [
     "WILDCARD",
     "Match",
     "MatchEngine",
+    "PreparedQuery",
     "EngineConfig",
     "EngineBuilder",
     "QueryPlan",
     "ResultStream",
+    "MatchService",
+    "ServiceResponse",
+    "Snapshot",
+    "UpdateReport",
+    "ServiceError",
     "Q",
     "Pattern",
     "parse",

@@ -1,0 +1,194 @@
+"""Serving-layer throughput benchmark: cached vs uncached, 1-N workers.
+
+Quantifies what :class:`repro.service.MatchService` buys over per-call
+library use for a repeated-query workload:
+
+* ``cold_engine`` — the pre-service baseline: a fresh
+  :class:`~repro.engine.MatchEngine` per request (every call pays the
+  offline closure build *and* parse/plan/execute).
+* ``service_cold`` — one service, first pass over the workload: the
+  offline cost is paid once and the caches fill.
+* ``service_warm`` — the same workload again: plan + result caches hot.
+* ``workers`` — scaling of the bounded pool with the result cache *off*
+  (every request does real planning/enumeration work), 1..N workers.
+
+``serving_benchmark`` returns a plain dict of rows so tests can assert
+on it and the CLI (``repro serve-bench``) can print it.  Wall-clock
+numbers are machine-dependent; the cached-vs-uncached *ratio* is the
+stable, meaningful output.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine.core import MatchEngine
+from repro.graph.generators import citation_graph
+from repro.query.compiler import escape_label
+from repro.service import MatchService
+from repro.utils.rng import make_rng
+
+
+def default_workload(graph, num_queries: int = 6, seed: int = 0) -> list[str]:
+    """A deterministic mix of 2- and 3-node DSL queries over the graph's
+    own labels (so candidate sets are non-trivial).
+
+    Labels are ``{...}``-escaped like the canonical printer, so graphs
+    whose labels are not bare words (``cs.AI``, ``db systems``) work.
+    """
+    if num_queries <= 0:
+        raise ValueError(f"num_queries must be positive, got {num_queries}")
+    rng = make_rng(seed)
+    labels = sorted(graph.labels(), key=repr)
+    if len(labels) < 2:
+        raise ValueError("workload needs a graph with at least 2 labels")
+    queries: list[str] = []
+    for i in range(num_queries):
+        picked = [
+            escape_label(str(label))
+            for label in rng.sample(labels, min(3, len(labels)))
+        ]
+        if i % 2 == 0 or len(picked) < 3:
+            queries.append(f"{picked[0]}//{picked[1]}")
+        else:
+            queries.append(f"{picked[0]}//{picked[1]}[{picked[2]}]")
+    return queries
+
+
+def _requests_of(queries: list[str], total: int) -> list[str]:
+    """Round-robin the query mix out to ``total`` requests."""
+    return [queries[i % len(queries)] for i in range(total)]
+
+
+def serving_benchmark(
+    graph=None,
+    *,
+    num_nodes: int = 300,
+    num_queries: int = 6,
+    k: int = 10,
+    requests: int = 120,
+    cold_requests: int = 12,
+    workers: tuple[int, ...] = (1, 2, 4, 8),
+    backend: str = "full",
+    seed: int = 0,
+) -> dict:
+    """Run the serving benchmark; returns a result dict (see module doc).
+
+    ``cold_requests`` bounds the per-call-engine baseline sample (each of
+    those requests rebuilds the closure, so the full request count would
+    be needlessly slow); its throughput extrapolates linearly.
+    """
+    if requests <= 0:
+        raise ValueError(f"requests must be positive, got {requests}")
+    if graph is None:
+        graph = citation_graph(num_nodes, num_labels=12, seed=seed)
+    queries = default_workload(graph, num_queries=num_queries, seed=seed)
+    workload = _requests_of(queries, requests)
+
+    # Baseline: a fresh engine per request.
+    sample = workload[: max(1, min(cold_requests, len(workload)))]
+    started = time.perf_counter()
+    for query in sample:
+        MatchEngine(graph, backend=backend).top_k(query, k)
+    cold_engine_seconds = time.perf_counter() - started
+    cold_engine_rps = len(sample) / cold_engine_seconds
+
+    # One service, cold then warm caches.
+    with MatchService(graph, backend=backend, max_workers=1) as service:
+        started = time.perf_counter()
+        for query in workload:
+            service.top_k(query, k)
+        service_cold_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        for query in workload:
+            service.top_k(query, k)
+        service_warm_seconds = time.perf_counter() - started
+        cache_stats = service.statistics()
+
+    worker_rows = []
+    for count in workers:
+        with MatchService(
+            graph, backend=backend, max_workers=count,
+            result_cache_size=0, max_pending=max(64, 2 * requests),
+        ) as service:
+            started = time.perf_counter()
+            futures = [service.submit(query, k) for query in workload]
+            for future in futures:
+                future.result()
+            elapsed = time.perf_counter() - started
+        worker_rows.append(
+            {
+                "workers": count,
+                "seconds": elapsed,
+                "requests_per_second": len(workload) / elapsed,
+            }
+        )
+
+    service_warm_rps = len(workload) / service_warm_seconds
+    return {
+        "graph_nodes": graph.num_nodes,
+        "graph_edges": graph.num_edges,
+        "backend": backend,
+        "k": k,
+        "queries": queries,
+        "requests": len(workload),
+        "cold_engine": {
+            "requests": len(sample),
+            "seconds": cold_engine_seconds,
+            "requests_per_second": cold_engine_rps,
+        },
+        "service_cold": {
+            "requests": len(workload),
+            "seconds": service_cold_seconds,
+            "requests_per_second": len(workload) / service_cold_seconds,
+        },
+        "service_warm": {
+            "requests": len(workload),
+            "seconds": service_warm_seconds,
+            "requests_per_second": service_warm_rps,
+        },
+        "warm_speedup_vs_cold_engine": service_warm_rps / cold_engine_rps,
+        "plan_cache": cache_stats["plan_cache"],
+        "result_cache": cache_stats["result_cache"],
+        "workers": worker_rows,
+    }
+
+
+def print_serving_report(report: dict, out=None) -> None:
+    """Human-readable rendering of a :func:`serving_benchmark` result."""
+    import sys
+
+    out = out if out is not None else sys.stdout
+
+    def line(text: str = "") -> None:
+        print(text, file=out)
+
+    line(
+        f"serving benchmark: {report['graph_nodes']} nodes / "
+        f"{report['graph_edges']} edges, backend={report['backend']}, "
+        f"k={report['k']}, {report['requests']} requests over "
+        f"{len(report['queries'])} distinct queries"
+    )
+    line(f"{'mode':<22}{'requests':>9}{'seconds':>10}{'req/s':>10}")
+    for mode in ("cold_engine", "service_cold", "service_warm"):
+        row = report[mode]
+        line(
+            f"{mode:<22}{row['requests']:>9}{row['seconds']:>10.3f}"
+            f"{row['requests_per_second']:>10.1f}"
+        )
+    line(
+        f"warm service speedup vs per-call engine: "
+        f"{report['warm_speedup_vs_cold_engine']:.1f}x"
+    )
+    line(
+        f"plan cache hit rate: {report['plan_cache']['hit_rate']:.0%}   "
+        f"result cache hit rate: {report['result_cache']['hit_rate']:.0%}"
+    )
+    line()
+    line("worker scaling (result cache off):")
+    line(f"{'workers':<10}{'seconds':>10}{'req/s':>10}")
+    for row in report["workers"]:
+        line(
+            f"{row['workers']:<10}{row['seconds']:>10.3f}"
+            f"{row['requests_per_second']:>10.1f}"
+        )

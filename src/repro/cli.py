@@ -8,6 +8,7 @@ Subcommands::
     python -m repro.cli query   show  'A//~db+systems'
     python -m repro.cli stats   --graph g.tsv
     python -m repro.cli index   --graph g.tsv --backend full --out g.idx.json
+    python -m repro.cli serve-bench --nodes 300 --requests 120 --workers 1,4
     python -m repro.cli generate --family citation --nodes 1000 --out g.tsv
 
 ``--query`` accepts either DSL text (``A//B[C]``, ``graph(a:A, b:B; a-b)``)
@@ -23,6 +24,8 @@ an explicit tree matcher choice; ``query check``/``query show`` validate
 and pretty-print queries without touching a graph; ``stats`` reports
 closure/theta statistics (the offline cost of Table 2); ``index`` builds
 and saves an index (the paper's offline phase, paid once per dataset);
+``serve-bench`` smoke-benchmarks the :mod:`repro.service` layer (warm
+plan/result caches vs a fresh engine per call, 1-N workers);
 ``generate`` writes one of the synthetic workload graphs.
 
 With ``pip install -e .`` the same interface is exposed as the ``repro``
@@ -139,6 +142,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="query tree the index must support (repeatable; required for "
         "--backend constrained)",
     )
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="throughput smoke benchmark of the MatchService serving layer",
+    )
+    serve.add_argument(
+        "--graph", help="data graph TSV (default: a synthetic citation graph)"
+    )
+    serve.add_argument(
+        "--nodes", type=int, default=300,
+        help="synthetic graph size when no --graph is given",
+    )
+    serve.add_argument("--requests", type=int, default=120, help="request count")
+    serve.add_argument(
+        "--num-queries", type=int, default=6,
+        help="distinct queries in the round-robin workload",
+    )
+    serve.add_argument("-k", type=int, default=10)
+    serve.add_argument(
+        "--workers", default="1,2,4,8",
+        help="comma-separated worker counts for the scaling pass",
+    )
+    serve.add_argument(
+        "--backend", choices=("full", "ondemand", "hybrid", "pll"),
+        default="full",
+    )
+    serve.add_argument("--seed", type=int, default=0)
 
     gen = sub.add_parser("generate", help="generate a synthetic data graph")
     gen.add_argument(
@@ -305,6 +335,38 @@ def _cmd_index(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    from repro.bench.serving import print_serving_report, serving_benchmark
+
+    try:
+        workers = tuple(
+            int(part) for part in str(args.workers).split(",") if part.strip()
+        )
+    except ValueError:
+        print(
+            f"error: --workers must be comma-separated integers, "
+            f"got {args.workers!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if not workers or any(count <= 0 for count in workers):
+        print("error: --workers needs positive integers", file=sys.stderr)
+        return 2
+    graph = load_graph_tsv(args.graph) if args.graph else None
+    report = serving_benchmark(
+        graph,
+        num_nodes=args.nodes,
+        num_queries=args.num_queries,
+        k=args.k,
+        requests=args.requests,
+        workers=workers,
+        backend=args.backend,
+        seed=args.seed,
+    )
+    print_serving_report(report)
+    return 0
+
+
 def _cmd_generate(args) -> int:
     if args.family == "citation":
         graph = citation_graph(args.nodes, num_labels=args.labels, seed=args.seed)
@@ -331,6 +393,7 @@ def main(argv: list[str] | None = None) -> int:
         "query": _cmd_query,
         "stats": _cmd_stats,
         "index": _cmd_index,
+        "serve-bench": _cmd_serve_bench,
         "generate": _cmd_generate,
     }
     try:

@@ -55,21 +55,89 @@ class TransitiveClosure:
         graph: LabeledDiGraph,
         distances: Mapping[NodeId, Mapping[NodeId, float]],
         partial: bool = False,
+        _share_rows: bool = False,
     ) -> "TransitiveClosure":
         """Rebuild a closure from previously computed distance rows.
 
         Used by index persistence (:mod:`repro.engine`): the shortest-path
         computation — the expensive offline phase — is skipped entirely and
-        ``build_seconds`` is reported as 0.
+        ``build_seconds`` is reported as 0.  ``_share_rows`` adopts the
+        given row dicts by reference instead of copying — only for
+        callers that guarantee the rows are never mutated afterwards
+        (:meth:`refreshed`, whose carried-over rows belong to immutable
+        closures).
         """
         self = cls.__new__(cls)
         self._graph = graph
-        self._dist = {tail: dict(row) for tail, row in distances.items()}
+        if _share_rows:
+            self._dist = dict(distances)
+        else:
+            self._dist = {tail: dict(row) for tail, row in distances.items()}
         self._num_pairs = sum(len(row) for row in self._dist.values())
         self.build_seconds = 0.0
         self._partial = partial
         self._type_counts = None
         return self
+
+    def refreshed(
+        self,
+        graph: LabeledDiGraph,
+        changed_tails: Iterable[NodeId],
+    ) -> tuple["TransitiveClosure", int, frozenset]:
+        """An updated closure over ``graph``, reusing unaffected rows.
+
+        ``changed_tails`` are the tail endpoints of every added or removed
+        edge.  A shortest path from ``s`` can only change if it runs
+        through a changed edge, which requires ``s`` to reach that edge's
+        tail — so only rows that contain a changed tail (or belong to one)
+        are recomputed; every other row carries over verbatim.  New nodes
+        of ``graph`` get fresh rows.
+
+        Returns ``(closure, rows_recomputed, affected_labels)`` where
+        ``affected_labels`` is the set of labels of nodes involved in any
+        pair whose distance actually changed — the selective cache
+        invalidation signal of the serving layer.  Only full (non-partial)
+        closures support refresh; partial ones must be rebuilt against
+        their source set.
+        """
+        if self._partial:
+            raise ClosureError(
+                "partial closures cannot be incrementally refreshed; "
+                "rebuild from the declared source set"
+            )
+        changed = set(changed_tails)
+        unit = graph.is_unit_weighted()
+        label = graph.label
+        distances: dict[NodeId, dict[NodeId, float]] = {}
+        recomputed = 0
+        affected: set = set()
+        for source in graph.nodes():
+            old_row = self._dist.get(source)
+            if (
+                old_row is not None
+                and source not in changed
+                and not changed & old_row.keys()
+            ):
+                distances[source] = old_row
+                continue
+            new_row = single_source_distances(graph, source, unit_weights=unit)
+            distances[source] = new_row
+            recomputed += 1
+            if old_row != new_row:
+                affected.add(label(source))
+                old_row = old_row or {}
+                for head in old_row.keys() | new_row.keys():
+                    if old_row.get(head) != new_row.get(head):
+                        # A removed head may have left the graph entirely;
+                        # updates are edge-level, so it has not — but stay
+                        # defensive and skip labels of vanished nodes.
+                        if head in graph:
+                            affected.add(label(head))
+        return (
+            TransitiveClosure.from_distances(graph, distances, _share_rows=True),
+            recomputed,
+            frozenset(affected),
+        )
 
     @property
     def graph(self) -> LabeledDiGraph:

@@ -9,6 +9,7 @@ shim over this engine.
 """
 
 from repro.engine.backends import (
+    BackendRefresh,
     ConstrainedBackend,
     FullClosureBackend,
     HybridBackend,
@@ -25,23 +26,27 @@ from repro.engine.config import (
     EngineBuilder,
     EngineConfig,
 )
-from repro.engine.core import INDEX_FORMAT_VERSION, MatchEngine
+from repro.engine.core import INDEX_FORMAT_VERSION, MatchEngine, PreparedQuery
 from repro.engine.planner import (
     CYCLIC_ALGORITHMS,
     Planner,
     QueryPlan,
     choose_backend,
+    config_fingerprint,
 )
 from repro.engine.stream import ResultStream
 
 __all__ = [
     "MatchEngine",
+    "PreparedQuery",
     "EngineConfig",
     "EngineBuilder",
     "QueryPlan",
     "Planner",
     "ResultStream",
     "ReachabilityBackend",
+    "BackendRefresh",
+    "config_fingerprint",
     "FullClosureBackend",
     "OnDemandBackend",
     "HybridBackend",

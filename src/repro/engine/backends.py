@@ -29,6 +29,7 @@ time, size statistics, and a JSON payload that lets
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
 from repro.closure.constrained import constrained_closure, tail_labels_of_queries
@@ -43,12 +44,33 @@ from repro.exceptions import EngineError
 from repro.graph.digraph import LabeledDiGraph
 
 
+@dataclass(frozen=True)
+class BackendRefresh:
+    """Outcome of :meth:`ReachabilityBackend.refreshed`.
+
+    ``incremental`` says whether the backend reused its offline artifacts
+    (only rows touched by the update recomputed) or rebuilt from scratch.
+    ``affected_labels`` is the selective cache-invalidation signal: the
+    labels of every node involved in a reachability pair whose distance
+    changed.  ``None`` means "unknown — assume everything changed" (the
+    rebuild path), telling the serving layer to flush its result cache.
+    """
+
+    backend: "ReachabilityBackend"
+    incremental: bool
+    rows_recomputed: int
+    affected_labels: frozenset | None
+
+
 @runtime_checkable
 class ReachabilityBackend(Protocol):
     """What the engine needs from a closure backend."""
 
     name: str
     build_seconds: float
+    #: Whether :meth:`refreshed` can reuse this backend's offline
+    #: artifacts after a graph update instead of rebuilding them.
+    supports_incremental_refresh: bool
 
     @property
     def store(self):
@@ -67,15 +89,52 @@ class ReachabilityBackend(Protocol):
         """JSON-ready offline artifacts for index persistence."""
         ...
 
+    def refreshed(
+        self,
+        graph: LabeledDiGraph,
+        config: EngineConfig,
+        *,
+        edges_added: tuple = (),
+        edges_removed: tuple = (),
+    ) -> BackendRefresh:
+        """A backend of the same kind over the updated ``graph``."""
+        ...
+
 
 class _BackendBase:
     """Shared plumbing: timing and the common attribute surface."""
 
     name = "?"
+    #: Default refresh contract: rebuild from scratch.  Backends whose
+    #: offline artifacts survive an edge update (today: ``full``, whose
+    #: closure rows can be selectively recomputed) override this.
+    supports_incremental_refresh = False
 
     def __init__(self) -> None:
         self.build_seconds = 0.0
         self._store = None
+
+    def refreshed(
+        self,
+        graph: LabeledDiGraph,
+        config: EngineConfig,
+        *,
+        edges_added: tuple = (),
+        edges_removed: tuple = (),
+    ) -> BackendRefresh:
+        """Rebuild this backend kind over the updated ``graph``.
+
+        The base implementation pays the full offline cost again (2-hop
+        labels and partial closures are whole-graph artifacts with no
+        cheap delta); it reports ``affected_labels=None`` so callers
+        invalidate every cached result.
+        """
+        return BackendRefresh(
+            backend=build_backend(graph, config, self.name),
+            incremental=False,
+            rows_recomputed=graph.num_nodes,
+            affected_labels=None,
+        )
 
     @property
     def store(self):
@@ -99,6 +158,33 @@ class FullClosureBackend(_BackendBase):
     """Eager transitive closure + block store (the paper's default)."""
 
     name = "full"
+    supports_incremental_refresh = True
+
+    def refreshed(
+        self,
+        graph: LabeledDiGraph,
+        config: EngineConfig,
+        *,
+        edges_added: tuple = (),
+        edges_removed: tuple = (),
+    ) -> BackendRefresh:
+        """Incremental refresh: recompute only the affected closure rows.
+
+        A source row changes only if it can reach the tail of a changed
+        edge, so :meth:`TransitiveClosure.refreshed` carries every other
+        row over verbatim and reports exactly which labels saw a distance
+        change — the selective result-cache invalidation signal.
+        """
+        changed_tails = {
+            edge[0] for edge in tuple(edges_added) + tuple(edges_removed)
+        }
+        closure, rows, affected = self._closure.refreshed(graph, changed_tails)
+        return BackendRefresh(
+            backend=FullClosureBackend(graph, config, closure=closure),
+            incremental=True,
+            rows_recomputed=rows,
+            affected_labels=affected,
+        )
 
     def __init__(
         self,

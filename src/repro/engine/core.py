@@ -32,6 +32,9 @@ streams results, and persists indexes via :mod:`repro.io`.
 from __future__ import annotations
 
 import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
 
@@ -55,6 +58,11 @@ from repro.runtime.graph import build_runtime_graph
 
 #: Persisted-index format version (bumped on breaking layout changes).
 INDEX_FORMAT_VERSION = 1
+
+#: LRU bound on cached per-matcher KGPM engines (each holds a bidirected
+#: graph copy; matchers are identity-keyed, so unbounded churn of
+#: compiled containment queries would otherwise grow the cache forever).
+KGPM_ENGINE_CACHE_LIMIT = 8
 
 
 class MatchEngine:
@@ -96,9 +104,12 @@ class MatchEngine:
         # Cyclic (kGPM) queries need a bidirected closure independent of
         # the tree backend; built lazily on the first cyclic query.  The
         # KGPMEngine instances are cached too (keyed by tree algorithm
-        # and matcher) since their setup re-copies the graph.
+        # and matcher) since their setup re-copies the graph.  One engine
+        # may serve queries from many threads (repro.service shares it),
+        # so lazy population is guarded by a lock.
         self._kgpm_artifacts: tuple[TransitiveClosure, ClosureStore] | None = None
-        self._kgpm_engines: dict[tuple[str, int], KGPMEngine] = {}
+        self._kgpm_engines: OrderedDict[tuple[str, int], KGPMEngine] = OrderedDict()
+        self._kgpm_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -216,21 +227,30 @@ class MatchEngine:
         Engines are cached per (tree algorithm, matcher): compiled
         containment queries share one matcher instance, so repeated
         cyclic queries reuse the same engine instead of re-copying the
-        graph each call.
+        graph each call.  The cache is a small LRU and every lookup —
+        hit or miss — runs under one lock (a kGPM execution dwarfs the
+        lock cost), so concurrent first cyclic queries build the
+        bidirected closure exactly once and a key is only ever bound to
+        one engine.
         """
-        if self._kgpm_artifacts is None:
-            bidirected = self.graph.bidirected()
-            closure = TransitiveClosure(bidirected)
-            store = ClosureStore(
-                bidirected, closure, block_size=self.config.block_size
-            )
-            self._kgpm_artifacts = (closure, store)
-        closure, store = self._kgpm_artifacts
         tree_algorithm = "dp-b" if plan_algorithm == "mtree" else "topk-en"
         matcher = compiled.effective_matcher(self.config.label_matcher)
         key = (tree_algorithm, id(matcher))
-        engine = self._kgpm_engines.get(key)
-        if engine is None:
+        # The whole lookup runs under the lock: a kGPM execution dwarfs
+        # it, and LRU reordering must not race the OrderedDict.
+        with self._kgpm_lock:
+            engine = self._kgpm_engines.get(key)
+            if engine is not None:
+                self._kgpm_engines.move_to_end(key)
+                return engine
+            if self._kgpm_artifacts is None:
+                bidirected = self.graph.bidirected()
+                closure = TransitiveClosure(bidirected)
+                store = ClosureStore(
+                    bidirected, closure, block_size=self.config.block_size
+                )
+                self._kgpm_artifacts = (closure, store)
+            closure, store = self._kgpm_artifacts
             engine = KGPMEngine(
                 self.graph,
                 tree_algorithm=tree_algorithm,
@@ -240,7 +260,39 @@ class MatchEngine:
                 matcher=matcher,
             )
             self._kgpm_engines[key] = engine
+            while len(self._kgpm_engines) > KGPM_ENGINE_CACHE_LIMIT:
+                self._kgpm_engines.popitem(last=False)
         return engine
+
+    def _execute_plan(
+        self, compiled: CompiledQuery, plan: QueryPlan, k: int
+    ) -> list[Match]:
+        """Run an already-planned query (the compile/plan-free hot path).
+
+        This is what plan caching skips to: :class:`repro.service`'s plan
+        cache stores ``(compiled, plan)`` pairs and calls straight into
+        here on a hit.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        if compiled.is_cyclic:
+            return self._kgpm_engine(compiled, plan.algorithm).top_k(
+                compiled.pattern, k
+            )
+        return self._build_enumerator(compiled, plan.algorithm).top_k(k)
+
+    def prepare(self, query, k: int = 10, algorithm: str | None = None) -> "PreparedQuery":
+        """Compile and plan ``query`` once for repeated execution.
+
+        The returned :class:`PreparedQuery` skips parsing, lowering, and
+        planning on every call — the per-request cost a serving layer
+        amortizes.  The plan is made for ``k``; executing with another
+        ``k`` reuses it unchanged (re-prepare when the planner should
+        reconsider its algorithm choice for a very different ``k``).
+        """
+        compiled = self.compile(query)
+        plan = self.planner.plan(compiled, k, algorithm=algorithm)
+        return PreparedQuery(engine=self, compiled=compiled, plan=plan)
 
     def top_k(self, query, k: int, algorithm: str | None = None) -> list[Match]:
         """The ``k`` lowest-score matches of ``query`` (fewer if the graph
@@ -254,11 +306,7 @@ class MatchEngine:
             raise ValueError(f"k must be non-negative, got {k}")
         compiled = self.compile(query)
         plan = self.planner.plan(compiled, k, algorithm=algorithm)
-        if compiled.is_cyclic:
-            return self._kgpm_engine(compiled, plan.algorithm).top_k(
-                compiled.pattern, k
-            )
-        return self._build_enumerator(compiled, plan.algorithm).top_k(k)
+        return self._execute_plan(compiled, plan, k)
 
     def stream(self, query, algorithm: str | None = None, k_hint: int = 10) -> ResultStream:
         """A lazy :class:`ResultStream` over ``query``'s matches.
@@ -355,3 +403,47 @@ class MatchEngine:
             config = config.replace(workload=backend.workload)
         config = config.replace(backend=backend_name)
         return cls(graph, config, _backend=backend)
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """One query compiled and planned once, executable many times.
+
+    Produced by :meth:`MatchEngine.prepare`.  Holds the compiled query
+    (parse + lowering already paid) and the plan (algorithm choice +
+    candidate estimates already paid); :meth:`top_k` jumps straight to
+    enumerator construction.  Immutable and safe to share across threads
+    — this is the unit :class:`repro.service.MatchService`'s plan cache
+    stores.
+    """
+
+    engine: MatchEngine
+    compiled: CompiledQuery
+    plan: QueryPlan
+
+    @property
+    def dsl(self) -> str:
+        """Canonical DSL text of the prepared query."""
+        return self.compiled.to_dsl()
+
+    def top_k(self, k: int | None = None) -> list[Match]:
+        """Execute with the prepared plan (defaults to the planned ``k``)."""
+        return self.engine._execute_plan(
+            self.compiled, self.plan, self.plan.k if k is None else k
+        )
+
+    def stream(self) -> ResultStream:
+        """A lazy stream over the prepared query (tree queries only)."""
+        if self.compiled.is_cyclic:
+            raise EngineError(
+                "cyclic patterns do not stream (the kGPM threshold "
+                "algorithm needs a target k); use top_k() instead"
+            )
+        return ResultStream(
+            self.engine._build_enumerator(self.compiled, self.plan.algorithm),
+            self.plan,
+        )
+
+    def explain(self) -> QueryPlan:
+        """The plan :meth:`top_k` executes."""
+        return self.plan

@@ -88,6 +88,30 @@ class QueryPlan:
         return "\n".join(lines)
 
 
+def config_fingerprint(config: EngineConfig) -> tuple:
+    """A hashable token covering every config field that can change a plan.
+
+    Plan caches key on ``canonical DSL x engine config``; this is the
+    "engine config" half.  Unpicklable fields (matcher, node-weight
+    callables, workload trees) contribute as the objects themselves —
+    they hash by identity, and keeping strong references in the key
+    means a garbage-collected config can never alias a live one (which
+    ``id()`` would allow).
+    """
+    return (
+        config.backend,
+        config.algorithm,
+        config.block_size,
+        config.label_matcher,
+        config.node_weight,
+        config.hot_fraction,
+        config.workload,
+        config.full_load_threshold,
+        config.small_graph_nodes,
+        config.brute_force_limit,
+    )
+
+
 def choose_backend(
     graph: LabeledDiGraph, config: EngineConfig
 ) -> tuple[str, tuple[str, ...]]:
@@ -133,6 +157,22 @@ class Planner:
         self.config = config
         self.backend_name = backend_name
         self.backend_reasons = tuple(backend_reasons)
+        # Label -> candidate count, memoized: the graph is immutable for
+        # this planner's lifetime and repeated planning (a serving layer's
+        # cache misses) re-asks the same labels.  Dict reads/writes are
+        # atomic under the GIL; a race at worst duplicates a count.
+        self._label_counts: dict = {}
+        self._alphabet: set | None = None
+
+    def _count_for_labels(self, labels) -> int:
+        total = 0
+        for data_label in labels:
+            count = self._label_counts.get(data_label)
+            if count is None:
+                count = len(self.graph.nodes_with_label(data_label))
+                self._label_counts[data_label] = count
+            total += count
+        return total
 
     # ------------------------------------------------------------------
     def _matcher_kind(self, compiled: CompiledQuery) -> str:
@@ -154,7 +194,9 @@ class Planner:
         compiled = compile_query(query)
         matcher = compiled.effective_matcher(self.config.label_matcher)
         graph = self.graph
-        alphabet = graph.labels()
+        if self._alphabet is None:
+            self._alphabet = graph.labels()
+        alphabet = self._alphabet
         if compiled.is_cyclic:
             pattern = compiled.pattern
             nodes = list(pattern.nodes())
@@ -168,7 +210,7 @@ class Planner:
             if labels is None:
                 count = graph.num_nodes
             else:
-                count = sum(len(graph.nodes_with_label(l)) for l in labels)
+                count = self._count_for_labels(labels)
             out.append((u, count))
         return tuple(out)
 

@@ -63,3 +63,31 @@ class EngineError(ReproError):
 
 class DecompositionError(ReproError):
     """A query graph could not be decomposed for kGPM evaluation."""
+
+
+class ServiceError(ReproError):
+    """Base class for failures of the :mod:`repro.service` serving layer."""
+
+
+class ServiceClosedError(ServiceError):
+    """A request reached a :class:`~repro.service.MatchService` after
+    :meth:`~repro.service.MatchService.close` (no new work is accepted)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's bounded request queue is full.
+
+    ``submit()`` fails fast instead of queueing unboundedly; callers
+    should back off and retry (``batch()`` applies back-pressure by
+    blocking for a slot instead of raising).
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """A queued request's deadline expired before a worker picked it up.
+
+    Deadlines bound queue wait only: execution is never preempted
+    mid-enumeration, and a caller-side ``future.result(timeout=...)``
+    raises the standard :class:`concurrent.futures.TimeoutError`, not
+    this class.
+    """

@@ -217,7 +217,10 @@ def _lift_graph(query: QueryGraph) -> GraphPattern:
 # ----------------------------------------------------------------------
 
 
-def _escape(text: str) -> str:
+def escape_label(text: str) -> str:
+    """Render a label as DSL text: bare words pass through, anything
+    else is ``{...}``-escaped (labels containing ``}`` are unprintable
+    and raise :class:`~repro.exceptions.QueryError`)."""
     if text and all(ch.isalnum() or ch == "_" for ch in text):
         return text
     if "}" in text:
@@ -225,6 +228,10 @@ def _escape(text: str) -> str:
             f"label {text!r} contains '}}' and cannot be written in the DSL"
         )
     return "{" + text + "}"
+
+
+# Internal alias (historical name used throughout the printer).
+_escape = escape_label
 
 
 def _render_spec(spec: LabelSpec) -> str:

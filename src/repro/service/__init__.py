@@ -1,0 +1,37 @@
+"""Concurrent serving layer: snapshot sessions, caching, bounded workers.
+
+The per-call library (:class:`repro.engine.MatchEngine`) becomes a
+long-lived service here:
+
+    from repro.service import MatchService
+
+    with MatchService(graph, max_workers=4) as service:
+        service.top_k("A//B[C]", k=5)            # plan+result caches warm
+        future = service.submit("A//B[C]", 5)    # bounded async execution
+        service.batch(["A//B", "A//C"], k=3)     # back-pressured fan-out
+        service.apply_updates(edges_added=[("v1", "v9")])  # new snapshot
+
+See :mod:`repro.service.service` for the design notes, and the
+README's "Serving & caching" section for a tour.
+"""
+
+from repro.service.cache import CacheStats, LRUCache, ResultCache
+from repro.service.service import MatchService, ServiceResponse
+from repro.service.snapshot import (
+    Snapshot,
+    UpdateReport,
+    cacheable_dsl,
+    query_label_footprint,
+)
+
+__all__ = [
+    "MatchService",
+    "ServiceResponse",
+    "Snapshot",
+    "UpdateReport",
+    "LRUCache",
+    "ResultCache",
+    "CacheStats",
+    "cacheable_dsl",
+    "query_label_footprint",
+]

@@ -1,0 +1,483 @@
+"""The :class:`MatchService` — a thread-safe serving layer over one engine.
+
+Where :class:`~repro.engine.core.MatchEngine` is a per-call library,
+``MatchService`` is the piece that sustains concurrent traffic:
+
+    from repro.service import MatchService
+
+    service = MatchService(graph, backend="full", max_workers=4)
+
+    service.top_k("A//B[C]", k=5)          # sync, caches warm up
+    future = service.submit("A//B[C]", 5)  # async, bounded worker pool
+    future.result().matches
+
+    service.apply_updates(edges_added=[("v1", "v9")])   # new snapshot
+    service.statistics()["result_cache"]["hit_rate"]
+
+Design:
+
+* **Snapshot isolation** — every request resolves the current
+  :class:`~repro.service.snapshot.Snapshot` exactly once and runs against
+  its immutable graph + closure indexes; updates swap in a new snapshot
+  atomically and never mutate a live one.
+* **Plan cache** — LRU keyed by ``canonical DSL x k x algorithm x engine
+  config``; a hit skips planning, and DSL-text requests additionally hit
+  a compile cache (raw string -> compiled query) that skips parsing and
+  lowering.  Plans depend only on label counts, so edge-level updates
+  keep every entry.
+* **Result cache** — optional LRU keyed by ``(epoch, DSL, k, algorithm)``
+  with explicit invalidation (:meth:`invalidate_results`); updates
+  migrate entries whose label footprint is provably untouched and drop
+  the rest.
+* **Bounded execution** — ``submit()`` runs on a fixed worker pool behind
+  a bounded queue (fail-fast :class:`ServiceOverloadedError` when full;
+  ``batch()`` blocks for slots instead) with per-request deadlines
+  (:class:`DeadlineExceededError` when a request expires in the queue).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.matches import Match
+from repro.engine.config import EngineConfig
+from repro.engine.core import MatchEngine
+from repro.engine.planner import QueryPlan, config_fingerprint
+from repro.exceptions import (
+    DeadlineExceededError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.query.compiler import compile_query
+from repro.service.cache import LRUCache, ResultCache
+from repro.service.snapshot import (
+    Snapshot,
+    UpdateReport,
+    cacheable_dsl,
+    query_label_footprint,
+)
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One answered request, with its provenance.
+
+    ``epoch`` names the snapshot that produced (or cached) the answer;
+    two responses with equal ``(epoch, dsl, k, algorithm)`` are
+    guaranteed identical — the determinism the concurrency tests pin.
+    """
+
+    matches: tuple[Match, ...]
+    epoch: int
+    dsl: str | None
+    k: int
+    algorithm: str
+    plan: QueryPlan | None
+    result_cache_hit: bool
+    plan_cache_hit: bool
+    elapsed_seconds: float
+
+
+class MatchService:
+    """Concurrent top-k matching over snapshot-isolated engines.
+
+    Parameters
+    ----------
+    graph:
+        The initial data graph (the epoch-0 snapshot is built from it,
+        paying the backend's offline cost once).
+    config:
+        An :class:`EngineConfig`, or keyword overrides (``backend=...``,
+        ``algorithm=...``) exactly like :class:`MatchEngine`.
+    plan_cache_size / result_cache_size:
+        LRU capacities; ``0`` disables the cache (the result cache is the
+        optional one — disable it when answers must always recompute).
+        ``plan_cache_size`` also sizes the DSL compile cache (raw query
+        string -> compiled query), so ``0`` disables both and every
+        request re-parses.
+    max_workers:
+        Worker threads executing :meth:`submit`/:meth:`batch` requests.
+    max_pending:
+        Bound on in-flight requests (queued + running) before
+        :meth:`submit` fails fast; defaults to ``8 * max_workers``.
+    default_deadline:
+        Seconds applied to :meth:`submit` requests that pass none.
+    """
+
+    def __init__(
+        self,
+        graph,
+        config: EngineConfig | None = None,
+        *,
+        plan_cache_size: int = 256,
+        result_cache_size: int = 1024,
+        max_workers: int = 4,
+        max_pending: int | None = None,
+        default_deadline: float | None = None,
+        **overrides,
+    ) -> None:
+        if max_workers <= 0:
+            raise ServiceError(f"max_workers must be positive, got {max_workers}")
+        if max_pending is None:
+            max_pending = 8 * max_workers
+        if max_pending <= 0:
+            raise ServiceError(f"max_pending must be positive, got {max_pending}")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ServiceError(
+                f"default_deadline must be positive, got {default_deadline}"
+            )
+        if plan_cache_size < 0 or result_cache_size < 0:
+            raise ServiceError(
+                "cache sizes must be >= 0 (0 disables a cache), got "
+                f"plan_cache_size={plan_cache_size}, "
+                f"result_cache_size={result_cache_size}"
+            )
+        engine = MatchEngine(graph, config, **overrides)
+        self._snapshot = Snapshot.initial(engine)
+        self._config_fp = config_fingerprint(engine.config)
+        self._plans = LRUCache(plan_cache_size)
+        self._results = ResultCache(result_cache_size)
+        # First-level cache for DSL-text requests: raw query string ->
+        # (compiled, canonical dsl).  This is what lets a warm request
+        # skip the lexer/parser/compiler entirely, not just planning.
+        # Never invalidated: compilation is graph-independent.
+        self._compiled = LRUCache(plan_cache_size)
+        # Bumped whenever the plan cache is cleared (node additions,
+        # explicit invalidation) and embedded in every plan key: an
+        # in-flight request that planned against the pre-clear graph
+        # inserts under the old generation, which no later reader asks
+        # for — a bare clear() alone cannot prevent that re-insert.
+        self._plan_generation = 0
+        self.max_workers = max_workers
+        self.max_pending = max_pending
+        self.default_deadline = default_deadline
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="matchservice"
+        )
+        self._slots = threading.BoundedSemaphore(max_pending)
+        self._update_lock = threading.Lock()
+        self._closed = False
+        # Monotonic counters; guarded by a lock so the consistency
+        # identities the stress tests assert (e.g. result-cache lookups
+        # == cacheable requests) hold exactly under contention.
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._uncacheable = 0
+        self._deadline_misses = 0
+        self._overload_rejections = 0
+        self._updates_applied = 0
+
+    def _count(self, counter: str) -> None:
+        with self._stats_lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Snapshot:
+        """The current snapshot (readers may hold it as long as they like)."""
+        return self._snapshot
+
+    @property
+    def epoch(self) -> int:
+        """Epoch of the current snapshot (bumped by every update)."""
+        return self._snapshot.epoch
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def statistics(self) -> dict:
+        """Serving counters: requests, cache hit rates, update history."""
+        return {
+            "epoch": self._snapshot.epoch,
+            "backend": self._snapshot.engine.backend_name,
+            "graph_nodes": self._snapshot.graph.num_nodes,
+            "graph_edges": self._snapshot.graph.num_edges,
+            "requests": self._requests,
+            "uncacheable_requests": self._uncacheable,
+            "deadline_misses": self._deadline_misses,
+            "overload_rejections": self._overload_rejections,
+            "updates_applied": self._updates_applied,
+            "max_workers": self.max_workers,
+            "max_pending": self.max_pending,
+            "compile_cache": {
+                "entries": len(self._compiled),
+                "capacity": self._compiled.capacity,
+                **self._compiled.stats.as_dict(),
+            },
+            "plan_cache": {
+                "entries": len(self._plans),
+                "capacity": self._plans.capacity,
+                **self._plans.stats.as_dict(),
+            },
+            "result_cache": {
+                "entries": len(self._results),
+                "capacity": self._results.capacity,
+                **self._results.stats.as_dict(),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Request execution
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError("this MatchService has been closed")
+
+    def _answer(
+        self, snapshot: Snapshot, query, k: int, algorithm: str | None
+    ) -> ServiceResponse:
+        """Answer one request entirely against ``snapshot``."""
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        started = time.perf_counter()
+        engine = snapshot.engine
+        if isinstance(query, str):
+            cached_compile = self._compiled.get(query)
+            if cached_compile is None:
+                compiled = compile_query(query)
+                dsl = cacheable_dsl(compiled)
+                self._compiled.put(query, (compiled, dsl))
+            else:
+                compiled, dsl = cached_compile
+        else:
+            compiled = compile_query(query)
+            dsl = cacheable_dsl(compiled)
+        requested = algorithm if algorithm is not None else engine.config.algorithm
+        # Counted only once the query compiled: "requests" are requests
+        # that reached the cache/execution pipeline, keeping the counter
+        # identities (result lookups == requests - uncacheable) exact
+        # even when malformed queries raise above.
+        self._count("_requests")
+        if dsl is None:
+            self._count("_uncacheable")
+            plan = engine.planner.plan(compiled, k, algorithm=algorithm)
+            matches = tuple(engine._execute_plan(compiled, plan, k))
+            return ServiceResponse(
+                matches=matches,
+                epoch=snapshot.epoch,
+                dsl=None,
+                k=k,
+                algorithm=plan.algorithm,
+                plan=plan,
+                result_cache_hit=False,
+                plan_cache_hit=False,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        request_key = (dsl, k, requested)
+        cached = self._results.lookup(snapshot.epoch, request_key)
+        if cached is not None:
+            return ServiceResponse(
+                matches=cached.matches,
+                epoch=snapshot.epoch,
+                dsl=dsl,
+                k=k,
+                algorithm=cached.algorithm or requested,
+                plan=None,
+                result_cache_hit=True,
+                plan_cache_hit=False,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+        plan_key = (dsl, k, requested, self._plan_generation, self._config_fp)
+        entry = self._plans.get(plan_key)
+        plan_hit = entry is not None
+        if entry is None:
+            plan = engine.planner.plan(compiled, k, algorithm=algorithm)
+            self._plans.put(plan_key, (compiled, plan))
+        else:
+            # Reuse the cached compiled form too: equal canonical DSL
+            # means an equivalent query, and reusing one object keeps
+            # matcher identity stable for the engine's kGPM cache.
+            compiled, plan = entry
+        matches = tuple(engine._execute_plan(compiled, plan, k))
+        self._results.store(
+            snapshot.epoch,
+            request_key,
+            matches,
+            query_label_footprint(compiled, engine.config.label_matcher),
+            algorithm=plan.algorithm,
+        )
+        return ServiceResponse(
+            matches=matches,
+            epoch=snapshot.epoch,
+            dsl=dsl,
+            k=k,
+            algorithm=plan.algorithm,
+            plan=plan,
+            result_cache_hit=False,
+            plan_cache_hit=plan_hit,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    def top_k(self, query, k: int, algorithm: str | None = None) -> list[Match]:
+        """Synchronous top-k on the caller's thread (mirrors the engine API).
+
+        Runs against the newest snapshot and feeds/serves the caches like
+        every other request.
+        """
+        self._check_open()
+        return list(self._answer(self._snapshot, query, k, algorithm).matches)
+
+    def request(self, query, k: int, algorithm: str | None = None) -> ServiceResponse:
+        """Like :meth:`top_k` but returns the full :class:`ServiceResponse`."""
+        self._check_open()
+        return self._answer(self._snapshot, query, k, algorithm)
+
+    # ------------------------------------------------------------------
+    # Asynchronous execution over the bounded pool
+    # ------------------------------------------------------------------
+    def _run_request(
+        self, query, k: int, algorithm: str | None, expires_at: float | None
+    ) -> ServiceResponse:
+        if expires_at is not None and time.monotonic() > expires_at:
+            self._count("_deadline_misses")
+            raise DeadlineExceededError(
+                "request deadline expired while queued "
+                f"(deadline was {expires_at:.3f} on the monotonic clock)"
+            )
+        return self._answer(self._snapshot, query, k, algorithm)
+
+    def _submit(
+        self,
+        query,
+        k: int,
+        algorithm: str | None,
+        deadline: float | None,
+        block: bool,
+    ) -> Future:
+        self._check_open()
+        if deadline is None:
+            deadline = self.default_deadline
+        if deadline is not None and deadline <= 0:
+            raise ServiceError(f"deadline must be positive, got {deadline}")
+        expires_at = None if deadline is None else time.monotonic() + deadline
+        if not self._slots.acquire(blocking=block):
+            self._count("_overload_rejections")
+            raise ServiceOverloadedError(
+                f"request queue is full ({self.max_pending} in flight); "
+                "back off and retry"
+            )
+        try:
+            future = self._pool.submit(
+                self._run_request, query, k, algorithm, expires_at
+            )
+        except RuntimeError as exc:  # pool shut down concurrently
+            self._slots.release()
+            raise ServiceClosedError("this MatchService has been closed") from exc
+        # Release the slot from a done callback, not inside the task
+        # body: a cancelled still-queued future never runs its task, and
+        # the callback is the one hook that fires exactly once for
+        # completion, failure, and cancellation alike.
+        future.add_done_callback(lambda _finished: self._slots.release())
+        return future
+
+    def submit(
+        self,
+        query,
+        k: int,
+        algorithm: str | None = None,
+        deadline: float | None = None,
+    ) -> Future:
+        """Queue one request; the future resolves to a :class:`ServiceResponse`.
+
+        Fails fast with :class:`ServiceOverloadedError` when ``max_pending``
+        requests are already in flight.  ``deadline`` (seconds) bounds
+        queue wait: a request picked up past its deadline fails with
+        :class:`DeadlineExceededError` instead of executing.
+        """
+        return self._submit(query, k, algorithm, deadline, block=False)
+
+    def batch(
+        self,
+        queries,
+        k: int,
+        algorithm: str | None = None,
+        deadline: float | None = None,
+    ) -> list[list[Match]]:
+        """Answer many queries through the worker pool, in input order.
+
+        Applies back-pressure: when the queue is full, enqueueing blocks
+        instead of raising.  The first failed request propagates (the
+        rest still complete in the pool).
+        """
+        futures = [
+            self._submit(query, k, algorithm, deadline, block=True)
+            for query in queries
+        ]
+        return [list(future.result().matches) for future in futures]
+
+    # ------------------------------------------------------------------
+    # Updates and invalidation
+    # ------------------------------------------------------------------
+    def apply_updates(
+        self,
+        edges_added: tuple = (),
+        edges_removed: tuple = (),
+        nodes_added: dict | None = None,
+    ) -> UpdateReport:
+        """Produce and install a new snapshot with the deltas applied.
+
+        In-flight requests keep running on the snapshot they resolved —
+        nothing is mutated in place.  The result cache migrates entries
+        whose label footprint is disjoint from the update's affected
+        labels (exact when the backend refreshes incrementally; a rebuild
+        reports no signal and flushes).  The plan cache survives edge
+        deltas outright — plans depend only on label counts — and is
+        cleared when nodes (new label candidates) arrive.  Updates are
+        serialized with one another but never block readers.
+        """
+        with self._update_lock:
+            self._check_open()
+            old = self._snapshot
+            snapshot, report = old.updated(
+                edges_added=edges_added,
+                edges_removed=edges_removed,
+                nodes_added=nodes_added,
+            )
+            migrated, dropped = self._results.advance(
+                old.epoch, snapshot.epoch, report.affected_labels
+            )
+            report.results_migrated = migrated
+            report.results_dropped = dropped
+            if report.nodes_added:
+                self._plan_generation += 1
+                report.plans_cleared = self._plans.clear()
+            self._snapshot = snapshot
+            self._count("_updates_applied")
+            return report
+
+    def invalidate_results(self) -> int:
+        """Explicitly drop every cached result; returns the count."""
+        return self._results.clear()
+
+    def invalidate_plans(self) -> int:
+        """Explicitly drop every cached plan; returns the count."""
+        with self._stats_lock:
+            self._plan_generation += 1
+        return self._plans.clear()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests and shut the worker pool down."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "MatchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MatchService(epoch={self._snapshot.epoch}, "
+            f"backend={self._snapshot.engine.backend_name!r}, "
+            f"workers={self.max_workers}, closed={self._closed})"
+        )

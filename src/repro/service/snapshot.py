@@ -1,0 +1,231 @@
+"""Snapshot isolation over immutable engines.
+
+A :class:`Snapshot` binds one epoch number to one fully-built
+:class:`~repro.engine.core.MatchEngine` whose graph and closure indexes
+are never mutated after construction.  Requests resolve the service's
+current snapshot exactly once and run against it end to end, so a
+concurrent update can never tear a request: readers either see the old
+graph version everywhere or the new one everywhere (the LSST design's
+immutable-index snapshot style).
+
+:meth:`Snapshot.updated` is the update path — it derives a *new* graph
+(copy + edge/node deltas), asks the old backend for a refreshed backend
+(incremental when the backend supports it, full rebuild otherwise), and
+wraps the result in a fresh snapshot one epoch later.  The
+:class:`UpdateReport` carries the invalidation signal the service's
+caches consume.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.engine.core import MatchEngine, PreparedQuery
+from repro.exceptions import GraphError, QueryError, ServiceError
+from repro.graph.digraph import LabeledDiGraph
+from repro.graph.query import WILDCARD
+from repro.query.compiler import CompiledQuery, ContainsLabel
+from repro.twig.semantics import EQUALITY, LabelMatcher
+
+
+@dataclass
+class UpdateReport:
+    """What one :meth:`MatchService.apply_updates` call did, and its cost."""
+
+    epoch: int
+    nodes_added: int
+    edges_added: int
+    edges_removed: int
+    #: Whether the backend refreshed incrementally or rebuilt from scratch.
+    incremental: bool
+    #: Closure rows the refresh actually recomputed (== num_nodes on rebuild).
+    rows_recomputed: int
+    #: Labels whose reachability pairs changed (``None`` = unknown, assume all).
+    affected_labels: frozenset | None
+    elapsed_seconds: float
+    #: Filled by the service: result-cache entries that survived / died,
+    #: and whether the plan cache had to be cleared (node additions only).
+    results_migrated: int = field(default=0)
+    results_dropped: int = field(default=0)
+    plans_cleared: int = field(default=0)
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One immutable graph version: epoch + engine, never mutated.
+
+    Safe to share across threads; everything a request touches (graph,
+    closure store, planner) belongs to this snapshot and outlives it for
+    as long as any reader holds a reference.
+    """
+
+    epoch: int
+    engine: MatchEngine
+    created_at: float
+
+    @classmethod
+    def initial(cls, engine: MatchEngine) -> "Snapshot":
+        return cls(epoch=0, engine=engine, created_at=time.time())
+
+    @property
+    def graph(self) -> LabeledDiGraph:
+        return self.engine.graph
+
+    def top_k(self, query, k: int, algorithm: str | None = None):
+        """Answer directly from this snapshot (bypasses service caches)."""
+        return self.engine.top_k(query, k, algorithm=algorithm)
+
+    def prepare(self, query, k: int = 10, algorithm: str | None = None) -> PreparedQuery:
+        return self.engine.prepare(query, k, algorithm=algorithm)
+
+    # ------------------------------------------------------------------
+    def updated(
+        self,
+        edges_added: tuple = (),
+        edges_removed: tuple = (),
+        nodes_added: dict | None = None,
+    ) -> tuple["Snapshot", UpdateReport]:
+        """A new snapshot with the deltas applied; this one is untouched.
+
+        ``edges_added`` takes ``(tail, head)`` or ``(tail, head, weight)``
+        tuples; ``edges_removed`` takes ``(tail, head)``; ``nodes_added``
+        maps new node ids to labels.  Structural problems (unknown
+        endpoints, removing a missing edge, relabeling) surface as
+        :class:`~repro.exceptions.ServiceError`.
+        """
+        started = time.perf_counter()
+        edges_added = tuple(edges_added)
+        edges_removed = tuple(edges_removed)
+        nodes_added = dict(nodes_added or {})
+        if not (edges_added or edges_removed or nodes_added):
+            raise ServiceError(
+                "apply_updates needs at least one change "
+                "(edges_added, edges_removed, or nodes_added)"
+            )
+        graph = self.engine.graph.copy()
+        try:
+            for node, label in nodes_added.items():
+                graph.add_node(node, label)
+            for edge in edges_added:
+                graph.add_edge(*edge)
+            for edge in edges_removed:
+                graph.remove_edge(edge[0], edge[1])
+        except (GraphError, TypeError, ValueError, IndexError) as exc:
+            raise ServiceError(f"invalid graph update: {exc}") from exc
+        refresh = self.engine.backend.refreshed(
+            graph,
+            self.engine.config,
+            edges_added=edges_added,
+            edges_removed=edges_removed,
+        )
+        engine = MatchEngine(graph, self.engine.config, _backend=refresh.backend)
+        affected = refresh.affected_labels
+        if affected is not None:
+            extra = set()
+            # New nodes are new candidates for their labels even when no
+            # closure row changed (an isolated node can match a leaf).
+            extra.update(nodes_added.values())
+            # Direct-child ('/') matches depend on adjacency, which the
+            # distance-based refresh signal does not see: an added edge
+            # whose endpoints were already at that distance changes
+            # is_direct without changing any closure row (and vice versa
+            # for removals with an equal-cost detour).  Adjacency only
+            # changes at the changed edges' endpoints, so their labels
+            # complete the signal.
+            for edge in edges_added + edges_removed:
+                extra.add(graph.label(edge[0]))
+                extra.add(graph.label(edge[1]))
+            affected = affected | frozenset(extra)
+        snapshot = Snapshot(
+            epoch=self.epoch + 1, engine=engine, created_at=time.time()
+        )
+        report = UpdateReport(
+            epoch=snapshot.epoch,
+            nodes_added=len(nodes_added),
+            edges_added=len(edges_added),
+            edges_removed=len(edges_removed),
+            incremental=refresh.incremental,
+            rows_recomputed=refresh.rows_recomputed,
+            affected_labels=affected,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+        return snapshot, report
+
+
+# ----------------------------------------------------------------------
+# Cacheability analysis of compiled queries
+# ----------------------------------------------------------------------
+
+
+def _has_canonical_tree_ids(tree) -> bool:
+    """True when the tree's node ids are exactly the DSL lowering's
+    (``n0, n1, ...`` in pre-order) — i.e. its match assignments are
+    keyed identically to any other query with the same canonical DSL."""
+    counter = 0
+
+    def visit(node) -> bool:
+        nonlocal counter
+        if node != f"n{counter}":
+            return False
+        counter += 1
+        return all(visit(child) for child in tree.children(node))
+
+    return visit(tree.root) and counter == tree.num_nodes
+
+
+def cacheable_dsl(compiled: CompiledQuery) -> str | None:
+    """The canonical DSL when it identifies the query losslessly.
+
+    The caches key on canonical DSL text, so a cached answer may be
+    served to *any* request with the same DSL — which is only sound when
+    the query's physical node ids are exactly what the DSL lowering
+    produces (``n0..`` pre-order for trees, the declared names for
+    ``graph(...)`` patterns): match assignments are keyed by those ids.
+    Raw ``QueryTree``/``QueryGraph`` inputs with their own node ids, or
+    with non-string labels whose DSL rendering would collide with
+    genuinely-string queries, bypass the caches; so do labels the DSL
+    cannot print at all.
+    """
+    query = compiled.pattern if compiled.is_cyclic else compiled.tree
+    for node in query.nodes():
+        label = query.label(node)
+        if label == WILDCARD or isinstance(label, ContainsLabel):
+            continue
+        if not isinstance(label, str):
+            return None
+    if compiled.is_cyclic:
+        declared = [name for name, _ in compiled.ast.nodes]
+        if list(query.nodes()) != declared:
+            return None
+    elif not _has_canonical_tree_ids(query):
+        return None
+    try:
+        return compiled.to_dsl()
+    except QueryError:  # labels the DSL cannot express (e.g. '}')
+        return None
+
+
+def query_label_footprint(
+    compiled: CompiledQuery, engine_matcher: LabelMatcher = EQUALITY
+) -> frozenset | None:
+    """The exact data labels a query's answer can depend on, or ``None``.
+
+    Plain-labeled tree queries under plain equality semantics touch only
+    closure pairs (and, for ``/`` edges, adjacency) between their own
+    labels; :meth:`Snapshot.updated` folds both distance changes and the
+    changed edges' endpoint labels into ``affected_labels``, so a
+    disjoint footprint provably leaves the results unchanged.  Anything
+    that maps query labels onto data labels the footprint cannot
+    enumerate — wildcards, containment, cyclic patterns (which run on
+    the separately-built bidirected closure), and any non-equality
+    ``engine_matcher`` configured on the engine — reports ``None``
+    (= invalidate on every update).
+    """
+    if compiled.is_cyclic or compiled.wildcards or compiled.containment_nodes:
+        return None
+    if type(compiled.effective_matcher(engine_matcher)) is not LabelMatcher:
+        return None
+    return frozenset(
+        compiled.tree.label(node) for node in compiled.tree.nodes()
+    )

@@ -1,0 +1,1 @@
+"""Test suite package (importable so suites share tests.strategies)."""

@@ -1,0 +1,77 @@
+"""Tests for the serving-layer throughput benchmark.
+
+Includes the acceptance check of the serving subsystem: warm plan+result
+caches must beat a cold per-call engine by at least 2x on a repeated-
+query workload (in practice the margin is orders of magnitude — the
+per-call baseline rebuilds the closure every request).
+"""
+
+from repro.bench.serving import default_workload, print_serving_report, serving_benchmark
+from repro.graph.generators import citation_graph
+
+
+def test_default_workload_deterministic():
+    graph = citation_graph(80, num_labels=6, seed=1)
+    first = default_workload(graph, num_queries=5, seed=9)
+    second = default_workload(graph, num_queries=5, seed=9)
+    assert first == second
+    assert len(first) == 5
+
+
+def test_serving_benchmark_shape_and_speedup():
+    report = serving_benchmark(
+        num_nodes=120,
+        num_queries=4,
+        k=5,
+        requests=40,
+        cold_requests=6,
+        workers=(1, 2),
+        seed=2,
+    )
+    assert report["requests"] == 40
+    assert [row["workers"] for row in report["workers"]] == [1, 2]
+    for mode in ("cold_engine", "service_cold", "service_warm"):
+        assert report[mode]["seconds"] > 0
+        assert report[mode]["requests_per_second"] > 0
+    # The acceptance bar: >= 2x for repeated queries with warm caches vs
+    # a cold per-call engine.  The real margin is huge; 2x is the floor.
+    assert report["warm_speedup_vs_cold_engine"] >= 2.0
+    # Warm pass = pure result-cache hits.
+    assert report["result_cache"]["hits"] >= 40
+
+
+def test_print_serving_report_renders(capsys):
+    report = serving_benchmark(
+        num_nodes=60, num_queries=3, k=3, requests=9,
+        cold_requests=3, workers=(1,), seed=4,
+    )
+    print_serving_report(report)
+    out = capsys.readouterr().out
+    assert "serving benchmark" in out
+    assert "warm service speedup" in out
+    assert "worker scaling" in out
+
+
+def test_default_workload_escapes_exotic_labels():
+    from repro.graph.digraph import graph_from_edges
+    from repro.engine import MatchEngine
+
+    graph = graph_from_edges(
+        {0: "cs.AI", 1: "db systems", 2: "cs.AI", 3: "db systems"},
+        [(0, 1), (2, 3), (0, 3)],
+    )
+    queries = default_workload(graph, num_queries=4, seed=0)
+    engine = MatchEngine(graph, backend="full")
+    for query in queries:
+        engine.top_k(query, 3)  # must parse + run, not raise QuerySyntaxError
+
+
+def test_invalid_request_counts_rejected():
+    import pytest
+
+    with pytest.raises(ValueError, match="requests"):
+        serving_benchmark(num_nodes=40, requests=0)
+    from repro.graph.generators import citation_graph as _cg
+
+    with pytest.raises(ValueError, match="num_queries"):
+        default_workload(_cg(40, num_labels=4, seed=0), num_queries=0)

@@ -1,15 +1,13 @@
 """Tests for pruned landmark labeling (2-hop distance index)."""
 
-import random
-
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.closure.pll import PrunedLandmarkIndex
 from repro.closure.transitive import TransitiveClosure
 from repro.graph.digraph import graph_from_edges
 from repro.graph.generators import citation_graph, erdos_renyi_graph
+from tests.strategies import weighted_graphs
 
 
 class TestSmallGraphs:
@@ -52,15 +50,9 @@ class TestAgreementWithClosure:
             for v in g.nodes():
                 assert pll.distance(u, v) == tc.distance(u, v), (u, v)
 
-    @given(st.integers(0, 100_000))
+    @given(weighted_graphs(min_nodes=4, max_nodes=14, max_edges=30, max_weight=4))
     @settings(max_examples=25, deadline=None)
-    def test_random_weighted_property(self, seed):
-        rng = random.Random(seed)
-        base = erdos_renyi_graph(rng.randint(4, 14), rng.randint(4, 30), seed=seed)
-        g = graph_from_edges(
-            {v: base.label(v) for v in base.nodes()},
-            [(t, h, rng.randint(1, 4)) for t, h, _ in base.edges()],
-        )
+    def test_random_weighted_property(self, g):
         tc = TransitiveClosure(g)
         pll = PrunedLandmarkIndex(g)
         for u in g.nodes():

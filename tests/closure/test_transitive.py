@@ -1,16 +1,14 @@
 """Tests for transitive-closure computation."""
 
-import random
-
 import networkx as nx
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.closure.transitive import TransitiveClosure
 from repro.exceptions import ClosureError
 from repro.graph.digraph import graph_from_edges
 from repro.graph.generators import erdos_renyi_graph
+from tests.strategies import weighted_graphs
 
 
 def chain_graph():
@@ -90,16 +88,9 @@ class TestAgainstNetworkx:
                     continue
                 assert tc.distance(u, v) == expected, (u, v)
 
-    @given(st.integers(0, 10_000))
+    @given(weighted_graphs(min_nodes=4, max_nodes=15, max_edges=35, max_weight=5))
     @settings(max_examples=20, deadline=None)
-    def test_weighted_agreement(self, seed):
-        rng = random.Random(seed)
-        g = erdos_renyi_graph(rng.randint(4, 15), rng.randint(4, 35), seed=seed)
-        # Randomize weights.
-        weighted = graph_from_edges(
-            {v: g.label(v) for v in g.nodes()},
-            [(t, h, rng.randint(1, 5)) for t, h, _ in g.edges()],
-        )
+    def test_weighted_agreement(self, weighted):
         tc = TransitiveClosure(weighted)
         nxg = nx.DiGraph()
         nxg.add_nodes_from(weighted.nodes())

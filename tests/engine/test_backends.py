@@ -112,3 +112,57 @@ class TestBackendSurface:
         results = engine.batch([q1, q2], k=4)
         assert [m.score for m in results[0]] == [1]
         assert [m.score for m in results[1]] == [1, 2, 3, 4]
+
+
+class TestRefreshHooks:
+    """The snapshot/refresh contract of the ReachabilityBackend protocol."""
+
+    def test_advertised_refresh_support(self, figure4_graph, figure4_query):
+        expectations = {
+            "full": True, "ondemand": False, "hybrid": False,
+            "pll": False, "constrained": False,
+        }
+        for backend, expected in expectations.items():
+            engine = _engine(figure4_graph, backend, figure4_query)
+            assert engine.backend.supports_incremental_refresh is expected, backend
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_refreshed_backend_answers_updated_graph(
+        self, figure4_graph, figure4_query, backend
+    ):
+        engine = _engine(figure4_graph, backend, figure4_query)
+        updated = figure4_graph.copy()
+        updated.remove_edge("v1", "v5")
+        refresh = engine.backend.refreshed(
+            updated, engine.config, edges_removed=(("v1", "v5"),)
+        )
+        assert refresh.backend.name == backend
+        assert refresh.incremental is (backend == "full")
+        fresh = _engine(updated, backend, figure4_query)
+        rebuilt = MatchEngine(updated, engine.config, _backend=refresh.backend)
+        assert [m.score for m in rebuilt.top_k(figure4_query, 4)] == [
+            m.score for m in fresh.top_k(figure4_query, 4)
+        ]
+
+    def test_full_refresh_recomputes_only_affected_rows(self, figure4_graph):
+        engine = MatchEngine(figure4_graph, backend="full")
+        updated = figure4_graph.copy()
+        updated.add_edge("v2", "v7", 9)
+        refresh = engine.backend.refreshed(
+            updated, engine.config, edges_added=(("v2", "v7", 9),)
+        )
+        # Only v2's row and rows reaching v2 (just v1) are recomputed —
+        # and v1's recomputed row comes out unchanged (it already reached
+        # v7 cheaper), so only b (source) and d (new head) are affected.
+        assert refresh.rows_recomputed == 2
+        assert refresh.affected_labels == {"b", "d"}
+
+    def test_rebuild_refresh_reports_no_signal(self, figure4_graph):
+        engine = MatchEngine(figure4_graph, backend="pll")
+        updated = figure4_graph.copy()
+        updated.add_edge("v2", "v7", 9)
+        refresh = engine.backend.refreshed(
+            updated, engine.config, edges_added=(("v2", "v7", 9),)
+        )
+        assert refresh.affected_labels is None
+        assert refresh.rows_recomputed == updated.num_nodes

@@ -130,3 +130,50 @@ class TestDeprecatedFacade:
         obj = shim.engine(figure4_query, "brute-force")
         assert isinstance(obj, BruteForceEngine)
         assert [m.score for m in obj.top_k(2)] == [3, 4]
+
+
+class TestPreparedQueries:
+    def test_prepared_matches_direct_execution(self, figure4_graph, figure4_query):
+        engine = MatchEngine(figure4_graph)
+        prepared = engine.prepare(figure4_query, k=3)
+        assert [m.score for m in prepared.top_k()] == [
+            m.score for m in engine.top_k(figure4_query, 3)
+        ]
+        # Another k reuses the plan without re-preparing.
+        assert [m.score for m in prepared.top_k(1)] == [
+            m.score for m in engine.top_k(figure4_query, 1)
+        ]
+
+    def test_prepared_plan_is_the_explained_plan(self, figure4_graph):
+        engine = MatchEngine(figure4_graph)
+        prepared = engine.prepare("a//b", k=5)
+        assert prepared.explain() == engine.explain("a//b", 5)
+        assert prepared.dsl == "a//b"
+
+    def test_prepared_stream(self, figure4_graph):
+        engine = MatchEngine(figure4_graph)
+        stream = engine.prepare("a//c/d", k=2).stream()
+        first = stream.take(2)
+        assert [m.score for m in first] == [
+            m.score for m in engine.top_k("a//c/d", 2)
+        ]
+
+    def test_prepared_cyclic_executes_but_does_not_stream(self):
+        from repro.exceptions import EngineError
+        from repro.graph.digraph import graph_from_edges
+
+        graph = graph_from_edges(
+            {"x": "A", "y": "B", "z": "C"},
+            [("x", "y"), ("y", "z"), ("z", "x")],
+        )
+        engine = MatchEngine(graph, backend="full")
+        prepared = engine.prepare("graph(a:A, b:B, c:C; a-b, b-c, c-a)", k=2)
+        assert len(prepared.top_k()) == 1
+        with pytest.raises(EngineError, match="do not stream"):
+            prepared.stream()
+
+    def test_explicit_algorithm_is_pinned(self, figure4_graph, figure4_query):
+        engine = MatchEngine(figure4_graph)
+        prepared = engine.prepare(figure4_query, k=3, algorithm="dp-b")
+        assert prepared.plan.algorithm == "dp-b"
+        assert [m.score for m in prepared.top_k()] == [3, 4, 5]

@@ -4,9 +4,9 @@ import random
 
 import pytest
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.runtime.slots import DynamicSlot, ExclusionChain, StaticSlot
+from tests.strategies import keyed_entries, slot_keys
 
 
 def entries(*keys):
@@ -63,7 +63,7 @@ class TestStaticSlot:
         ranks_b = [slot_b.ith(r) for r in (1, 2, 3)]
         assert ranks_a == ranks_b
 
-    @given(st.lists(st.integers(0, 50), min_size=1, max_size=30))
+    @given(slot_keys(max_key=50, max_size=30))
     @settings(max_examples=80, deadline=None)
     def test_rank_sequence_matches_sorted_property(self, keys):
         slot = StaticSlot(entries(*keys))
@@ -143,13 +143,7 @@ class TestDynamicSlot:
         assert "a" in slot
         assert "b" not in slot
 
-    @given(
-        st.lists(
-            st.tuples(st.integers(0, 20), st.integers(0, 10)),
-            min_size=1,
-            max_size=40,
-        )
-    )
+    @given(keyed_entries(max_key=20, max_node=10, max_size=40))
     @settings(max_examples=60, deadline=None)
     def test_matches_reference_implementation(self, pairs):
         """Property: best_excluding == min over a plain filtered dict."""

@@ -1,0 +1,190 @@
+"""Stress tests: one MatchService hammered from many threads.
+
+≥8 threads mix synchronous requests, async submits, batches, cyclic
+queries, and live graph updates against a single service.  Asserted
+invariants:
+
+* **No torn snapshots** — every response names the epoch it ran on, and
+  all responses for the same ``(epoch, dsl, k)`` are bit-identical, no
+  matter how updates interleaved.
+* **Snapshot isolation** — a snapshot held across updates keeps
+  answering exactly what it answered before them.
+* **Counter consistency** — cache hit/miss counters add up against the
+  request counts even under contention.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.graph.digraph import graph_from_edges
+from repro.graph.generators import citation_graph
+from repro.service import MatchService
+
+
+def canonical(matches):
+    return tuple(
+        (m.score, tuple(sorted(m.assignment.items(), key=repr)))
+        for m in matches
+    )
+
+
+def test_stress_mixed_workload_across_updates():
+    graph = citation_graph(150, num_labels=6, seed=7)
+    labels = sorted(graph.labels())
+    queries = [
+        f"{labels[0]}//{labels[1]}",
+        f"{labels[1]}//{labels[2]}",
+        f"{labels[0]}//{labels[2]}[{labels[3]}]",
+        f"{labels[2]}//{labels[4]}",
+        f"{labels[0]}//*",
+    ]
+    service = MatchService(
+        graph, backend="full", max_workers=4, max_pending=512
+    )
+    seen: dict[tuple, tuple] = {}  # (epoch, dsl, k) -> canonical answer
+    seen_lock = threading.Lock()
+    torn: list = []
+    failures: list = []
+
+    def record(response):
+        if response.dsl is None:
+            return
+        key = (response.epoch, response.dsl, response.k)
+        answer = canonical(response.matches)
+        with seen_lock:
+            previous = seen.setdefault(key, answer)
+        if previous != answer:
+            torn.append(key)
+
+    def reader(worker: int):
+        rng = random.Random(worker)
+        try:
+            for _ in range(40):
+                query = rng.choice(queries)
+                record(service.request(query, rng.choice([1, 3, 5])))
+        except Exception as exc:  # noqa: BLE001 - surfaced via `failures`
+            failures.append(exc)
+
+    def submitter(worker: int):
+        rng = random.Random(1000 + worker)
+        try:
+            futures = [
+                service.submit(rng.choice(queries), rng.choice([2, 4]))
+                for _ in range(25)
+            ]
+            for future in futures:
+                record(future.result(timeout=30))
+        except Exception as exc:  # noqa: BLE001
+            failures.append(exc)
+
+    def batcher():
+        try:
+            for _ in range(8):
+                answers = service.batch(queries, 3)
+                assert len(answers) == len(queries)
+                for matches in answers:
+                    assert [m.score for m in matches] == sorted(
+                        m.score for m in matches
+                    )
+        except Exception as exc:  # noqa: BLE001
+            failures.append(exc)
+
+    def updater():
+        rng = random.Random(99)
+        nodes = sorted(graph.nodes())
+        try:
+            for step in range(5):
+                service.apply_updates(
+                    nodes_added={f"x{step}": labels[step % len(labels)]},
+                    edges_added=[(f"x{step}", rng.choice(nodes))],
+                )
+        except Exception as exc:  # noqa: BLE001
+            failures.append(exc)
+
+    held = service.snapshot()
+    held_answers = [canonical(held.top_k(query, 5)) for query in queries]
+
+    threads = (
+        [threading.Thread(target=reader, args=(i,)) for i in range(6)]
+        + [threading.Thread(target=submitter, args=(i,)) for i in range(2)]
+        + [threading.Thread(target=batcher), threading.Thread(target=updater)]
+    )
+    assert len(threads) >= 10
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+        assert not thread.is_alive(), "stress thread hung"
+
+    assert not failures, failures
+    assert not torn, f"torn snapshots detected: {torn[:5]}"
+    assert service.epoch == 5
+
+    # Snapshot isolation: the pre-update snapshot still answers verbatim.
+    assert [
+        canonical(held.top_k(query, 5)) for query in queries
+    ] == held_answers
+
+    # Per-snapshot determinism, replayed after the dust settled: the
+    # current snapshot must reproduce every answer recorded at its epoch.
+    current = service.snapshot()
+    for (epoch, dsl, k), answer in seen.items():
+        if epoch == current.epoch:
+            assert canonical(current.top_k(dsl, k)) == answer
+
+    stats = service.statistics()
+    rc = stats["result_cache"]
+    pc = stats["plan_cache"]
+    assert rc["lookups"] == rc["hits"] + rc["misses"]
+    assert pc["lookups"] == pc["hits"] + pc["misses"]
+    assert rc["lookups"] == stats["requests"] - stats["uncacheable_requests"]
+    assert pc["lookups"] == rc["misses"]
+    assert stats["updates_applied"] == 5
+    assert stats["requests"] >= 6 * 40 + 2 * 25 + 8 * len(queries)
+    service.close()
+
+
+def test_concurrent_first_cyclic_query_builds_kgpm_once():
+    """8 threads race the engine's lazy kGPM cache population."""
+    graph = graph_from_edges(
+        {"x0": "A", "x1": "A", "y0": "B", "z0": "C", "z1": "C"},
+        [
+            ("x0", "y0"), ("y0", "z0"), ("z0", "x0"),
+            ("x1", "y0"), ("z1", "x1"), ("y0", "z1"),
+        ],
+    )
+    service = MatchService(graph, backend="full", max_workers=8)
+    cyclic = "graph(a:A, b:B, c:C; a-b, b-c, c-a)"
+    with service:
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            answers = list(
+                pool.map(lambda _: canonical(service.top_k(cyclic, 3)), range(16))
+            )
+    assert len(set(answers)) == 1
+    engine = service.snapshot().engine
+    assert len(engine._kgpm_engines) == 1
+
+
+def test_concurrent_requests_on_lazy_backend():
+    """The on-demand backend's internal caches stay consistent under
+    concurrent population (worst case: duplicated work, never torn)."""
+    graph = citation_graph(80, num_labels=5, seed=3)
+    labels = sorted(graph.labels())
+    queries = [f"{a}//{b}" for a in labels[:3] for b in labels[:3] if a != b]
+    with MatchService(
+        graph, backend="ondemand", max_workers=8, result_cache_size=0
+    ) as service:
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            answers = list(
+                pool.map(
+                    lambda i: canonical(service.top_k(queries[i % len(queries)], 4)),
+                    range(32),
+                )
+            )
+    reference = {}
+    for index, answer in enumerate(answers):
+        query = queries[index % len(queries)]
+        assert reference.setdefault(query, answer) == answer

@@ -1,0 +1,172 @@
+"""Shared Hypothesis strategies for the whole test suite.
+
+One home for the random-instance machinery that several suites need:
+labeled digraphs (unit and weighted), label maps, query trees with mixed
+``//``/``/`` axes and optional wildcards, and the key/entry lists the
+slot tests exercise.  Import from tests as ``from tests.strategies
+import ...``.
+
+``FUZZ_EXAMPLES`` is the per-test example budget of the fuzz suites;
+the nightly CI job raises it via the ``REPRO_FUZZ_EXAMPLES`` environment
+variable without touching the tests.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import assume
+from hypothesis import strategies as st
+
+from repro.graph.digraph import LabeledDiGraph, graph_from_edges
+from repro.graph.query import WILDCARD, EdgeType, QueryTree
+
+#: Example budget for the property/fuzz suites (nightly CI raises it).
+FUZZ_EXAMPLES = int(os.environ.get("REPRO_FUZZ_EXAMPLES", "60"))
+
+#: Small label alphabet: few labels => dense candidate sets => the
+#: enumeration machinery actually gets exercised.
+DEFAULT_ALPHABET = ("A", "B", "C", "D", "E")
+
+
+@st.composite
+def label_maps(
+    draw,
+    min_nodes: int = 2,
+    max_nodes: int = 12,
+    alphabet: tuple = DEFAULT_ALPHABET,
+) -> dict:
+    """A node-id -> label mapping over integer node ids."""
+    count = draw(st.integers(min_nodes, max_nodes))
+    labels = draw(
+        st.lists(st.sampled_from(alphabet), min_size=count, max_size=count)
+    )
+    return dict(enumerate(labels))
+
+
+@st.composite
+def graphs(
+    draw,
+    min_nodes: int = 4,
+    max_nodes: int = 12,
+    max_edges: int = 32,
+    alphabet: tuple = DEFAULT_ALPHABET,
+    weighted: bool = False,
+    max_weight: int = 5,
+) -> LabeledDiGraph:
+    """A random labeled digraph, natively generated (so shrinking works).
+
+    Nodes are integers, labels come from ``alphabet``, edges are drawn
+    as a unique subset of all ordered pairs; ``weighted=True`` draws an
+    integer weight in ``[1, max_weight]`` per edge (unit otherwise).
+    """
+    nodes = draw(label_maps(min_nodes=min_nodes, max_nodes=max_nodes, alphabet=alphabet))
+    ids = sorted(nodes)
+    pairs = [(t, h) for t in ids for h in ids if t != h]
+    chosen = draw(
+        st.lists(
+            st.sampled_from(pairs),
+            min_size=min(3, len(pairs)),
+            max_size=min(max_edges, len(pairs)),
+            unique=True,
+        )
+    )
+    if weighted:
+        weights = draw(
+            st.lists(
+                st.integers(1, max_weight),
+                min_size=len(chosen),
+                max_size=len(chosen),
+            )
+        )
+        edges = [(t, h, w) for (t, h), w in zip(chosen, weights)]
+    else:
+        edges = chosen
+    return graph_from_edges(nodes, edges)
+
+
+def weighted_graphs(**kwargs) -> st.SearchStrategy:
+    """Shorthand for :func:`graphs` with random positive integer weights."""
+    kwargs.setdefault("weighted", True)
+    return graphs(**kwargs)
+
+
+@st.composite
+def query_trees(
+    draw,
+    labels,
+    max_size: int = 5,
+    direct_edges: bool = True,
+    wildcards: bool = False,
+) -> QueryTree:
+    """A random query tree whose labels are drawn (distinct) from ``labels``.
+
+    Nodes are ``0..size-1`` with node ``i``'s parent drawn among
+    ``0..i-1`` (always a valid rooted tree).  Edges are mostly ``//``
+    with occasional ``/`` when ``direct_edges``; ``wildcards`` allows
+    ``*`` at non-root positions.  Labels stay distinct — the Section 3/4
+    core algorithms assume distinct non-wildcard labels.
+    """
+    pool = sorted(set(labels), key=repr)
+    if len(pool) < 2:
+        raise ValueError("query_trees needs at least 2 distinct labels")
+    size = draw(st.integers(2, max(2, min(max_size, len(pool)))))
+    chosen = list(draw(st.permutations(pool)))[:size]
+    if wildcards:
+        for position in range(1, size):
+            if draw(st.booleans()) and draw(st.booleans()):  # ~25%
+                chosen[position] = WILDCARD
+    axis_pool = (
+        [EdgeType.DESCENDANT] * 3 + [EdgeType.CHILD]
+        if direct_edges
+        else [EdgeType.DESCENDANT]
+    )
+    edges = []
+    for child in range(1, size):
+        parent = draw(st.integers(0, child - 1))
+        axis = draw(st.sampled_from(axis_pool))
+        edges.append((parent, child, axis))
+    return QueryTree(dict(enumerate(chosen)), edges)
+
+
+@st.composite
+def graph_and_query(
+    draw,
+    max_query_size: int = 4,
+    direct_edges: bool = True,
+    wildcards: bool = False,
+    **graph_kwargs,
+) -> tuple:
+    """A ``(graph, query_tree)`` pair with the query over the graph's labels."""
+    graph = draw(graphs(**graph_kwargs))
+    assume(len(graph.labels()) >= 2)
+    query = draw(
+        query_trees(
+            graph.labels(),
+            max_size=max_query_size,
+            direct_edges=direct_edges,
+            wildcards=wildcards,
+        )
+    )
+    return graph, query
+
+
+# ----------------------------------------------------------------------
+# Slot-structure strategies (tests/runtime)
+# ----------------------------------------------------------------------
+
+
+def slot_keys(max_key: int = 50, max_size: int = 30) -> st.SearchStrategy:
+    """Non-empty key lists for static-slot rank properties."""
+    return st.lists(st.integers(0, max_key), min_size=1, max_size=max_size)
+
+
+def keyed_entries(
+    max_key: int = 20, max_node: int = 10, max_size: int = 40
+) -> st.SearchStrategy:
+    """Non-empty ``(key, node)`` pair lists for dynamic-slot properties."""
+    return st.lists(
+        st.tuples(st.integers(0, max_key), st.integers(0, max_node)),
+        min_size=1,
+        max_size=max_size,
+    )

@@ -1,0 +1,180 @@
+"""Differential fuzzing: all backends, all algorithms, one answer.
+
+Property-based cross-checks over randomly generated graphs and queries
+(shared strategies in :mod:`tests.strategies`):
+
+* every closure backend (full / ondemand / hybrid / pll) and every tree
+  algorithm (dp-b / dp-p / topk / topk-en) must return the identical
+  top-k result set;
+* wildcard and direct-edge (``/``) queries agree across backends;
+* :class:`repro.service.MatchService` (caches and all) returns exactly
+  what a direct :class:`repro.engine.MatchEngine` returns, on both the
+  cold and the warm cache path.
+
+Tie handling: algorithms may legitimately differ in *which* boundary-
+score matches fill the k-th slots, so comparisons pin the exact score
+sequence plus the exact assignment set below the boundary score.
+
+The example budget per test is ``tests.strategies.FUZZ_EXAMPLES`` (60
+by default => 300 generated cases across the suite; the nightly CI job
+raises it via ``REPRO_FUZZ_EXAMPLES``).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import MatchEngine
+from repro.query import to_dsl
+from repro.service import MatchService
+from tests.strategies import FUZZ_EXAMPLES, graph_and_query
+
+BACKENDS = ("full", "ondemand", "hybrid", "pll")
+TREE_ALGORITHMS = ("dp-b", "dp-p", "topk", "topk-en")
+
+fuzz_settings = settings(max_examples=FUZZ_EXAMPLES, deadline=None)
+
+
+def comparable(matches, k):
+    """Canonical comparison form: exact scores + certain assignment set.
+
+    When exactly ``k`` matches came back, the k-th score may be tied and
+    the choice among tied assignments is algorithm-specific — those stay
+    out of the assignment-set comparison; everything strictly below the
+    boundary (and everything at all when the enumeration was exhausted)
+    must agree exactly.
+    """
+    scores = tuple(m.score for m in matches)
+    boundary = matches[-1].score if len(matches) == k and matches else None
+    certain = frozenset(
+        (m.score, tuple(sorted(m.assignment.items(), key=repr)))
+        for m in matches
+        if boundary is None or m.score < boundary
+    )
+    return scores, certain
+
+
+def exact(matches):
+    """Order-sensitive form for runs that must be bit-identical."""
+    return [
+        (m.score, tuple(sorted(m.assignment.items(), key=repr)))
+        for m in matches
+    ]
+
+
+@given(instance=graph_and_query(max_query_size=4), k=st.integers(1, 12))
+@fuzz_settings
+def test_backends_and_algorithms_agree(instance, k):
+    """All 4 backends x all 4 tree algorithms return the same top-k set."""
+    graph, query = instance
+    reference = None
+    for backend in BACKENDS:
+        engine = MatchEngine(graph, backend=backend)
+        for algorithm in TREE_ALGORITHMS:
+            got = comparable(engine.top_k(query, k, algorithm=algorithm), k)
+            if reference is None:
+                reference = got
+            else:
+                assert got == reference, (backend, algorithm)
+
+
+@given(
+    instance=graph_and_query(max_query_size=4, wildcards=True),
+    k=st.integers(1, 8),
+)
+@fuzz_settings
+def test_wildcard_queries_agree(instance, k):
+    """Wildcard nodes (non-root ``*``) agree across backends/algorithms."""
+    graph, query = instance
+    reference = None
+    for backend in BACKENDS:
+        engine = MatchEngine(graph, backend=backend)
+        for algorithm in ("topk", "topk-en"):
+            got = comparable(engine.top_k(query, k, algorithm=algorithm), k)
+            if reference is None:
+                reference = got
+            else:
+                assert got == reference, (backend, algorithm)
+
+
+@given(
+    instance=graph_and_query(max_query_size=4, weighted=True, max_weight=4),
+    k=st.integers(1, 10),
+)
+@fuzz_settings
+def test_weighted_graphs_agree(instance, k):
+    """General positive weights: same agreement across the whole matrix."""
+    graph, query = instance
+    reference = None
+    for backend in BACKENDS:
+        engine = MatchEngine(graph, backend=backend)
+        for algorithm in TREE_ALGORITHMS:
+            got = comparable(engine.top_k(query, k, algorithm=algorithm), k)
+            if reference is None:
+                reference = got
+            else:
+                assert got == reference, (backend, algorithm)
+
+
+@given(
+    instance=graph_and_query(max_query_size=4),
+    k=st.integers(1, 8),
+    data=st.data(),
+)
+@fuzz_settings
+def test_update_path_never_serves_stale_results(instance, k, data):
+    """After a random edge update, the (cache-warm) service must answer
+    exactly like a fresh engine built on the updated graph — the
+    selective-invalidation correctness property."""
+    graph, raw_query = instance
+    query = to_dsl(raw_query)  # DSL text => the cache path is exercised
+    with MatchService(graph, backend="full", max_workers=1) as service:
+        service.top_k(query, k)  # prime plan + result caches
+        nodes = sorted(graph.nodes())
+        existing = sorted((t, h) for t, h, _ in graph.edges())
+        addable = [
+            (t, h)
+            for t in nodes
+            for h in nodes
+            if t != h and not graph.has_edge(t, h)
+        ]
+        operations = (["remove"] if existing else []) + (
+            ["add"] if addable else []
+        )
+        if not operations:
+            return
+        if data.draw(st.sampled_from(operations)) == "remove":
+            service.apply_updates(
+                edges_removed=[data.draw(st.sampled_from(existing))]
+            )
+        else:
+            tail, head = data.draw(st.sampled_from(addable))
+            weight = data.draw(st.integers(1, 4))
+            service.apply_updates(edges_added=[(tail, head, weight)])
+        fresh = MatchEngine(service.snapshot().graph, backend="full")
+        assert exact(service.top_k(query, k)) == exact(fresh.top_k(query, k))
+
+
+@given(
+    instance=graph_and_query(max_query_size=4),
+    k=st.integers(1, 10),
+    backend=st.sampled_from(BACKENDS),
+)
+@fuzz_settings
+def test_service_agrees_with_engine(instance, k, backend):
+    """MatchService == direct MatchEngine, cold cache and warm cache.
+
+    The service answer must be *bit-identical* (same plan, same
+    snapshot), and the warm-cache answer must equal the cold one.
+    """
+    graph, raw_query = instance
+    query = to_dsl(raw_query)  # DSL text => the cache path is exercised
+    engine = MatchEngine(graph, backend=backend)
+    direct = exact(engine.top_k(query, k))
+    with MatchService(graph, backend=backend, max_workers=1) as service:
+        cold = service.request(query, k)
+        warm = service.request(query, k)
+        assert exact(cold.matches) == direct
+        assert exact(warm.matches) == direct
+        assert warm.result_cache_hit
