@@ -1,0 +1,470 @@
+"""Canonical perf suite — reproducible, machine-readable ``BENCH_*.json``.
+
+``repro bench suite`` runs a *fixed* workload matrix (closure backends x
+matching algorithms x k) over a deterministic synthetic graph and emits
+one JSON document that seeds the repository's perf trajectory:
+
+* per-cell wall time, blocks read, tables opened, and match counts from
+  the metered block layer;
+* per-backend offline build cost via the uniform ``stats()`` schema
+  (``pair_count`` / ``bytes_estimate`` / ``build_seconds``);
+* a **compact-vs-dict closure comparison**: the same all-pairs rows held
+  as the historical dict-of-dicts versus the interned array layout of
+  :mod:`repro.compact` (resident bytes, build seconds);
+* a **block-pull comparison**: streaming every ``L^alpha_beta`` table
+  block by block from the pre-compact tuple-list store layout versus the
+  columnar O(1)-slice layout (the identification read of Section 3.1).
+
+The document schema is validated by :func:`validate_bench_document`
+(also exposed as ``repro bench validate``) so CI can gate on it; the
+committed ``BENCH_PR4.json`` at the repo root is the first entry of the
+trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.harness import print_header, print_table
+from repro.closure.store import ClosureStore
+from repro.closure.transitive import TransitiveClosure
+from repro.engine import MatchEngine
+from repro.graph.digraph import LabeledDiGraph
+from repro.graph.generators import citation_graph
+from repro.graph.query import QueryTree
+from repro.graph.traversal import single_source_distances
+from repro.query import to_dsl
+from repro.storage.blocks import TableDirectory
+
+BENCH_KIND = "repro-bench-suite"
+BENCH_VERSION = 1
+
+#: The fixed matrix; ``--quick`` shrinks it for CI smoke runs.
+FULL_MATRIX = {
+    "nodes": 400,
+    "labels": 40,
+    "backends": ("full", "ondemand", "hybrid", "pll"),
+    "algorithms": ("topk-en", "dp-p", "topk", "dp-b"),
+    "ks": (1, 10, 50),
+    "num_queries": 3,
+}
+QUICK_MATRIX = {
+    "nodes": 150,
+    "labels": 20,
+    "backends": ("full", "ondemand"),
+    "algorithms": ("topk-en", "dp-b"),
+    "ks": (1, 5),
+    "num_queries": 2,
+}
+
+
+# ----------------------------------------------------------------------
+# Workload
+# ----------------------------------------------------------------------
+
+
+def build_workload(
+    nodes: int, labels: int, seed: int, num_queries: int
+) -> tuple[LabeledDiGraph, list]:
+    """A deterministic citation graph + queries over its hottest labels."""
+    graph = citation_graph(nodes, num_labels=labels, seed=seed)
+    by_count = sorted(
+        graph.labels(),
+        key=lambda label: (-len(graph.nodes_with_label(label)), repr(label)),
+    )
+    a, b, c = by_count[0], by_count[1], by_count[2 % len(by_count)]
+    queries = [
+        QueryTree({0: a, 1: b}, [(0, 1)]),
+        QueryTree({0: a, 1: b, 2: c}, [(0, 1), (0, 2)]),
+        QueryTree({0: b, 1: c}, [(0, 1)]),
+    ]
+    return graph, queries[:num_queries]
+
+
+# ----------------------------------------------------------------------
+# Compact-vs-dict closure comparisons
+# ----------------------------------------------------------------------
+
+
+def _dict_rows(graph: LabeledDiGraph) -> tuple[dict, float]:
+    """The pre-compact closure layout: ``{source: {target: dist}}``."""
+    started = time.perf_counter()
+    rows = {
+        source: single_source_distances(graph, source)
+        for source in graph.nodes()
+    }
+    return rows, time.perf_counter() - started
+
+
+def _dict_rows_bytes(rows: dict) -> int:
+    """Resident bytes of the dict layout (containers + boxed values).
+
+    Keys are shared node objects and are deliberately *not* counted, so
+    this under-estimates the dict layout — the reported reduction is a
+    floor.
+    """
+    total = sys.getsizeof(rows)
+    for row in rows.values():
+        total += sys.getsizeof(row)
+        total += sum(sys.getsizeof(value) for value in row.values())
+    return total
+
+
+class _Layouts:
+    """Both closure layouts for one graph, built once per suite run."""
+
+    def __init__(self, graph: LabeledDiGraph) -> None:
+        self.rows, self.dict_seconds = _dict_rows(graph)
+        started = time.perf_counter()
+        self.closure = TransitiveClosure(graph)
+        self.compact_seconds = time.perf_counter() - started
+
+
+def closure_memory_comparison(
+    graph: LabeledDiGraph, layouts: _Layouts | None = None
+) -> dict:
+    """Dict-of-dicts rows vs interned array rows for the same closure."""
+    if layouts is None:
+        layouts = _Layouts(graph)
+    dict_bytes = _dict_rows_bytes(layouts.rows)
+    compact_bytes = layouts.closure.stats()["bytes_estimate"]
+    return {
+        "pair_count": layouts.closure.num_pairs,
+        "dict_bytes": dict_bytes,
+        "compact_bytes": compact_bytes,
+        "reduction": dict_bytes / compact_bytes if compact_bytes else 0.0,
+        "dict_build_seconds": layouts.dict_seconds,
+        "compact_build_seconds": layouts.compact_seconds,
+    }
+
+
+class _LegacyStore:
+    """The pre-compact store layout, kept as the bench reference baseline.
+
+    One tuple-list :class:`BlockTable` per ``(tail_label, head)`` group,
+    ``repr``-keyed sorts, and a linear directory scan per
+    ``read_pair_table`` call — exactly the shipped behavior before the
+    columnar refactor.  Lives here (not in ``repro.closure``) because its
+    only remaining job is being measured against.
+    """
+
+    def __init__(self, graph: LabeledDiGraph, rows: dict, block_size: int) -> None:
+        label = graph.label
+        incoming: dict = {}
+        for tail, row in rows.items():
+            tail_label = label(tail)
+            for head, dist in row.items():
+                incoming.setdefault((tail_label, head), []).append(
+                    (tail, dist, graph.has_edge(tail, head))
+                )
+        self.directory = TableDirectory(block_size=block_size)
+        self.groups: dict = {}
+        self.targets_by_pair: dict = {}
+        for (tail_label, head), entries in incoming.items():
+            entries.sort(key=lambda e: (e[1], repr(e[0])))
+            name = f"L/{tail_label!r}/{label(head)!r}/{head!r}"
+            self.groups[(tail_label, head)] = self.directory.create(name, entries)
+            self.targets_by_pair.setdefault(
+                (tail_label, label(head)), []
+            ).append(head)
+        for heads in self.targets_by_pair.values():
+            heads.sort(key=repr)
+
+    def read_pair_table(self, tail_label, head_label):
+        for pair in self.targets_by_pair:  # linear scan, as shipped
+            if pair != (tail_label, head_label):
+                continue
+            self.directory.counter.record_open()
+            for head in self.targets_by_pair[pair]:
+                for block in self.groups[(pair[0], head)].iter_blocks():
+                    for tail, dist, _is_direct in block:
+                        yield tail, head, dist
+
+
+def block_pull_comparison(
+    graph: LabeledDiGraph,
+    block_size: int = 64,
+    layouts: _Layouts | None = None,
+    repeats: int = 3,
+) -> dict:
+    """Stream every ``L`` table block-by-block: legacy vs columnar layout.
+
+    Both stores are pre-built; the measured phase is exactly the
+    fully-loaded identification read (Section 3.1) — open each label-pair
+    table and pull all of its group blocks.  Each side is timed
+    ``repeats`` times and the minimum is reported (scheduler noise makes
+    single sub-millisecond timings unreliable on shared CI runners).
+    """
+    if layouts is None:
+        layouts = _Layouts(graph)
+    legacy = _LegacyStore(graph, layouts.rows, block_size)
+    store = ClosureStore(graph, layouts.closure, block_size=block_size)
+    pairs = sorted(store._pairs_matching(None, None), key=repr)
+
+    def timed_scan(read_pair_table) -> tuple[float, int]:
+        best = None
+        entries = 0
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()
+            entries = 0
+            for pair in pairs:
+                for _ in read_pair_table(*pair):
+                    entries += 1
+            elapsed = time.perf_counter() - started
+            if best is None or elapsed < best:
+                best = elapsed
+        return best, entries
+
+    legacy_seconds, legacy_entries = timed_scan(legacy.read_pair_table)
+    compact_seconds, compact_entries = timed_scan(store.read_pair_table)
+    if legacy_entries != compact_entries:  # pragma: no cover - sanity net
+        raise AssertionError(
+            f"layouts disagree: {legacy_entries} != {compact_entries}"
+        )
+    return {
+        "entries": compact_entries,
+        "legacy_seconds": legacy_seconds,
+        "compact_seconds": compact_seconds,
+        "speedup": (
+            legacy_seconds / compact_seconds if compact_seconds else 0.0
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# The suite
+# ----------------------------------------------------------------------
+
+
+def _current_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):  # pragma: no cover
+        pass
+    return "unknown"
+
+
+def _peak_rss_kb() -> int:
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss is bytes
+        peak //= 1024
+    return int(peak)
+
+
+def run_suite(quick: bool = False, seed: int = 0, **overrides) -> dict:
+    """Run the fixed matrix and return the BENCH document (not written)."""
+    matrix = dict(QUICK_MATRIX if quick else FULL_MATRIX)
+    matrix.update({k: v for k, v in overrides.items() if v is not None})
+    graph, queries = build_workload(
+        matrix["nodes"], matrix["labels"], seed, matrix["num_queries"]
+    )
+    query_texts = [to_dsl(query) for query in queries]
+    # Both comparison sections share one pair of layouts — _dict_rows is
+    # the slowest prep step and must not run twice per suite.
+    layouts = _Layouts(graph)
+
+    backend_build = []
+    cells = []
+    for backend in matrix["backends"]:
+        started = time.perf_counter()
+        engine = MatchEngine(graph, backend=backend)
+        build_seconds = time.perf_counter() - started
+        stats = engine.backend.stats()
+        backend_build.append(
+            {
+                "backend": backend,
+                "build_seconds": build_seconds,
+                "pair_count": stats["pair_count"],
+                "bytes_estimate": stats["bytes_estimate"],
+            }
+        )
+        counter = engine.store.counter
+        for text in query_texts:
+            for algorithm in matrix["algorithms"]:
+                for k in matrix["ks"]:
+                    before = counter.snapshot()
+                    started = time.perf_counter()
+                    matches = engine.top_k(text, k, algorithm=algorithm)
+                    wall = time.perf_counter() - started
+                    delta = counter.delta_since(before)
+                    cells.append(
+                        {
+                            "backend": backend,
+                            "algorithm": algorithm,
+                            "k": k,
+                            "query": text,
+                            "wall_seconds": wall,
+                            "blocks_read": delta.blocks_read,
+                            "tables_opened": delta.tables_opened,
+                            "entries_read": delta.entries_read,
+                            "matches": len(matches),
+                        }
+                    )
+
+    return {
+        "kind": BENCH_KIND,
+        "version": BENCH_VERSION,
+        "commit": _current_commit(),
+        "python": sys.version.split()[0],
+        "quick": quick,
+        "workload": {
+            "family": "citation",
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "labels": len(graph.labels()),
+            "seed": seed,
+            "queries": query_texts,
+            "backends": list(matrix["backends"]),
+            "algorithms": list(matrix["algorithms"]),
+            "ks": list(matrix["ks"]),
+        },
+        "backend_build": backend_build,
+        "cells": cells,
+        "closure_memory": closure_memory_comparison(graph, layouts=layouts),
+        "block_pull": block_pull_comparison(graph, layouts=layouts),
+        "peak_rss_kb": _peak_rss_kb(),
+    }
+
+
+def write_suite(path: str | Path, document: dict) -> None:
+    """Write a BENCH document as stable, diff-friendly JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Schema validation (CI gate; no external jsonschema dependency)
+# ----------------------------------------------------------------------
+
+_CELL_FIELDS = {
+    "backend": str,
+    "algorithm": str,
+    "k": int,
+    "query": str,
+    "wall_seconds": (int, float),
+    "blocks_read": int,
+    "tables_opened": int,
+    "entries_read": int,
+    "matches": int,
+}
+_TOP_FIELDS = {
+    "kind": str,
+    "version": int,
+    "commit": str,
+    "python": str,
+    "quick": bool,
+    "workload": dict,
+    "backend_build": list,
+    "cells": list,
+    "closure_memory": dict,
+    "block_pull": dict,
+    "peak_rss_kb": int,
+}
+
+
+def validate_bench_document(document) -> list[str]:
+    """Schema errors of a BENCH document (empty list == valid)."""
+    errors: list[str] = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    for field, kind in _TOP_FIELDS.items():
+        if field not in document:
+            errors.append(f"missing field {field!r}")
+        elif not isinstance(document[field], kind):
+            errors.append(f"field {field!r} is not {kind}")
+    if errors:
+        return errors
+    if document["kind"] != BENCH_KIND:
+        errors.append(f"kind is {document['kind']!r}, wanted {BENCH_KIND!r}")
+    if document["version"] != BENCH_VERSION:
+        errors.append(f"unsupported version {document['version']!r}")
+    for index, cell in enumerate(document["cells"]):
+        if not isinstance(cell, dict):
+            errors.append(f"cells[{index}] is not an object")
+            continue
+        for field, kind in _CELL_FIELDS.items():
+            if field not in cell:
+                errors.append(f"cells[{index}] missing {field!r}")
+            elif not isinstance(cell[field], kind) or isinstance(cell[field], bool):
+                errors.append(f"cells[{index}].{field} is not {kind}")
+            elif field in ("wall_seconds", "blocks_read", "k") and cell[field] < 0:
+                errors.append(f"cells[{index}].{field} is negative")
+    memory = document["closure_memory"]
+    for field in ("pair_count", "dict_bytes", "compact_bytes", "reduction"):
+        if field not in memory:
+            errors.append(f"closure_memory missing {field!r}")
+    pull = document["block_pull"]
+    for field in ("entries", "legacy_seconds", "compact_seconds", "speedup"):
+        if field not in pull:
+            errors.append(f"block_pull missing {field!r}")
+    workload = document["workload"]
+    for field in ("family", "nodes", "edges", "labels", "seed", "queries"):
+        if field not in workload:
+            errors.append(f"workload missing {field!r}")
+    return errors
+
+
+# ----------------------------------------------------------------------
+# Human-readable report
+# ----------------------------------------------------------------------
+
+
+def print_suite_report(document: dict) -> None:
+    """Echo a BENCH document as the usual harness tables."""
+    workload = document["workload"]
+    print_header(
+        "repro bench suite",
+        f"citation graph: {workload['nodes']} nodes / {workload['edges']} "
+        f"edges / {workload['labels']} labels (seed {workload['seed']}, "
+        f"commit {document['commit'][:12]})",
+    )
+    print_table(
+        ["backend", "build s", "pairs", "bytes"],
+        [
+            [b["backend"], f"{b['build_seconds']:.4f}",
+             b["pair_count"], b["bytes_estimate"]]
+            for b in document["backend_build"]
+        ],
+        title="offline build",
+    )
+    print_table(
+        ["backend", "algorithm", "k", "query", "wall s", "blocks", "matches"],
+        [
+            [c["backend"], c["algorithm"], c["k"], c["query"],
+             f"{c['wall_seconds']:.5f}", c["blocks_read"], c["matches"]]
+            for c in document["cells"]
+        ],
+        title="workload matrix",
+    )
+    memory = document["closure_memory"]
+    pull = document["block_pull"]
+    print_table(
+        ["metric", "dict/legacy", "compact", "ratio"],
+        [
+            ["closure bytes", memory["dict_bytes"], memory["compact_bytes"],
+             f"{memory['reduction']:.1f}x smaller"],
+            ["closure build s", f"{memory['dict_build_seconds']:.4f}",
+             f"{memory['compact_build_seconds']:.4f}",
+             f"{memory['dict_build_seconds'] / memory['compact_build_seconds']:.1f}x faster"
+             if memory["compact_build_seconds"] else "-"],
+            ["block pulls s", f"{pull['legacy_seconds']:.4f}",
+             f"{pull['compact_seconds']:.4f}",
+             f"{pull['speedup']:.1f}x faster"],
+        ],
+        title="compact vs dict",
+    )
+    print(f"peak RSS: {document['peak_rss_kb']} KB")

@@ -9,6 +9,8 @@ Subcommands::
     python -m repro.cli stats   --graph g.tsv
     python -m repro.cli index   --graph g.tsv --backend full --out g.idx.json
     python -m repro.cli serve-bench --nodes 300 --requests 120 --workers 1,4
+    python -m repro.cli bench   suite --quick --out BENCH_SMOKE.json
+    python -m repro.cli bench   validate BENCH_PR4.json
     python -m repro.cli generate --family citation --nodes 1000 --out g.tsv
 
 ``--query`` accepts either DSL text (``A//B[C]``, ``graph(a:A, b:B; a-b)``)
@@ -26,7 +28,10 @@ closure/theta statistics (the offline cost of Table 2); ``index`` builds
 and saves an index (the paper's offline phase, paid once per dataset);
 ``serve-bench`` smoke-benchmarks the :mod:`repro.service` layer (warm
 plan/result caches vs a fresh engine per call, 1-N workers);
-``generate`` writes one of the synthetic workload graphs.
+``bench suite`` runs the canonical perf matrix and writes a
+machine-readable ``BENCH_*.json`` (``bench validate`` checks one against
+the schema — the CI gate); ``generate`` writes one of the synthetic
+workload graphs.
 
 With ``pip install -e .`` the same interface is exposed as the ``repro``
 console script.
@@ -169,6 +174,33 @@ def _build_parser() -> argparse.ArgumentParser:
         default="full",
     )
     serve.add_argument("--seed", type=int, default=0)
+
+    bench = sub.add_parser(
+        "bench", help="reproducible performance suite (BENCH_*.json)"
+    )
+    bsub = bench.add_subparsers(dest="bench_command", required=True)
+    bsuite = bsub.add_parser(
+        "suite",
+        help="run the fixed backends x algorithms x k matrix and write a "
+        "canonical BENCH JSON document",
+    )
+    bsuite.add_argument(
+        "--quick", action="store_true",
+        help="shrunken matrix for CI smoke runs",
+    )
+    bsuite.add_argument(
+        "--out", default="BENCH_PR4.json",
+        help="output JSON path (default: BENCH_PR4.json)",
+    )
+    bsuite.add_argument(
+        "--nodes", type=int, default=None,
+        help="override the workload graph size",
+    )
+    bsuite.add_argument("--seed", type=int, default=0)
+    bvalidate = bsub.add_parser(
+        "validate", help="check a BENCH JSON document against the schema"
+    )
+    bvalidate.add_argument("path", help="BENCH JSON document to validate")
 
     gen = sub.add_parser("generate", help="generate a synthetic data graph")
     gen.add_argument(
@@ -367,6 +399,36 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench.suite import (
+        print_suite_report,
+        run_suite,
+        validate_bench_document,
+        write_suite,
+    )
+
+    if args.bench_command == "validate":
+        import json as _json
+
+        with open(args.path, "r", encoding="utf-8") as handle:
+            document = _json.load(handle)
+        errors = validate_bench_document(document)
+        if errors:
+            for error in errors:
+                print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"ok: {args.path} ({len(document['cells'])} cells, "
+            f"commit {document['commit'][:12]})"
+        )
+        return 0
+    document = run_suite(quick=args.quick, seed=args.seed, nodes=args.nodes)
+    print_suite_report(document)
+    write_suite(args.out, document)
+    print(f"# wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_generate(args) -> int:
     if args.family == "citation":
         graph = citation_graph(args.nodes, num_labels=args.labels, seed=args.seed)
@@ -394,6 +456,7 @@ def main(argv: list[str] | None = None) -> int:
         "stats": _cmd_stats,
         "index": _cmd_index,
         "serve-bench": _cmd_serve_bench,
+        "bench": _cmd_bench,
         "generate": _cmd_generate,
     }
     try:

@@ -18,6 +18,7 @@ on-demand) to 1 (fully materialized).
 from __future__ import annotations
 
 from repro.closure.ondemand import OnDemandStore
+from repro.closure.pll import PrunedLandmarkIndex
 from repro.closure.store import ClosureStore
 from repro.closure.transitive import TransitiveClosure
 from repro.exceptions import ClosureError
@@ -49,6 +50,12 @@ class HybridStore:
             graph, closure, block_size=block_size, counter=counter
         )
         self.counter = self._materialized.counter
+        if distance_index is None:
+            # Build the cold-side 2-hop index over the closure's compact
+            # artifacts instead of re-interning the same graph twice.
+            distance_index = PrunedLandmarkIndex(
+                graph, compact=closure.compact_graph
+            )
         self._ondemand = OnDemandStore(
             graph, block_size=block_size, counter=self.counter,
             distance_index=distance_index,
@@ -148,6 +155,18 @@ class HybridStore:
         return self._graph.has_edge(tail, head)
 
     # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Uniform size/cost statistics (shared schema across backends)."""
+        materialized = self._materialized.stats()
+        ondemand = self._ondemand.stats()
+        return {
+            "pair_count": materialized["pair_count"] + ondemand["pair_count"],
+            "bytes_estimate": (
+                materialized["bytes_estimate"] + ondemand["bytes_estimate"]
+            ),
+            "build_seconds": materialized["build_seconds"],
+        }
+
     def storage_statistics(self) -> dict[str, int | float]:
         """Hot-side storage vs what a full materialization would need."""
         counts = self._materialized.closure.same_type_statistics()

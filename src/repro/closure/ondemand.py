@@ -15,6 +15,12 @@ engines consume, but computes every table lazily from the data graph:
   same backward searches (cached per node);
 * ``distance`` — answered by a pruned-landmark (2-hop) index.
 
+The searches run over the interned CSR layout of :mod:`repro.compact`:
+each cached backward result is a pair of id-sorted parallel arrays, so
+filtering to one tail label is a binary-search slice of the label's
+contiguous id range, and decoding to ``NodeId`` tuples happens at this
+API boundary only.
+
 Every materialized group/table is cached, so repeated queries against the
 same label pairs amortize like the paper's "hot lists".  Block reads are
 metered through the same counters as the materialized store, which keeps
@@ -23,11 +29,13 @@ benchmark comparisons apples-to-apples.
 
 from __future__ import annotations
 
-import heapq
-from collections import deque
+import sys
+from array import array
+from bisect import bisect_left
 from typing import Iterator
 
 from repro.closure.pll import PrunedLandmarkIndex
+from repro.compact import CompactGraph, NodeInterner
 from repro.graph.digraph import Label, LabeledDiGraph, NodeId
 from repro.storage.blocks import DEFAULT_BLOCK_SIZE, BlockTable, TableDirectory
 from repro.storage.iostats import IOCounter
@@ -49,14 +57,22 @@ class OnDemandStore:
         self._graph = graph
         self.directory = TableDirectory(counter=counter, block_size=block_size)
         self.counter = self.directory.counter
-        self._unit = graph.is_unit_weighted()
         self._pll = (
             distance_index
             if distance_index is not None
             else PrunedLandmarkIndex(graph)
         )
-        # node -> {source: distance} for all sources reaching the node.
-        self._incoming_cache: dict[NodeId, dict[NodeId, float]] = {}
+        # Reuse the 2-hop index's compact artifacts when they describe
+        # this very graph (the interner is a pure function of the graph,
+        # so sharing is safe); otherwise build our own.
+        if self._pll.graph is graph:
+            self._interner = self._pll.interner
+            self._compact = self._pll.compact_graph
+        else:  # pragma: no cover - defensive; indexes are built per graph
+            self._interner = NodeInterner.from_graph(graph)
+            self._compact = CompactGraph(graph, self._interner)
+        # head id -> (source ids ascending, distances) reaching the head.
+        self._incoming_cache: dict[int, tuple[array, array]] = {}
         # (tail_label, head_node) -> BlockTable.
         self._groups: dict[tuple[Label | None, NodeId], BlockTable] = {}
         self._e_cache: dict[tuple[Label, Label], list[EEntry]] = {}
@@ -65,41 +81,26 @@ class OnDemandStore:
     # ------------------------------------------------------------------
     # Backward search: distances from every node TO the target.
     # ------------------------------------------------------------------
-    def _incoming_distances(self, head: NodeId) -> dict[NodeId, float]:
-        cached = self._incoming_cache.get(head)
+    def _incoming_distances(self, head_id: int) -> tuple[array, array]:
+        cached = self._incoming_cache.get(head_id)
         if cached is not None:
             return cached
         self.searches_run += 1
-        graph = self._graph
-        dist: dict[NodeId, float] = {}
-        if self._unit:
-            frontier: deque[tuple[NodeId, float]] = deque(
-                (tail, w) for tail, w in graph.predecessors(head).items()
-            )
-            while frontier:
-                node, d = frontier.popleft()
-                if node in dist:
-                    continue
-                dist[node] = d
-                for tail, w in graph.predecessors(node).items():
-                    if tail not in dist:
-                        frontier.append((tail, d + w))
-        else:
-            heap: list[tuple[float, str, NodeId]] = [
-                (w, repr(tail), tail)
-                for tail, w in graph.predecessors(head).items()
-            ]
-            heapq.heapify(heap)
-            while heap:
-                d, _, node = heapq.heappop(heap)
-                if node in dist:
-                    continue
-                dist[node] = d
-                for tail, w in graph.predecessors(node).items():
-                    if tail not in dist:
-                        heapq.heappush(heap, (d + w, repr(tail), tail))
-        self._incoming_cache[head] = dist
-        return dist
+        result = self._compact.shortest_to(head_id)
+        self._incoming_cache[head_id] = result
+        return result
+
+    def _incoming_slice(
+        self, head_id: int, tail_label: Label | None
+    ) -> tuple[array, array, int, int]:
+        """The (sources, dists, lo, hi) run matching ``tail_label``."""
+        sources, dists = self._incoming_distances(head_id)
+        if tail_label is None:
+            return sources, dists, 0, len(sources)
+        id_range = self._interner.label_range(tail_label)
+        lo = bisect_left(sources, id_range.start)
+        hi = bisect_left(sources, id_range.stop)
+        return sources, dists, lo, hi
 
     # ------------------------------------------------------------------
     # Store interface
@@ -116,39 +117,55 @@ class OnDemandStore:
         table = self._groups.get(key)
         if table is not None:
             return table
-        label_of = self._graph.label
+        resolve = self._interner.resolve
+        has_edge = self._compact.has_edge
+        head_id = self._interner.get(head)
         entries: list[LEntry] = []
-        for tail, dist in self._incoming_distances(head).items():
-            if tail_label is not None and label_of(tail) != tail_label:
-                continue
-            entries.append((tail, dist, self._graph.has_edge(tail, head)))
-        entries.sort(key=lambda e: (e[1], repr(e[0])))
+        if head_id is not None:
+            sources, dists, lo, hi = self._incoming_slice(head_id, tail_label)
+            if tail_label is None:
+                # Ids interleave labels here; tie-break on repr like the
+                # materialized store's wildcard merge.
+                keyed = sorted(
+                    (dists[k], repr(resolve(sources[k])), sources[k])
+                    for k in range(lo, hi)
+                )
+                entries = [
+                    (resolve(s), d, has_edge(s, head_id)) for d, _, s in keyed
+                ]
+            else:
+                # Within one label, id order equals repr order.
+                keyed = sorted(
+                    (dists[k], sources[k]) for k in range(lo, hi)
+                )
+                entries = [
+                    (resolve(s), d, has_edge(s, head_id)) for d, s in keyed
+                ]
         table = self.directory.create(f"od-L/{tail_label!r}/{head!r}", entries)
         self._groups[key] = table
         return table
 
-    def _heads_with_label(self, head_label: Label | None) -> Iterator[NodeId]:
+    def _heads_with_label(self, head_label: Label | None) -> Iterator[int]:
         if head_label is None:
-            yield from self._graph.nodes()
+            yield from range(len(self._interner))
         else:
-            yield from sorted(self._graph.nodes_with_label(head_label), key=repr)
+            yield from self._interner.label_range(head_label)
 
     def read_d_table(
         self, tail_label: Label | None, head_label: Label | None
     ) -> dict[NodeId, float]:
         """``D^alpha_beta`` derived from backward searches (metered open)."""
         self.counter.record_open()
-        label_of = self._graph.label
+        resolve = self._interner.resolve
         result: dict[NodeId, float] = {}
-        for head in self._heads_with_label(head_label):
+        for head_id in self._heads_with_label(head_label):
+            _, dists, lo, hi = self._incoming_slice(head_id, tail_label)
             best = None
-            for tail, dist in self._incoming_distances(head).items():
-                if tail_label is not None and label_of(tail) != tail_label:
-                    continue
-                if best is None or dist < best:
-                    best = dist
+            for k in range(lo, hi):
+                if best is None or dists[k] < best:
+                    best = dists[k]
             if best is not None:
-                result[head] = best
+                result[resolve(head_id)] = best
         return result
 
     def read_pair_table(
@@ -166,14 +183,16 @@ class OnDemandStore:
         that are also data-graph edges (``/`` axis).
         """
         self.counter.record_open()
-        label_of = self._graph.label
-        for head in self._heads_with_label(head_label):
-            for tail, dist in self._incoming_distances(head).items():
-                if tail_label is not None and label_of(tail) != tail_label:
+        resolve = self._interner.resolve
+        has_edge = self._compact.has_edge
+        for head_id in self._heads_with_label(head_label):
+            sources, dists, lo, hi = self._incoming_slice(head_id, tail_label)
+            head = resolve(head_id)
+            for k in range(lo, hi):
+                source_id = sources[k]
+                if direct_only and not has_edge(source_id, head_id):
                     continue
-                if direct_only and not self._graph.has_edge(tail, head):
-                    continue
-                yield tail, head, dist
+                yield resolve(source_id), head, dists[k]
 
     def read_e_table(
         self, tail_label: Label | None, head_label: Label | None
@@ -188,21 +207,20 @@ class OnDemandStore:
             cached = self._e_cache.get((tail_label, head_label))
             if cached is not None:
                 return cached
-        label_of = self._graph.label
-        best_out: dict[NodeId, tuple[float, NodeId]] = {}
-        for head in self._heads_with_label(head_label):
-            for tail, dist in self._incoming_distances(head).items():
-                if tail_label is not None and label_of(tail) != tail_label:
-                    continue
-                best = best_out.get(tail)
-                if best is None or dist < best[0]:
-                    best_out[tail] = (dist, head)
+        resolve = self._interner.resolve
+        best_out: dict[int, tuple[float, int]] = {}
+        for head_id in self._heads_with_label(head_label):
+            sources, dists, lo, hi = self._incoming_slice(head_id, tail_label)
+            for k in range(lo, hi):
+                source_id = sources[k]
+                best = best_out.get(source_id)
+                if best is None or dists[k] < best[0]:
+                    best_out[source_id] = (dists[k], head_id)
         rows = [
-            (tail, head, dist)
-            for tail, (dist, head) in sorted(
-                best_out.items(), key=lambda kv: repr(kv[0])
-            )
+            (resolve(source_id), resolve(head_id), dist)
+            for source_id, (dist, head_id) in sorted(best_out.items())
         ]
+        rows.sort(key=lambda e: repr(e[0]))
         if tail_label is not None and head_label is not None:
             self._e_cache[(tail_label, head_label)] = rows
         return rows
@@ -228,7 +246,20 @@ class OnDemandStore:
             "nodes_with_incoming_cached": len(self._incoming_cache),
             "groups_materialized": len(self._groups),
             "cached_entries": sum(
-                len(d) for d in self._incoming_cache.values()
+                len(sources) for sources, _ in self._incoming_cache.values()
             ),
             "pll_entries": self._pll.index_size(),
+        }
+
+    def stats(self) -> dict:
+        """Uniform size/cost statistics (shared schema across backends)."""
+        cache = self.cache_statistics()
+        cache_bytes = sys.getsizeof(self._incoming_cache)
+        for sources, dists in self._incoming_cache.values():
+            # getsizeof(array) includes the allocated element buffer.
+            cache_bytes += sys.getsizeof(sources) + sys.getsizeof(dists)
+        return {
+            "pair_count": cache["cached_entries"] + cache["pll_entries"],
+            "bytes_estimate": cache_bytes + self._pll.index_bytes(),
+            "build_seconds": 0.0,
         }

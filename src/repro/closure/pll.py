@@ -7,15 +7,23 @@ et al. (SIGMOD'13) for directed graphs: every node ``v`` stores an OUT
 label (landmarks reachable from ``v``) and an IN label (landmarks that
 reach ``v``); ``dist(u, w) = min over landmarks x of OUT_u[x] + IN_w[x]``.
 
+The pruned searches run over the interned CSR layout of
+:mod:`repro.compact`; label maps are keyed by interned ints internally
+and decoded only at the public API boundary (:meth:`distance` interns
+its endpoints, :attr:`label_out`/:attr:`label_in` decode for
+persistence).
+
 Unit-weight graphs use pruned BFS; weighted graphs use pruned Dijkstra.
 """
 
 from __future__ import annotations
 
 import heapq
+import sys
 from collections import deque
 from typing import Iterable
 
+from repro.compact import CompactGraph, NodeInterner
 from repro.graph.digraph import LabeledDiGraph, NodeId
 
 _INF = float("inf")
@@ -31,33 +39,48 @@ class PrunedLandmarkIndex:
     """
 
     def __init__(
-        self, graph: LabeledDiGraph, order: Iterable[NodeId] | None = None
+        self,
+        graph: LabeledDiGraph,
+        order: Iterable[NodeId] | None = None,
+        compact: CompactGraph | None = None,
     ) -> None:
         self._graph = graph
+        if compact is not None:
+            # Share already-built compact artifacts (e.g. the hybrid
+            # store's closure CSR) — they are a pure function of the
+            # graph, so reuse is safe and halves resident CSR memory.
+            self._interner = compact.interner
+            self._compact = compact
+        else:
+            self._interner = NodeInterner.from_graph(graph)
+            self._compact = CompactGraph(graph, self._interner)
+        n = len(self._interner)
         if order is None:
-            order = sorted(
-                graph.nodes(),
-                key=lambda v: (-(graph.out_degree(v) + graph.in_degree(v)), repr(v)),
+            order_ids = sorted(
+                range(n),
+                key=lambda v: (
+                    -(self._compact.out_degree(v) + self._compact.in_degree(v)),
+                    repr(self._interner.resolve(v)),
+                ),
             )
-        self._rank = {node: i for i, node in enumerate(order)}
-        # label_out[v]: {landmark: dist(v -> landmark)}
-        self.label_out: dict[NodeId, dict[NodeId, float]] = {
-            v: {} for v in graph.nodes()
-        }
-        # label_in[v]: {landmark: dist(landmark -> v)}
-        self.label_in: dict[NodeId, dict[NodeId, float]] = {
-            v: {} for v in graph.nodes()
-        }
-        unit = graph.is_unit_weighted()
-        for landmark in order:
-            self._expand(landmark, forward=True, unit=unit)
-            self._expand(landmark, forward=False, unit=unit)
+        else:
+            order_ids = [self._interner.intern(node) for node in order]
+        self._rank = [0] * n
+        for position, node_id in enumerate(order_ids):
+            self._rank[node_id] = position
+        # _out[v]: {landmark: dist(v -> landmark)}
+        self._out: list[dict[int, float]] = [{} for _ in range(n)]
+        # _in[v]: {landmark: dist(landmark -> v)}
+        self._in: list[dict[int, float]] = [{} for _ in range(n)]
+        for landmark in order_ids:
+            self._expand(landmark, forward=True)
+            self._expand(landmark, forward=False)
 
     # ------------------------------------------------------------------
-    def _covered(self, tail: NodeId, head: NodeId) -> float:
+    def _covered(self, tail_id: int, head_id: int) -> float:
         """Distance tail -> head using labels built so far (inf if none)."""
-        out_l = self.label_out[tail]
-        in_l = self.label_in[head]
+        out_l = self._out[tail_id]
+        in_l = self._in[head_id]
         # Iterate the smaller label for speed.
         if len(out_l) > len(in_l):
             best = _INF
@@ -73,32 +96,36 @@ class PrunedLandmarkIndex:
                 best = d_out + d_in
         return best
 
-    def _neighbors(self, node: NodeId, forward: bool):
-        if forward:
-            return self._graph.successors(node).items()
-        return self._graph.predecessors(node).items()
-
-    def _expand(self, landmark: NodeId, forward: bool, unit: bool) -> None:
+    def _expand(self, landmark: int, forward: bool) -> None:
         """Pruned search from ``landmark``; fills IN (forward) or OUT labels."""
+        cgraph = self._compact
+        if forward:
+            offsets, targets, weights = (
+                cgraph.out_offsets, cgraph.out_targets, cgraph.out_weights,
+            )
+        else:
+            offsets, targets, weights = (
+                cgraph.in_offsets, cgraph.in_targets, cgraph.in_weights,
+            )
         rank_of = self._rank
         my_rank = rank_of[landmark]
-        target = self.label_in if forward else self.label_out
-        if unit:
-            frontier: deque[tuple[NodeId, float]] = deque()
-            for nxt, w in self._neighbors(landmark, forward):
-                frontier.append((nxt, w))
-            dist_of: dict[NodeId, float] = {}
+        target_labels = self._in if forward else self._out
+        if cgraph.unit_weighted:
+            frontier: deque[tuple[int, float]] = deque()
+            for k in range(offsets[landmark], offsets[landmark + 1]):
+                frontier.append((targets[k], weights[k]))
+            seen: set[int] = set()
             while frontier:
                 node, dist = frontier.popleft()
-                if node in dist_of:
+                if node in seen:
                     continue
-                dist_of[node] = dist
+                seen.add(node)
                 if node == landmark:
                     # A cycle back to the landmark: record the self distance
                     # (closure semantics count non-empty cycles) once, on the
                     # forward pass only to avoid duplication.
                     if forward:
-                        self.label_in[landmark][landmark] = dist
+                        self._in[landmark][landmark] = dist
                     continue
                 if rank_of[node] < my_rank:
                     continue  # already a landmark; its searches covered this
@@ -109,25 +136,26 @@ class PrunedLandmarkIndex:
                 )
                 if covered <= dist:
                     continue  # pruned
-                target[node][landmark] = dist
-                for nxt, w in self._neighbors(node, forward):
-                    if nxt not in dist_of:
-                        frontier.append((nxt, dist + w))
+                target_labels[node][landmark] = dist
+                for k in range(offsets[node], offsets[node + 1]):
+                    nxt = targets[k]
+                    if nxt not in seen:
+                        frontier.append((nxt, dist + weights[k]))
         else:
-            heap: list[tuple[float, int, NodeId]] = []
-            counter = 0
-            for nxt, w in self._neighbors(landmark, forward):
-                heapq.heappush(heap, (w, counter, nxt))
-                counter += 1
-            done: set[NodeId] = set()
+            heap: list[tuple[float, int]] = [
+                (weights[k], targets[k])
+                for k in range(offsets[landmark], offsets[landmark + 1])
+            ]
+            heapq.heapify(heap)
+            done: set[int] = set()
             while heap:
-                dist, _, node = heapq.heappop(heap)
+                dist, node = heapq.heappop(heap)
                 if node in done:
                     continue
                 done.add(node)
                 if node == landmark:
                     if forward:
-                        self.label_in[landmark][landmark] = dist
+                        self._in[landmark][landmark] = dist
                     continue
                 if rank_of[node] < my_rank:
                     continue
@@ -138,11 +166,11 @@ class PrunedLandmarkIndex:
                 )
                 if covered <= dist:
                     continue
-                target[node][landmark] = dist
-                for nxt, w in self._neighbors(node, forward):
+                target_labels[node][landmark] = dist
+                for k in range(offsets[node], offsets[node + 1]):
+                    nxt = targets[k]
                     if nxt not in done:
-                        heapq.heappush(heap, (dist + w, counter, nxt))
-                        counter += 1
+                        heapq.heappush(heap, (dist + weights[k], nxt))
 
     # ------------------------------------------------------------------
     @classmethod
@@ -160,14 +188,60 @@ class PrunedLandmarkIndex:
         """
         self = cls.__new__(cls)
         self._graph = graph
-        self._rank = {}
-        self.label_out = {v: {} for v in graph.nodes()}
-        self.label_in = {v: {} for v in graph.nodes()}
-        for node, labels in label_out.items():
-            self.label_out[node] = dict(labels)
-        for node, labels in label_in.items():
-            self.label_in[node] = dict(labels)
+        self._interner = NodeInterner.from_graph(graph)
+        self._compact = CompactGraph(graph, self._interner)
+        n = len(self._interner)
+        self._rank = [0] * n
+        self._out = [{} for _ in range(n)]
+        self._in = [{} for _ in range(n)]
+        intern = self._interner.get
+        for target, source in ((self._out, label_out), (self._in, label_in)):
+            for node, labels in source.items():
+                node_id = intern(node)
+                if node_id is None:
+                    continue
+                target[node_id] = {
+                    intern(lm): float(d)
+                    for lm, d in labels.items()
+                    if intern(lm) is not None
+                }
         return self
+
+    # ------------------------------------------------------------------
+    # Public surface (NodeId vocabulary)
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> LabeledDiGraph:
+        """The data graph this index was built over."""
+        return self._graph
+
+    @property
+    def interner(self) -> NodeInterner:
+        """The ``NodeId <-> int`` mapping (shared with the lazy stores)."""
+        return self._interner
+
+    @property
+    def compact_graph(self) -> CompactGraph:
+        """The CSR snapshot the pruned searches ran over."""
+        return self._compact
+
+    @property
+    def label_out(self) -> dict[NodeId, dict[NodeId, float]]:
+        """Decoded OUT labels per node (persistence/introspection)."""
+        resolve = self._interner.resolve
+        return {
+            resolve(v): {resolve(lm): d for lm, d in labels.items()}
+            for v, labels in enumerate(self._out)
+        }
+
+    @property
+    def label_in(self) -> dict[NodeId, dict[NodeId, float]]:
+        """Decoded IN labels per node (persistence/introspection)."""
+        resolve = self._interner.resolve
+        return {
+            resolve(v): {resolve(lm): d for lm, d in labels.items()}
+            for v, labels in enumerate(self._in)
+        }
 
     def distance(self, tail: NodeId, head: NodeId) -> float | None:
         """Shortest distance via the 2-hop cover (``None`` if unreachable).
@@ -175,9 +249,15 @@ class PrunedLandmarkIndex:
         Matches the closure semantics: only non-empty paths count, so a
         node is at distance ``None`` from itself unless it lies on a cycle.
         """
+        tail_id = self._interner.get(tail)
+        head_id = self._interner.get(head)
+        if tail_id is None:
+            raise KeyError(tail)
+        if head_id is None:
+            raise KeyError(head)
         best = _INF
-        out_l = self.label_out[tail]
-        in_l = self.label_in[head]
+        out_l = self._out[tail_id]
+        in_l = self._in[head_id]
         if len(out_l) > len(in_l):
             for landmark, d_in in in_l.items():
                 d_out = out_l.get(landmark)
@@ -189,16 +269,35 @@ class PrunedLandmarkIndex:
                 if d_in is not None and d_out + d_in < best:
                     best = d_out + d_in
         # Direct label hits: landmark == endpoint.
-        d = in_l.get(tail)
+        d = in_l.get(tail_id)
         if d is not None and d < best:
             best = d
-        d = out_l.get(head)
+        d = out_l.get(head_id)
         if d is not None and d < best:
             best = d
         return None if best == _INF else best
 
     def index_size(self) -> int:
         """Total number of label entries (the space cost of the index)."""
-        return sum(len(l) for l in self.label_out.values()) + sum(
-            len(l) for l in self.label_in.values()
+        return sum(len(labels) for labels in self._out) + sum(
+            len(labels) for labels in self._in
         )
+
+    def index_bytes(self) -> int:
+        """Measured resident bytes of the label maps (containers + boxed
+        distance values; interned int keys are shared and not counted)."""
+        total = 0
+        for side in (self._out, self._in):
+            total += sys.getsizeof(side)
+            for labels in side:
+                total += sys.getsizeof(labels)
+                total += sum(sys.getsizeof(d) for d in labels.values())
+        return total
+
+    def stats(self) -> dict:
+        """Uniform size/cost statistics (shared schema across backends)."""
+        return {
+            "pair_count": self.index_size(),
+            "bytes_estimate": self.index_bytes(),
+            "build_seconds": 0.0,
+        }

@@ -17,6 +17,15 @@ For every pair of labels ``alpha, beta`` the store keeps:
   minimum-distance outgoing closure edge to a ``beta`` node (the paper's
   ``E_v`` entries, regrouped by label pair).
 
+Physically each ``L^alpha_beta`` table is *one* flat distance-sorted run
+of parallel typed arrays (interned tail ids, distances, direct flags)
+with per-node group offsets: opening ``L^alpha_v`` is an O(1) binary
+search + slice bound, and entry tuples are decoded per block read, not
+materialized at build time.  The ``D`` table is implicit — ``d^alpha_v``
+is the first (minimum) distance of ``v``'s group run.  External callers
+see ``NodeId`` tuples exactly as before: decoding happens at this API
+boundary (DESIGN.md, "The interned-ID boundary contract").
+
 All reads go through the metered block layer so algorithms can be compared
 by blocks touched, and wildcard lookups (label ``None``) merge across the
 corresponding label dimension.
@@ -24,12 +33,20 @@ corresponding label dimension.
 
 from __future__ import annotations
 
+import sys
+from array import array
+from bisect import bisect_left
 from typing import Iterator
 
 from repro.closure.transitive import TransitiveClosure
 from repro.exceptions import ClosureError
 from repro.graph.digraph import Label, LabeledDiGraph, NodeId
-from repro.storage.blocks import DEFAULT_BLOCK_SIZE, BlockTable, TableDirectory
+from repro.storage.blocks import (
+    DEFAULT_BLOCK_SIZE,
+    BlockTable,
+    LazyBlockTable,
+    TableDirectory,
+)
 from repro.storage.iostats import IOCounter
 
 #: Entry of an ``L`` group: (tail node, shortest distance, is direct edge).
@@ -44,6 +61,72 @@ def _fmt(label: Label) -> str:
     return repr(label)
 
 
+class _PairTable:
+    """Columnar ``L^alpha_beta`` + ``E^alpha_beta`` for one label pair.
+
+    ``tails``/``dists``/``direct`` hold every entry of the table, grouped
+    by head node (heads ascending by interned id) and distance-sorted
+    within each group; ``offsets[j]:offsets[j+1]`` bounds the group of
+    ``heads[j]``.  ``e_*`` hold the per-source minimum outgoing edge.
+    """
+
+    __slots__ = (
+        "tails", "dists", "direct", "heads", "offsets",
+        "e_tails", "e_heads", "e_dists",
+    )
+
+    def __init__(self, entries: list[tuple[int, float, int, int]]) -> None:
+        # entries: (head, dist, tail, is_direct), sorted by (head, dist, tail).
+        self.tails = array("i", (e[2] for e in entries))
+        self.dists = array("d", (e[1] for e in entries))
+        self.direct = bytearray(e[3] for e in entries)
+        self.heads = array("i")
+        self.offsets = array("i")
+        best_out: dict[int, tuple[float, int]] = {}
+        previous_head = None
+        for position, (head, dist, tail, _) in enumerate(entries):
+            if head != previous_head:
+                self.heads.append(head)
+                self.offsets.append(position)
+                previous_head = head
+            candidate = (dist, head)
+            current = best_out.get(tail)
+            if current is None or candidate < current:
+                best_out[tail] = candidate
+        self.offsets.append(len(self.tails))
+        self.e_tails = array("i", sorted(best_out))
+        self.e_dists = array("d", (best_out[t][0] for t in self.e_tails))
+        self.e_heads = array("i", (best_out[t][1] for t in self.e_tails))
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.tails)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.heads)
+
+    def group_bounds(self, head_id: int) -> tuple[int, int] | None:
+        """The ``[start, stop)`` run of ``head_id``'s group, or ``None``."""
+        j = bisect_left(self.heads, head_id)
+        if j < len(self.heads) and self.heads[j] == head_id:
+            return self.offsets[j], self.offsets[j + 1]
+        return None
+
+    def bytes_resident(self) -> int:
+        """Measured resident bytes of all typed buffers."""
+        return (
+            sys.getsizeof(self.tails)
+            + sys.getsizeof(self.dists)
+            + sys.getsizeof(self.direct)
+            + sys.getsizeof(self.heads)
+            + sys.getsizeof(self.offsets)
+            + sys.getsizeof(self.e_tails)
+            + sys.getsizeof(self.e_heads)
+            + sys.getsizeof(self.e_dists)
+        )
+
+
 class ClosureStore:
     """Metered, block-organized view of a transitive closure."""
 
@@ -56,19 +139,14 @@ class ClosureStore:
     ) -> None:
         self._graph = graph
         self._closure = closure
+        self._interner = closure.interner
         self.directory = TableDirectory(counter=counter, block_size=block_size)
         self.counter = self.directory.counter
 
-        # (tail_label, head_node) -> BlockTable of LEntry, distance-sorted.
-        self._groups: dict[tuple[Label, NodeId], BlockTable] = {}
-        # (tail_label, head_label) -> sorted list of head nodes with groups.
-        self._targets_by_pair: dict[tuple[Label, Label], list[NodeId]] = {}
-        # head node -> set of tail labels with a non-empty group.
-        self._tail_labels_of: dict[NodeId, set[Label]] = {}
-        # (tail_label, head_label) -> D table.
-        self._d_tables: dict[tuple[Label, Label], BlockTable] = {}
-        # (tail_label, head_label) -> E table.
-        self._e_tables: dict[tuple[Label, Label], BlockTable] = {}
+        # (tail_label, head_label) -> columnar pair table.
+        self._pair_tables: dict[tuple[Label, Label], _PairTable] = {}
+        # head id -> set of tail labels with a non-empty group.
+        self._tail_labels_of: dict[int, set[Label]] = {}
 
         self._build()
 
@@ -87,47 +165,51 @@ class ClosureStore:
         return cls(graph, closure, block_size=block_size, counter=counter)
 
     def _build(self) -> None:
-        label = self._graph.label
-        incoming: dict[tuple[Label, NodeId], list[LEntry]] = {}
-        best_out: dict[tuple[NodeId, Label], tuple[float, NodeId]] = {}
-        for tail, head, dist in self._closure.pairs():
-            tail_label = label(tail)
-            head_label = label(head)
-            is_direct = self._graph.has_edge(tail, head)
-            incoming.setdefault((tail_label, head), []).append(
-                (tail, dist, is_direct)
-            )
-            out_key = (tail, head_label)
-            best = best_out.get(out_key)
-            if best is None or dist < best[0]:
-                best_out[out_key] = (dist, head)
-
-        d_rows: dict[tuple[Label, Label], list[DEntry]] = {}
-        for (tail_label, head), entries in incoming.items():
-            entries.sort(key=lambda e: (e[1], repr(e[0])))
-            name = f"L/{_fmt(tail_label)}/{_fmt(label(head))}/{head!r}"
-            self._groups[(tail_label, head)] = self.directory.create(name, entries)
-            head_label = label(head)
-            pair = (tail_label, head_label)
-            self._targets_by_pair.setdefault(pair, []).append(head)
-            self._tail_labels_of.setdefault(head, set()).add(tail_label)
-            d_rows.setdefault(pair, []).append((head, entries[0][1]))
-
-        for pair, rows in self._targets_by_pair.items():
-            rows.sort(key=repr)
-        for pair, rows in d_rows.items():
-            rows.sort(key=lambda e: repr(e[0]))
-            name = f"D/{_fmt(pair[0])}/{_fmt(pair[1])}"
-            self._d_tables[pair] = self.directory.create(name, rows)
-
-        e_rows: dict[tuple[Label, Label], list[EEntry]] = {}
-        for (tail, head_label), (dist, head) in best_out.items():
-            pair = (label(tail), head_label)
-            e_rows.setdefault(pair, []).append((tail, head, dist))
-        for pair, rows in e_rows.items():
-            rows.sort(key=lambda e: repr(e[0]))
-            name = f"E/{_fmt(pair[0])}/{_fmt(pair[1])}"
-            self._e_tables[pair] = self.directory.create(name, rows)
+        interner = self._interner
+        cgraph = self._closure.compact_graph
+        rows = self._closure.rows
+        label_of = interner.label_of
+        out_offsets, out_targets = cgraph.out_offsets, cgraph.out_targets
+        ranges = list(interner.label_ranges())
+        # Pure integer sort keys end to end: (head, dist, tail) — within a
+        # label, id order equals the repr order the dict layout sorted by.
+        buckets: dict[tuple[Label, Label], list[tuple[int, float, int, int]]] = {}
+        for source_id in rows.sources():
+            targets, dists = rows.row(source_id)
+            row_len = len(targets)
+            if not row_len:
+                continue
+            alpha = label_of(source_id)
+            # Direct-edge flags for the whole row in one merge walk: both
+            # the row targets and the CSR out-neighbors are id-sorted.
+            flags = bytearray(row_len)
+            walk = out_offsets[source_id]
+            out_hi = out_offsets[source_id + 1]
+            for k in range(row_len):
+                target_id = targets[k]
+                while walk < out_hi and out_targets[walk] < target_id:
+                    walk += 1
+                if walk < out_hi and out_targets[walk] == target_id:
+                    flags[k] = 1
+            for beta, id_range in ranges:
+                lo = bisect_left(targets, id_range.start)
+                hi = bisect_left(targets, id_range.stop)
+                if hi <= lo:
+                    continue
+                buckets.setdefault((alpha, beta), []).extend(
+                    zip(
+                        targets[lo:hi],
+                        dists[lo:hi],
+                        (source_id,) * (hi - lo),
+                        flags[lo:hi],
+                    )
+                )
+        for pair, bucket in buckets.items():
+            bucket.sort()
+            table = _PairTable(bucket)
+            self._pair_tables[pair] = table
+            for head_id in table.heads:
+                self._tail_labels_of.setdefault(head_id, set()).add(pair[0])
 
     # ------------------------------------------------------------------
     # Structural lookups (directory metadata, unmetered)
@@ -145,7 +227,11 @@ class ClosureStore:
     def _pairs_matching(
         self, tail_label: Label | None, head_label: Label | None
     ) -> Iterator[tuple[Label, Label]]:
-        for pair in self._targets_by_pair:
+        if tail_label is not None and head_label is not None:
+            if (tail_label, head_label) in self._pair_tables:
+                yield (tail_label, head_label)
+            return
+        for pair in self._pair_tables:
             if tail_label is not None and pair[0] != tail_label:
                 continue
             if head_label is not None and pair[1] != head_label:
@@ -160,38 +246,82 @@ class ClosureStore:
         ``None`` on either side acts as a wildcard and merges the matching
         tables (Section 5 wildcard support).
         """
+        resolve = self._interner.resolve
         if tail_label is not None and head_label is not None:
-            return list(self._targets_by_pair.get((tail_label, head_label), ()))
-        seen: set[NodeId] = set()
+            table = self._pair_tables.get((tail_label, head_label))
+            if table is None:
+                return []
+            return [resolve(head_id) for head_id in table.heads]
+        seen: set[int] = set()
         for pair in self._pairs_matching(tail_label, head_label):
-            seen.update(self._targets_by_pair[pair])
-        return sorted(seen, key=repr)
+            seen.update(self._pair_tables[pair].heads)
+        return sorted((resolve(head_id) for head_id in seen), key=repr)
 
     def tail_labels_of(self, head: NodeId) -> frozenset[Label]:
         """Tail labels with a non-empty incoming group into ``head``."""
-        return frozenset(self._tail_labels_of.get(head, ()))
+        head_id = self._interner.get(head)
+        if head_id is None:
+            return frozenset()
+        return frozenset(self._tail_labels_of.get(head_id, ()))
 
     # ------------------------------------------------------------------
     # Metered reads
     # ------------------------------------------------------------------
+    def _group_fetch(self, table: _PairTable, base: int):
+        """Decode closure entries for one group slice (per block read)."""
+        resolve = self._interner.resolve
+        tails, dists, direct = table.tails, table.dists, table.direct
+
+        def fetch(start: int, stop: int) -> tuple[LEntry, ...]:
+            return tuple(
+                (resolve(tails[k]), dists[k], bool(direct[k]))
+                for k in range(base + start, base + stop)
+            )
+
+        return fetch
+
     def incoming_group(self, head: NodeId, tail_label: Label | None) -> BlockTable:
         """Open the ``L^alpha_v`` group for node ``head`` (metered open).
 
-        With ``tail_label=None`` (wildcard parent) the groups for every tail
+        With a concrete tail label this is an O(1) slice bound into the
+        flat pair table; entries decode per block read.  With
+        ``tail_label=None`` (wildcard parent) the groups for every tail
         label are merged into one distance-sorted virtual table.
         """
         self.counter.record_open()
+        head_id = self._interner.get(head)
         if tail_label is not None:
-            table = self._groups.get((tail_label, head))
-            if table is not None:
-                return table
-            return BlockTable(
-                f"L/{_fmt(tail_label)}/?/{head!r}", (), self.counter,
+            bounds = None
+            if head_id is not None:
+                table = self._pair_tables.get(
+                    (tail_label, self._interner.label_of(head_id))
+                )
+                if table is not None:
+                    bounds = table.group_bounds(head_id)
+            if bounds is None:
+                return BlockTable(
+                    f"L/{_fmt(tail_label)}/?/{head!r}", (), self.counter,
+                    self.directory.block_size,
+                )
+            start, stop = bounds
+            name = (
+                f"L/{_fmt(tail_label)}/{_fmt(self._graph.label(head))}/{head!r}"
+            )
+            return LazyBlockTable(
+                name,
+                stop - start,
+                self._group_fetch(table, start),
+                self.counter,
                 self.directory.block_size,
             )
         merged: list[LEntry] = []
-        for alpha in self._tail_labels_of.get(head, ()):
-            merged.extend(self._groups[(alpha, head)].peek_unmetered())
+        if head_id is not None:
+            for alpha in self._tail_labels_of.get(head_id, ()):
+                table = self._pair_tables[
+                    (alpha, self._interner.label_of(head_id))
+                ]
+                start, stop = table.group_bounds(head_id)
+                merged.extend(self._group_fetch(table, start)(0, stop - start))
         merged.sort(key=lambda e: (e[1], repr(e[0])))
         return BlockTable(
             f"L/*/{head!r}", merged, self.counter, self.directory.block_size
@@ -210,29 +340,57 @@ class ClosureStore:
         filters to closure edges that are also data-graph edges (``/``
         axis).
         """
+        nodes = self._interner.nodes()
+        block_size = self.directory.block_size
+        record_read = self.counter.record_read
         for pair in self._pairs_matching(tail_label, head_label):
             self.counter.record_open()
-            for head in self._targets_by_pair[pair]:
-                table = self._groups[(pair[0], head)]
-                for block in table.iter_blocks():
-                    for tail, dist, is_direct in block:
-                        if direct_only and not is_direct:
-                            continue
-                        yield tail, head, dist
+            table = self._pair_tables[pair]
+            tails, dists, direct = table.tails, table.dists, table.direct
+            for j in range(table.num_groups):
+                head = nodes[table.heads[j]]
+                name = f"L/{_fmt(pair[0])}/{_fmt(pair[1])}/{head!r}"
+                position = table.offsets[j]
+                stop = table.offsets[j + 1]
+                while position < stop:
+                    chunk_end = min(position + block_size, stop)
+                    record_read(name, chunk_end - position)
+                    if direct_only:
+                        for tail_id, dist, flag in zip(
+                            tails[position:chunk_end],
+                            dists[position:chunk_end],
+                            direct[position:chunk_end],
+                        ):
+                            if flag:
+                                yield nodes[tail_id], head, dist
+                    else:
+                        for tail_id, dist in zip(
+                            tails[position:chunk_end], dists[position:chunk_end]
+                        ):
+                            yield nodes[tail_id], head, dist
+                    position = chunk_end
 
     def read_d_table(
         self, tail_label: Label | None, head_label: Label | None
     ) -> dict[NodeId, float]:
         """Read ``D^alpha_beta`` (metered): node -> min incoming distance.
 
-        Wildcards merge tables by taking the minimum per node.
+        The ``D`` value of a node is the first (minimum) distance of its
+        group run.  Wildcards merge tables by taking the minimum per node.
         """
+        resolve = self._interner.resolve
+        block_size = self.directory.block_size
         result: dict[NodeId, float] = {}
         for pair in self._pairs_matching(tail_label, head_label):
-            table = self._d_tables[pair]
+            table = self._pair_tables[pair]
             self.counter.record_open()
-            for block in table.iter_blocks():
-                for node, dist in block:
+            name = f"D/{_fmt(pair[0])}/{_fmt(pair[1])}"
+            for start in range(0, table.num_groups, block_size):
+                chunk_end = min(start + block_size, table.num_groups)
+                self.counter.record_read(name, chunk_end - start)
+                for j in range(start, chunk_end):
+                    node = resolve(table.heads[j])
+                    dist = table.dists[table.offsets[j]]
                     best = result.get(node)
                     if best is None or dist < best:
                         result[node] = dist
@@ -246,15 +404,23 @@ class ClosureStore:
         With a wildcard head label, each source keeps its overall minimum
         outgoing closure edge.
         """
+        resolve = self._interner.resolve
+        block_size = self.directory.block_size
         merged: dict[NodeId, tuple[float, NodeId]] = {}
         for pair in self._pairs_matching(tail_label, head_label):
-            table = self._e_tables[pair]
+            table = self._pair_tables[pair]
             self.counter.record_open()
-            for block in table.iter_blocks():
-                for tail, head, dist in block:
+            name = f"E/{_fmt(pair[0])}/{_fmt(pair[1])}"
+            count = len(table.e_tails)
+            for start in range(0, count, block_size):
+                chunk_end = min(start + block_size, count)
+                self.counter.record_read(name, chunk_end - start)
+                for k in range(start, chunk_end):
+                    tail = resolve(table.e_tails[k])
+                    dist = table.e_dists[k]
                     best = merged.get(tail)
                     if best is None or dist < best[0]:
-                        merged[tail] = (dist, head)
+                        merged[tail] = (dist, resolve(table.e_heads[k]))
         return [
             (tail, head, dist)
             for tail, (dist, head) in sorted(merged.items(), key=lambda kv: repr(kv[0]))
@@ -276,19 +442,20 @@ class ClosureStore:
     # ------------------------------------------------------------------
     def size_statistics(self) -> dict[str, int]:
         """Entry/block counts by table family, for the Table 2 report."""
+        block_size = self.directory.block_size
         stats = {
             "l_entries": 0,
             "l_blocks": 0,
             "d_entries": 0,
             "e_entries": 0,
         }
-        for table in self._groups.values():
+        for table in self._pair_tables.values():
             stats["l_entries"] += table.num_entries
-            stats["l_blocks"] += table.num_blocks
-        for table in self._d_tables.values():
-            stats["d_entries"] += table.num_entries
-        for table in self._e_tables.values():
-            stats["e_entries"] += table.num_entries
+            for j in range(table.num_groups):
+                group_len = table.offsets[j + 1] - table.offsets[j]
+                stats["l_blocks"] += (group_len + block_size - 1) // block_size
+            stats["d_entries"] += table.num_groups
+            stats["e_entries"] += len(table.e_tails)
         stats["total_entries"] = (
             stats["l_entries"] + stats["d_entries"] + stats["e_entries"]
         )
@@ -299,3 +466,17 @@ class ClosureStore:
         if bytes_per_entry <= 0:
             raise ClosureError("bytes_per_entry must be positive")
         return self.size_statistics()["total_entries"] * bytes_per_entry
+
+    def bytes_resident(self) -> int:
+        """Measured in-memory bytes of the columnar table buffers."""
+        return sum(
+            table.bytes_resident() for table in self._pair_tables.values()
+        )
+
+    def stats(self) -> dict:
+        """Uniform size/cost statistics (shared schema across backends)."""
+        return {
+            "pair_count": self._closure.num_pairs,
+            "bytes_estimate": self.bytes_resident(),
+            "build_seconds": self._closure.build_seconds,
+        }

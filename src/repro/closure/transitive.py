@@ -3,17 +3,71 @@
 ``Gc`` has an edge ``(v, v')`` iff a non-empty directed path runs from
 ``v`` to ``v'`` in ``G``; its weight is the shortest such distance.  We
 compute it with one BFS (unit weights) or Dijkstra (general positive
-weights) per source node — the ``O(n_G * m_G)`` method the paper cites.
+weights) per source node — the ``O(n_G * m_G)`` method the paper cites —
+running over the CSR layout of :mod:`repro.compact` and storing each row
+as parallel id-sorted ``(target, dist)`` arrays instead of nested dicts.
+
+External callers keep the ``NodeId`` vocabulary: every public method
+interns/decodes at the call boundary (see DESIGN.md, "The interned-ID
+boundary contract"), so semantics are unchanged while a closure pair
+costs ~12 bytes instead of a dict entry.
 """
 
 from __future__ import annotations
 
 import time
+from array import array
+from bisect import bisect_left
+from collections.abc import Mapping as MappingABC
 from typing import Iterable, Iterator, Mapping
 
+from repro.compact import ClosureRows, CompactGraph, NodeInterner
 from repro.exceptions import ClosureError
 from repro.graph.digraph import Label, LabeledDiGraph, NodeId
-from repro.graph.traversal import single_source_distances
+
+
+class _RowView(MappingABC):
+    """Read-only ``{target: dist}`` view over one array-backed row."""
+
+    __slots__ = ("_interner", "_targets", "_dists")
+
+    def __init__(self, interner: NodeInterner, targets: array, dists: array) -> None:
+        self._interner = interner
+        self._targets = targets
+        self._dists = dists
+
+    def __getitem__(self, node: NodeId) -> float:
+        node_id = self._interner.get(node)
+        if node_id is not None:
+            targets = self._targets
+            k = bisect_left(targets, node_id)
+            if k < len(targets) and targets[k] == node_id:
+                return self._dists[k]
+        raise KeyError(node)
+
+    def __iter__(self) -> Iterator[NodeId]:
+        resolve = self._interner.resolve
+        return (resolve(t) for t in self._targets)
+
+    def __len__(self) -> int:
+        return len(self._targets)
+
+    # O(n) bulk accessors over the parallel arrays — the Mapping mixins
+    # would re-intern and binary-search per key.
+    def items(self):
+        resolve = self._interner.resolve
+        return [
+            (resolve(t), d) for t, d in zip(self._targets, self._dists)
+        ]
+
+    def values(self):
+        return list(self._dists)
+
+    def get(self, node: NodeId, default=None):
+        try:
+            return self[node]
+        except KeyError:
+            return default
 
 
 class TransitiveClosure:
@@ -34,21 +88,43 @@ class TransitiveClosure:
         self, graph: LabeledDiGraph, sources: Iterable[NodeId] | None = None
     ) -> None:
         self._graph = graph
+        # Materializing the source list is the caller's workload-analysis
+        # cost, not closure construction — keep it out of build_seconds.
+        expand = list(sources) if sources is not None else None
         started = time.perf_counter()
-        unit = graph.is_unit_weighted()
-        expand = list(sources) if sources is not None else list(graph.nodes())
-        self._dist: dict[NodeId, dict[NodeId, float]] = {}
-        pair_count = 0
-        for source in expand:
-            reached = single_source_distances(graph, source, unit_weights=unit)
-            self._dist[source] = reached
-            pair_count += len(reached)
-        self._num_pairs = pair_count
+        self._interner = NodeInterner.from_graph(graph)
+        self._compact = CompactGraph(graph, self._interner)
+        if expand is None:
+            self._rows = ClosureRows.build(self._compact)
+        else:
+            self._rows = ClosureRows.build(
+                self._compact, (self._interner.intern(s) for s in expand)
+            )
         self.build_seconds = time.perf_counter() - started
         self._partial = sources is not None
         self._type_counts: dict[tuple[Label, Label], int] | None = None
 
     # ------------------------------------------------------------------
+    @classmethod
+    def _from_rows(
+        cls,
+        graph: LabeledDiGraph,
+        interner: NodeInterner,
+        compact: CompactGraph,
+        rows: ClosureRows,
+        partial: bool = False,
+    ) -> "TransitiveClosure":
+        """Adopt already-built compact artifacts (refresh/persistence)."""
+        self = cls.__new__(cls)
+        self._graph = graph
+        self._interner = interner
+        self._compact = compact
+        self._rows = rows
+        self.build_seconds = 0.0
+        self._partial = partial
+        self._type_counts = None
+        return self
+
     @classmethod
     def from_distances(
         cls,
@@ -61,23 +137,20 @@ class TransitiveClosure:
 
         Used by index persistence (:mod:`repro.engine`): the shortest-path
         computation — the expensive offline phase — is skipped entirely and
-        ``build_seconds`` is reported as 0.  ``_share_rows`` adopts the
-        given row dicts by reference instead of copying — only for
-        callers that guarantee the rows are never mutated afterwards
-        (:meth:`refreshed`, whose carried-over rows belong to immutable
-        closures).
+        ``build_seconds`` is reported as 0.  ``_share_rows`` is retained
+        for API compatibility; rows are always re-encoded into the
+        array-backed layout (sharing now happens structurally, one
+        immutable array pair per row).
         """
-        self = cls.__new__(cls)
-        self._graph = graph
-        if _share_rows:
-            self._dist = dict(distances)
-        else:
-            self._dist = {tail: dict(row) for tail, row in distances.items()}
-        self._num_pairs = sum(len(row) for row in self._dist.values())
-        self.build_seconds = 0.0
-        self._partial = partial
-        self._type_counts = None
-        return self
+        interner = NodeInterner.from_graph(graph)
+        compact = CompactGraph(graph, interner)
+        interned: dict[int, dict[int, float]] = {}
+        for tail, row in distances.items():
+            interned[interner.intern(tail)] = {
+                interner.intern(head): float(dist) for head, dist in row.items()
+            }
+        rows = ClosureRows.from_interned_mapping(interned)
+        return cls._from_rows(graph, interner, compact, rows, partial=partial)
 
     def refreshed(
         self,
@@ -90,8 +163,9 @@ class TransitiveClosure:
         edge.  A shortest path from ``s`` can only change if it runs
         through a changed edge, which requires ``s`` to reach that edge's
         tail — so only rows that contain a changed tail (or belong to one)
-        are recomputed; every other row carries over verbatim.  New nodes
-        of ``graph`` get fresh rows.
+        are recomputed; every other row carries over verbatim (the arrays
+        are immutable and shared, not copied).  New nodes of ``graph`` get
+        fresh rows.
 
         Returns ``(closure, rows_recomputed, affected_labels)`` where
         ``affected_labels`` is the set of labels of nodes involved in any
@@ -106,81 +180,128 @@ class TransitiveClosure:
                 "rebuild from the declared source set"
             )
         changed = set(changed_tails)
-        unit = graph.is_unit_weighted()
+        new_interner = NodeInterner.from_graph(graph)
+        new_compact = CompactGraph(graph, new_interner)
+        old_interner = self._interner
+        same_universe = old_interner.same_universe(new_interner)
+        changed_old = {old_interner.get(t) for t in changed}
+        changed_old.discard(None)
+        old_to_new: list[int | None] | None = None
+        if not same_universe:
+            old_to_new = [new_interner.get(n) for n in old_interner.nodes()]
         label = graph.label
-        distances: dict[NodeId, dict[NodeId, float]] = {}
+        rows: dict[int, tuple[array, array]] = {}
         recomputed = 0
         affected: set = set()
-        for source in graph.nodes():
-            old_row = self._dist.get(source)
-            if (
-                old_row is not None
-                and source not in changed
-                and not changed & old_row.keys()
-            ):
-                distances[source] = old_row
-                continue
-            new_row = single_source_distances(graph, source, unit_weights=unit)
-            distances[source] = new_row
+        for source_id in range(len(new_interner)):
+            node = new_interner.resolve(source_id)
+            old_id = old_interner.get(node)
+            old_row = self._rows.row(old_id) if old_id is not None else None
+            if old_row is not None and old_id not in changed_old:
+                targets, _ = old_row
+                if not any(t in changed_old for t in targets):
+                    carried = (
+                        old_row
+                        if same_universe
+                        else _remap_row(old_row, old_to_new)
+                    )
+                    if carried is not None:
+                        rows[source_id] = carried
+                        continue
+            new_row = new_compact.shortest_from(source_id)
+            rows[source_id] = new_row
             recomputed += 1
-            if old_row != new_row:
-                affected.add(label(source))
-                old_row = old_row or {}
-                for head in old_row.keys() | new_row.keys():
-                    if old_row.get(head) != new_row.get(head):
+            old_decoded = (
+                _decode_row(old_interner, old_row)
+                if old_row is not None
+                else None
+            )
+            new_decoded = _decode_row(new_interner, new_row)
+            if old_decoded != new_decoded:
+                affected.add(label(node))
+                old_decoded = old_decoded or {}
+                for head in old_decoded.keys() | new_decoded.keys():
+                    if old_decoded.get(head) != new_decoded.get(head):
                         # A removed head may have left the graph entirely;
                         # updates are edge-level, so it has not — but stay
                         # defensive and skip labels of vanished nodes.
                         if head in graph:
                             affected.add(label(head))
         return (
-            TransitiveClosure.from_distances(graph, distances, _share_rows=True),
+            TransitiveClosure._from_rows(
+                graph, new_interner, new_compact, ClosureRows(rows)
+            ),
             recomputed,
             frozenset(affected),
         )
 
+    # ------------------------------------------------------------------
     @property
     def graph(self) -> LabeledDiGraph:
         """The underlying data graph."""
         return self._graph
 
     @property
+    def interner(self) -> NodeInterner:
+        """The ``NodeId <-> int`` mapping this closure is encoded with."""
+        return self._interner
+
+    @property
+    def compact_graph(self) -> CompactGraph:
+        """The CSR snapshot of the data graph (shared with the store)."""
+        return self._compact
+
+    @property
+    def rows(self) -> ClosureRows:
+        """The interned array-backed rows (for the columnar store layer)."""
+        return self._rows
+
+    @property
     def num_pairs(self) -> int:
         """Number of closure edges (``|Ec|``) — the Table 2 size statistic."""
-        return self._num_pairs
+        return self._rows.num_pairs
 
     @property
     def is_partial(self) -> bool:
         """True when built from a restricted source set."""
         return self._partial
 
+    def sources(self) -> Iterator[NodeId]:
+        """Iterate the closure sources (all graph nodes unless partial)."""
+        resolve = self._interner.resolve
+        return (resolve(s) for s in self._rows.sources())
+
     def distance(self, tail: NodeId, head: NodeId) -> float | None:
         """``delta_min(tail, head)`` or ``None`` when ``head`` is unreachable."""
-        row = self._dist.get(tail)
-        if row is None:
+        tail_id = self._interner.get(tail)
+        if tail_id is None or tail_id not in self._rows:
             if self._partial:
                 raise ClosureError(
                     f"node {tail!r} was not a closure source (partial closure)"
                 )
             return None
-        return row.get(head)
+        head_id = self._interner.get(head)
+        if head_id is None:
+            return None
+        return self._rows.get(tail_id, head_id)
 
     def successors(self, tail: NodeId) -> Mapping[NodeId, float]:
         """All closure successors of ``tail`` with their distances."""
-        row = self._dist.get(tail)
+        tail_id = self._interner.get(tail)
+        row = self._rows.row(tail_id) if tail_id is not None else None
         if row is None:
             if self._partial and tail in self._graph:
                 raise ClosureError(
                     f"node {tail!r} was not a closure source (partial closure)"
                 )
             return {}
-        return row
+        return _RowView(self._interner, row[0], row[1])
 
     def pairs(self) -> Iterator[tuple[NodeId, NodeId, float]]:
         """Iterate all closure triples ``(tail, head, distance)``."""
-        for tail, row in self._dist.items():
-            for head, dist in row.items():
-                yield tail, head, dist
+        resolve = self._interner.resolve
+        for source_id, target_id, dist in self._rows.pairs():
+            yield resolve(source_id), resolve(target_id), dist
 
     def pairs_with_labels(
         self,
@@ -195,14 +316,26 @@ class TransitiveClosure:
 
         Two closure edges have the same *type* when their endpoint labels
         agree; ``theta`` is the average count per type and drives the
-        average-case bound ``m_R = theta * n_T`` (Section 1/3.1).  The scan
-        over all closure pairs is memoized (the closure is immutable).
+        average-case bound ``m_R = theta * n_T`` (Section 1/3.1).  Counts
+        come straight from the id-sorted rows: each label's targets form
+        one contiguous run found by binary search.  Memoized (the closure
+        is immutable).
         """
         if self._type_counts is None:
             counts: dict[tuple[Label, Label], int] = {}
-            for _, tail_label, __, head_label, ___ in self.pairs_with_labels():
-                key = (tail_label, head_label)
-                counts[key] = counts.get(key, 0) + 1
+            label_of = self._interner.label_of
+            ranges = list(self._interner.label_ranges())
+            for source_id in self._rows.sources():
+                targets, _ = self._rows.row(source_id)
+                if not targets:
+                    continue
+                alpha = label_of(source_id)
+                for beta, id_range in ranges:
+                    lo = bisect_left(targets, id_range.start)
+                    hi = bisect_left(targets, id_range.stop)
+                    if hi > lo:
+                        key = (alpha, beta)
+                        counts[key] = counts.get(key, 0) + (hi - lo)
             self._type_counts = counts
         return self._type_counts
 
@@ -212,3 +345,38 @@ class TransitiveClosure:
         if not counts:
             return 0.0
         return sum(counts.values()) / len(counts)
+
+    def stats(self) -> dict:
+        """Uniform size/cost statistics (shared schema across backends)."""
+        return {
+            "pair_count": self.num_pairs,
+            "bytes_estimate": self._rows.bytes_resident(),
+            "build_seconds": self.build_seconds,
+            "partial": self._partial,
+        }
+
+
+def _decode_row(
+    interner: NodeInterner, row: tuple[array, array]
+) -> dict[NodeId, float]:
+    targets, dists = row
+    resolve = interner.resolve
+    return {resolve(targets[k]): dists[k] for k in range(len(targets))}
+
+
+def _remap_row(
+    row: tuple[array, array], old_to_new: list[int | None]
+) -> tuple[array, array] | None:
+    """Re-encode a row under a new interner; ``None`` if a target vanished."""
+    targets, dists = row
+    pairs: list[tuple[int, float]] = []
+    for k in range(len(targets)):
+        new_id = old_to_new[targets[k]]
+        if new_id is None:
+            return None
+        pairs.append((new_id, dists[k]))
+    pairs.sort()
+    return (
+        array("i", (t for t, _ in pairs)),
+        array("d", (d for _, d in pairs)),
+    )

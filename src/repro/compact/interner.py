@@ -1,0 +1,128 @@
+"""Interned node identities — the int core of the compact layer.
+
+A :class:`NodeInterner` assigns every node of a labeled graph a dense
+integer id.  Ids are label-major: labels are ordered by ``repr`` and
+the nodes of each label are ordered by ``repr`` within it, so
+
+* every label owns exactly one contiguous id range
+  (:meth:`NodeInterner.label_range`), which turns "all nodes labeled
+  alpha" into an O(1) slice, and
+* the id order *inside* a label equals the ``repr`` order the decoded
+  layers above sort by, so per-label outputs decoded from id-sorted
+  arrays match the historical ``repr``-sorted outputs byte for byte.
+
+The mapping is a pure function of the node/label universe: two
+interners built from equal graphs are identical, which is what lets
+:meth:`repro.closure.transitive.TransitiveClosure.refreshed` share rows
+across snapshots without remapping when the node set is unchanged.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Iterator, Mapping
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import Label, LabeledDiGraph, NodeId
+
+
+class NodeInterner:
+    """Stable, label-sorted ``NodeId <-> int`` mapping."""
+
+    __slots__ = ("_nodes", "_ids", "_ranges", "_starts", "_range_labels")
+
+    def __init__(self, labeled_nodes: Mapping[NodeId, Label]) -> None:
+        by_label: dict[Label, list[NodeId]] = {}
+        for node, label in labeled_nodes.items():
+            by_label.setdefault(label, []).append(node)
+        nodes: list[NodeId] = []
+        self._ranges: dict[Label, range] = {}
+        #: Range start ids, parallel to ``_range_labels`` (for bisect).
+        self._starts: list[int] = []
+        self._range_labels: list[Label] = []
+        for label in sorted(by_label, key=repr):
+            members = sorted(by_label[label], key=repr)
+            start = len(nodes)
+            nodes.extend(members)
+            self._ranges[label] = range(start, len(nodes))
+            self._starts.append(start)
+            self._range_labels.append(label)
+        self._nodes: tuple[NodeId, ...] = tuple(nodes)
+        self._ids: dict[NodeId, int] = {
+            node: i for i, node in enumerate(self._nodes)
+        }
+
+    @classmethod
+    def from_graph(cls, graph: LabeledDiGraph) -> "NodeInterner":
+        """Intern every node of ``graph`` (the usual entry point)."""
+        return cls({node: graph.label(node) for node in graph.nodes()})
+
+    # ------------------------------------------------------------------
+    # Encoding / decoding
+    # ------------------------------------------------------------------
+    def intern(self, node: NodeId) -> int:
+        """The id of ``node``; raises :class:`GraphError` when unknown."""
+        try:
+            return self._ids[node]
+        except KeyError as exc:
+            raise GraphError(f"node {node!r} is not interned") from exc
+
+    def get(self, node: NodeId) -> int | None:
+        """The id of ``node``, or ``None`` when unknown."""
+        return self._ids.get(node)
+
+    def resolve(self, node_id: int) -> NodeId:
+        """The node behind ``node_id``."""
+        return self._nodes[node_id]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._ids
+
+    def nodes(self) -> tuple[NodeId, ...]:
+        """All nodes, in id order."""
+        return self._nodes
+
+    # ------------------------------------------------------------------
+    # Label geometry
+    # ------------------------------------------------------------------
+    def label_range(self, label: Label) -> range:
+        """The contiguous id range of ``label`` (empty when unknown)."""
+        return self._ranges.get(label, range(0))
+
+    def label_of(self, node_id: int) -> Label:
+        """The label owning ``node_id`` (O(log #labels) bisect)."""
+        if not 0 <= node_id < len(self._nodes):
+            raise GraphError(f"interned id {node_id} out of range")
+        return self._range_labels[bisect_right(self._starts, node_id) - 1]
+
+    def labels(self) -> tuple[Label, ...]:
+        """All labels, in id-range order."""
+        return tuple(self._range_labels)
+
+    def label_ranges(self) -> Iterator[tuple[Label, range]]:
+        """Iterate ``(label, id_range)`` in id order."""
+        for label in self._range_labels:
+            yield label, self._ranges[label]
+
+    # ------------------------------------------------------------------
+    def same_universe(self, other: "NodeInterner") -> bool:
+        """True when both interners assign identical ids to identical nodes.
+
+        Because the assignment is a pure function of the node/label
+        universe, comparing the decoded node tuples and the label
+        geometry suffices.
+        """
+        return (
+            self._nodes == other._nodes
+            and self._starts == other._starts
+            and self._range_labels == other._range_labels
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"NodeInterner(nodes={len(self._nodes)}, "
+            f"labels={len(self._range_labels)})"
+        )

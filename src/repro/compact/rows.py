@@ -1,0 +1,109 @@
+"""Array-backed transitive-closure rows.
+
+One :class:`ClosureRows` holds, per closure source, the parallel
+``(target_id, dist)`` arrays produced by the CSR searches — the compact
+replacement for the historical dict-of-dicts distance rows.  Targets
+are id-sorted, so point lookups are binary searches and per-label
+target runs are contiguous slices.
+
+Rows are immutable once built; sharing a row between two instances
+(the incremental-refresh path) is safe and free.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from bisect import bisect_left
+from typing import Iterable, Iterator, Mapping
+
+from repro.compact.csr import CompactGraph
+
+#: One row: (id-sorted target ids, aligned distances).
+Row = tuple[array, array]
+
+
+class ClosureRows:
+    """Per-source parallel (target, dist) arrays, keyed by interned id."""
+
+    __slots__ = ("_rows", "_num_pairs")
+
+    def __init__(self, rows: dict[int, Row]) -> None:
+        self._rows = rows
+        self._num_pairs = sum(len(t) for t, _ in rows.values())
+
+    # ------------------------------------------------------------------
+    # Builders
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls, cgraph: CompactGraph, source_ids: Iterable[int] | None = None
+    ) -> "ClosureRows":
+        """Run one CSR search per source (all nodes when ``None``)."""
+        ids = range(cgraph.num_nodes) if source_ids is None else sorted(source_ids)
+        return cls({s: cgraph.shortest_from(s) for s in ids})
+
+    @classmethod
+    def from_interned_mapping(
+        cls, mapping: Mapping[int, Mapping[int, float]]
+    ) -> "ClosureRows":
+        """Encode already-interned ``{source: {target: dist}}`` rows."""
+        rows: dict[int, Row] = {}
+        for source in sorted(mapping):
+            targets = array("i")
+            dists = array("d")
+            for target in sorted(mapping[source]):
+                targets.append(target)
+                dists.append(mapping[source][target])
+            rows[source] = (targets, dists)
+        return cls(rows)
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def num_pairs(self) -> int:
+        """Total (source, target) pairs across all rows."""
+        return self._num_pairs
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, source_id: int) -> bool:
+        return source_id in self._rows
+
+    def sources(self) -> Iterator[int]:
+        """Iterate source ids (ascending — rows are built in id order)."""
+        return iter(self._rows)
+
+    def row(self, source_id: int) -> Row | None:
+        """The ``(targets, dists)`` arrays of a source, or ``None``."""
+        return self._rows.get(source_id)
+
+    def get(self, source_id: int, target_id: int) -> float | None:
+        """Point lookup ``dist(source, target)`` via binary search."""
+        row = self._rows.get(source_id)
+        if row is None:
+            return None
+        targets, dists = row
+        k = bisect_left(targets, target_id)
+        if k < len(targets) and targets[k] == target_id:
+            return dists[k]
+        return None
+
+    def pairs(self) -> Iterator[tuple[int, int, float]]:
+        """Iterate interned ``(source, target, dist)`` triples, id order."""
+        for source, (targets, dists) in self._rows.items():
+            for k in range(len(targets)):
+                yield source, targets[k], dists[k]
+
+    # ------------------------------------------------------------------
+    def bytes_resident(self) -> int:
+        """Measured resident bytes: array buffers + container overhead."""
+        total = sys.getsizeof(self._rows)
+        for row in self._rows.values():
+            targets, dists = row
+            # getsizeof(array) includes the allocated element buffer.
+            total += sys.getsizeof(row)
+            total += sys.getsizeof(targets) + sys.getsizeof(dists)
+        return total

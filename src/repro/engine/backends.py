@@ -153,6 +153,23 @@ class _BackendBase:
     def statistics(self) -> dict:
         return {"backend": self.name, "build_seconds": self.build_seconds}
 
+    def stats(self) -> dict:
+        """Uniform offline-artifact statistics, identical keys everywhere.
+
+        Every backend reports ``backend``, ``build_seconds``,
+        ``pair_count`` (materialized reachability pairs or label entries)
+        and ``bytes_estimate`` (measured resident bytes of the offline
+        artifacts) — the schema the bench suite and the serving layer
+        consume without per-backend special cases.
+        """
+        store_stats = self._store.stats() if self._store is not None else {}
+        return {
+            "backend": self.name,
+            "build_seconds": self.build_seconds,
+            "pair_count": store_stats.get("pair_count", 0),
+            "bytes_estimate": store_stats.get("bytes_estimate", 0),
+        }
+
 
 class FullClosureBackend(_BackendBase):
     """Eager transitive closure + block store (the paper's default)."""
@@ -208,6 +225,13 @@ class FullClosureBackend(_BackendBase):
         stats = super().statistics()
         stats["closure_pairs"] = self._closure.num_pairs
         stats.update(self._store.size_statistics())
+        return stats
+
+    def stats(self) -> dict:
+        stats = super().stats()
+        closure_stats = self._closure.stats()
+        stats["pair_count"] = closure_stats["pair_count"]
+        stats["bytes_estimate"] += closure_stats["bytes_estimate"]
         return stats
 
     def describe(self) -> str:
@@ -417,6 +441,13 @@ class ConstrainedBackend(_BackendBase):
         stats["closure_pairs"] = self._closure.num_pairs
         stats["partial"] = self._closure.is_partial
         stats.update(self._store.size_statistics())
+        return stats
+
+    def stats(self) -> dict:
+        stats = super().stats()
+        closure_stats = self._closure.stats()
+        stats["pair_count"] = closure_stats["pair_count"]
+        stats["bytes_estimate"] += closure_stats["bytes_estimate"]
         return stats
 
     def describe(self) -> str:

@@ -229,7 +229,7 @@ def closure_to_dict(closure: TransitiveClosure) -> dict:
     # Partial closures must remember sources with no successors too, so
     # emptiness stays distinguishable from "not a source".
     if closure.is_partial:
-        for tail in closure._dist:
+        for tail in closure.sources():
             rows.setdefault(str(tail), {})
     return {
         "kind": "transitive-closure",

@@ -88,6 +88,85 @@ class BlockTable:
         )
 
 
+class LazyBlockTable:
+    """Block-table interface over entries decoded on demand.
+
+    The columnar closure store keeps its entries as flat typed arrays;
+    opening a group is an O(1) slice bound, not a list construction.
+    This table materializes entry tuples only for the block actually
+    read: ``fetch(start, stop)`` must return the decoded entries of the
+    half-open range relative to the table (0-based).  Metering is
+    identical to :class:`BlockTable`.
+    """
+
+    __slots__ = ("name", "block_size", "_counter", "_length", "_fetch")
+
+    def __init__(
+        self,
+        name: str,
+        length: int,
+        fetch,
+        counter: IOCounter,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        if block_size <= 0:
+            raise StorageError(f"block size must be positive, got {block_size}")
+        self.name = name
+        self.block_size = block_size
+        self._counter = counter
+        self._length = length
+        self._fetch = fetch
+
+    @property
+    def num_entries(self) -> int:
+        """Total number of entries stored."""
+        return self._length
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of blocks occupied (at least 1 block when non-empty)."""
+        if not self._length:
+            return 0
+        return (self._length + self.block_size - 1) // self.block_size
+
+    def read_block(self, index: int) -> tuple[Any, ...]:
+        """Read block ``index`` (0-based), metering one block I/O."""
+        if index < 0 or index >= max(self.num_blocks, 1):
+            raise StorageError(
+                f"block {index} out of range for table {self.name!r} "
+                f"({self.num_blocks} blocks)"
+            )
+        start = index * self.block_size
+        chunk = self._fetch(start, min(start + self.block_size, self._length))
+        self._counter.record_read(self.name, len(chunk))
+        return chunk
+
+    def iter_blocks(self) -> Iterator[tuple[Any, ...]]:
+        """Iterate over all blocks, metering each read."""
+        for index in range(self.num_blocks):
+            yield self.read_block(index)
+
+    def read_all(self) -> tuple[Any, ...]:
+        """Read the full table (every block is metered)."""
+        out: list[Any] = []
+        for block in self.iter_blocks():
+            out.extend(block)
+        return tuple(out)
+
+    def peek_unmetered(self) -> tuple[Any, ...]:
+        """Access entries without metering — for tests/statistics only."""
+        return self._fetch(0, self._length)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LazyBlockTable({self.name!r}, entries={self.num_entries}, "
+            f"blocks={self.num_blocks})"
+        )
+
+
 class TableDirectory:
     """A named collection of :class:`BlockTable` sharing one I/O counter.
 

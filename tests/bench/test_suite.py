@@ -1,0 +1,111 @@
+"""Tests for the canonical bench suite and its JSON schema gate."""
+
+import json
+
+import pytest
+
+from repro.bench.suite import (
+    BENCH_KIND,
+    BENCH_VERSION,
+    block_pull_comparison,
+    closure_memory_comparison,
+    run_suite,
+    validate_bench_document,
+    write_suite,
+)
+from repro.cli import main
+from repro.graph.generators import citation_graph
+
+
+@pytest.fixture(scope="module")
+def quick_document():
+    return run_suite(quick=True, seed=0, nodes=80)
+
+
+class TestRunSuite:
+    def test_document_is_schema_valid(self, quick_document):
+        assert validate_bench_document(quick_document) == []
+
+    def test_matrix_is_complete(self, quick_document):
+        workload = quick_document["workload"]
+        expected = (
+            len(workload["backends"])
+            * len(workload["algorithms"])
+            * len(workload["ks"])
+            * len(workload["queries"])
+        )
+        assert len(quick_document["cells"]) == expected
+        for cell in quick_document["cells"]:
+            assert cell["wall_seconds"] >= 0.0
+            assert cell["matches"] <= max(workload["ks"])
+
+    def test_memory_reduction_at_least_2x(self, quick_document):
+        memory = quick_document["closure_memory"]
+        assert memory["compact_bytes"] > 0
+        assert memory["reduction"] >= 2.0, memory
+
+    def test_block_pulls_faster(self, quick_document):
+        pull = quick_document["block_pull"]
+        assert pull["entries"] > 0
+        assert pull["speedup"] > 1.0, pull
+
+    def test_round_trips_through_disk(self, tmp_path, quick_document):
+        path = tmp_path / "bench.json"
+        write_suite(path, quick_document)
+        loaded = json.loads(path.read_text())
+        assert validate_bench_document(loaded) == []
+        assert loaded["kind"] == BENCH_KIND
+        assert loaded["version"] == BENCH_VERSION
+
+
+class TestComparisons:
+    def test_closure_memory_fields(self):
+        graph = citation_graph(60, num_labels=8, seed=3)
+        memory = closure_memory_comparison(graph)
+        assert memory["pair_count"] > 0
+        assert memory["dict_bytes"] > memory["compact_bytes"] > 0
+
+    def test_block_pull_scans_every_entry(self):
+        graph = citation_graph(60, num_labels=8, seed=3)
+        pull = block_pull_comparison(graph, block_size=16)
+        assert pull["entries"] > 0
+        assert pull["legacy_seconds"] > 0.0
+        assert pull["compact_seconds"] > 0.0
+
+
+class TestValidator:
+    def test_rejects_non_object(self):
+        assert validate_bench_document([]) == ["document is not a JSON object"]
+
+    def test_rejects_missing_fields(self):
+        errors = validate_bench_document({"kind": BENCH_KIND})
+        assert any("missing field" in e for e in errors)
+
+    def test_rejects_wrong_kind_and_broken_cells(self, quick_document):
+        broken = json.loads(json.dumps(quick_document))
+        broken["kind"] = "something-else"
+        assert any("kind is" in e for e in validate_bench_document(broken))
+        broken = json.loads(json.dumps(quick_document))
+        del broken["cells"][0]["wall_seconds"]
+        broken["cells"][1]["blocks_read"] = "many"
+        errors = validate_bench_document(broken)
+        assert any("missing 'wall_seconds'" in e for e in errors)
+        assert any("blocks_read" in e for e in errors)
+
+
+class TestCLI:
+    def test_suite_and_validate_commands(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(
+            ["bench", "suite", "--quick", "--nodes", "80", "--out", str(out)]
+        ) == 0
+        assert out.exists()
+        capsys.readouterr()
+        assert main(["bench", "validate", str(out)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_validate_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"kind": "nope"}))
+        assert main(["bench", "validate", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,76 @@
+"""Property tests for the NodeInterner: round trips and label geometry."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.compact import NodeInterner
+from repro.exceptions import GraphError
+from tests.strategies import graphs, label_maps
+
+
+class TestBasics:
+    def test_empty(self):
+        interner = NodeInterner({})
+        assert len(interner) == 0
+        assert interner.labels() == ()
+        assert len(interner.label_range("A")) == 0
+
+    def test_unknown_node(self):
+        interner = NodeInterner({"x": "A"})
+        assert interner.get("y") is None
+        with pytest.raises(GraphError):
+            interner.intern("y")
+
+    def test_label_of_out_of_range(self):
+        interner = NodeInterner({"x": "A"})
+        with pytest.raises(GraphError):
+            interner.label_of(1)
+        with pytest.raises(GraphError):
+            interner.label_of(-1)
+
+    def test_mixed_id_types(self):
+        interner = NodeInterner({0: "A", "zero": "A", (1, 2): "B"})
+        ids = {interner.intern(0), interner.intern("zero"), interner.intern((1, 2))}
+        assert ids == {0, 1, 2}
+
+
+class TestProperties:
+    @given(label_maps(min_nodes=1, max_nodes=40))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_is_identity(self, labeled):
+        interner = NodeInterner(labeled)
+        assert len(interner) == len(labeled)
+        for node in labeled:
+            assert interner.resolve(interner.intern(node)) == node
+        for node_id in range(len(interner)):
+            assert interner.intern(interner.resolve(node_id)) == node_id
+
+    @given(label_maps(min_nodes=1, max_nodes=40))
+    @settings(max_examples=60, deadline=None)
+    def test_label_ranges_partition_the_id_space(self, labeled):
+        interner = NodeInterner(labeled)
+        covered = []
+        for label, id_range in interner.label_ranges():
+            assert len(id_range) > 0
+            covered.extend(id_range)
+            for node_id in id_range:
+                assert interner.label_of(node_id) == label
+                assert labeled[interner.resolve(node_id)] == label
+        # Contiguous, non-overlapping, and exhaustive.
+        assert covered == list(range(len(interner)))
+
+    @given(label_maps(min_nodes=1, max_nodes=40))
+    @settings(max_examples=40, deadline=None)
+    def test_id_order_is_repr_order_within_a_label(self, labeled):
+        interner = NodeInterner(labeled)
+        for _, id_range in interner.label_ranges():
+            members = [interner.resolve(i) for i in id_range]
+            assert members == sorted(members, key=repr)
+
+    @given(graphs(min_nodes=2, max_nodes=20))
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_across_builds(self, graph):
+        a = NodeInterner.from_graph(graph)
+        b = NodeInterner.from_graph(graph.copy())
+        assert a.same_universe(b)
+        assert a.nodes() == b.nodes()

@@ -1,0 +1,51 @@
+"""Layering contract: repro.compact never imports layers above it.
+
+The CI lint job enforces the same rule with ruff (TID251 banned-api,
+``config/ruff-layering.toml``); this test keeps the contract green for
+plain ``pytest`` runs and documents the allowlist in one place.
+"""
+
+import ast
+from pathlib import Path
+
+import repro.compact
+
+#: The only repro modules the compact layer may depend on.
+ALLOWED_PREFIXES = ("repro.compact", "repro.graph", "repro.exceptions", "repro.utils")
+
+
+def iter_repro_imports(path: Path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro"):
+                    yield alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.startswith("repro"):
+                yield node.module
+
+
+def test_compact_only_imports_lower_layers():
+    package_dir = Path(repro.compact.__file__).parent
+    violations = []
+    for source in sorted(package_dir.glob("*.py")):
+        for module in iter_repro_imports(source):
+            if not module.startswith(ALLOWED_PREFIXES):
+                violations.append(f"{source.name}: {module}")
+    assert not violations, (
+        "repro.compact must stay below the closure layer; "
+        f"offending imports: {violations}"
+    )
+
+
+def test_numpy_flag_is_optional(monkeypatch):
+    from repro.compact import accel
+
+    monkeypatch.setenv("REPRO_COMPACT_NUMPY", "0")
+    assert accel.numpy_or_none() is None
+    monkeypatch.setenv("REPRO_COMPACT_NUMPY", "1")
+    assert accel.numpy_enabled()
+    # numpy may or may not be installed; either answer is valid, but the
+    # call must never raise.
+    accel.numpy_or_none()

@@ -57,11 +57,11 @@ class TestRoundTrip:
         def boom(*args, **kwargs):  # pragma: no cover - failure path
             raise AssertionError("shortest-path computation ran after load")
 
-        import repro.closure.transitive as transitive
         import repro.graph.traversal as traversal
+        from repro.compact import CompactGraph
 
         monkeypatch.setattr(traversal, "single_source_distances", boom)
-        monkeypatch.setattr(transitive, "single_source_distances", boom)
+        monkeypatch.setattr(CompactGraph, "_shortest", boom)
         loaded = MatchEngine.load(path)
         assert loaded.closure.build_seconds == 0.0
         assert [m.score for m in loaded.top_k(query, 2)] == [3, 4]
