@@ -27,7 +27,7 @@ whole paper::
 
     print(engine.explain("A//B[C]").describe())  # inspect the query plan
     stream = engine.stream("A//B[C]")            # lazy, resumable results
-    engine.save_index("dataset.idx.json")        # pay the offline cost once
+    engine.save_index("dataset.ridx")            # pay the offline cost once
 
 Hand-built :class:`QueryTree`/:class:`QueryGraph` objects remain first
 class; every form funnels through :func:`repro.query.compile_query`.
@@ -78,7 +78,7 @@ from repro.graph.query import WILDCARD, EdgeType, QueryGraph, QueryTree
 from repro.query import CompiledQuery, Pattern, Q, compile_query, parse, to_dsl
 from repro.service import MatchService, ServiceResponse, Snapshot, UpdateReport
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "LabeledDiGraph",

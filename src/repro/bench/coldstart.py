@@ -1,0 +1,86 @@
+"""Cold-start probe: fresh process, open an index, answer one query.
+
+This module is executed as a *child process* by the bench suite
+(``python -m repro.bench.coldstart INDEX QUERY K``) so that the measured
+load is genuinely process-fresh — no warm interner, no page cache of
+Python objects, no reused closure artifacts.  It times the two phases
+the serving story cares about:
+
+* ``load_seconds`` — ``MatchEngine.load``: for a binary ``.ridx`` index
+  this is mmap + directory walk (zero-parse); for a JSON index it is the
+  full parse + re-encode + block-layout pipeline.
+* ``first_query_seconds`` — the first ``top_k`` call, which faults in
+  exactly the closure blocks the query touches.
+
+It reports the index file size (= mapped bytes for the binary format)
+and the child's peak RSS **in bytes** (normalized across platforms —
+Linux ``ru_maxrss`` is KiB, macOS is bytes), so the suite can record the
+mapped-vs-resident split.  Output is one JSON object on stdout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size, normalized to bytes.
+
+    ``getrusage`` reports ``ru_maxrss`` in platform-dependent units:
+    kibibytes on Linux (and most BSDs), bytes on macOS.  Callers must
+    never see the raw value — the unit confusion is exactly the bug the
+    bench schema's ``peak_rss_unit`` field pins down.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform != "darwin":
+        peak *= 1024
+    return int(peak)
+
+
+def measure(path: str, query: str, k: int) -> dict:
+    """Load ``path``, run one top-k query, report timings and memory."""
+    from repro.engine import MatchEngine
+    from repro.io import sniff_index_format
+
+    index_bytes = os.path.getsize(path)
+    format_name = sniff_index_format(path)
+    started = time.perf_counter()
+    engine = MatchEngine.load(path)
+    load_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    matches = engine.top_k(query, k)
+    first_query_seconds = time.perf_counter() - started
+    return {
+        "format": format_name,
+        "index_bytes": index_bytes,
+        "mapped_bytes": index_bytes if format_name == "binary" else 0,
+        "load_seconds": load_seconds,
+        "first_query_seconds": first_query_seconds,
+        "total_seconds": load_seconds + first_query_seconds,
+        "matches": len(matches),
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 3:
+        print(
+            "usage: python -m repro.bench.coldstart INDEX QUERY K",
+            file=sys.stderr,
+        )
+        return 2
+    path, query, k = argv[0], argv[1], int(argv[2])
+    print(json.dumps(measure(path, query, k), sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - subprocess entry point
+    sys.exit(main())

@@ -13,22 +13,35 @@ one JSON document that seeds the repository's perf trajectory:
   :mod:`repro.compact` (resident bytes, build seconds);
 * a **block-pull comparison**: streaming every ``L^alpha_beta`` table
   block by block from the pre-compact tuple-list store layout versus the
-  columnar O(1)-slice layout (the identification read of Section 3.1).
+  columnar O(1)-slice layout (the identification read of Section 3.1);
+* a **cold-start comparison** (since schema version 2): a *fresh child
+  process* per format opens a persisted index and answers its first
+  query — JSON parse-everything versus the binary mmap-paged ``.ridx``
+  layout of :mod:`repro.storage.diskindex` — reporting load and
+  first-query latency plus mapped versus resident bytes.
+
+All memory figures are normalized to **bytes** (schema v2 carries an
+explicit ``peak_rss_unit`` field the validator asserts — the historical
+``ru_maxrss`` value is KiB on Linux but bytes on macOS, and v1 documents
+recorded the platform-dependent number unchecked).
 
 The document schema is validated by :func:`validate_bench_document`
 (also exposed as ``repro bench validate``) so CI can gate on it; the
-committed ``BENCH_PR4.json`` at the repo root is the first entry of the
-trajectory.
+committed ``BENCH_PR4.json`` (v1) and ``BENCH_PR5.json`` (v2) at the
+repo root are the entries of the trajectory so far.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
+from repro.bench.coldstart import peak_rss_bytes
 from repro.bench.harness import print_header, print_table
 from repro.closure.store import ClosureStore
 from repro.closure.transitive import TransitiveClosure
@@ -41,7 +54,7 @@ from repro.query import to_dsl
 from repro.storage.blocks import TableDirectory
 
 BENCH_KIND = "repro-bench-suite"
-BENCH_VERSION = 1
+BENCH_VERSION = 2
 
 #: The fixed matrix; ``--quick`` shrinks it for CI smoke runs.
 FULL_MATRIX = {
@@ -51,6 +64,10 @@ FULL_MATRIX = {
     "algorithms": ("topk-en", "dp-p", "topk", "dp-b"),
     "ks": (1, 10, 50),
     "num_queries": 3,
+    # The cold-start scenario uses a dedicated larger graph: index-open
+    # cost is what is being measured, so the index must dominate noise.
+    "cold_start_nodes": 1200,
+    "cold_start_runs": 3,
 }
 QUICK_MATRIX = {
     "nodes": 150,
@@ -59,6 +76,9 @@ QUICK_MATRIX = {
     "algorithms": ("topk-en", "dp-b"),
     "ks": (1, 5),
     "num_queries": 2,
+    # None = reuse the (small) workload graph for the CI smoke run.
+    "cold_start_nodes": None,
+    "cold_start_runs": 2,
 }
 
 
@@ -253,15 +273,103 @@ def _current_commit() -> str:
     return "unknown"
 
 
-def _peak_rss_kb() -> int:
-    try:
-        import resource
-    except ImportError:  # pragma: no cover - non-POSIX
-        return 0
-    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss is bytes
-        peak //= 1024
-    return int(peak)
+# ----------------------------------------------------------------------
+# Cold start: fresh process -> open index -> first query
+# ----------------------------------------------------------------------
+
+
+def _coldstart_child(path: Path, query: str, k: int) -> dict:
+    """Run one cold-start probe in a fresh interpreter and parse its JSON."""
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = os.pathsep.join(
+        part for part in (src_root, env.get("PYTHONPATH")) if part
+    )
+    out = subprocess.run(
+        [
+            sys.executable, "-m", "repro.bench.coldstart",
+            str(path), query, str(k),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+    )
+    if out.returncode != 0:
+        raise RuntimeError(
+            f"cold-start child failed (exit {out.returncode}): {out.stderr}"
+        )
+    return json.loads(out.stdout)
+
+
+def _stringified(graph: LabeledDiGraph) -> LabeledDiGraph:
+    """The same graph with ``str`` node ids (JSON-persistable)."""
+    out = LabeledDiGraph()
+    for node in graph.nodes():
+        out.add_node(str(node), graph.label(node))
+    for tail, head, weight in graph.edges():
+        out.add_edge(str(tail), str(head), weight)
+    return out
+
+
+def cold_start_comparison(
+    graph: LabeledDiGraph, query: str, k: int = 10, runs: int = 3
+) -> dict:
+    """Process-fresh load + first-query latency: JSON vs binary index.
+
+    One ``full``-backend engine is built once and persisted in both
+    formats; each format is then opened by ``runs`` fresh child
+    processes (``repro.bench.coldstart``) and the best total is kept
+    (interpreter scheduling noise dominates single runs on shared CI
+    machines).  ``mapped_bytes`` is the binary file's mmap extent;
+    ``peak_rss_bytes`` is each child's peak resident set — together they
+    show the binary path serving from the page cache instead of from
+    parsed heap objects.  Node ids are stringified up front so the same
+    artifacts are expressible in both formats (the JSON interchange
+    format refuses non-string ids rather than coercing them).
+    """
+    engine = MatchEngine(_stringified(graph), backend="full")
+    results: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-coldstart-") as tmp:
+        paths = {
+            "json": Path(tmp) / "index.json",
+            "binary": Path(tmp) / "index.ridx",
+        }
+        for format_name, path in paths.items():
+            engine.save_index(path, format=format_name)
+        for format_name, path in paths.items():
+            best: dict | None = None
+            for _ in range(max(1, runs)):
+                probe = _coldstart_child(path, query, k)
+                if best is None or probe["total_seconds"] < best["total_seconds"]:
+                    best = probe
+            results[format_name] = best
+    if results["json"]["matches"] != results["binary"]["matches"]:
+        raise AssertionError(
+            "cold-start formats disagree: "
+            f"{results['json']['matches']} != {results['binary']['matches']}"
+        )
+    binary_total = results["binary"]["total_seconds"]
+    binary_load = results["binary"]["load_seconds"]
+    return {
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "query": query,
+        "k": k,
+        "runs": max(1, runs),
+        "json": results["json"],
+        "binary": results["binary"],
+        "speedup": (
+            results["json"]["total_seconds"] / binary_total
+            if binary_total
+            else 0.0
+        ),
+        "load_speedup": (
+            results["json"]["load_seconds"] / binary_load
+            if binary_load
+            else 0.0
+        ),
+    }
 
 
 def run_suite(quick: bool = False, seed: int = 0, **overrides) -> dict:
@@ -314,6 +422,15 @@ def run_suite(quick: bool = False, seed: int = 0, **overrides) -> dict:
                         }
                     )
 
+    cold_nodes = matrix.get("cold_start_nodes")
+    if cold_nodes:
+        cold_graph, cold_queries = build_workload(
+            cold_nodes, matrix["labels"], seed, 1
+        )
+        cold_query = to_dsl(cold_queries[0])
+    else:
+        cold_graph, cold_query = graph, query_texts[0]
+
     return {
         "kind": BENCH_KIND,
         "version": BENCH_VERSION,
@@ -335,7 +452,11 @@ def run_suite(quick: bool = False, seed: int = 0, **overrides) -> dict:
         "cells": cells,
         "closure_memory": closure_memory_comparison(graph, layouts=layouts),
         "block_pull": block_pull_comparison(graph, layouts=layouts),
-        "peak_rss_kb": _peak_rss_kb(),
+        "cold_start": cold_start_comparison(
+            cold_graph, cold_query, runs=matrix.get("cold_start_runs", 3)
+        ),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "peak_rss_unit": "bytes",
     }
 
 
@@ -372,16 +493,63 @@ _TOP_FIELDS = {
     "cells": list,
     "closure_memory": dict,
     "block_pull": dict,
-    "peak_rss_kb": int,
+}
+#: Version-specific memory accounting: v1 recorded the raw (platform-
+#: dependent!) ``ru_maxrss`` value; v2 normalizes to bytes and says so.
+_V1_FIELDS = {"peak_rss_kb": int}
+_V2_FIELDS = {
+    "peak_rss_bytes": int,
+    "peak_rss_unit": str,
+    "cold_start": dict,
+}
+_COLD_START_SIDE_FIELDS = {
+    "index_bytes": int,
+    "mapped_bytes": int,
+    "load_seconds": (int, float),
+    "first_query_seconds": (int, float),
+    "total_seconds": (int, float),
+    "matches": int,
+    "peak_rss_bytes": int,
 }
 
 
+def _validate_cold_start(cold: dict, errors: list[str]) -> None:
+    for field in ("nodes", "query", "k", "runs", "speedup", "load_speedup"):
+        if field not in cold:
+            errors.append(f"cold_start missing {field!r}")
+    for side in ("json", "binary"):
+        probe = cold.get(side)
+        if not isinstance(probe, dict):
+            errors.append(f"cold_start.{side} is not an object")
+            continue
+        for field, kind in _COLD_START_SIDE_FIELDS.items():
+            if field not in probe:
+                errors.append(f"cold_start.{side} missing {field!r}")
+            elif not isinstance(probe[field], kind) or isinstance(
+                probe[field], bool
+            ):
+                errors.append(f"cold_start.{side}.{field} is not {kind}")
+            elif probe[field] < 0:
+                errors.append(f"cold_start.{side}.{field} is negative")
+
+
 def validate_bench_document(document) -> list[str]:
-    """Schema errors of a BENCH document (empty list == valid)."""
+    """Schema errors of a BENCH document (empty list == valid).
+
+    Accepts version 1 (legacy ``peak_rss_kb``) and version 2, which
+    *requires* byte-normalized memory accounting: ``peak_rss_bytes``
+    with ``peak_rss_unit == "bytes"`` asserted, plus the cold-start
+    comparison section.
+    """
     errors: list[str] = []
     if not isinstance(document, dict):
         return ["document is not a JSON object"]
-    for field, kind in _TOP_FIELDS.items():
+    version = document.get("version")
+    if version not in (1, BENCH_VERSION):
+        return [f"unsupported version {version!r}"]
+    fields = dict(_TOP_FIELDS)
+    fields.update(_V1_FIELDS if version == 1 else _V2_FIELDS)
+    for field, kind in fields.items():
         if field not in document:
             errors.append(f"missing field {field!r}")
         elif not isinstance(document[field], kind):
@@ -390,8 +558,14 @@ def validate_bench_document(document) -> list[str]:
         return errors
     if document["kind"] != BENCH_KIND:
         errors.append(f"kind is {document['kind']!r}, wanted {BENCH_KIND!r}")
-    if document["version"] != BENCH_VERSION:
-        errors.append(f"unsupported version {document['version']!r}")
+    if version == BENCH_VERSION:
+        if document["peak_rss_unit"] != "bytes":
+            errors.append(
+                f"peak_rss_unit is {document['peak_rss_unit']!r}, must be "
+                "'bytes' (ru_maxrss is KiB on Linux but bytes on macOS — "
+                "normalize before recording)"
+            )
+        _validate_cold_start(document["cold_start"], errors)
     for index, cell in enumerate(document["cells"]):
         if not isinstance(cell, dict):
             errors.append(f"cells[{index}] is not an object")
@@ -467,4 +641,32 @@ def print_suite_report(document: dict) -> None:
         ],
         title="compact vs dict",
     )
-    print(f"peak RSS: {document['peak_rss_kb']} KB")
+    # Legacy v1 documents (accepted by the validator) lack the v2
+    # cold-start section and record the raw platform-unit ru_maxrss.
+    cold = document.get("cold_start")
+    if cold is not None:
+        print_table(
+            ["metric", "json", "binary (.ridx)", "ratio"],
+            [
+                ["load s", f"{cold['json']['load_seconds']:.4f}",
+                 f"{cold['binary']['load_seconds']:.4f}",
+                 f"{cold['load_speedup']:.1f}x faster"],
+                ["first query s", f"{cold['json']['first_query_seconds']:.4f}",
+                 f"{cold['binary']['first_query_seconds']:.4f}", "-"],
+                ["cold total s", f"{cold['json']['total_seconds']:.4f}",
+                 f"{cold['binary']['total_seconds']:.4f}",
+                 f"{cold['speedup']:.1f}x faster"],
+                ["index bytes", cold["json"]["index_bytes"],
+                 cold["binary"]["index_bytes"], "-"],
+                ["child RSS bytes", cold["json"]["peak_rss_bytes"],
+                 cold["binary"]["peak_rss_bytes"], "-"],
+            ],
+            title=(
+                f"cold start ({cold['nodes']} nodes, query {cold['query']!r}, "
+                f"binary maps {cold['binary']['mapped_bytes']} bytes)"
+            ),
+        )
+    if "peak_rss_bytes" in document:
+        print(f"peak RSS: {document['peak_rss_bytes']} bytes")
+    else:
+        print(f"peak RSS: {document['peak_rss_kb']} KB (legacy v1 units)")

@@ -7,10 +7,10 @@ Subcommands::
     python -m repro.cli query   check 'A//B[C][*]/D'
     python -m repro.cli query   show  'A//~db+systems'
     python -m repro.cli stats   --graph g.tsv
-    python -m repro.cli index   --graph g.tsv --backend full --out g.idx.json
+    python -m repro.cli index   --graph g.tsv --backend full --out g.ridx
     python -m repro.cli serve-bench --nodes 300 --requests 120 --workers 1,4
     python -m repro.cli bench   suite --quick --out BENCH_SMOKE.json
-    python -m repro.cli bench   validate BENCH_PR4.json
+    python -m repro.cli bench   validate BENCH_PR5.json
     python -m repro.cli generate --family citation --nodes 1000 --out g.tsv
 
 ``--query`` accepts either DSL text (``A//B[C]``, ``graph(a:A, b:B; a-b)``)
@@ -25,7 +25,9 @@ decomposition framework automatically.  ``gpm`` forces the kGPM path with
 an explicit tree matcher choice; ``query check``/``query show`` validate
 and pretty-print queries without touching a graph; ``stats`` reports
 closure/theta statistics (the offline cost of Table 2); ``index`` builds
-and saves an index (the paper's offline phase, paid once per dataset);
+and saves an index (the paper's offline phase, paid once per dataset) —
+binary ``.ridx`` by default (mmap-paged, zero-parse cold start), JSON
+with ``--format json``; ``--load-index`` sniffs the format either way;
 ``serve-bench`` smoke-benchmarks the :mod:`repro.service` layer (warm
 plan/result caches vs a fresh engine per call, 1-N workers);
 ``bench suite`` runs the canonical perf matrix and writes a
@@ -137,10 +139,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
     index = sub.add_parser("index", help="build and save an index (offline phase)")
     index.add_argument("--graph", required=True, help="data graph (TSV)")
-    index.add_argument("--out", required=True, help="output index path (JSON)")
+    index.add_argument(
+        "--out", required=True,
+        help="output index path (canonical extension: .ridx for binary)",
+    )
     index.add_argument(
         "--backend", choices=_BACKEND_CHOICES, default="full",
         help="closure backend to materialize",
+    )
+    index.add_argument(
+        "--format", choices=("binary", "json"), default="binary",
+        help="index format: 'binary' is the mmap-paged zero-parse layout "
+        "(default), 'json' the interchange document",
     )
     index.add_argument(
         "--workload", metavar="QUERY.json", action="append", default=[],
@@ -189,8 +199,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shrunken matrix for CI smoke runs",
     )
     bsuite.add_argument(
-        "--out", default="BENCH_PR4.json",
-        help="output JSON path (default: BENCH_PR4.json)",
+        "--out", default="BENCH_PR5.json",
+        help="output JSON path (default: BENCH_PR5.json)",
     )
     bsuite.add_argument(
         "--nodes", type=int, default=None,
@@ -358,10 +368,11 @@ def _cmd_index(args) -> int:
         graph, backend=args.backend, workload=tuple(workload) or None
     )
     built = time.perf_counter() - started
-    engine.save_index(args.out)
+    engine.save_index(args.out, format=args.format)
     print(
         f"built {engine.backend_name} index in {built:.2f}s "
-        f"({engine.backend.describe()}); saved to {args.out}",
+        f"({engine.backend.describe()}); saved to {args.out} "
+        f"({args.format})",
         file=sys.stderr,
     )
     return 0

@@ -38,17 +38,25 @@ class HybridStore:
         counter: IOCounter | None = None,
         closure: TransitiveClosure | None = None,
         distance_index=None,
+        materialized: ClosureStore | None = None,
+        hot_pairs: frozenset | None = None,
     ) -> None:
         if not 0.0 <= hot_fraction <= 1.0:
             raise ClosureError(
                 f"hot_fraction must be in [0, 1], got {hot_fraction}"
             )
         self._graph = graph
-        if closure is None:
-            closure = TransitiveClosure(graph)
-        self._materialized = ClosureStore(
-            graph, closure, block_size=block_size, counter=counter
-        )
+        if materialized is not None:
+            # Adopt a pre-laid-out hot side (the binary mmap restore
+            # path); its closure backs the hot-pair statistics too.
+            self._materialized = materialized
+            closure = materialized.closure
+        else:
+            if closure is None:
+                closure = TransitiveClosure(graph)
+            self._materialized = ClosureStore(
+                graph, closure, block_size=block_size, counter=counter
+            )
         self.counter = self._materialized.counter
         if distance_index is None:
             # Build the cold-side 2-hop index over the closure's compact
@@ -61,7 +69,11 @@ class HybridStore:
             distance_index=distance_index,
         )
         self.hot_fraction = hot_fraction
-        self.hot_pairs = self._select_hot_pairs(closure, hot_fraction)
+        self.hot_pairs = (
+            frozenset(hot_pairs)
+            if hot_pairs is not None
+            else self._select_hot_pairs(closure, hot_fraction)
+        )
 
     @staticmethod
     def _select_hot_pairs(
@@ -155,14 +167,52 @@ class HybridStore:
         return self._graph.has_edge(tail, head)
 
     # ------------------------------------------------------------------
+    def _shared_stats_from(self, ondemand: dict) -> dict:
+        """Cold-side contributions that duplicate hot-side structures.
+
+        The on-demand store's backward-search cache re-derives closure
+        pairs the materialized tables already hold, and its 2-hop index
+        shares the closure's CSR artifacts rather than building its own.
+        These are the terms a naive ``materialized + ondemand`` sum
+        counts twice; :meth:`stats` subtracts them.  ``ondemand`` is the
+        cold side's already-computed ``stats()`` dict (its cache walk is
+        the expensive part — don't redo it per term).
+        """
+        pll_entries = self._ondemand.distance_index.index_size()
+        return {
+            "pair_count": ondemand["pair_count"] - pll_entries,
+            "bytes_estimate": (
+                ondemand["bytes_estimate"]
+                - self._ondemand.distance_index.index_bytes()
+            ),
+        }
+
+    def shared_stats(self) -> dict:
+        """The hot/cold overlap terms (see :meth:`_shared_stats_from`)."""
+        return self._shared_stats_from(self._ondemand.stats())
+
     def stats(self) -> dict:
-        """Uniform size/cost statistics (shared schema across backends)."""
+        """Uniform size/cost statistics (shared schema across backends).
+
+        Counts each structure once: summing both sides' totals would
+        double-count the shared artifacts (every cold backward-search
+        entry duplicates a pair the hot tables materialize, and the
+        2-hop index rides on the closure's own CSR), so the overlap
+        reported by :meth:`shared_stats` is subtracted.
+        """
         materialized = self._materialized.stats()
         ondemand = self._ondemand.stats()
+        shared = self._shared_stats_from(ondemand)
         return {
-            "pair_count": materialized["pair_count"] + ondemand["pair_count"],
+            "pair_count": (
+                materialized["pair_count"]
+                + ondemand["pair_count"]
+                - shared["pair_count"]
+            ),
             "bytes_estimate": (
-                materialized["bytes_estimate"] + ondemand["bytes_estimate"]
+                materialized["bytes_estimate"]
+                + ondemand["bytes_estimate"]
+                - shared["bytes_estimate"]
             ),
             "build_seconds": materialized["build_seconds"],
         }

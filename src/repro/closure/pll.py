@@ -24,6 +24,7 @@ from collections import deque
 from typing import Iterable
 
 from repro.compact import CompactGraph, NodeInterner
+from repro.exceptions import GraphError
 from repro.graph.digraph import LabeledDiGraph, NodeId
 
 _INF = float("inf")
@@ -173,6 +174,37 @@ class PrunedLandmarkIndex:
                         heapq.heappush(heap, (dist + weights[k], nxt))
 
     # ------------------------------------------------------------------
+    @classmethod
+    def from_interned_labels(
+        cls,
+        graph: LabeledDiGraph,
+        interner: NodeInterner,
+        compact: CompactGraph,
+        label_out: list[dict[int, float]],
+        label_in: list[dict[int, float]],
+    ) -> "PrunedLandmarkIndex":
+        """Adopt already-interned label maps (the binary persistence path).
+
+        Unlike :meth:`from_labels` there is no decode/re-intern pass: the
+        supplied per-node ``{landmark_id: dist}`` dicts are used as-is and
+        the interner/CSR artifacts (typically reconstructed from the same
+        index file) are shared, not rebuilt.
+        """
+        n = len(interner)
+        if len(label_out) != n or len(label_in) != n:
+            raise GraphError(
+                f"label maps cover {len(label_out)}/{len(label_in)} nodes "
+                f"but the interner has {n}"
+            )
+        self = cls.__new__(cls)
+        self._graph = graph
+        self._interner = interner
+        self._compact = compact
+        self._rank = [0] * n
+        self._out = label_out
+        self._in = label_in
+        return self
+
     @classmethod
     def from_labels(
         cls,

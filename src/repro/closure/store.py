@@ -33,12 +33,12 @@ corresponding label dimension.
 
 from __future__ import annotations
 
-import sys
 from array import array
 from bisect import bisect_left
 from typing import Iterator
 
 from repro.closure.transitive import TransitiveClosure
+from repro.compact import buffer_bytes
 from repro.exceptions import ClosureError
 from repro.graph.digraph import Label, LabeledDiGraph, NodeId
 from repro.storage.blocks import (
@@ -98,6 +98,23 @@ class _PairTable:
         self.e_dists = array("d", (best_out[t][0] for t in self.e_tails))
         self.e_heads = array("i", (best_out[t][1] for t in self.e_tails))
 
+    @classmethod
+    def from_columns(
+        cls, tails, dists, direct, heads, offsets, e_tails, e_heads, e_dists
+    ) -> "_PairTable":
+        """Adopt already-built columns (the mmap persistence fast path).
+
+        The buffers may be ``array``/``bytearray`` objects or read-only
+        memoryviews over an ``mmap`` section: every read path only
+        indexes, slices, and bisects them, so mapped tables page in per
+        block read without any decode-at-open cost.
+        """
+        self = cls.__new__(cls)
+        self.tails, self.dists, self.direct = tails, dists, direct
+        self.heads, self.offsets = heads, offsets
+        self.e_tails, self.e_heads, self.e_dists = e_tails, e_heads, e_dists
+        return self
+
     @property
     def num_entries(self) -> int:
         return len(self.tails)
@@ -114,16 +131,16 @@ class _PairTable:
         return None
 
     def bytes_resident(self) -> int:
-        """Measured resident bytes of all typed buffers."""
+        """Measured bytes of all typed buffers (mapped extent for mmap)."""
         return (
-            sys.getsizeof(self.tails)
-            + sys.getsizeof(self.dists)
-            + sys.getsizeof(self.direct)
-            + sys.getsizeof(self.heads)
-            + sys.getsizeof(self.offsets)
-            + sys.getsizeof(self.e_tails)
-            + sys.getsizeof(self.e_heads)
-            + sys.getsizeof(self.e_dists)
+            buffer_bytes(self.tails)
+            + buffer_bytes(self.dists)
+            + buffer_bytes(self.direct)
+            + buffer_bytes(self.heads)
+            + buffer_bytes(self.offsets)
+            + buffer_bytes(self.e_tails)
+            + buffer_bytes(self.e_heads)
+            + buffer_bytes(self.e_dists)
         )
 
 
@@ -163,6 +180,35 @@ class ClosureStore:
         if closure is None:
             closure = TransitiveClosure(graph)
         return cls(graph, closure, block_size=block_size, counter=counter)
+
+    @classmethod
+    def from_tables(
+        cls,
+        graph: LabeledDiGraph,
+        closure: TransitiveClosure,
+        pair_tables: dict[tuple[Label, Label], _PairTable],
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        counter: IOCounter | None = None,
+    ) -> "ClosureStore":
+        """Adopt already-laid-out pair tables (the mmap persistence path).
+
+        Skips :meth:`_build` entirely: the tables' columns slice straight
+        out of whatever buffers they were opened over (typically an
+        ``mmap``), so opening a store costs O(groups) directory work, not
+        O(pairs log pairs) layout work.
+        """
+        self = cls.__new__(cls)
+        self._graph = graph
+        self._closure = closure
+        self._interner = closure.interner
+        self.directory = TableDirectory(counter=counter, block_size=block_size)
+        self.counter = self.directory.counter
+        self._pair_tables = dict(pair_tables)
+        self._tail_labels_of = {}
+        for (alpha, _beta), table in self._pair_tables.items():
+            for head_id in table.heads:
+                self._tail_labels_of.setdefault(head_id, set()).add(alpha)
+        return self
 
     def _build(self) -> None:
         interner = self._interner

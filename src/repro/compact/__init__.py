@@ -23,12 +23,13 @@ the pure-stdlib paths remain the default and numpy is never required.
 from repro.compact.accel import numpy_enabled, numpy_or_none
 from repro.compact.csr import CompactGraph
 from repro.compact.interner import NodeInterner
-from repro.compact.rows import ClosureRows
+from repro.compact.rows import ClosureRows, buffer_bytes
 
 __all__ = [
     "CompactGraph",
     "ClosureRows",
     "NodeInterner",
+    "buffer_bytes",
     "numpy_enabled",
     "numpy_or_none",
 ]

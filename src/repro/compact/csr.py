@@ -57,6 +57,39 @@ class CompactGraph:
             graph, interner, forward=False
         )
 
+    @classmethod
+    def from_buffers(
+        cls,
+        interner: NodeInterner,
+        num_edges: int,
+        unit_weighted: bool,
+        out_offsets,
+        out_targets,
+        out_weights,
+        in_offsets,
+        in_targets,
+        in_weights,
+    ) -> "CompactGraph":
+        """Adopt already-packed CSR buffers (persistence fast path).
+
+        The buffers may be ``array`` objects or read-only memoryviews
+        over an ``mmap`` — every probe and search in this class only
+        indexes, slices, and bisects, so mapped buffers page in lazily
+        and are never copied.
+        """
+        self = cls.__new__(cls)
+        self.interner = interner
+        self.num_nodes = len(interner)
+        self.num_edges = num_edges
+        self.unit_weighted = unit_weighted
+        self.out_offsets, self.out_targets, self.out_weights = (
+            out_offsets, out_targets, out_weights,
+        )
+        self.in_offsets, self.in_targets, self.in_weights = (
+            in_offsets, in_targets, in_weights,
+        )
+        return self
+
     @staticmethod
     def _pack(
         graph: LabeledDiGraph, interner: NodeInterner, forward: bool

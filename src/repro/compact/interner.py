@@ -57,6 +57,39 @@ class NodeInterner:
         """Intern every node of ``graph`` (the usual entry point)."""
         return cls({node: graph.label(node) for node in graph.nodes()})
 
+    @classmethod
+    def from_sorted(
+        cls,
+        nodes: Iterator[NodeId] | tuple[NodeId, ...],
+        label_counts: Iterator[tuple[Label, int]],
+    ) -> "NodeInterner":
+        """Adopt an already-canonical layout (persistence fast path).
+
+        ``nodes`` must be in interned-id order and ``label_counts`` must
+        list ``(label, node_count)`` in id-range order — exactly what
+        :meth:`nodes` and :meth:`label_ranges` of the interner that was
+        persisted produce.  Because the mapping is a pure function of the
+        node/label universe, adopting the stored order skips both sorts.
+        """
+        self = cls.__new__(cls)
+        self._nodes = tuple(nodes)
+        self._ids = {node: i for i, node in enumerate(self._nodes)}
+        self._ranges = {}
+        self._starts = []
+        self._range_labels = []
+        start = 0
+        for label, count in label_counts:
+            self._ranges[label] = range(start, start + count)
+            self._starts.append(start)
+            self._range_labels.append(label)
+            start += count
+        if start != len(self._nodes):
+            raise GraphError(
+                f"label counts cover {start} ids but {len(self._nodes)} "
+                "nodes were supplied"
+            )
+        return self
+
     # ------------------------------------------------------------------
     # Encoding / decoding
     # ------------------------------------------------------------------

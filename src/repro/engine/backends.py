@@ -208,13 +208,19 @@ class FullClosureBackend(_BackendBase):
         graph: LabeledDiGraph,
         config: EngineConfig,
         closure: TransitiveClosure | None = None,
+        store: ClosureStore | None = None,
     ) -> None:
         super().__init__()
         started = time.perf_counter()
         self._closure = closure if closure is not None else TransitiveClosure(graph)
-        self._store = ClosureStore(
-            graph, self._closure, block_size=config.block_size
-        )
+        if store is not None:
+            # Adopted pre-laid-out tables (the binary mmap restore path):
+            # no closure recompute, no block layout work.
+            self._store = store
+        else:
+            self._store = ClosureStore(
+                graph, self._closure, block_size=config.block_size
+            )
         self.build_seconds = time.perf_counter() - started
 
     @property
@@ -296,6 +302,8 @@ class HybridBackend(_BackendBase):
         config: EngineConfig,
         closure: TransitiveClosure | None = None,
         distance_index: PrunedLandmarkIndex | None = None,
+        materialized: ClosureStore | None = None,
+        hot_pairs: frozenset | None = None,
     ) -> None:
         super().__init__()
         started = time.perf_counter()
@@ -305,6 +313,8 @@ class HybridBackend(_BackendBase):
             block_size=config.block_size,
             closure=closure,
             distance_index=distance_index,
+            materialized=materialized,
+            hot_pairs=hot_pairs,
         )
         self.build_seconds = time.perf_counter() - started
 
@@ -373,6 +383,7 @@ class ConstrainedBackend(_BackendBase):
         graph: LabeledDiGraph,
         config: EngineConfig,
         closure: TransitiveClosure | None = None,
+        store: ClosureStore | None = None,
     ) -> None:
         super().__init__()
         if not config.workload:
@@ -389,9 +400,12 @@ class ConstrainedBackend(_BackendBase):
                 graph, config.workload, matcher=matcher
             )
         self._closure = closure
-        self._store = ClosureStore(
-            graph, closure, block_size=config.block_size
-        )
+        if store is not None:
+            self._store = store
+        else:
+            self._store = ClosureStore(
+                graph, closure, block_size=config.block_size
+            )
         self.workload = tuple(config.workload)
         self.tail_labels = tail_labels_of_queries(self.workload)
         # Data labels whose nodes are closure sources — the coverage the
@@ -520,4 +534,63 @@ def restore_backend(
         if workload:
             config = config.replace(workload=workload)
         return ConstrainedBackend(graph, config, closure=closure)
+    raise EngineError(f"unknown backend {name!r} in persisted index")
+
+
+def restore_backend_from_disk(
+    graph: LabeledDiGraph, config: EngineConfig, name: str, artifacts
+) -> ReachabilityBackend:
+    """Rebuild the named backend from binary-index artifacts.
+
+    ``artifacts`` is a :class:`repro.storage.diskindex.DiskArtifacts`:
+    the closure rows and pair tables are zero-copy views over the mmap,
+    so — unlike :func:`restore_backend` — not even the block layout is
+    redone; cold start is O(directory), and closure blocks page in on
+    first touch.
+    """
+    from repro.io import query_tree_from_dict
+
+    def adopted_store() -> ClosureStore:
+        if artifacts.closure is None or artifacts.pair_tables is None:
+            raise EngineError(
+                f"binary index lacks the closure sections backend {name!r} "
+                "needs (corrupt or mismatched file)"
+            )
+        return ClosureStore.from_tables(
+            graph,
+            artifacts.closure,
+            artifacts.pair_tables,
+            block_size=config.block_size,
+        )
+
+    if name == "full":
+        return FullClosureBackend(
+            graph, config, closure=artifacts.closure, store=adopted_store()
+        )
+    if name in ("ondemand", "pll"):
+        if artifacts.pll is None:
+            raise EngineError(
+                f"binary index lacks the 2-hop sections backend {name!r} "
+                "needs (corrupt or mismatched file)"
+            )
+        builder = OnDemandBackend if name == "ondemand" else PLLBackend
+        return builder(graph, config, distance_index=artifacts.pll)
+    if name == "hybrid":
+        return HybridBackend(
+            graph,
+            config,
+            closure=artifacts.closure,
+            distance_index=artifacts.pll,
+            materialized=adopted_store(),
+            hot_pairs=artifacts.hot_pairs,
+        )
+    if name == "constrained":
+        workload = tuple(
+            query_tree_from_dict(q) for q in artifacts.workload
+        )
+        if workload:
+            config = config.replace(workload=workload)
+        return ConstrainedBackend(
+            graph, config, closure=artifacts.closure, store=adopted_store()
+        )
     raise EngineError(f"unknown backend {name!r} in persisted index")

@@ -17,8 +17,8 @@ algorithm:
 
     engine.top_k("graph(a:A, b:B, c:C; a-b, b-c, c-a)", k=3)  # cyclic kGPM
 
-    engine.save_index("dataset.idx.json")       # offline cost paid once
-    engine2 = MatchEngine.load("dataset.idx.json")
+    engine.save_index("dataset.ridx")           # offline cost paid once
+    engine2 = MatchEngine.load("dataset.ridx")  # mmap, zero-parse cold start
 
 Every query form is normalized through one chokepoint —
 :func:`repro.query.compile_query` — before planning and execution, so
@@ -31,7 +31,6 @@ streams results, and persists indexes via :mod:`repro.io`.
 
 from __future__ import annotations
 
-import json
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -46,18 +45,19 @@ from repro.core.brute_force import BruteForceEngine
 from repro.core.matches import Match
 from repro.core.topk import TopkEnumerator
 from repro.core.topk_en import TopkEN
-from repro.engine.backends import ReachabilityBackend, build_backend, restore_backend
+from repro.engine.backends import ReachabilityBackend, build_backend
 from repro.engine.config import EngineBuilder, EngineConfig
 from repro.engine.planner import Planner, QueryPlan, choose_backend
 from repro.engine.stream import ResultStream
 from repro.exceptions import EngineError
 from repro.gpm.mtree import KGPMEngine
 from repro.graph.digraph import LabeledDiGraph
+
+# Re-exported for backward compatibility; the format registry (and this
+# JSON document version) lives in repro.io now.
+from repro.io import INDEX_FORMAT_VERSION  # noqa: F401
 from repro.query.compiler import CompiledQuery, compile_query
 from repro.runtime.graph import build_runtime_graph
-
-#: Persisted-index format version (bumped on breaking layout changes).
-INDEX_FORMAT_VERSION = 1
 
 #: LRU bound on cached per-matcher KGPM engines (each holds a bidirected
 #: graph copy; matchers are identity-keyed, so unbounded churn of
@@ -340,69 +340,36 @@ class MatchEngine:
     # ------------------------------------------------------------------
     # Index persistence
     # ------------------------------------------------------------------
-    def save_index(self, path: str | Path) -> None:
+    def save_index(self, path: str | Path, format: str | None = None) -> None:
         """Persist the offline artifacts (graph + closure/2-hop labels).
 
-        The written JSON document lets :meth:`load` answer queries without
+        The written index lets :meth:`load` answer queries without
         re-running the shortest-path pre-computation — the paper's
-        once-per-dataset offline phase.
+        once-per-dataset offline phase.  ``format`` selects from the
+        :data:`repro.io.INDEX_FORMATS` registry: the default ``binary``
+        writes the mmap-paged ``.ridx`` layout (zero-parse cold start,
+        str/int node ids preserved); ``json`` writes the self-describing
+        interchange document (string ids only — non-string ids raise).
         """
-        from repro.io import graph_to_dict
+        from repro.io import save_engine_index
 
-        document = {
-            "kind": "repro-index",
-            "version": INDEX_FORMAT_VERSION,
-            "backend": self._backend.name,
-            "config": {
-                "block_size": self.config.block_size,
-                "hot_fraction": self.config.hot_fraction,
-            },
-            "graph": graph_to_dict(self.graph),
-            "payload": self._backend.payload(),
-        }
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(document, handle)
-            handle.write("\n")
+        save_engine_index(self, path, format=format)
 
     @classmethod
     def load(cls, path: str | Path, **overrides) -> "MatchEngine":
-        """Rebuild an engine from :meth:`save_index` output.
+        """Rebuild an engine from :meth:`save_index` output (any format).
 
-        Keyword overrides customize the non-serializable config fields
-        (``label_matcher``, ``node_weight``, planner knobs); the backend,
-        block size, and hot fraction come from the index document.  Node
-        ids and labels come back as strings (the :mod:`repro.io`
-        convention for external artifacts).
+        The format is sniffed from the file's magic bytes — binary
+        ``.ridx`` indexes open via ``mmap`` with no per-entry decode
+        (closure blocks page in on first touch), JSON documents are
+        parsed as before.  Keyword overrides customize the
+        non-serializable config fields (``label_matcher``,
+        ``node_weight``, planner knobs); the backend, block size, and
+        hot fraction come from the index itself.
         """
-        from repro.io import graph_from_dict
+        from repro.io import load_engine_index
 
-        with open(path, "r", encoding="utf-8") as handle:
-            document = json.load(handle)
-        if document.get("kind") != "repro-index":
-            raise EngineError(
-                f"not a repro-index document: kind={document.get('kind')!r}"
-            )
-        version = document.get("version")
-        if version != INDEX_FORMAT_VERSION:
-            raise EngineError(
-                f"unsupported index version {version!r} "
-                f"(this build reads version {INDEX_FORMAT_VERSION})"
-            )
-        backend_name = document["backend"]
-        stored = document.get("config", {})
-        overrides.setdefault("block_size", stored.get("block_size"))
-        overrides.setdefault("hot_fraction", stored.get("hot_fraction"))
-        overrides = {k: v for k, v in overrides.items() if v is not None}
-        # Build with backend="auto" first: the constrained backend's
-        # workload only exists inside the persisted payload, and config
-        # validation would otherwise demand it up front.
-        config = EngineConfig(**{**overrides, "backend": "auto"})
-        graph = graph_from_dict(document["graph"])
-        backend = restore_backend(graph, config, backend_name, document["payload"])
-        if backend_name == "constrained":
-            config = config.replace(workload=backend.workload)
-        config = config.replace(backend=backend_name)
-        return cls(graph, config, _backend=backend)
+        return load_engine_index(cls, path, **overrides)
 
 
 @dataclass(frozen=True)

@@ -53,6 +53,17 @@ class StorageError(ReproError):
     """Problem in the simulated block storage layer."""
 
 
+class IndexFormatError(StorageError):
+    """A persisted index file is malformed, truncated, or unsupported.
+
+    Raised by the binary ``.ridx`` reader (:mod:`repro.storage.diskindex`)
+    on bad magic/version, truncated sections, checksum mismatches, and
+    unsupported node-id types — always *before* any garbage data can
+    reach a query.  The JSON index path raises it too when asked to
+    persist node ids its format would silently coerce.
+    """
+
+
 class MatchingError(ReproError):
     """Internal inconsistency detected during top-k matching."""
 

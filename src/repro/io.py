@@ -14,12 +14,22 @@ Two interchange formats:
   self-describing, used by the CLI.
 
 * **JSON dicts** for offline index artifacts (graphs, transitive closures,
-  2-hop labels) — the building blocks of ``repro.engine`` index
-  persistence (`MatchEngine.save_index` / `MatchEngine.load`).
+  2-hop labels) — the interchange building blocks of ``repro.engine``
+  index persistence (`MatchEngine.save_index` / `MatchEngine.load`).
 
-All node ids and labels round-trip as strings in these formats (matching
-what external files can express); in-memory construction remains free to
-use arbitrary hashables.
+This module also hosts the **index-format registry** (`INDEX_FORMATS`):
+``MatchEngine.save_index`` defaults to the binary mmap-paged ``.ridx``
+layout of :mod:`repro.storage.diskindex` (zero-parse cold start,
+type-tagged str/int node ids, checksummed sections), with ``json`` kept
+for interchange; ``MatchEngine.load`` sniffs the format from the file's
+magic bytes.
+
+Node ids and labels round-trip as strings in the TSV/JSON interchange
+formats (matching what external files can express); the binary index
+preserves str and int identities exactly, and the JSON index *refuses*
+non-string node ids instead of silently coercing them (which would break
+``Match`` equality after a reload).  In-memory construction remains free
+to use arbitrary hashables.
 """
 
 from __future__ import annotations
@@ -271,3 +281,170 @@ def pll_from_dict(graph: LabeledDiGraph, data: dict) -> PrunedLandmarkIndex:
     if data.get("kind") != "pll-index":
         raise GraphError(f"not a pll-index document: kind={data.get('kind')!r}")
     return PrunedLandmarkIndex.from_labels(graph, data["out"], data["in"])
+
+
+# ----------------------------------------------------------------------
+# Engine index persistence — the format registry
+# ----------------------------------------------------------------------
+#
+# ``MatchEngine.save_index``/``load`` dispatch through here.  Two formats
+# are registered:
+#
+# * ``binary`` (default) — the mmap-paged ``.ridx`` layout of
+#   :mod:`repro.storage.diskindex`: zero-parse cold start, type-tagged
+#   node ids (str/int preserved exactly), per-section checksums.
+# * ``json`` — the self-describing interchange document (kept for
+#   debugging and cross-tool exchange).  Its string coercion of node ids
+#   is *refused loudly* at save time instead of silently breaking
+#   ``Match`` equality after a round trip.
+#
+# ``load`` never needs a format argument: the binary magic is sniffed.
+
+#: Persisted JSON-index format version (bumped on breaking layout changes).
+INDEX_FORMAT_VERSION = 1
+
+#: The format ``save_index`` uses when none is requested.
+DEFAULT_INDEX_FORMAT = "binary"
+
+
+def sniff_index_format(path: str | Path) -> str:
+    """``"binary"`` when ``path`` starts with the ``.ridx`` magic, else
+    ``"json"`` (the JSON reader then validates the document kind)."""
+    from repro.storage.diskindex import sniff_is_binary_index
+
+    return "binary" if sniff_is_binary_index(path) else "json"
+
+
+def _save_index_json(engine, path: str | Path) -> None:
+    from repro.exceptions import IndexFormatError
+
+    offender = next(
+        (
+            node
+            for node in engine.graph.nodes()
+            if not isinstance(node, str)
+        ),
+        None,
+    )
+    if offender is not None:
+        # The JSON document can only express string ids; silently writing
+        # str(node) would make reloaded Match assignments compare unequal
+        # to in-memory ones.  Refuse instead of corrupting identities.
+        raise IndexFormatError(
+            f"node id {offender!r} ({type(offender).__name__}) cannot "
+            "round-trip through the JSON index format, which stringifies "
+            'ids; use save_index(path, format="binary") to preserve '
+            "str/int identities, or rename the nodes to strings"
+        )
+    document = {
+        "kind": "repro-index",
+        "version": INDEX_FORMAT_VERSION,
+        "backend": engine.backend.name,
+        "config": {
+            "block_size": engine.config.block_size,
+            "hot_fraction": engine.config.hot_fraction,
+        },
+        "graph": graph_to_dict(engine.graph),
+        "payload": engine.backend.payload(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+
+
+def _assemble_engine(
+    engine_cls, graph, stored_config: dict, backend_name: str, make_backend,
+    overrides: dict,
+):
+    """Shared load plumbing: merge config, restore backend, build engine."""
+    from repro.engine.config import EngineConfig
+
+    overrides = dict(overrides)
+    overrides.setdefault("block_size", stored_config.get("block_size"))
+    overrides.setdefault("hot_fraction", stored_config.get("hot_fraction"))
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    # Build with backend="auto" first: the constrained backend's
+    # workload only exists inside the persisted payload, and config
+    # validation would otherwise demand it up front.
+    config = EngineConfig(**{**overrides, "backend": "auto"})
+    backend = make_backend(graph, config)
+    if backend_name == "constrained":
+        config = config.replace(workload=backend.workload)
+    config = config.replace(backend=backend_name)
+    return engine_cls(graph, config, _backend=backend)
+
+
+def _load_index_json(engine_cls, path: str | Path, overrides: dict):
+    from repro.engine.backends import restore_backend
+    from repro.exceptions import EngineError
+
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("kind") != "repro-index":
+        raise EngineError(
+            f"not a repro-index document: kind={document.get('kind')!r}"
+        )
+    version = document.get("version")
+    if version != INDEX_FORMAT_VERSION:
+        raise EngineError(
+            f"unsupported index version {version!r} "
+            f"(this build reads version {INDEX_FORMAT_VERSION})"
+        )
+    backend_name = document["backend"]
+    graph = graph_from_dict(document["graph"])
+
+    def make_backend(graph, config):
+        return restore_backend(graph, config, backend_name, document["payload"])
+
+    return _assemble_engine(
+        engine_cls, graph, document.get("config", {}), backend_name,
+        make_backend, overrides,
+    )
+
+
+def _save_index_binary(engine, path: str | Path) -> None:
+    from repro.storage.diskindex import write_engine_index
+
+    write_engine_index(engine, path)
+
+
+def _load_index_binary(engine_cls, path: str | Path, overrides: dict):
+    from repro.engine.backends import restore_backend_from_disk
+    from repro.storage.diskindex import open_engine_index
+
+    graph, stored_config, backend_name, artifacts = open_engine_index(path)
+
+    def make_backend(graph, config):
+        return restore_backend_from_disk(graph, config, backend_name, artifacts)
+
+    return _assemble_engine(
+        engine_cls, graph, stored_config, backend_name, make_backend, overrides
+    )
+
+
+#: The registry: format name -> (save, load) implementations.
+INDEX_FORMATS: dict[str, tuple] = {
+    "json": (_save_index_json, _load_index_json),
+    "binary": (_save_index_binary, _load_index_binary),
+}
+
+
+def save_engine_index(engine, path: str | Path, format: str | None = None) -> None:
+    """Persist ``engine``'s offline artifacts in the requested format."""
+    from repro.exceptions import EngineError
+
+    name = format if format is not None else DEFAULT_INDEX_FORMAT
+    entry = INDEX_FORMATS.get(name)
+    if entry is None:
+        raise EngineError(
+            f"unknown index format {name!r}; choose from "
+            f"{tuple(sorted(INDEX_FORMATS))}"
+        )
+    entry[0](engine, path)
+
+
+def load_engine_index(engine_cls, path: str | Path, **overrides):
+    """Rebuild an engine from a persisted index, sniffing the format."""
+    return INDEX_FORMATS[sniff_index_format(path)][1](
+        engine_cls, path, overrides
+    )

@@ -118,6 +118,7 @@ class MatchService:
         max_workers: int = 4,
         max_pending: int | None = None,
         default_deadline: float | None = None,
+        _engine: MatchEngine | None = None,
         **overrides,
     ) -> None:
         if max_workers <= 0:
@@ -136,7 +137,13 @@ class MatchService:
                 f"plan_cache_size={plan_cache_size}, "
                 f"result_cache_size={result_cache_size}"
             )
-        engine = MatchEngine(graph, config, **overrides)
+        if _engine is not None:
+            # Adopted pre-built engine (the from_index cold-start path):
+            # the offline artifacts were restored from a persisted index,
+            # so snapshot 0 costs no closure/label computation.
+            engine = _engine
+        else:
+            engine = MatchEngine(graph, config, **overrides)
         self._snapshot = Snapshot.initial(engine)
         self._config_fp = config_fingerprint(engine.config)
         self._plans = LRUCache(plan_cache_size)
@@ -174,6 +181,28 @@ class MatchService:
     def _count(self, counter: str) -> None:
         with self._stats_lock:
             setattr(self, counter, getattr(self, counter) + 1)
+
+    @classmethod
+    def from_index(cls, path, **kwargs) -> "MatchService":
+        """Serve straight from a persisted index — the cold-start path.
+
+        Builds the epoch-0 snapshot from :meth:`MatchEngine.load` instead
+        of paying the backend's offline cost: with a binary ``.ridx``
+        index the closure opens via ``mmap`` with no per-entry decode, so
+        a process can start taking traffic as soon as the file is mapped
+        (blocks page in on first touch).  Engine config overrides
+        (``label_matcher``, planner knobs, ...) and service knobs
+        (``max_workers``, cache sizes, deadlines) are both accepted.
+        """
+        service_keys = (
+            "plan_cache_size", "result_cache_size", "max_workers",
+            "max_pending", "default_deadline",
+        )
+        service_kwargs = {
+            key: kwargs.pop(key) for key in service_keys if key in kwargs
+        }
+        engine = MatchEngine.load(path, **kwargs)
+        return cls(engine.graph, engine.config, _engine=engine, **service_kwargs)
 
     # ------------------------------------------------------------------
     # Introspection

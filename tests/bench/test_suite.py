@@ -57,6 +57,28 @@ class TestRunSuite:
         assert loaded["kind"] == BENCH_KIND
         assert loaded["version"] == BENCH_VERSION
 
+    def test_rss_is_normalized_to_bytes(self, quick_document):
+        # ru_maxrss is KiB on Linux and bytes on macOS; the document must
+        # always record bytes and say so.
+        assert quick_document["peak_rss_unit"] == "bytes"
+        # A Python process that just ran the suite occupies well over
+        # 4 MiB — a value this small would mean KiB leaked through.
+        assert quick_document["peak_rss_bytes"] > 4 * 1024 * 1024
+
+    def test_cold_start_section(self, quick_document):
+        cold = quick_document["cold_start"]
+        for side in ("json", "binary"):
+            assert cold[side]["load_seconds"] > 0.0
+            assert cold[side]["total_seconds"] >= cold[side]["load_seconds"]
+            assert cold[side]["index_bytes"] > 0
+            assert cold[side]["peak_rss_bytes"] > 0
+        # Both processes answered the same query identically.
+        assert cold["json"]["matches"] == cold["binary"]["matches"]
+        # Only the binary format serves from a mapping.
+        assert cold["binary"]["mapped_bytes"] == cold["binary"]["index_bytes"]
+        assert cold["json"]["mapped_bytes"] == 0
+        assert cold["speedup"] > 0.0 and cold["load_speedup"] > 0.0
+
 
 class TestComparisons:
     def test_closure_memory_fields(self):
@@ -78,8 +100,37 @@ class TestValidator:
         assert validate_bench_document([]) == ["document is not a JSON object"]
 
     def test_rejects_missing_fields(self):
-        errors = validate_bench_document({"kind": BENCH_KIND})
+        errors = validate_bench_document(
+            {"kind": BENCH_KIND, "version": BENCH_VERSION}
+        )
         assert any("missing field" in e for e in errors)
+
+    def test_rejects_unknown_versions(self):
+        assert validate_bench_document({"version": 99}) == [
+            "unsupported version 99"
+        ]
+
+    def test_accepts_legacy_v1_documents(self, quick_document):
+        legacy = json.loads(json.dumps(quick_document))
+        legacy["version"] = 1
+        legacy["peak_rss_kb"] = 12345
+        for field in ("peak_rss_bytes", "peak_rss_unit", "cold_start"):
+            del legacy[field]
+        assert validate_bench_document(legacy) == []
+
+    def test_asserts_rss_unit(self, quick_document):
+        broken = json.loads(json.dumps(quick_document))
+        broken["peak_rss_unit"] = "kb"
+        errors = validate_bench_document(broken)
+        assert any("peak_rss_unit" in e for e in errors)
+
+    def test_rejects_broken_cold_start(self, quick_document):
+        broken = json.loads(json.dumps(quick_document))
+        del broken["cold_start"]["binary"]["load_seconds"]
+        broken["cold_start"]["json"]["peak_rss_bytes"] = -1
+        errors = validate_bench_document(broken)
+        assert any("cold_start.binary missing 'load_seconds'" in e for e in errors)
+        assert any("cold_start.json.peak_rss_bytes is negative" in e for e in errors)
 
     def test_rejects_wrong_kind_and_broken_cells(self, quick_document):
         broken = json.loads(json.dumps(quick_document))

@@ -96,3 +96,43 @@ class TestEnginesOverHybrid:
         hybrid = HybridStore(g, hot_fraction=0.2)
         stats = hybrid.storage_statistics()
         assert stats["hot_storage_fraction"] > 0.4
+
+
+class TestStatsNoDoubleCount:
+    """Regression: stats() must count structures shared between the hot
+    and cold sides exactly once (the naive materialized + ondemand sum
+    double-counted every backward-search cache entry — each one
+    re-derives a closure pair the hot tables already materialize)."""
+
+    def _warmed_hybrid(self):
+        from repro.graph.generators import citation_graph
+
+        graph = citation_graph(120, num_labels=10, seed=5)
+        hybrid = HybridStore(graph, hot_fraction=0.2)
+        # Route queries through the cold side so the on-demand cache
+        # actually fills (all-cold pairs exist at hot_fraction=0.2).
+        for label in sorted(graph.labels(), key=repr):
+            hybrid.read_d_table(None, label)
+        return hybrid
+
+    def test_hybrid_bounded_by_sides_minus_shared(self):
+        hybrid = self._warmed_hybrid()
+        materialized = hybrid._materialized.stats()
+        ondemand = hybrid._ondemand.stats()
+        shared = hybrid.shared_stats()
+        stats = hybrid.stats()
+        # The cold side genuinely cached something, so the naive sum
+        # genuinely over-counts — the bound below is strict.
+        assert shared["pair_count"] > 0
+        for key in ("pair_count", "bytes_estimate"):
+            assert stats[key] == materialized[key] + ondemand[key] - shared[key]
+            assert stats[key] <= materialized[key] + ondemand[key] - shared[key]
+            assert stats[key] < materialized[key] + ondemand[key]
+
+    def test_cached_cold_reads_do_not_inflate_pair_count(self):
+        hybrid = self._warmed_hybrid()
+        # Every closure pair exists once in the hot tables; the cold
+        # cache must not make the hybrid look bigger than full + 2-hop.
+        full_pairs = hybrid._materialized.stats()["pair_count"]
+        pll_entries = hybrid._ondemand.distance_index.index_size()
+        assert hybrid.stats()["pair_count"] == full_pairs + pll_entries

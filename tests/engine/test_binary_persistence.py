@@ -1,0 +1,179 @@
+"""Binary (.ridx) persistence: mmap-loaded engines ≡ in-memory engines.
+
+The acceptance property of the binary format: for every backend, saving
+an engine and reopening it through the mmap path returns *byte-identical*
+top-k results — same scores, same assignments, same node-id types.  The
+random graphs from :mod:`tests.strategies` use ``int`` node ids, so the
+property also pins the id-type preservation the JSON format cannot offer
+(and now refuses instead of silently breaking ``Match`` equality).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matches import Match
+from repro.engine import MatchEngine
+from repro.exceptions import IndexFormatError
+from repro.graph.digraph import graph_from_edges
+from repro.graph.query import QueryTree
+from repro.service import MatchService
+from tests.strategies import FUZZ_EXAMPLES, graph_and_query
+
+BACKENDS = ("full", "ondemand", "hybrid", "pll")
+
+fuzz_settings = settings(max_examples=FUZZ_EXAMPLES, deadline=None)
+
+
+def exact(matches):
+    """Order-sensitive, identity-sensitive comparison form."""
+    return [
+        (m.score, tuple(sorted(m.assignment.items(), key=repr)))
+        for m in matches
+    ]
+
+
+@given(instance=graph_and_query(max_query_size=4), k=st.integers(1, 8))
+@fuzz_settings
+def test_mmap_load_is_byte_identical_across_backends(instance, k):
+    """binary save -> mmap load -> top_k ≡ the in-memory engine, all backends."""
+    graph, query = instance
+    with tempfile.TemporaryDirectory(prefix="repro-ridx-") as tmp:
+        for backend in BACKENDS:
+            engine = MatchEngine(graph, backend=backend)
+            want = exact(engine.top_k(query, k))
+            path = Path(tmp) / f"{backend}.ridx"
+            engine.save_index(path)
+            loaded = MatchEngine.load(path)
+            assert loaded.backend_name == backend
+            assert exact(loaded.top_k(query, k)) == want, backend
+
+
+@given(instance=graph_and_query(max_query_size=3, direct_edges=True))
+@fuzz_settings
+def test_mmap_load_preserves_direct_edge_semantics(instance):
+    """The is_direct flags survive the mmap round trip (`/` axis)."""
+    graph, query = instance
+    engine = MatchEngine(graph, backend="full")
+    want = exact(engine.top_k(query, 6))
+    with tempfile.TemporaryDirectory(prefix="repro-ridx-") as tmp:
+        path = Path(tmp) / "full.ridx"
+        engine.save_index(path)
+        assert exact(MatchEngine.load(path).top_k(query, 6)) == want
+
+
+class TestIntNodeIds:
+    """The satellite regression: int ids must survive, Match-equal."""
+
+    @pytest.fixture
+    def int_graph(self):
+        return graph_from_edges(
+            {1: "A", 2: "B", 3: "B", 4: "C"},
+            [(1, 2), (1, 3), (2, 4), (3, 4)],
+        )
+
+    @pytest.fixture
+    def query(self):
+        return QueryTree({"u": "A", "v": "B", "w": "C"},
+                         [("u", "v"), ("v", "w")])
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_match_equality_after_reload(self, tmp_path, int_graph, query,
+                                         backend):
+        engine = MatchEngine(int_graph, backend=backend)
+        want = engine.top_k(query, 4)
+        path = tmp_path / "int.ridx"
+        engine.save_index(path)
+        got = MatchEngine.load(path).top_k(query, 4)
+        # Full dataclass equality — scores AND typed assignments.
+        assert got == want
+        assert all(
+            isinstance(node, int)
+            for match in got
+            for node in match.assignment.values()
+        )
+        # The historical silent-coercion bug made these unequal:
+        coerced = [
+            Match(
+                assignment={q: str(n) for q, n in m.assignment.items()},
+                score=m.score,
+            )
+            for m in want
+        ]
+        assert got != coerced
+
+    def test_json_format_refuses_int_ids(self, tmp_path, int_graph):
+        engine = MatchEngine(int_graph, backend="full")
+        with pytest.raises(IndexFormatError, match="binary"):
+            engine.save_index(tmp_path / "int.json", format="json")
+
+
+class TestMmapStoreBehavior:
+    @pytest.fixture
+    def saved(self, tmp_path):
+        graph = graph_from_edges(
+            {"v1": "a", "v2": "b", "v3": "b", "v4": "c"},
+            [("v1", "v2"), ("v1", "v3"), ("v2", "v4"), ("v3", "v4")],
+        )
+        path = tmp_path / "g.ridx"
+        MatchEngine(graph, backend="full", block_size=2).save_index(path)
+        return path
+
+    def test_blocks_stay_metered_through_iostats(self, saved):
+        """mmap-backed tables pay the same simulated I/O as in-memory ones."""
+        loaded = MatchEngine.load(saved)
+        counter = loaded.store.counter
+        before = counter.snapshot()
+        loaded.top_k(QueryTree({"u": "a", "v": "b"}, [("u", "v")]), 3)
+        delta = counter.delta_since(before)
+        assert delta.tables_opened > 0
+        assert delta.blocks_read > 0
+
+    def test_resave_round_trip(self, saved, tmp_path):
+        """An mmap-loaded engine can itself be persisted again."""
+        loaded = MatchEngine.load(saved)
+        query = QueryTree({"u": "a", "v": "b"}, [("u", "v")])
+        want = loaded.top_k(query, 3)
+        again = tmp_path / "again.ridx"
+        loaded.save_index(again)
+        assert MatchEngine.load(again).top_k(query, 3) == want
+
+    def test_statistics_report_index_size(self, saved):
+        stats = MatchEngine.load(saved).backend.stats()
+        assert stats["pair_count"] > 0
+        assert stats["bytes_estimate"] > 0
+
+
+class TestServiceFromIndex:
+    def test_cold_start_service(self, tmp_path):
+        graph = graph_from_edges(
+            {"v1": "a", "v2": "b", "v3": "c"},
+            [("v1", "v2"), ("v2", "v3")],
+        )
+        engine = MatchEngine(graph, backend="full")
+        path = tmp_path / "svc.ridx"
+        engine.save_index(path)
+        want = engine.top_k("a//b", 3)
+        with MatchService.from_index(path, max_workers=2) as service:
+            assert list(service.top_k("a//b", 3)) == want
+            assert service.epoch == 0
+            assert service.statistics()["backend"] == "full"
+            # Updates derive fresh snapshots from the mmap-loaded one.
+            service.apply_updates(nodes_added={"v9": "b"},
+                                  edges_added=[("v1", "v9")])
+            assert service.epoch == 1
+            assert len(service.top_k("a//b", 3)) == 2
+
+    def test_service_kwargs_split(self, tmp_path):
+        graph = graph_from_edges({"v1": "a", "v2": "b"}, [("v1", "v2")])
+        MatchEngine(graph, backend="pll").save_index(tmp_path / "s.ridx")
+        with MatchService.from_index(
+            tmp_path / "s.ridx", max_workers=1, plan_cache_size=4
+        ) as service:
+            assert service.max_workers == 1
+            assert service.statistics()["plan_cache"]["capacity"] == 4

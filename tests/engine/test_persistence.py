@@ -1,4 +1,10 @@
-"""Index persistence: save/load round-trips that skip the offline phase."""
+"""Index persistence: save/load round-trips that skip the offline phase.
+
+Both registered formats are covered: ``binary`` (the default — mmap-paged
+``.ridx``) and ``json`` (interchange).  Binary-specific behavior (id-type
+preservation, corruption handling, property-based equivalence) lives in
+``test_binary_persistence.py``.
+"""
 
 import json
 
@@ -8,6 +14,9 @@ from repro.engine import BACKENDS, MatchEngine
 from repro.exceptions import EngineError
 from repro.graph.digraph import graph_from_edges
 from repro.graph.query import QueryTree
+from repro.io import sniff_index_format
+
+FORMATS = ("binary", "json")
 
 
 @pytest.fixture
@@ -35,24 +44,35 @@ def query():
 
 
 class TestRoundTrip:
+    @pytest.mark.parametrize("format", FORMATS)
     @pytest.mark.parametrize("backend", BACKENDS)
-    def test_same_answers_after_reload(self, tmp_path, string_graph, query, backend):
+    def test_same_answers_after_reload(
+        self, tmp_path, string_graph, query, backend, format
+    ):
         kwargs = {"workload": (query,)} if backend == "constrained" else {}
         engine = MatchEngine(string_graph, backend=backend, **kwargs)
         want = [m.score for m in engine.top_k(query, 4)]
-        path = tmp_path / "index.json"
-        engine.save_index(path)
+        path = tmp_path / "index.ridx"
+        engine.save_index(path, format=format)
+        assert sniff_index_format(path) == format
 
         loaded = MatchEngine.load(path)
         assert loaded.backend_name == backend
         assert [m.score for m in loaded.top_k(query, 4)] == want == [3, 4, 5, 6]
 
+    def test_binary_is_the_default_format(self, tmp_path, string_graph):
+        engine = MatchEngine(string_graph, backend="full")
+        path = tmp_path / "index.ridx"
+        engine.save_index(path)
+        assert sniff_index_format(path) == "binary"
+
+    @pytest.mark.parametrize("format", FORMATS)
     def test_no_closure_recompute_on_load(self, tmp_path, string_graph, query,
-                                          monkeypatch):
+                                          monkeypatch, format):
         """A loaded full index answers without re-running shortest paths."""
         engine = MatchEngine(string_graph, backend="full")
-        path = tmp_path / "index.json"
-        engine.save_index(path)
+        path = tmp_path / "index.any"
+        engine.save_index(path, format=format)
 
         def boom(*args, **kwargs):  # pragma: no cover - failure path
             raise AssertionError("shortest-path computation ran after load")
@@ -66,12 +86,13 @@ class TestRoundTrip:
         assert loaded.closure.build_seconds == 0.0
         assert [m.score for m in loaded.top_k(query, 2)] == [3, 4]
 
+    @pytest.mark.parametrize("format", FORMATS)
     def test_no_pll_recompute_on_load(self, tmp_path, string_graph, query,
-                                      monkeypatch):
+                                      monkeypatch, format):
         """A loaded pll index answers without re-running pruned searches."""
         engine = MatchEngine(string_graph, backend="pll")
-        path = tmp_path / "index.json"
-        engine.save_index(path)
+        path = tmp_path / "index.any"
+        engine.save_index(path, format=format)
 
         from repro.closure.pll import PrunedLandmarkIndex
 
@@ -84,22 +105,54 @@ class TestRoundTrip:
         # Point distances still come from the restored labels.
         assert loaded.store.distance("v1", "v7") == 2
 
-    def test_block_size_round_trips(self, tmp_path, string_graph, query):
-        engine = MatchEngine(string_graph, backend="full", block_size=2)
-        path = tmp_path / "index.json"
+    def test_binary_load_skips_block_layout(self, tmp_path, string_graph,
+                                            query, monkeypatch):
+        """The mmap path adopts the pair tables without re-laying them out."""
+        engine = MatchEngine(string_graph, backend="full")
+        path = tmp_path / "index.ridx"
         engine.save_index(path)
+
+        from repro.closure.store import ClosureStore
+
+        def boom(self):  # pragma: no cover - failure path
+            raise AssertionError("block layout ran after a binary load")
+
+        monkeypatch.setattr(ClosureStore, "_build", boom)
+        loaded = MatchEngine.load(path)
+        assert [m.score for m in loaded.top_k(query, 2)] == [3, 4]
+
+    @pytest.mark.parametrize("format", FORMATS)
+    def test_block_size_round_trips(self, tmp_path, string_graph, query, format):
+        engine = MatchEngine(string_graph, backend="full", block_size=2)
+        path = tmp_path / "index.any"
+        engine.save_index(path, format=format)
         loaded = MatchEngine.load(path)
         assert loaded.config.block_size == 2
         assert loaded.store.directory.block_size == 2
 
-    def test_constrained_workload_round_trips(self, tmp_path, string_graph, query):
+    @pytest.mark.parametrize("format", FORMATS)
+    def test_constrained_workload_round_trips(self, tmp_path, string_graph,
+                                              query, format):
         engine = MatchEngine(string_graph, backend="constrained", workload=(query,))
-        path = tmp_path / "index.json"
-        engine.save_index(path)
+        path = tmp_path / "index.any"
+        engine.save_index(path, format=format)
         loaded = MatchEngine.load(path)
         assert loaded.backend_name == "constrained"
         assert len(loaded.config.workload) == 1
         assert loaded.closure.is_partial
+
+    def test_hybrid_hot_pairs_round_trip(self, tmp_path, string_graph, query):
+        engine = MatchEngine(string_graph, backend="hybrid", hot_fraction=0.5)
+        path = tmp_path / "index.ridx"
+        engine.save_index(path)
+        loaded = MatchEngine.load(path)
+        assert loaded.store.hot_pairs == engine.store.hot_pairs
+        assert loaded.config.hot_fraction == 0.5
+
+    def test_unknown_format_rejected(self, tmp_path, string_graph):
+        engine = MatchEngine(string_graph, backend="full")
+        with pytest.raises(EngineError, match="unknown index format"):
+            engine.save_index(tmp_path / "x.idx", format="msgpack")
 
 
 class TestDocumentValidation:
@@ -112,7 +165,7 @@ class TestDocumentValidation:
     def test_rejects_future_versions(self, tmp_path, string_graph):
         engine = MatchEngine(string_graph, backend="full")
         path = tmp_path / "index.json"
-        engine.save_index(path)
+        engine.save_index(path, format="json")
         document = json.loads(path.read_text())
         document["version"] = 99
         path.write_text(json.dumps(document))

@@ -1,0 +1,207 @@
+"""Format-level tests for the binary ``.ridx`` disk index.
+
+Engine-level round trips live in ``tests/engine/test_binary_persistence``;
+this file exercises the file format itself: header/section parsing,
+truncation and corruption handling (always a clean
+:class:`IndexFormatError`, never garbage reads), checksum coverage, and
+the type-tagged identity pools.
+"""
+
+import shutil
+
+import pytest
+
+from repro.engine import MatchEngine
+from repro.exceptions import IndexFormatError
+from repro.graph.digraph import graph_from_edges
+from repro.graph.query import QueryTree
+from repro.io import sniff_index_format
+from repro.storage.diskindex import (
+    DiskIndex,
+    encode_identity_pool,
+    sniff_is_binary_index,
+)
+
+
+@pytest.fixture
+def graph():
+    return graph_from_edges(
+        {"v1": "a", "v2": "b", "v3": "b", "v4": "c", "v5": "c"},
+        [
+            ("v1", "v2", 1), ("v1", "v3", 2), ("v2", "v4", 1),
+            ("v3", "v5", 1), ("v4", "v5", 3),
+        ],
+    )
+
+
+@pytest.fixture
+def query():
+    return QueryTree({"u1": "a", "u2": "b"}, [("u1", "u2")])
+
+
+@pytest.fixture
+def index_path(tmp_path, graph):
+    path = tmp_path / "index.ridx"
+    MatchEngine(graph, backend="full").save_index(path)
+    return path
+
+
+class TestLayout:
+    def test_sections_and_meta(self, index_path):
+        disk = DiskIndex(index_path)
+        names = disk.section_names()
+        for required in ("meta", "nodes.blob", "labels.blob", "csr.oo",
+                         "rows.tgt", "ltab.dir"):
+            assert required in names
+        assert disk.meta["backend"] == "full"
+        assert disk.meta["counts"]["nodes"] == 5
+        assert disk.mapped_bytes == index_path.stat().st_size
+
+    def test_full_verify_passes_on_pristine_file(self, index_path):
+        DiskIndex(index_path).verify()
+
+    def test_sniffing(self, index_path, tmp_path):
+        assert sniff_is_binary_index(index_path)
+        assert sniff_index_format(index_path) == "binary"
+        other = tmp_path / "doc.json"
+        other.write_text("{}")
+        assert not sniff_is_binary_index(other)
+        assert sniff_index_format(other) == "json"
+        assert not sniff_is_binary_index(tmp_path / "missing.ridx")
+
+    def test_missing_section_is_a_clean_error(self, index_path):
+        disk = DiskIndex(index_path)
+        with pytest.raises(IndexFormatError, match="missing required section"):
+            disk.raw("no.such")
+
+
+class TestTruncation:
+    @pytest.mark.parametrize("keep_fraction", [0.0, 0.1, 0.5, 0.95])
+    def test_truncated_file_raises_cleanly(self, tmp_path, index_path,
+                                           keep_fraction):
+        data = index_path.read_bytes()
+        stunted = tmp_path / "stunted.ridx"
+        stunted.write_bytes(data[: int(len(data) * keep_fraction)])
+        with pytest.raises(IndexFormatError):
+            DiskIndex(stunted)
+
+    def test_truncated_file_fails_engine_load_cleanly(self, tmp_path,
+                                                      index_path):
+        data = index_path.read_bytes()
+        stunted = tmp_path / "stunted.ridx"
+        stunted.write_bytes(data[: len(data) // 2])
+        with pytest.raises(IndexFormatError):
+            MatchEngine.load(stunted)
+
+    def test_trailing_garbage_detected(self, tmp_path, index_path):
+        bloated = tmp_path / "bloated.ridx"
+        bloated.write_bytes(index_path.read_bytes() + b"\0" * 64)
+        with pytest.raises(IndexFormatError, match="truncated|bytes"):
+            DiskIndex(bloated)
+
+
+class TestCorruption:
+    def _corrupt_section(self, tmp_path, index_path, name, position=0):
+        disk = DiskIndex(index_path)
+        offset, length, _crc = disk._sections[name]
+        assert length > position
+        target = tmp_path / f"corrupt-{name.replace('.', '-')}.ridx"
+        shutil.copy(index_path, target)
+        data = bytearray(target.read_bytes())
+        data[offset + position] ^= 0xFF
+        target.write_bytes(bytes(data))
+        return target
+
+    def test_bad_magic(self, tmp_path, index_path):
+        data = bytearray(index_path.read_bytes())
+        data[0] ^= 0xFF
+        bad = tmp_path / "badmagic.ridx"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(IndexFormatError, match="bad magic"):
+            DiskIndex(bad)
+        # Non-magic files fall through to the JSON reader, which has its
+        # own clean failure for non-JSON bytes.
+        assert sniff_index_format(bad) == "json"
+
+    def test_unsupported_version(self, tmp_path, index_path):
+        data = bytearray(index_path.read_bytes())
+        import struct
+        import zlib
+        struct.pack_into("<H", data, 8, 99)  # version field
+        struct.pack_into("<I", data, 36, zlib.crc32(bytes(data[:36])))
+        bad = tmp_path / "future.ridx"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(IndexFormatError, match="unsupported binary index version"):
+            DiskIndex(bad)
+
+    def test_structural_corruption_caught_at_open(self, tmp_path, index_path):
+        target = self._corrupt_section(tmp_path, index_path, "nodes.blob")
+        with pytest.raises(IndexFormatError, match="checksum mismatch"):
+            DiskIndex(target)
+
+    def test_header_corruption_caught_at_open(self, tmp_path, index_path):
+        data = bytearray(index_path.read_bytes())
+        data[20] ^= 0xFF  # inside table_offset
+        bad = tmp_path / "badheader.ridx"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(IndexFormatError):
+            DiskIndex(bad)
+
+    def test_lazy_section_corruption_caught_by_verify(self, tmp_path,
+                                                      index_path):
+        # Runs untouched at open are deliberately not checksummed there
+        # (that would fault in every page); verify() covers them.
+        target = self._corrupt_section(tmp_path, index_path, "ltab.dists")
+        disk = DiskIndex(target)  # opens fine
+        with pytest.raises(IndexFormatError, match="ltab.dists"):
+            disk.verify()
+
+    def test_pll_corruption_caught_at_open(self, tmp_path, graph):
+        # The 2-hop labels are decoded eagerly at open, so — unlike the
+        # closure runs — they must be CRC-checked eagerly too: corrupted
+        # distances must never silently reach a query.
+        path = tmp_path / "pll.ridx"
+        MatchEngine(graph, backend="pll").save_index(path)
+        target = self._corrupt_section(tmp_path, path, "pll.din")
+        with pytest.raises(IndexFormatError, match="checksum mismatch"):
+            DiskIndex(target)
+        with pytest.raises(IndexFormatError, match="checksum mismatch"):
+            MatchEngine.load(target)
+
+    def test_corrupt_meta_json(self, tmp_path, index_path):
+        target = self._corrupt_section(tmp_path, index_path, "meta",
+                                       position=1)
+        with pytest.raises(IndexFormatError):
+            DiskIndex(target)
+
+    def test_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.ridx"
+        empty.touch()
+        with pytest.raises(IndexFormatError):
+            DiskIndex(empty)
+
+
+class TestIdentityPools:
+    def test_str_and_int_round_trip(self, tmp_path, query):
+        graph = graph_from_edges(
+            {0: "a", 1: "b", "two": "b", 3: "c"},
+            [(0, 1), (0, "two"), (1, 3)],
+        )
+        path = tmp_path / "mixed.ridx"
+        MatchEngine(graph, backend="full").save_index(path)
+        loaded = MatchEngine.load(path)
+        assert set(loaded.graph.nodes()) == {0, 1, "two", 3}
+        assert loaded.graph.label("two") == "b"
+
+    @pytest.mark.parametrize("bad_id", [True, 2.5, ("a", 1), frozenset()])
+    def test_unsupported_id_types_raise_loudly(self, tmp_path, bad_id):
+        graph = graph_from_edges({bad_id: "a", "x": "b"}, [(bad_id, "x")])
+        engine = MatchEngine(graph, backend="full")
+        with pytest.raises(IndexFormatError, match="str and int identities"):
+            engine.save_index(tmp_path / "bad.ridx")
+
+    def test_encode_pool_tags(self):
+        offsets, tags, blob = encode_identity_pool(["ab", 42, -7], "node id")
+        assert list(tags) == [0, 1, 1]
+        assert bytes(blob) == b"ab42-7"
+        assert list(offsets) == [0, 2, 4, 6]
