@@ -25,10 +25,18 @@ explicit ``peak_rss_unit`` field the validator asserts — the historical
 ``ru_maxrss`` value is KiB on Linux but bytes on macOS, and v1 documents
 recorded the platform-dependent number unchecked).
 
+* a **sharded scatter-gather serving comparison** (since schema
+  version 3): multi-process :class:`~repro.service.ShardedMatchService`
+  throughput and latency percentiles across shard counts against a
+  single-process :class:`~repro.service.MatchService` baseline, with
+  ``cpu_count`` recorded so the numbers are readable on any runner
+  (see :mod:`repro.bench.sharding`).
+
 The document schema is validated by :func:`validate_bench_document`
 (also exposed as ``repro bench validate``) so CI can gate on it; the
-committed ``BENCH_PR4.json`` (v1) and ``BENCH_PR5.json`` (v2) at the
-repo root are the entries of the trajectory so far.
+committed ``BENCH_PR4.json`` (v1), ``BENCH_PR5.json`` (v2), and
+``BENCH_PR6.json`` (v3) at the repo root are the entries of the
+trajectory so far.
 """
 
 from __future__ import annotations
@@ -54,7 +62,7 @@ from repro.query import to_dsl
 from repro.storage.blocks import TableDirectory
 
 BENCH_KIND = "repro-bench-suite"
-BENCH_VERSION = 2
+BENCH_VERSION = 3
 
 #: The fixed matrix; ``--quick`` shrinks it for CI smoke runs.
 FULL_MATRIX = {
@@ -431,6 +439,10 @@ def run_suite(quick: bool = False, seed: int = 0, **overrides) -> dict:
     else:
         cold_graph, cold_query = graph, query_texts[0]
 
+    # Imported here: repro.bench.sharding reuses build_workload from this
+    # module, so a top-level import would be circular.
+    from repro.bench.sharding import sharded_scatter_gather
+
     return {
         "kind": BENCH_KIND,
         "version": BENCH_VERSION,
@@ -455,6 +467,7 @@ def run_suite(quick: bool = False, seed: int = 0, **overrides) -> dict:
         "cold_start": cold_start_comparison(
             cold_graph, cold_query, runs=matrix.get("cold_start_runs", 3)
         ),
+        "sharding": sharded_scatter_gather(quick=quick, seed=seed),
         "peak_rss_bytes": peak_rss_bytes(),
         "peak_rss_unit": "bytes",
     }
@@ -502,6 +515,22 @@ _V2_FIELDS = {
     "peak_rss_unit": str,
     "cold_start": dict,
 }
+#: v3 adds the sharded scatter-gather serving section.
+_V3_FIELDS = dict(_V2_FIELDS, sharding=dict)
+_SHARDING_RUN_FIELDS = {
+    "requests": int,
+    "wall_seconds": (int, float),
+    "throughput_qps": (int, float),
+    "p50_ms": (int, float),
+    "p99_ms": (int, float),
+}
+_SHARDING_CONFIG_FIELDS = dict(
+    _SHARDING_RUN_FIELDS,
+    shards=int,
+    effective_shards=int,
+    clients=int,
+    speedup_vs_single=(int, float),
+)
 _COLD_START_SIDE_FIELDS = {
     "index_bytes": int,
     "mapped_bytes": int,
@@ -533,22 +562,67 @@ def _validate_cold_start(cold: dict, errors: list[str]) -> None:
                 errors.append(f"cold_start.{side}.{field} is negative")
 
 
+def _validate_sharding(sharding: dict, errors: list[str]) -> None:
+    for field in ("cpu_count", "nodes", "seed", "k", "queries"):
+        if field not in sharding:
+            errors.append(f"sharding missing {field!r}")
+    if not isinstance(sharding.get("cpu_count"), int) or isinstance(
+        sharding.get("cpu_count"), bool
+    ):
+        errors.append("sharding.cpu_count is not an int")
+    for name in ("baseline", "baseline_cached"):
+        baseline = sharding.get(name)
+        if not isinstance(baseline, dict):
+            errors.append(f"sharding.{name} is not an object")
+            continue
+        for field, kind in _SHARDING_RUN_FIELDS.items():
+            if field not in baseline:
+                errors.append(f"sharding.{name} missing {field!r}")
+            elif not isinstance(baseline[field], kind) or isinstance(
+                baseline[field], bool
+            ):
+                errors.append(f"sharding.{name}.{field} is not {kind}")
+    configs = sharding.get("configs")
+    if not isinstance(configs, list) or not configs:
+        errors.append("sharding.configs is missing or empty")
+        return
+    for index, config in enumerate(configs):
+        if not isinstance(config, dict):
+            errors.append(f"sharding.configs[{index}] is not an object")
+            continue
+        for field, kind in _SHARDING_CONFIG_FIELDS.items():
+            if field not in config:
+                errors.append(f"sharding.configs[{index}] missing {field!r}")
+            elif not isinstance(config[field], kind) or isinstance(
+                config[field], bool
+            ):
+                errors.append(f"sharding.configs[{index}].{field} is not {kind}")
+            elif config[field] < 0:
+                errors.append(f"sharding.configs[{index}].{field} is negative")
+
+
 def validate_bench_document(document) -> list[str]:
     """Schema errors of a BENCH document (empty list == valid).
 
-    Accepts version 1 (legacy ``peak_rss_kb``) and version 2, which
-    *requires* byte-normalized memory accounting: ``peak_rss_bytes``
-    with ``peak_rss_unit == "bytes"`` asserted, plus the cold-start
-    comparison section.
+    Accepts version 1 (legacy ``peak_rss_kb``), version 2 (byte-
+    normalized memory accounting — ``peak_rss_bytes`` with
+    ``peak_rss_unit == "bytes"`` asserted — plus the cold-start
+    comparison section), and version 3, which additionally *requires*
+    the sharded scatter-gather serving section.
     """
     errors: list[str] = []
     if not isinstance(document, dict):
         return ["document is not a JSON object"]
     version = document.get("version")
-    if version not in (1, BENCH_VERSION):
+    if version not in (1, 2, BENCH_VERSION):
         return [f"unsupported version {version!r}"]
     fields = dict(_TOP_FIELDS)
-    fields.update(_V1_FIELDS if version == 1 else _V2_FIELDS)
+    if version == 1:
+        fields.update(_V1_FIELDS)
+    elif version == 2:
+        fields.update(_V2_FIELDS)
+    else:
+        fields.update(_V3_FIELDS)
     for field, kind in fields.items():
         if field not in document:
             errors.append(f"missing field {field!r}")
@@ -558,7 +632,7 @@ def validate_bench_document(document) -> list[str]:
         return errors
     if document["kind"] != BENCH_KIND:
         errors.append(f"kind is {document['kind']!r}, wanted {BENCH_KIND!r}")
-    if version == BENCH_VERSION:
+    if version >= 2:
         if document["peak_rss_unit"] != "bytes":
             errors.append(
                 f"peak_rss_unit is {document['peak_rss_unit']!r}, must be "
@@ -566,6 +640,8 @@ def validate_bench_document(document) -> list[str]:
                 "normalize before recording)"
             )
         _validate_cold_start(document["cold_start"], errors)
+    if version >= 3:
+        _validate_sharding(document["sharding"], errors)
     for index, cell in enumerate(document["cells"]):
         if not isinstance(cell, dict):
             errors.append(f"cells[{index}] is not an object")
@@ -664,6 +740,39 @@ def print_suite_report(document: dict) -> None:
             title=(
                 f"cold start ({cold['nodes']} nodes, query {cold['query']!r}, "
                 f"binary maps {cold['binary']['mapped_bytes']} bytes)"
+            ),
+        )
+    sharding = document.get("sharding")
+    if sharding is not None:
+        baseline = sharding["baseline"]
+        cached = sharding.get("baseline_cached")
+        rows = [
+            ["single-process", "-", f"{baseline['throughput_qps']:.1f}",
+             f"{baseline['p50_ms']:.2f}", f"{baseline['p99_ms']:.2f}", "1.00x"],
+        ]
+        if cached is not None:
+            rows.append(
+                ["single (cached)", "-", f"{cached['throughput_qps']:.1f}",
+                 f"{cached['p50_ms']:.2f}", f"{cached['p99_ms']:.2f}", "-"]
+            )
+        for config in sharding["configs"]:
+            rows.append(
+                [
+                    f"{config['shards']} shards",
+                    config["clients"],
+                    f"{config['throughput_qps']:.1f}",
+                    f"{config['p50_ms']:.2f}",
+                    f"{config['p99_ms']:.2f}",
+                    f"{config['speedup_vs_single']:.2f}x",
+                ]
+            )
+        print_table(
+            ["serving", "clients", "qps", "p50 ms", "p99 ms", "vs single"],
+            rows,
+            title=(
+                f"sharded scatter-gather ({sharding['nodes']} nodes, "
+                f"k={sharding['k']}, {sharding['cpu_count']} CPU"
+                f"{'s' if sharding['cpu_count'] != 1 else ''})"
             ),
         )
     if "peak_rss_bytes" in document:

@@ -157,6 +157,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="query tree the index must support (repeatable; required for "
         "--backend constrained)",
     )
+    index.add_argument(
+        "--shards", type=int, metavar="N",
+        help="write a sharded index: N label-range shard .ridx files plus "
+        "a checksummed manifest at --out (binary format only); "
+        "--load-index on the manifest boots a scatter-gather engine",
+    )
+
+    shard = sub.add_parser(
+        "shard", help="inspect sharded indexes (manifest + shard files)"
+    )
+    ssub = shard.add_subparsers(dest="shard_command", required=True)
+    sinfo = ssub.add_parser(
+        "info", help="print a shard manifest's layout and integrity status"
+    )
+    sinfo.add_argument("manifest", help="shard manifest path (repro index --shards)")
+    sinfo.add_argument(
+        "--verify", action="store_true",
+        help="additionally re-hash every shard file against its recorded "
+        "SHA-256 (slow, paranoid)",
+    )
 
     serve = sub.add_parser(
         "serve-bench",
@@ -199,8 +219,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shrunken matrix for CI smoke runs",
     )
     bsuite.add_argument(
-        "--out", default="BENCH_PR5.json",
-        help="output JSON path (default: BENCH_PR5.json)",
+        "--out", default="BENCH_PR6.json",
+        help="output JSON path (default: BENCH_PR6.json)",
     )
     bsuite.add_argument(
         "--nodes", type=int, default=None,
@@ -363,6 +383,33 @@ def _cmd_index(args) -> int:
             print(f"error: {path} is not a query-tree document", file=sys.stderr)
             return 2
         workload.append(query)
+    if args.shards is not None:
+        if args.shards < 1:
+            print("error: --shards needs a positive count", file=sys.stderr)
+            return 2
+        if args.format != "binary":
+            print(
+                "error: sharded indexes are binary-only; drop --format",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.shard import shard_index
+
+        started = time.perf_counter()
+        document = shard_index(
+            graph, args.out, args.shards,
+            backend=args.backend, workload=tuple(workload) or None,
+        )
+        built = time.perf_counter() - started
+        total_bytes = sum(entry["bytes"] for entry in document["shards"])
+        print(
+            f"built {document['shard_count']} shards "
+            f"(requested {args.shards}) in {built:.2f}s; "
+            f"manifest {args.out} + {total_bytes / 1e6:.1f} MB of shard "
+            f"files, epoch {document['epoch']}",
+            file=sys.stderr,
+        )
+        return 0
     started = time.perf_counter()
     engine = MatchEngine(
         graph, backend=args.backend, workload=tuple(workload) or None
@@ -374,6 +421,47 @@ def _cmd_index(args) -> int:
         f"({engine.backend.describe()}); saved to {args.out} "
         f"({args.format})",
         file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_shard(args) -> int:
+    from repro.shard.manifest import load_manifest, shard_paths
+
+    document = load_manifest(args.manifest, verify_files=args.verify)
+    counts = document.get("counts", {})
+    print(f"manifest:  {args.manifest}")
+    print(
+        f"kind:      {document['kind']} v{document['version']}, "
+        f"epoch {document.get('epoch', 0)}"
+    )
+    print(
+        f"graph:     {counts.get('nodes')} nodes, {counts.get('edges')} "
+        f"edges, {counts.get('labels')} labels"
+    )
+    print(
+        f"shards:    {document['shard_count']} "
+        f"(requested {document.get('requested_shards', document['shard_count'])})"
+    )
+    for entry, file_path in zip(document["shards"], shard_paths(document, args.manifest)):
+        span = entry["span"]
+        labels = entry["labels"]
+        label_run = (
+            ", ".join(repr(label) for label in labels)
+            if len(labels) <= 4
+            else f"{labels[0]!r} … {labels[-1]!r} ({len(labels)} labels)"
+        )
+        print(
+            f"  shard {entry['index']:2d}: span [{span[0]}, {span[1]}) "
+            f"owns {entry['owned_nodes']} of {entry['member_nodes']} members, "
+            f"{entry['boundary_pairs']} boundary pairs, "
+            f"{entry['bytes'] / 1e6:.2f} MB — {file_path.name}"
+        )
+        print(f"            labels: {label_run}")
+    print(
+        "integrity: checksum + sizes ok"
+        + (", per-file SHA-256 verified" if args.verify else
+           " (use --verify to re-hash shard files)")
     )
     return 0
 
@@ -466,6 +554,7 @@ def main(argv: list[str] | None = None) -> int:
         "query": _cmd_query,
         "stats": _cmd_stats,
         "index": _cmd_index,
+        "shard": _cmd_shard,
         "serve-bench": _cmd_serve_bench,
         "bench": _cmd_bench,
         "generate": _cmd_generate,

@@ -24,12 +24,15 @@ from repro.compact.accel import numpy_enabled, numpy_or_none
 from repro.compact.csr import CompactGraph
 from repro.compact.interner import NodeInterner
 from repro.compact.rows import ClosureRows, buffer_bytes
+from repro.compact.span import SpanView, forward_closure
 
 __all__ = [
     "CompactGraph",
     "ClosureRows",
     "NodeInterner",
+    "SpanView",
     "buffer_bytes",
+    "forward_closure",
     "numpy_enabled",
     "numpy_or_none",
 ]

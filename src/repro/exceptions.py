@@ -102,3 +102,21 @@ class DeadlineExceededError(ServiceError):
     raises the standard :class:`concurrent.futures.TimeoutError`, not
     this class.
     """
+
+
+class ShardError(ReproError):
+    """Invalid shard plan, manifest, or use of the ``repro.shard`` API."""
+
+
+class ShardUnavailableError(ShardError):
+    """A shard worker process died (or stayed dead after a restart).
+
+    Raised by :class:`~repro.service.ShardedMatchService` when a request
+    needs a shard whose hosting process is gone.  With
+    ``on_shard_failure="error"`` (the default) the request fails with
+    this error; with ``"degrade"`` a scatter that still reached at least
+    one live shard returns a partial answer flagged ``degraded`` and only
+    raises when *no* routed shard answered.  The failed worker is
+    restarted in the background when ``restart_workers`` is enabled, so
+    later requests recover.
+    """

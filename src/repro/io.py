@@ -308,11 +308,16 @@ DEFAULT_INDEX_FORMAT = "binary"
 
 
 def sniff_index_format(path: str | Path) -> str:
-    """``"binary"`` when ``path`` starts with the ``.ridx`` magic, else
-    ``"json"`` (the JSON reader then validates the document kind)."""
+    """``"binary"`` for the ``.ridx`` magic, ``"sharded"`` for a shard
+    manifest, else ``"json"`` (the JSON reader validates the kind)."""
+    from repro.shard.manifest import sniff_is_shard_manifest
     from repro.storage.diskindex import sniff_is_binary_index
 
-    return "binary" if sniff_is_binary_index(path) else "json"
+    if sniff_is_binary_index(path):
+        return "binary"
+    if sniff_is_shard_manifest(path):
+        return "sharded"
+    return "json"
 
 
 def _save_index_json(engine, path: str | Path) -> None:
@@ -422,10 +427,33 @@ def _load_index_binary(engine_cls, path: str | Path, overrides: dict):
     )
 
 
+def _save_index_sharded(engine, path: str | Path) -> None:
+    from repro.exceptions import IndexFormatError
+
+    raise IndexFormatError(
+        "a sharded index is written per shard, not through save_index; "
+        "use repro.shard.shard_index(graph, path, num_shards) or "
+        "`repro index --shards N`"
+    )
+
+
+def _load_index_sharded(engine_cls, path: str | Path, overrides: dict):
+    """A shard manifest loads as a :class:`ShardedEngine` transparently.
+
+    ``MatchEngine.load`` (and the CLI's ``--load-index``) therefore boot
+    a scatter-gather engine whenever the path names a manifest — callers
+    get the same query surface either way.
+    """
+    from repro.shard.engine import ShardedEngine
+
+    return ShardedEngine.load(path, **overrides)
+
+
 #: The registry: format name -> (save, load) implementations.
 INDEX_FORMATS: dict[str, tuple] = {
     "json": (_save_index_json, _load_index_json),
     "binary": (_save_index_binary, _load_index_binary),
+    "sharded": (_save_index_sharded, _load_index_sharded),
 }
 
 

@@ -17,6 +17,7 @@ README's "Serving & caching" section for a tour.
 
 from repro.service.cache import CacheStats, LRUCache, ResultCache
 from repro.service.service import MatchService, ServiceResponse
+from repro.service.sharded import ShardedMatchService, ShardedResponse
 from repro.service.snapshot import (
     Snapshot,
     UpdateReport,
@@ -27,6 +28,8 @@ from repro.service.snapshot import (
 __all__ = [
     "MatchService",
     "ServiceResponse",
+    "ShardedMatchService",
+    "ShardedResponse",
     "Snapshot",
     "UpdateReport",
     "LRUCache",

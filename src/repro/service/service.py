@@ -194,6 +194,14 @@ class MatchService:
         (``label_matcher``, planner knobs, ...) and service knobs
         (``max_workers``, cache sizes, deadlines) are both accepted.
         """
+        from repro.shard.manifest import sniff_is_shard_manifest
+
+        if sniff_is_shard_manifest(path):
+            # A shard manifest cold-starts the multi-process front-end
+            # instead: each shard worker mmaps only its own .ridx.
+            from repro.service.sharded import ShardedMatchService
+
+            return ShardedMatchService.from_manifest(path, **kwargs)
         service_keys = (
             "plan_cache_size", "result_cache_size", "max_workers",
             "max_pending", "default_deadline",

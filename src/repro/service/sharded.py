@@ -1,0 +1,760 @@
+"""The :class:`ShardedMatchService` — multi-process scatter-gather serving.
+
+Hosts each shard of a sharded index in its own ``multiprocessing``
+worker (always the ``spawn`` start method — fork is unsafe under the
+coordinator's threads) and answers queries by routing, scattering over
+the worker pipes in parallel, and merging the partial top-k replies
+with the same deterministic gather as
+:class:`~repro.shard.ShardedEngine`:
+
+    from repro.service import ShardedMatchService
+
+    with ShardedMatchService.from_manifest("index.ridx") as service:
+        service.top_k("A//B[C]", k=5)
+        service.apply_updates(edges_added=[("v1", "v9")])
+
+Design:
+
+* **Post-fork shard opening** — a worker booted from a manifest opens
+  *only its own* ``.ridx`` inside the child, so mmap'd pages belong to
+  the worker and the coordinator never materializes a shard's closure.
+* **Per-shard deadlines** — one request deadline bounds the whole
+  scatter; each worker call inherits the remaining budget, and a worker
+  that blows it is terminated and restarted (its pipe is desynchronized
+  mid-computation) while the request fails with
+  :class:`~repro.exceptions.DeadlineExceededError` — the same taxonomy
+  as :class:`MatchService`.
+* **Graceful degradation** — a dead worker raises
+  :class:`~repro.exceptions.ShardUnavailableError` (after one restart
+  attempt when ``restart_workers`` is on).  ``on_shard_failure="error"``
+  fails the request; ``"degrade"`` returns the merged partials from the
+  surviving shards with ``response.degraded`` set, raising only when no
+  routed shard answered.
+* **Epoch-consistent swaps** — ``apply_updates`` re-plans, rebuilds
+  every shard subgraph, and ships them to the workers one epoch later.
+  Every query reply carries its worker's epoch; a scatter that observes
+  a mixed or stale epoch (it raced the swap) transparently retries
+  against the new epoch, so no response ever mixes two graph versions.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+import repro.exceptions as _exceptions
+from repro.core.matches import Match
+from repro.engine.config import EngineConfig
+from repro.exceptions import (
+    DeadlineExceededError,
+    EngineError,
+    ReproError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    ShardError,
+    ShardUnavailableError,
+)
+from repro.graph.digraph import LabeledDiGraph
+from repro.graph.query import WILDCARD
+from repro.query.compiler import CompiledQuery, compile_query
+from repro.shard.engine import _apply_deltas, _union_graph
+from repro.shard.manifest import load_manifest, shard_paths
+from repro.shard.merge import merge_topk
+from repro.shard.plan import ShardPlan
+from repro.shard.worker import worker_main
+
+#: How long a worker may take to boot (build/mmap its engine) before the
+#: coordinator declares it dead.
+_BOOT_TIMEOUT = 120.0
+#: Poll granularity while waiting on a worker pipe.
+_POLL_INTERVAL = 0.05
+#: Scatters retried when a reply's epoch proves the request raced a swap.
+_EPOCH_RETRIES = 3
+
+
+@dataclass(frozen=True)
+class ShardedResponse:
+    """One answered scatter-gather request, with its provenance."""
+
+    matches: tuple[Match, ...]
+    epoch: int
+    k: int
+    algorithm: str | None
+    #: Shards the query was routed to (sorted indices).
+    shards_routed: tuple[int, ...]
+    #: Routed shards that failed (non-empty only under ``"degrade"``).
+    shards_failed: tuple[int, ...]
+    #: True when the answer is a partial merge over surviving shards.
+    degraded: bool
+    elapsed_seconds: float
+
+
+class _ShardWorker:
+    """Coordinator-side handle of one shard worker process.
+
+    One in-flight request per worker (the pipe is a strict
+    request/reply channel); the handle's lock enforces that, and a
+    reply-timeout poisons the handle — the process is terminated and
+    respawned from its boot spec rather than left desynchronized.
+    """
+
+    def __init__(self, index: int, ctx, boot: dict) -> None:
+        self.index = index
+        self._ctx = ctx
+        self._boot = boot
+        self.lock = threading.Lock()
+        self.restarts = 0
+        self.process = None
+        self.conn = None
+        self._spawn()
+
+    # -- lifecycle ------------------------------------------------------
+    def _spawn(self) -> None:
+        parent, child = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child, self._boot),
+            name=f"repro-shard-{self.index}",
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        self.process = process
+        self.conn = parent
+        reply = self._recv(time.monotonic() + _BOOT_TIMEOUT)
+        if reply[0] != "ok":
+            self._terminate()
+            raise ShardUnavailableError(
+                f"shard {self.index} failed to boot: "
+                f"{reply[1]}: {reply[2]}"
+                if len(reply) == 3
+                else f"shard {self.index} failed to boot"
+            )
+
+    def restart(self) -> None:
+        """Terminate (if needed) and respawn from the boot spec."""
+        self._terminate()
+        self.restarts += 1
+        self._spawn()
+
+    def _terminate(self) -> None:
+        if self.conn is not None:
+            try:
+                self.conn.close()
+            except OSError:  # pragma: no cover - already torn down
+                pass
+            self.conn = None
+        if self.process is not None:
+            if self.process.is_alive():
+                self.process.terminate()
+            self.process.join(timeout=5.0)
+            self.process = None
+
+    def shutdown(self) -> None:
+        """Polite exit: ask, wait briefly, then terminate."""
+        if self.conn is not None and self.process is not None:
+            try:
+                self.conn.send(("exit",))
+                self.process.join(timeout=2.0)
+            except (BrokenPipeError, OSError):
+                pass
+        self._terminate()
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    # -- protocol -------------------------------------------------------
+    def _recv(self, expires_at: float | None):
+        """Wait for one reply, watching liveness and the deadline."""
+        while True:
+            try:
+                if self.conn.poll(_POLL_INTERVAL):
+                    return self.conn.recv()
+            except (EOFError, OSError) as exc:
+                raise ShardUnavailableError(
+                    f"shard {self.index} worker died mid-request"
+                ) from exc
+            if expires_at is not None and time.monotonic() > expires_at:
+                # The worker is mid-computation; its pipe is now
+                # desynchronized.  Poison the handle so the next caller
+                # respawns instead of reading this request's late reply.
+                self._terminate()
+                raise DeadlineExceededError(
+                    f"shard {self.index} missed the request deadline"
+                )
+            if not self.alive:
+                raise ShardUnavailableError(
+                    f"shard {self.index} worker died mid-request"
+                )
+
+    def call(self, op: str, payload: tuple, expires_at: float | None):
+        """One request/reply exchange (serialized per worker)."""
+        remaining = None
+        if expires_at is not None:
+            remaining = expires_at - time.monotonic()
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    f"request deadline expired before shard {self.index} "
+                    "was called"
+                )
+        if not self.lock.acquire(timeout=remaining if remaining else -1):
+            raise DeadlineExceededError(
+                f"request deadline expired waiting for shard {self.index}"
+            )
+        try:
+            if not self.alive:
+                raise ShardUnavailableError(
+                    f"shard {self.index} worker is not running"
+                )
+            try:
+                self.conn.send((op, *payload))
+            except (BrokenPipeError, OSError) as exc:
+                raise ShardUnavailableError(
+                    f"shard {self.index} worker died (broken pipe)"
+                ) from exc
+            return self._recv(expires_at)
+        finally:
+            self.lock.release()
+
+
+class ShardedMatchService:
+    """Scatter-gather serving over one worker process per shard.
+
+    Construct either from a graph (``ShardedMatchService(graph,
+    num_shards=4)`` — subgraphs are planned here and shipped to the
+    spawned workers) or from a sharded manifest
+    (:meth:`from_manifest` — each worker opens only its own ``.ridx``,
+    post-fork).  The query surface mirrors :class:`MatchService`:
+    ``top_k`` / ``request`` sync, ``submit`` / ``batch`` over a bounded
+    thread pool with deadlines and back-pressure.
+    """
+
+    def __init__(
+        self,
+        graph: LabeledDiGraph | None = None,
+        config: EngineConfig | None = None,
+        *,
+        manifest: str | Path | None = None,
+        num_shards: int = 2,
+        max_workers: int = 4,
+        max_pending: int | None = None,
+        default_deadline: float | None = None,
+        on_shard_failure: str = "error",
+        restart_workers: bool = True,
+        **overrides,
+    ) -> None:
+        if (graph is None) == (manifest is None):
+            raise ServiceError(
+                "pass exactly one of graph= or manifest= to ShardedMatchService"
+            )
+        if on_shard_failure not in ("error", "degrade"):
+            raise ServiceError(
+                'on_shard_failure must be "error" or "degrade", got '
+                f"{on_shard_failure!r}"
+            )
+        if max_workers <= 0:
+            raise ServiceError(f"max_workers must be positive, got {max_workers}")
+        if max_pending is None:
+            max_pending = 8 * max_workers
+        if max_pending <= 0:
+            raise ServiceError(f"max_pending must be positive, got {max_pending}")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ServiceError(
+                f"default_deadline must be positive, got {default_deadline}"
+            )
+        self.on_shard_failure = on_shard_failure
+        self.restart_workers = restart_workers
+        self.max_workers = max_workers
+        self.max_pending = max_pending
+        self.default_deadline = default_deadline
+        self._ctx = multiprocessing.get_context("spawn")
+        self._config = config if config is not None else EngineConfig(**overrides)
+        self._closed = False
+        self._epoch = 0
+        self._update_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._requests = 0
+        self._degraded_responses = 0
+        self._epoch_retries = 0
+        self._deadline_misses = 0
+        self._overload_rejections = 0
+        self._updates_applied = 0
+        self._workers: list[_ShardWorker] = []
+
+        if graph is not None:
+            self._graph: LabeledDiGraph | None = graph.copy()
+            self._plan: ShardPlan | None = ShardPlan.from_graph(
+                self._graph, num_shards
+            )
+            self.requested_shards = num_shards
+            self._owner = {
+                label: spec.index
+                for spec in self._plan.shards
+                for label in spec.labels
+            }
+            boots = [
+                {
+                    "mode": "graph",
+                    "graph": self._plan.subgraph(self._graph, spec.index),
+                    "config": self._config,
+                    "epoch": 0,
+                }
+                for spec in self._plan.shards
+            ]
+        else:
+            self.manifest_path = Path(manifest)
+            document = load_manifest(self.manifest_path)
+            self._graph = None  # reassembled lazily, on first apply_updates
+            self._plan = None
+            self._epoch = int(document.get("epoch", 0))
+            self.requested_shards = document.get(
+                "requested_shards", document["shard_count"]
+            )
+            self._owner = {}
+            for entry in document["shards"]:
+                for label in entry["labels"]:
+                    self._owner[label] = entry["index"]
+            boots = [
+                {"mode": "file", "path": str(path), "overrides": {}, "epoch": self._epoch}
+                for path in shard_paths(document, self.manifest_path)
+            ]
+
+        try:
+            for index, boot in enumerate(boots):
+                self._workers.append(_ShardWorker(index, self._ctx, boot))
+        except BaseException:
+            for worker in self._workers:
+                worker.shutdown()
+            raise
+        self.shard_count = len(self._workers)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="shardedservice"
+        )
+        # Scatter fan-out runs on its own pool so a multi-shard request
+        # inside a submit() worker thread cannot deadlock the request
+        # pool against itself.
+        self._fanout = ThreadPoolExecutor(
+            max_workers=max(2, self.shard_count),
+            thread_name_prefix="shardfanout",
+        )
+        self._slots = threading.BoundedSemaphore(max_pending)
+
+    @classmethod
+    def from_manifest(
+        cls, manifest: str | Path, **kwargs
+    ) -> "ShardedMatchService":
+        """Serve a sharded index; each worker mmaps only its own shard."""
+        return cls(manifest=manifest, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _count(self, counter: str) -> None:
+        with self._stats_lock:
+            setattr(self, counter, getattr(self, counter) + 1)
+
+    def statistics(self, include_shards: bool = False) -> dict:
+        """Serving counters; ``include_shards=True`` adds per-worker stats."""
+        stats = {
+            "epoch": self._epoch,
+            "shard_count": self.shard_count,
+            "requested_shards": self.requested_shards,
+            "requests": self._requests,
+            "degraded_responses": self._degraded_responses,
+            "epoch_retries": self._epoch_retries,
+            "deadline_misses": self._deadline_misses,
+            "overload_rejections": self._overload_rejections,
+            "updates_applied": self._updates_applied,
+            "worker_restarts": sum(w.restarts for w in self._workers),
+            "workers_alive": sum(1 for w in self._workers if w.alive),
+            "max_workers": self.max_workers,
+            "max_pending": self.max_pending,
+        }
+        if include_shards:
+            shards = []
+            for worker in self._workers:
+                try:
+                    reply = worker.call("stats", (), time.monotonic() + 10.0)
+                    shards.append(
+                        reply[1] if reply[0] == "ok" else {"error": reply[2]}
+                    )
+                except (ShardError, ServiceError) as exc:
+                    shards.append({"unavailable": str(exc)})
+            stats["shards"] = shards
+        return stats
+
+    # ------------------------------------------------------------------
+    # Routing (coordinator-side, no engine required)
+    # ------------------------------------------------------------------
+    def _compile(self, query) -> CompiledQuery:
+        compiled = compile_query(query)
+        if compiled.is_cyclic:
+            raise EngineError(
+                "cyclic (kGPM) patterns cannot run on a sharded service: "
+                "they match over the bidirected closure, which label-range "
+                "shards cannot answer locally; use an unsharded "
+                "MatchService for this query"
+            )
+        return compiled
+
+    def route(self, query) -> tuple[int, ...]:
+        """Shard indices ``query`` scatters to (sorted, possibly empty)."""
+        compiled = self._compile(query)
+        root_label = compiled.tree.label(compiled.tree.root)
+        if root_label == WILDCARD:
+            return tuple(range(self.shard_count))
+        matcher = compiled.effective_matcher(self._config.label_matcher)
+        alphabet = tuple(self._owner)
+        data_labels = matcher.data_labels_for(root_label, alphabet)
+        if data_labels is None:
+            return tuple(range(self.shard_count))
+        owners = {
+            self._owner[label] for label in data_labels if label in self._owner
+        }
+        return tuple(sorted(owners))
+
+    # ------------------------------------------------------------------
+    # Request execution
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError("this ShardedMatchService has been closed")
+
+    def _shard_query(
+        self,
+        worker: _ShardWorker,
+        compiled: CompiledQuery,
+        k: int,
+        algorithm: str | None,
+        expires_at: float | None,
+    ):
+        """One shard's partial answer: ``(epoch, matches)``.
+
+        A dead worker gets one restart attempt (when enabled) before
+        :class:`ShardUnavailableError` propagates to the gather.
+        """
+        try:
+            reply = worker.call("query", (compiled, k, algorithm), expires_at)
+        except ShardUnavailableError:
+            if not self.restart_workers:
+                raise
+            try:
+                with worker.lock:
+                    if not worker.alive:
+                        worker.restart()
+            except ShardUnavailableError:
+                raise
+            reply = worker.call("query", (compiled, k, algorithm), expires_at)
+        if reply[0] == "error":
+            raise self._reraise(worker.index, reply[1], reply[2])
+        return reply[1], reply[2]
+
+    @staticmethod
+    def _reraise(index: int, name: str, message: str) -> Exception:
+        """Map a worker's ``("error", name, message)`` reply to an exception."""
+        exc_class = getattr(_exceptions, name, None)
+        if isinstance(exc_class, type) and issubclass(exc_class, ReproError):
+            return exc_class(message)
+        if name in ("ValueError", "TypeError", "KeyError"):
+            return {"ValueError": ValueError, "TypeError": TypeError,
+                    "KeyError": KeyError}[name](message)
+        return ShardError(f"shard {index}: {name}: {message}")
+
+    def _scatter_once(
+        self,
+        compiled: CompiledQuery,
+        k: int,
+        algorithm: str | None,
+        expires_at: float | None,
+    ) -> tuple[int, list[Match], tuple[int, ...], tuple[int, ...], bool]:
+        """One scatter round: ``(epoch, matches, routed, failed, consistent)``."""
+        targets = self.route(compiled)
+        if not targets:
+            return self._epoch, [], (), (), True
+        futures = {
+            shard: self._fanout.submit(
+                self._shard_query,
+                self._workers[shard],
+                compiled,
+                k,
+                algorithm,
+                expires_at,
+            )
+            for shard in targets
+        }
+        partials: list[list[Match]] = []
+        epochs: set[int] = set()
+        failed: list[int] = []
+        first_error: Exception | None = None
+        for shard, future in futures.items():
+            try:
+                epoch, matches = future.result()
+                epochs.add(epoch)
+                partials.append(matches)
+            except ShardUnavailableError as exc:
+                failed.append(shard)
+                if first_error is None:
+                    first_error = exc
+            except Exception as exc:  # noqa: BLE001 - gather must drain all
+                if first_error is None or isinstance(
+                    first_error, ShardUnavailableError
+                ):
+                    first_error = exc
+        if first_error is not None and not isinstance(
+            first_error, ShardUnavailableError
+        ):
+            raise first_error
+        if failed and (self.on_shard_failure == "error" or not partials):
+            raise first_error
+        consistent = len(epochs) <= 1
+        epoch = epochs.pop() if epochs else self._epoch
+        return epoch, merge_topk(partials, k), targets, tuple(failed), consistent
+
+    def _answer(
+        self, query, k: int, algorithm: str | None, expires_at: float | None
+    ) -> ShardedResponse:
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        started = time.perf_counter()
+        compiled = self._compile(query)
+        self._count("_requests")
+        for _attempt in range(_EPOCH_RETRIES + 1):
+            epoch, matches, routed, failed, consistent = self._scatter_once(
+                compiled, k, algorithm, expires_at
+            )
+            if consistent:
+                # An answer whose shards all agree on one epoch is a
+                # consistent snapshot even if a swap landed concurrently;
+                # only mixed-epoch scatters (some shards pre-swap, some
+                # post-swap) must retry.
+                if failed:
+                    self._count("_degraded_responses")
+                return ShardedResponse(
+                    matches=tuple(matches),
+                    epoch=epoch,
+                    k=k,
+                    algorithm=algorithm,
+                    shards_routed=routed,
+                    shards_failed=failed,
+                    degraded=bool(failed),
+                    elapsed_seconds=time.perf_counter() - started,
+                )
+            self._count("_epoch_retries")
+        raise ServiceError(
+            f"request could not observe a consistent epoch after "
+            f"{_EPOCH_RETRIES} retries (updates arriving too fast?)"
+        )
+
+    def top_k(self, query, k: int, algorithm: str | None = None) -> list[Match]:
+        """Synchronous global top-k on the caller's thread."""
+        self._check_open()
+        return list(self._answer(query, k, algorithm, self._expiry(None)).matches)
+
+    def request(
+        self,
+        query,
+        k: int,
+        algorithm: str | None = None,
+        deadline: float | None = None,
+    ) -> ShardedResponse:
+        """Like :meth:`top_k` but returns the full :class:`ShardedResponse`."""
+        self._check_open()
+        return self._answer(query, k, algorithm, self._expiry(deadline))
+
+    def _expiry(self, deadline: float | None) -> float | None:
+        if deadline is None:
+            deadline = self.default_deadline
+        if deadline is None:
+            return None
+        if deadline <= 0:
+            raise ServiceError(f"deadline must be positive, got {deadline}")
+        return time.monotonic() + deadline
+
+    # ------------------------------------------------------------------
+    # Asynchronous execution over the bounded pool
+    # ------------------------------------------------------------------
+    def _run_request(
+        self, query, k: int, algorithm: str | None, expires_at: float | None
+    ) -> ShardedResponse:
+        if expires_at is not None and time.monotonic() > expires_at:
+            self._count("_deadline_misses")
+            raise DeadlineExceededError(
+                "request deadline expired while queued "
+                f"(deadline was {expires_at:.3f} on the monotonic clock)"
+            )
+        return self._answer(query, k, algorithm, expires_at)
+
+    def _submit(
+        self, query, k: int, algorithm: str | None, deadline: float | None,
+        block: bool,
+    ) -> Future:
+        self._check_open()
+        expires_at = self._expiry(deadline)
+        if not self._slots.acquire(blocking=block):
+            self._count("_overload_rejections")
+            raise ServiceOverloadedError(
+                f"request queue is full ({self.max_pending} in flight); "
+                "back off and retry"
+            )
+        try:
+            future = self._pool.submit(
+                self._run_request, query, k, algorithm, expires_at
+            )
+        except RuntimeError as exc:  # pool shut down concurrently
+            self._slots.release()
+            raise ServiceClosedError(
+                "this ShardedMatchService has been closed"
+            ) from exc
+        future.add_done_callback(lambda _finished: self._slots.release())
+        return future
+
+    def submit(
+        self, query, k: int, algorithm: str | None = None,
+        deadline: float | None = None,
+    ) -> Future:
+        """Queue one request; resolves to a :class:`ShardedResponse`."""
+        return self._submit(query, k, algorithm, deadline, block=False)
+
+    def batch(
+        self, queries: Iterable, k: int, algorithm: str | None = None,
+        deadline: float | None = None,
+    ) -> list[list[Match]]:
+        """Answer many queries through the pool, in order (back-pressured)."""
+        futures = [
+            self._submit(query, k, algorithm, deadline, block=True)
+            for query in queries
+        ]
+        return [list(future.result().matches) for future in futures]
+
+    # ------------------------------------------------------------------
+    # Updates: epoch-consistent snapshot swap across all shards
+    # ------------------------------------------------------------------
+    def _materialize_graph(self) -> LabeledDiGraph:
+        """The full graph (reassembled from the shards on first need)."""
+        if self._graph is None:
+            from repro.engine.core import MatchEngine
+
+            document = load_manifest(self.manifest_path)
+            self._graph = _union_graph(
+                MatchEngine.load(path).graph
+                for path in shard_paths(document, self.manifest_path)
+            )
+        return self._graph
+
+    def apply_updates(
+        self,
+        edges_added: tuple = (),
+        edges_removed: tuple = (),
+        nodes_added: dict | None = None,
+    ) -> dict:
+        """Re-plan, rebuild, and swap every shard to the next epoch.
+
+        The swap ships each worker its new subgraph over the pipe; the
+        worker rebuilds its backend and reports the new epoch.  Requests
+        racing the swap are epoch-checked and retried by
+        :meth:`_answer`, so every response reflects exactly one graph
+        version.  Returns a summary report dict.
+        """
+        edges_added = tuple(edges_added)
+        edges_removed = tuple(edges_removed)
+        nodes_added = dict(nodes_added or {})
+        if not (edges_added or edges_removed or nodes_added):
+            raise ServiceError(
+                "apply_updates needs at least one change "
+                "(edges_added, edges_removed, or nodes_added)"
+            )
+        started = time.perf_counter()
+        with self._update_lock:
+            self._check_open()
+            try:
+                graph = _apply_deltas(
+                    self._materialize_graph(),
+                    edges_added, edges_removed, nodes_added,
+                )
+            except ShardError as exc:
+                raise ServiceError(str(exc)) from exc
+            plan = ShardPlan.from_graph(graph, self.requested_shards)
+            if plan.shard_count != self.shard_count:
+                raise ServiceError(
+                    f"update would change the shard count "
+                    f"({self.shard_count} -> {plan.shard_count}: the label "
+                    "set shrank below the shard count); rebuild the service"
+                )
+            new_epoch = self._epoch + 1
+            subgraphs = [
+                plan.subgraph(graph, spec.index) for spec in plan.shards
+            ]
+            for worker, subgraph in zip(self._workers, subgraphs):
+                boot = {
+                    "mode": "graph",
+                    "graph": subgraph,
+                    "config": self._config,
+                    "epoch": new_epoch,
+                }
+                try:
+                    reply = worker.call("swap", (new_epoch, subgraph), None)
+                except ShardUnavailableError:
+                    with worker.lock:
+                        worker._boot = boot
+                        worker.restart()
+                    reply = ("ok", new_epoch)
+                if reply[0] != "ok":
+                    raise ServiceError(
+                        f"shard {worker.index} rejected the update: {reply[2]}"
+                    )
+                worker._boot = boot
+            self._graph = graph
+            self._plan = plan
+            self._owner = {
+                label: spec.index
+                for spec in plan.shards
+                for label in spec.labels
+            }
+            self._epoch = new_epoch
+            self._count("_updates_applied")
+        return {
+            "epoch": new_epoch,
+            "nodes_added": len(nodes_added),
+            "edges_added": len(edges_added),
+            "edges_removed": len(edges_removed),
+            "shards_rebuilt": self.shard_count,
+            "elapsed_seconds": time.perf_counter() - started,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting requests, stop the pools, reap every worker."""
+        self._closed = True
+        self._pool.shutdown(wait=wait)
+        self._fanout.shutdown(wait=wait)
+        for worker in self._workers:
+            worker.shutdown()
+
+    def __enter__(self) -> "ShardedMatchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedMatchService(shards={self.shard_count}, "
+            f"epoch={self._epoch}, closed={self._closed})"
+        )

@@ -1,0 +1,57 @@
+"""Sharded scatter-gather layer: label-range shards of one index.
+
+The monolithic engine serves one process from one index; this package
+splits the index into N label-range shards — each an independent,
+individually mmap-able ``.ridx`` file — and answers queries by
+scatter-gather:
+
+    from repro.shard import ShardedEngine, shard_index
+
+    shard_index(graph, "index.ridx", num_shards=4)   # writes
+    #   index.shard-00.ridx … index.shard-03.ridx  + manifest index.ridx
+
+    engine = ShardedEngine.load("index.ridx")
+    engine.top_k("A//B[C]", k=5)      # routed, merged, == unsharded
+
+Pieces:
+
+* :class:`~repro.shard.plan.ShardPlan` — the deterministic label-range
+  partition (contiguous interner id spans, whole labels only);
+* :func:`~repro.shard.manifest.shard_index` /
+  :func:`~repro.shard.manifest.load_manifest` — the checksummed
+  manifest and per-shard ``.ridx`` files with boundary-pair sections;
+* :class:`~repro.shard.engine.ShardedEngine` — the in-process
+  scatter-gather engine (MatchEngine query surface, deterministic
+  global merge);
+* :mod:`~repro.shard.worker` — the spawn-safe worker process that
+  :class:`repro.service.ShardedMatchService` hosts each shard in.
+
+Layering: ``repro.shard`` sits beside ``repro.engine`` and *below*
+``repro.service`` — it must never import from the service layer
+(enforced by the CI ruff gate and ``tests/shard/test_layering.py``);
+the multi-process front-end lives in :mod:`repro.service.sharded`.
+"""
+
+from repro.shard.engine import ShardedEngine
+from repro.shard.manifest import (
+    MANIFEST_KIND,
+    MANIFEST_VERSION,
+    load_manifest,
+    shard_index,
+    sniff_is_shard_manifest,
+)
+from repro.shard.merge import ShardedResultStream, merge_topk
+from repro.shard.plan import ShardPlan, ShardSpec
+
+__all__ = [
+    "MANIFEST_KIND",
+    "MANIFEST_VERSION",
+    "ShardPlan",
+    "ShardSpec",
+    "ShardedEngine",
+    "ShardedResultStream",
+    "load_manifest",
+    "merge_topk",
+    "shard_index",
+    "sniff_is_shard_manifest",
+]

@@ -1,0 +1,95 @@
+"""Spawn-safe shard worker process.
+
+One worker hosts one shard's :class:`~repro.engine.MatchEngine` and
+serves a tiny request/response protocol over a ``multiprocessing``
+pipe.  The entry point is a module-level function so the ``spawn``
+start method (the only one that is safe with threads and the one
+:class:`~repro.service.ShardedMatchService` always uses) can import it
+by name; the shard index is opened *inside* the child — post-fork in
+spirit — so mmap'd pages are owned by the worker and never copied
+through the parent.
+
+Protocol (requests are ``(op, *payload)`` tuples; replies are
+``("ok", ...)``, ``("error", exc_class_name, message)``):
+
+==========  =============================================  ==============
+op          payload                                        ok-reply
+==========  =============================================  ==============
+``ping``    —                                              ``epoch``
+``query``   ``compiled, k, algorithm``                     ``epoch, matches``
+``swap``    ``epoch, subgraph``                            ``epoch``
+``stats``   —                                              ``stats dict``
+``exit``    —                                              ``None`` (then exit)
+==========  =============================================  ==============
+
+Every ``query`` reply carries the worker's current epoch, which is how
+the coordinator detects a request that raced an ``apply_updates`` swap
+and retries it for an epoch-consistent answer.  Errors inside an op are
+caught and shipped back by *name* (exception classes cross the pipe as
+strings, and the coordinator re-raises them from its own taxonomy);
+only a broken pipe kills the worker.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+
+def worker_main(conn, boot: dict) -> None:
+    """Run one shard worker until ``exit`` or a broken pipe.
+
+    ``boot`` describes how to build the engine:
+
+    * ``{"mode": "file", "path": ..., "overrides": {...}}`` — open one
+      shard's ``.ridx`` via :meth:`MatchEngine.load` (mmap happens here,
+      in the child);
+    * ``{"mode": "graph", "graph": LabeledDiGraph, "config": EngineConfig,
+      "epoch": int}`` — build from a shipped subgraph (the
+      ``apply_updates`` swap path, and graph-constructed services).
+    """
+    from repro.engine.core import MatchEngine
+
+    try:
+        if boot["mode"] == "file":
+            engine = MatchEngine.load(boot["path"], **boot.get("overrides", {}))
+        else:
+            engine = MatchEngine(boot["graph"], boot["config"])
+        epoch = int(boot.get("epoch", 0))
+        conn.send(("ok", epoch))
+    except BaseException as exc:  # noqa: BLE001 - must cross the pipe
+        with contextlib.suppress(Exception):
+            conn.send(("error", type(exc).__name__, str(exc)))
+        return
+
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            return  # coordinator went away; die quietly
+        op, payload = request[0], request[1:]
+        try:
+            if op == "ping":
+                reply = ("ok", epoch)
+            elif op == "query":
+                compiled, k, algorithm = payload
+                matches = engine.top_k(compiled, k, algorithm=algorithm)
+                reply = ("ok", epoch, matches)
+            elif op == "swap":
+                new_epoch, subgraph = payload
+                engine = MatchEngine(subgraph, engine.config)
+                epoch = int(new_epoch)
+                reply = ("ok", epoch)
+            elif op == "stats":
+                reply = ("ok", engine.statistics())
+            elif op == "exit":
+                with contextlib.suppress(Exception):
+                    conn.send(("ok", None))
+                return
+            else:
+                reply = ("error", "ShardError", f"unknown worker op {op!r}")
+        except BaseException as exc:  # noqa: BLE001 - must cross the pipe
+            reply = ("error", type(exc).__name__, str(exc))
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            return

@@ -405,13 +405,25 @@ def sniff_is_binary_index(path: str | Path) -> bool:
 # ----------------------------------------------------------------------
 
 
-def write_engine_index(engine, path: str | Path) -> None:
+def write_engine_index(
+    engine,
+    path: str | Path,
+    *,
+    extra_meta: dict | None = None,
+    extra_sections: list[tuple[str, str, object]] | None = None,
+) -> None:
     """Persist ``engine``'s offline artifacts as one binary index file.
 
     Works for every backend: ``full``/``constrained`` store the closure
     rows + pair tables, ``ondemand``/``pll`` store the 2-hop labels, and
     ``hybrid`` stores both plus its hot-pair selection.  Node ids and
     labels keep their types (str/int) via the tagged identity pools.
+
+    ``extra_meta`` entries are merged into the JSON ``meta`` section and
+    ``extra_sections`` appends ``(name, typecode, buffer)`` sections —
+    the hooks the shard writer uses to embed its per-shard descriptor
+    (``meta["shard"]``) and boundary-pair arrays without a second file
+    format.  Extra meta keys may not shadow the core ones.
     """
     backend = engine.backend
     name = backend.name
@@ -466,6 +478,13 @@ def write_engine_index(engine, path: str | Path) -> None:
         )
     if closure is not None:
         meta["partial"] = closure.is_partial
+    if extra_meta:
+        collisions = sorted(set(extra_meta) & set(meta))
+        if collisions:
+            raise IndexFormatError(
+                f"extra_meta keys {collisions} shadow core meta fields"
+            )
+        meta.update(extra_meta)
 
     writer.add("meta", json.dumps(meta, sort_keys=True).encode("utf-8"))
     writer.add_array("nodes.off", "I", node_off)
@@ -491,6 +510,8 @@ def write_engine_index(engine, path: str | Path) -> None:
         _add_pair_table_sections(writer, store, labels)
     if pll is not None:
         _add_pll_sections(writer, pll)
+    for section_name, typecode, buf in extra_sections or ():
+        writer.add_array(section_name, typecode, buf)
 
     writer.write(path)
 

@@ -160,3 +160,45 @@ class TestCLI:
         bad.write_text(json.dumps({"kind": "nope"}))
         assert main(["bench", "validate", str(bad)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestShardingSection:
+    def test_sharding_section_shape(self, quick_document):
+        sharding = quick_document["sharding"]
+        assert sharding["cpu_count"] >= 1
+        for run in (sharding["baseline"], sharding["baseline_cached"]):
+            assert run["requests"] > 0
+            assert run["throughput_qps"] > 0.0
+            assert run["p50_ms"] <= run["p99_ms"]
+        assert sharding["configs"], "at least one sharded config must run"
+        for config in sharding["configs"]:
+            assert config["effective_shards"] <= config["shards"]
+            assert config["clients"] >= 1
+            assert config["speedup_vs_single"] > 0.0
+            assert config["requests"] > 0
+
+    def test_v3_document_requires_sharding(self, quick_document):
+        broken = json.loads(json.dumps(quick_document))
+        del broken["sharding"]
+        errors = validate_bench_document(broken)
+        assert any("sharding" in e for e in errors)
+        broken = json.loads(json.dumps(quick_document))
+        del broken["sharding"]["baseline"]
+        broken["sharding"]["configs"][0].pop("speedup_vs_single")
+        errors = validate_bench_document(broken)
+        assert any("baseline" in e for e in errors)
+        assert any("speedup_vs_single" in e for e in errors)
+
+    def test_v2_documents_still_validate(self, quick_document):
+        legacy = json.loads(json.dumps(quick_document))
+        legacy["version"] = 2
+        del legacy["sharding"]
+        assert validate_bench_document(legacy) == []
+
+    def test_committed_bench_documents_validate(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        for name in sorted(root.glob("BENCH_*.json")):
+            document = json.loads(name.read_text())
+            assert validate_bench_document(document) == [], name.name

@@ -1,0 +1,35 @@
+"""Shared fixtures for the shard suite: a deterministic medium graph."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.digraph import LabeledDiGraph
+
+
+def build_fixture_graph(
+    nodes: int = 60, labels: int = 6, edges: int = 150, seed: int = 7
+) -> LabeledDiGraph:
+    """A deterministic random digraph with a label-skewed alphabet."""
+    alphabet = [chr(ord("A") + i) for i in range(labels)]
+    graph = LabeledDiGraph()
+    for i in range(nodes):
+        graph.add_node(f"v{i}", alphabet[i % labels])
+    rng = random.Random(seed)
+    names = [f"v{i}" for i in range(nodes)]
+    for _ in range(edges):
+        tail, head = rng.sample(names, 2)
+        if not graph.has_edge(tail, head):
+            graph.add_edge(tail, head, rng.randint(1, 9))
+    return graph
+
+
+@pytest.fixture(scope="module")
+def medium_graph() -> LabeledDiGraph:
+    return build_fixture_graph()
+
+
+#: Queries whose roots cover several labels of the fixture alphabet.
+FIXTURE_QUERIES = ("A//B", "A//B[C]", "B/C//D[E]", "F//A", "C//*")

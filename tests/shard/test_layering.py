@@ -1,0 +1,62 @@
+"""Layering contract: repro.shard never imports the serving layer.
+
+``repro.shard`` is an engine-level library — ``repro.service`` hosts it
+(``ShardedMatchService``), never the other way around, and the CLI /
+bench / io layers are equally off limits.  The CI lint job enforces the
+same rule with ruff (TID251 banned-api,
+``config/ruff-shard-layering.toml``); this test keeps the contract
+green for plain ``pytest`` runs and documents the allowlist.
+"""
+
+import ast
+from pathlib import Path
+
+import repro.shard
+
+#: The only repro modules the shard layer may depend on.
+ALLOWED_PREFIXES = (
+    "repro.shard",
+    "repro.compact",
+    "repro.graph",
+    "repro.exceptions",
+    "repro.utils",
+    "repro.core",
+    "repro.engine",
+    "repro.query",
+    "repro.storage",
+)
+
+
+def iter_repro_imports(path: Path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro"):
+                    yield alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.startswith("repro"):
+                yield node.module
+
+
+def test_shard_only_imports_lower_layers():
+    package_dir = Path(repro.shard.__file__).parent
+    violations = []
+    for source in sorted(package_dir.glob("*.py")):
+        for module in iter_repro_imports(source):
+            if not module.startswith(ALLOWED_PREFIXES):
+                violations.append(f"{source.name}: {module}")
+    assert not violations, (
+        "repro.shard must stay below the serving layer; "
+        f"offending imports: {violations}"
+    )
+
+
+def test_service_layer_is_explicitly_banned():
+    """The contract the ruff gate pins: no repro.service anywhere in shard."""
+    package_dir = Path(repro.shard.__file__).parent
+    for source in sorted(package_dir.glob("*.py")):
+        for module in iter_repro_imports(source):
+            assert not module.startswith("repro.service"), (
+                f"{source.name} imports {module}"
+            )

@@ -1,0 +1,163 @@
+"""Shard manifest writer/loader: round trips, checksums, corruption."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import IndexFormatError, ShardError
+from repro.shard import (
+    MANIFEST_KIND,
+    load_manifest,
+    shard_index,
+    sniff_is_shard_manifest,
+)
+from repro.shard.manifest import (
+    boundary_pairs_from_disk,
+    shard_file_name,
+    shard_paths,
+)
+
+
+@pytest.fixture()
+def written(tmp_path, medium_graph):
+    manifest_path = tmp_path / "index.ridx"
+    document = shard_index(medium_graph, manifest_path, 3)
+    return manifest_path, document
+
+
+def test_round_trip(written):
+    manifest_path, document = written
+    loaded = load_manifest(manifest_path, verify_files=True)
+    assert loaded == document
+    assert loaded["kind"] == MANIFEST_KIND
+    assert loaded["shard_count"] == 3
+    for index, path in enumerate(shard_paths(loaded, manifest_path)):
+        assert path.name == shard_file_name(manifest_path, index)
+        assert path.exists()
+
+
+def test_sniffing(written, tmp_path):
+    manifest_path, _document = written
+    assert sniff_is_shard_manifest(manifest_path)
+    shard0 = manifest_path.with_name(shard_file_name(manifest_path, 0))
+    assert not sniff_is_shard_manifest(shard0)  # binary .ridx, not JSON
+    other = tmp_path / "other.json"
+    other.write_text('{"kind": "something-else"}')
+    assert not sniff_is_shard_manifest(other)
+    assert not sniff_is_shard_manifest(tmp_path / "missing.ridx")
+
+
+def test_manifest_records_counts_and_spans(written, medium_graph):
+    _path, document = written
+    counts = document["counts"]
+    assert counts["nodes"] == medium_graph.num_nodes
+    assert counts["edges"] == medium_graph.num_edges
+    assert counts["labels"] == len(medium_graph.labels())
+    cursor = 0
+    for entry in document["shards"]:
+        assert entry["span"][0] == cursor
+        cursor = entry["span"][1]
+        assert entry["owned_nodes"] == entry["span"][1] - entry["span"][0]
+        assert entry["member_nodes"] >= entry["owned_nodes"]
+    assert cursor == medium_graph.num_nodes
+
+
+def test_tampered_manifest_is_rejected(written):
+    manifest_path, _document = written
+    document = json.loads(manifest_path.read_text())
+    document["epoch"] = 99  # checksum no longer matches
+    manifest_path.write_text(json.dumps(document, indent=2, sort_keys=True))
+    with pytest.raises(IndexFormatError, match="checksum"):
+        load_manifest(manifest_path)
+
+
+def test_wrong_kind_and_version_are_rejected(written):
+    manifest_path, _document = written
+    document = json.loads(manifest_path.read_text())
+    for patch, pattern in (
+        ({"kind": "not-a-manifest"}, "not a shard manifest"),
+        ({"version": 999}, "version"),
+    ):
+        broken = dict(document, **patch)
+        manifest_path.write_text(json.dumps(broken))
+        with pytest.raises(IndexFormatError, match=pattern):
+            load_manifest(manifest_path)
+
+
+def test_missing_shard_file_is_rejected(written):
+    manifest_path, _document = written
+    shard1 = manifest_path.with_name(shard_file_name(manifest_path, 1))
+    shard1.unlink()
+    with pytest.raises(IndexFormatError, match="missing shard file"):
+        load_manifest(manifest_path)
+
+
+def test_size_mismatch_is_rejected(written):
+    manifest_path, _document = written
+    shard1 = manifest_path.with_name(shard_file_name(manifest_path, 1))
+    with open(shard1, "ab") as handle:
+        handle.write(b"\0")
+    with pytest.raises(IndexFormatError, match="bytes"):
+        load_manifest(manifest_path)
+
+
+def test_content_corruption_caught_by_verify(written):
+    manifest_path, _document = written
+    shard1 = manifest_path.with_name(shard_file_name(manifest_path, 1))
+    data = bytearray(shard1.read_bytes())
+    data[len(data) // 2] ^= 0xFF  # same size, different bytes
+    shard1.write_bytes(bytes(data))
+    load_manifest(manifest_path)  # size check alone cannot see this
+    with pytest.raises(IndexFormatError, match="SHA-256"):
+        load_manifest(manifest_path, verify_files=True)
+
+
+def test_unreadable_manifest_is_rejected(tmp_path):
+    path = tmp_path / "garbage.ridx"
+    path.write_text("{not json")
+    with pytest.raises(IndexFormatError, match="unreadable"):
+        load_manifest(path)
+    with pytest.raises(IndexFormatError):
+        load_manifest(tmp_path / "missing.ridx")
+
+
+def test_boundary_pairs_round_trip_through_disk(written, medium_graph):
+    manifest_path, document = written
+    from repro.shard import ShardPlan
+
+    plan = ShardPlan.from_graph(medium_graph, 3)
+    for entry in document["shards"]:
+        shard_path = manifest_path.with_name(entry["file"])
+        tails, heads = boundary_pairs_from_disk(shard_path)
+        view = plan.span_view(entry["index"])
+        expected_tails, expected_heads = view.boundary_pairs()
+        assert list(tails) == list(expected_tails)
+        assert list(heads) == list(expected_heads)
+        assert len(tails) == entry["boundary_pairs"]
+
+
+def test_boundary_pairs_reject_plain_index(tmp_path, medium_graph):
+    from repro.engine.core import MatchEngine
+
+    path = tmp_path / "plain.ridx"
+    MatchEngine(medium_graph).save_index(path)
+    with pytest.raises(ShardError, match="not a shard file"):
+        boundary_pairs_from_disk(path)
+
+
+def test_shard_meta_descriptor_is_persisted(written):
+    manifest_path, document = written
+    from repro.storage.diskindex import DiskIndex
+
+    for entry in document["shards"]:
+        disk = DiskIndex(manifest_path.with_name(entry["file"]))
+        try:
+            shard_meta = disk.meta["shard"]
+        finally:
+            disk.close()
+        assert shard_meta["index"] == entry["index"]
+        assert shard_meta["shard_count"] == document["shard_count"]
+        assert shard_meta["span"] == entry["span"]
+        assert shard_meta["epoch"] == document["epoch"]

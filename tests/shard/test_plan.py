@@ -1,0 +1,203 @@
+"""ShardPlan partition invariants and SpanView closure semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compact import CompactGraph, NodeInterner, SpanView, forward_closure
+from repro.exceptions import ShardError
+from repro.graph.digraph import LabeledDiGraph, graph_from_edges
+from repro.shard import ShardPlan
+from repro.shard.plan import plan_from_layout
+from tests.shard.conftest import build_fixture_graph
+
+
+def test_spans_are_contiguous_disjoint_and_cover(medium_graph):
+    plan = ShardPlan.from_graph(medium_graph, 3)
+    assert plan.shard_count == 3
+    cursor = 0
+    for spec in plan.shards:
+        start, stop = spec.span
+        assert start == cursor, "spans must be contiguous"
+        assert stop > start, "spans must be non-empty"
+        cursor = stop
+    assert cursor == medium_graph.num_nodes, "spans must cover every node"
+
+
+def test_labels_are_whole_and_in_interner_order(medium_graph):
+    plan = ShardPlan.from_graph(medium_graph, 3)
+    interner = plan.interner
+    flat = [label for spec in plan.shards for label in spec.labels]
+    assert flat == list(interner.labels()), "label runs must tile the alphabet"
+    for spec in plan.shards:
+        for label in spec.labels:
+            rng = interner.label_range(label)
+            start, stop = spec.span
+            assert start <= rng.start and rng.stop <= stop, (
+                "a label's id range must sit wholly inside its owner's span"
+            )
+
+
+def test_every_label_has_exactly_one_owner(medium_graph):
+    plan = ShardPlan.from_graph(medium_graph, 4)
+    owners = {}
+    for spec in plan.shards:
+        for label in spec.labels:
+            assert label not in owners, f"label {label!r} owned twice"
+            owners[label] = spec.index
+    for label in medium_graph.labels():
+        assert label in owners
+        assert plan.owner_of(label) == owners[label]
+
+
+def test_plan_is_deterministic(medium_graph):
+    first = ShardPlan.from_graph(medium_graph, 3)
+    second = ShardPlan.from_graph(medium_graph, 3)
+    assert [spec.labels for spec in first.shards] == [
+        spec.labels for spec in second.shards
+    ]
+    assert [spec.span for spec in first.shards] == [
+        spec.span for spec in second.shards
+    ]
+
+
+def test_shard_count_clamps_to_label_count():
+    graph = graph_from_edges(
+        {"x": "A", "y": "B"}, [("x", "y", 1)]
+    )
+    plan = ShardPlan.from_graph(graph, 8)
+    assert plan.shard_count == 2  # only two labels exist
+    assert plan.requested_shards == 8
+
+
+def test_single_shard_owns_everything(medium_graph):
+    plan = ShardPlan.from_graph(medium_graph, 1)
+    assert plan.shard_count == 1
+    spec = plan.shards[0]
+    assert spec.span == (0, medium_graph.num_nodes)
+    assert spec.owned_nodes == medium_graph.num_nodes
+
+
+def test_invalid_plans_raise():
+    graph = graph_from_edges({"x": "A"}, [])
+    with pytest.raises(ShardError):
+        ShardPlan.from_graph(graph, 0)
+    with pytest.raises(ShardError):
+        ShardPlan.from_graph(LabeledDiGraph(), 2)
+
+
+def test_member_sets_union_to_whole_graph(medium_graph):
+    plan = ShardPlan.from_graph(medium_graph, 3)
+    members = set()
+    for spec in plan.shards:
+        members.update(plan.member_nodes(spec.index))
+    assert members == set(medium_graph.nodes())
+
+
+def test_subgraph_edges_union_to_whole_graph(medium_graph):
+    """Every edge's tail owner replicates both endpoints, so the union
+    of shard subgraphs reproduces the full edge set — the closed-set
+    property ShardedEngine.load relies on to reassemble the graph."""
+    plan = ShardPlan.from_graph(medium_graph, 3)
+    edges = set()
+    for spec in plan.shards:
+        sub = plan.subgraph(medium_graph, spec.index)
+        edges.update((t, h, w) for t, h, w in sub.edges())
+    assert edges == set(medium_graph.edges())
+
+
+def test_forward_closure_matches_reachability(medium_graph):
+    interner = NodeInterner.from_graph(medium_graph)
+    compact = CompactGraph(medium_graph, interner)
+    seeds = [0, 5]
+    members = set(forward_closure(compact, seeds))
+    # BFS reference over the external graph
+    frontier = [interner.resolve(i) for i in seeds]
+    seen = set(frontier)
+    while frontier:
+        node = frontier.pop()
+        for head in medium_graph.successors(node):
+            if head not in seen:
+                seen.add(head)
+                frontier.append(head)
+    assert members == {interner.intern(node) for node in seen}
+
+
+def test_span_view_boundary_pairs(medium_graph):
+    plan = ShardPlan.from_graph(medium_graph, 3)
+    view = plan.span_view(1)
+    tails, heads = view.boundary_pairs()
+    assert len(tails) == len(heads)
+    members = set(view.members())
+    interner = plan.interner
+    for tail_id, head_id in zip(tails, heads):
+        assert tail_id in members, "boundary tails are members"
+        assert not view.owns(head_id), "boundary heads leave the owned span"
+        assert medium_graph.has_edge(
+            interner.resolve(tail_id), interner.resolve(head_id)
+        )
+    # completeness: every member edge leaving the owned span is recorded
+    recorded = set(zip(tails, heads))
+    for tail_id in members:
+        for head_id, _w in plan.compact.out_edges(tail_id):
+            if not view.owns(head_id):
+                assert (tail_id, head_id) in recorded
+
+
+def test_span_view_replicas_are_closure_minus_span(medium_graph):
+    plan = ShardPlan.from_graph(medium_graph, 3)
+    view = plan.span_view(0)
+    members = set(view.members())
+    owned = set(view.owned_ids())
+    assert owned <= members
+    assert set(view.replicated_ids()) == members - owned
+
+
+def test_plan_from_layout_round_trips(medium_graph):
+    plan = ShardPlan.from_graph(medium_graph, 3)
+    rebuilt = plan_from_layout(
+        medium_graph,
+        [list(spec.labels) for spec in plan.shards],
+        plan.requested_shards,
+    )
+    assert [spec.span for spec in rebuilt.shards] == [
+        spec.span for spec in plan.shards
+    ]
+
+
+def test_plan_from_layout_rejects_bad_layouts(medium_graph):
+    plan = ShardPlan.from_graph(medium_graph, 3)
+    layout = [list(spec.labels) for spec in plan.shards]
+    with pytest.raises(ShardError):
+        plan_from_layout(medium_graph, layout[::-1], 3)  # wrong order
+    with pytest.raises(ShardError):
+        plan_from_layout(medium_graph, layout[:-1], 3)  # missing labels
+    broken = [list(run) for run in layout]
+    broken[0].append("NOPE")
+    with pytest.raises(ShardError):
+        plan_from_layout(medium_graph, broken, 3)  # unknown label
+
+
+def test_describe_is_json_ready(medium_graph):
+    import json
+
+    plan = ShardPlan.from_graph(medium_graph, 3)
+    described = plan.describe()
+    json.dumps(described)  # must not raise
+    assert len(described) == 3
+    assert [entry["index"] for entry in described] == [0, 1, 2]
+
+
+def test_uneven_label_sizes_balance_reasonably():
+    """One giant label and several tiny ones: the giant label gets its
+    own shard rather than dragging everything into shard 0."""
+    graph = LabeledDiGraph()
+    for i in range(50):
+        graph.add_node(f"big{i}", "A")
+    for label in ("B", "C", "D"):
+        for i in range(5):
+            graph.add_node(f"{label.lower()}{i}", label)
+    plan = ShardPlan.from_graph(graph, 2)
+    assert plan.shard_count == 2
+    sizes = [spec.owned_nodes for spec in plan.shards]
+    assert sizes == [50, 15]

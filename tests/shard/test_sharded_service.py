@@ -1,0 +1,233 @@
+"""ShardedMatchService: scatter-gather serving, deadlines, worker death.
+
+These tests spawn real worker processes (the ``spawn`` start method,
+same as production), so they keep shard counts and graph sizes small —
+the point is protocol correctness, not throughput.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.engine.config import EngineConfig
+from repro.engine.core import MatchEngine
+from repro.exceptions import (
+    DeadlineExceededError,
+    EngineError,
+    ServiceClosedError,
+    ServiceError,
+    ShardUnavailableError,
+)
+from repro.service import MatchService, ShardedMatchService
+from repro.shard import shard_index
+from repro.twig.semantics import ContainmentMatcher
+from tests.shard.conftest import FIXTURE_QUERIES, build_fixture_graph
+
+QUERIES = FIXTURE_QUERIES[:3]
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    return build_fixture_graph(nodes=36, labels=6, edges=90, seed=11)
+
+
+@pytest.fixture(scope="module")
+def flat(small_graph):
+    return MatchEngine(small_graph)
+
+
+def scores(matches):
+    return [m.score for m in matches]
+
+
+def test_round_trip_equivalence_and_provenance(small_graph, flat):
+    with ShardedMatchService(small_graph, num_shards=2) as service:
+        for query in QUERIES:
+            response = service.request(query, 6, deadline=60.0)
+            assert scores(response.matches) == scores(flat.top_k(query, 6))
+            assert response.epoch == 0
+            assert response.k == 6
+            assert not response.degraded
+            assert response.shards_failed == ()
+            assert all(0 <= s < 2 for s in response.shards_routed)
+        stats = service.statistics()
+        assert stats["requests"] == len(QUERIES)
+        assert stats["workers_alive"] == 2
+
+
+def test_submit_and_batch(small_graph, flat):
+    with ShardedMatchService(small_graph, num_shards=2) as service:
+        futures = [service.submit(query, 4) for query in QUERIES]
+        for query, future in zip(QUERIES, futures):
+            assert scores(future.result(60).matches) == scores(
+                flat.top_k(query, 4)
+            )
+        batched = service.batch(QUERIES, 4)
+        for query, matches in zip(QUERIES, batched):
+            assert scores(matches) == scores(flat.top_k(query, 4))
+
+
+def test_expired_deadline_raises_without_hanging(small_graph):
+    with ShardedMatchService(small_graph, num_shards=2) as service:
+        service.top_k(QUERIES[0], 3)  # workers warm and healthy
+        with pytest.raises(DeadlineExceededError):
+            service.request(QUERIES[0], 3, deadline=1e-9)
+        # the failed request poisons nothing: the next one answers
+        assert service.top_k(QUERIES[0], 3)
+
+
+def test_cyclic_queries_rejected_before_scatter(small_graph):
+    with ShardedMatchService(small_graph, num_shards=2) as service:
+        with pytest.raises(EngineError, match="cyclic"):
+            service.top_k("graph(a:A, b:B; a-b, b-a)", 5)
+
+
+def test_worker_death_raises_shard_unavailable(small_graph):
+    with ShardedMatchService(
+        small_graph, num_shards=2, restart_workers=False
+    ) as service:
+        victim = service.route(QUERIES[0])[0]
+        service._workers[victim].process.terminate()
+        service._workers[victim].process.join(timeout=10)
+        started = time.monotonic()
+        with pytest.raises(ShardUnavailableError):
+            service.top_k(QUERIES[0], 5)
+        assert time.monotonic() - started < 30, "death must not hang"
+        # requests routed to surviving shards keep working
+        survivor_query = next(
+            (q for q in FIXTURE_QUERIES if victim not in service.route(q)),
+            None,
+        )
+        if survivor_query is not None:
+            assert service.top_k(survivor_query, 3) is not None
+        stats = service.statistics()
+        assert stats["workers_alive"] == 1
+
+
+def test_worker_death_recovers_with_restart(small_graph, flat):
+    with ShardedMatchService(
+        small_graph, num_shards=2, restart_workers=True
+    ) as service:
+        victim = service.route(QUERIES[0])[0]
+        service._workers[victim].process.terminate()
+        service._workers[victim].process.join(timeout=10)
+        got = service.top_k(QUERIES[0], 5)
+        assert scores(got) == scores(flat.top_k(QUERIES[0], 5))
+        assert service.statistics()["worker_restarts"] == 1
+
+
+def containment_graph():
+    """Labels "A" and "A+X" land on different shards at ``num_shards=4``,
+    so an ``A``-rooted containment query scatters to two shards."""
+    import random
+
+    from repro.graph.digraph import LabeledDiGraph
+
+    labels = ("A", "A+X", "B", "C")
+    graph = LabeledDiGraph()
+    for i in range(32):
+        graph.add_node(f"v{i}", labels[i % 4])
+    rng = random.Random(5)
+    names = [f"v{i}" for i in range(32)]
+    for _ in range(80):
+        tail, head = rng.sample(names, 2)
+        graph.add_edge(tail, head, rng.randint(1, 9))
+    return graph
+
+
+def test_degrade_mode_returns_partial_answers():
+    config = EngineConfig(label_matcher=ContainmentMatcher())
+    with ShardedMatchService(
+        containment_graph(), config, num_shards=4,
+        on_shard_failure="degrade", restart_workers=False,
+    ) as service:
+        routed = service.route("A//B")
+        assert len(routed) == 2, "containment roots must scatter"
+        service._workers[routed[0]].process.terminate()
+        service._workers[routed[0]].process.join(timeout=10)
+        response = service.request("A//B", 5)
+        assert response.degraded
+        assert response.shards_failed == (routed[0],)
+        assert response.shards_routed == routed
+        assert service.statistics()["degraded_responses"] >= 1
+
+
+def test_error_mode_fails_partial_scatter():
+    config = EngineConfig(label_matcher=ContainmentMatcher())
+    with ShardedMatchService(
+        containment_graph(), config, num_shards=4,
+        on_shard_failure="error", restart_workers=False,
+    ) as service:
+        routed = service.route("A//B")
+        service._workers[routed[0]].process.terminate()
+        service._workers[routed[0]].process.join(timeout=10)
+        with pytest.raises(ShardUnavailableError):
+            service.request("A//B", 5)
+
+
+def test_apply_updates_swaps_all_shards(small_graph):
+    with ShardedMatchService(small_graph, num_shards=2) as service:
+        report = service.apply_updates(
+            edges_added=[("v1", "v20")], nodes_added={"v90": "B"}
+        )
+        assert report["epoch"] == 1
+        assert report["shards_rebuilt"] == 2
+        mutated = small_graph.copy()
+        mutated.add_node("v90", "B")
+        mutated.add_edge("v1", "v20")
+        fresh = MatchEngine(mutated)
+        for query in QUERIES:
+            assert scores(service.top_k(query, 6)) == scores(
+                fresh.top_k(query, 6)
+            )
+        assert service.request(QUERIES[0], 3).epoch == 1
+        with pytest.raises(ServiceError):
+            service.apply_updates()  # empty update is refused
+
+
+def test_from_manifest_and_from_index(tmp_path, small_graph, flat):
+    manifest = tmp_path / "index.ridx"
+    shard_index(small_graph, manifest, 2)
+    with ShardedMatchService.from_manifest(manifest) as service:
+        assert service.shard_count == 2
+        assert scores(service.top_k(QUERIES[0], 5)) == scores(
+            flat.top_k(QUERIES[0], 5)
+        )
+    via_dispatch = MatchService.from_index(manifest)
+    try:
+        assert isinstance(via_dispatch, ShardedMatchService)
+        assert scores(via_dispatch.top_k(QUERIES[1], 5)) == scores(
+            flat.top_k(QUERIES[1], 5)
+        )
+    finally:
+        via_dispatch.close()
+
+
+def test_closed_service_refuses_requests(small_graph):
+    service = ShardedMatchService(small_graph, num_shards=2)
+    service.close()
+    assert service.closed
+    with pytest.raises(ServiceClosedError):
+        service.top_k(QUERIES[0], 3)
+    with pytest.raises(ServiceClosedError):
+        service.submit(QUERIES[0], 3)
+    service.close()  # idempotent
+
+
+def test_workers_are_reaped_on_close(small_graph):
+    service = ShardedMatchService(small_graph, num_shards=2)
+    processes = [worker.process for worker in service._workers]
+    service.close()
+    for process in processes:
+        assert process is None or not process.is_alive()
+
+
+def test_constructor_validation(small_graph):
+    with pytest.raises(ServiceError):
+        ShardedMatchService(small_graph, manifest="also-a-manifest")
+    with pytest.raises(ServiceError):
+        ShardedMatchService(small_graph, on_shard_failure="explode")
+    with pytest.raises(ServiceError):
+        ShardedMatchService(small_graph, max_workers=0)

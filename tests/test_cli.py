@@ -494,3 +494,85 @@ class TestServeBench:
     def test_nonpositive_requests_exit_cleanly(self, capsys):
         assert main(["serve-bench", "--nodes", "40", "--requests", "0"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestShardCli:
+    @pytest.fixture
+    def manifest_path(self, tmp_path, graph_file):
+        path = tmp_path / "sharded.ridx"
+        code = main(
+            [
+                "index",
+                "--graph", str(graph_file),
+                "--shards", "2",
+                "--out", str(path),
+            ]
+        )
+        assert code == 0
+        return path
+
+    def test_build_reports_shards(self, tmp_path, graph_file, capsys):
+        manifest_path = tmp_path / "sharded.ridx"
+        code = main(
+            [
+                "index",
+                "--graph", str(graph_file),
+                "--shards", "2",
+                "--out", str(manifest_path),
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "built 2 shards" in err
+        assert str(manifest_path) in err
+        siblings = sorted(p.name for p in manifest_path.parent.iterdir())
+        assert "sharded.shard-00.ridx" in siblings
+        assert "sharded.shard-01.ridx" in siblings
+
+    def test_match_loads_manifest_transparently(
+        self, manifest_path, graph_file, tree_query_file, capsys
+    ):
+        code = main(
+            [
+                "match",
+                "--load-index", str(manifest_path),
+                "--query", str(tree_query_file),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert [m["score"] for m in payload["matches"]] == [2.0, 3.0]
+        assert "sharded[2]" in captured.err
+
+    def test_shard_info(self, manifest_path, capsys):
+        capsys.readouterr()
+        assert main(["shard", "info", str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro-shard-manifest" in out
+        assert "shard  0:" in out
+        assert "use --verify" in out
+        assert main(["shard", "info", str(manifest_path), "--verify"]) == 0
+        assert "SHA-256 verified" in capsys.readouterr().out
+
+    def test_shard_info_rejects_tampering(self, manifest_path, capsys):
+        document = json.loads(manifest_path.read_text())
+        document["epoch"] = 7
+        manifest_path.write_text(json.dumps(document))
+        capsys.readouterr()
+        assert main(["shard", "info", str(manifest_path)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "checksum" in err
+
+    def test_bad_shard_flags_exit_2(self, tmp_path, graph_file, capsys):
+        out = tmp_path / "x.ridx"
+        assert main(
+            ["index", "--graph", str(graph_file), "--shards", "0",
+             "--out", str(out)]
+        ) == 2
+        assert "positive" in capsys.readouterr().err
+        assert main(
+            ["index", "--graph", str(graph_file), "--shards", "2",
+             "--format", "json", "--out", str(out)]
+        ) == 2
+        assert "binary-only" in capsys.readouterr().err

@@ -178,3 +178,81 @@ def test_service_agrees_with_engine(instance, k, backend):
         assert exact(cold.matches) == direct
         assert exact(warm.matches) == direct
         assert warm.result_cache_hit
+
+
+@given(
+    instance=graph_and_query(max_query_size=4),
+    k=st.integers(1, 10),
+    num_shards=st.sampled_from((2, 3)),
+)
+@fuzz_settings
+def test_sharded_engine_agrees_with_flat(instance, k, num_shards):
+    """ShardedEngine at 2 and 3 shards == the unsharded engine.
+
+    Same contract the unsharded backends hold among themselves: exact
+    score sequence, exact assignment set below the k-th-score boundary.
+    """
+    from repro.shard import ShardedEngine
+
+    graph, query = instance
+    flat = MatchEngine(graph, backend="full")
+    sharded = ShardedEngine.from_graph(graph, num_shards)
+    assert comparable(sharded.top_k(query, k), k) == comparable(
+        flat.top_k(query, k), k
+    ), num_shards
+
+
+@given(
+    instance=graph_and_query(max_query_size=4, weighted=True, max_weight=4),
+    k=st.integers(1, 8),
+    num_shards=st.sampled_from((2, 3)),
+)
+@fuzz_settings
+def test_sharded_engine_agrees_on_weighted_graphs(instance, k, num_shards):
+    """Weighted graphs: sharded == flat at 2 and 3 shards."""
+    from repro.shard import ShardedEngine
+
+    graph, query = instance
+    flat = MatchEngine(graph, backend="full")
+    sharded = ShardedEngine.from_graph(graph, num_shards)
+    assert comparable(sharded.top_k(query, k), k) == comparable(
+        flat.top_k(query, k), k
+    ), num_shards
+
+
+@given(
+    instance=graph_and_query(max_query_size=4),
+    k=st.integers(1, 8),
+    num_shards=st.sampled_from((2, 3)),
+    data=st.data(),
+)
+@fuzz_settings
+def test_sharded_engine_update_path_agrees(instance, k, num_shards, data):
+    """After a random delta, ShardedEngine.updated() == a fresh flat
+    engine on the mutated graph (the epoch-swap correctness property)."""
+    from repro.shard import ShardedEngine
+
+    graph, query = instance
+    sharded = ShardedEngine.from_graph(graph, num_shards)
+    nodes = sorted(graph.nodes())
+    existing = sorted((t, h) for t, h, _ in graph.edges())
+    addable = [
+        (t, h)
+        for t in nodes
+        for h in nodes
+        if t != h and not graph.has_edge(t, h)
+    ]
+    operations = (["remove"] if existing else []) + (["add"] if addable else [])
+    if not operations:
+        return
+    if data.draw(st.sampled_from(operations)) == "remove":
+        deltas = {"edges_removed": [data.draw(st.sampled_from(existing))]}
+    else:
+        tail, head = data.draw(st.sampled_from(addable))
+        deltas = {"edges_added": [(tail, head, data.draw(st.integers(1, 4)))]}
+    swapped = sharded.updated(**deltas)
+    assert swapped.epoch == sharded.epoch + 1
+    fresh = MatchEngine(swapped.graph, backend="full")
+    assert comparable(swapped.top_k(query, k), k) == comparable(
+        fresh.top_k(query, k), k
+    ), (num_shards, deltas)
