@@ -47,6 +47,8 @@ path::
 Subpackages: :mod:`repro.query` (DSL parser, builders, query compiler),
 :mod:`repro.engine` (MatchEngine, planner, streams, persistence),
 :mod:`repro.service` (concurrent serving: snapshots, caching, workers),
+:mod:`repro.delta` (write path: WAL'd delta overlays, compaction
+generations), :mod:`repro.shard` (label-range shards, scatter-gather),
 :mod:`repro.graph` (data model & generators), :mod:`repro.closure`
 (transitive closure, block store, 2-hop labels), :mod:`repro.runtime`
 (run-time graphs and L/H slots), :mod:`repro.core` (Topk, Topk-EN, DP-B,
@@ -78,7 +80,7 @@ from repro.graph.query import WILDCARD, EdgeType, QueryGraph, QueryTree
 from repro.query import CompiledQuery, Pattern, Q, compile_query, parse, to_dsl
 from repro.service import MatchService, ServiceResponse, Snapshot, UpdateReport
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "LabeledDiGraph",

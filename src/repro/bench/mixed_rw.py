@@ -1,0 +1,232 @@
+"""Mixed read/write serving benchmark (BENCH schema v4 section).
+
+Measures what the write-ahead delta overlay buys under sustained write
+traffic, on the same deterministic citation workload as the rest of the
+suite:
+
+* **apply latency** — the same single-edge update stream applied three
+  ways: the *delta* path (validate + WAL-log + return, fold deferred),
+  the *eager* path (incremental backend refresh before returning), and
+  the naive *rebuild* baseline (a fresh :class:`MatchEngine` per batch
+  — what a snapshot-per-write serving layer would pay).  The headline
+  number is ``apply_speedup_vs_rebuild``: deferred logging versus
+  whole-snapshot reconstruction.
+* **reads during writes** — a writer thread streams updates through the
+  delta path while reader threads time every query client-side; read
+  latency includes any fold a reader triggers, so the p50/p99 are the
+  honest sustained-traffic numbers.
+* **reads during compaction** — the same read clock while ``compact()``
+  folds the accumulated overlay and writes the next ``.ridx``
+  generation in the background; the acceptance bar is read p50 staying
+  in family with the quiet baseline (compaction must not stall reads).
+
+Every run seeds its own RNG, so the update stream is reproducible;
+``quick=True`` shrinks the scenario for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import random
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.bench.suite import build_workload
+from repro.engine import MatchEngine
+from repro.query import to_dsl
+from repro.service import MatchService
+
+#: The fixed scenario; ``quick=True`` shrinks it for CI smoke runs.
+FULL_SCENARIO = {
+    "nodes": 400,
+    "labels": 12,
+    "updates": 24,
+    "read_requests": 60,
+    "k": 10,
+    "num_queries": 3,
+    "rebuild_updates": 6,
+}
+QUICK_SCENARIO = {
+    "nodes": 120,
+    "labels": 8,
+    "updates": 8,
+    "read_requests": 16,
+    "k": 5,
+    "num_queries": 2,
+    "rebuild_updates": 3,
+}
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (empty -> 0.0)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(
+        len(sorted_values) - 1,
+        max(0, round(fraction * (len(sorted_values) - 1))),
+    )
+    return sorted_values[rank]
+
+
+def _update_stream(graph, count: int, seed: int) -> list[tuple]:
+    """``count`` deterministic new edges between existing nodes."""
+    rng = random.Random(seed)
+    nodes = sorted(graph.nodes(), key=repr)
+    seen = {(tail, head) for tail, head, _weight in graph.edges()}
+    edges: list[tuple] = []
+    while len(edges) < count:
+        tail, head = rng.choice(nodes), rng.choice(nodes)
+        if tail == head or (tail, head) in seen:
+            continue
+        seen.add((tail, head))
+        edges.append((tail, head))
+    return edges
+
+
+def _latency_summary(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+    total = sum(ordered)
+    return {
+        "batches": len(ordered),
+        "total_seconds": total,
+        "mean_ms": (total / len(ordered)) * 1e3 if ordered else 0.0,
+        "p50_ms": _percentile(ordered, 0.50) * 1e3,
+        "p99_ms": _percentile(ordered, 0.99) * 1e3,
+    }
+
+
+def _read_summary(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+    return {
+        "requests": len(ordered),
+        "p50_ms": _percentile(ordered, 0.50) * 1e3,
+        "p99_ms": _percentile(ordered, 0.99) * 1e3,
+    }
+
+
+def _timed_reads(service, queries, k: int, count: int) -> list[float]:
+    latencies = []
+    for index in range(count):
+        started = time.perf_counter()
+        service.top_k(queries[index % len(queries)], k)
+        latencies.append(time.perf_counter() - started)
+    return latencies
+
+
+def mixed_rw_benchmark(
+    quick: bool = False, seed: int = 0, **overrides
+) -> dict:
+    """Run the mixed read/write scenario and return the v4 section."""
+    scenario = dict(QUICK_SCENARIO if quick else FULL_SCENARIO)
+    scenario.update({k: v for k, v in overrides.items() if v is not None})
+    graph, queries = build_workload(
+        scenario["nodes"], scenario["labels"], seed, scenario["num_queries"]
+    )
+    query_texts = [to_dsl(query) for query in queries]
+    k = scenario["k"]
+    edges = _update_stream(graph, scenario["updates"], seed)
+
+    # -- apply latency: delta vs eager vs whole-snapshot rebuild --------
+    delta_lat: list[float] = []
+    with MatchService(
+        graph, backend="full", update_policy="delta", auto_compact=False
+    ) as service:
+        for edge in edges:
+            started = time.perf_counter()
+            service.apply_updates(edges_added=[edge])
+            delta_lat.append(time.perf_counter() - started)
+        service.top_k(query_texts[0], k)  # fold once; correctness probe
+
+    eager_lat: list[float] = []
+    with MatchService(
+        graph, backend="full", update_policy="eager", auto_compact=False
+    ) as service:
+        for edge in edges:
+            started = time.perf_counter()
+            service.apply_updates(edges_added=[edge])
+            eager_lat.append(time.perf_counter() - started)
+
+    # The naive baseline rebuilds the whole snapshot per write; a few
+    # batches suffice for a stable mean (it is orders slower).
+    rebuild_lat: list[float] = []
+    rebuild_graph = graph.copy()
+    for edge in edges[: scenario["rebuild_updates"]]:
+        started = time.perf_counter()
+        rebuild_graph.add_edge(*edge)
+        MatchEngine(rebuild_graph, backend="full")
+        rebuild_lat.append(time.perf_counter() - started)
+
+    delta_apply = _latency_summary(delta_lat)
+    eager_apply = _latency_summary(eager_lat)
+    rebuild_apply = _latency_summary(rebuild_lat)
+
+    # -- read latency: quiet baseline, during writes, during compaction -
+    with tempfile.TemporaryDirectory(prefix="repro-mixedrw-") as tmp:
+        index_path = Path(tmp) / "index.ridx"
+        MatchEngine(graph, backend="full").save_index(
+            index_path, format="binary"
+        )
+        with MatchService.from_index(
+            index_path,
+            wal_path=Path(tmp) / "index.wal",
+            auto_compact=False,
+        ) as service:
+            baseline = _timed_reads(
+                service, query_texts, k, scenario["read_requests"]
+            )
+
+            writer_done = threading.Event()
+
+            def writer() -> None:
+                for edge in edges:
+                    service.apply_updates(edges_added=[edge])
+                    time.sleep(0.001)
+                writer_done.set()
+
+            writer_thread = threading.Thread(target=writer, daemon=True)
+            writer_thread.start()
+            during_writes: list[float] = []
+            read_cap = 4 * scenario["read_requests"]
+            while (
+                not writer_done.is_set() or not during_writes
+            ) and len(during_writes) < read_cap:
+                during_writes.extend(
+                    _timed_reads(service, query_texts, k, 4)
+                )
+            writer_thread.join()
+
+            compaction_seconds = [0.0]
+
+            def compactor() -> None:
+                started = time.perf_counter()
+                service.compact()
+                compaction_seconds[0] = time.perf_counter() - started
+
+            compact_thread = threading.Thread(target=compactor, daemon=True)
+            compact_thread.start()
+            during_compaction = _timed_reads(
+                service, query_texts, k, scenario["read_requests"]
+            )
+            compact_thread.join()
+
+    return {
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "seed": seed,
+        "k": k,
+        "queries": query_texts,
+        "updates": scenario["updates"],
+        "delta_apply": delta_apply,
+        "eager_apply": eager_apply,
+        "rebuild_apply": rebuild_apply,
+        "apply_speedup_vs_rebuild": (
+            rebuild_apply["mean_ms"] / delta_apply["mean_ms"]
+            if delta_apply["mean_ms"]
+            else 0.0
+        ),
+        "read_baseline": _read_summary(baseline),
+        "reads_during_writes": _read_summary(during_writes),
+        "reads_during_compaction": _read_summary(during_compaction),
+        "compaction_seconds": compaction_seconds[0],
+    }

@@ -32,11 +32,19 @@ recorded the platform-dependent number unchecked).
   ``cpu_count`` recorded so the numbers are readable on any runner
   (see :mod:`repro.bench.sharding`).
 
+* a **mixed read/write serving comparison** (since schema version 4):
+  per-batch apply latency through the write-ahead delta overlay versus
+  the eager incremental path versus a whole-snapshot rebuild
+  (``apply_speedup_vs_rebuild`` is the headline), plus read latency
+  percentiles while a writer streams updates and while ``compact()``
+  folds the overlay into the next ``.ridx`` generation
+  (see :mod:`repro.bench.mixed_rw`).
+
 The document schema is validated by :func:`validate_bench_document`
 (also exposed as ``repro bench validate``) so CI can gate on it; the
-committed ``BENCH_PR4.json`` (v1), ``BENCH_PR5.json`` (v2), and
-``BENCH_PR6.json`` (v3) at the repo root are the entries of the
-trajectory so far.
+committed ``BENCH_PR4.json`` (v1), ``BENCH_PR5.json`` (v2),
+``BENCH_PR6.json`` (v3), and ``BENCH_PR7.json`` (v4) at the repo root
+are the entries of the trajectory so far.
 """
 
 from __future__ import annotations
@@ -62,7 +70,7 @@ from repro.query import to_dsl
 from repro.storage.blocks import TableDirectory
 
 BENCH_KIND = "repro-bench-suite"
-BENCH_VERSION = 3
+BENCH_VERSION = 4
 
 #: The fixed matrix; ``--quick`` shrinks it for CI smoke runs.
 FULL_MATRIX = {
@@ -439,8 +447,10 @@ def run_suite(quick: bool = False, seed: int = 0, **overrides) -> dict:
     else:
         cold_graph, cold_query = graph, query_texts[0]
 
-    # Imported here: repro.bench.sharding reuses build_workload from this
-    # module, so a top-level import would be circular.
+    # Imported here: repro.bench.sharding and repro.bench.mixed_rw reuse
+    # build_workload from this module, so top-level imports would be
+    # circular.
+    from repro.bench.mixed_rw import mixed_rw_benchmark
     from repro.bench.sharding import sharded_scatter_gather
 
     return {
@@ -468,6 +478,7 @@ def run_suite(quick: bool = False, seed: int = 0, **overrides) -> dict:
             cold_graph, cold_query, runs=matrix.get("cold_start_runs", 3)
         ),
         "sharding": sharded_scatter_gather(quick=quick, seed=seed),
+        "mixed_rw": mixed_rw_benchmark(quick=quick, seed=seed),
         "peak_rss_bytes": peak_rss_bytes(),
         "peak_rss_unit": "bytes",
     }
@@ -517,6 +528,8 @@ _V2_FIELDS = {
 }
 #: v3 adds the sharded scatter-gather serving section.
 _V3_FIELDS = dict(_V2_FIELDS, sharding=dict)
+#: v4 adds the mixed read/write (delta overlay) serving section.
+_V4_FIELDS = dict(_V3_FIELDS, mixed_rw=dict)
 _SHARDING_RUN_FIELDS = {
     "requests": int,
     "wall_seconds": (int, float),
@@ -531,6 +544,18 @@ _SHARDING_CONFIG_FIELDS = dict(
     clients=int,
     speedup_vs_single=(int, float),
 )
+_MIXED_RW_APPLY_FIELDS = {
+    "batches": int,
+    "total_seconds": (int, float),
+    "mean_ms": (int, float),
+    "p50_ms": (int, float),
+    "p99_ms": (int, float),
+}
+_MIXED_RW_READ_FIELDS = {
+    "requests": int,
+    "p50_ms": (int, float),
+    "p99_ms": (int, float),
+}
 _COLD_START_SIDE_FIELDS = {
     "index_bytes": int,
     "mapped_bytes": int,
@@ -601,28 +626,72 @@ def _validate_sharding(sharding: dict, errors: list[str]) -> None:
                 errors.append(f"sharding.configs[{index}].{field} is negative")
 
 
+def _validate_mixed_rw(mixed: dict, errors: list[str]) -> None:
+    for field in ("nodes", "seed", "k", "queries", "updates"):
+        if field not in mixed:
+            errors.append(f"mixed_rw missing {field!r}")
+    speedup = mixed.get("apply_speedup_vs_rebuild")
+    if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
+        errors.append("mixed_rw.apply_speedup_vs_rebuild is not a number")
+    elif speedup < 0:
+        errors.append("mixed_rw.apply_speedup_vs_rebuild is negative")
+    for name in ("delta_apply", "eager_apply", "rebuild_apply"):
+        section = mixed.get(name)
+        if not isinstance(section, dict):
+            errors.append(f"mixed_rw.{name} is not an object")
+            continue
+        for field, kind in _MIXED_RW_APPLY_FIELDS.items():
+            if field not in section:
+                errors.append(f"mixed_rw.{name} missing {field!r}")
+            elif not isinstance(section[field], kind) or isinstance(
+                section[field], bool
+            ):
+                errors.append(f"mixed_rw.{name}.{field} is not {kind}")
+            elif section[field] < 0:
+                errors.append(f"mixed_rw.{name}.{field} is negative")
+    for name in (
+        "read_baseline", "reads_during_writes", "reads_during_compaction"
+    ):
+        section = mixed.get(name)
+        if not isinstance(section, dict):
+            errors.append(f"mixed_rw.{name} is not an object")
+            continue
+        for field, kind in _MIXED_RW_READ_FIELDS.items():
+            if field not in section:
+                errors.append(f"mixed_rw.{name} missing {field!r}")
+            elif not isinstance(section[field], kind) or isinstance(
+                section[field], bool
+            ):
+                errors.append(f"mixed_rw.{name}.{field} is not {kind}")
+            elif section[field] < 0:
+                errors.append(f"mixed_rw.{name}.{field} is negative")
+
+
 def validate_bench_document(document) -> list[str]:
     """Schema errors of a BENCH document (empty list == valid).
 
     Accepts version 1 (legacy ``peak_rss_kb``), version 2 (byte-
     normalized memory accounting — ``peak_rss_bytes`` with
     ``peak_rss_unit == "bytes"`` asserted — plus the cold-start
-    comparison section), and version 3, which additionally *requires*
-    the sharded scatter-gather serving section.
+    comparison section), version 3 (additionally *requires* the sharded
+    scatter-gather serving section), and version 4, which additionally
+    requires the mixed read/write delta-overlay serving section.
     """
     errors: list[str] = []
     if not isinstance(document, dict):
         return ["document is not a JSON object"]
     version = document.get("version")
-    if version not in (1, 2, BENCH_VERSION):
+    if version not in (1, 2, 3, BENCH_VERSION):
         return [f"unsupported version {version!r}"]
     fields = dict(_TOP_FIELDS)
     if version == 1:
         fields.update(_V1_FIELDS)
     elif version == 2:
         fields.update(_V2_FIELDS)
-    else:
+    elif version == 3:
         fields.update(_V3_FIELDS)
+    else:
+        fields.update(_V4_FIELDS)
     for field, kind in fields.items():
         if field not in document:
             errors.append(f"missing field {field!r}")
@@ -642,6 +711,8 @@ def validate_bench_document(document) -> list[str]:
         _validate_cold_start(document["cold_start"], errors)
     if version >= 3:
         _validate_sharding(document["sharding"], errors)
+    if version >= 4:
+        _validate_mixed_rw(document["mixed_rw"], errors)
     for index, cell in enumerate(document["cells"]):
         if not isinstance(cell, dict):
             errors.append(f"cells[{index}] is not an object")
@@ -773,6 +844,42 @@ def print_suite_report(document: dict) -> None:
                 f"sharded scatter-gather ({sharding['nodes']} nodes, "
                 f"k={sharding['k']}, {sharding['cpu_count']} CPU"
                 f"{'s' if sharding['cpu_count'] != 1 else ''})"
+            ),
+        )
+    mixed = document.get("mixed_rw")
+    if mixed is not None:
+        print_table(
+            ["apply path", "batches", "mean ms", "p50 ms", "p99 ms"],
+            [
+                [name.removesuffix("_apply"),
+                 mixed[name]["batches"],
+                 f"{mixed[name]['mean_ms']:.3f}",
+                 f"{mixed[name]['p50_ms']:.3f}",
+                 f"{mixed[name]['p99_ms']:.3f}"]
+                for name in ("delta_apply", "eager_apply", "rebuild_apply")
+            ],
+            title=(
+                f"mixed r/w: apply latency ({mixed['updates']} updates, "
+                f"delta {mixed['apply_speedup_vs_rebuild']:.1f}x faster "
+                "than rebuild)"
+            ),
+        )
+        print_table(
+            ["reads", "requests", "p50 ms", "p99 ms"],
+            [
+                [label,
+                 mixed[name]["requests"],
+                 f"{mixed[name]['p50_ms']:.3f}",
+                 f"{mixed[name]['p99_ms']:.3f}"]
+                for label, name in (
+                    ("quiet baseline", "read_baseline"),
+                    ("during writes", "reads_during_writes"),
+                    ("during compaction", "reads_during_compaction"),
+                )
+            ],
+            title=(
+                "mixed r/w: read latency "
+                f"(compaction took {mixed['compaction_seconds']:.3f}s)"
             ),
         )
     if "peak_rss_bytes" in document:

@@ -10,7 +10,9 @@ Subcommands::
     python -m repro.cli index   --graph g.tsv --backend full --out g.ridx
     python -m repro.cli serve-bench --nodes 300 --requests 120 --workers 1,4
     python -m repro.cli bench   suite --quick --out BENCH_SMOKE.json
-    python -m repro.cli bench   validate BENCH_PR5.json
+    python -m repro.cli bench   validate BENCH_PR7.json
+    python -m repro.cli compact --index g.ridx --wal g.wal
+    python -m repro.cli delta   info g.wal
     python -m repro.cli generate --family citation --nodes 1000 --out g.tsv
 
 ``--query`` accepts either DSL text (``A//B[C]``, ``graph(a:A, b:B; a-b)``)
@@ -32,8 +34,11 @@ with ``--format json``; ``--load-index`` sniffs the format either way;
 plan/result caches vs a fresh engine per call, 1-N workers);
 ``bench suite`` runs the canonical perf matrix and writes a
 machine-readable ``BENCH_*.json`` (``bench validate`` checks one against
-the schema — the CI gate); ``generate`` writes one of the synthetic
-workload graphs.
+the schema — the CI gate); ``compact`` folds a write-ahead delta
+segment into the next ``.ridx`` generation offline (the swap protocol
+DESIGN.md specifies); ``delta info`` inspects a WAL segment or a
+generations manifest without touching it; ``generate`` writes one of
+the synthetic workload graphs.
 
 With ``pip install -e .`` the same interface is exposed as the ``repro``
 console script.
@@ -219,8 +224,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shrunken matrix for CI smoke runs",
     )
     bsuite.add_argument(
-        "--out", default="BENCH_PR6.json",
-        help="output JSON path (default: BENCH_PR6.json)",
+        "--out", default="BENCH_PR7.json",
+        help="output JSON path (default: BENCH_PR7.json)",
     )
     bsuite.add_argument(
         "--nodes", type=int, default=None,
@@ -231,6 +236,37 @@ def _build_parser() -> argparse.ArgumentParser:
         "validate", help="check a BENCH JSON document against the schema"
     )
     bvalidate.add_argument("path", help="BENCH JSON document to validate")
+
+    compact = sub.add_parser(
+        "compact",
+        help="fold a write-ahead delta segment into the next .ridx generation",
+    )
+    compact.add_argument(
+        "--index", required=True,
+        help="base index path (or its generations manifest)",
+    )
+    compact.add_argument(
+        "--wal", metavar="PATH",
+        help="write-ahead log segment with the pending records "
+        "(recovered and truncated by the swap protocol)",
+    )
+    compact.add_argument(
+        "--force", action="store_true",
+        help="write a new generation even with nothing pending",
+    )
+
+    delta = sub.add_parser(
+        "delta", help="inspect the write-ahead delta overlay artifacts"
+    )
+    dsub = delta.add_subparsers(dest="delta_command", required=True)
+    dinfo = dsub.add_parser(
+        "info",
+        help="describe a WAL segment, a generations manifest, or a "
+        "generation-tracked index (read-only)",
+    )
+    dinfo.add_argument(
+        "path", help="WAL segment, generations manifest, or base index path"
+    )
 
     gen = sub.add_parser("generate", help="generate a synthetic data graph")
     gen.add_argument(
@@ -528,6 +564,96 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_compact(args) -> int:
+    from repro.service import MatchService
+
+    service = MatchService.from_index(
+        args.index, wal_path=args.wal, auto_compact=False, max_workers=1
+    )
+    try:
+        delta_stats = service.statistics()["delta"]
+        pending = delta_stats["pending_records"]
+        if not pending and not args.force:
+            print(
+                "nothing to compact: the overlay is empty "
+                "(use --force to write a generation anyway)",
+                file=sys.stderr,
+            )
+            return 0
+        report = service.compact()
+        generation = report["generation"]
+        where = (
+            f"generation {generation} ({report['path']})"
+            if generation is not None
+            else "in-memory only (no generation family)"
+        )
+        print(
+            f"compacted {report['records_folded']} records at epoch "
+            f"{report['epoch']} -> {where} in "
+            f"{report['elapsed_seconds'] * 1000:.1f} ms",
+            file=sys.stderr,
+        )
+        return 0
+    finally:
+        service.close()
+
+
+def _cmd_delta(args) -> int:
+    import json as _json
+
+    from repro.delta import (
+        GenerationStore,
+        manifest_path_for,
+        scan_wal,
+        sniff_is_generation_manifest,
+    )
+    from repro.delta.wal import HEADER_SIZE, WAL_MAGIC
+
+    path = args.path
+    with open(path, "rb") as handle:
+        head = handle.read(HEADER_SIZE)
+    if head[:4] == WAL_MAGIC:
+        scan = scan_wal(path)
+        print(f"wal:        {path}")
+        print(f"generation: {scan.generation}")
+        print(f"records:    {len(scan.records)}")
+        print(f"good bytes: {scan.good_bytes}")
+        if scan.truncated_tail:
+            print(
+                f"torn tail:  {scan.dropped_bytes} trailing bytes fail "
+                "the checksum/frame and will be truncated on recovery"
+            )
+        else:
+            print("torn tail:  none (segment is clean)")
+        for record in scan.records[:20]:
+            print(f"  {_json.dumps(record.payload(), sort_keys=True)}")
+        if len(scan.records) > 20:
+            print(f"  ... {len(scan.records) - 20} more")
+        return 0
+    if sniff_is_generation_manifest(path):
+        store = GenerationStore(path)
+    elif manifest_path_for(path).exists():
+        store = GenerationStore(path)
+    else:
+        print(
+            f"error: {path} is neither a WAL segment nor part of a "
+            "generation family (no sibling generations manifest)",
+            file=sys.stderr,
+        )
+        return 2
+    print(f"base:       {store.base_path}")
+    print(f"manifest:   {store.manifest_path}")
+    print(f"current:    generation {store.current_generation} "
+          f"({store.current_path().name})")
+    for entry in store.generations():
+        print(
+            f"  gen {entry['generation']:4d}: {entry['file']} — "
+            f"epoch {entry['epoch']}, {entry['records_folded']} records "
+            f"folded in {entry['wall_seconds']:.2f}s"
+        )
+    return 0
+
+
 def _cmd_generate(args) -> int:
     if args.family == "citation":
         graph = citation_graph(args.nodes, num_labels=args.labels, seed=args.seed)
@@ -557,6 +683,8 @@ def main(argv: list[str] | None = None) -> int:
         "shard": _cmd_shard,
         "serve-bench": _cmd_serve_bench,
         "bench": _cmd_bench,
+        "compact": _cmd_compact,
+        "delta": _cmd_delta,
         "generate": _cmd_generate,
     }
     try:

@@ -1,0 +1,112 @@
+"""Background compaction: the policy and the thread that applies it.
+
+:class:`CompactionPolicy` decides *when* the overlay is worth folding
+(absolute record count, overlay/base ratio); :class:`Compactor` is the
+small daemon thread that periodically invokes a tick callable — the
+owning service's "absorb pending deltas, fold a generation if the
+policy trips" step — and can be kicked awake the moment a write lands.
+
+The compactor deliberately knows nothing about services: it receives a
+zero-argument callable and never imports the serving layer (the
+``repro.delta`` layering gate bans it), so the same machinery can drive
+a flat service, a shard worker, or a test harness.  Tick errors are
+swallowed and counted — a failing fold must degrade to "the overlay
+keeps growing", never to a dead service.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """Thresholds that trip a background fold.
+
+    ``max_records``
+        Fold once this many overlay records are pending (0 disables).
+    ``max_ratio``
+        Fold once ``pending / base_size`` exceeds this, where
+        ``base_size`` is the base snapshot's nodes + edges (0 disables).
+    """
+
+    max_records: int = 1024
+    max_ratio: float = 0.5
+
+    def due(self, pending_records: int, base_size: int) -> bool:
+        if pending_records <= 0:
+            return False
+        if self.max_records and pending_records >= self.max_records:
+            return True
+        if self.max_ratio and pending_records / max(1, base_size) >= self.max_ratio:
+            return True
+        return False
+
+
+class Compactor:
+    """A daemon thread ticking a callable at a bounded cadence.
+
+    ``tick`` runs on the compactor thread: once per ``interval`` while
+    idle, and immediately after :meth:`kick` (writes kick so absorption
+    happens off the read path as soon as possible).  :meth:`stop` is
+    idempotent and joins the thread.
+    """
+
+    def __init__(
+        self,
+        tick,
+        *,
+        interval: float = 0.25,
+        name: str = "repro-compactor",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self._tick = tick
+        self.interval = interval
+        self._wake = threading.Event()
+        self._stopped = threading.Event()
+        self._thread = threading.Thread(target=self._run, name=name, daemon=True)
+        self.ticks = 0
+        self.errors = 0
+        self.last_error: str | None = None
+        self._thread.start()
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def kick(self) -> None:
+        """Wake the thread now (called after every delta append)."""
+        self._wake.set()
+
+    def _run(self) -> None:
+        while not self._stopped.is_set():
+            self._wake.wait(self.interval)
+            self._wake.clear()
+            if self._stopped.is_set():
+                return
+            try:
+                self._tick()
+            except Exception as exc:  # noqa: BLE001 - must not kill the thread
+                self.errors += 1
+                self.last_error = f"{type(exc).__name__}: {exc}"
+            finally:
+                self.ticks += 1
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stopped.set()
+        self._wake.set()
+        self._thread.join(timeout=timeout)
+
+    def stats(self) -> dict:
+        return {
+            "alive": self.alive,
+            "interval": self.interval,
+            "ticks": self.ticks,
+            "errors": self.errors,
+            "last_error": self.last_error,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Compactor(alive={self.alive}, ticks={self.ticks})"

@@ -1,0 +1,192 @@
+"""Compaction generations: numbered ``.ridx`` snapshots + a tiny manifest.
+
+A compaction folds the accumulated overlay into a brand-new immutable
+index file — generation ``N`` — next to the base:
+
+.. code-block:: text
+
+    index.ridx                  # generation 0, the original base
+    index.gen-0001.ridx         # first compaction
+    index.gen-0002.ridx         # second compaction
+    index.generations.json      # the manifest naming the current one
+
+The manifest is a small JSON document (``kind:
+"repro-delta-generations"``) listing every generation with its epoch,
+fold size, and wall time; ``current`` names the one to open.  Both the
+generation file and the manifest are written to a temp name and moved
+into place with ``os.replace``, so readers only ever see complete
+files.  The swap protocol with the WAL (normative; DESIGN.md):
+
+1. write ``index.gen-NNNN.ridx`` (temp + replace);
+2. update the manifest to ``current = N`` (temp + replace);
+3. rewrite the WAL empty with ``generation = N``.
+
+A crash between 2 and 3 leaves a WAL stamped ``N-1`` whose records are
+already folded into generation ``N``; :func:`stale_wal` detects exactly
+that, and boot discards the segment instead of double-applying it.  A
+crash between 1 and 2 leaves an orphan generation file the next
+compaction simply overwrites.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.exceptions import DeltaError
+
+MANIFEST_KIND = "repro-delta-generations"
+MANIFEST_VERSION = 1
+
+
+def manifest_path_for(base_path: str | Path) -> Path:
+    """The manifest path that pairs with ``base_path`` (an index file)."""
+    base = Path(base_path)
+    return base.with_name(f"{base.stem}.generations.json")
+
+
+def sniff_is_generation_manifest(path: str | Path) -> bool:
+    """True when ``path`` is a generations manifest file itself."""
+    path = Path(path)
+    if not path.is_file() or path.suffix != ".json":
+        return False
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            head = handle.read(4096)
+        return json.loads(head).get("kind") == MANIFEST_KIND
+    except (OSError, ValueError, AttributeError):
+        return False
+
+
+class GenerationStore:
+    """Reads and writes the generation family of one base index."""
+
+    def __init__(self, base_path: str | Path) -> None:
+        base = Path(base_path)
+        if sniff_is_generation_manifest(base):
+            document = json.loads(base.read_text(encoding="utf-8"))
+            base = base.with_name(document["base"])
+        self.base_path = base
+        self.manifest_path = manifest_path_for(base)
+
+    # ------------------------------------------------------------------
+    def load_manifest(self) -> dict | None:
+        """The manifest document, or ``None`` before the first compaction."""
+        if not self.manifest_path.exists():
+            return None
+        try:
+            document = json.loads(self.manifest_path.read_text("utf-8"))
+        except (OSError, ValueError) as exc:
+            raise DeltaError(
+                f"unreadable generations manifest {self.manifest_path}: {exc}"
+            ) from exc
+        if document.get("kind") != MANIFEST_KIND:
+            raise DeltaError(
+                f"{self.manifest_path} is not a generations manifest "
+                f"(kind={document.get('kind')!r})"
+            )
+        return document
+
+    @property
+    def current_generation(self) -> int:
+        document = self.load_manifest()
+        return 0 if document is None else int(document["current"])
+
+    def generation_path(self, generation: int) -> Path:
+        if generation == 0:
+            return self.base_path
+        return self.base_path.with_name(
+            f"{self.base_path.stem}.gen-{generation:04d}{self.base_path.suffix}"
+        )
+
+    def current_path(self) -> Path:
+        """The index file a cold start should open."""
+        return self.generation_path(self.current_generation)
+
+    def generations(self) -> list[dict]:
+        document = self.load_manifest()
+        return [] if document is None else list(document["generations"])
+
+    # ------------------------------------------------------------------
+    def write_generation(
+        self,
+        engine,
+        *,
+        epoch: int,
+        records_folded: int,
+        wall_seconds: float,
+    ) -> tuple[int, Path]:
+        """Persist ``engine`` as the next generation and point at it.
+
+        Returns ``(generation_number, path)``.  Caller is responsible
+        for step 3 of the swap protocol (rewriting the WAL with the new
+        generation stamp) once this returns.
+        """
+        generation = self.current_generation + 1
+        path = self.generation_path(generation)
+        tmp = path.with_name(path.name + ".tmp")
+        engine.save_index(tmp, format="binary")
+        os.replace(tmp, path)
+        document = self.load_manifest() or {
+            "kind": MANIFEST_KIND,
+            "version": MANIFEST_VERSION,
+            "base": self.base_path.name,
+            "generations": [],
+        }
+        document["generations"].append(
+            {
+                "generation": generation,
+                "file": path.name,
+                "epoch": epoch,
+                "records_folded": records_folded,
+                "wall_seconds": wall_seconds,
+                "created_at": time.time(),
+            }
+        )
+        document["current"] = generation
+        manifest_tmp = self.manifest_path.with_name(
+            self.manifest_path.name + ".tmp"
+        )
+        manifest_tmp.write_text(
+            json.dumps(document, indent=2, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(manifest_tmp, self.manifest_path)
+        return generation, path
+
+    def stale_wal(self, wal_generation: int) -> bool:
+        """True when a WAL's records are already folded into a newer
+        generation (the crash-between-manifest-and-truncate window)."""
+        return wal_generation < self.current_generation
+
+    def stats(self) -> dict:
+        document = self.load_manifest()
+        return {
+            "base": str(self.base_path),
+            "manifest": str(self.manifest_path),
+            "current": 0 if document is None else document["current"],
+            "generations": 0 if document is None else len(document["generations"]),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GenerationStore({str(self.base_path)!r}, "
+            f"current={self.current_generation})"
+        )
+
+
+def resolve_index_path(path: str | Path) -> Path:
+    """The file to actually open for ``path``, generation-aware.
+
+    Accepts the base index path or the manifest path; returns the
+    current generation's file when a manifest exists, otherwise the
+    path unchanged.  Cold starts and the CLI route through this so a
+    compacted deployment transparently boots at its newest generation.
+    """
+    path = Path(path)
+    if sniff_is_generation_manifest(path):
+        return GenerationStore(path).current_path()
+    if path.suffix != ".json" and manifest_path_for(path).exists():
+        return GenerationStore(path).current_path()
+    return path

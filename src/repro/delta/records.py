@@ -1,0 +1,200 @@
+"""Typed delta records — the write vocabulary of the overlay layer.
+
+Every mutation the serving tier accepts is one of four record types:
+
+=================  =====================================  ==============
+record             meaning                                WAL ``op``
+=================  =====================================  ==============
+:class:`EdgeAdd`     add/shorten ``tail -> head``         ``edge_add``
+:class:`EdgeRemove`  remove ``tail -> head``              ``edge_remove``
+:class:`NodeAdd`     add ``node`` with ``label``          ``node_add``
+:class:`LabelChange` relabel an existing ``node``         ``label_change``
+=================  =====================================  ==============
+
+Records are frozen dataclasses that know how to apply themselves to a
+:class:`~repro.graph.digraph.LabeledDiGraph` and how to round-trip
+through the WAL's JSON payloads losslessly (str stays str, int stays
+int — the same exactness contract the binary ``.ridx`` format keeps for
+node ids).  :func:`records_from_updates` normalizes the
+``apply_updates(...)`` argument shapes used throughout the serving
+layer into a flat record tuple.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+from repro.exceptions import WalError
+from repro.graph.digraph import LabeledDiGraph
+
+#: Types the WAL's JSON payloads preserve exactly.  Anything else would
+#: come back subtly different after a recovery replay, so encoding fails
+#: loudly instead (mirrors the diskindex node-id policy).
+_EXACT_SCALARS = (str, int)
+
+
+def _check_exact(value, what: str):
+    if isinstance(value, bool) or not isinstance(value, _EXACT_SCALARS):
+        raise WalError(
+            f"{what} {value!r} ({type(value).__name__}) cannot be "
+            "written to a WAL: JSON payloads preserve only str and int "
+            "exactly; use an in-memory DeltaLog for exotic ids"
+        )
+    return value
+
+
+@dataclass(frozen=True)
+class EdgeAdd:
+    """Add the directed edge ``tail -> head`` (parallel adds keep the min)."""
+
+    tail: Hashable
+    head: Hashable
+    weight: float = 1
+
+    op = "edge_add"
+
+    def apply_to(self, graph: LabeledDiGraph) -> None:
+        graph.add_edge(self.tail, self.head, self.weight)
+
+    def payload(self) -> dict:
+        weight = self.weight
+        if not isinstance(weight, (int, float)) or isinstance(weight, bool):
+            raise WalError(f"edge weight {weight!r} is not a number")
+        return {
+            "op": self.op,
+            "tail": _check_exact(self.tail, "node id"),
+            "head": _check_exact(self.head, "node id"),
+            "weight": weight,
+        }
+
+
+@dataclass(frozen=True)
+class EdgeRemove:
+    """Remove the directed edge ``tail -> head`` (must exist)."""
+
+    tail: Hashable
+    head: Hashable
+
+    op = "edge_remove"
+
+    def apply_to(self, graph: LabeledDiGraph) -> None:
+        graph.remove_edge(self.tail, self.head)
+
+    def payload(self) -> dict:
+        return {
+            "op": self.op,
+            "tail": _check_exact(self.tail, "node id"),
+            "head": _check_exact(self.head, "node id"),
+        }
+
+
+@dataclass(frozen=True)
+class NodeAdd:
+    """Add ``node`` carrying ``label`` (re-adding the same label is a no-op)."""
+
+    node: Hashable
+    label: Hashable
+
+    op = "node_add"
+
+    def apply_to(self, graph: LabeledDiGraph) -> None:
+        graph.add_node(self.node, self.label)
+
+    def payload(self) -> dict:
+        return {
+            "op": self.op,
+            "node": _check_exact(self.node, "node id"),
+            "label": _check_exact(self.label, "label"),
+        }
+
+
+@dataclass(frozen=True)
+class LabelChange:
+    """Relabel the existing ``node`` to ``label``."""
+
+    node: Hashable
+    label: Hashable
+
+    op = "label_change"
+
+    def apply_to(self, graph: LabeledDiGraph) -> None:
+        graph.relabel_node(self.node, self.label)
+
+    def payload(self) -> dict:
+        return {
+            "op": self.op,
+            "node": _check_exact(self.node, "node id"),
+            "label": _check_exact(self.label, "label"),
+        }
+
+
+DeltaRecord = EdgeAdd | EdgeRemove | NodeAdd | LabelChange
+
+_DECODERS = {
+    EdgeAdd.op: lambda p: EdgeAdd(p["tail"], p["head"], p.get("weight", 1)),
+    EdgeRemove.op: lambda p: EdgeRemove(p["tail"], p["head"]),
+    NodeAdd.op: lambda p: NodeAdd(p["node"], p["label"]),
+    LabelChange.op: lambda p: LabelChange(p["node"], p["label"]),
+}
+
+
+def encode_record(record: DeltaRecord) -> bytes:
+    """One record as canonical compact JSON bytes (the WAL payload)."""
+    return json.dumps(
+        record.payload(), sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+def decode_record(payload: bytes) -> DeltaRecord:
+    """Inverse of :func:`encode_record`; :class:`WalError` on garbage.
+
+    Only called on checksum-valid payloads, so a decode failure means
+    the record was written by something that is not this codec (or a
+    future version) — not a torn tail.
+    """
+    try:
+        fields = json.loads(payload.decode("utf-8"))
+        decoder = _DECODERS[fields["op"]]
+        return decoder(fields)
+    except (ValueError, KeyError, TypeError) as exc:
+        raise WalError(
+            f"undecodable WAL record payload ({exc}); "
+            "the segment was not written by this codec"
+        ) from exc
+
+
+def records_from_updates(
+    edges_added: Iterable = (),
+    edges_removed: Iterable = (),
+    nodes_added: Mapping | None = None,
+    labels_changed: Mapping | None = None,
+) -> tuple[DeltaRecord, ...]:
+    """The serving layer's ``apply_updates`` arguments as flat records.
+
+    Application order matches the historical update semantics: new nodes
+    first (so added edges may reference them), then edge additions, edge
+    removals, and relabels.  ``edges_added`` takes ``(tail, head)`` or
+    ``(tail, head, weight)``; ``edges_removed`` tolerates extra tuple
+    elements beyond ``(tail, head)`` (a weight riding along is ignored,
+    as it always was).  Malformed shapes raise ``ValueError`` /
+    ``IndexError`` / ``TypeError`` for the caller to wrap.
+    """
+    records: list[DeltaRecord] = []
+    for node, label in dict(nodes_added or {}).items():
+        records.append(NodeAdd(node, label))
+    for edge in tuple(edges_added):
+        if len(edge) == 2:
+            records.append(EdgeAdd(edge[0], edge[1]))
+        elif len(edge) == 3:
+            records.append(EdgeAdd(edge[0], edge[1], edge[2]))
+        else:
+            raise ValueError(
+                f"edges_added entries are (tail, head[, weight]), got {edge!r}"
+            )
+    for edge in tuple(edges_removed):
+        records.append(EdgeRemove(edge[0], edge[1]))
+    for node, label in dict(labels_changed or {}).items():
+        records.append(LabelChange(node, label))
+    return tuple(records)

@@ -1,0 +1,254 @@
+"""Write-ahead log segments: length-prefixed, checksummed, torn-tail safe.
+
+One segment file holds the delta records accumulated since the last
+compaction.  The layout (normative; see DESIGN.md, "Write-ahead delta
+overlay") is:
+
+.. code-block:: text
+
+    offset  size  field
+    ------  ----  -----------------------------------------------------
+         0     4  magic  b"RWAL"
+         4     1  format version (currently 1)
+         5     3  reserved (zero)
+         8     8  generation  (uint64 LE) — the compaction generation
+                  these records apply on top of
+    ---- then zero or more records, back to back: ----
+        +0     4  payload length  (uint32 LE)
+        +4     4  CRC32 of the payload  (uint32 LE)
+        +8   len  payload — one canonical-JSON delta record
+                  (:func:`repro.delta.records.encode_record`)
+
+Appends write the frame then ``flush()`` (``fsync`` opt-in).  A crash
+mid-append leaves a *torn tail*: a record whose frame is short or whose
+CRC disagrees.  Recovery walks the frames from the front, keeps the
+longest valid prefix, and truncates the file back to it — torn tails
+are expected damage and never raise.  Damage *before* the tail (bad
+magic, an undecodable checksum-valid payload) raises
+:class:`~repro.exceptions.WalError`: that file was never a WAL, or was
+written by a different codec.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.delta.records import DeltaRecord, decode_record, encode_record
+from repro.exceptions import WalError
+
+WAL_MAGIC = b"RWAL"
+_MAGIC = WAL_MAGIC
+_VERSION = 1
+_HEADER = struct.Struct("<4sB3sQ")  # magic, version, reserved, generation
+_FRAME = struct.Struct("<II")  # payload length, payload crc32
+HEADER_SIZE = _HEADER.size
+
+
+def _pack_header(generation: int) -> bytes:
+    return _HEADER.pack(_MAGIC, _VERSION, b"\x00\x00\x00", generation)
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """What one pass over a segment found."""
+
+    #: Records in the longest valid prefix, in append order.
+    records: tuple[DeltaRecord, ...]
+    #: Compaction generation stamped in the header.
+    generation: int
+    #: File offset just past the last valid record.
+    good_bytes: int
+    #: True when bytes past ``good_bytes`` existed (a torn tail).
+    truncated_tail: bool
+    #: How many torn bytes followed the valid prefix.
+    dropped_bytes: int
+
+
+def scan_wal(path: str | Path) -> WalScan:
+    """Read-only recovery scan of a segment (the file is not modified)."""
+    data = Path(path).read_bytes()
+    if len(data) < HEADER_SIZE:
+        # A header cut short by a crash during creation is a torn tail
+        # of an empty segment, not corruption.
+        return WalScan((), 0, 0, bool(data), len(data))
+    magic, version, _reserved, generation = _HEADER.unpack_from(data, 0)
+    if magic != _MAGIC:
+        raise WalError(
+            f"{path} is not a WAL segment (bad magic {magic!r})"
+        )
+    if version != _VERSION:
+        raise WalError(
+            f"{path} uses WAL format version {version}; "
+            f"this reader supports version {_VERSION}"
+        )
+    records: list[DeltaRecord] = []
+    offset = HEADER_SIZE
+    good = offset
+    total = len(data)
+    while True:
+        if total - offset < _FRAME.size:
+            break
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if end > total:
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break
+        records.append(decode_record(payload))
+        offset = end
+        good = end
+    return WalScan(
+        records=tuple(records),
+        generation=generation,
+        good_bytes=good,
+        truncated_tail=good < total,
+        dropped_bytes=total - good,
+    )
+
+
+class WriteAheadLog:
+    """One open, append-only WAL segment.
+
+    Opening an existing file runs recovery: the longest valid prefix is
+    kept (exposed as :attr:`recovered_records`) and any torn tail is
+    truncated away on disk before the first append.  Opening a missing
+    or empty path writes a fresh header.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        fsync: bool = False,
+        generation: int = 0,
+    ) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+        self._lock = threading.Lock()
+        self._closed = False
+        if self.path.exists() and self.path.stat().st_size > 0:
+            scan = scan_wal(self.path)
+            self.generation = scan.generation
+            self.recovered_records = scan.records
+            self.recovered_truncated = scan.truncated_tail
+            self.recovered_dropped_bytes = scan.dropped_bytes
+            if scan.good_bytes < HEADER_SIZE:
+                # The header itself was torn: rewrite a fresh segment.
+                self.generation = generation
+                self._file = open(self.path, "wb")
+                self._file.write(_pack_header(generation))
+            else:
+                self._file = open(self.path, "r+b")
+                self._file.truncate(scan.good_bytes)
+                self._file.seek(scan.good_bytes)
+            self._size = max(scan.good_bytes, HEADER_SIZE)
+        else:
+            self.generation = generation
+            self.recovered_records = ()
+            self.recovered_truncated = False
+            self.recovered_dropped_bytes = 0
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "wb")
+            self._file.write(_pack_header(generation))
+            self._size = HEADER_SIZE
+        self._flush()
+        self.appended_records = 0
+
+    # ------------------------------------------------------------------
+    def _flush(self) -> None:
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise WalError(f"WAL {self.path} has been closed")
+
+    def append(self, records: Iterable[DeltaRecord]) -> int:
+        """Durably append ``records``; returns bytes written.
+
+        The whole batch is encoded before the first byte hits the file,
+        so an encoding error (exotic node ids) leaves the segment
+        untouched.
+        """
+        payloads = [encode_record(record) for record in records]
+        frames = b"".join(
+            _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+            for payload in payloads
+        )
+        with self._lock:
+            self._check_open()
+            self._file.write(frames)
+            self._flush()
+            self._size += len(frames)
+            self.appended_records += len(payloads)
+        return len(frames)
+
+    def rewrite(
+        self, records: Sequence[DeltaRecord] = (), *, generation: int
+    ) -> None:
+        """Atomically replace the segment (the compaction truncation).
+
+        A fresh segment is written beside the live one and swapped in
+        with ``os.replace``, so a crash at any point leaves either the
+        full old segment or the full new one — never a half segment.
+        """
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        with open(tmp, "wb") as handle:
+            handle.write(_pack_header(generation))
+            for record in records:
+                payload = encode_record(record)
+                handle.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+                handle.write(payload)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        with self._lock:
+            self._check_open()
+            self._file.close()
+            os.replace(tmp, self.path)
+            self._file = open(self.path, "r+b")
+            self._file.seek(0, os.SEEK_END)
+            self._size = self._file.tell()
+            self.generation = generation
+
+    def size_bytes(self) -> int:
+        return self._size
+
+    def stats(self) -> dict:
+        return {
+            "path": str(self.path),
+            "size_bytes": self._size,
+            "generation": self.generation,
+            "appended_records": self.appended_records,
+            "recovered_records": len(self.recovered_records),
+            "recovered_truncated_tail": self.recovered_truncated,
+            "recovered_dropped_bytes": self.recovered_dropped_bytes,
+            "fsync": self.fsync,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._file.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"WriteAheadLog({str(self.path)!r}, gen={self.generation}, "
+            f"{self._size} bytes)"
+        )

@@ -64,6 +64,21 @@ class IndexFormatError(StorageError):
     """
 
 
+class DeltaError(ReproError):
+    """Invalid use of the :mod:`repro.delta` write-ahead overlay layer."""
+
+
+class WalError(DeltaError):
+    """A write-ahead log segment is unusable (bad magic/version, a
+    checksum-valid record that cannot be decoded, or node ids the WAL's
+    JSON payloads cannot preserve exactly).
+
+    Torn tails never raise this: a record cut short by a crash
+    mid-append is detected by the length/CRC framing and truncated away
+    during recovery — only damage *before* the tail is an error.
+    """
+
+
 class MatchingError(ReproError):
     """Internal inconsistency detected during top-k matching."""
 

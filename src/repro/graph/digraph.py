@@ -55,6 +55,29 @@ class LabeledDiGraph:
         self._pred[node] = {}
         self._by_label.setdefault(label, set()).add(node)
 
+    def relabel_node(self, node: NodeId, label: Label) -> Label:
+        """Change ``node``'s label in place; returns the previous label.
+
+        Edges are untouched — only the label index moves.  Relabeling to
+        the current label is a no-op.  This is the one sanctioned label
+        mutation (``add_node`` refuses silent relabels so that bulk
+        loads surface conflicting inputs loudly).
+        """
+        try:
+            previous = self._labels[node]
+        except KeyError as exc:
+            raise GraphError(f"node {node!r} not in graph") from exc
+        if label is None:
+            raise GraphError("node labels must not be None")
+        if previous == label:
+            return previous
+        self._labels[node] = label
+        self._by_label[previous].discard(node)
+        if not self._by_label[previous]:
+            del self._by_label[previous]
+        self._by_label.setdefault(label, set()).add(node)
+        return previous
+
     def add_edge(self, tail: NodeId, head: NodeId, weight: float = 1) -> None:
         """Add the directed edge ``tail -> head`` with a positive weight.
 

@@ -33,6 +33,17 @@ Design:
   a bounded queue (fail-fast :class:`ServiceOverloadedError` when full;
   ``batch()`` blocks for slots instead) with per-request deadlines
   (:class:`DeadlineExceededError` when a request expires in the queue).
+* **Write-ahead delta overlay** — under the default ``update_policy=
+  "auto"``, small update batches take the *delta path*: records land in
+  a :class:`~repro.delta.DeltaLog` (write-ahead-logged when
+  ``wal_path`` is set), the epoch advances immediately, and the overlay
+  is folded onto the base lazily — on first read, or by the background
+  :class:`~repro.delta.Compactor`, which also folds accumulated deltas
+  into ``.ridx`` generations when :class:`~repro.delta.CompactionPolicy`
+  thresholds trip.  ``update_policy="eager"`` retains the classic
+  fold-before-return behavior; ``"auto"`` falls back to it for batches
+  larger than ``delta_batch_limit``.  Both paths funnel through
+  :func:`repro.delta.view.fold`, so their answers are byte-identical.
 """
 
 from __future__ import annotations
@@ -41,13 +52,27 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.core.matches import Match
+from repro.delta.compactor import CompactionPolicy, Compactor
+from repro.delta.generations import GenerationStore, resolve_index_path
+from repro.delta.log import DeltaLog
+from repro.delta.records import (
+    EdgeAdd,
+    EdgeRemove,
+    LabelChange,
+    NodeAdd,
+    records_from_updates,
+)
+from repro.delta.view import apply_records, fold
+from repro.delta.wal import WriteAheadLog
 from repro.engine.config import EngineConfig
 from repro.engine.core import MatchEngine
 from repro.engine.planner import QueryPlan, config_fingerprint
 from repro.exceptions import (
     DeadlineExceededError,
+    GraphError,
     ServiceClosedError,
     ServiceError,
     ServiceOverloadedError,
@@ -106,6 +131,30 @@ class MatchService:
         :meth:`submit` fails fast; defaults to ``8 * max_workers``.
     default_deadline:
         Seconds applied to :meth:`submit` requests that pass none.
+    update_policy:
+        ``"auto"`` (delta path for batches up to ``delta_batch_limit``,
+        eager beyond), ``"delta"`` (always defer), or ``"eager"``
+        (always fold before returning — the retained fallback).
+    delta_batch_limit:
+        Record-count cutover between the delta and eager paths under
+        ``"auto"``.
+    wal_path:
+        Optional write-ahead log segment file.  Opening an existing
+        segment recovers it (torn tail truncated) and replays its
+        records as a pending overlay, so a crashed service converges to
+        the pre-crash graph on first read.
+    compaction:
+        A :class:`~repro.delta.CompactionPolicy`; defaults to the stock
+        thresholds.
+    auto_compact:
+        Run the background :class:`~repro.delta.Compactor` thread
+        (started lazily on the first delta-path update).  ``False``
+        leaves folding to reads and explicit :meth:`compact` calls.
+    generation_base:
+        Index path whose generation family :meth:`compact` should write
+        (``index.gen-NNNN.ridx`` + manifest).  :meth:`from_index` wires
+        this automatically; memory-constructed services compact
+        in-memory only unless it is set.
     """
 
     def __init__(
@@ -118,6 +167,12 @@ class MatchService:
         max_workers: int = 4,
         max_pending: int | None = None,
         default_deadline: float | None = None,
+        update_policy: str = "auto",
+        delta_batch_limit: int = 64,
+        wal_path: str | Path | None = None,
+        compaction: CompactionPolicy | None = None,
+        auto_compact: bool = True,
+        generation_base: str | Path | None = None,
         _engine: MatchEngine | None = None,
         **overrides,
     ) -> None:
@@ -136,6 +191,15 @@ class MatchService:
                 "cache sizes must be >= 0 (0 disables a cache), got "
                 f"plan_cache_size={plan_cache_size}, "
                 f"result_cache_size={result_cache_size}"
+            )
+        if update_policy not in ("auto", "delta", "eager"):
+            raise ServiceError(
+                'update_policy must be "auto", "delta", or "eager", got '
+                f"{update_policy!r}"
+            )
+        if delta_batch_limit < 1:
+            raise ServiceError(
+                f"delta_batch_limit must be >= 1, got {delta_batch_limit}"
             )
         if _engine is not None:
             # Adopted pre-built engine (the from_index cold-start path):
@@ -178,9 +242,73 @@ class MatchService:
         self._overload_rejections = 0
         self._updates_applied = 0
 
+        # -- write-ahead delta overlay state -----------------------------
+        self.update_policy = update_policy
+        self.delta_batch_limit = delta_batch_limit
+        self._gen_store = (
+            GenerationStore(generation_base)
+            if generation_base is not None
+            else None
+        )
+        wal = None
+        if wal_path is not None:
+            base_generation = (
+                self._gen_store.current_generation if self._gen_store else 0
+            )
+            wal = WriteAheadLog(wal_path, generation=base_generation)
+        self._log = DeltaLog(wal=wal)
+        # Graph with every pending record applied (None while clean);
+        # becomes the folded engine's graph at materialization, so it is
+        # never handed out while still mutable.
+        self._pending_graph = None
+        self._pending_batches = 0
+        self._compaction = (
+            compaction if compaction is not None else CompactionPolicy()
+        )
+        self._auto_compact = auto_compact
+        self._compactor: Compactor | None = None
+        self._delta_updates = 0
+        self._eager_updates = 0
+        self._materializations = 0
+        self._last_materialize_seconds = 0.0
+        self._compactions = 0
+        self._last_compaction_seconds = 0.0
+        self._records_since_compaction = 0
+        if wal is not None and wal.recovered_records:
+            if self._gen_store is not None and self._gen_store.stale_wal(
+                wal.generation
+            ):
+                # Crash landed between the generation-manifest update and
+                # the WAL truncation: these records are already folded
+                # into the generation we just booted from.  Discard.
+                wal.rewrite(
+                    (), generation=self._gen_store.current_generation
+                )
+            else:
+                self._replay_recovered(wal.recovered_records)
+
     def _count(self, counter: str) -> None:
         with self._stats_lock:
             setattr(self, counter, getattr(self, counter) + 1)
+
+    def _replay_recovered(self, records) -> None:
+        """Adopt WAL-recovered records as a pending overlay (boot path).
+
+        The records were durable before the crash, so they re-enter the
+        in-memory log only (writing them back would double them in the
+        segment); the first read folds them and converges to the
+        pre-crash graph.
+        """
+        graph = self._snapshot.graph.copy()
+        try:
+            apply_records(graph, records)
+        except (GraphError, TypeError, ValueError, IndexError) as exc:
+            raise ServiceError(
+                f"recovered WAL does not apply to this base index: {exc}"
+            ) from exc
+        self._log.adopt(records)
+        self._pending_graph = graph
+        self._pending_batches = 1
 
     @classmethod
     def from_index(cls, path, **kwargs) -> "MatchService":
@@ -204,25 +332,36 @@ class MatchService:
             return ShardedMatchService.from_manifest(path, **kwargs)
         service_keys = (
             "plan_cache_size", "result_cache_size", "max_workers",
-            "max_pending", "default_deadline",
+            "max_pending", "default_deadline", "update_policy",
+            "delta_batch_limit", "wal_path", "compaction", "auto_compact",
+            "generation_base",
         )
         service_kwargs = {
             key: kwargs.pop(key) for key in service_keys if key in kwargs
         }
-        engine = MatchEngine.load(path, **kwargs)
+        # A compacted deployment boots at its newest generation (the
+        # manifest, or a sibling manifest of the given base, names it),
+        # and compact() keeps writing into the same family.
+        resolved = resolve_index_path(path)
+        service_kwargs.setdefault("generation_base", path)
+        engine = MatchEngine.load(resolved, **kwargs)
         return cls(engine.graph, engine.config, _engine=engine, **service_kwargs)
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def snapshot(self) -> Snapshot:
-        """The current snapshot (readers may hold it as long as they like)."""
-        return self._snapshot
+        """The current snapshot (readers may hold it as long as they like).
+
+        Folds any pending delta overlay first, so the returned snapshot
+        always reflects every applied update.
+        """
+        return self._read_snapshot()
 
     @property
     def epoch(self) -> int:
-        """Epoch of the current snapshot (bumped by every update)."""
-        return self._snapshot.epoch
+        """Logical epoch: bumped by every update, folded or pending."""
+        return self._snapshot.epoch + self._pending_batches
 
     @property
     def closed(self) -> bool:
@@ -230,11 +369,15 @@ class MatchService:
 
     def statistics(self) -> dict:
         """Serving counters: requests, cache hit rates, update history."""
+        base = self._snapshot
+        graph = self._pending_graph or base.graph
+        pending = self._log.pending_records
+        base_size = base.graph.num_nodes + base.graph.num_edges
         return {
-            "epoch": self._snapshot.epoch,
-            "backend": self._snapshot.engine.backend_name,
-            "graph_nodes": self._snapshot.graph.num_nodes,
-            "graph_edges": self._snapshot.graph.num_edges,
+            "epoch": self.epoch,
+            "backend": base.engine.backend_name,
+            "graph_nodes": graph.num_nodes,
+            "graph_edges": graph.num_edges,
             "requests": self._requests,
             "uncacheable_requests": self._uncacheable,
             "deadline_misses": self._deadline_misses,
@@ -256,6 +399,27 @@ class MatchService:
                 "entries": len(self._results),
                 "capacity": self._results.capacity,
                 **self._results.stats.as_dict(),
+            },
+            "delta": {
+                "policy": self.update_policy,
+                "batch_limit": self.delta_batch_limit,
+                "pending_records": pending,
+                "pending_batches": self._pending_batches,
+                "overlay_base_ratio": pending / max(1, base_size),
+                "delta_updates": self._delta_updates,
+                "eager_updates": self._eager_updates,
+                "materializations": self._materializations,
+                "last_materialize_seconds": self._last_materialize_seconds,
+                "compactions": self._compactions,
+                "last_compaction_seconds": self._last_compaction_seconds,
+                "records_since_compaction": self._records_since_compaction,
+                "wal": None if self._log.wal is None else self._log.wal.stats(),
+                "generations": (
+                    None if self._gen_store is None else self._gen_store.stats()
+                ),
+                "compactor": (
+                    None if self._compactor is None else self._compactor.stats()
+                ),
             },
         }
 
@@ -358,12 +522,12 @@ class MatchService:
         every other request.
         """
         self._check_open()
-        return list(self._answer(self._snapshot, query, k, algorithm).matches)
+        return list(self._answer(self._read_snapshot(), query, k, algorithm).matches)
 
     def request(self, query, k: int, algorithm: str | None = None) -> ServiceResponse:
         """Like :meth:`top_k` but returns the full :class:`ServiceResponse`."""
         self._check_open()
-        return self._answer(self._snapshot, query, k, algorithm)
+        return self._answer(self._read_snapshot(), query, k, algorithm)
 
     # ------------------------------------------------------------------
     # Asynchronous execution over the bounded pool
@@ -377,7 +541,7 @@ class MatchService:
                 "request deadline expired while queued "
                 f"(deadline was {expires_at:.3f} on the monotonic clock)"
             )
-        return self._answer(self._snapshot, query, k, algorithm)
+        return self._answer(self._read_snapshot(), query, k, algorithm)
 
     def _submit(
         self,
@@ -451,42 +615,273 @@ class MatchService:
     # ------------------------------------------------------------------
     # Updates and invalidation
     # ------------------------------------------------------------------
+    def _read_snapshot(self) -> Snapshot:
+        """The snapshot reads run against, folding any pending overlay.
+
+        Lock-free when the overlay is clean — the common steady-state
+        read path costs one attribute load.
+        """
+        if self._pending_batches:
+            with self._update_lock:
+                return self._absorb_locked()
+        return self._snapshot
+
+    def _absorb_locked(self) -> Snapshot:
+        """Fold every pending delta batch into a fresh snapshot.
+
+        Caller holds ``_update_lock``.  The logical epoch advances by
+        exactly the number of pending batches, so epochs handed out by
+        deferred :class:`UpdateReport`\\ s line up with the snapshots
+        readers eventually see.  The WAL is *not* truncated here — only
+        a compaction makes the fold durable (see :meth:`compact`).
+        """
+        old = self._snapshot
+        batches = self._pending_batches
+        if not batches:
+            return old
+        records = self._log.drain()
+        result = fold(old.engine, records, patched_graph=self._pending_graph)
+        snapshot = Snapshot(
+            epoch=old.epoch + batches,
+            engine=result.engine,
+            created_at=time.time(),
+        )
+        self._results.advance(
+            old.epoch, snapshot.epoch, result.affected_labels
+        )
+        self._snapshot = snapshot
+        self._pending_graph = None
+        self._pending_batches = 0
+        with self._stats_lock:
+            self._materializations += 1
+            self._last_materialize_seconds = result.elapsed_seconds
+            self._records_since_compaction += len(records)
+        return snapshot
+
     def apply_updates(
         self,
         edges_added: tuple = (),
         edges_removed: tuple = (),
         nodes_added: dict | None = None,
+        labels_changed: dict | None = None,
     ) -> UpdateReport:
-        """Produce and install a new snapshot with the deltas applied.
+        """Apply graph deltas; readers never block and never see a tear.
 
-        In-flight requests keep running on the snapshot they resolved —
-        nothing is mutated in place.  The result cache migrates entries
-        whose label footprint is disjoint from the update's affected
-        labels (exact when the backend refreshes incrementally; a rebuild
-        reports no signal and flushes).  The plan cache survives edge
-        deltas outright — plans depend only on label counts — and is
-        cleared when nodes (new label candidates) arrive.  Updates are
-        serialized with one another but never block readers.
+        Under the default ``update_policy="auto"``, batches up to
+        ``delta_batch_limit`` records take the *delta path*: they are
+        validated against the pending overlay graph, appended to the
+        :class:`~repro.delta.DeltaLog` (write-ahead-logged first when a
+        WAL is attached), and the call returns a ``deferred`` report —
+        the fold onto the base happens on the next read or in the
+        background compactor.  Larger batches, and every batch under
+        ``"eager"``, fold before returning exactly as before.  Both
+        paths advance the logical epoch by one and funnel through
+        :func:`repro.delta.view.fold`, so answers are byte-identical.
+
+        The result cache migrates entries whose label footprint is
+        disjoint from the fold's affected labels (at materialization
+        time on the delta path).  The plan cache survives edge deltas
+        outright — plans depend only on label counts — and is cleared
+        when nodes or relabels (new label candidates) arrive.
         """
         with self._update_lock:
             self._check_open()
-            old = self._snapshot
-            snapshot, report = old.updated(
-                edges_added=edges_added,
-                edges_removed=edges_removed,
-                nodes_added=nodes_added,
+            try:
+                records = records_from_updates(
+                    edges_added, edges_removed, nodes_added, labels_changed
+                )
+            except (TypeError, ValueError, IndexError) as exc:
+                raise ServiceError(f"invalid graph update: {exc}") from exc
+            if not records:
+                raise ServiceError(
+                    "apply_updates needs at least one change (edges_added, "
+                    "edges_removed, nodes_added, or labels_changed)"
+                )
+            use_delta = self.update_policy == "delta" or (
+                self.update_policy == "auto"
+                and len(records) <= self.delta_batch_limit
             )
-            migrated, dropped = self._results.advance(
-                old.epoch, snapshot.epoch, report.affected_labels
+            if use_delta:
+                return self._apply_delta_locked(records)
+            return self._apply_eager_locked(
+                edges_added, edges_removed, nodes_added, labels_changed,
+                records,
             )
-            report.results_migrated = migrated
-            report.results_dropped = dropped
-            if report.nodes_added:
-                self._plan_generation += 1
-                report.plans_cleared = self._plans.clear()
-            self._snapshot = snapshot
-            self._count("_updates_applied")
-            return report
+
+    def _rollback_pending_locked(self) -> None:
+        """Rebuild the pending graph from the intact log after a failed
+        apply left it half-mutated (records are validated one by one, so
+        a mid-batch structural error can strand earlier mutations)."""
+        logged = self._log.records()
+        if logged:
+            fresh = self._snapshot.graph.copy()
+            apply_records(fresh, logged)  # previously validated; must apply
+            self._pending_graph = fresh
+        else:
+            self._pending_graph = None
+
+    def _apply_delta_locked(self, records) -> UpdateReport:
+        """The deferred path: validate, log, bump the epoch, return."""
+        started = time.perf_counter()
+        graph = self._pending_graph
+        if graph is None:
+            graph = self._snapshot.graph.copy()
+        try:
+            apply_records(graph, records)
+        except (GraphError, TypeError, ValueError, IndexError) as exc:
+            self._rollback_pending_locked()
+            raise ServiceError(f"invalid graph update: {exc}") from exc
+        try:
+            self._log.append(records)
+        except Exception:
+            # WAL append failed (unencodable ids, closed segment):
+            # nothing became durable, so nothing may become visible.
+            self._rollback_pending_locked()
+            raise
+        self._pending_graph = graph
+        self._pending_batches += 1
+        n_nodes = sum(isinstance(r, NodeAdd) for r in records)
+        n_labels = sum(isinstance(r, LabelChange) for r in records)
+        report = UpdateReport(
+            epoch=self.epoch,
+            nodes_added=n_nodes,
+            edges_added=sum(isinstance(r, EdgeAdd) for r in records),
+            edges_removed=sum(isinstance(r, EdgeRemove) for r in records),
+            incremental=True,
+            rows_recomputed=0,
+            affected_labels=None,
+            elapsed_seconds=time.perf_counter() - started,
+            labels_changed=n_labels,
+            deferred=True,
+            pending_records=self._log.pending_records,
+        )
+        if n_nodes or n_labels:
+            # Cleared eagerly (not at materialization): a plan computed
+            # between this append and the fold would otherwise bake in
+            # stale label candidate counts.
+            self._plan_generation += 1
+            report.plans_cleared = self._plans.clear()
+        self._count("_updates_applied")
+        self._count("_delta_updates")
+        self._ensure_compactor()
+        if self._compactor is not None:
+            self._compactor.kick()
+        return report
+
+    def _apply_eager_locked(
+        self, edges_added, edges_removed, nodes_added, labels_changed,
+        records,
+    ) -> UpdateReport:
+        """The classic path: fold before returning (absorbing first)."""
+        self._absorb_locked()
+        old = self._snapshot
+        snapshot, report = old.updated(
+            edges_added=edges_added,
+            edges_removed=edges_removed,
+            nodes_added=nodes_added,
+            labels_changed=labels_changed,
+        )
+        # Durability parity with the delta path: the fold lives only in
+        # memory until the next compaction, so the records must reach
+        # the segment or a crash would silently lose an applied update.
+        wal = self._log.wal
+        if wal is not None:
+            wal.append(records)
+        migrated, dropped = self._results.advance(
+            old.epoch, snapshot.epoch, report.affected_labels
+        )
+        report.results_migrated = migrated
+        report.results_dropped = dropped
+        if report.nodes_added or report.labels_changed:
+            self._plan_generation += 1
+            report.plans_cleared = self._plans.clear()
+        self._snapshot = snapshot
+        with self._stats_lock:
+            self._records_since_compaction += len(records)
+        self._count("_updates_applied")
+        self._count("_eager_updates")
+        return report
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def _ensure_compactor(self) -> None:
+        if (
+            self._auto_compact
+            and self._compactor is None
+            and not self._closed
+        ):
+            self._compactor = Compactor(self._compaction_tick)
+
+    def _compaction_tick(self) -> None:
+        """One background beat: absorb pending, compact when due."""
+        if self._closed:
+            return
+        if self._pending_batches:
+            with self._update_lock:
+                if not self._closed:
+                    self._absorb_locked()
+        base = self._snapshot.graph
+        if self._compaction.due(
+            self._records_since_compaction,
+            base.num_nodes + base.num_edges,
+        ):
+            with self._update_lock:
+                if not self._closed:
+                    self._compact_locked("policy")
+
+    def compact(self) -> dict:
+        """Fold the overlay and persist the next index generation now.
+
+        Absorbs every pending delta batch, writes
+        ``<base>.gen-NNNN.ridx`` + manifest when a generation family is
+        attached (:meth:`from_index` wires one automatically), then
+        truncates the WAL with the new generation stamp — the swap
+        protocol DESIGN.md specifies.  Returns a report dict.
+        """
+        with self._update_lock:
+            self._check_open()
+            return self._compact_locked("explicit")
+
+    def _compact_locked(self, trigger: str) -> dict:
+        started = time.perf_counter()
+        snapshot = self._absorb_locked()
+        folded = self._records_since_compaction
+        generation = None
+        path = None
+        if self._gen_store is not None:
+            generation, gen_path = self._gen_store.write_generation(
+                snapshot.engine,
+                epoch=snapshot.epoch,
+                records_folded=folded,
+                wall_seconds=time.perf_counter() - started,
+            )
+            path = str(gen_path)
+        wal = self._log.wal
+        if wal is not None:
+            # Step 3 of the swap protocol: only now that the fold is
+            # durable (or there is no durable family at all) may the
+            # segment forget the records.
+            wal.rewrite(
+                (),
+                generation=(
+                    generation if generation is not None
+                    else wal.generation + 1
+                ),
+            )
+        elapsed = time.perf_counter() - started
+        with self._stats_lock:
+            self._compactions += 1
+            self._last_compaction_seconds = elapsed
+            self._records_since_compaction = 0
+        return {
+            "trigger": trigger,
+            "epoch": snapshot.epoch,
+            "records_folded": folded,
+            "generation": generation,
+            "path": path,
+            "elapsed_seconds": elapsed,
+        }
 
     def invalidate_results(self) -> int:
         """Explicitly drop every cached result; returns the count."""
@@ -504,7 +899,13 @@ class MatchService:
     def close(self, wait: bool = True) -> None:
         """Stop accepting requests and shut the worker pool down."""
         self._closed = True
+        compactor = self._compactor
+        if compactor is not None:
+            compactor.stop()
         self._pool.shutdown(wait=wait)
+        wal = self._log.wal
+        if wal is not None:
+            wal.close()
 
     def __enter__(self) -> "MatchService":
         return self
@@ -514,7 +915,8 @@ class MatchService:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"MatchService(epoch={self._snapshot.epoch}, "
+            f"MatchService(epoch={self.epoch}, "
             f"backend={self._snapshot.engine.backend_name!r}, "
+            f"policy={self.update_policy!r}, "
             f"workers={self.max_workers}, closed={self._closed})"
         )

@@ -35,6 +35,14 @@ Design:
   Every query reply carries its worker's epoch; a scatter that observes
   a mixed or stale epoch (it raced the swap) transparently retries
   against the new epoch, so no response ever mixes two graph versions.
+* **Per-shard delta overlays** — under ``update_policy="auto"`` small
+  update batches ship as ``delta`` ops: each worker parks its new
+  subgraph and bumps its epoch immediately, folding incrementally
+  (:func:`repro.delta.view.fold_graph`) on its next query — the update
+  call returns without waiting for any shard to rebuild.  ``compact()``
+  asks every worker to fold now.  ``apply_updates(...,
+  num_shards=...)`` additionally re-spreads the graph over a different
+  worker count in the same epoch-consistent swap.
 """
 
 from __future__ import annotations
@@ -49,10 +57,13 @@ from typing import Iterable
 
 import repro.exceptions as _exceptions
 from repro.core.matches import Match
+from repro.delta.records import records_from_updates
+from repro.delta.view import apply_records
 from repro.engine.config import EngineConfig
 from repro.exceptions import (
     DeadlineExceededError,
     EngineError,
+    GraphError,
     ReproError,
     ServiceClosedError,
     ServiceError,
@@ -63,7 +74,7 @@ from repro.exceptions import (
 from repro.graph.digraph import LabeledDiGraph
 from repro.graph.query import WILDCARD
 from repro.query.compiler import CompiledQuery, compile_query
-from repro.shard.engine import _apply_deltas, _union_graph
+from repro.shard.engine import _union_graph
 from repro.shard.manifest import load_manifest, shard_paths
 from repro.shard.merge import merge_topk
 from repro.shard.plan import ShardPlan
@@ -248,6 +259,8 @@ class ShardedMatchService:
         default_deadline: float | None = None,
         on_shard_failure: str = "error",
         restart_workers: bool = True,
+        update_policy: str = "auto",
+        delta_batch_limit: int = 64,
         **overrides,
     ) -> None:
         if (graph is None) == (manifest is None):
@@ -258,6 +271,15 @@ class ShardedMatchService:
             raise ServiceError(
                 'on_shard_failure must be "error" or "degrade", got '
                 f"{on_shard_failure!r}"
+            )
+        if update_policy not in ("auto", "delta", "eager"):
+            raise ServiceError(
+                'update_policy must be "auto", "delta", or "eager", got '
+                f"{update_policy!r}"
+            )
+        if delta_batch_limit < 1:
+            raise ServiceError(
+                f"delta_batch_limit must be >= 1, got {delta_batch_limit}"
             )
         if max_workers <= 0:
             raise ServiceError(f"max_workers must be positive, got {max_workers}")
@@ -271,6 +293,8 @@ class ShardedMatchService:
             )
         self.on_shard_failure = on_shard_failure
         self.restart_workers = restart_workers
+        self.update_policy = update_policy
+        self.delta_batch_limit = delta_batch_limit
         self.max_workers = max_workers
         self.max_pending = max_pending
         self.default_deadline = default_deadline
@@ -286,6 +310,10 @@ class ShardedMatchService:
         self._deadline_misses = 0
         self._overload_rejections = 0
         self._updates_applied = 0
+        self._delta_updates = 0
+        self._eager_updates = 0
+        self._shard_count_changes = 0
+        self._compactions = 0
         self._workers: list[_ShardWorker] = []
 
         if graph is not None:
@@ -384,6 +412,14 @@ class ShardedMatchService:
             "workers_alive": sum(1 for w in self._workers if w.alive),
             "max_workers": self.max_workers,
             "max_pending": self.max_pending,
+            "delta": {
+                "policy": self.update_policy,
+                "batch_limit": self.delta_batch_limit,
+                "delta_updates": self._delta_updates,
+                "eager_updates": self._eager_updates,
+                "shard_count_changes": self._shard_count_changes,
+                "compactions": self._compactions,
+            },
         }
         if include_shards:
             shards = []
@@ -486,10 +522,16 @@ class ShardedMatchService:
         targets = self.route(compiled)
         if not targets:
             return self._epoch, [], (), (), True
+        # Snapshot the worker list once: a concurrent resize swaps it
+        # out whole, and a routing table that outruns the swap would
+        # index past the end — report inconsistent and retry instead.
+        workers = self._workers
+        if any(shard >= len(workers) for shard in targets):
+            return self._epoch, [], targets, (), False
         futures = {
             shard: self._fanout.submit(
                 self._shard_query,
-                self._workers[shard],
+                workers[shard],
                 compiled,
                 k,
                 algorithm,
@@ -661,63 +703,91 @@ class ShardedMatchService:
         edges_added: tuple = (),
         edges_removed: tuple = (),
         nodes_added: dict | None = None,
+        labels_changed: dict | None = None,
+        num_shards: int | None = None,
     ) -> dict:
-        """Re-plan, rebuild, and swap every shard to the next epoch.
+        """Re-plan and move every shard to the next epoch.
 
-        The swap ships each worker its new subgraph over the pipe; the
-        worker rebuilds its backend and reports the new epoch.  Requests
-        racing the swap are epoch-checked and retried by
-        :meth:`_answer`, so every response reflects exactly one graph
-        version.  Returns a summary report dict.
+        Under the default ``update_policy="auto"``, batches up to
+        ``delta_batch_limit`` records ship as per-shard *delta* overlays:
+        each worker parks its new subgraph, becomes the new epoch
+        immediately, and folds incrementally on its next query — this
+        call returns without waiting for any backend rebuild.  Larger
+        batches (and every batch under ``"eager"``) ship as classic
+        ``swap`` ops that rebuild before replying.  Requests racing
+        either path are epoch-checked and retried by :meth:`_answer`,
+        so every response reflects exactly one graph version.
+
+        ``labels_changed`` relabels existing nodes (may move them across
+        label-range shards).  ``num_shards`` re-spreads the graph over a
+        different worker count in the same epoch-consistent update
+        (workers are spawned or retired as needed; the re-spread itself
+        is always eager, since the label->shard layout moves).  Returns
+        a summary report dict.
         """
-        edges_added = tuple(edges_added)
-        edges_removed = tuple(edges_removed)
-        nodes_added = dict(nodes_added or {})
-        if not (edges_added or edges_removed or nodes_added):
+        try:
+            records = records_from_updates(
+                edges_added, edges_removed, nodes_added, labels_changed
+            )
+        except (TypeError, ValueError, IndexError) as exc:
+            raise ServiceError(f"invalid graph update: {exc}") from exc
+        if not records and num_shards is None:
             raise ServiceError(
-                "apply_updates needs at least one change "
-                "(edges_added, edges_removed, or nodes_added)"
+                "apply_updates needs at least one change (edges_added, "
+                "edges_removed, nodes_added, or labels_changed) or a "
+                "num_shards target"
+            )
+        if num_shards is not None and num_shards < 1:
+            raise ServiceError(
+                f"num_shards must be positive, got {num_shards}"
             )
         started = time.perf_counter()
         with self._update_lock:
             self._check_open()
+            graph = self._materialize_graph().copy()
             try:
-                graph = _apply_deltas(
-                    self._materialize_graph(),
-                    edges_added, edges_removed, nodes_added,
-                )
-            except ShardError as exc:
-                raise ServiceError(str(exc)) from exc
+                apply_records(graph, records)
+            except (GraphError, TypeError, ValueError, IndexError) as exc:
+                raise ServiceError(f"invalid graph update: {exc}") from exc
+            if num_shards is not None:
+                self.requested_shards = num_shards
             plan = ShardPlan.from_graph(graph, self.requested_shards)
-            if plan.shard_count != self.shard_count:
-                raise ServiceError(
-                    f"update would change the shard count "
-                    f"({self.shard_count} -> {plan.shard_count}: the label "
-                    "set shrank below the shard count); rebuild the service"
-                )
             new_epoch = self._epoch + 1
             subgraphs = [
                 plan.subgraph(graph, spec.index) for spec in plan.shards
             ]
-            for worker, subgraph in zip(self._workers, subgraphs):
-                boot = {
-                    "mode": "graph",
-                    "graph": subgraph,
-                    "config": self._config,
-                    "epoch": new_epoch,
-                }
-                try:
-                    reply = worker.call("swap", (new_epoch, subgraph), None)
-                except ShardUnavailableError:
-                    with worker.lock:
-                        worker._boot = boot
-                        worker.restart()
-                    reply = ("ok", new_epoch)
-                if reply[0] != "ok":
-                    raise ServiceError(
-                        f"shard {worker.index} rejected the update: {reply[2]}"
-                    )
-                worker._boot = boot
+            resized = plan.shard_count != self.shard_count
+            use_delta = not resized and (
+                self.update_policy == "delta"
+                or (
+                    self.update_policy == "auto"
+                    and len(records) <= self.delta_batch_limit
+                )
+            )
+            if resized:
+                self._resize_workers_locked(subgraphs, new_epoch)
+            else:
+                op = "delta" if use_delta else "swap"
+                for worker, subgraph in zip(self._workers, subgraphs):
+                    boot = {
+                        "mode": "graph",
+                        "graph": subgraph,
+                        "config": self._config,
+                        "epoch": new_epoch,
+                    }
+                    try:
+                        reply = worker.call(op, (new_epoch, subgraph), None)
+                    except ShardUnavailableError:
+                        with worker.lock:
+                            worker._boot = boot
+                            worker.restart()
+                        reply = ("ok", new_epoch)
+                    if reply[0] != "ok":
+                        raise ServiceError(
+                            f"shard {worker.index} rejected the update: "
+                            f"{reply[2]}"
+                        )
+                    worker._boot = boot
             self._graph = graph
             self._plan = plan
             self._owner = {
@@ -727,12 +797,108 @@ class ShardedMatchService:
             }
             self._epoch = new_epoch
             self._count("_updates_applied")
+            self._count("_delta_updates" if use_delta else "_eager_updates")
+            if resized:
+                self._count("_shard_count_changes")
         return {
             "epoch": new_epoch,
-            "nodes_added": len(nodes_added),
-            "edges_added": len(edges_added),
-            "edges_removed": len(edges_removed),
-            "shards_rebuilt": self.shard_count,
+            "nodes_added": len(dict(nodes_added or {})),
+            "edges_added": len(tuple(edges_added)),
+            "edges_removed": len(tuple(edges_removed)),
+            "labels_changed": len(dict(labels_changed or {})),
+            "deferred": use_delta,
+            "shard_count": self.shard_count,
+            "resized": resized,
+            "elapsed_seconds": time.perf_counter() - started,
+        }
+
+    def _resize_workers_locked(self, subgraphs, new_epoch: int) -> None:
+        """Grow or shrink the worker set to ``len(subgraphs)`` shards.
+
+        Kept workers are swapped eagerly (a re-spread moves labels
+        between shards, so no worker's overlay is a refresh of its old
+        graph); new workers boot from their subgraph; surplus workers
+        are retired after the new list is installed, so an in-flight
+        scatter holding the old list still finds live handles (its
+        mixed-epoch reply triggers the normal retry).
+        """
+        old_workers = self._workers
+        new_count = len(subgraphs)
+        boots = [
+            {
+                "mode": "graph",
+                "graph": subgraph,
+                "config": self._config,
+                "epoch": new_epoch,
+            }
+            for subgraph in subgraphs
+        ]
+        kept = old_workers[:new_count]
+        for worker, boot in zip(kept, boots):
+            try:
+                reply = worker.call("swap", (new_epoch, boot["graph"]), None)
+            except ShardUnavailableError:
+                with worker.lock:
+                    worker._boot = boot
+                    worker.restart()
+                reply = ("ok", new_epoch)
+            if reply[0] != "ok":
+                raise ServiceError(
+                    f"shard {worker.index} rejected the update: {reply[2]}"
+                )
+            worker._boot = boot
+        added: list[_ShardWorker] = []
+        try:
+            for index in range(len(kept), new_count):
+                added.append(_ShardWorker(index, self._ctx, boots[index]))
+        except BaseException:
+            for worker in added:
+                worker.shutdown()
+            raise
+        retired = old_workers[new_count:]
+        self._workers = kept + added
+        self.shard_count = new_count
+        for worker in retired:
+            worker.shutdown()
+        if added:
+            # The fan-out pool must cover a full scatter concurrently;
+            # grow it and let the old pool drain in the background.
+            old_fanout = self._fanout
+            self._fanout = ThreadPoolExecutor(
+                max_workers=max(2, new_count),
+                thread_name_prefix="shardfanout",
+            )
+            old_fanout.shutdown(wait=False)
+
+    def compact(self) -> dict:
+        """Fold every worker's pending delta overlay now.
+
+        The sharded sibling of :meth:`MatchService.compact`: workers
+        materialize off the query path, so a quiet period can absorb
+        accumulated overlays before the next traffic burst.
+        """
+        started = time.perf_counter()
+        with self._update_lock:
+            self._check_open()
+            compacted = 0
+            errors: list[str] = []
+            for worker in self._workers:
+                try:
+                    reply = worker.call(
+                        "compact", (), time.monotonic() + _BOOT_TIMEOUT
+                    )
+                except (ShardError, ServiceError) as exc:
+                    errors.append(f"shard {worker.index}: {exc}")
+                    continue
+                if reply[0] == "ok":
+                    compacted += 1
+                else:
+                    errors.append(f"shard {worker.index}: {reply[2]}")
+            self._count("_compactions")
+        return {
+            "epoch": self._epoch,
+            "shards_compacted": compacted,
+            "errors": errors,
             "elapsed_seconds": time.perf_counter() - started,
         }
 

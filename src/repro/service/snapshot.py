@@ -8,12 +8,12 @@ concurrent update can never tear a request: readers either see the old
 graph version everywhere or the new one everywhere (the LSST design's
 immutable-index snapshot style).
 
-:meth:`Snapshot.updated` is the update path — it derives a *new* graph
-(copy + edge/node deltas), asks the old backend for a refreshed backend
-(incremental when the backend supports it, full rebuild otherwise), and
-wraps the result in a fresh snapshot one epoch later.  The
-:class:`UpdateReport` carries the invalidation signal the service's
-caches consume.
+:meth:`Snapshot.updated` is the *eager* update path — it folds the
+deltas through :func:`repro.delta.view.fold` (the same machinery the
+write-ahead overlay's lazy materialization uses, which is what makes
+the two paths answer byte-identically) and wraps the result in a fresh
+snapshot one epoch later.  The :class:`UpdateReport` carries the
+invalidation signal the service's caches consume.
 """
 
 from __future__ import annotations
@@ -21,6 +21,8 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.delta.records import records_from_updates
+from repro.delta.view import fold
 from repro.engine.core import MatchEngine, PreparedQuery
 from repro.exceptions import GraphError, QueryError, ServiceError
 from repro.graph.digraph import LabeledDiGraph
@@ -49,6 +51,16 @@ class UpdateReport:
     results_migrated: int = field(default=0)
     results_dropped: int = field(default=0)
     plans_cleared: int = field(default=0)
+    #: Nodes whose label changed in place (always a rebuild when > 0).
+    labels_changed: int = field(default=0)
+    #: True when the update took the delta path: the records are logged
+    #: but not yet folded — ``incremental``/``rows_recomputed``/
+    #: ``affected_labels`` describe the *pending* state (nothing
+    #: recomputed yet), and the fold happens on first read or in the
+    #: background compactor.
+    deferred: bool = field(default=False)
+    #: Overlay records pending after this update (delta path only).
+    pending_records: int = field(default=0)
 
 
 @dataclass(frozen=True)
@@ -85,70 +97,53 @@ class Snapshot:
         edges_added: tuple = (),
         edges_removed: tuple = (),
         nodes_added: dict | None = None,
+        labels_changed: dict | None = None,
     ) -> tuple["Snapshot", UpdateReport]:
         """A new snapshot with the deltas applied; this one is untouched.
 
         ``edges_added`` takes ``(tail, head)`` or ``(tail, head, weight)``
         tuples; ``edges_removed`` takes ``(tail, head)``; ``nodes_added``
-        maps new node ids to labels.  Structural problems (unknown
-        endpoints, removing a missing edge, relabeling) surface as
+        maps new node ids to labels; ``labels_changed`` maps existing
+        node ids to their new labels (always a full rebuild: interned
+        ids are label-sorted, so a relabel moves the columnar layout).
+        Structural problems (unknown endpoints, removing a missing edge,
+        re-adding under a different label) surface as
         :class:`~repro.exceptions.ServiceError`.
+
+        The fold itself is :func:`repro.delta.view.fold` — the same
+        code path the write-ahead delta overlay materializes through,
+        so eager and deferred updates are byte-identical by
+        construction.
         """
         started = time.perf_counter()
-        edges_added = tuple(edges_added)
-        edges_removed = tuple(edges_removed)
-        nodes_added = dict(nodes_added or {})
-        if not (edges_added or edges_removed or nodes_added):
-            raise ServiceError(
-                "apply_updates needs at least one change "
-                "(edges_added, edges_removed, or nodes_added)"
-            )
-        graph = self.engine.graph.copy()
         try:
-            for node, label in nodes_added.items():
-                graph.add_node(node, label)
-            for edge in edges_added:
-                graph.add_edge(*edge)
-            for edge in edges_removed:
-                graph.remove_edge(edge[0], edge[1])
+            records = records_from_updates(
+                edges_added, edges_removed, nodes_added, labels_changed
+            )
+        except (TypeError, ValueError, IndexError) as exc:
+            raise ServiceError(f"invalid graph update: {exc}") from exc
+        if not records:
+            raise ServiceError(
+                "apply_updates needs at least one change (edges_added, "
+                "edges_removed, nodes_added, or labels_changed)"
+            )
+        try:
+            result = fold(self.engine, records)
         except (GraphError, TypeError, ValueError, IndexError) as exc:
             raise ServiceError(f"invalid graph update: {exc}") from exc
-        refresh = self.engine.backend.refreshed(
-            graph,
-            self.engine.config,
-            edges_added=edges_added,
-            edges_removed=edges_removed,
-        )
-        engine = MatchEngine(graph, self.engine.config, _backend=refresh.backend)
-        affected = refresh.affected_labels
-        if affected is not None:
-            extra = set()
-            # New nodes are new candidates for their labels even when no
-            # closure row changed (an isolated node can match a leaf).
-            extra.update(nodes_added.values())
-            # Direct-child ('/') matches depend on adjacency, which the
-            # distance-based refresh signal does not see: an added edge
-            # whose endpoints were already at that distance changes
-            # is_direct without changing any closure row (and vice versa
-            # for removals with an equal-cost detour).  Adjacency only
-            # changes at the changed edges' endpoints, so their labels
-            # complete the signal.
-            for edge in edges_added + edges_removed:
-                extra.add(graph.label(edge[0]))
-                extra.add(graph.label(edge[1]))
-            affected = affected | frozenset(extra)
         snapshot = Snapshot(
-            epoch=self.epoch + 1, engine=engine, created_at=time.time()
+            epoch=self.epoch + 1, engine=result.engine, created_at=time.time()
         )
         report = UpdateReport(
             epoch=snapshot.epoch,
-            nodes_added=len(nodes_added),
-            edges_added=len(edges_added),
-            edges_removed=len(edges_removed),
-            incremental=refresh.incremental,
-            rows_recomputed=refresh.rows_recomputed,
-            affected_labels=affected,
+            nodes_added=result.nodes_added,
+            edges_added=result.edges_added,
+            edges_removed=result.edges_removed,
+            incremental=result.incremental,
+            rows_recomputed=result.rows_recomputed,
+            affected_labels=result.affected_labels,
             elapsed_seconds=time.perf_counter() - started,
+            labels_changed=result.labels_changed,
         )
         return snapshot, report
 

@@ -12,15 +12,17 @@ through the parent.
 Protocol (requests are ``(op, *payload)`` tuples; replies are
 ``("ok", ...)``, ``("error", exc_class_name, message)``):
 
-==========  =============================================  ==============
-op          payload                                        ok-reply
-==========  =============================================  ==============
-``ping``    —                                              ``epoch``
-``query``   ``compiled, k, algorithm``                     ``epoch, matches``
-``swap``    ``epoch, subgraph``                            ``epoch``
-``stats``   —                                              ``stats dict``
-``exit``    —                                              ``None`` (then exit)
-==========  =============================================  ==============
+===========  =============================================  ==============
+op           payload                                        ok-reply
+===========  =============================================  ==============
+``ping``     —                                              ``epoch``
+``query``    ``compiled, k, algorithm``                     ``epoch, matches``
+``swap``     ``epoch, subgraph``                            ``epoch``
+``delta``    ``epoch, subgraph``                            ``epoch``
+``compact``  —                                              ``epoch``
+``stats``    —                                              ``stats dict``
+``exit``     —                                              ``None`` (then exit)
+===========  =============================================  ==============
 
 Every ``query`` reply carries the worker's current epoch, which is how
 the coordinator detects a request that raced an ``apply_updates`` swap
@@ -28,6 +30,14 @@ and retries it for an epoch-consistent answer.  Errors inside an op are
 caught and shipped back by *name* (exception classes cross the pipe as
 strings, and the coordinator re-raises them from its own taxonomy);
 only a broken pipe kills the worker.
+
+``swap`` rebuilds the shard engine before replying (the eager path);
+``delta`` is its write-ahead sibling: the worker parks the shipped
+subgraph as a pending overlay, bumps its epoch immediately, and folds
+via :func:`repro.delta.view.fold_graph` on the next ``query`` /
+``stats`` / ``compact`` — an incremental refresh that shares every
+unaffected closure row with the old engine, so sustained write traffic
+never stalls the scatter path on whole-shard rebuilds.
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ def worker_main(conn, boot: dict) -> None:
       "epoch": int}`` — build from a shipped subgraph (the
       ``apply_updates`` swap path, and graph-constructed services).
     """
+    from repro.delta.view import fold_graph
     from repro.engine.core import MatchEngine
 
     try:
@@ -61,6 +72,11 @@ def worker_main(conn, boot: dict) -> None:
             conn.send(("error", type(exc).__name__, str(exc)))
         return
 
+    # Deferred-overlay state for the ``delta`` op.
+    pending_graph = None
+    materializations = 0
+    last_materialize_seconds = 0.0
+
     while True:
         try:
             request = conn.recv()
@@ -68,6 +84,12 @@ def worker_main(conn, boot: dict) -> None:
             return  # coordinator went away; die quietly
         op, payload = request[0], request[1:]
         try:
+            if pending_graph is not None and op in ("query", "stats", "compact"):
+                folded = fold_graph(engine, pending_graph)
+                engine = folded.engine
+                pending_graph = None
+                materializations += 1
+                last_materialize_seconds = folded.elapsed_seconds
             if op == "ping":
                 reply = ("ok", epoch)
             elif op == "query":
@@ -77,10 +99,27 @@ def worker_main(conn, boot: dict) -> None:
             elif op == "swap":
                 new_epoch, subgraph = payload
                 engine = MatchEngine(subgraph, engine.config)
+                pending_graph = None
                 epoch = int(new_epoch)
                 reply = ("ok", epoch)
+            elif op == "delta":
+                # Park the target subgraph and become the new epoch now;
+                # the expensive fold happens on the next read, off the
+                # coordinator's update path.  Consecutive deltas just
+                # replace the target (it is always the full new state).
+                new_epoch, subgraph = payload
+                pending_graph = subgraph
+                epoch = int(new_epoch)
+                reply = ("ok", epoch)
+            elif op == "compact":
+                reply = ("ok", epoch)
             elif op == "stats":
-                reply = ("ok", engine.statistics())
+                stats = engine.statistics()
+                stats["delta"] = {
+                    "materializations": materializations,
+                    "last_materialize_seconds": last_materialize_seconds,
+                }
+                reply = ("ok", stats)
             elif op == "exit":
                 with contextlib.suppress(Exception):
                     conn.send(("ok", None))

@@ -202,3 +202,46 @@ class TestShardingSection:
         for name in sorted(root.glob("BENCH_*.json")):
             document = json.loads(name.read_text())
             assert validate_bench_document(document) == [], name.name
+
+
+class TestMixedRwSection:
+    def test_mixed_rw_section_shape(self, quick_document):
+        mixed = quick_document["mixed_rw"]
+        assert mixed["updates"] > 0
+        for name in ("delta_apply", "eager_apply", "rebuild_apply"):
+            section = mixed[name]
+            assert section["batches"] > 0
+            assert section["mean_ms"] > 0.0
+            assert section["p50_ms"] <= section["p99_ms"]
+        for name in (
+            "read_baseline", "reads_during_writes", "reads_during_compaction"
+        ):
+            assert mixed[name]["requests"] > 0
+            assert mixed[name]["p50_ms"] <= mixed[name]["p99_ms"]
+
+    def test_delta_apply_beats_whole_snapshot_rebuild(self, quick_document):
+        """The acceptance figure: logging a delta must be >= 5x cheaper
+        than rebuilding the snapshot per batch (in practice it is orders
+        of magnitude)."""
+        mixed = quick_document["mixed_rw"]
+        assert mixed["apply_speedup_vs_rebuild"] >= 5.0, mixed
+
+    def test_v4_document_requires_mixed_rw(self, quick_document):
+        broken = json.loads(json.dumps(quick_document))
+        del broken["mixed_rw"]
+        errors = validate_bench_document(broken)
+        assert any("mixed_rw" in e for e in errors)
+        broken = json.loads(json.dumps(quick_document))
+        del broken["mixed_rw"]["delta_apply"]["p99_ms"]
+        broken["mixed_rw"]["read_baseline"]["requests"] = -1
+        broken["mixed_rw"]["apply_speedup_vs_rebuild"] = "fast"
+        errors = validate_bench_document(broken)
+        assert any("delta_apply missing 'p99_ms'" in e for e in errors)
+        assert any("read_baseline.requests is negative" in e for e in errors)
+        assert any("apply_speedup_vs_rebuild" in e for e in errors)
+
+    def test_v3_documents_still_validate(self, quick_document):
+        legacy = json.loads(json.dumps(quick_document))
+        legacy["version"] = 3
+        del legacy["mixed_rw"]
+        assert validate_bench_document(legacy) == []

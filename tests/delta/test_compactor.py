@@ -1,0 +1,81 @@
+"""CompactionPolicy thresholds and the background Compactor thread."""
+
+import threading
+import time
+
+import pytest
+
+from repro.delta import CompactionPolicy, Compactor
+
+
+class TestPolicy:
+    def test_nothing_pending_is_never_due(self):
+        policy = CompactionPolicy(max_records=1, max_ratio=0.0001)
+        assert not policy.due(0, 100)
+
+    def test_absolute_record_threshold(self):
+        policy = CompactionPolicy(max_records=10, max_ratio=0)
+        assert not policy.due(9, 10_000)
+        assert policy.due(10, 10_000)
+
+    def test_overlay_base_ratio_threshold(self):
+        policy = CompactionPolicy(max_records=0, max_ratio=0.5)
+        assert not policy.due(49, 100)
+        assert policy.due(50, 100)
+        # An empty base never divides by zero.
+        assert policy.due(1, 0)
+
+    def test_disabled_thresholds(self):
+        policy = CompactionPolicy(max_records=0, max_ratio=0)
+        assert not policy.due(10**9, 1)
+
+
+class TestCompactor:
+    def test_kick_wakes_the_thread_immediately(self):
+        ticked = threading.Event()
+        compactor = Compactor(ticked.set, interval=3600)
+        try:
+            compactor.kick()
+            assert ticked.wait(5), "kick must beat the hour-long interval"
+            assert compactor.alive
+        finally:
+            compactor.stop()
+
+    def test_idle_interval_ticks(self):
+        calls = []
+        compactor = Compactor(lambda: calls.append(1), interval=0.01)
+        try:
+            deadline = time.monotonic() + 5
+            while len(calls) < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert len(calls) >= 3
+        finally:
+            compactor.stop()
+
+    def test_tick_errors_never_kill_the_thread(self):
+        def explode():
+            raise RuntimeError("fold failed")
+
+        compactor = Compactor(explode, interval=3600)
+        try:
+            compactor.kick()
+            deadline = time.monotonic() + 5
+            while compactor.errors == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert compactor.errors >= 1
+            assert compactor.alive, "a failing fold must not stop ticking"
+            stats = compactor.stats()
+            assert stats["last_error"] == "RuntimeError: fold failed"
+            assert stats["ticks"] >= 1
+        finally:
+            compactor.stop()
+
+    def test_stop_joins_and_is_idempotent(self):
+        compactor = Compactor(lambda: None, interval=0.01)
+        compactor.stop()
+        assert not compactor.alive
+        compactor.stop()
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            Compactor(lambda: None, interval=0)

@@ -1,0 +1,131 @@
+"""Generation families: numbered .ridx snapshots, manifest, swap protocol."""
+
+import json
+
+import pytest
+
+from repro.delta import (
+    GenerationStore,
+    manifest_path_for,
+    resolve_index_path,
+    sniff_is_generation_manifest,
+)
+from repro.engine import MatchEngine
+from repro.exceptions import DeltaError
+from repro.graph.generators import citation_graph
+
+
+@pytest.fixture
+def family(tmp_path):
+    graph = citation_graph(30, num_labels=4, seed=1)
+    engine = MatchEngine(graph, backend="full")
+    base = tmp_path / "index.ridx"
+    engine.save_index(base, format="binary")
+    return base, engine
+
+
+class TestNaming:
+    def test_manifest_path_pairs_with_base(self, tmp_path):
+        assert manifest_path_for(tmp_path / "index.ridx") == (
+            tmp_path / "index.generations.json"
+        )
+
+    def test_generation_path_numbering(self, family):
+        base, _engine = family
+        store = GenerationStore(base)
+        assert store.generation_path(0) == base
+        assert store.generation_path(3).name == "index.gen-0003.ridx"
+
+
+class TestStore:
+    def test_fresh_family_is_generation_zero(self, family):
+        base, _engine = family
+        store = GenerationStore(base)
+        assert store.load_manifest() is None
+        assert store.current_generation == 0
+        assert store.current_path() == base
+        assert store.generations() == []
+        assert resolve_index_path(base) == base
+
+    def test_write_generation_advances_the_family(self, family):
+        base, engine = family
+        store = GenerationStore(base)
+        generation, path = store.write_generation(
+            engine, epoch=4, records_folded=7, wall_seconds=0.5
+        )
+        assert generation == 1
+        assert path.name == "index.gen-0001.ridx"
+        assert path.exists()
+        assert store.current_generation == 1
+        assert store.current_path() == path
+        (entry,) = store.generations()
+        assert entry["epoch"] == 4
+        assert entry["records_folded"] == 7
+        # The new generation is a complete, loadable index.
+        assert MatchEngine.load(path).graph.num_nodes == engine.graph.num_nodes
+        # Both the base path and the manifest resolve to the current gen.
+        assert resolve_index_path(base) == path
+        assert resolve_index_path(store.manifest_path) == path
+
+    def test_second_generation_stacks(self, family):
+        base, engine = family
+        store = GenerationStore(base)
+        store.write_generation(engine, epoch=1, records_folded=1, wall_seconds=0)
+        generation, path = store.write_generation(
+            engine, epoch=2, records_folded=2, wall_seconds=0
+        )
+        assert generation == 2
+        assert path.name == "index.gen-0002.ridx"
+        assert len(store.generations()) == 2
+
+    def test_store_accepts_the_manifest_path(self, family):
+        base, engine = family
+        GenerationStore(base).write_generation(
+            engine, epoch=1, records_folded=1, wall_seconds=0
+        )
+        via_manifest = GenerationStore(manifest_path_for(base))
+        assert via_manifest.base_path == base
+        assert via_manifest.current_generation == 1
+
+    def test_stale_wal_detection(self, family):
+        """The crash window between manifest update and WAL truncate."""
+        base, engine = family
+        store = GenerationStore(base)
+        assert not store.stale_wal(0)  # fresh family, nothing folded
+        store.write_generation(engine, epoch=1, records_folded=1, wall_seconds=0)
+        assert store.stale_wal(0), "gen-0 WAL records are folded into gen-1"
+        assert not store.stale_wal(1)
+
+    def test_corrupt_manifest_raises(self, family):
+        base, _engine = family
+        manifest_path_for(base).write_text("{broken", encoding="utf-8")
+        with pytest.raises(DeltaError, match="unreadable"):
+            GenerationStore(base).load_manifest()
+        manifest_path_for(base).write_text(
+            json.dumps({"kind": "other"}), encoding="utf-8"
+        )
+        with pytest.raises(DeltaError, match="not a generations manifest"):
+            GenerationStore(base).load_manifest()
+
+    def test_stats(self, family):
+        base, engine = family
+        store = GenerationStore(base)
+        assert store.stats()["current"] == 0
+        store.write_generation(engine, epoch=1, records_folded=3, wall_seconds=0)
+        stats = store.stats()
+        assert stats["current"] == 1
+        assert stats["generations"] == 1
+
+
+class TestSniffing:
+    def test_sniffs_only_real_manifests(self, family, tmp_path):
+        base, engine = family
+        assert not sniff_is_generation_manifest(base)
+        other = tmp_path / "other.json"
+        other.write_text(json.dumps({"kind": "else"}), encoding="utf-8")
+        assert not sniff_is_generation_manifest(other)
+        assert not sniff_is_generation_manifest(tmp_path / "missing.json")
+        GenerationStore(base).write_generation(
+            engine, epoch=1, records_folded=1, wall_seconds=0
+        )
+        assert sniff_is_generation_manifest(manifest_path_for(base))

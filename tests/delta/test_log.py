@@ -1,0 +1,77 @@
+"""DeltaLog: ordered pending batches, write-ahead-first durability."""
+
+import pytest
+
+from repro.delta import DeltaLog, EdgeAdd, NodeAdd, WriteAheadLog, scan_wal
+from repro.exceptions import WalError
+
+BATCH_A = (NodeAdd("n", "L"), EdgeAdd("a", "n"))
+BATCH_B = (EdgeAdd("n", "b", 2),)
+
+
+class TestMemoryOnly:
+    def test_append_orders_batches(self):
+        log = DeltaLog()
+        assert log.append(BATCH_A) == 1
+        assert log.append(BATCH_B) == 2
+        assert log.version == 2
+        assert log.pending_batches == 2
+        assert log.pending_records == 3
+        assert log.records() == BATCH_A + BATCH_B
+
+    def test_empty_batch_refused(self):
+        with pytest.raises(ValueError, match="at least one record"):
+            DeltaLog().append(())
+
+    def test_drain_takes_everything_once(self):
+        log = DeltaLog()
+        log.append(BATCH_A)
+        log.append(BATCH_B)
+        assert log.drain() == BATCH_A + BATCH_B
+        assert log.pending_records == 0
+        assert log.drain() == ()
+        stats = log.stats()
+        assert stats["folded_records"] == 3
+        assert stats["folds"] == 1
+        assert stats["version"] == 2
+        assert stats["wal"] is None
+
+
+class TestWalAttached:
+    def test_append_is_write_ahead(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "d.wal")
+        log = DeltaLog(wal=wal)
+        log.append(BATCH_A)
+        wal.close()
+        assert scan_wal(tmp_path / "d.wal").records == BATCH_A
+
+    def test_failed_wal_append_leaves_memory_untouched(self, tmp_path):
+        wal = WriteAheadLog(tmp_path / "d.wal")
+        log = DeltaLog(wal=wal)
+        with pytest.raises(WalError):
+            log.append((EdgeAdd(1.5, "bad"),))  # unencodable id
+        wal.close()
+        with pytest.raises(WalError):
+            log.append(BATCH_A)  # closed segment
+        assert log.pending_records == 0
+        assert log.version == 0
+
+    def test_drain_does_not_truncate_the_wal(self, tmp_path):
+        """Only compaction truncates: a fold changes nothing on disk."""
+        with WriteAheadLog(tmp_path / "d.wal") as wal:
+            log = DeltaLog(wal=wal)
+            log.append(BATCH_A)
+            size_before = wal.size_bytes()
+            assert log.drain() == BATCH_A
+            assert wal.size_bytes() == size_before
+        assert scan_wal(tmp_path / "d.wal").records == BATCH_A
+
+    def test_adopt_is_memory_only(self, tmp_path):
+        """Boot-time recovery must not write records back to the WAL."""
+        with WriteAheadLog(tmp_path / "d.wal") as wal:
+            log = DeltaLog(wal=wal)
+            assert log.adopt(BATCH_A) == 1
+            assert log.adopt(()) == 1  # no-op, no version bump
+            assert wal.size_bytes() == scan_wal(tmp_path / "d.wal").good_bytes
+            assert scan_wal(tmp_path / "d.wal").records == ()
+        assert log.records() == BATCH_A

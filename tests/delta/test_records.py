@@ -1,0 +1,127 @@
+"""Delta records: WAL codec exactness and update-shape normalization."""
+
+import json
+
+import pytest
+
+from repro.delta import (
+    EdgeAdd,
+    EdgeRemove,
+    LabelChange,
+    NodeAdd,
+    apply_records,
+    decode_record,
+    encode_record,
+    records_from_updates,
+)
+from repro.exceptions import GraphError, WalError
+from repro.graph.digraph import LabeledDiGraph
+
+ALL_RECORDS = (
+    EdgeAdd("a", "b"),
+    EdgeAdd("a", "c", 3),
+    EdgeRemove("a", "b"),
+    NodeAdd("n", "L"),
+    LabelChange("n", "M"),
+)
+
+
+def small_graph():
+    graph = LabeledDiGraph()
+    for node, label in (("a", "A"), ("b", "B"), ("c", "C")):
+        graph.add_node(node, label)
+    graph.add_edge("a", "b")
+    return graph
+
+
+class TestCodec:
+    @pytest.mark.parametrize("record", ALL_RECORDS, ids=repr)
+    def test_round_trip(self, record):
+        assert decode_record(encode_record(record)) == record
+
+    def test_int_node_ids_survive_exactly(self):
+        record = EdgeAdd(1, 2, 5)
+        back = decode_record(encode_record(record))
+        assert back.tail == 1 and isinstance(back.tail, int)
+
+    def test_encoding_is_canonical(self):
+        payload = encode_record(EdgeAdd("a", "b", 2))
+        assert payload == json.dumps(
+            json.loads(payload), sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+
+    @pytest.mark.parametrize(
+        "record",
+        [
+            EdgeAdd(("tu", "ple"), "b"),
+            EdgeAdd("a", 1.5),
+            NodeAdd("n", frozenset({"L"})),
+            NodeAdd(True, "L"),  # bool is not an exact int
+            LabelChange("n", None),
+        ],
+        ids=repr,
+    )
+    def test_inexact_ids_refuse_to_encode(self, record):
+        with pytest.raises(WalError, match="cannot be written to a WAL"):
+            encode_record(record)
+
+    def test_bool_weight_refused(self):
+        with pytest.raises(WalError, match="not a number"):
+            encode_record(EdgeAdd("a", "b", True))
+
+    @pytest.mark.parametrize(
+        "payload",
+        [b"not json", b"{}", b'{"op":"warp"}', b'{"op":"edge_add"}'],
+    )
+    def test_undecodable_payloads_raise(self, payload):
+        with pytest.raises(WalError, match="undecodable"):
+            decode_record(payload)
+
+
+class TestApply:
+    def test_apply_records_in_order(self):
+        graph = small_graph()
+        apply_records(
+            graph,
+            (
+                NodeAdd("d", "D"),
+                EdgeAdd("c", "d", 2),
+                EdgeRemove("a", "b"),
+                LabelChange("b", "B2"),
+            ),
+        )
+        assert graph.has_edge("c", "d")
+        assert not graph.has_edge("a", "b")
+        assert graph.label("b") == "B2"
+
+    def test_structural_errors_propagate(self):
+        with pytest.raises(GraphError):
+            apply_records(small_graph(), (EdgeRemove("b", "c"),))
+
+
+class TestRecordsFromUpdates:
+    def test_application_order(self):
+        records = records_from_updates(
+            edges_added=[("a", "b"), ("a", "c", 4)],
+            edges_removed=[("x", "y")],
+            nodes_added={"n": "L"},
+            labels_changed={"m": "M"},
+        )
+        assert records == (
+            NodeAdd("n", "L"),
+            EdgeAdd("a", "b"),
+            EdgeAdd("a", "c", 4),
+            EdgeRemove("x", "y"),
+            LabelChange("m", "M"),
+        )
+
+    def test_removed_edges_tolerate_weight(self):
+        (record,) = records_from_updates(edges_removed=[("a", "b", 9)])
+        assert record == EdgeRemove("a", "b")
+
+    def test_malformed_added_edge_raises(self):
+        with pytest.raises(ValueError, match="tail, head"):
+            records_from_updates(edges_added=[("a",)])
+
+    def test_empty_updates_are_empty(self):
+        assert records_from_updates() == ()

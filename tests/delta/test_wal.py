@@ -1,0 +1,155 @@
+"""WAL segments: append durability, torn-tail recovery, atomic rewrite."""
+
+import struct
+
+import pytest
+
+from repro.delta import EdgeAdd, NodeAdd, WriteAheadLog, scan_wal
+from repro.delta.wal import HEADER_SIZE, WAL_MAGIC
+from repro.exceptions import WalError
+
+RECORDS = (NodeAdd("n", "L"), EdgeAdd("a", "b", 2), EdgeAdd("n", "a"))
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return tmp_path / "index.wal"
+
+
+class TestAppendAndScan:
+    def test_fresh_segment_has_header_only(self, wal_path):
+        with WriteAheadLog(wal_path, generation=3) as wal:
+            assert wal.size_bytes() == HEADER_SIZE
+            assert wal.generation == 3
+        assert wal_path.read_bytes()[:4] == WAL_MAGIC
+        scan = scan_wal(wal_path)
+        assert scan.records == () and scan.generation == 3
+        assert not scan.truncated_tail
+
+    def test_append_then_scan_round_trips(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wrote = wal.append(RECORDS)
+            assert wrote == wal.size_bytes() - HEADER_SIZE
+            assert wal.appended_records == len(RECORDS)
+        assert scan_wal(wal_path).records == RECORDS
+
+    def test_reopen_recovers_records(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append(RECORDS)
+        with WriteAheadLog(wal_path) as wal:
+            assert wal.recovered_records == RECORDS
+            assert not wal.recovered_truncated
+            wal.append((EdgeAdd("x", "y"),))
+        assert scan_wal(wal_path).records == RECORDS + (EdgeAdd("x", "y"),)
+
+    def test_closed_segment_refuses_appends(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.close()
+        with pytest.raises(WalError, match="closed"):
+            wal.append(RECORDS)
+        wal.close()  # idempotent
+
+    def test_unencodable_batch_leaves_segment_untouched(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            with pytest.raises(WalError):
+                wal.append((EdgeAdd("ok", "ok2"), EdgeAdd(1.5, "bad")))
+            assert wal.size_bytes() == HEADER_SIZE
+        assert scan_wal(wal_path).records == ()
+
+    def test_stats_shape(self, wal_path):
+        with WriteAheadLog(wal_path, generation=2, fsync=True) as wal:
+            wal.append(RECORDS)
+            stats = wal.stats()
+        assert stats["generation"] == 2
+        assert stats["appended_records"] == 3
+        assert stats["recovered_records"] == 0
+        assert stats["fsync"] is True
+        assert stats["size_bytes"] > HEADER_SIZE
+
+
+class TestTornTailRecovery:
+    def test_garbage_tail_is_truncated_on_reopen(self, wal_path):
+        """Kill-mid-append: half a frame lands, reopen drops exactly it."""
+        with WriteAheadLog(wal_path) as wal:
+            wal.append(RECORDS)
+            good = wal.size_bytes()
+        with open(wal_path, "ab") as handle:
+            handle.write(b"\x99" * 11)  # a frame header cut short
+        with WriteAheadLog(wal_path) as wal:
+            assert wal.recovered_records == RECORDS
+            assert wal.recovered_truncated
+            assert wal.recovered_dropped_bytes == 11
+            assert wal.size_bytes() == good
+            wal.append((EdgeAdd("post", "crash"),))
+        scan = scan_wal(wal_path)
+        assert scan.records == RECORDS + (EdgeAdd("post", "crash"),)
+        assert not scan.truncated_tail
+
+    def test_corrupt_crc_drops_frame_and_everything_after(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append(RECORDS[:1])
+            first = wal.size_bytes()
+            wal.append(RECORDS[1:])
+        data = bytearray(wal_path.read_bytes())
+        data[first + 8 + 2] ^= 0xFF  # flip a payload byte under its CRC
+        wal_path.write_bytes(bytes(data))
+        scan = scan_wal(wal_path)
+        assert scan.records == RECORDS[:1]
+        assert scan.truncated_tail
+        assert scan.good_bytes == first
+
+    def test_torn_header_restarts_the_segment(self, wal_path):
+        wal_path.write_bytes(WAL_MAGIC + b"\x01")  # crash during creation
+        with WriteAheadLog(wal_path, generation=7) as wal:
+            assert wal.recovered_records == ()
+            assert wal.recovered_truncated
+            assert wal.generation == 7
+            wal.append(RECORDS[:1])
+        assert scan_wal(wal_path).records == RECORDS[:1]
+
+    def test_bad_magic_raises(self, wal_path):
+        wal_path.write_bytes(b"NOPE" + bytes(HEADER_SIZE - 4))
+        with pytest.raises(WalError, match="bad magic"):
+            scan_wal(wal_path)
+        with pytest.raises(WalError, match="bad magic"):
+            WriteAheadLog(wal_path)
+
+    def test_future_version_raises(self, wal_path):
+        header = struct.pack("<4sB3sQ", WAL_MAGIC, 9, b"\x00" * 3, 0)
+        wal_path.write_bytes(header)
+        with pytest.raises(WalError, match="version 9"):
+            scan_wal(wal_path)
+
+    def test_valid_checksum_garbage_payload_raises(self, wal_path):
+        """Damage before the tail is corruption, not a torn append."""
+        import zlib
+
+        payload = b'{"op":"warp-drive"}'
+        frame = struct.pack("<II", len(payload), zlib.crc32(payload))
+        with WriteAheadLog(wal_path) as wal:
+            pass
+        with open(wal_path, "ab") as handle:
+            handle.write(frame + payload)
+        with pytest.raises(WalError, match="undecodable"):
+            scan_wal(wal_path)
+
+
+class TestRewrite:
+    def test_rewrite_truncates_and_restamps(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append(RECORDS)
+            wal.rewrite((), generation=5)
+            assert wal.generation == 5
+            assert wal.size_bytes() == HEADER_SIZE
+        scan = scan_wal(wal_path)
+        assert scan.records == () and scan.generation == 5
+        assert not wal_path.with_name("index.wal.tmp").exists()
+
+    def test_rewrite_can_carry_records_forward(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append(RECORDS)
+            wal.rewrite(RECORDS[2:], generation=1)
+            wal.append((EdgeAdd("p", "q"),))
+        scan = scan_wal(wal_path)
+        assert scan.records == (RECORDS[2], EdgeAdd("p", "q"))
+        assert scan.generation == 1

@@ -265,7 +265,11 @@ class TestUpdates:
             assert len(service.top_k("A//B", 5)) == len(before) - 1
 
     def test_selective_invalidation_keeps_disjoint_entries(self):
-        with MatchService(two_cluster_graph(), backend="full") as service:
+        # Eager policy: the report must carry the fold's affected-label
+        # signal inline (the delta path defers it to materialization).
+        with MatchService(
+            two_cluster_graph(), backend="full", update_policy="eager"
+        ) as service:
             service.top_k("A//B", 3)
             service.top_k("C//D", 3)
             report = service.apply_updates(edges_added=[("c1", "d1")])
@@ -278,7 +282,9 @@ class TestUpdates:
             assert not service.request("C//D", 3).result_cache_hit
 
     def test_rebuild_backend_flushes_results(self):
-        with MatchService(two_cluster_graph(), backend="pll") as service:
+        with MatchService(
+            two_cluster_graph(), backend="pll", update_policy="eager"
+        ) as service:
             service.top_k("A//B", 3)
             report = service.apply_updates(edges_added=[("c1", "d1")])
             assert not report.incremental
@@ -321,7 +327,9 @@ class TestUpdates:
             {"u": "A", "w": "C", "v": "B"}, [("u", "w"), ("w", "v")]
         )
         query = QueryTree({"r": "A", "c": "B"}, [("r", "c", EdgeType.CHILD)])
-        with MatchService(graph, backend="full") as service:
+        with MatchService(
+            graph, backend="full", update_policy="eager"
+        ) as service:
             assert service.top_k(query, 5) == []
             report = service.apply_updates(edges_added=[("u", "v", 2)])
             # The distance u->v was already 2; adjacency still changed.

@@ -17,6 +17,7 @@ import repro.shard
 ALLOWED_PREFIXES = (
     "repro.shard",
     "repro.compact",
+    "repro.delta",
     "repro.graph",
     "repro.exceptions",
     "repro.utils",

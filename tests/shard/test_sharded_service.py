@@ -168,12 +168,15 @@ def test_error_mode_fails_partial_scatter():
 
 
 def test_apply_updates_swaps_all_shards(small_graph):
-    with ShardedMatchService(small_graph, num_shards=2) as service:
+    with ShardedMatchService(
+        small_graph, num_shards=2, update_policy="eager"
+    ) as service:
         report = service.apply_updates(
             edges_added=[("v1", "v20")], nodes_added={"v90": "B"}
         )
         assert report["epoch"] == 1
-        assert report["shards_rebuilt"] == 2
+        assert report["shard_count"] == 2
+        assert not report["deferred"]
         mutated = small_graph.copy()
         mutated.add_node("v90", "B")
         mutated.add_edge("v1", "v20")
@@ -185,6 +188,119 @@ def test_apply_updates_swaps_all_shards(small_graph):
         assert service.request(QUERIES[0], 3).epoch == 1
         with pytest.raises(ServiceError):
             service.apply_updates()  # empty update is refused
+
+
+def test_apply_updates_delta_path_defers_and_converges(small_graph):
+    with ShardedMatchService(small_graph, num_shards=2) as service:
+        report = service.apply_updates(edges_added=[("v1", "v20")])
+        assert report["deferred"], "small batches take the delta path"
+        assert report["epoch"] == 1
+        mutated = small_graph.copy()
+        mutated.add_edge("v1", "v20")
+        fresh = MatchEngine(mutated)
+        for query in QUERIES:
+            assert scores(service.top_k(query, 6)) == scores(
+                fresh.top_k(query, 6)
+            )
+        assert service.statistics()["delta"]["delta_updates"] == 1
+        compacted = service.compact()
+        assert compacted["shards_compacted"] == 2
+        assert compacted["errors"] == []
+        assert service.statistics()["delta"]["compactions"] == 1
+        for query in QUERIES:  # still byte-equal after the fold
+            assert scores(service.top_k(query, 6)) == scores(
+                fresh.top_k(query, 6)
+            )
+
+
+def test_apply_updates_changes_shard_count(small_graph):
+    with ShardedMatchService(small_graph, num_shards=2) as service:
+        report = service.apply_updates(
+            edges_added=[("v2", "v30")], num_shards=3
+        )
+        assert report["resized"]
+        assert report["shard_count"] == 3
+        assert service.shard_count == 3
+        assert service.statistics()["workers_alive"] == 3
+        mutated = small_graph.copy()
+        mutated.add_edge("v2", "v30")
+        fresh = MatchEngine(mutated)
+        for query in QUERIES:
+            assert scores(service.top_k(query, 6)) == scores(
+                fresh.top_k(query, 6)
+            )
+        # A pure re-spread (no graph change) shrinks back.
+        report = service.apply_updates(num_shards=2)
+        assert report["resized"] and report["shard_count"] == 2
+        assert service.statistics()["workers_alive"] == 2
+        assert service.statistics()["delta"]["shard_count_changes"] == 2
+        for query in QUERIES:
+            assert scores(service.top_k(query, 6)) == scores(
+                fresh.top_k(query, 6)
+            )
+        with pytest.raises(ServiceError):
+            service.apply_updates(num_shards=0)
+
+
+def test_seeded_interleaved_schedules_match_fresh_rebuild(small_graph):
+    """Differential check, sharded at 2 shards: a seeded interleaving of
+    delta updates, queries, and compactions keeps every answer equal to
+    a fresh flat engine on a shadow graph tracking the same mutations."""
+    import random
+
+    rng = random.Random(20250807)
+    shadow = small_graph.copy()
+    labels = sorted(shadow.labels())
+    with ShardedMatchService(small_graph, num_shards=2) as service:
+        fresh = MatchEngine(shadow)
+        next_node = 100
+        for step in range(12):
+            op = rng.choice(("update", "query", "query", "compact"))
+            if op == "update":
+                kind = rng.choice(("add", "remove", "node_add", "relabel"))
+                if kind == "add":
+                    nodes = sorted(shadow.nodes())
+                    tail, head = rng.sample(nodes, 2)
+                    if shadow.has_edge(tail, head):
+                        shadow.remove_edge(tail, head)
+                        service.apply_updates(edges_removed=[(tail, head)])
+                    else:
+                        weight = rng.randint(1, 4)
+                        shadow.add_edge(tail, head, weight)
+                        service.apply_updates(
+                            edges_added=[(tail, head, weight)]
+                        )
+                elif kind == "remove":
+                    edges = sorted(
+                        (t, h) for t, h, _ in shadow.edges()
+                    )
+                    tail, head = rng.choice(edges)
+                    shadow.remove_edge(tail, head)
+                    service.apply_updates(edges_removed=[(tail, head)])
+                elif kind == "node_add":
+                    node = f"nw{next_node}"
+                    next_node += 1
+                    label = rng.choice(labels)
+                    shadow.add_node(node, label)
+                    service.apply_updates(nodes_added={node: label})
+                else:
+                    node = rng.choice(sorted(shadow.nodes()))
+                    label = rng.choice(labels)
+                    shadow.relabel_node(node, label)
+                    service.apply_updates(labels_changed={node: label})
+                fresh = MatchEngine(shadow)
+            elif op == "compact":
+                report = service.compact()
+                assert report["errors"] == [], report
+            else:
+                query = rng.choice(QUERIES)
+                assert scores(service.top_k(query, 5)) == scores(
+                    fresh.top_k(query, 5)
+                ), (step, query)
+        for query in QUERIES:
+            assert scores(service.top_k(query, 5)) == scores(
+                fresh.top_k(query, 5)
+            )
 
 
 def test_from_manifest_and_from_index(tmp_path, small_graph, flat):

@@ -576,3 +576,69 @@ class TestShardCli:
              "--format", "json", "--out", str(out)]
         ) == 2
         assert "binary-only" in capsys.readouterr().err
+
+
+class TestDeltaCli:
+    @pytest.fixture
+    def durable_family(self, tmp_path, graph_file):
+        """A binary base index plus a WAL holding one pending record."""
+        from repro.delta import WriteAheadLog, records_from_updates
+        from repro.engine import MatchEngine
+        from repro.io import load_graph_tsv
+
+        base = tmp_path / "index.ridx"
+        engine = MatchEngine(load_graph_tsv(graph_file))
+        engine.save_index(base, format="binary")
+        wal_path = tmp_path / "index.wal"
+        with WriteAheadLog(wal_path) as wal:
+            wal.append(records_from_updates(edges_added=[("a0", "c0", 1)]))
+        return base, wal_path
+
+    def test_delta_info_reads_a_wal(self, durable_family, capsys):
+        _base, wal_path = durable_family
+        assert main(["delta", "info", str(wal_path)]) == 0
+        out = capsys.readouterr().out
+        assert "generation: 0" in out
+        assert "records:    1" in out
+        assert "none (segment is clean)" in out
+        assert '"op": "edge_add"' in out
+
+    def test_delta_info_reports_torn_tails(self, durable_family, capsys):
+        _base, wal_path = durable_family
+        with open(wal_path, "ab") as handle:
+            handle.write(b"\xff" * 5)
+        assert main(["delta", "info", str(wal_path)]) == 0
+        out = capsys.readouterr().out
+        assert "5 trailing bytes" in out
+
+    def test_compact_folds_the_wal_into_a_generation(
+        self, durable_family, capsys
+    ):
+        base, wal_path = durable_family
+        assert main(
+            ["compact", "--index", str(base), "--wal", str(wal_path)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "compacted 1 records" in err
+        assert "generation 1" in err
+        assert base.with_name("index.gen-0001.ridx").exists()
+        # The family is now inspectable through `delta info`.
+        assert main(["delta", "info", str(base)]) == 0
+        out = capsys.readouterr().out
+        assert "current:    generation 1" in out
+        assert "gen    1: index.gen-0001.ridx" in out
+        # Nothing pending anymore: the second compact is a no-op...
+        assert main(
+            ["compact", "--index", str(base), "--wal", str(wal_path)]
+        ) == 0
+        assert "nothing to compact" in capsys.readouterr().err
+        # ...unless forced.
+        assert main(
+            ["compact", "--index", str(base), "--wal", str(wal_path),
+             "--force"]
+        ) == 0
+        assert "generation 2" in capsys.readouterr().err
+
+    def test_delta_info_rejects_unrelated_files(self, graph_file, capsys):
+        assert main(["delta", "info", str(graph_file)]) == 2
+        assert "neither a WAL segment" in capsys.readouterr().err

@@ -158,6 +158,86 @@ def test_update_path_never_serves_stale_results(instance, k, data):
 
 @given(
     instance=graph_and_query(max_query_size=4),
+    k=st.integers(1, 8),
+    data=st.data(),
+)
+@fuzz_settings
+def test_delta_overlay_interleaving_matches_eager_rebuild(instance, k, data):
+    """Interleaved update/query/compact schedules on the *delta* path:
+    every read must be byte-identical to a fresh engine rebuilt on a
+    shadow graph tracking the same mutations — before and after any
+    compaction, however the overlay batches stack up."""
+    graph, raw_query = instance
+    query = to_dsl(raw_query)
+    labels = sorted(graph.labels(), key=repr)
+    shadow = graph.copy()
+    next_node = [0]
+
+    def mutate(service):
+        nodes = sorted(shadow.nodes(), key=repr)
+        existing = sorted(
+            ((t, h) for t, h, _ in shadow.edges()), key=repr
+        )
+        addable = [
+            (t, h)
+            for t in nodes
+            for h in nodes
+            if t != h and not shadow.has_edge(t, h)
+        ]
+        operations = ["node_add", "relabel"]
+        if existing:
+            operations.append("remove")
+        if addable:
+            operations.append("add")
+        operation = data.draw(st.sampled_from(sorted(operations)))
+        if operation == "add":
+            tail, head = data.draw(st.sampled_from(addable))
+            weight = data.draw(st.integers(1, 4))
+            shadow.add_edge(tail, head, weight)
+            service.apply_updates(edges_added=[(tail, head, weight)])
+        elif operation == "remove":
+            tail, head = data.draw(st.sampled_from(existing))
+            shadow.remove_edge(tail, head)
+            service.apply_updates(edges_removed=[(tail, head)])
+        elif operation == "node_add":
+            node = f"nw{next_node[0]}"
+            next_node[0] += 1
+            label = data.draw(st.sampled_from(labels))
+            shadow.add_node(node, label)
+            service.apply_updates(nodes_added={node: label})
+        else:
+            node = data.draw(st.sampled_from(nodes))
+            label = data.draw(st.sampled_from(labels))
+            shadow.relabel_node(node, label)
+            service.apply_updates(labels_changed={node: label})
+
+    with MatchService(
+        graph, backend="full", update_policy="delta", max_workers=1,
+        auto_compact=False,
+    ) as service:
+        steps = data.draw(
+            st.lists(
+                st.sampled_from(("update", "query", "compact")),
+                min_size=2,
+                max_size=6,
+            )
+        )
+        for step in steps:
+            if step == "update":
+                mutate(service)
+            elif step == "compact":
+                service.compact()
+            else:
+                fresh = MatchEngine(shadow, backend="full")
+                assert exact(service.top_k(query, k)) == exact(
+                    fresh.top_k(query, k)
+                ), steps
+        fresh = MatchEngine(shadow, backend="full")
+        assert exact(service.top_k(query, k)) == exact(fresh.top_k(query, k))
+
+
+@given(
+    instance=graph_and_query(max_query_size=4),
     k=st.integers(1, 10),
     backend=st.sampled_from(BACKENDS),
 )
