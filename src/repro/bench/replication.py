@@ -1,0 +1,152 @@
+"""Replicated-shard failover benchmark (BENCH schema v5 section).
+
+Measures what replication buys on the serving path: the same
+deterministic workload is driven through a
+:class:`~repro.service.ShardedMatchService` three ways —
+
+* **baseline** — R=2, nobody dies (the steady-state cost of the
+  replicated tier);
+* **failover** — R=2, one replica of *every* shard is SIGKILL'd
+  mid-run; subsequent scatters fail over to the surviving peer while
+  the dead worker respawns in the background, so no request ever sees
+  a ``ShardUnavailableError``;
+* **single_restart** — R=1, the sole worker of every shard is
+  SIGKILL'd mid-run; the next scatter to each shard has nowhere to
+  fail over and pays the full inline worker restart (engine rebuild
+  included) before it can answer.
+
+The post-kill tail latency of the failover run against the
+single-restart run (``failover_post_kill_p99_speedup``) is the
+headline: it is the availability gap replication closes.  All calls
+are timed from one client thread so every post-kill request is
+attributed precisely; as with the sharding section, ``cpu_count`` is
+recorded and the validator checks shape, never speedups.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bench.sharding import _percentile
+from repro.bench.suite import build_workload
+from repro.query import to_dsl
+from repro.service import ShardedMatchService
+
+#: The fixed scenario; ``quick=True`` shrinks it for CI smoke runs.
+FULL_SCENARIO = {
+    "nodes": 300,
+    "labels": 10,
+    "requests": 60,
+    "kill_at": 20,
+    "k": 10,
+    "num_queries": 3,
+    "shards": 2,
+    "replication": 2,
+}
+QUICK_SCENARIO = {
+    "nodes": 120,
+    "labels": 8,
+    "requests": 18,
+    "kill_at": 6,
+    "k": 5,
+    "num_queries": 2,
+    "shards": 2,
+    "replication": 2,
+}
+
+
+def _drive_with_kill(
+    service, queries, requests: int, k: int, kill_at: int | None
+) -> dict:
+    """Serial request loop; SIGKILL one replica per shard at ``kill_at``.
+
+    Victim selection is deliberately brutal: the *preferred* replica
+    (index 0) of every shard dies at once, so the very next scatter to
+    each shard hits the failure path.  Latencies before and after the
+    kill are kept separately — the post-kill figures are the ones the
+    replication section exists to record.
+    """
+    pre: list[float] = []
+    post: list[float] = []
+    service.top_k(queries[0], k)  # warm pipes/caches: measure steady state
+    started = time.perf_counter()
+    for index in range(requests):
+        if kill_at is not None and index == kill_at:
+            for group in service._shards:
+                group.replicas[0].process.kill()
+        query = queries[index % len(queries)]
+        call_started = time.perf_counter()
+        service.top_k(query, k)
+        elapsed = time.perf_counter() - call_started
+        (post if kill_at is not None and index >= kill_at else pre).append(
+            elapsed
+        )
+    wall = time.perf_counter() - started
+    pre.sort()
+    post.sort()
+    stats = service.statistics()
+    run = {
+        "requests": requests,
+        "wall_seconds": wall,
+        "throughput_qps": requests / wall if wall else 0.0,
+        "p50_ms": _percentile(sorted(pre + post), 0.50) * 1e3,
+        "p99_ms": _percentile(sorted(pre + post), 0.99) * 1e3,
+        "failovers": stats["failovers"],
+        "worker_restarts": stats["worker_restarts"],
+    }
+    if kill_at is not None:
+        run.update(
+            {
+                "kill_at": kill_at,
+                "post_kill_p50_ms": _percentile(post, 0.50) * 1e3,
+                "post_kill_p99_ms": _percentile(post, 0.99) * 1e3,
+                "post_kill_max_ms": (post[-1] if post else 0.0) * 1e3,
+            }
+        )
+    return run
+
+
+def replication_failover(quick: bool = False, seed: int = 0, **overrides) -> dict:
+    """Run the scenario and return the BENCH v5 ``replication`` section."""
+    scenario = dict(QUICK_SCENARIO if quick else FULL_SCENARIO)
+    scenario.update({k: v for k, v in overrides.items() if v is not None})
+    graph, query_trees = build_workload(
+        scenario["nodes"], scenario["labels"], seed, scenario["num_queries"]
+    )
+    queries = [to_dsl(query) for query in query_trees]
+    requests, k = scenario["requests"], scenario["k"]
+    shards, replication = scenario["shards"], scenario["replication"]
+    kill_at = scenario["kill_at"]
+
+    with ShardedMatchService(
+        graph, num_shards=shards, replication=replication
+    ) as service:
+        baseline = _drive_with_kill(service, queries, requests, k, None)
+    with ShardedMatchService(
+        graph, num_shards=shards, replication=replication
+    ) as service:
+        failover = _drive_with_kill(service, queries, requests, k, kill_at)
+    with ShardedMatchService(graph, num_shards=shards) as service:
+        single_restart = _drive_with_kill(service, queries, requests, k, kill_at)
+
+    restart_p99 = single_restart["post_kill_p99_ms"]
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "labels": len(graph.labels()),
+        "seed": seed,
+        "k": k,
+        "queries": queries,
+        "shards": shards,
+        "replication": replication,
+        "baseline": baseline,
+        "failover": failover,
+        "single_restart": single_restart,
+        "failover_post_kill_p99_speedup": (
+            restart_p99 / failover["post_kill_p99_ms"]
+            if failover["post_kill_p99_ms"]
+            else 0.0
+        ),
+    }

@@ -40,11 +40,18 @@ recorded the platform-dependent number unchecked).
   folds the overlay into the next ``.ridx`` generation
   (see :mod:`repro.bench.mixed_rw`).
 
+* a **replicated-shard failover comparison** (since schema version 5):
+  post-kill tail latency of an R=2 sharded service failing over to the
+  surviving replica versus an R=1 service paying the full inline
+  worker restart, on the same SIGKILL-one-worker-per-shard schedule
+  (see :mod:`repro.bench.replication`).
+
 The document schema is validated by :func:`validate_bench_document`
 (also exposed as ``repro bench validate``) so CI can gate on it; the
 committed ``BENCH_PR4.json`` (v1), ``BENCH_PR5.json`` (v2),
-``BENCH_PR6.json`` (v3), and ``BENCH_PR7.json`` (v4) at the repo root
-are the entries of the trajectory so far.
+``BENCH_PR6.json`` (v3), ``BENCH_PR7.json`` (v4), and
+``BENCH_PR8.json`` (v5) at the repo root are the entries of the
+trajectory so far.
 """
 
 from __future__ import annotations
@@ -70,7 +77,7 @@ from repro.query import to_dsl
 from repro.storage.blocks import TableDirectory
 
 BENCH_KIND = "repro-bench-suite"
-BENCH_VERSION = 4
+BENCH_VERSION = 5
 
 #: The fixed matrix; ``--quick`` shrinks it for CI smoke runs.
 FULL_MATRIX = {
@@ -451,6 +458,7 @@ def run_suite(quick: bool = False, seed: int = 0, **overrides) -> dict:
     # build_workload from this module, so top-level imports would be
     # circular.
     from repro.bench.mixed_rw import mixed_rw_benchmark
+    from repro.bench.replication import replication_failover
     from repro.bench.sharding import sharded_scatter_gather
 
     return {
@@ -479,6 +487,7 @@ def run_suite(quick: bool = False, seed: int = 0, **overrides) -> dict:
         ),
         "sharding": sharded_scatter_gather(quick=quick, seed=seed),
         "mixed_rw": mixed_rw_benchmark(quick=quick, seed=seed),
+        "replication": replication_failover(quick=quick, seed=seed),
         "peak_rss_bytes": peak_rss_bytes(),
         "peak_rss_unit": "bytes",
     }
@@ -530,6 +539,8 @@ _V2_FIELDS = {
 _V3_FIELDS = dict(_V2_FIELDS, sharding=dict)
 #: v4 adds the mixed read/write (delta overlay) serving section.
 _V4_FIELDS = dict(_V3_FIELDS, mixed_rw=dict)
+#: v5 adds the replicated-shard failover section.
+_V5_FIELDS = dict(_V4_FIELDS, replication=dict)
 _SHARDING_RUN_FIELDS = {
     "requests": int,
     "wall_seconds": (int, float),
@@ -667,6 +678,55 @@ def _validate_mixed_rw(mixed: dict, errors: list[str]) -> None:
                 errors.append(f"mixed_rw.{name}.{field} is negative")
 
 
+_REPLICATION_RUN_FIELDS = {
+    "requests": int,
+    "wall_seconds": (int, float),
+    "throughput_qps": (int, float),
+    "p50_ms": (int, float),
+    "p99_ms": (int, float),
+    "failovers": int,
+    "worker_restarts": int,
+}
+_REPLICATION_KILL_FIELDS = dict(
+    _REPLICATION_RUN_FIELDS,
+    kill_at=int,
+    post_kill_p50_ms=(int, float),
+    post_kill_p99_ms=(int, float),
+    post_kill_max_ms=(int, float),
+)
+
+
+def _validate_replication(replication: dict, errors: list[str]) -> None:
+    for field in (
+        "cpu_count", "nodes", "seed", "k", "queries", "shards", "replication"
+    ):
+        if field not in replication:
+            errors.append(f"replication missing {field!r}")
+    speedup = replication.get("failover_post_kill_p99_speedup")
+    if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
+        errors.append("replication.failover_post_kill_p99_speedup is not a number")
+    elif speedup < 0:
+        errors.append("replication.failover_post_kill_p99_speedup is negative")
+    for name, shape in (
+        ("baseline", _REPLICATION_RUN_FIELDS),
+        ("failover", _REPLICATION_KILL_FIELDS),
+        ("single_restart", _REPLICATION_KILL_FIELDS),
+    ):
+        run = replication.get(name)
+        if not isinstance(run, dict):
+            errors.append(f"replication.{name} is not an object")
+            continue
+        for field, kind in shape.items():
+            if field not in run:
+                errors.append(f"replication.{name} missing {field!r}")
+            elif not isinstance(run[field], kind) or isinstance(
+                run[field], bool
+            ):
+                errors.append(f"replication.{name}.{field} is not {kind}")
+            elif run[field] < 0:
+                errors.append(f"replication.{name}.{field} is negative")
+
+
 def validate_bench_document(document) -> list[str]:
     """Schema errors of a BENCH document (empty list == valid).
 
@@ -674,14 +734,15 @@ def validate_bench_document(document) -> list[str]:
     normalized memory accounting — ``peak_rss_bytes`` with
     ``peak_rss_unit == "bytes"`` asserted — plus the cold-start
     comparison section), version 3 (additionally *requires* the sharded
-    scatter-gather serving section), and version 4, which additionally
-    requires the mixed read/write delta-overlay serving section.
+    scatter-gather serving section), version 4 (additionally requires
+    the mixed read/write delta-overlay serving section), and version 5,
+    which additionally requires the replicated-shard failover section.
     """
     errors: list[str] = []
     if not isinstance(document, dict):
         return ["document is not a JSON object"]
     version = document.get("version")
-    if version not in (1, 2, 3, BENCH_VERSION):
+    if version not in (1, 2, 3, 4, BENCH_VERSION):
         return [f"unsupported version {version!r}"]
     fields = dict(_TOP_FIELDS)
     if version == 1:
@@ -690,8 +751,10 @@ def validate_bench_document(document) -> list[str]:
         fields.update(_V2_FIELDS)
     elif version == 3:
         fields.update(_V3_FIELDS)
-    else:
+    elif version == 4:
         fields.update(_V4_FIELDS)
+    else:
+        fields.update(_V5_FIELDS)
     for field, kind in fields.items():
         if field not in document:
             errors.append(f"missing field {field!r}")
@@ -713,6 +776,8 @@ def validate_bench_document(document) -> list[str]:
         _validate_sharding(document["sharding"], errors)
     if version >= 4:
         _validate_mixed_rw(document["mixed_rw"], errors)
+    if version >= 5:
+        _validate_replication(document["replication"], errors)
     for index, cell in enumerate(document["cells"]):
         if not isinstance(cell, dict):
             errors.append(f"cells[{index}] is not an object")
@@ -880,6 +945,36 @@ def print_suite_report(document: dict) -> None:
             title=(
                 "mixed r/w: read latency "
                 f"(compaction took {mixed['compaction_seconds']:.3f}s)"
+            ),
+        )
+    replication = document.get("replication")
+    if replication is not None:
+        rows = []
+        for label, name in (
+            (f"R={replication['replication']} steady", "baseline"),
+            (f"R={replication['replication']} failover", "failover"),
+            ("R=1 restart", "single_restart"),
+        ):
+            run = replication[name]
+            rows.append(
+                [
+                    label,
+                    f"{run['throughput_qps']:.1f}",
+                    f"{run['p99_ms']:.2f}",
+                    f"{run.get('post_kill_p99_ms', 0.0):.2f}"
+                    if "post_kill_p99_ms" in run else "-",
+                    run["failovers"],
+                    run["worker_restarts"],
+                ]
+            )
+        print_table(
+            ["serving", "qps", "p99 ms", "post-kill p99", "failovers", "restarts"],
+            rows,
+            title=(
+                f"replicated failover ({replication['shards']} shards, "
+                "kill one worker/shard: failover post-kill p99 "
+                f"{replication['failover_post_kill_p99_speedup']:.1f}x "
+                "better than inline restart)"
             ),
         )
     if "peak_rss_bytes" in document:

@@ -10,7 +10,7 @@ Subcommands::
     python -m repro.cli index   --graph g.tsv --backend full --out g.ridx
     python -m repro.cli serve-bench --nodes 300 --requests 120 --workers 1,4
     python -m repro.cli bench   suite --quick --out BENCH_SMOKE.json
-    python -m repro.cli bench   validate BENCH_PR7.json
+    python -m repro.cli bench   validate BENCH_PR8.json
     python -m repro.cli compact --index g.ridx --wal g.wal
     python -m repro.cli delta   info g.wal
     python -m repro.cli generate --family citation --nodes 1000 --out g.tsv
@@ -168,6 +168,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "a checksummed manifest at --out (binary format only); "
         "--load-index on the manifest boots a scatter-gather engine",
     )
+    index.add_argument(
+        "--replication", type=int, metavar="R", default=1,
+        help="record a replication factor in the shard manifest: the "
+        "sharded service spawns R workers per shard and fails queries "
+        "over between them (requires --shards)",
+    )
 
     shard = sub.add_parser(
         "shard", help="inspect sharded indexes (manifest + shard files)"
@@ -181,6 +187,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true",
         help="additionally re-hash every shard file against its recorded "
         "SHA-256 (slow, paranoid)",
+    )
+    sinfo.add_argument(
+        "--wal", metavar="DIR",
+        help="also report the per-shard write-ahead segments under DIR "
+        "(generation vs. manifest epoch, pending records, torn tails)",
     )
 
     serve = sub.add_parser(
@@ -224,8 +235,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shrunken matrix for CI smoke runs",
     )
     bsuite.add_argument(
-        "--out", default="BENCH_PR7.json",
-        help="output JSON path (default: BENCH_PR7.json)",
+        "--out", default="BENCH_PR8.json",
+        help="output JSON path (default: BENCH_PR8.json)",
     )
     bsuite.add_argument(
         "--nodes", type=int, default=None,
@@ -423,6 +434,9 @@ def _cmd_index(args) -> int:
         if args.shards < 1:
             print("error: --shards needs a positive count", file=sys.stderr)
             return 2
+        if args.replication < 1:
+            print("error: --replication needs a positive count", file=sys.stderr)
+            return 2
         if args.format != "binary":
             print(
                 "error: sharded indexes are binary-only; drop --format",
@@ -434,18 +448,23 @@ def _cmd_index(args) -> int:
         started = time.perf_counter()
         document = shard_index(
             graph, args.out, args.shards,
+            replication=args.replication,
             backend=args.backend, workload=tuple(workload) or None,
         )
         built = time.perf_counter() - started
         total_bytes = sum(entry["bytes"] for entry in document["shards"])
         print(
             f"built {document['shard_count']} shards "
-            f"(requested {args.shards}) in {built:.2f}s; "
+            f"(requested {args.shards}, replication "
+            f"{document.get('replication', 1)}) in {built:.2f}s; "
             f"manifest {args.out} + {total_bytes / 1e6:.1f} MB of shard "
             f"files, epoch {document['epoch']}",
             file=sys.stderr,
         )
         return 0
+    if args.replication != 1:
+        print("error: --replication requires --shards", file=sys.stderr)
+        return 2
     started = time.perf_counter()
     engine = MatchEngine(
         graph, backend=args.backend, workload=tuple(workload) or None
@@ -477,7 +496,8 @@ def _cmd_shard(args) -> int:
     )
     print(
         f"shards:    {document['shard_count']} "
-        f"(requested {document.get('requested_shards', document['shard_count'])})"
+        f"(requested {document.get('requested_shards', document['shard_count'])}), "
+        f"replication {document.get('replication', 1)}"
     )
     for entry, file_path in zip(document["shards"], shard_paths(document, args.manifest)):
         span = entry["span"]
@@ -499,6 +519,37 @@ def _cmd_shard(args) -> int:
         + (", per-file SHA-256 verified" if args.verify else
            " (use --verify to re-hash shard files)")
     )
+    if args.wal:
+        from pathlib import Path as _Path
+
+        from repro.delta import scan_wal
+
+        epoch = document.get("epoch", 0)
+        wal_dir = _Path(args.wal)
+        print(f"wal dir:   {wal_dir}")
+        for entry in document["shards"]:
+            segment = wal_dir / f"shard-{entry['index']:02d}.wal"
+            if not segment.exists():
+                print(f"  shard {entry['index']:2d}: no segment ({segment.name})")
+                continue
+            scan = scan_wal(segment)
+            state = (
+                "stale (will be discarded on boot)"
+                if scan.generation < epoch
+                else "ahead of manifest (refused on boot)"
+                if scan.generation > epoch
+                else "current"
+            )
+            torn = (
+                f", torn tail ({scan.dropped_bytes} bytes)"
+                if scan.truncated_tail
+                else ""
+            )
+            print(
+                f"  shard {entry['index']:2d}: generation {scan.generation} "
+                f"({state}), {len(scan.records)} pending records, "
+                f"{scan.good_bytes} good bytes{torn}"
+            )
     return 0
 
 

@@ -40,7 +40,7 @@ from repro.delta.view import (
     fold,
     fold_graph,
 )
-from repro.delta.wal import WalScan, WriteAheadLog, scan_wal
+from repro.delta.wal import WalScan, WriteAheadLog, fsync_dir, scan_wal
 
 __all__ = [
     "CompactionPolicy",
@@ -63,6 +63,7 @@ __all__ = [
     "encode_record",
     "fold",
     "fold_graph",
+    "fsync_dir",
     "manifest_path_for",
     "records_from_updates",
     "resolve_index_path",

@@ -70,6 +70,7 @@ class Compactor:
         self.ticks = 0
         self.errors = 0
         self.last_error: str | None = None
+        self.stop_timed_out = False
         self._thread.start()
 
     @property
@@ -94,10 +95,19 @@ class Compactor:
             finally:
                 self.ticks += 1
 
-    def stop(self, timeout: float = 5.0) -> None:
+    def stop(self, timeout: float = 5.0) -> bool:
+        """Stop the thread; ``True`` when it actually exited.
+
+        A tick stuck past ``timeout`` leaves the daemon thread alive —
+        that is recorded (``stop_timed_out``, also in :meth:`stats`)
+        instead of silently leaking, so the owning service can report
+        it.  A later successful stop clears the flag.
+        """
         self._stopped.set()
         self._wake.set()
         self._thread.join(timeout=timeout)
+        self.stop_timed_out = self._thread.is_alive()
+        return not self.stop_timed_out
 
     def stats(self) -> dict:
         return {
@@ -106,6 +116,7 @@ class Compactor:
             "ticks": self.ticks,
             "errors": self.errors,
             "last_error": self.last_error,
+            "stop_timed_out": self.stop_timed_out,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -35,6 +35,7 @@ import os
 import time
 from pathlib import Path
 
+from repro.delta.wal import fsync_dir
 from repro.exceptions import DeltaError
 
 MANIFEST_KIND = "repro-delta-generations"
@@ -129,6 +130,7 @@ class GenerationStore:
         tmp = path.with_name(path.name + ".tmp")
         engine.save_index(tmp, format="binary")
         os.replace(tmp, path)
+        fsync_dir(path.parent)
         document = self.load_manifest() or {
             "kind": MANIFEST_KIND,
             "version": MANIFEST_VERSION,
@@ -153,6 +155,7 @@ class GenerationStore:
             json.dumps(document, indent=2, sort_keys=True), encoding="utf-8"
         )
         os.replace(manifest_tmp, self.manifest_path)
+        fsync_dir(self.manifest_path.parent)
         return generation, path
 
     def stale_wal(self, wal_generation: int) -> bool:

@@ -54,6 +54,31 @@ def _pack_header(generation: int) -> bytes:
     return _HEADER.pack(_MAGIC, _VERSION, b"\x00\x00\x00", generation)
 
 
+def fsync_dir(path: str | Path) -> None:
+    """fsync the directory ``path`` so a rename inside it is durable.
+
+    ``os.replace`` makes the new name *visible* atomically, but the
+    rename itself lives in the directory inode — until that inode is
+    flushed, a power loss can roll the directory back to the old entry.
+    No-op on platforms without ``O_DIRECTORY`` (the rename is still
+    atomic there, just not provably durable), and best-effort on
+    filesystems that refuse to fsync directories.
+    """
+    flag = getattr(os, "O_DIRECTORY", None)
+    if flag is None:  # pragma: no cover - platform-dependent
+        return
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY | flag)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - exotic filesystems
+        pass
+    finally:
+        os.close(fd)
+
+
 @dataclass(frozen=True)
 class WalScan:
     """What one pass over a segment found."""
@@ -198,8 +223,13 @@ class WriteAheadLog:
         """Atomically replace the segment (the compaction truncation).
 
         A fresh segment is written beside the live one and swapped in
-        with ``os.replace``, so a crash at any point leaves either the
-        full old segment or the full new one — never a half segment.
+        with ``os.replace`` followed by a parent-directory fsync, so a
+        crash at any point leaves either the full old segment or the
+        full new one — never a half segment.
+        If the swap or the reopen fails, the object stays usable when
+        the old segment is still intact, and otherwise closes itself so
+        later appends raise :class:`~repro.exceptions.WalError` rather
+        than a raw ``ValueError`` on a closed file.
         """
         tmp = self.path.with_name(self.path.name + ".tmp")
         with open(tmp, "wb") as handle:
@@ -214,8 +244,26 @@ class WriteAheadLog:
         with self._lock:
             self._check_open()
             self._file.close()
-            os.replace(tmp, self.path)
-            self._file = open(self.path, "r+b")
+            try:
+                os.replace(tmp, self.path)
+                fsync_dir(self.path.parent)
+                self._file = open(self.path, "r+b")
+            except BaseException:
+                # Whichever segment won the race for self.path is a
+                # complete one; try to resume on it.  If even the
+                # reopen fails, mark the log closed so the failure
+                # mode stays typed.
+                try:
+                    self._file = open(self.path, "r+b")
+                except OSError:
+                    self._closed = True
+                    raise
+                header = self._file.read(HEADER_SIZE)
+                if len(header) == HEADER_SIZE:
+                    self.generation = _HEADER.unpack(header)[3]
+                self._file.seek(0, os.SEEK_END)
+                self._size = self._file.tell()
+                raise
             self._file.seek(0, os.SEEK_END)
             self._size = self._file.tell()
             self.generation = generation

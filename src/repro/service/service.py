@@ -896,16 +896,24 @@ class MatchService:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def close(self, wait: bool = True) -> None:
-        """Stop accepting requests and shut the worker pool down."""
+    def close(self, wait: bool = True) -> bool:
+        """Stop accepting requests and shut the worker pool down.
+
+        Returns ``True`` when everything shut down cleanly; ``False``
+        when the background compactor failed to stop within its join
+        timeout (the leak is also visible as
+        ``statistics()["delta"]["compactor"]["stop_timed_out"]``).
+        """
         self._closed = True
         compactor = self._compactor
+        stopped = True
         if compactor is not None:
-            compactor.stop()
+            stopped = compactor.stop()
         self._pool.shutdown(wait=wait)
         wal = self._log.wal
         if wal is not None:
             wal.close()
+        return stopped
 
     def __enter__(self) -> "MatchService":
         return self

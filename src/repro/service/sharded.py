@@ -43,6 +43,29 @@ Design:
   asks every worker to fold now.  ``apply_updates(...,
   num_shards=...)`` additionally re-spreads the graph over a different
   worker count in the same epoch-consistent swap.
+* **Replicated shards with failover** — ``replication=R`` spawns R
+  workers per shard (a :class:`_ShardGroup`), all serving the same
+  subgraph.  Reads round-robin across live replicas; a replica that is
+  dead or misses its slice of the deadline fails over to a peer (the
+  first attempt gets half the remaining budget so a hung replica
+  leaves room for the retry), and dead replicas respawn in the
+  background off the read path — a single worker kill neither degrades
+  answers nor blocks a scatter on a reboot.  Updates broadcast to every
+  replica, so the whole group moves epochs together.
+* **Per-shard write-ahead durability** — with ``wal_path`` set, every
+  ``apply_updates`` appends its record batch to one WAL segment per
+  shard (``shard-NN.wal``, generation-stamped with the manifest epoch
+  it applies on top of) *before* any worker sees the new epoch.  The
+  segments are replicas of the same global record stream — delta
+  records cannot express a shard-local view (member sets shrink on
+  re-plan, and records have no node-remove), and replicating the log
+  means any one surviving segment recovers the full write history.
+  Boot replays the longest segment over the manifest base (stale
+  segments — older generation than the manifest, the crash window
+  between checkpoint and truncate — are discarded per shard), and
+  ``compact()`` on a manifest-backed service checkpoints durably:
+  re-shard the folded graph at the current epoch, then truncate every
+  segment at the new stamp.
 """
 
 from __future__ import annotations
@@ -59,6 +82,7 @@ import repro.exceptions as _exceptions
 from repro.core.matches import Match
 from repro.delta.records import records_from_updates
 from repro.delta.view import apply_records
+from repro.delta.wal import WriteAheadLog, scan_wal
 from repro.engine.config import EngineConfig
 from repro.exceptions import (
     DeadlineExceededError,
@@ -75,7 +99,7 @@ from repro.graph.digraph import LabeledDiGraph
 from repro.graph.query import WILDCARD
 from repro.query.compiler import CompiledQuery, compile_query
 from repro.shard.engine import _union_graph
-from repro.shard.manifest import load_manifest, shard_paths
+from repro.shard.manifest import load_manifest, shard_index, shard_paths
 from repro.shard.merge import merge_topk
 from repro.shard.plan import ShardPlan
 from repro.shard.worker import worker_main
@@ -115,23 +139,31 @@ class _ShardWorker:
     respawned from its boot spec rather than left desynchronized.
     """
 
-    def __init__(self, index: int, ctx, boot: dict) -> None:
+    def __init__(self, index: int, ctx, boot: dict, replica: int = 0) -> None:
         self.index = index
+        self.replica = replica
         self._ctx = ctx
         self._boot = boot
         self.lock = threading.Lock()
         self.restarts = 0
+        #: Bumped by every (re)spawn.  A caller whose request just blew
+        #: up captures the incarnation it failed against; restarting is
+        #: then conditional on the incarnation being unchanged, which is
+        #: immune to the SIGKILL-to-waitpid race where a freshly killed
+        #: process still reads as alive.
+        self.incarnation = 0
         self.process = None
         self.conn = None
         self._spawn()
 
     # -- lifecycle ------------------------------------------------------
     def _spawn(self) -> None:
+        self.incarnation += 1
         parent, child = self._ctx.Pipe()
         process = self._ctx.Process(
             target=worker_main,
             args=(child, self._boot),
-            name=f"repro-shard-{self.index}",
+            name=f"repro-shard-{self.index}.{self.replica}",
             daemon=True,
         )
         process.start()
@@ -235,6 +267,223 @@ class _ShardWorker:
             self.lock.release()
 
 
+class _ShardGroup:
+    """All replicas of one shard: failover reads, broadcast writes.
+
+    Reads rotate a round-robin cursor over the replicas and fail over
+    to the next live peer when the preferred one is dead or misses its
+    slice of the deadline; a dead replica is respawned on a background
+    thread so the scatter path never blocks on a boot (except as a last
+    resort when *every* replica is down).  Update ops broadcast to all
+    replicas so the group changes epochs as a unit — a replica that
+    misses a broadcast because it was dead is restarted from the new
+    boot spec instead.
+    """
+
+    def __init__(self, index: int, ctx, boot: dict, replication: int) -> None:
+        self.index = index
+        self._ctx = ctx
+        self.replicas: list[_ShardWorker] = []
+        try:
+            for replica in range(replication):
+                self.replicas.append(_ShardWorker(index, ctx, boot, replica))
+        except BaseException:
+            self.shutdown()
+            raise
+        self._rr = 0
+        self._rr_lock = threading.Lock()
+        self.failovers = 0
+        self.background_restarts = 0
+
+    # -- introspection --------------------------------------------------
+    @property
+    def replication(self) -> int:
+        return len(self.replicas)
+
+    @property
+    def alive_count(self) -> int:
+        return sum(1 for worker in self.replicas if worker.alive)
+
+    @property
+    def restarts(self) -> int:
+        return sum(worker.restarts for worker in self.replicas)
+
+    # -- reads ----------------------------------------------------------
+    def _read_order(self) -> list[_ShardWorker]:
+        """Replicas in attempt order: round-robin, live ones first."""
+        with self._rr_lock:
+            start = self._rr
+            self._rr = (self._rr + 1) % len(self.replicas)
+        rotated = self.replicas[start:] + self.replicas[:start]
+        return [w for w in rotated if w.alive] + [
+            w for w in rotated if not w.alive
+        ]
+
+    def _restart_in_background(
+        self, worker: _ShardWorker, incarnation: int
+    ) -> None:
+        """Respawn a broken replica off the read path (at most one at a
+        time per replica — a held lock means someone is already on it).
+
+        ``incarnation`` is the worker incarnation the caller's request
+        failed against: the respawn is skipped when someone else already
+        replaced it, and happens regardless of ``is_alive()`` otherwise
+        (a broken pipe condemns the incarnation even while the killed
+        process awaits its waitpid).
+        """
+        if not worker.lock.acquire(blocking=False):
+            return
+
+        def _revive() -> None:
+            try:
+                if worker.incarnation == incarnation:
+                    self.background_restarts += 1
+                    worker.restart()
+            except ReproError:
+                pass  # stays dead; the next failover tries again
+            finally:
+                worker.lock.release()
+
+        threading.Thread(
+            target=_revive,
+            name=f"repro-shard-{self.index}.{worker.replica}-revive",
+            daemon=True,
+        ).start()
+
+    def query(
+        self,
+        compiled: CompiledQuery,
+        k: int,
+        algorithm: str | None,
+        expires_at: float | None,
+        restart_workers: bool,
+    ):
+        """One shard's reply tuple, trying replicas until one answers.
+
+        Non-final attempts get at most half the remaining deadline
+        budget, so a hung replica still leaves its peer enough time to
+        answer; the final attempt gets whatever remains, and is the
+        only one allowed to restart a dead worker inline.
+        """
+        candidates = self._read_order()
+        if restart_workers:
+            # Revive dead replicas the rotation is about to skip — a
+            # replica nobody queries must not stay dead forever.
+            for worker in candidates:
+                if not worker.alive:
+                    self._restart_in_background(worker, worker.incarnation)
+        last = len(candidates) - 1
+        last_error: Exception | None = None
+        for position, worker in enumerate(candidates):
+            final = position == last
+            attempt_expires = expires_at
+            if expires_at is not None and not final:
+                now = time.monotonic()
+                attempt_expires = min(
+                    expires_at, now + (expires_at - now) / 2.0
+                )
+            incarnation = worker.incarnation
+            try:
+                return self._attempt(
+                    worker,
+                    compiled,
+                    k,
+                    algorithm,
+                    attempt_expires,
+                    restart_inline=final and restart_workers,
+                )
+            except ShardUnavailableError as exc:
+                last_error = exc
+                if restart_workers:
+                    self._restart_in_background(worker, incarnation)
+                if final:
+                    raise
+                self.failovers += 1
+            except DeadlineExceededError as exc:
+                # _recv poisoned (terminated) the hung worker; revive it
+                # in the background and spend the rest of the budget on
+                # a peer.
+                last_error = exc
+                if restart_workers:
+                    self._restart_in_background(worker, incarnation)
+                if final:
+                    raise
+                self.failovers += 1
+        raise last_error  # pragma: no cover - loop always raises/returns
+
+    def _attempt(
+        self,
+        worker: _ShardWorker,
+        compiled: CompiledQuery,
+        k: int,
+        algorithm: str | None,
+        expires_at: float | None,
+        restart_inline: bool,
+    ):
+        incarnation = worker.incarnation
+        try:
+            return worker.call("query", (compiled, k, algorithm), expires_at)
+        except ShardUnavailableError:
+            if not restart_inline:
+                raise
+            with worker.lock:
+                if worker.incarnation == incarnation:
+                    worker.restart()
+            return worker.call("query", (compiled, k, algorithm), expires_at)
+
+    # -- writes ---------------------------------------------------------
+    def broadcast(self, op: str, payload: tuple, boot: dict) -> None:
+        """Ship one update op to every replica.
+
+        A dead replica is restarted from the *new* boot spec (which is
+        equivalent to having applied the op); a live replica that
+        rejects the op fails the whole update.
+        """
+        for worker in self.replicas:
+            try:
+                reply = worker.call(op, payload, None)
+            except ShardUnavailableError:
+                with worker.lock:
+                    worker._boot = boot
+                    worker.restart()
+                reply = ("ok", None)
+            if reply[0] != "ok":
+                raise ServiceError(
+                    f"shard {self.index} (replica {worker.replica}) "
+                    f"rejected the update: {reply[2]}"
+                )
+            worker._boot = boot
+
+    def set_boot(self, boot: dict) -> None:
+        for worker in self.replicas:
+            worker._boot = boot
+
+    def compact(self, expires_at: float | None) -> tuple[int, list[str]]:
+        """Ask every replica to fold; returns ``(ok_count, errors)``."""
+        oks = 0
+        errors: list[str] = []
+        for worker in self.replicas:
+            try:
+                reply = worker.call("compact", (), expires_at)
+            except (ShardError, ServiceError) as exc:
+                errors.append(
+                    f"shard {self.index}.{worker.replica}: {exc}"
+                )
+                continue
+            if reply[0] == "ok":
+                oks += 1
+            else:
+                errors.append(
+                    f"shard {self.index}.{worker.replica}: {reply[2]}"
+                )
+        return oks, errors
+
+    # -- lifecycle ------------------------------------------------------
+    def shutdown(self) -> None:
+        for worker in self.replicas:
+            worker.shutdown()
+
+
 class ShardedMatchService:
     """Scatter-gather serving over one worker process per shard.
 
@@ -261,11 +510,17 @@ class ShardedMatchService:
         restart_workers: bool = True,
         update_policy: str = "auto",
         delta_batch_limit: int = 64,
+        replication: int | None = None,
+        wal_path: str | Path | None = None,
         **overrides,
     ) -> None:
         if (graph is None) == (manifest is None):
             raise ServiceError(
                 "pass exactly one of graph= or manifest= to ShardedMatchService"
+            )
+        if replication is not None and replication < 1:
+            raise ServiceError(
+                f"replication must be >= 1, got {replication}"
             )
         if on_shard_failure not in ("error", "degrade"):
             raise ServiceError(
@@ -314,12 +569,26 @@ class ShardedMatchService:
         self._eager_updates = 0
         self._shard_count_changes = 0
         self._compactions = 0
-        self._workers: list[_ShardWorker] = []
+        self._shards: list[_ShardGroup] = []
+
+        # -- per-shard write-ahead log state ---------------------------
+        self.manifest_path: Path | None = None
+        self._wal_dir = None if wal_path is None else Path(wal_path)
+        self._wals: list[WriteAheadLog] = []
+        #: Every record appended since the segments' generation stamp
+        #: (mirrors the segments; seeds new segments on a resize).
+        self._wal_records: list = []
+        #: The epoch the segments' records apply on top of (the manifest
+        #: epoch at the last durable checkpoint).
+        self._wal_generation = 0
+        self._wal_recovered_records = 0
+        self._wal_stale_discards = 0
 
         if graph is not None:
+            self.replication = replication if replication is not None else 1
             self._graph: LabeledDiGraph | None = graph.copy()
             self._plan: ShardPlan | None = ShardPlan.from_graph(
-                self._graph, num_shards
+                self._graph, num_shards, self.replication
             )
             self.requested_shards = num_shards
             self._owner = {
@@ -339,6 +608,11 @@ class ShardedMatchService:
         else:
             self.manifest_path = Path(manifest)
             document = load_manifest(self.manifest_path)
+            self.replication = (
+                replication
+                if replication is not None
+                else int(document.get("replication", 1))
+            )
             self._graph = None  # reassembled lazily, on first apply_updates
             self._plan = None
             self._epoch = int(document.get("epoch", 0))
@@ -354,14 +628,21 @@ class ShardedMatchService:
                 for path in shard_paths(document, self.manifest_path)
             ]
 
+        if self._wal_dir is not None:
+            boots = self._boot_wals(boots)
+
         try:
             for index, boot in enumerate(boots):
-                self._workers.append(_ShardWorker(index, self._ctx, boot))
+                self._shards.append(
+                    _ShardGroup(index, self._ctx, boot, self.replication)
+                )
         except BaseException:
-            for worker in self._workers:
-                worker.shutdown()
+            for group in self._shards:
+                group.shutdown()
+            for wal in self._wals:
+                wal.close()
             raise
-        self.shard_count = len(self._workers)
+        self.shard_count = len(self._shards)
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="shardedservice"
         )
@@ -380,6 +661,148 @@ class ShardedMatchService:
     ) -> "ShardedMatchService":
         """Serve a sharded index; each worker mmaps only its own shard."""
         return cls(manifest=manifest, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Per-shard write-ahead log
+    # ------------------------------------------------------------------
+    def _wal_segment_path(self, index: int) -> Path:
+        return self._wal_dir / f"shard-{index:02d}.wal"
+
+    def _boot_wals(self, boots: list[dict]) -> list[dict]:
+        """Open one WAL segment per shard; replay what a crash left.
+
+        Each segment carries the same global record stream (see the
+        module docstring for why shard-local streams are unsound), so
+        recovery takes the longest surviving sequence — every shorter
+        segment must be a prefix of it (a crash mid-append tears at
+        most the tail of each).  A segment stamped older than the boot
+        epoch is the checkpoint-then-crash window: its records are
+        already in the shard files, so it is discarded.  Recovered
+        records are replayed onto the assembled base graph, the layout
+        is re-planned one epoch later, and the returned boot specs park
+        each shard's replayed subgraph as a pending overlay.
+        """
+        self._wal_dir.mkdir(parents=True, exist_ok=True)
+        base = self._epoch
+        self._wal_generation = base
+        wals: list[WriteAheadLog] = []
+        sequences: list[tuple] = []
+        try:
+            for index in range(len(boots)):
+                wal = WriteAheadLog(
+                    self._wal_segment_path(index), generation=base
+                )
+                wals.append(wal)
+                if wal.generation < base:
+                    wal.rewrite((), generation=base)
+                    self._wal_stale_discards += 1
+                elif wal.generation > base:
+                    raise ServiceError(
+                        f"WAL segment {wal.path} is stamped generation "
+                        f"{wal.generation}, ahead of the index epoch "
+                        f"{base}; it does not pair with this index"
+                    )
+                else:
+                    sequences.append(wal.recovered_records)
+            # Segments past the shard count are a crashed resize's
+            # leftovers; they hold the same stream, so honour then
+            # drop them.
+            known = {wal.path for wal in wals}
+            for orphan in sorted(self._wal_dir.glob("shard-*.wal")):
+                if orphan in known or orphan.suffix != ".wal":
+                    continue
+                scan = scan_wal(orphan)
+                if scan.generation == base:
+                    sequences.append(scan.records)
+                orphan.unlink()
+            best: tuple = ()
+            for sequence in sequences:
+                if len(sequence) > len(best):
+                    best = sequence
+            for sequence in sequences:
+                if tuple(best[: len(sequence)]) != tuple(sequence):
+                    raise ServiceError(
+                        "per-shard WAL segments disagree (not prefixes "
+                        "of one stream); refusing to guess a replay "
+                        f"order under {self._wal_dir}"
+                    )
+        except BaseException:
+            for wal in wals:
+                wal.close()
+            raise
+        self._wals = wals
+        self._wal_records = list(best)
+        self._wal_recovered_records = len(best)
+        if not best:
+            return boots
+        graph = self._materialize_graph().copy()
+        try:
+            apply_records(graph, best)
+        except (GraphError, TypeError, ValueError, IndexError) as exc:
+            raise ServiceError(
+                f"recovered per-shard WAL does not apply to this "
+                f"index: {exc}"
+            ) from exc
+        self._graph = graph
+        self._epoch = base + 1
+        plan = ShardPlan.from_graph(
+            graph, self.requested_shards, self.replication
+        )
+        self._plan = plan
+        self._owner = {
+            label: spec.index
+            for spec in plan.shards
+            for label in spec.labels
+        }
+        replayed: list[dict] = []
+        for spec in plan.shards:
+            subgraph = plan.subgraph(graph, spec.index)
+            old = boots[spec.index] if spec.index < len(boots) else None
+            if old is not None and old.get("mode") == "file":
+                replayed.append(
+                    {**old, "epoch": self._epoch, "pending": subgraph}
+                )
+            else:
+                replayed.append(
+                    {
+                        "mode": "graph",
+                        "graph": subgraph,
+                        "config": self._config,
+                        "epoch": self._epoch,
+                    }
+                )
+        self._realign_wals(len(replayed))
+        return replayed
+
+    def _realign_wals(self, count: int) -> None:
+        """Match the segment set to ``count`` shards (resize support).
+
+        Surplus segments are deleted; new ones are seeded with the full
+        record history at the current stamp, keeping every segment a
+        replica of the same stream.
+        """
+        if self._wal_dir is None:
+            return
+        while len(self._wals) > count:
+            wal = self._wals.pop()
+            path = wal.path
+            wal.close()
+            path.unlink(missing_ok=True)
+        for index in range(len(self._wals), count):
+            wal = WriteAheadLog(
+                self._wal_segment_path(index),
+                generation=self._wal_generation,
+            )
+            wal.rewrite(
+                tuple(self._wal_records), generation=self._wal_generation
+            )
+            self._wals.append(wal)
+
+    def _wal_append_locked(self, records) -> None:
+        """Write-ahead step of ``apply_updates``: every segment, then ack."""
+        for wal in self._wals:
+            wal.append(records)
+        self._wal_records.extend(records)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -402,14 +825,19 @@ class ShardedMatchService:
             "epoch": self._epoch,
             "shard_count": self.shard_count,
             "requested_shards": self.requested_shards,
+            "replication": self.replication,
             "requests": self._requests,
             "degraded_responses": self._degraded_responses,
             "epoch_retries": self._epoch_retries,
             "deadline_misses": self._deadline_misses,
             "overload_rejections": self._overload_rejections,
             "updates_applied": self._updates_applied,
-            "worker_restarts": sum(w.restarts for w in self._workers),
-            "workers_alive": sum(1 for w in self._workers if w.alive),
+            "worker_restarts": sum(g.restarts for g in self._shards),
+            "workers_alive": sum(g.alive_count for g in self._shards),
+            "failovers": sum(g.failovers for g in self._shards),
+            "background_restarts": sum(
+                g.background_restarts for g in self._shards
+            ),
             "max_workers": self.max_workers,
             "max_pending": self.max_pending,
             "delta": {
@@ -419,18 +847,41 @@ class ShardedMatchService:
                 "eager_updates": self._eager_updates,
                 "shard_count_changes": self._shard_count_changes,
                 "compactions": self._compactions,
+                "wal": None
+                if self._wal_dir is None
+                else {
+                    "dir": str(self._wal_dir),
+                    "generation": self._wal_generation,
+                    "records": len(self._wal_records),
+                    "recovered_records": self._wal_recovered_records,
+                    "stale_discards": self._wal_stale_discards,
+                    "segments": [wal.stats() for wal in self._wals],
+                },
             },
         }
         if include_shards:
             shards = []
-            for worker in self._workers:
+            for group in self._shards:
+                entry = {
+                    "replication": group.replication,
+                    "replicas_alive": group.alive_count,
+                    "restarts": group.restarts,
+                    "failovers": group.failovers,
+                }
+                preferred = next(
+                    (w for w in group.replicas if w.alive),
+                    group.replicas[0],
+                )
                 try:
-                    reply = worker.call("stats", (), time.monotonic() + 10.0)
-                    shards.append(
+                    reply = preferred.call(
+                        "stats", (), time.monotonic() + 10.0
+                    )
+                    entry["engine"] = (
                         reply[1] if reply[0] == "ok" else {"error": reply[2]}
                     )
                 except (ShardError, ServiceError) as exc:
-                    shards.append({"unavailable": str(exc)})
+                    entry["engine"] = {"unavailable": str(exc)}
+                shards.append(entry)
             stats["shards"] = shards
         return stats
 
@@ -473,7 +924,7 @@ class ShardedMatchService:
 
     def _shard_query(
         self,
-        worker: _ShardWorker,
+        group: _ShardGroup,
         compiled: CompiledQuery,
         k: int,
         algorithm: str | None,
@@ -481,23 +932,15 @@ class ShardedMatchService:
     ):
         """One shard's partial answer: ``(epoch, matches)``.
 
-        A dead worker gets one restart attempt (when enabled) before
-        :class:`ShardUnavailableError` propagates to the gather.
+        The group fails over across replicas; only when every replica
+        is exhausted (after one inline restart attempt, when enabled)
+        does :class:`ShardUnavailableError` propagate to the gather.
         """
-        try:
-            reply = worker.call("query", (compiled, k, algorithm), expires_at)
-        except ShardUnavailableError:
-            if not self.restart_workers:
-                raise
-            try:
-                with worker.lock:
-                    if not worker.alive:
-                        worker.restart()
-            except ShardUnavailableError:
-                raise
-            reply = worker.call("query", (compiled, k, algorithm), expires_at)
+        reply = group.query(
+            compiled, k, algorithm, expires_at, self.restart_workers
+        )
         if reply[0] == "error":
-            raise self._reraise(worker.index, reply[1], reply[2])
+            raise self._reraise(group.index, reply[1], reply[2])
         return reply[1], reply[2]
 
     @staticmethod
@@ -522,16 +965,16 @@ class ShardedMatchService:
         targets = self.route(compiled)
         if not targets:
             return self._epoch, [], (), (), True
-        # Snapshot the worker list once: a concurrent resize swaps it
+        # Snapshot the group list once: a concurrent resize swaps it
         # out whole, and a routing table that outruns the swap would
         # index past the end — report inconsistent and retry instead.
-        workers = self._workers
-        if any(shard >= len(workers) for shard in targets):
+        groups = self._shards
+        if any(shard >= len(groups) for shard in targets):
             return self._epoch, [], targets, (), False
         futures = {
             shard: self._fanout.submit(
                 self._shard_query,
-                workers[shard],
+                groups[shard],
                 compiled,
                 k,
                 algorithm,
@@ -751,7 +1194,9 @@ class ShardedMatchService:
                 raise ServiceError(f"invalid graph update: {exc}") from exc
             if num_shards is not None:
                 self.requested_shards = num_shards
-            plan = ShardPlan.from_graph(graph, self.requested_shards)
+            plan = ShardPlan.from_graph(
+                graph, self.requested_shards, self.replication
+            )
             new_epoch = self._epoch + 1
             subgraphs = [
                 plan.subgraph(graph, spec.index) for spec in plan.shards
@@ -764,30 +1209,24 @@ class ShardedMatchService:
                     and len(records) <= self.delta_batch_limit
                 )
             )
+            # Write-ahead: the batch must be durable in every shard's
+            # segment before any worker serves the new epoch — this is
+            # the acknowledgement barrier.
+            if self._wals and records:
+                self._wal_append_locked(records)
             if resized:
                 self._resize_workers_locked(subgraphs, new_epoch)
+                self._realign_wals(self.shard_count)
             else:
                 op = "delta" if use_delta else "swap"
-                for worker, subgraph in zip(self._workers, subgraphs):
+                for group, subgraph in zip(self._shards, subgraphs):
                     boot = {
                         "mode": "graph",
                         "graph": subgraph,
                         "config": self._config,
                         "epoch": new_epoch,
                     }
-                    try:
-                        reply = worker.call(op, (new_epoch, subgraph), None)
-                    except ShardUnavailableError:
-                        with worker.lock:
-                            worker._boot = boot
-                            worker.restart()
-                        reply = ("ok", new_epoch)
-                    if reply[0] != "ok":
-                        raise ServiceError(
-                            f"shard {worker.index} rejected the update: "
-                            f"{reply[2]}"
-                        )
-                    worker._boot = boot
+                    group.broadcast(op, (new_epoch, subgraph), boot)
             self._graph = graph
             self._plan = plan
             self._owner = {
@@ -822,7 +1261,7 @@ class ShardedMatchService:
         scatter holding the old list still finds live handles (its
         mixed-epoch reply triggers the normal retry).
         """
-        old_workers = self._workers
+        old_groups = self._shards
         new_count = len(subgraphs)
         boots = [
             {
@@ -833,33 +1272,26 @@ class ShardedMatchService:
             }
             for subgraph in subgraphs
         ]
-        kept = old_workers[:new_count]
-        for worker, boot in zip(kept, boots):
-            try:
-                reply = worker.call("swap", (new_epoch, boot["graph"]), None)
-            except ShardUnavailableError:
-                with worker.lock:
-                    worker._boot = boot
-                    worker.restart()
-                reply = ("ok", new_epoch)
-            if reply[0] != "ok":
-                raise ServiceError(
-                    f"shard {worker.index} rejected the update: {reply[2]}"
-                )
-            worker._boot = boot
-        added: list[_ShardWorker] = []
+        kept = old_groups[:new_count]
+        for group, boot in zip(kept, boots):
+            group.broadcast("swap", (new_epoch, boot["graph"]), boot)
+        added: list[_ShardGroup] = []
         try:
             for index in range(len(kept), new_count):
-                added.append(_ShardWorker(index, self._ctx, boots[index]))
+                added.append(
+                    _ShardGroup(
+                        index, self._ctx, boots[index], self.replication
+                    )
+                )
         except BaseException:
-            for worker in added:
-                worker.shutdown()
+            for group in added:
+                group.shutdown()
             raise
-        retired = old_workers[new_count:]
-        self._workers = kept + added
+        retired = old_groups[new_count:]
+        self._shards = kept + added
         self.shard_count = new_count
-        for worker in retired:
-            worker.shutdown()
+        for group in retired:
+            group.shutdown()
         if added:
             # The fan-out pool must cover a full scatter concurrently;
             # grow it and let the old pool drain in the background.
@@ -876,28 +1308,64 @@ class ShardedMatchService:
         The sharded sibling of :meth:`MatchService.compact`: workers
         materialize off the query path, so a quiet period can absorb
         accumulated overlays before the next traffic burst.
+
+        On a manifest-backed service with a per-shard WAL this is also
+        the **durable checkpoint** (the sharded edition of the swap
+        protocol): re-shard the current graph over the manifest at the
+        current epoch, then truncate every segment with the new stamp.
+        A crash between the two steps leaves segments stamped with the
+        old generation — exactly what the boot-time stale-segment
+        discard detects.  Graph-constructed services have no durable
+        base to checkpoint into, so their segments are left intact.
         """
         started = time.perf_counter()
         with self._update_lock:
             self._check_open()
             compacted = 0
             errors: list[str] = []
-            for worker in self._workers:
-                try:
-                    reply = worker.call(
-                        "compact", (), time.monotonic() + _BOOT_TIMEOUT
-                    )
-                except (ShardError, ServiceError) as exc:
-                    errors.append(f"shard {worker.index}: {exc}")
-                    continue
-                if reply[0] == "ok":
+            for group in self._shards:
+                oks, group_errors = group.compact(
+                    time.monotonic() + _BOOT_TIMEOUT
+                )
+                errors.extend(group_errors)
+                if oks == group.replication:
                     compacted += 1
-                else:
-                    errors.append(f"shard {worker.index}: {reply[2]}")
+            checkpointed = False
+            if (
+                self._wals
+                and self._wal_records
+                and not errors
+                and self.manifest_path is not None
+                and self._graph is not None
+            ):
+                document = shard_index(
+                    self._graph,
+                    self.manifest_path,
+                    self.requested_shards,
+                    self._config,
+                    epoch=self._epoch,
+                    replication=self.replication,
+                )
+                paths = shard_paths(document, self.manifest_path)
+                for group, path in zip(self._shards, paths):
+                    group.set_boot(
+                        {
+                            "mode": "file",
+                            "path": str(path),
+                            "overrides": {},
+                            "epoch": self._epoch,
+                        }
+                    )
+                for wal in self._wals:
+                    wal.rewrite((), generation=self._epoch)
+                self._wal_generation = self._epoch
+                self._wal_records = []
+                checkpointed = True
             self._count("_compactions")
         return {
             "epoch": self._epoch,
             "shards_compacted": compacted,
+            "checkpointed": checkpointed,
             "errors": errors,
             "elapsed_seconds": time.perf_counter() - started,
         }
@@ -906,12 +1374,19 @@ class ShardedMatchService:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self, wait: bool = True) -> None:
-        """Stop accepting requests, stop the pools, reap every worker."""
+        """Stop accepting requests, stop the pools, reap every worker.
+
+        WAL segments are closed, **not** truncated: pending records
+        stay durable for the next boot's replay (checkpointing is
+        :meth:`compact`'s job, not close's).
+        """
         self._closed = True
         self._pool.shutdown(wait=wait)
         self._fanout.shutdown(wait=wait)
-        for worker in self._workers:
-            worker.shutdown()
+        for group in self._shards:
+            group.shutdown()
+        for wal in self._wals:
+            wal.close()
 
     def __enter__(self) -> "ShardedMatchService":
         return self

@@ -27,9 +27,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from array import array
 from pathlib import Path
 
+from repro.delta.wal import fsync_dir
 from repro.exceptions import IndexFormatError, ShardError
 from repro.graph.digraph import LabeledDiGraph
 from repro.shard.plan import ShardPlan
@@ -68,6 +70,7 @@ def shard_index(
     config=None,
     *,
     epoch: int = 0,
+    replication: int = 1,
     **overrides,
 ) -> dict:
     """Write a sharded index for ``graph``; returns the manifest document.
@@ -76,12 +79,19 @@ def shard_index(
     :class:`~repro.engine.MatchEngine` (``backend="auto"`` lets every
     shard pick the backend its subgraph size calls for).  The effective
     shard count is ``min(num_shards, number of labels)``.
+    ``replication`` is recorded in the manifest as the serving hint for
+    how many workers should host each shard file.
+
+    Every file lands via temp-name + ``os.replace``: re-sharding over a
+    live deployment never leaves a half-written ``.ridx`` or manifest,
+    and workers still mmap-ing the previous files keep their (now
+    anonymous) inodes.
     """
     from repro.engine.core import MatchEngine
     from repro.storage.diskindex import write_engine_index
 
     path = Path(path)
-    plan = ShardPlan.from_graph(graph, num_shards)
+    plan = ShardPlan.from_graph(graph, num_shards, replication)
     shards = []
     for spec in plan.shards:
         view = plan.span_view(spec.index)
@@ -94,9 +104,10 @@ def shard_index(
         boundary_tails, boundary_heads = view.boundary_pairs()
         file_name = shard_file_name(path, spec.index)
         file_path = path.with_name(file_name)
+        file_tmp = path.with_name(file_name + ".tmp")
         write_engine_index(
             engine,
-            file_path,
+            file_tmp,
             extra_meta={
                 "shard": {
                     "index": spec.index,
@@ -112,6 +123,8 @@ def shard_index(
                 ("shard.bh", "i", boundary_heads),
             ],
         )
+        os.replace(file_tmp, file_path)
+        fsync_dir(file_path.parent)
         shards.append(
             {
                 "index": spec.index,
@@ -131,6 +144,7 @@ def shard_index(
         "epoch": epoch,
         "requested_shards": num_shards,
         "shard_count": plan.shard_count,
+        "replication": replication,
         "counts": {
             "nodes": graph.num_nodes,
             "edges": graph.num_edges,
@@ -139,9 +153,12 @@ def shard_index(
         "shards": shards,
     }
     document["checksum"] = _canonical_checksum(document)
-    with open(path, "w", encoding="utf-8") as handle:
+    manifest_tmp = path.with_name(path.name + ".tmp")
+    with open(manifest_tmp, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=2, sort_keys=True)
         handle.write("\n")
+    os.replace(manifest_tmp, path)
+    fsync_dir(path.parent)
     return document
 
 
@@ -191,6 +208,16 @@ def load_manifest(
         raise IndexFormatError(
             f"{path}: manifest checksum mismatch "
             f"(recorded {str(recorded)[:12]}…, computed {expected[:12]}…)"
+        )
+    replication = document.get("replication", 1)
+    if (
+        isinstance(replication, bool)
+        or not isinstance(replication, int)
+        or replication < 1
+    ):
+        raise IndexFormatError(
+            f"{path}: manifest replication must be a positive integer, "
+            f"got {replication!r}"
         )
     shards = document.get("shards")
     if not isinstance(shards, list) or not shards:

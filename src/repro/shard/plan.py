@@ -63,11 +63,17 @@ class ShardPlan:
         compact: CompactGraph,
         shards: tuple[ShardSpec, ...],
         requested_shards: int,
+        replication: int = 1,
     ) -> None:
+        if replication < 1:
+            raise ShardError(f"replication must be >= 1, got {replication}")
         self.interner = interner
         self.compact = compact
         self.shards = shards
         self.requested_shards = requested_shards
+        #: How many workers should serve each shard (availability knob;
+        #: the partition itself is replication-agnostic).
+        self.replication = replication
         self._owner: dict = {}
         for spec in shards:
             for label in spec.labels:
@@ -78,7 +84,7 @@ class ShardPlan:
     # ------------------------------------------------------------------
     @classmethod
     def from_graph(
-        cls, graph: LabeledDiGraph, num_shards: int
+        cls, graph: LabeledDiGraph, num_shards: int, replication: int = 1
     ) -> "ShardPlan":
         """Partition ``graph`` into (at most) ``num_shards`` shards.
 
@@ -88,7 +94,9 @@ class ShardPlan:
         enough labels remain to give every later shard at least one.
         When the graph has fewer labels than requested shards, the
         effective shard count is the label count (recorded alongside the
-        requested one).
+        requested one).  ``replication`` is carried through to the plan
+        (and the manifest) unchanged: it does not affect the partition,
+        only how many workers a serving tier spawns per shard.
         """
         if num_shards < 1:
             raise ShardError(f"num_shards must be >= 1, got {num_shards}")
@@ -126,7 +134,7 @@ class ShardPlan:
                 f"partition bug: covered {span_start}/{total} ids "
                 f"in {len(specs)}/{effective} shards"
             )
-        return cls(interner, compact, tuple(specs), num_shards)
+        return cls(interner, compact, tuple(specs), num_shards, replication)
 
     # ------------------------------------------------------------------
     # Introspection / routing
@@ -203,6 +211,7 @@ def plan_from_layout(
     graph: LabeledDiGraph,
     shard_labels: Iterable[tuple],
     requested_shards: int,
+    replication: int = 1,
 ) -> ShardPlan:
     """Rebuild a plan from a persisted label layout (manifest load path).
 
@@ -244,4 +253,4 @@ def plan_from_layout(
             "manifest label layout does not cover the graph's labels "
             f"({len(flat)} listed, {len(expected)} present)"
         )
-    return ShardPlan(interner, compact, tuple(specs), requested_shards)
+    return ShardPlan(interner, compact, tuple(specs), requested_shards, replication)

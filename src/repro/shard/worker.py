@@ -56,6 +56,14 @@ def worker_main(conn, boot: dict) -> None:
     * ``{"mode": "graph", "graph": LabeledDiGraph, "config": EngineConfig,
       "epoch": int}`` — build from a shipped subgraph (the
       ``apply_updates`` swap path, and graph-constructed services).
+
+    Either mode may carry ``"pending": LabeledDiGraph`` — the shard's
+    current subgraph when it is ahead of the booted base (a replica
+    respawning after a ``delta`` it missed, or a coordinator that
+    replayed per-shard WAL records over the on-disk files).  It is
+    parked exactly like a ``delta`` op and folded on the first read, so
+    a restarted replica rejoins at the group's epoch instead of serving
+    the stale base.
     """
     from repro.delta.view import fold_graph
     from repro.engine.core import MatchEngine
@@ -72,8 +80,9 @@ def worker_main(conn, boot: dict) -> None:
             conn.send(("error", type(exc).__name__, str(exc)))
         return
 
-    # Deferred-overlay state for the ``delta`` op.
-    pending_graph = None
+    # Deferred-overlay state for the ``delta`` op (possibly pre-seeded
+    # by the boot spec when the base the worker opened is stale).
+    pending_graph = boot.get("pending")
     materializations = 0
     last_materialize_seconds = 0.0
 

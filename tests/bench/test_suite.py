@@ -245,3 +245,47 @@ class TestMixedRwSection:
         legacy["version"] = 3
         del legacy["mixed_rw"]
         assert validate_bench_document(legacy) == []
+
+
+class TestReplicationSection:
+    def test_replication_section_shape(self, quick_document):
+        replication = quick_document["replication"]
+        assert replication["cpu_count"] >= 1
+        assert replication["shards"] >= 2
+        assert replication["replication"] >= 2
+        for name in ("baseline", "failover", "single_restart"):
+            run = replication[name]
+            assert run["requests"] > 0
+            assert run["throughput_qps"] > 0.0
+            assert run["p50_ms"] <= run["p99_ms"]
+        for name in ("failover", "single_restart"):
+            run = replication[name]
+            assert run["kill_at"] < run["requests"]
+        # R=1 has nowhere to fail over: the next scatter to each shard
+        # must pay an inline restart before it can answer.  The R=2 run
+        # recovers by failover *or* by background revival (whichever the
+        # read cursor reaches first) and its respawns may still be in
+        # flight when stats are read, so no per-counter claim is safe.
+        assert replication["single_restart"]["worker_restarts"] >= 1
+        assert replication["failover"]["failovers"] >= 0
+        assert replication["failover_post_kill_p99_speedup"] >= 0.0
+
+    def test_v5_document_requires_replication(self, quick_document):
+        broken = json.loads(json.dumps(quick_document))
+        del broken["replication"]
+        errors = validate_bench_document(broken)
+        assert any("replication" in e for e in errors)
+        broken = json.loads(json.dumps(quick_document))
+        del broken["replication"]["failover"]["post_kill_p99_ms"]
+        broken["replication"]["baseline"]["requests"] = -3
+        broken["replication"]["failover_post_kill_p99_speedup"] = "fast"
+        errors = validate_bench_document(broken)
+        assert any("failover missing 'post_kill_p99_ms'" in e for e in errors)
+        assert any("baseline.requests is negative" in e for e in errors)
+        assert any("failover_post_kill_p99_speedup" in e for e in errors)
+
+    def test_v4_documents_still_validate(self, quick_document):
+        legacy = json.loads(json.dumps(quick_document))
+        legacy["version"] = 4
+        del legacy["replication"]
+        assert validate_bench_document(legacy) == []

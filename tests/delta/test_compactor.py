@@ -79,3 +79,32 @@ class TestCompactor:
     def test_interval_must_be_positive(self):
         with pytest.raises(ValueError, match="positive"):
             Compactor(lambda: None, interval=0)
+
+
+class TestStopTimeout:
+    def test_timed_out_stop_is_reported_and_recoverable(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def stall():
+            started.set()
+            release.wait(30)
+
+        compactor = Compactor(stall, interval=3600)
+        try:
+            compactor.kick()
+            assert started.wait(5), "tick never started"
+            assert compactor.stop(timeout=0.05) is False
+            assert compactor.stop_timed_out
+            assert compactor.stats()["stop_timed_out"] is True
+        finally:
+            release.set()
+        # A later stop joins the now-unblocked thread and clears the flag.
+        assert compactor.stop(timeout=5) is True
+        assert not compactor.stop_timed_out
+        assert compactor.stats()["stop_timed_out"] is False
+
+    def test_clean_stop_reports_true(self):
+        compactor = Compactor(lambda: None, interval=0.01)
+        assert compactor.stop() is True
+        assert compactor.stats()["stop_timed_out"] is False

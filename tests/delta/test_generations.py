@@ -129,3 +129,19 @@ class TestSniffing:
             engine, epoch=1, records_folded=1, wall_seconds=0
         )
         assert sniff_is_generation_manifest(manifest_path_for(base))
+
+
+class TestSwapDurability:
+    def test_generation_swap_fsyncs_the_directory(self, family, monkeypatch):
+        """Both the new .ridx file and the manifest rename must be
+        followed by a parent-directory fsync, or a power loss can roll
+        the family back to a generation that no longer exists."""
+        base, engine = family
+        synced = []
+        monkeypatch.setattr(
+            "repro.delta.generations.fsync_dir",
+            lambda path: synced.append(path),
+        )
+        store = GenerationStore(base)
+        store.write_generation(engine, epoch=1, records_folded=1, wall_seconds=0.0)
+        assert synced.count(base.parent) >= 2  # generation file + manifest

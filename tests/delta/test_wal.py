@@ -5,7 +5,7 @@ import struct
 import pytest
 
 from repro.delta import EdgeAdd, NodeAdd, WriteAheadLog, scan_wal
-from repro.delta.wal import HEADER_SIZE, WAL_MAGIC
+from repro.delta.wal import HEADER_SIZE, WAL_MAGIC, fsync_dir
 from repro.exceptions import WalError
 
 RECORDS = (NodeAdd("n", "L"), EdgeAdd("a", "b", 2), EdgeAdd("n", "a"))
@@ -153,3 +153,57 @@ class TestRewrite:
         scan = scan_wal(wal_path)
         assert scan.records == (RECORDS[2], EdgeAdd("p", "q"))
         assert scan.generation == 1
+
+
+class TestRewriteDurability:
+    """The swap itself must be durable and its failures typed."""
+
+    def test_rewrite_fsyncs_the_parent_directory(self, wal_path, monkeypatch):
+        synced = []
+        monkeypatch.setattr(
+            "repro.delta.wal.fsync_dir", lambda path: synced.append(path)
+        )
+        with WriteAheadLog(wal_path) as wal:
+            wal.append(RECORDS)
+            wal.rewrite((), generation=1)
+        assert wal_path.parent in synced
+
+    def test_fsync_dir_tolerates_missing_directory(self, tmp_path):
+        fsync_dir(tmp_path / "never-created")  # best-effort: no raise
+
+    def test_failed_swap_leaves_the_segment_usable(self, wal_path, monkeypatch):
+        wal = WriteAheadLog(wal_path)
+        wal.append(RECORDS)
+
+        def refuse(src, dst):
+            raise OSError("no space left on device")
+
+        with monkeypatch.context() as patched:
+            patched.setattr("os.replace", refuse)
+            with pytest.raises(OSError, match="no space"):
+                wal.rewrite((), generation=5)
+        # The old segment won the race: same generation, still appendable.
+        assert wal.generation == 0
+        wal.append((EdgeAdd("x", "y"),))
+        wal.close()
+        scan = scan_wal(wal_path)
+        assert scan.records == RECORDS + (EdgeAdd("x", "y"),)
+        assert scan.generation == 0
+
+    def test_unreopenable_swap_failure_stays_typed(self, wal_path, monkeypatch):
+        """When even the recovery reopen fails, later appends must raise
+        WalError("closed"), never a raw ValueError on a closed file."""
+        wal = WriteAheadLog(wal_path)
+        wal.append(RECORDS)
+
+        def refuse(src, dst):
+            raise OSError("replace failed")
+
+        with monkeypatch.context() as patched:
+            patched.setattr("os.replace", refuse)
+            wal_path.unlink()  # the reopen has nothing to come back to
+            with pytest.raises(OSError):
+                wal.rewrite((), generation=5)
+        with pytest.raises(WalError, match="closed"):
+            wal.append(RECORDS)
+        wal.close()  # still idempotent after the failure

@@ -236,3 +236,24 @@ class TestCompaction:
             assert report["records_folded"] == 1
             assert report["path"] is None
             assert service.statistics()["delta"]["pending_records"] == 0
+
+
+class TestCloseReportsCompactorStop:
+    def test_close_reports_timed_out_compactor_stop(self, family):
+        base, wal = family
+        service = durable_service(
+            base, wal, update_policy="delta", auto_compact=True,
+        )
+        service.apply_updates(edges_added=[(0, 1, 1)])  # spins the thread up
+        real_stop = service._compactor.stop
+        service._compactor.stop = lambda *args, **kwargs: False
+        assert service.close() is False
+        assert real_stop() is True  # actually join the thread
+
+    def test_clean_close_returns_true(self, family):
+        base, wal = family
+        service = durable_service(
+            base, wal, update_policy="delta", auto_compact=True,
+        )
+        service.apply_updates(edges_added=[(0, 1, 1)])
+        assert service.close() is True

@@ -161,3 +161,44 @@ def test_shard_meta_descriptor_is_persisted(written):
         assert shard_meta["shard_count"] == document["shard_count"]
         assert shard_meta["span"] == entry["span"]
         assert shard_meta["epoch"] == document["epoch"]
+
+
+def _rewrite_with_valid_checksum(manifest_path, document):
+    from repro.shard.manifest import _canonical_checksum
+
+    document = dict(document)
+    document["checksum"] = _canonical_checksum(document)
+    manifest_path.write_text(json.dumps(document, indent=2, sort_keys=True))
+
+
+def test_replication_round_trips(tmp_path, medium_graph):
+    path = tmp_path / "replicated.ridx"
+    document = shard_index(medium_graph, path, 3, replication=2)
+    assert document["replication"] == 2
+    assert load_manifest(path, verify_files=True)["replication"] == 2
+
+
+def test_default_replication_is_one(written):
+    _manifest_path, document = written
+    assert document["replication"] == 1
+
+
+def test_bad_replication_is_rejected(written):
+    manifest_path, document = written
+    for bad in (0, -1, 1.5, "two", True):
+        _rewrite_with_valid_checksum(
+            manifest_path, dict(document, replication=bad)
+        )
+        with pytest.raises(IndexFormatError, match="replication"):
+            load_manifest(manifest_path)
+
+
+def test_manifests_without_replication_stay_loadable(written):
+    """Pre-replication manifests have no key at all; they still load and
+    serve with the implied R=1."""
+    manifest_path, document = written
+    legacy = {k: v for k, v in document.items() if k != "replication"}
+    _rewrite_with_valid_checksum(manifest_path, legacy)
+    loaded = load_manifest(manifest_path)
+    assert "replication" not in loaded
+    assert loaded.get("replication", 1) == 1

@@ -89,8 +89,8 @@ def test_worker_death_raises_shard_unavailable(small_graph):
         small_graph, num_shards=2, restart_workers=False
     ) as service:
         victim = service.route(QUERIES[0])[0]
-        service._workers[victim].process.terminate()
-        service._workers[victim].process.join(timeout=10)
+        service._shards[victim].replicas[0].process.terminate()
+        service._shards[victim].replicas[0].process.join(timeout=10)
         started = time.monotonic()
         with pytest.raises(ShardUnavailableError):
             service.top_k(QUERIES[0], 5)
@@ -111,8 +111,8 @@ def test_worker_death_recovers_with_restart(small_graph, flat):
         small_graph, num_shards=2, restart_workers=True
     ) as service:
         victim = service.route(QUERIES[0])[0]
-        service._workers[victim].process.terminate()
-        service._workers[victim].process.join(timeout=10)
+        service._shards[victim].replicas[0].process.terminate()
+        service._shards[victim].replicas[0].process.join(timeout=10)
         got = service.top_k(QUERIES[0], 5)
         assert scores(got) == scores(flat.top_k(QUERIES[0], 5))
         assert service.statistics()["worker_restarts"] == 1
@@ -145,8 +145,8 @@ def test_degrade_mode_returns_partial_answers():
     ) as service:
         routed = service.route("A//B")
         assert len(routed) == 2, "containment roots must scatter"
-        service._workers[routed[0]].process.terminate()
-        service._workers[routed[0]].process.join(timeout=10)
+        service._shards[routed[0]].replicas[0].process.terminate()
+        service._shards[routed[0]].replicas[0].process.join(timeout=10)
         response = service.request("A//B", 5)
         assert response.degraded
         assert response.shards_failed == (routed[0],)
@@ -161,8 +161,8 @@ def test_error_mode_fails_partial_scatter():
         on_shard_failure="error", restart_workers=False,
     ) as service:
         routed = service.route("A//B")
-        service._workers[routed[0]].process.terminate()
-        service._workers[routed[0]].process.join(timeout=10)
+        service._shards[routed[0]].replicas[0].process.terminate()
+        service._shards[routed[0]].replicas[0].process.join(timeout=10)
         with pytest.raises(ShardUnavailableError):
             service.request("A//B", 5)
 
@@ -334,7 +334,11 @@ def test_closed_service_refuses_requests(small_graph):
 
 def test_workers_are_reaped_on_close(small_graph):
     service = ShardedMatchService(small_graph, num_shards=2)
-    processes = [worker.process for worker in service._workers]
+    processes = [
+        worker.process
+        for group in service._shards
+        for worker in group.replicas
+    ]
     service.close()
     for process in processes:
         assert process is None or not process.is_alive()

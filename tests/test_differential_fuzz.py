@@ -336,3 +336,93 @@ def test_sharded_engine_update_path_agrees(instance, k, num_shards, data):
     assert comparable(swapped.top_k(query, k), k) == comparable(
         fresh.top_k(query, k), k
     ), (num_shards, deltas)
+
+
+#: Replicated-service schedules spawn four worker processes per
+#: example, so this test runs a slice of the usual budget.
+replicated_settings = settings(
+    max_examples=max(4, FUZZ_EXAMPLES // 10), deadline=None
+)
+
+
+@given(
+    instance=graph_and_query(max_query_size=4),
+    k=st.integers(1, 8),
+    data=st.data(),
+)
+@replicated_settings
+def test_replicated_sharded_service_interleaving_matches_flat(
+    instance, k, data
+):
+    """Interleaved update/query/compact schedules through an R=2
+    ShardedMatchService: every read must satisfy the scatter-gather
+    contract against a fresh flat engine on a shadow graph tracking the
+    same mutations — replicas and broadcasts included."""
+    from repro.service import ShardedMatchService
+
+    graph, raw_query = instance
+    query = to_dsl(raw_query)
+    labels = sorted(graph.labels(), key=repr)
+    shadow = graph.copy()
+    next_node = [0]
+
+    def mutate(service):
+        nodes = sorted(shadow.nodes(), key=repr)
+        existing = sorted(((t, h) for t, h, _ in shadow.edges()), key=repr)
+        addable = [
+            (t, h)
+            for t in nodes
+            for h in nodes
+            if t != h and not shadow.has_edge(t, h)
+        ]
+        operations = ["node_add", "relabel"]
+        if existing:
+            operations.append("remove")
+        if addable:
+            operations.append("add")
+        operation = data.draw(st.sampled_from(sorted(operations)))
+        if operation == "add":
+            tail, head = data.draw(st.sampled_from(addable))
+            weight = data.draw(st.integers(1, 4))
+            shadow.add_edge(tail, head, weight)
+            service.apply_updates(edges_added=[(tail, head, weight)])
+        elif operation == "remove":
+            tail, head = data.draw(st.sampled_from(existing))
+            shadow.remove_edge(tail, head)
+            service.apply_updates(edges_removed=[(tail, head)])
+        elif operation == "node_add":
+            node = f"nw{next_node[0]}"
+            next_node[0] += 1
+            label = data.draw(st.sampled_from(labels))
+            shadow.add_node(node, label)
+            service.apply_updates(nodes_added={node: label})
+        else:
+            node = data.draw(st.sampled_from(nodes))
+            label = data.draw(st.sampled_from(labels))
+            shadow.relabel_node(node, label)
+            service.apply_updates(labels_changed={node: label})
+
+    with ShardedMatchService(
+        graph, num_shards=2, replication=2, max_workers=2
+    ) as service:
+        steps = data.draw(
+            st.lists(
+                st.sampled_from(("update", "query", "compact")),
+                min_size=2,
+                max_size=4,
+            )
+        )
+        for step in steps:
+            if step == "update":
+                mutate(service)
+            elif step == "compact":
+                service.compact()
+            else:
+                fresh = MatchEngine(shadow, backend="full")
+                assert comparable(service.top_k(query, k), k) == comparable(
+                    fresh.top_k(query, k), k
+                ), steps
+        fresh = MatchEngine(shadow, backend="full")
+        assert comparable(service.top_k(query, k), k) == comparable(
+            fresh.top_k(query, k), k
+        )
