@@ -1,0 +1,152 @@
+"""Serve-bench: interpreter vs compiled kernel on hot repeated queries.
+
+The compiled tier exists for exactly one workload shape: the *same*
+queries answered over and over against one index — what a serving layer
+sees once its plan cache is warm.  This bench isolates the per-request
+execution cost on that shape:
+
+* ``interpreter`` — each request builds the interpreter enumerator the
+  plan would run without the kernel tier and enumerates top-k (the
+  pre-PR-9 warm-serving hot path: plan cached, execution interpreted).
+* ``kernel`` — each request starts a fresh ``KernelRun`` over a bound
+  program (scalar stdlib-array bind) and enumerates top-k: the warm
+  compiled path, where the program and binding caches have hit.
+* ``kernel_numpy`` — same, with the numpy-vectorized bind; the bind is
+  re-done per request batch up front, so this isolates the vectorized
+  lowering (``None`` when numpy is unavailable).
+
+All three modes answer every request identically (the kernel executes
+the fully-loaded reference semantics); the recorded ``speedup_kernel``
+is the ISSUE-9 / BENCH gate (compiled >= 1.5x interpreter throughput on
+this workload).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.serving import default_workload
+from repro.compact import accel
+from repro.engine import MatchEngine
+from repro.graph.generators import citation_graph
+from repro.kernel import bind_program, compile_program
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list (empty -> 0.0)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(
+        len(sorted_values) - 1,
+        max(0, round(fraction * (len(sorted_values) - 1))),
+    )
+    return sorted_values[rank]
+
+
+def _drive(run_one, requests: int, num_queries: int) -> dict:
+    """Time ``requests`` round-robin calls of ``run_one(query_index)``."""
+    for query_index in range(num_queries):  # warm every per-query path
+        run_one(query_index)
+    latencies = []
+    started = time.perf_counter()
+    for request in range(requests):
+        t0 = time.perf_counter()
+        run_one(request % num_queries)
+        latencies.append(time.perf_counter() - t0)
+    wall = time.perf_counter() - started
+    latencies.sort()
+    return {
+        "requests": requests,
+        "wall_seconds": wall,
+        "throughput_qps": requests / wall if wall else 0.0,
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p99_ms": _percentile(latencies, 0.99) * 1e3,
+    }
+
+
+def compiled_benchmark(
+    quick: bool = False,
+    seed: int = 0,
+    *,
+    nodes: int | None = None,
+    num_queries: int = 6,
+    k: int = 10,
+    requests: int | None = None,
+) -> dict:
+    """The schema-v6 ``compiled`` section: hot repeated queries, 3 modes."""
+    nodes = nodes if nodes is not None else (150 if quick else 400)
+    requests = requests if requests is not None else (60 if quick else 240)
+    graph = citation_graph(nodes, num_labels=12, seed=seed)
+    engine = MatchEngine(graph, backend="full")
+    queries = default_workload(graph, num_queries=num_queries, seed=seed)
+
+    plans = []
+    for dsl in queries:
+        compiled = engine.compile(dsl)
+        plan = engine.planner.plan(compiled, k)
+        matcher = compiled.effective_matcher(engine.config.label_matcher)
+        plans.append((dsl, compiled, plan, matcher))
+
+    def interpreter_one(query_index: int) -> None:
+        _dsl, compiled, plan, _matcher = plans[query_index]
+        engine._build_enumerator(compiled, plan.algorithm).top_k(k)
+
+    interpreter = _drive(interpreter_one, requests, len(plans))
+
+    programs = [compile_program(compiled) for _, compiled, _, _ in plans]
+    scalar_bound = [
+        bind_program(
+            program, engine.store, matcher=matcher, use_numpy=False
+        )
+        for program, (_, _, _, matcher) in zip(programs, plans)
+    ]
+
+    def kernel_one(query_index: int) -> None:
+        scalar_bound[query_index].run().top_k(k)
+
+    kernel = _drive(kernel_one, requests, len(plans))
+
+    kernel_numpy = None
+    if accel.resolve_numpy(True) is not None:
+        numpy_bound = [
+            bind_program(
+                program, engine.store, matcher=matcher, use_numpy=True
+            )
+            for program, (_, _, _, matcher) in zip(programs, plans)
+        ]
+
+        def kernel_numpy_one(query_index: int) -> None:
+            numpy_bound[query_index].run().top_k(k)
+
+        kernel_numpy = _drive(kernel_numpy_one, requests, len(plans))
+        kernel_numpy["bind_seconds"] = sum(
+            bound.bind_seconds for bound in numpy_bound
+        )
+
+    kernel["bind_seconds"] = sum(bound.bind_seconds for bound in scalar_bound)
+
+    interpreter_qps = interpreter["throughput_qps"]
+    return {
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "seed": seed,
+        "k": k,
+        "queries": queries,
+        "plans": [
+            {"query": dsl, "algorithm": plan.algorithm, "tier": plan.tier}
+            for dsl, _compiled, plan, _matcher in plans
+        ],
+        "interpreter": interpreter,
+        "kernel": kernel,
+        "kernel_numpy": kernel_numpy,
+        "speedup_kernel": (
+            kernel["throughput_qps"] / interpreter_qps
+            if interpreter_qps
+            else 0.0
+        ),
+        "speedup_kernel_numpy": (
+            kernel_numpy["throughput_qps"] / interpreter_qps
+            if kernel_numpy is not None and interpreter_qps
+            else None
+        ),
+    }

@@ -46,12 +46,18 @@ recorded the platform-dependent number unchecked).
   worker restart, on the same SIGKILL-one-worker-per-shard schedule
   (see :mod:`repro.bench.replication`).
 
+* a **compiled-kernel serving comparison** (since schema version 6):
+  hot repeated-query throughput and latency of the interpreter
+  enumerator versus the compiled flat-opcode kernel (scalar and
+  numpy-vectorized binds), with ``speedup_kernel`` as the headline
+  (see :mod:`repro.bench.compiled`).
+
 The document schema is validated by :func:`validate_bench_document`
 (also exposed as ``repro bench validate``) so CI can gate on it; the
 committed ``BENCH_PR4.json`` (v1), ``BENCH_PR5.json`` (v2),
-``BENCH_PR6.json`` (v3), ``BENCH_PR7.json`` (v4), and
-``BENCH_PR8.json`` (v5) at the repo root are the entries of the
-trajectory so far.
+``BENCH_PR6.json`` (v3), ``BENCH_PR7.json`` (v4), ``BENCH_PR8.json``
+(v5), and ``BENCH_PR9.json`` (v6) at the repo root are the entries of
+the trajectory so far.
 """
 
 from __future__ import annotations
@@ -77,7 +83,7 @@ from repro.query import to_dsl
 from repro.storage.blocks import TableDirectory
 
 BENCH_KIND = "repro-bench-suite"
-BENCH_VERSION = 5
+BENCH_VERSION = 6
 
 #: The fixed matrix; ``--quick`` shrinks it for CI smoke runs.
 FULL_MATRIX = {
@@ -457,6 +463,7 @@ def run_suite(quick: bool = False, seed: int = 0, **overrides) -> dict:
     # Imported here: repro.bench.sharding and repro.bench.mixed_rw reuse
     # build_workload from this module, so top-level imports would be
     # circular.
+    from repro.bench.compiled import compiled_benchmark
     from repro.bench.mixed_rw import mixed_rw_benchmark
     from repro.bench.replication import replication_failover
     from repro.bench.sharding import sharded_scatter_gather
@@ -488,6 +495,7 @@ def run_suite(quick: bool = False, seed: int = 0, **overrides) -> dict:
         "sharding": sharded_scatter_gather(quick=quick, seed=seed),
         "mixed_rw": mixed_rw_benchmark(quick=quick, seed=seed),
         "replication": replication_failover(quick=quick, seed=seed),
+        "compiled": compiled_benchmark(quick=quick, seed=seed),
         "peak_rss_bytes": peak_rss_bytes(),
         "peak_rss_unit": "bytes",
     }
@@ -541,6 +549,8 @@ _V3_FIELDS = dict(_V2_FIELDS, sharding=dict)
 _V4_FIELDS = dict(_V3_FIELDS, mixed_rw=dict)
 #: v5 adds the replicated-shard failover section.
 _V5_FIELDS = dict(_V4_FIELDS, replication=dict)
+#: v6 adds the compiled-kernel serving section.
+_V6_FIELDS = dict(_V5_FIELDS, compiled=dict)
 _SHARDING_RUN_FIELDS = {
     "requests": int,
     "wall_seconds": (int, float),
@@ -727,6 +737,66 @@ def _validate_replication(replication: dict, errors: list[str]) -> None:
                 errors.append(f"replication.{name}.{field} is negative")
 
 
+_COMPILED_MODE_FIELDS = {
+    "requests": int,
+    "wall_seconds": (int, float),
+    "throughput_qps": (int, float),
+    "p50_ms": (int, float),
+    "p99_ms": (int, float),
+}
+
+
+def _validate_compiled(compiled: dict, errors: list[str]) -> None:
+    for field in ("nodes", "edges", "seed", "k", "queries", "plans"):
+        if field not in compiled:
+            errors.append(f"compiled missing {field!r}")
+    plans = compiled.get("plans")
+    if not isinstance(plans, list) or not plans:
+        errors.append("compiled.plans is missing or empty")
+    else:
+        for index, plan in enumerate(plans):
+            if not isinstance(plan, dict):
+                errors.append(f"compiled.plans[{index}] is not an object")
+                continue
+            for field in ("query", "algorithm", "tier"):
+                if not isinstance(plan.get(field), str):
+                    errors.append(
+                        f"compiled.plans[{index}].{field} is not a string"
+                    )
+    # kernel_numpy is None on runners without numpy; the other two modes
+    # are mandatory.
+    for name in ("interpreter", "kernel", "kernel_numpy"):
+        mode = compiled.get(name)
+        if mode is None:
+            if name == "kernel_numpy":
+                continue
+            errors.append(f"compiled.{name} is not an object")
+            continue
+        if not isinstance(mode, dict):
+            errors.append(f"compiled.{name} is not an object")
+            continue
+        for field, kind in _COMPILED_MODE_FIELDS.items():
+            if field not in mode:
+                errors.append(f"compiled.{name} missing {field!r}")
+            elif not isinstance(mode[field], kind) or isinstance(
+                mode[field], bool
+            ):
+                errors.append(f"compiled.{name}.{field} is not {kind}")
+            elif mode[field] < 0:
+                errors.append(f"compiled.{name}.{field} is negative")
+    speedup = compiled.get("speedup_kernel")
+    if not isinstance(speedup, (int, float)) or isinstance(speedup, bool):
+        errors.append("compiled.speedup_kernel is not a number")
+    elif speedup < 0:
+        errors.append("compiled.speedup_kernel is negative")
+    numpy_speedup = compiled.get("speedup_kernel_numpy")
+    if numpy_speedup is not None and (
+        not isinstance(numpy_speedup, (int, float))
+        or isinstance(numpy_speedup, bool)
+    ):
+        errors.append("compiled.speedup_kernel_numpy is not a number or null")
+
+
 def validate_bench_document(document) -> list[str]:
     """Schema errors of a BENCH document (empty list == valid).
 
@@ -735,14 +805,16 @@ def validate_bench_document(document) -> list[str]:
     ``peak_rss_unit == "bytes"`` asserted — plus the cold-start
     comparison section), version 3 (additionally *requires* the sharded
     scatter-gather serving section), version 4 (additionally requires
-    the mixed read/write delta-overlay serving section), and version 5,
-    which additionally requires the replicated-shard failover section.
+    the mixed read/write delta-overlay serving section), version 5
+    (additionally requires the replicated-shard failover section), and
+    version 6, which additionally requires the compiled-kernel serving
+    section.
     """
     errors: list[str] = []
     if not isinstance(document, dict):
         return ["document is not a JSON object"]
     version = document.get("version")
-    if version not in (1, 2, 3, 4, BENCH_VERSION):
+    if version not in (1, 2, 3, 4, 5, BENCH_VERSION):
         return [f"unsupported version {version!r}"]
     fields = dict(_TOP_FIELDS)
     if version == 1:
@@ -753,8 +825,10 @@ def validate_bench_document(document) -> list[str]:
         fields.update(_V3_FIELDS)
     elif version == 4:
         fields.update(_V4_FIELDS)
-    else:
+    elif version == 5:
         fields.update(_V5_FIELDS)
+    else:
+        fields.update(_V6_FIELDS)
     for field, kind in fields.items():
         if field not in document:
             errors.append(f"missing field {field!r}")
@@ -778,6 +852,8 @@ def validate_bench_document(document) -> list[str]:
         _validate_mixed_rw(document["mixed_rw"], errors)
     if version >= 5:
         _validate_replication(document["replication"], errors)
+    if version >= 6:
+        _validate_compiled(document["compiled"], errors)
     for index, cell in enumerate(document["cells"]):
         if not isinstance(cell, dict):
             errors.append(f"cells[{index}] is not an object")
@@ -975,6 +1051,38 @@ def print_suite_report(document: dict) -> None:
                 "kill one worker/shard: failover post-kill p99 "
                 f"{replication['failover_post_kill_p99_speedup']:.1f}x "
                 "better than inline restart)"
+            ),
+        )
+    compiled = document.get("compiled")
+    if compiled is not None:
+        rows = []
+        for label, name in (
+            ("interpreter", "interpreter"),
+            ("kernel (scalar)", "kernel"),
+            ("kernel (numpy)", "kernel_numpy"),
+        ):
+            mode = compiled.get(name)
+            if mode is None:
+                continue
+            qps = mode["throughput_qps"]
+            interp_qps = compiled["interpreter"]["throughput_qps"]
+            rows.append(
+                [
+                    label,
+                    mode["requests"],
+                    f"{qps:.1f}",
+                    f"{mode['p50_ms']:.4f}",
+                    f"{mode['p99_ms']:.4f}",
+                    f"{qps / interp_qps:.2f}x" if interp_qps else "-",
+                ]
+            )
+        print_table(
+            ["execution", "requests", "qps", "p50 ms", "p99 ms", "vs interp"],
+            rows,
+            title=(
+                f"compiled kernel serving ({compiled['nodes']} nodes, "
+                f"k={compiled['k']}, hot repeated queries: kernel "
+                f"{compiled['speedup_kernel']:.1f}x interpreter throughput)"
             ),
         )
     if "peak_rss_bytes" in document:

@@ -10,7 +10,7 @@ Subcommands::
     python -m repro.cli index   --graph g.tsv --backend full --out g.ridx
     python -m repro.cli serve-bench --nodes 300 --requests 120 --workers 1,4
     python -m repro.cli bench   suite --quick --out BENCH_SMOKE.json
-    python -m repro.cli bench   validate BENCH_PR8.json
+    python -m repro.cli bench   validate BENCH_PR9.json
     python -m repro.cli compact --index g.ridx --wal g.wal
     python -m repro.cli delta   info g.wal
     python -m repro.cli generate --family citation --nodes 1000 --out g.tsv
@@ -138,6 +138,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "show", help="print the compiled form (canonical DSL, nodes, semantics)"
     )
     qshow.add_argument("query", help="DSL text or query JSON path")
+    qshow.add_argument(
+        "--compiled", action="store_true",
+        help="also print the lowered kernel opcode listing (tree queries; "
+        "cyclic patterns report interpreted execution)",
+    )
 
     stats = sub.add_parser("stats", help="offline statistics for a graph")
     stats.add_argument("--graph", required=True, help="data graph (TSV)")
@@ -235,8 +240,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shrunken matrix for CI smoke runs",
     )
     bsuite.add_argument(
-        "--out", default="BENCH_PR8.json",
-        help="output JSON path (default: BENCH_PR8.json)",
+        "--out", default="BENCH_PR9.json",
+        help="output JSON path (default: BENCH_PR9.json)",
     )
     bsuite.add_argument(
         "--nodes", type=int, default=None,
@@ -402,6 +407,19 @@ def _cmd_query(args) -> int:
         f"containment nodes={compiled.containment_nodes}, "
         f"duplicate labels={'yes' if compiled.has_duplicate_labels else 'no'}"
     )
+    if getattr(args, "compiled", False):
+        from repro.kernel import KernelUnsupported, compile_program
+
+        try:
+            program = compile_program(compiled)
+        except KernelUnsupported as exc:
+            print(f"kernel:    interpreted ({exc})")
+        else:
+            print(
+                f"kernel:    {program.num_ops} ops over "
+                f"{program.num_positions} registers"
+            )
+            print(program.listing())
     return 0
 
 

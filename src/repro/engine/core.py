@@ -39,6 +39,7 @@ from typing import Iterable
 
 from repro.closure.store import ClosureStore
 from repro.closure.transitive import TransitiveClosure
+from repro.compact import accel
 from repro.core.baseline_dp import DPBEnumerator
 from repro.core.baseline_dpp import DPPEnumerator
 from repro.core.brute_force import BruteForceEngine
@@ -52,6 +53,14 @@ from repro.engine.stream import ResultStream
 from repro.exceptions import EngineError
 from repro.gpm.mtree import KGPMEngine
 from repro.graph.digraph import LabeledDiGraph
+from repro.kernel import (
+    TIER_COMPILED,
+    KernelProgram,
+    KernelUnsupported,
+    bind_program,
+    compile_program,
+    kernel_enabled,
+)
 
 # Re-exported for backward compatibility; the format registry (and this
 # JSON document version) lives in repro.io now.
@@ -63,6 +72,12 @@ from repro.runtime.graph import build_runtime_graph
 #: graph copy; matchers are identity-keyed, so unbounded churn of
 #: compiled containment queries would otherwise grow the cache forever).
 KGPM_ENGINE_CACHE_LIMIT = 8
+
+#: LRU bound on cached kernel bindings (program bound to this engine's
+#: store snapshot).  Bindings are the expensive half of compiled
+#: execution; a serving layer's warm queries reuse them, and engines are
+#: swapped per epoch so the cache can never serve a stale snapshot.
+KERNEL_BINDING_CACHE_LIMIT = 32
 
 
 class MatchEngine:
@@ -110,6 +125,12 @@ class MatchEngine:
         self._kgpm_artifacts: tuple[TransitiveClosure, ClosureStore] | None = None
         self._kgpm_engines: OrderedDict[tuple[str, int], KGPMEngine] = OrderedDict()
         self._kgpm_lock = threading.Lock()
+        # Compiled-tier bindings: program (identity) x bind mode -> the
+        # BoundProgram over this engine's store.  Guarded like the kGPM
+        # cache; bound arrays are immutable so sharing across threads is
+        # safe, and each execution starts a fresh KernelRun.
+        self._kernel_bindings: OrderedDict[tuple, "object"] = OrderedDict()
+        self._kernel_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -184,10 +205,15 @@ class MatchEngine:
         plan = self.planner.plan(compiled, k=10, algorithm=algorithm)
         return self._build_enumerator(compiled, plan.algorithm)
 
-    def _build_enumerator(self, compiled: CompiledQuery, algorithm: str):
-        config = self.config
+    def _check_workload(self, compiled: CompiledQuery):
+        """Raise when a constrained index cannot serve ``compiled``.
+
+        Shared by the interpreter and compiled paths so both tiers fail
+        with the identical :class:`EngineError`.  Returns the effective
+        matcher (both callers need it next).
+        """
         query = compiled.tree
-        matcher = compiled.effective_matcher(config.label_matcher)
+        matcher = compiled.effective_matcher(self.config.label_matcher)
         supports = getattr(self._backend, "supports", None)
         if supports is not None and not supports(query, matcher):
             raise EngineError(
@@ -196,6 +222,12 @@ class MatchEngine:
                 "sources); rebuild with the query in `workload` or use "
                 "another backend"
             )
+        return matcher
+
+    def _build_enumerator(self, compiled: CompiledQuery, algorithm: str):
+        config = self.config
+        query = compiled.tree
+        matcher = self._check_workload(compiled)
         store = self._backend.store
         if algorithm == "topk-en":
             return TopkEN(
@@ -264,14 +296,93 @@ class MatchEngine:
                 self._kgpm_engines.popitem(last=False)
         return engine
 
+    # ------------------------------------------------------------------
+    # Compiled kernel tier
+    # ------------------------------------------------------------------
+    def program_for(
+        self, compiled: CompiledQuery, plan: QueryPlan
+    ) -> KernelProgram | None:
+        """The kernel program of a compiled-tier plan, or ``None``.
+
+        Store-independent, so serving layers cache the result alongside
+        the plan (``repro.service``'s plan-cache entries) and bind it to
+        whatever engine epoch answers the request.
+        """
+        if plan.cyclic or plan.tier != TIER_COMPILED:
+            return None
+        try:
+            return compile_program(compiled)
+        except KernelUnsupported:
+            return None
+
+    def _bound_program(self, compiled: CompiledQuery, program: KernelProgram):
+        """Bind ``program`` to this engine's store, LRU-cached.
+
+        Keyed by program identity and bind mode (scalar vs numpy, per
+        the ``REPRO_COMPACT_NUMPY`` flag at call time); the cached value
+        keeps the program alive, so identity keys cannot alias.
+        """
+        np_mod = accel.resolve_numpy(None)
+        key = (program, "numpy" if np_mod is not None else "scalar")
+        with self._kernel_lock:
+            bound = self._kernel_bindings.get(key)
+            if bound is not None:
+                self._kernel_bindings.move_to_end(key)
+                return bound
+        # Bind outside the lock: racing first binds are idempotent and a
+        # bind dwarfs the duplicated work's lock-hold time.
+        bound = bind_program(
+            program,
+            self._backend.store,
+            matcher=compiled.effective_matcher(self.config.label_matcher),
+            node_weight=self.config.node_weight,
+            use_numpy=np_mod is not None,
+        )
+        with self._kernel_lock:
+            self._kernel_bindings[key] = bound
+            self._kernel_bindings.move_to_end(key)
+            while len(self._kernel_bindings) > KERNEL_BINDING_CACHE_LIMIT:
+                self._kernel_bindings.popitem(last=False)
+        return bound
+
+    def _plan_source(
+        self,
+        compiled: CompiledQuery,
+        plan: QueryPlan,
+        program: KernelProgram | None = None,
+    ):
+        """The enumeration source a tree plan executes.
+
+        A fresh :class:`~repro.kernel.KernelRun` when the plan selected
+        the compiled tier (re-checking the kill switch and falling back
+        to the interpreter on :class:`KernelUnsupported`), else the
+        interpreter enumerator.  Both expose the same protocol
+        (``top_k``/``stream``/``results``/``stats``).
+        """
+        if plan.tier == TIER_COMPILED and kernel_enabled():
+            self._check_workload(compiled)
+            try:
+                if program is None:
+                    program = compile_program(compiled)
+                return self._bound_program(compiled, program).run()
+            except KernelUnsupported:
+                pass
+        return self._build_enumerator(compiled, plan.algorithm)
+
     def _execute_plan(
-        self, compiled: CompiledQuery, plan: QueryPlan, k: int
+        self,
+        compiled: CompiledQuery,
+        plan: QueryPlan,
+        k: int,
+        program: KernelProgram | None = None,
     ) -> list[Match]:
         """Run an already-planned query (the compile/plan-free hot path).
 
         This is what plan caching skips to: :class:`repro.service`'s plan
-        cache stores ``(compiled, plan)`` pairs and calls straight into
-        here on a hit.
+        cache stores ``(compiled, plan, program)`` entries and calls
+        straight into here on a hit — with the cached ``program``, a
+        warm compiled-tier request costs one binding-cache lookup plus
+        the flat enumeration loop.
         """
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
@@ -279,20 +390,28 @@ class MatchEngine:
             return self._kgpm_engine(compiled, plan.algorithm).top_k(
                 compiled.pattern, k
             )
-        return self._build_enumerator(compiled, plan.algorithm).top_k(k)
+        return self._plan_source(compiled, plan, program).top_k(k)
 
     def prepare(self, query, k: int = 10, algorithm: str | None = None) -> "PreparedQuery":
         """Compile and plan ``query`` once for repeated execution.
 
         The returned :class:`PreparedQuery` skips parsing, lowering, and
         planning on every call — the per-request cost a serving layer
-        amortizes.  The plan is made for ``k``; executing with another
-        ``k`` reuses it unchanged (re-prepare when the planner should
-        reconsider its algorithm choice for a very different ``k``).
+        amortizes — and carries the lowered kernel program when the plan
+        selected the compiled tier.  The plan is made for ``k``;
+        executing with a *larger* ``k`` transparently re-plans (the
+        algorithm choice depends on ``k``), while a smaller ``k`` reuses
+        the plan unchanged.
         """
         compiled = self.compile(query)
         plan = self.planner.plan(compiled, k, algorithm=algorithm)
-        return PreparedQuery(engine=self, compiled=compiled, plan=plan)
+        return PreparedQuery(
+            engine=self,
+            compiled=compiled,
+            plan=plan,
+            program=self.program_for(compiled, plan),
+            algorithm=algorithm,
+        )
 
     def top_k(self, query, k: int, algorithm: str | None = None) -> list[Match]:
         """The ``k`` lowest-score matches of ``query`` (fewer if the graph
@@ -323,7 +442,7 @@ class MatchEngine:
                 "algorithm needs a target k); use top_k() instead"
             )
         plan = self.planner.plan(compiled, k_hint, algorithm=algorithm)
-        return ResultStream(self._build_enumerator(compiled, plan.algorithm), plan)
+        return ResultStream(self._plan_source(compiled, plan), plan)
 
     def batch(self, queries: Iterable, k: int, algorithm: str | None = None) -> list[list[Match]]:
         """Answer many queries over the shared index (offline cost paid once).
@@ -377,9 +496,10 @@ class PreparedQuery:
     """One query compiled and planned once, executable many times.
 
     Produced by :meth:`MatchEngine.prepare`.  Holds the compiled query
-    (parse + lowering already paid) and the plan (algorithm choice +
-    candidate estimates already paid); :meth:`top_k` jumps straight to
-    enumerator construction.  Immutable and safe to share across threads
+    (parse + lowering already paid), the plan (algorithm choice +
+    candidate estimates already paid), and — when the plan selected the
+    compiled tier — the lowered kernel ``program``; :meth:`top_k` jumps
+    straight to execution.  Immutable and safe to share across threads
     — this is the unit :class:`repro.service.MatchService`'s plan cache
     stores.
     """
@@ -387,6 +507,11 @@ class PreparedQuery:
     engine: MatchEngine
     compiled: CompiledQuery
     plan: QueryPlan
+    program: KernelProgram | None = None
+    #: The ``algorithm`` argument :meth:`MatchEngine.prepare` was called
+    #: with (``None`` = auto), so oversized-``k`` re-planning honors an
+    #: explicit choice.
+    algorithm: str | None = None
 
     @property
     def dsl(self) -> str:
@@ -394,9 +519,25 @@ class PreparedQuery:
         return self.compiled.to_dsl()
 
     def top_k(self, k: int | None = None) -> list[Match]:
-        """Execute with the prepared plan (defaults to the planned ``k``)."""
+        """Execute with the prepared plan (defaults to the planned ``k``).
+
+        The plan was chosen for :attr:`plan`'s ``k``; asking for *more*
+        results re-plans at the requested ``k`` (the planner's
+        algorithm choice depends on how much of the candidate space
+        ``k`` covers — silently reusing a small-``k`` plan for a large
+        ``k`` could pick a badly suboptimal algorithm).  Smaller ``k``
+        values reuse the plan unchanged.
+        """
+        if k is not None and k > self.plan.k:
+            fresh = self.engine.prepare(
+                self.compiled, k, algorithm=self.algorithm
+            )
+            return fresh.top_k()
         return self.engine._execute_plan(
-            self.compiled, self.plan, self.plan.k if k is None else k
+            self.compiled,
+            self.plan,
+            self.plan.k if k is None else k,
+            program=self.program,
         )
 
     def stream(self) -> ResultStream:
@@ -407,7 +548,7 @@ class PreparedQuery:
                 "algorithm needs a target k); use top_k() instead"
             )
         return ResultStream(
-            self.engine._build_enumerator(self.compiled, self.plan.algorithm),
+            self.engine._plan_source(self.compiled, self.plan, self.program),
             self.plan,
         )
 

@@ -25,6 +25,13 @@ from dataclasses import dataclass, field
 from repro.engine.config import ALGORITHMS, EngineConfig
 from repro.graph.digraph import LabeledDiGraph
 from repro.graph.query import QNodeId
+from repro.kernel import (
+    KERNEL_LOAD_CAP,
+    TIER_COMPILED,
+    TIER_INTERPRETED,
+    kernel_enabled,
+)
+from repro.kernel import supports as kernel_supports
 from repro.query.compiler import CompiledQuery, compile_query
 from repro.twig.semantics import LabelMatcher
 
@@ -64,10 +71,16 @@ class QueryPlan:
     direct_edges: int = 0
     wildcards: int = 0
     matcher_kind: str = "equality"
+    tier: str = TIER_INTERPRETED
     dsl: str = field(default="", compare=False)
 
     def describe(self) -> str:
         """Multi-line, human-readable plan (the CLI's ``--explain``)."""
+        tier_text = (
+            "compiled kernel (flat opcode program)"
+            if self.tier == TIER_COMPILED
+            else "interpreted"
+        )
         lines = [
             f"QueryPlan: algorithm={self.algorithm!r} backend={self.backend!r} "
             f"k={self.k}",
@@ -77,6 +90,7 @@ class QueryPlan:
             f"wildcards={self.wildcards}",
             f"  query nodes: {self.query_nodes}; estimated run-time copies: "
             f"{self.est_runtime_nodes}",
+            f"  execution tier: {tier_text}",
         ]
         per_node = ", ".join(
             f"{qnode!r}≈{count}" for qnode, count in self.candidate_estimates
@@ -233,6 +247,7 @@ class Planner:
             chosen = self._plan_tree(
                 compiled, requested, k, est_runtime_nodes, reasons
             )
+        tier = self._choose_tier(compiled, chosen, est_runtime_nodes, reasons)
 
         try:
             dsl = compiled.to_dsl()
@@ -250,8 +265,45 @@ class Planner:
             direct_edges=compiled.direct_edges,
             wildcards=compiled.wildcards,
             matcher_kind=self._matcher_kind(compiled),
+            tier=tier,
             dsl=dsl,
         )
+
+    def _choose_tier(
+        self,
+        compiled: CompiledQuery,
+        algorithm: str,
+        est_runtime_nodes: int,
+        reasons: list[str],
+    ) -> str:
+        """Compiled kernel vs interpreter for the chosen algorithm.
+
+        The kernel executes the fully-loaded reference semantics, so it
+        takes over the tree top-k algorithms whenever the candidate
+        space is small enough to load flat; cyclic patterns, the DP
+        baselines, and brute force stay interpreted.  ``REPRO_KERNEL=0``
+        is the operational kill switch.
+        """
+        if not kernel_supports(compiled, algorithm):
+            return TIER_INTERPRETED
+        if not kernel_enabled():
+            reasons.append(
+                "compiled kernel disabled (REPRO_KERNEL): interpreted execution"
+            )
+            return TIER_INTERPRETED
+        load_cap = max(self.config.full_load_threshold, KERNEL_LOAD_CAP)
+        if est_runtime_nodes > load_cap:
+            reasons.append(
+                f"estimated run-time graph (≈{est_runtime_nodes} copies) "
+                f"exceeds the kernel full-load cap ({load_cap}): "
+                "interpreted lazy execution"
+            )
+            return TIER_INTERPRETED
+        reasons.append(
+            "lowered to a compiled kernel program: flat slot arrays over "
+            "closure rows, no per-node interpreter dispatch"
+        )
+        return TIER_COMPILED
 
     def _plan_tree(
         self,

@@ -1,0 +1,44 @@
+"""Compiled query kernels: plans lowered to flat specialized programs.
+
+``compile_program`` lowers a ``CompiledQuery`` into a store-independent
+:class:`KernelProgram` (a small register-style opcode sequence plus the
+structure tables its executor needs); ``bind_program`` executes the
+scan/probe/accumulate ops against a closure store into a
+:class:`BoundProgram` of flat arrays; ``BoundProgram.run()`` starts
+interpreter-exact Lawler enumerations (:class:`KernelRun`).
+
+The planner selects the tier (``QueryPlan.tier == "compiled"``); the
+``REPRO_KERNEL`` environment variable is the kill switch and
+``REPRO_COMPACT_NUMPY`` (or an explicit ``use_numpy``) selects the
+vectorized bind path.  See DESIGN.md, "Compiled kernel tier".
+"""
+
+from repro.kernel.executor import BoundProgram, KernelRun, bind_program
+from repro.kernel.program import (
+    KERNEL_ALGORITHMS,
+    KERNEL_LOAD_CAP,
+    TIER_COMPILED,
+    TIER_INTERPRETED,
+    KernelOp,
+    KernelProgram,
+    KernelUnsupported,
+    compile_program,
+    kernel_enabled,
+    supports,
+)
+
+__all__ = [
+    "KERNEL_ALGORITHMS",
+    "KERNEL_LOAD_CAP",
+    "TIER_COMPILED",
+    "TIER_INTERPRETED",
+    "BoundProgram",
+    "KernelOp",
+    "KernelProgram",
+    "KernelRun",
+    "KernelUnsupported",
+    "bind_program",
+    "compile_program",
+    "kernel_enabled",
+    "supports",
+]

@@ -489,13 +489,17 @@ class MatchService:
         plan_hit = entry is not None
         if entry is None:
             plan = engine.planner.plan(compiled, k, algorithm=algorithm)
-            self._plans.put(plan_key, (compiled, plan))
+            program = engine.program_for(compiled, plan)
+            self._plans.put(plan_key, (compiled, plan, program))
         else:
             # Reuse the cached compiled form too: equal canonical DSL
             # means an equivalent query, and reusing one object keeps
-            # matcher identity stable for the engine's kGPM cache.
-            compiled, plan = entry
-        matches = tuple(engine._execute_plan(compiled, plan, k))
+            # matcher identity stable for the engine's kGPM cache.  The
+            # cached kernel program (compiled-tier plans) is
+            # store-independent, so warm requests skip lowering and hit
+            # the engine's binding cache by program identity.
+            compiled, plan, program = entry
+        matches = tuple(engine._execute_plan(compiled, plan, k, program=program))
         self._results.store(
             snapshot.epoch,
             request_key,

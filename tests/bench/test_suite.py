@@ -289,3 +289,55 @@ class TestReplicationSection:
         legacy["version"] = 4
         del legacy["replication"]
         assert validate_bench_document(legacy) == []
+
+
+class TestCompiledSection:
+    def test_compiled_section_shape(self, quick_document):
+        compiled = quick_document["compiled"]
+        assert compiled["plans"], "the workload must plan at least one query"
+        for plan in compiled["plans"]:
+            assert plan["tier"] in ("compiled", "interpreted")
+        for name in ("interpreter", "kernel"):
+            mode = compiled[name]
+            assert mode["requests"] > 0
+            assert mode["throughput_qps"] > 0.0
+            assert mode["p50_ms"] <= mode["p99_ms"]
+        numpy_mode = compiled["kernel_numpy"]
+        if numpy_mode is not None:
+            assert numpy_mode["requests"] == compiled["kernel"]["requests"]
+            assert numpy_mode["throughput_qps"] > 0.0
+
+    def test_kernel_beats_interpreter(self, quick_document):
+        """The acceptance figure: the compiled tier must answer hot
+        repeated queries at >= 1.5x the interpreter's throughput (in
+        practice it is several times faster)."""
+        assert quick_document["compiled"]["speedup_kernel"] >= 1.5, (
+            quick_document["compiled"]
+        )
+
+    def test_v6_document_requires_compiled(self, quick_document):
+        broken = json.loads(json.dumps(quick_document))
+        del broken["compiled"]
+        errors = validate_bench_document(broken)
+        assert any("compiled" in e for e in errors)
+        broken = json.loads(json.dumps(quick_document))
+        del broken["compiled"]["kernel"]["p99_ms"]
+        broken["compiled"]["interpreter"]["requests"] = -1
+        broken["compiled"]["speedup_kernel"] = "fast"
+        errors = validate_bench_document(broken)
+        assert any("kernel missing 'p99_ms'" in e for e in errors)
+        assert any("interpreter.requests is negative" in e for e in errors)
+        assert any("speedup_kernel" in e for e in errors)
+
+    def test_kernel_numpy_may_be_null(self, quick_document):
+        # Runners without numpy record null for the vectorized mode.
+        document = json.loads(json.dumps(quick_document))
+        document["compiled"]["kernel_numpy"] = None
+        document["compiled"]["speedup_kernel_numpy"] = None
+        assert validate_bench_document(document) == []
+
+    def test_v5_documents_still_validate(self, quick_document):
+        legacy = json.loads(json.dumps(quick_document))
+        legacy["version"] = 5
+        del legacy["compiled"]
+        assert validate_bench_document(legacy) == []

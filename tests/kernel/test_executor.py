@@ -1,0 +1,150 @@
+"""Execution: bound programs replay the reference interpreter exactly."""
+
+import pytest
+
+from repro.compact import accel
+from repro.engine import MatchEngine
+from repro.graph.digraph import graph_from_edges
+from repro.graph.generators import citation_graph
+from repro.kernel import bind_program, compile_program
+
+NUMPY_MODES = (
+    (False, True) if accel.resolve_numpy(True) is not None else (False,)
+)
+
+
+def exact(matches):
+    return [
+        (m.score, tuple(sorted(m.assignment.items(), key=repr)))
+        for m in matches
+    ]
+
+
+def tie_graph():
+    """A dense two-level graph with many equal-score matches (tie stress)."""
+    labels = {i: "ABC"[i % 3] for i in range(9)}
+    edges = [
+        (t, h) for t in range(9) for h in range(9)
+        if t != h and (t + h) % 2
+    ]
+    return graph_from_edges(labels, edges)
+
+
+def reference(engine, compiled, k):
+    return exact(engine._build_enumerator(compiled, "topk").top_k(k))
+
+
+def kernel_runs(engine, compiled, node_weight=None):
+    program = compile_program(compiled)
+    matcher = compiled.effective_matcher(engine.config.label_matcher)
+    for use_numpy in NUMPY_MODES:
+        yield use_numpy, bind_program(
+            program,
+            engine.store,
+            matcher=matcher,
+            node_weight=node_weight,
+            use_numpy=use_numpy,
+        )
+
+
+QUERIES = (
+    "A//B",           # single edge
+    "A/B",            # direct axis
+    "A//B[C]",        # branching twig
+    "A//B//C",        # chain
+    "A//*",           # wildcard fan-out
+    "A[*]/B",         # wildcard + direct
+    "~A//~B",         # containment matcher
+    "A",              # single node, no edges
+)
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("query", QUERIES)
+    @pytest.mark.parametrize("k", (1, 5, 1000))
+    def test_kernel_matches_interpreter(self, query, k):
+        engine = MatchEngine(tie_graph(), backend="full")
+        compiled = engine.compile(query)
+        want = reference(engine, compiled, k)
+        for use_numpy, bound in kernel_runs(engine, compiled):
+            assert exact(bound.run().top_k(k)) == want, (query, use_numpy)
+
+    @pytest.mark.parametrize("query", ("A//B[C]", "A/B", "A//*"))
+    def test_kernel_matches_interpreter_on_citation_graph(self, query):
+        graph = citation_graph(120, num_labels=5, seed=3)
+        engine = MatchEngine(graph, backend="full")
+        compiled = engine.compile(query)
+        want = reference(engine, compiled, 25)
+        for use_numpy, bound in kernel_runs(engine, compiled):
+            assert exact(bound.run().top_k(25)) == want, (query, use_numpy)
+
+    def test_node_weights_replayed(self):
+        engine = MatchEngine(
+            tie_graph(), backend="full",
+            node_weight=lambda node: float(node % 4),
+        )
+        compiled = engine.compile("A//B[C]")
+        want = reference(engine, compiled, 50)
+        assert any(score for score, _ in want), "weights must matter"
+        for use_numpy, bound in kernel_runs(
+            engine, compiled, node_weight=engine.config.node_weight
+        ):
+            assert exact(bound.run().top_k(50)) == want, use_numpy
+
+    def test_empty_result_sets_agree(self):
+        graph = graph_from_edges({0: "A", 1: "B", 2: "Z"}, [(0, 1)])
+        engine = MatchEngine(graph, backend="full")
+        compiled = engine.compile("A//Z")  # label exists, no closure row
+        assert reference(engine, compiled, 5) == []
+        for _, bound in kernel_runs(engine, compiled):
+            assert bound.run().top_k(5) == []
+
+    def test_scalar_and_numpy_binds_are_bit_identical(self):
+        if len(NUMPY_MODES) < 2:
+            pytest.skip("numpy unavailable")
+        engine = MatchEngine(tie_graph(), backend="full")
+        compiled = engine.compile("A//B[C]")
+        runs = dict(kernel_runs(engine, compiled))
+        assert runs[False].mode == "scalar"
+        assert runs[True].mode == "numpy"
+        assert exact(runs[False].run().top_k(1000)) == exact(
+            runs[True].run().top_k(1000)
+        )
+
+
+class TestRunProtocol:
+    def test_stats_surface_the_tier(self):
+        engine = MatchEngine(tie_graph(), backend="full")
+        compiled = engine.compile("A//B")
+        for _, bound in kernel_runs(engine, compiled):
+            run = bound.run()
+            run.top_k(3)
+            assert run.stats.extra["tier"] == "compiled"
+            assert run.stats.extra["bind_mode"] == bound.mode
+            assert run.stats.rounds >= 3
+
+    def test_stream_is_an_iterator_over_the_same_order(self):
+        engine = MatchEngine(tie_graph(), backend="full")
+        compiled = engine.compile("A//B")
+        (_, bound) = next(iter(kernel_runs(engine, compiled)))
+        want = exact(bound.run().top_k(7))
+        streamed = []
+        for match in bound.run().stream():
+            streamed.append(match)
+            if len(streamed) == 7:
+                break
+        assert exact(streamed) == want
+
+    def test_negative_k_raises(self):
+        engine = MatchEngine(tie_graph(), backend="full")
+        compiled = engine.compile("A//B")
+        (_, bound) = next(iter(kernel_runs(engine, compiled)))
+        with pytest.raises(ValueError, match="non-negative"):
+            bound.run().top_k(-1)
+
+    def test_bound_program_reports_bind_costs(self):
+        engine = MatchEngine(tie_graph(), backend="full")
+        compiled = engine.compile("A//B")
+        for _, bound in kernel_runs(engine, compiled):
+            assert bound.bind_seconds >= 0.0
+            assert bound.num_candidates > 0

@@ -1,0 +1,146 @@
+"""Lowering: opcode programs, listings, and the supports() predicate."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+import repro.kernel
+from repro.kernel import (
+    KERNEL_ALGORITHMS,
+    KernelUnsupported,
+    compile_program,
+    kernel_enabled,
+    supports,
+)
+from repro.query import compile_query
+
+
+def ops_by_code(program):
+    codes = {}
+    for op in program.ops:
+        codes.setdefault(op.code, []).append(op)
+    return codes
+
+
+class TestLowering:
+    def test_plain_tree_opcode_counts(self):
+        # 3 nodes, 2 '//' edges: SCAN x3, PROBE x2, ACCUM x3, ROOTS, PUSH.
+        program = compile_program(compile_query("A//B[C]"))
+        codes = ops_by_code(program)
+        assert len(codes["SCAN"]) == 3
+        assert len(codes["PROBE"]) == 2
+        assert len(codes["ACCUM"]) == 3
+        assert len(codes["ROOTS"]) == len(codes["PUSH"]) == 1
+        assert "FANOUT" not in codes and "DIRECT" not in codes
+        assert program.num_positions == 3
+        assert program.num_ops == 10
+
+    def test_direct_axis_emits_direct_marker(self):
+        program = compile_program(compile_query("A/B"))
+        codes = ops_by_code(program)
+        assert len(codes["DIRECT"]) == 1
+        (edge_spec,) = program.edge_specs
+        assert edge_spec == (0, 1, True)
+
+    def test_wildcards_fan_out(self):
+        program = compile_program(compile_query("A//*"))
+        codes = ops_by_code(program)
+        assert len(codes["FANOUT"]) == 1 and len(codes["SCAN"]) == 1
+        assert "alphabet fan-out" in codes["FANOUT"][0].text
+
+    def test_containment_matcher_fans_out(self):
+        program = compile_program(compile_query("~a+b//~c"))
+        codes = ops_by_code(program)
+        assert len(codes["FANOUT"]) == 2
+        assert program.matcher_kind == "containment"
+
+    def test_single_node_query(self):
+        program = compile_program(compile_query("A"))
+        assert program.num_positions == 1
+        assert not program.edge_specs
+        codes = ops_by_code(program)
+        assert len(codes["SCAN"]) == len(codes["ACCUM"]) == 1
+
+    def test_listing_renders_indexed_ops(self):
+        program = compile_program(compile_query("A//B/C"))
+        lines = program.listing().splitlines()
+        assert len(lines) == program.num_ops
+        assert lines[0].lstrip().startswith("0")
+        assert any("DIRECT" in line for line in lines)
+        assert lines[-1].split()[1] == "PUSH"
+
+    def test_programs_are_store_independent_and_identity_keyed(self):
+        compiled = compile_query("A//B")
+        first, second = compile_program(compiled), compile_program(compiled)
+        assert first is not second
+        assert first != second  # identity equality: cache keys never alias
+
+    def test_cyclic_patterns_are_unsupported(self):
+        cyclic = compile_query("graph(a:A, b:B; a-b, b-a)")
+        with pytest.raises(KernelUnsupported, match="kGPM"):
+            compile_program(cyclic)
+
+
+class TestSupports:
+    def test_tree_topk_supported(self):
+        compiled = compile_query("A//B")
+        assert supports(compiled)
+        for algorithm in KERNEL_ALGORITHMS:
+            assert supports(compiled, algorithm)
+
+    def test_baseline_algorithms_stay_interpreted(self):
+        compiled = compile_query("A//B")
+        for algorithm in ("dp-b", "dp-p", "brute-force"):
+            assert not supports(compiled, algorithm)
+
+    def test_cyclic_not_supported(self):
+        assert not supports(compile_query("graph(a:A, b:B; a-b, b-a)"))
+
+    def test_kill_switch_values(self, monkeypatch):
+        for off in ("0", "false", "NO", " Off "):
+            monkeypatch.setenv("REPRO_KERNEL", off)
+            assert not kernel_enabled()
+        for on in ("", "1", "on", "yes"):
+            monkeypatch.setenv("REPRO_KERNEL", on)
+            assert kernel_enabled()
+        monkeypatch.delenv("REPRO_KERNEL")
+        assert kernel_enabled()
+
+
+#: The only repro modules the kernel layer may depend on (the CI lint
+#: job enforces the same rule via config/ruff-kernel-layering.toml).
+ALLOWED_PREFIXES = (
+    "repro.kernel",
+    "repro.compact",
+    "repro.core",
+    "repro.graph",
+    "repro.query",
+    "repro.exceptions",
+    "repro.utils",
+)
+
+
+def iter_repro_imports(path: Path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.startswith("repro"):
+                    yield alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.module and node.module.startswith("repro"):
+                yield node.module
+
+
+def test_kernel_only_imports_lower_layers():
+    package_dir = Path(repro.kernel.__file__).parent
+    violations = []
+    for source in sorted(package_dir.glob("*.py")):
+        for module in iter_repro_imports(source):
+            if not module.startswith(ALLOWED_PREFIXES):
+                violations.append(f"{source.name}: {module}")
+    assert not violations, (
+        "repro.kernel must stay below the engine and serving layers; "
+        f"offending imports: {violations}"
+    )

@@ -238,6 +238,7 @@ class TestMatchDsl:
         err = capsys.readouterr().err
         assert "semantics:" in err
         assert "matcher=equality" in err
+        assert "execution tier:" in err
 
     def test_cyclic_dsl(self, graph_file, capsys):
         code = main(
@@ -359,6 +360,23 @@ class TestQuerySubcommand:
         out = capsys.readouterr().out
         assert "cyclic pattern" in out
         assert "edge a -- b" in out
+
+    def test_show_compiled_prints_opcode_listing(self, capsys):
+        code = main(["query", "show", "A//B/C", "--compiled"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kernel:" in out
+        for opcode in ("SCAN", "PROBE", "DIRECT", "ACCUM", "ROOTS", "PUSH"):
+            assert opcode in out, opcode
+
+    def test_show_compiled_reports_interpreted_for_cyclic(self, capsys):
+        code = main(
+            ["query", "show", "graph(a:A, b:B; a-b, b-a)", "--compiled"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kernel:    interpreted" in out
+        assert "kGPM" in out
 
     def test_check_json_file(self, tree_query_file, capsys):
         code = main(["query", "check", str(tree_query_file)])

@@ -9,7 +9,11 @@ Property-based cross-checks over randomly generated graphs and queries
 * wildcard and direct-edge (``/``) queries agree across backends;
 * :class:`repro.service.MatchService` (caches and all) returns exactly
   what a direct :class:`repro.engine.MatchEngine` returns, on both the
-  cold and the warm cache path.
+  cold and the warm cache path;
+* the compiled kernel tier (:mod:`repro.kernel`) replays the reference
+  enumeration byte-for-byte — scalar and numpy binds, plain / wildcard /
+  containment / weighted queries, every backend — and a kernel-enabled
+  engine answers exactly like one with ``REPRO_KERNEL=0``.
 
 Tie handling: algorithms may legitimately differ in *which* boundary-
 score matches fill the k-th slots, so comparisons pin the exact score
@@ -426,3 +430,113 @@ def test_replicated_sharded_service_interleaving_matches_flat(
         assert comparable(service.top_k(query, k), k) == comparable(
             fresh.top_k(query, k), k
         )
+
+
+# ----------------------------------------------------------------------
+# Compiled kernel tier
+# ----------------------------------------------------------------------
+
+
+def _kernel_bind_modes():
+    """Scalar always; the numpy bind only where numpy is importable."""
+    from repro.compact import accel
+
+    return (False, True) if accel.resolve_numpy(True) is not None else (False,)
+
+
+@given(
+    instance=graph_and_query(max_query_size=4, wildcards=True),
+    k=st.integers(1, 10),
+)
+@fuzz_settings
+def test_compiled_kernel_is_bit_identical_to_interpreter(instance, k):
+    """Kernel run == the reference ("topk") interpreter *byte-for-byte*.
+
+    The kernel replays the reference enumeration over flat arrays, so
+    scores, assignments, and order must all be identical — on every
+    backend, for the scalar and the numpy bind alike (plain and
+    wildcard queries; ``/`` axes included by the strategy).
+    """
+    from repro.kernel import bind_program, compile_program
+
+    graph, query = instance
+    for backend in BACKENDS:
+        engine = MatchEngine(graph, backend=backend)
+        compiled = engine.compile(query)
+        reference = exact(
+            engine._build_enumerator(compiled, "topk").top_k(k)
+        )
+        program = compile_program(compiled)
+        matcher = compiled.effective_matcher(engine.config.label_matcher)
+        for use_numpy in _kernel_bind_modes():
+            bound = bind_program(
+                program, engine.store, matcher=matcher, use_numpy=use_numpy
+            )
+            assert exact(bound.run().top_k(k)) == reference, (
+                backend, use_numpy,
+            )
+
+
+@given(
+    instance=graph_and_query(max_query_size=4, weighted=True, max_weight=4),
+    k=st.integers(1, 8),
+    data=st.data(),
+)
+@fuzz_settings
+def test_compiled_kernel_containment_weighted_bit_identical(instance, k, data):
+    """Containment queries (``~A//~B`` family) on weighted graphs:
+    kernel == reference interpreter byte-for-byte, both bind modes."""
+    from repro.kernel import bind_program, compile_program
+
+    graph, _ = instance
+    labels = sorted(graph.labels(), key=repr)
+    first, second = data.draw(st.permutations(labels))[:2]
+    query = f"~{first}//~{second}"
+    for backend in ("full", data.draw(st.sampled_from(BACKENDS))):
+        engine = MatchEngine(graph, backend=backend)
+        compiled = engine.compile(query)
+        reference = exact(
+            engine._build_enumerator(compiled, "topk").top_k(k)
+        )
+        program = compile_program(compiled)
+        matcher = compiled.effective_matcher(engine.config.label_matcher)
+        for use_numpy in _kernel_bind_modes():
+            bound = bind_program(
+                program, engine.store, matcher=matcher, use_numpy=use_numpy
+            )
+            assert exact(bound.run().top_k(k)) == reference, (
+                backend, use_numpy,
+            )
+
+
+@given(
+    instance=graph_and_query(max_query_size=4, wildcards=True),
+    k=st.integers(1, 10),
+    backend=st.sampled_from(BACKENDS),
+)
+@fuzz_settings
+def test_kernel_enabled_engine_agrees_with_kill_switched(instance, k, backend):
+    """End-to-end ``top_k`` with the kernel on == ``REPRO_KERNEL=0``.
+
+    Auto-selected plans: same top-k contract as the algorithm matrix
+    (exact scores + certain assignment set); when the planner picked the
+    ``topk`` reference algorithm the answers must match exactly.
+    """
+    import os
+
+    graph, query = instance
+    engine_on = MatchEngine(graph, backend=backend)
+    plan = engine_on.explain(query, k)
+    on = engine_on.top_k(query, k)
+    previous = os.environ.get("REPRO_KERNEL")
+    os.environ["REPRO_KERNEL"] = "0"
+    try:
+        off = MatchEngine(graph, backend=backend).top_k(query, k)
+    finally:
+        if previous is None:
+            del os.environ["REPRO_KERNEL"]
+        else:
+            os.environ["REPRO_KERNEL"] = previous
+    assert comparable(on, k) == comparable(off, k), plan.algorithm
+    if plan.algorithm == "topk":
+        assert exact(on) == exact(off)
