@@ -80,7 +80,7 @@ from repro.graph.query import WILDCARD, EdgeType, QueryGraph, QueryTree
 from repro.query import CompiledQuery, Pattern, Q, compile_query, parse, to_dsl
 from repro.service import MatchService, ServiceResponse, Snapshot, UpdateReport
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "LabeledDiGraph",

@@ -11,6 +11,7 @@ Subcommands::
     python -m repro.cli serve-bench --nodes 300 --requests 120 --workers 1,4
     python -m repro.cli bench   suite --quick --out BENCH_SMOKE.json
     python -m repro.cli bench   validate BENCH_PR9.json
+    python -m repro.cli lint    --format json
     python -m repro.cli compact --index g.ridx --wal g.wal
     python -m repro.cli delta   info g.wal
     python -m repro.cli generate --family citation --nodes 1000 --out g.tsv
@@ -34,11 +35,19 @@ with ``--format json``; ``--load-index`` sniffs the format either way;
 plan/result caches vs a fresh engine per call, 1-N workers);
 ``bench suite`` runs the canonical perf matrix and writes a
 machine-readable ``BENCH_*.json`` (``bench validate`` checks one against
-the schema — the CI gate); ``compact`` folds a write-ahead delta
+the schema — the CI gate); ``lint`` runs the :mod:`repro.devtools.lint`
+contract checks (the DESIGN.md invariants, driven by
+``config/layers.toml``) over the source tree; ``compact`` folds a
+write-ahead delta
 segment into the next ``.ridx`` generation offline (the swap protocol
 DESIGN.md specifies); ``delta info`` inspects a WAL segment or a
 generations manifest without touching it; ``generate`` writes one of
 the synthetic workload graphs.
+
+Exit codes are uniform across subcommands: **0** success (clean run, no
+findings), **1** findings (``lint`` violations, ``bench validate``
+schema errors), **2** usage or runtime errors (bad flags, missing or
+malformed input files, engine misconfiguration).
 
 With ``pip install -e .`` the same interface is exposed as the ``repro``
 console script.
@@ -252,6 +261,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "validate", help="check a BENCH JSON document against the schema"
     )
     bvalidate.add_argument("path", help="BENCH JSON document to validate")
+
+    lint = sub.add_parser(
+        "lint",
+        help="static contract checks: layering DAG, exception taxonomy, "
+        "rename durability, lock discipline, interned-id boundary",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/directories to lint (default: <root>/src/repro)",
+    )
+    lint.add_argument(
+        "--root", default=".",
+        help="repository root holding config/layers.toml (default: .)",
+    )
+    lint.add_argument(
+        "--rule", action="append", metavar="RLnnn",
+        help="run only this rule id (repeatable; default: all rules)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline", metavar="PATH",
+        help="grandfather the findings listed in this baseline document",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline from the current findings and exit 0",
+    )
 
     compact = sub.add_parser(
         "compact",
@@ -620,7 +659,10 @@ def _cmd_bench(args) -> int:
         if errors:
             for error in errors:
                 print(f"error: {error}", file=sys.stderr)
-            return 2
+            # Findings, not a usage problem: the document was readable
+            # but fails the schema — exit 1 (same contract as `lint`;
+            # an unreadable path still exits 2 via the OSError catch).
+            return 1
         print(
             f"ok: {args.path} ({len(document['cells'])} cells, "
             f"commit {document['commit'][:12]})"
@@ -631,6 +673,43 @@ def _cmd_bench(args) -> int:
     write_suite(args.out, document)
     print(f"# wrote {args.out}", file=sys.stderr)
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.devtools.lint import (
+        LintConfigError,
+        load_baseline,
+        render_json,
+        render_text,
+        run_lint,
+        write_baseline,
+    )
+
+    if args.update_baseline and not args.baseline:
+        raise LintConfigError("--update-baseline requires --baseline PATH")
+    entries = None
+    if args.baseline and not args.update_baseline:
+        entries = load_baseline(args.baseline)
+    result = run_lint(
+        Path(args.root),
+        [Path(p) for p in args.paths] or None,
+        rules=args.rule,
+        baseline=entries,
+    )
+    if args.update_baseline:
+        count = write_baseline(args.baseline, result.findings)
+        print(
+            f"wrote {count} baseline entries to {args.baseline}",
+            file=sys.stderr,
+        )
+        return 0
+    render = render_json if args.format == "json" else render_text
+    print(render(result))
+    # Stale baseline entries fail the run too: the checked-in file no
+    # longer matches the tree and must be regenerated (burn-down).
+    return 0 if result.clean and not result.stale_baseline else 1
 
 
 def _cmd_compact(args) -> int:
@@ -752,6 +831,7 @@ def main(argv: list[str] | None = None) -> int:
         "shard": _cmd_shard,
         "serve-bench": _cmd_serve_bench,
         "bench": _cmd_bench,
+        "lint": _cmd_lint,
         "compact": _cmd_compact,
         "delta": _cmd_delta,
         "generate": _cmd_generate,

@@ -9,8 +9,8 @@ a background :class:`Compactor` folds accumulated deltas into numbered
 ``.ridx`` generations managed by a :class:`GenerationStore`.
 
 This package sits on ``repro.engine`` and *below* the serving layer —
-``repro.service`` wires it up, never the reverse (enforced by
-``config/ruff-delta-layering.toml``).
+``repro.service`` wires it up, never the reverse (rule RL001 of
+``repro lint``, ``config/layers.toml``).
 """
 
 from repro.delta.compactor import CompactionPolicy, Compactor

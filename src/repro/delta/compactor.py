@@ -19,6 +19,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from repro.exceptions import DeltaError
+
 
 @dataclass(frozen=True)
 class CompactionPolicy:
@@ -61,7 +63,7 @@ class Compactor:
         name: str = "repro-compactor",
     ) -> None:
         if interval <= 0:
-            raise ValueError(f"interval must be positive, got {interval}")
+            raise DeltaError(f"interval must be positive, got {interval}")
         self._tick = tick
         self.interval = interval
         self._wake = threading.Event()

@@ -15,11 +15,12 @@ on-disk base and converges to the same graph.
 
 from __future__ import annotations
 
-import threading
 from typing import Iterable, Sequence
 
 from repro.delta.records import DeltaRecord
 from repro.delta.wal import WriteAheadLog
+from repro.devtools.lockcheck import make_lock
+from repro.exceptions import DeltaError
 
 
 class DeltaLog:
@@ -32,7 +33,7 @@ class DeltaLog:
 
     def __init__(self, wal: WriteAheadLog | None = None) -> None:
         self.wal = wal
-        self._lock = threading.Lock()
+        self._lock = make_lock("delta.log")
         self._batches: list[tuple[DeltaRecord, ...]] = []
         self._version = 0
         self._folded_records = 0
@@ -64,7 +65,7 @@ class DeltaLog:
         """
         batch = tuple(records)
         if not batch:
-            raise ValueError("a delta batch must contain at least one record")
+            raise DeltaError("a delta batch must contain at least one record")
         if self.wal is not None:
             self.wal.append(batch)
         with self._lock:

@@ -190,7 +190,12 @@ def records_from_updates(
         elif len(edge) == 3:
             records.append(EdgeAdd(edge[0], edge[1], edge[2]))
         else:
-            raise ValueError(
+            # Deliberate taxonomy exception: the docstring promises builtin
+            # ValueError/IndexError/TypeError for malformed *argument*
+            # shapes — the same types the tuple indexing below raises on
+            # its own — and the serving layers catch exactly that triple
+            # to wrap it as ServiceError/GraphError at their boundary.
+            raise ValueError(  # reprolint: disable=RL002
                 f"edges_added entries are (tail, head[, weight]), got {edge!r}"
             )
     for edge in tuple(edges_removed):

@@ -24,12 +24,11 @@ Three entry points:
 
 Layering: this module sits on ``repro.engine`` and below the serving
 tier — it must never import ``repro.service`` / ``repro.shard`` /
-``repro.cli`` (enforced by ``config/ruff-delta-layering.toml``).
+``repro.cli`` (rule RL001 of ``repro lint``, ``config/layers.toml``).
 """
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -41,6 +40,7 @@ from repro.delta.records import (
     LabelChange,
     NodeAdd,
 )
+from repro.devtools.lockcheck import make_lock
 from repro.engine.core import MatchEngine
 from repro.exceptions import DeltaError
 from repro.graph.digraph import LabeledDiGraph
@@ -318,7 +318,7 @@ class DeltaView:
         self.base = base
         self.records = None if records is None else tuple(records)
         self.target_graph = graph
-        self._lock = threading.Lock()
+        self._lock = make_lock("delta.view")
         self._result: FoldResult | None = None
 
     @property

@@ -33,13 +33,13 @@ from __future__ import annotations
 
 import os
 import struct
-import threading
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.delta.records import DeltaRecord, decode_record, encode_record
+from repro.devtools.lockcheck import make_lock
 from repro.exceptions import WalError
 
 WAL_MAGIC = b"RWAL"
@@ -157,7 +157,7 @@ class WriteAheadLog:
     ) -> None:
         self.path = Path(path)
         self.fsync = fsync
-        self._lock = threading.Lock()
+        self._lock = make_lock("delta.wal")
         self._closed = False
         if self.path.exists() and self.path.stat().st_size > 0:
             scan = scan_wal(self.path)

@@ -1,0 +1,57 @@
+"""reprolint — the AST-based contract checker for DESIGN.md invariants.
+
+DESIGN.md carries normative contracts (the layer DAG, the exception
+taxonomy, the fsync-after-rename durability rule, lock discipline, the
+interned-ID boundary).  Each has had a real bug in its class; this
+package machine-checks them instead of trusting reviewer memory:
+
+========  ==========================================================
+RL001     layering — every ``repro.*`` import must follow the
+          declarative DAG in ``config/layers.toml``
+RL002     exception taxonomy — ``repro.storage`` / ``repro.delta`` /
+          ``repro.io`` never raise bare ``ValueError`` / ``KeyError``
+          / ``OSError``
+RL003     durability — ``os.replace`` / ``os.rename`` in persistence
+          modules is followed by ``fsync_dir(...)`` in the same
+          function
+RL004     lock discipline — attributes assigned under ``with
+          self._lock:`` are not mutated outside it (static half;
+          :mod:`repro.devtools.lockcheck` is the runtime half)
+RL005     interned-ID boundary — public functions above
+          ``repro.compact`` do not traffic in raw interned ids
+========  ==========================================================
+
+Inline suppressions use ``# reprolint: disable=RL002`` on the offending
+line (or a comment line directly above); a checked-in baseline file can
+grandfather findings wholesale (``repro lint --write-baseline``).  The
+CLI front-end is ``repro lint`` (exit 0 clean / 1 findings / 2 usage
+error); the programmatic surface is :func:`run_lint`.
+"""
+
+from repro.devtools.lint.baseline import load_baseline, write_baseline
+from repro.devtools.lint.core import (
+    Finding,
+    LintConfigError,
+    LintResult,
+    ModuleSource,
+    Rule,
+    all_rules,
+    lint_sources,
+    run_lint,
+)
+from repro.devtools.lint.reporters import render_json, render_text
+
+__all__ = [
+    "Finding",
+    "LintConfigError",
+    "LintResult",
+    "ModuleSource",
+    "Rule",
+    "all_rules",
+    "lint_sources",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,60 @@
+"""Baseline files: grandfathered findings, checked in and burned down.
+
+A baseline is a JSON document listing findings by ``(rule, path,
+message)`` — line numbers are deliberately excluded so unrelated edits
+do not invalidate entries.  Matching is multiset: each entry absorbs
+exactly one live finding; entries with nothing left to absorb are
+reported as *stale* so the file shrinks as violations are fixed.
+
+Policy note (DESIGN.md): the baseline exists for onboarding a rule onto
+a tree with historical findings.  *Deliberate* exceptions belong next to
+the code as ``# reprolint: disable=RLnnn`` with a justifying comment —
+never in the baseline, where the justification would be invisible.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.devtools.lint.core import Finding, LintConfigError
+
+__all__ = ["BASELINE_KIND", "load_baseline", "write_baseline"]
+
+BASELINE_KIND = "reprolint-baseline"
+
+
+def load_baseline(path: str | Path) -> list[Mapping[str, str]]:
+    """Read a baseline document; malformed files are usage errors."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except OSError as exc:
+        raise LintConfigError(f"cannot read baseline {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise LintConfigError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(document, dict) or document.get("kind") != BASELINE_KIND:
+        raise LintConfigError(f"baseline {path} is not a {BASELINE_KIND} document")
+    entries = document.get("findings")
+    if not isinstance(entries, list):
+        raise LintConfigError(f"baseline {path} has no findings list")
+    for entry in entries:
+        if not isinstance(entry, dict) or not {"rule", "path", "message"} <= set(entry):
+            raise LintConfigError(
+                f"baseline {path}: entries need rule/path/message keys"
+            )
+    return entries
+
+
+def write_baseline(path: str | Path, findings: Sequence[Finding]) -> int:
+    """Write the current findings as the new baseline; returns the count."""
+    entries = [
+        {"rule": f.rule, "path": f.path, "message": f.message}
+        for f in sorted(findings, key=lambda f: (f.path, f.rule, f.message))
+    ]
+    document = {"kind": BASELINE_KIND, "version": 1, "findings": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)

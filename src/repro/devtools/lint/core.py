@@ -1,0 +1,517 @@
+"""reprolint core: module model, rule registry, suppressions, the driver.
+
+The framework is deliberately self-contained — rules see parsed source
+(:class:`ModuleSource`) plus the declarative layer DAG
+(:class:`LayerGraph`, from ``config/layers.toml``); they never import
+the code under check, so a broken tree can still be linted.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "Finding",
+    "LayerGraph",
+    "LintConfigError",
+    "LintResult",
+    "ModuleSource",
+    "Rule",
+    "all_rules",
+    "lint_sources",
+    "register",
+    "run_lint",
+]
+
+SEVERITIES = ("error", "warning")
+
+
+class LintConfigError(ReproError):
+    """reprolint was misconfigured (bad rule id, unreadable layer DAG,
+    malformed baseline) — a *usage* error, exit code 2, never a finding."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, pinned to a source location."""
+
+    rule: str
+    severity: str
+    path: str  # repo-relative, posix separators
+    line: int
+    col: int
+    message: str
+    suppressed: bool = False  # an inline ``# reprolint: disable=`` covers it
+    baselined: bool = False  # a baseline entry grandfathers it
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def key(self) -> tuple[str, str, str]:
+        """Line-independent identity, used for baseline matching."""
+        return (self.rule, self.path, self.message)
+
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+class ModuleSource:
+    """One parsed python module under check."""
+
+    def __init__(self, path: Path, rel_path: str, module: str, text: str) -> None:
+        self.path = path
+        self.rel_path = rel_path
+        self.module = module  # dotted name, e.g. "repro.delta.wal"
+        self.text = text
+        self.lines = text.splitlines()
+        self._tree: ast.Module | None = None
+        self._suppressions: dict[int, set[str]] | None = None
+
+    @property
+    def tree(self) -> ast.Module:
+        if self._tree is None:
+            self._tree = ast.parse(self.text, filename=str(self.path))
+        return self._tree
+
+    @property
+    def package(self) -> str:
+        """The ``repro.<sub>`` package holding this module."""
+        parts = self.module.split(".")
+        return ".".join(parts[:2]) if len(parts) >= 2 else self.module
+
+    def suppressions_for(self, line: int) -> set[str]:
+        """Rule ids disabled at ``line`` (1-based).
+
+        A ``# reprolint: disable=RL002`` trailing comment covers its own
+        line; the same comment on a line of its own covers the next
+        source line too (for statements that would overflow the line).
+        """
+        if self._suppressions is None:
+            table: dict[int, set[str]] = {}
+            for number, text in enumerate(self.lines, start=1):
+                found = _SUPPRESS_RE.search(text)
+                if not found:
+                    continue
+                rules = {part.strip() for part in found.group(1).split(",")}
+                rules = {part for part in rules if part}
+                table.setdefault(number, set()).update(rules)
+                if text.lstrip().startswith("#"):  # comment-only line
+                    table.setdefault(number + 1, set()).update(rules)
+            self._suppressions = table
+        return self._suppressions.get(line, set())
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rules = self.suppressions_for(finding.line)
+        return finding.rule in rules or "all" in rules
+
+
+# ---------------------------------------------------------------------------
+# The layer DAG (config/layers.toml)
+
+
+@dataclass(frozen=True)
+class LayerEntry:
+    """One node of the layer DAG.
+
+    ``name`` is a dotted module prefix (usually a package, occasionally a
+    single module such as ``repro.twig.semantics`` when a package spans
+    layers).  ``deps`` are the entries its modules may import (allowance
+    is transitive).  ``defers`` are the documented *upward* seams: only
+    function-local (deferred) imports may reach them — the idiom
+    ``repro.io`` uses to instantiate engines from its format registry.
+    ``exact`` restricts matching to the named module itself (used for the
+    ``repro`` root package so new top-level modules are not silently
+    grandfathered under its broad allowance).
+    """
+
+    name: str
+    deps: tuple[str, ...] = ()
+    defers: tuple[str, ...] = ()
+    exact: bool = False
+
+    def matches(self, module: str) -> bool:
+        if module == self.name:
+            return True
+        return (not self.exact) and module.startswith(self.name + ".")
+
+
+class LayerGraph:
+    """The declarative DAG: entry lookup + transitive allowance."""
+
+    def __init__(self, entries: Sequence[LayerEntry]) -> None:
+        self.entries = {entry.name: entry for entry in entries}
+        if len(self.entries) != len(entries):
+            raise LintConfigError("layers.toml lists a package twice")
+        for entry in entries:
+            for dep in entry.deps + entry.defers:
+                if dep not in self.entries:
+                    raise LintConfigError(
+                        f"layers.toml: {entry.name} depends on undeclared "
+                        f"package {dep!r}"
+                    )
+        self._check_acyclic()
+        self._allowed: dict[str, frozenset[str]] = {}
+
+    def _check_acyclic(self) -> None:
+        state: dict[str, int] = {}  # 0 visiting, 1 done
+
+        def visit(name: str, stack: tuple[str, ...]) -> None:
+            if state.get(name) == 1:
+                return
+            if state.get(name) == 0:
+                cycle = stack[stack.index(name):] + (name,)
+                raise LintConfigError(
+                    "layers.toml dependency cycle: " + " -> ".join(cycle)
+                )
+            state[name] = 0
+            for dep in self.entries[name].deps:
+                visit(dep, stack + (name,))
+            state[name] = 1
+
+        for name in self.entries:
+            visit(name, ())
+
+    def entry_for(self, module: str) -> LayerEntry | None:
+        """The most specific entry whose prefix covers ``module``."""
+        best: LayerEntry | None = None
+        for entry in self.entries.values():
+            if entry.matches(module):
+                if best is None or len(entry.name) > len(best.name):
+                    best = entry
+        return best
+
+    def allowed(self, name: str) -> frozenset[str]:
+        """Transitive dependency closure of entry ``name`` (inclusive)."""
+        cached = self._allowed.get(name)
+        if cached is None:
+            closed: set[str] = set()
+            stack = [name]
+            while stack:
+                node = stack.pop()
+                if node in closed:
+                    continue
+                closed.add(node)
+                stack.extend(self.entries[node].deps)
+            cached = self._allowed[name] = frozenset(closed)
+        return cached
+
+
+def _parse_toml(text: str) -> dict:
+    """Parse ``layers.toml`` — stdlib ``tomllib`` when available (3.11+),
+    else a minimal parser for the subset the file uses (array-of-tables
+    with string / bool / string-array values)."""
+    try:
+        import tomllib
+    except ModuleNotFoundError:  # python 3.10
+        return _parse_toml_subset(text)
+    return tomllib.loads(text)
+
+
+def _parse_toml_subset(text: str) -> dict:
+    document: dict = {}
+    current: dict = document
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[[") and line.endswith("]]"):
+            key = line[2:-2].strip()
+            current = {}
+            document.setdefault(key, []).append(current)
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            key = line[1:-1].strip()
+            current = document.setdefault(key, {})
+            continue
+        if "=" not in line:
+            raise LintConfigError(f"layers.toml: cannot parse line {raw!r}")
+        key, _, value = line.partition("=")
+        current[key.strip()] = _parse_toml_value(value.strip(), raw)
+    return document
+
+
+def _parse_toml_value(value: str, raw: str):
+    if value in ("true", "false"):
+        return value == "true"
+    if value.startswith('"') and value.endswith('"'):
+        return value[1:-1]
+    if value.startswith("[") and value.endswith("]"):
+        inner = value[1:-1].strip()
+        if not inner:
+            return []
+        parts = [part.strip() for part in inner.split(",")]
+        return [_parse_toml_value(part, raw) for part in parts if part]
+    raise LintConfigError(f"layers.toml: cannot parse value in line {raw!r}")
+
+
+def load_layers(path: Path) -> LayerGraph:
+    """Load the layer DAG from ``config/layers.toml``."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintConfigError(f"cannot read layer DAG {path}: {exc}") from exc
+    document = _parse_toml(text)
+    raw_entries = document.get("package")
+    if not raw_entries:
+        raise LintConfigError(f"{path} declares no [[package]] entries")
+    entries = []
+    for raw in raw_entries:
+        if "name" not in raw:
+            raise LintConfigError(f"{path}: [[package]] entry without a name")
+        entries.append(
+            LayerEntry(
+                name=raw["name"],
+                deps=tuple(raw.get("deps", ())),
+                defers=tuple(raw.get("defers", ())),
+                exact=bool(raw.get("exact", False)),
+            )
+        )
+    return LayerGraph(entries)
+
+
+# ---------------------------------------------------------------------------
+# Rules
+
+
+class Rule:
+    """Base class: subclasses set the class attributes and implement
+    :meth:`check` yielding :class:`Finding`\\ s (line/col filled in,
+    ``suppressed``/``baselined`` left to the driver)."""
+
+    rule_id: str = ""
+    name: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def check(self, module: ModuleSource, layers: LayerGraph) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: ModuleSource, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity,
+            path=module.rel_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_class: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rule = rule_class()
+    if not rule.rule_id or rule.severity not in SEVERITIES:
+        raise LintConfigError(f"malformed rule {rule_class.__name__}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule_class
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, in rule-id order."""
+    _load_builtin_rules()
+    return tuple(rule for _, rule in sorted(_REGISTRY.items()))
+
+
+def _load_builtin_rules() -> None:
+    # Importing the rules package runs the @register decorators.
+    from repro.devtools.lint import rules  # noqa: F401
+
+
+def select_rules(only: Sequence[str] | None) -> tuple[Rule, ...]:
+    rules = all_rules()
+    if not only:
+        return rules
+    by_id = {rule.rule_id: rule for rule in rules}
+    chosen = []
+    for rule_id in only:
+        normalized = rule_id.upper()
+        if normalized not in by_id:
+            known = ", ".join(sorted(by_id))
+            raise LintConfigError(f"unknown rule {rule_id!r} (known: {known})")
+        chosen.append(by_id[normalized])
+    return tuple(chosen)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+
+
+@dataclass
+class LintResult:
+    """The outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)  # active
+    suppressed: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale_baseline: list[Mapping[str, str]] = field(default_factory=list)
+    modules_checked: int = 0
+    rules_run: tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        by_severity = {"error": 0, "warning": 0}
+        for finding in self.findings:
+            by_severity[finding.severity] += 1
+        return {
+            **by_severity,
+            "active": len(self.findings),
+            "suppressed": len(self.suppressed),
+            "baselined": len(self.baselined),
+            "stale_baseline": len(self.stale_baseline),
+            "modules": self.modules_checked,
+        }
+
+
+def module_name_for(path: Path) -> str | None:
+    """Derive the dotted module name from a path containing a ``repro``
+    component (``.../src/repro/delta/wal.py`` -> ``repro.delta.wal``)."""
+    parts = list(path.with_suffix("").parts)
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            dotted = parts[index:]
+            if dotted[-1] == "__init__":
+                dotted = dotted[:-1]
+            return ".".join(dotted)
+    return None
+
+
+def iter_module_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise LintConfigError(f"cannot lint {path}: not a python file or directory")
+
+
+def _check_module(
+    module: ModuleSource,
+    rules: Sequence[Rule],
+    layers: LayerGraph,
+    result: LintResult,
+) -> None:
+    try:
+        module.tree
+    except SyntaxError as exc:
+        result.findings.append(
+            Finding(
+                rule="RL000",
+                severity="error",
+                path=module.rel_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"file does not parse: {exc.msg}",
+            )
+        )
+        return
+    result.modules_checked += 1
+    for rule in rules:
+        for finding in rule.check(module, layers):
+            if module.is_suppressed(finding):
+                result.suppressed.append(replace(finding, suppressed=True))
+            else:
+                result.findings.append(finding)
+
+
+def _apply_baseline(result: LintResult, baseline: Sequence[Mapping[str, str]]) -> None:
+    """Move findings matched by baseline entries (line numbers ignored,
+    multiset semantics) into ``baselined``; record unmatched entries as
+    stale so a fixed violation prompts a baseline cleanup."""
+    budget: dict[tuple[str, str, str], int] = {}
+    for entry in baseline:
+        key = (entry["rule"], entry["path"], entry["message"])
+        budget[key] = budget.get(key, 0) + 1
+    active: list[Finding] = []
+    for finding in result.findings:
+        key = finding.key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            result.baselined.append(replace(finding, baselined=True))
+        else:
+            active.append(finding)
+    result.findings = active
+    for (rule, path, message), remaining in sorted(budget.items()):
+        for _ in range(remaining):
+            result.stale_baseline.append(
+                {"rule": rule, "path": path, "message": message}
+            )
+
+
+def run_lint(
+    root: Path,
+    paths: Sequence[Path] | None = None,
+    *,
+    rules: Sequence[str] | None = None,
+    layers_path: Path | None = None,
+    baseline: Sequence[Mapping[str, str]] | None = None,
+) -> LintResult:
+    """Lint ``paths`` (default: ``<root>/src/repro``) against the layer
+    DAG at ``layers_path`` (default: ``<root>/config/layers.toml``)."""
+    root = Path(root)
+    layers = load_layers(layers_path or root / "config" / "layers.toml")
+    chosen = select_rules(rules)
+    targets = [Path(p) for p in paths] if paths else [root / "src" / "repro"]
+    for target in targets:
+        if not target.exists():
+            raise LintConfigError(f"cannot lint {target}: no such path")
+    result = LintResult(rules_run=tuple(rule.rule_id for rule in chosen))
+    for file_path in iter_module_files(targets):
+        module_name = module_name_for(file_path)
+        if module_name is None:
+            continue  # not part of the repro tree (conftest, fixtures, ...)
+        try:
+            rel = file_path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = file_path.as_posix()
+        module = ModuleSource(
+            file_path, rel, module_name, file_path.read_text(encoding="utf-8")
+        )
+        _check_module(module, chosen, layers, result)
+    if baseline:
+        _apply_baseline(result, baseline)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result
+
+
+def lint_sources(
+    sources: Sequence[tuple[str, str]],
+    layers: LayerGraph,
+    *,
+    rules: Sequence[str] | None = None,
+    path_for: Callable[[str], str] | None = None,
+) -> LintResult:
+    """Lint in-memory ``(module_name, source_text)`` pairs — the unit-test
+    surface: fixture files feed through here without needing a fake
+    ``src/repro`` tree on disk."""
+    chosen = select_rules(rules)
+    result = LintResult(rules_run=tuple(rule.rule_id for rule in chosen))
+    for module_name, text in sources:
+        rel = (
+            path_for(module_name)
+            if path_for
+            else module_name.replace(".", "/") + ".py"
+        )
+        module = ModuleSource(Path(rel), rel, module_name, text)
+        _check_module(module, chosen, layers, result)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result
+
+
+def iter_findings(result: LintResult) -> Iterable[Finding]:
+    """Active, then baselined, then suppressed — reporting order."""
+    yield from result.findings
+    yield from result.baselined
+    yield from result.suppressed

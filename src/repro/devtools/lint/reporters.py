@@ -1,0 +1,90 @@
+"""Finding reporters: human text and machine JSON.
+
+The JSON document is the CI artifact (``repro lint --format json``); its
+shape is pinned by ``tests/devtools/test_lint_framework.py``::
+
+    {
+      "kind": "reprolint-report",
+      "version": 1,
+      "rules": ["RL001", ...],
+      "findings": [{"rule", "severity", "path", "line", "col",
+                    "message", "suppressed", "baselined"}, ...],
+      "summary": {"active", "error", "warning", "suppressed",
+                  "baselined", "stale_baseline", "modules"}
+    }
+
+``findings`` lists active findings first, then baselined, then
+suppressed (the latter two flagged, so dashboards can burn them down).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.devtools.lint.core import LintResult, iter_findings
+
+__all__ = ["render_json", "render_text"]
+
+REPORT_KIND = "reprolint-report"
+
+
+def render_text(result: LintResult, *, verbose: bool = False) -> str:
+    lines = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.location()}: {finding.rule} [{finding.severity}] "
+            f"{finding.message}"
+        )
+    if verbose:
+        for finding in result.baselined:
+            lines.append(f"{finding.location()}: {finding.rule} [baselined] "
+                         f"{finding.message}")
+        for finding in result.suppressed:
+            lines.append(f"{finding.location()}: {finding.rule} [suppressed] "
+                         f"{finding.message}")
+    counts = result.counts()
+    for entry in result.stale_baseline:
+        lines.append(
+            f"stale baseline entry: {entry['rule']} {entry['path']}: "
+            f"{entry['message']} (fixed? remove it or --update-baseline)"
+        )
+    summary = (
+        f"checked {counts['modules']} modules with "
+        f"{len(result.rules_run)} rules: "
+        f"{counts['error']} errors, {counts['warning']} warnings"
+    )
+    extras = []
+    if counts["suppressed"]:
+        extras.append(f"{counts['suppressed']} suppressed inline")
+    if counts["baselined"]:
+        extras.append(f"{counts['baselined']} baselined")
+    if counts["stale_baseline"]:
+        extras.append(f"{counts['stale_baseline']} stale baseline entries")
+    if extras:
+        summary += " (" + ", ".join(extras) + ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    document = {
+        "kind": REPORT_KIND,
+        "version": 1,
+        "rules": list(result.rules_run),
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": f.severity,
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "message": f.message,
+                "suppressed": f.suppressed,
+                "baselined": f.baselined,
+            }
+            for f in iter_findings(result)
+        ],
+        "stale_baseline": list(result.stale_baseline),
+        "summary": result.counts(),
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

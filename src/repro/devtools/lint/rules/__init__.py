@@ -1,0 +1,9 @@
+"""Built-in reprolint rules.  Importing this package registers them."""
+
+from repro.devtools.lint.rules import (  # noqa: F401
+    durability,
+    interned,
+    layering,
+    locks,
+    taxonomy,
+)

@@ -1,0 +1,98 @@
+"""RL003 — fsync-after-rename durability (DESIGN.md swap protocols).
+
+``os.replace`` makes the new name *visible* atomically but not
+*durable*: until the containing directory is fsynced, a crash can roll
+the rename back — which is precisely how the PR 8 bug class lost
+acknowledged WAL generations.  Every rename in a persistence module
+must therefore be followed by ``fsync_dir(...)`` on the containing
+directory **within the same function** (the swap protocols are written
+so the rename and its fsync are adjacent; a helper that renames without
+fsyncing pushes the obligation onto every caller, where it gets lost).
+
+The check is syntactic by design: a ``fsync_dir`` call later in the
+same function body satisfies it.  A function that deliberately defers
+the fsync (e.g. batching several renames) documents that with an inline
+suppression at the rename.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.core import Finding, LayerGraph, ModuleSource, Rule, register
+
+#: Packages whose renames move persistent state into place.
+COVERED = ("repro.storage", "repro.delta", "repro.shard", "repro.io", "repro.service")
+
+RENAME_NAMES = {"replace", "rename", "renames"}
+
+
+def _is_rename(call: ast.Call, os_aliases: set[str]) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute) and func.attr in RENAME_NAMES:
+        root = func.value
+        if isinstance(root, ast.Name) and root.id in os_aliases:
+            return True
+        # os.path-style chains never rename; anything.replace(...) on a
+        # non-os object (str.replace!) must not count.
+        return False
+    if isinstance(func, ast.Name) and func.id in {"replace", "rename"}:
+        # ``from os import replace`` style — flagged only when imported.
+        return func.id in os_aliases
+    return False
+
+
+def _is_fsync_dir(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "fsync_dir"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "fsync_dir"
+    return False
+
+
+@register
+class DurabilityRule(Rule):
+    rule_id = "RL003"
+    name = "fsync-after-rename"
+    severity = "error"
+    description = (
+        "os.replace / os.rename in persistence modules is followed by "
+        "fsync_dir(...) in the same function"
+    )
+
+    def check(self, module: ModuleSource, layers: LayerGraph) -> Iterator[Finding]:
+        if not module.package.startswith(COVERED):
+            return
+        os_aliases = {"os"}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "os":
+                for alias in node.names:
+                    if alias.name in RENAME_NAMES:
+                        os_aliases.add(alias.asname or alias.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "os":
+                        os_aliases.add(alias.asname or "os")
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            renames: list[ast.Call] = []
+            fsync_lines: list[int] = []
+            for inner in ast.walk(node):
+                if isinstance(inner, ast.Call):
+                    if _is_rename(inner, os_aliases):
+                        renames.append(inner)
+                    elif _is_fsync_dir(inner):
+                        fsync_lines.append(inner.lineno)
+            for call in renames:
+                if not any(line >= call.lineno for line in fsync_lines):
+                    yield self.finding(
+                        module,
+                        call,
+                        f"os.{call.func.attr if isinstance(call.func, ast.Attribute) else call.func.id}"  # noqa: E501
+                        f" in {node.name}() is not followed by fsync_dir(...) "
+                        "on the containing directory; a crash can undo the "
+                        "rename (DESIGN.md swap protocols)",
+                    )

@@ -1,0 +1,113 @@
+"""RL005 — the interned-ID boundary (DESIGN.md, normative).
+
+``repro.compact`` interns nodes to dense int32 ids; the contract says
+those ids **never escape the closure layer** — every public method
+above it speaks external ``NodeId`` objects, with translation at the
+method boundary.  The bug class is real: silent node-id coercion once
+broke ``Match`` equality after a reload.
+
+Statically, a leak shows up in the *signature*: a public function or
+method whose parameters (or return annotation) use the interned-id
+vocabulary — ``iid`` / ``iids`` / ``interned_id(s)`` / ``*_iid(s)`` or
+an ``int32``-typed annotation.  Private helpers (leading underscore,
+or enclosed in a private class) legitimately traffic in interned ids
+and are exempt, as are the under-the-boundary layers themselves
+(``repro.compact`` and the kernel execution tier, which runs on flat
+interned arrays by design).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.core import Finding, LayerGraph, ModuleSource, Rule, register
+
+#: Layers *under or beside* the boundary: interned ids are their native
+#: vocabulary.  Everything else that can reach repro.compact through the
+#: DAG is above the boundary and gets checked.
+EXEMPT = ("repro.compact", "repro.kernel", "repro.devtools")
+
+INTERNED_NAMES = {"iid", "iids", "interned", "interned_id", "interned_ids"}
+INTERNED_SUFFIXES = ("_iid", "_iids")
+ANNOTATION_MARKERS = ("int32", "InternedId")
+
+
+def _is_interned_param(name: str, annotation: ast.expr | None) -> str | None:
+    if name in INTERNED_NAMES or name.endswith(INTERNED_SUFFIXES):
+        return f"parameter {name!r}"
+    if annotation is not None:
+        text = ast.dump(annotation)
+        for marker in ANNOTATION_MARKERS:
+            if marker in text:
+                return f"parameter {name!r} annotated with {marker}"
+    return None
+
+
+@register
+class InternedBoundaryRule(Rule):
+    rule_id = "RL005"
+    name = "interned-id-boundary"
+    severity = "error"
+    description = (
+        "public functions above repro.compact do not accept/return raw "
+        "interned int32 ids"
+    )
+
+    def check(self, module: ModuleSource, layers: LayerGraph) -> Iterator[Finding]:
+        entry = layers.entry_for(module.module)
+        if entry is None or module.package.startswith(EXEMPT):
+            return
+        # Only layers that can see repro.compact at all are above the
+        # boundary; repro.graph and friends below it cannot leak what
+        # they cannot name.
+        if "repro.compact" not in layers.allowed(entry.name):
+            return
+        yield from self._check_body(module, module.tree.body, public=True)
+
+    def _check_body(self, module, statements, public):
+        for node in statements:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_body(
+                    module, node.body, public and not node.name.startswith("_")
+                )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                is_public = public and not node.name.startswith("_")
+                if is_public:
+                    yield from self._check_signature(module, node)
+                # Nested defs are never public API; stop descending.
+
+    def _check_signature(self, module, node):
+        args = node.args
+        every = (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        )
+        for arg in every:
+            if arg.arg in ("self", "cls"):
+                continue
+            what = _is_interned_param(arg.arg, arg.annotation)
+            if what:
+                yield self.finding(
+                    module,
+                    node,
+                    f"public function {node.name}() leaks the interned-id "
+                    f"vocabulary across the boundary ({what}); translate to "
+                    "NodeId at the method boundary (DESIGN.md, interned-ID "
+                    "boundary contract)",
+                )
+        if node.returns is not None:
+            text = ast.dump(node.returns)
+            for marker in ANNOTATION_MARKERS:
+                if marker in text:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"public function {node.name}() returns {marker}-typed "
+                        "interned ids; decode to NodeId before returning "
+                        "(DESIGN.md, interned-ID boundary contract)",
+                    )
+                    break

@@ -1,0 +1,141 @@
+"""RL004 — static lock discipline (runtime half: ``repro.devtools.lockcheck``).
+
+If a class protects an attribute with ``with self._lock:`` *somewhere*,
+every rebind of that attribute is a critical section: an unguarded
+assignment elsewhere in the class is either a race or (when the caller
+provably holds the lock, or the value is immutable-by-convention) a
+fact worth stating next to the code with a suppression comment.
+
+Scope and deliberate limits:
+
+* only attribute **rebinds** (``self.x = ...``, ``self.x += ...``) are
+  tracked — in-place mutation through method calls is out of static
+  reach and belongs to the runtime sanitizer and the stress tests;
+* ``__init__`` is exempt: construction happens before the object is
+  shared between threads (the idiom every guarded class here uses);
+* guarding is matched per lock *attribute name* (``self._lock`` vs
+  ``self._stats_lock``), so a class with several locks is checked per
+  domain.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.core import Finding, LayerGraph, ModuleSource, Rule, register
+
+
+def _lock_name(expr: ast.expr) -> str | None:
+    """``self.<attr>`` where ``<attr>`` smells like a lock, else None."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and "lock" in expr.attr.lower()
+    ):
+        return expr.attr
+    return None
+
+
+def _self_attr_targets(node: ast.stmt) -> list[tuple[str, ast.AST]]:
+    """Attributes of ``self`` rebound by an assignment statement."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        if isinstance(node, ast.AnnAssign) and node.value is None:
+            return []
+        targets = [node.target]
+    found = []
+    for target in targets:
+        for expr in ast.walk(target):  # tuple unpacking reaches nested names
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+            ):
+                found.append((expr.attr, node))
+    return found
+
+
+class _ClassScan(ast.NodeVisitor):
+    """Collect every ``self.<attr>`` rebind with the set of ``self.*``
+    locks held (syntactically) at that point, per method."""
+
+    def __init__(self) -> None:
+        self.assignments: list[tuple[str, ast.AST, frozenset[str], str]] = []
+        self._method = ""
+        self._held: list[str] = []
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if self._method:
+            return  # nested defs run later, under unknowable locks — skip
+        self._method = node.name
+        for child in node.body:
+            self.visit(child)
+        self._method = ""
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass  # nested classes are scanned on their own
+
+
+
+    def visit_With(self, node: ast.With) -> None:
+        names = [
+            name
+            for item in node.items
+            if (name := _lock_name(item.context_expr)) is not None
+        ]
+        self._held.extend(names)
+        for child in node.body:
+            self.visit(child)
+        del self._held[len(self._held) - len(names):]
+
+    def generic_visit(self, node: ast.AST) -> None:
+        if isinstance(node, ast.stmt):
+            for attr, stmt in _self_attr_targets(node):
+                self.assignments.append(
+                    (attr, stmt, frozenset(self._held), self._method)
+                )
+        super().generic_visit(node)
+
+
+@register
+class LockDisciplineRule(Rule):
+    rule_id = "RL004"
+    name = "lock-discipline"
+    severity = "warning"
+    description = (
+        "attributes assigned under `with self.<lock>:` are not rebound "
+        "outside it (outside __init__)"
+    )
+
+    def check(self, module: ModuleSource, layers: LayerGraph) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            scan = _ClassScan()
+            for child in node.body:
+                scan.visit(child)
+            guarded: dict[str, set[str]] = {}  # attr -> lock names guarding it
+            for attr, _stmt, held, _method in scan.assignments:
+                if held:
+                    guarded.setdefault(attr, set()).update(held)
+            for attr, stmt, held, method in scan.assignments:
+                locks = guarded.get(attr)
+                if not locks or method == "__init__":
+                    continue
+                if held & locks:
+                    continue
+                lock_list = " / ".join(f"self.{name}" for name in sorted(locks))
+                yield self.finding(
+                    module,
+                    stmt,
+                    f"{node.name}.{attr} is assigned under {lock_list} "
+                    f"elsewhere but rebound without it in {method}(); "
+                    "either take the lock or state why it is safe with a "
+                    "reprolint suppression",
+                )

@@ -1,0 +1,63 @@
+"""RL002 — the exception taxonomy (DESIGN.md; ``repro.exceptions``).
+
+The persistence layers promise *typed* failures: corrupted index files
+raise ``IndexFormatError``, unusable WAL segments raise ``WalError``,
+service misuse raises the ``ServiceError`` family — never a bare
+``ValueError``/``KeyError``/``OSError`` a caller cannot distinguish from
+a genuine bug.  PR 8 fixed exactly this class (``WriteAheadLog.rewrite``
+leaking a raw ``ValueError`` on a closed segment); this rule keeps the
+class extinct in ``repro.storage``, ``repro.delta`` and ``repro.io``.
+
+Only ``raise`` statements whose exception is literally one of the
+builtin types are flagged; re-raises (``raise``) and raises of taxonomy
+types are untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.core import Finding, LayerGraph, ModuleSource, Rule, register
+
+#: Packages under the taxonomy contract, with the types it mandates.
+COVERED = {
+    "repro.storage": "IndexFormatError / StorageError",
+    "repro.delta": "DeltaError / WalError",
+    "repro.io": "IndexFormatError / GraphError / QueryError",
+}
+
+BANNED = ("ValueError", "KeyError", "OSError", "IOError")
+
+
+@register
+class TaxonomyRule(Rule):
+    rule_id = "RL002"
+    name = "exception-taxonomy"
+    severity = "error"
+    description = (
+        "repro.storage / repro.delta / repro.io raise taxonomy exceptions, "
+        "never bare ValueError / KeyError / OSError"
+    )
+
+    def check(self, module: ModuleSource, layers: LayerGraph) -> Iterator[Finding]:
+        mandated = COVERED.get(module.package)
+        if mandated is None:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            name = None
+            if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+                name = exc.func.id
+            elif isinstance(exc, ast.Name):
+                name = exc.id
+            if name in BANNED:
+                yield self.finding(
+                    module,
+                    node,
+                    f"{module.package} raises bare {name}; the exception "
+                    f"taxonomy mandates {mandated} here (repro.exceptions, "
+                    "DESIGN.md)",
+                )

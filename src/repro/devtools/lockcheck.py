@@ -1,0 +1,178 @@
+"""Runtime lock-order sanitizer (the dynamic half of rule RL004).
+
+Deadlocks need two locks taken in opposite orders by two threads — a
+schedule a stress test may never hit.  The sanitizer makes the *order*
+itself the invariant: every :class:`CheckedLock` acquisition records the
+edge ``held -> acquiring`` in one process-global order graph, and an
+acquisition that would create a cycle (lock ``B`` acquired while ``A``
+is held after some thread acquired ``A`` while ``B`` was held) raises
+:class:`LockOrderError` immediately — on the *first* inverted schedule,
+whether or not the threads actually interleave into a deadlock.
+
+Activation is environment-driven so production code pays nothing:
+modules create their locks through :func:`make_lock`, which returns a
+plain ``threading.Lock`` unless ``REPRO_LOCKCHECK=1`` was set when the
+lock was created.  The service stress tests and the differential fuzz
+suite run under the flag in CI.
+
+Ordering is tracked per lock *name*, not per instance: every
+``_ShardGroup.lock`` shares one node in the order graph, so an inversion
+between two instances of the same lock class is still caught.  A thread
+re-entering a name it already holds records no edge (re-entrant
+wrappers would self-cycle otherwise).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any
+
+from repro.exceptions import ReproError
+
+__all__ = [
+    "CheckedLock",
+    "LockOrderError",
+    "enabled",
+    "held_locks",
+    "make_lock",
+    "order_edges",
+    "reset",
+]
+
+
+class LockOrderError(ReproError):
+    """Two locks were acquired in opposite orders by (possibly) two
+    threads — a latent deadlock, reported at the second acquisition site."""
+
+
+# One process-global order graph.  ``_edges[a]`` holds every lock name
+# acquired while ``a`` was held, with the thread/site that first recorded
+# the edge so the diagnostic can name both sides of the inversion.
+_graph_lock = threading.Lock()
+_edges: dict[str, dict[str, str]] = {}
+_held = threading.local()
+
+
+def enabled() -> bool:
+    """True when ``REPRO_LOCKCHECK=1`` is set in the environment."""
+    return os.environ.get("REPRO_LOCKCHECK", "") == "1"
+
+
+def make_lock(name: str) -> Any:
+    """A lock for ``name``: checked under ``REPRO_LOCKCHECK=1``, plain otherwise.
+
+    The decision is taken at *creation* time — long-lived services built
+    before the flag flips keep the locks they were built with.
+    """
+    if enabled():
+        return CheckedLock(name)
+    return threading.Lock()
+
+
+def reset() -> None:
+    """Forget every recorded ordering edge (test isolation)."""
+    with _graph_lock:
+        _edges.clear()
+
+
+def order_edges() -> dict[str, tuple[str, ...]]:
+    """Snapshot of the recorded order graph, for assertions and debugging."""
+    with _graph_lock:
+        return {a: tuple(sorted(bs)) for a, bs in _edges.items()}
+
+
+def held_locks() -> tuple[str, ...]:
+    """Names of the checked locks the calling thread currently holds."""
+    return tuple(getattr(_held, "stack", ()))
+
+
+def _reaches(start: str, goal: str) -> bool:
+    """Is there a path ``start -> ... -> goal`` in the order graph?
+
+    Caller holds ``_graph_lock``.  The graph is tiny (one node per lock
+    *name* in the process), so an iterative DFS is plenty.
+    """
+    stack, seen = [start], {start}
+    while stack:
+        node = stack.pop()
+        if node == goal:
+            return True
+        for nxt in _edges.get(node, ()):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return False
+
+
+class CheckedLock:
+    """A ``threading.Lock`` wrapper that validates global acquisition order.
+
+    Supports the full lock protocol (``acquire``/``release``/context
+    manager) so it can stand in for the plain lock anywhere
+    :func:`make_lock` is used.
+    """
+
+    __slots__ = ("name", "_inner")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._inner = threading.Lock()
+
+    def _record(self) -> None:
+        stack: list[str] = getattr(_held, "stack", None) or []
+        if self.name in stack:
+            # Re-entry on the same name: no self-edges.  (The inner lock
+            # is not re-entrant — a true same-*instance* re-acquire will
+            # deadlock exactly like the plain lock would; same-name
+            # different-instance holds are legitimate.)
+            return
+        thread = threading.current_thread().name
+        with _graph_lock:
+            for held_name in stack:
+                # Would the new edge held_name -> self.name close a cycle?
+                if _reaches(self.name, held_name):
+                    first = _edges[self.name].get(held_name) or next(
+                        iter(_edges[self.name].values())
+                    )
+                    raise LockOrderError(
+                        f"lock order inversion: thread {thread!r} acquires "
+                        f"{self.name!r} while holding {held_name!r}, but the "
+                        f"opposite order was recorded earlier ({first}); "
+                        "a schedule interleaving the two deadlocks"
+                    )
+                _edges.setdefault(held_name, {}).setdefault(
+                    self.name, f"{held_name!r} -> {self.name!r} in thread {thread!r}"
+                )
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self._record()
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            stack = getattr(_held, "stack", None)
+            if stack is None:
+                stack = _held.stack = []
+            stack.append(self.name)
+        return acquired
+
+    def release(self) -> None:
+        self._inner.release()
+        stack: list[str] = getattr(_held, "stack", None) or []
+        # Remove the most recent hold of this name (release order may
+        # legally differ from acquisition order).
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == self.name:
+                del stack[index]
+                break
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CheckedLock({self.name!r}, locked={self._inner.locked()})"

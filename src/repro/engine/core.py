@@ -31,7 +31,6 @@ streams results, and persists indexes via :mod:`repro.io`.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -46,6 +45,7 @@ from repro.core.brute_force import BruteForceEngine
 from repro.core.matches import Match
 from repro.core.topk import TopkEnumerator
 from repro.core.topk_en import TopkEN
+from repro.devtools.lockcheck import make_lock
 from repro.engine.backends import ReachabilityBackend, build_backend
 from repro.engine.config import EngineBuilder, EngineConfig
 from repro.engine.planner import Planner, QueryPlan, choose_backend
@@ -124,13 +124,13 @@ class MatchEngine:
         # so lazy population is guarded by a lock.
         self._kgpm_artifacts: tuple[TransitiveClosure, ClosureStore] | None = None
         self._kgpm_engines: OrderedDict[tuple[str, int], KGPMEngine] = OrderedDict()
-        self._kgpm_lock = threading.Lock()
+        self._kgpm_lock = make_lock("engine.kgpm")
         # Compiled-tier bindings: program (identity) x bind mode -> the
         # BoundProgram over this engine's store.  Guarded like the kGPM
         # cache; bound arrays are immutable so sharing across threads is
         # safe, and each execution starts a fresh KernelRun.
         self._kernel_bindings: OrderedDict[tuple, "object"] = OrderedDict()
-        self._kernel_lock = threading.Lock()
+        self._kernel_lock = make_lock("engine.kernel")
 
     # ------------------------------------------------------------------
     # Construction helpers

@@ -37,7 +37,7 @@ snapshot is current.  Binding and execution live in
 :mod:`repro.kernel.executor`.
 
 Layering: this package sits below the engine and serving layers and must
-never import them (gated by ``config/ruff-kernel-layering.toml``).
+never import them (rule RL001 of ``repro lint``, ``config/layers.toml``).
 """
 
 from __future__ import annotations

@@ -21,9 +21,10 @@ every operation is O(1) or O(entries) for migrations).
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Hashable
+
+from repro.devtools.lockcheck import make_lock
 
 
 class CacheStats:
@@ -65,7 +66,7 @@ class LRUCache:
             raise ValueError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self.stats = CacheStats()
-        self._lock = threading.Lock()
+        self._lock = make_lock("service.cache")
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
 
     @property

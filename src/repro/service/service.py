@@ -56,6 +56,7 @@ from pathlib import Path
 
 from repro.core.matches import Match
 from repro.delta.compactor import CompactionPolicy, Compactor
+from repro.devtools.lockcheck import make_lock
 from repro.delta.generations import GenerationStore, resolve_index_path
 from repro.delta.log import DeltaLog
 from repro.delta.records import (
@@ -230,12 +231,12 @@ class MatchService:
             max_workers=max_workers, thread_name_prefix="matchservice"
         )
         self._slots = threading.BoundedSemaphore(max_pending)
-        self._update_lock = threading.Lock()
+        self._update_lock = make_lock("service.update")
         self._closed = False
         # Monotonic counters; guarded by a lock so the consistency
         # identities the stress tests assert (e.g. result-cache lookups
         # == cacheable requests) hold exactly under contention.
-        self._stats_lock = threading.Lock()
+        self._stats_lock = make_lock("service.stats")
         self._requests = 0
         self._uncacheable = 0
         self._deadline_misses = 0
@@ -762,8 +763,11 @@ class MatchService:
         if n_nodes or n_labels:
             # Cleared eagerly (not at materialization): a plan computed
             # between this append and the fold would otherwise bake in
-            # stale label candidate counts.
-            self._plan_generation += 1
+            # stale label candidate counts.  The bump takes _stats_lock
+            # because invalidate_plans() increments concurrently without
+            # holding _update_lock.
+            with self._stats_lock:
+                self._plan_generation += 1
             report.plans_cleared = self._plans.clear()
         self._count("_updates_applied")
         self._count("_delta_updates")
@@ -797,7 +801,10 @@ class MatchService:
         report.results_migrated = migrated
         report.results_dropped = dropped
         if report.nodes_added or report.labels_changed:
-            self._plan_generation += 1
+            # Same race as the delta path: invalidate_plans() bumps this
+            # counter under _stats_lock only.
+            with self._stats_lock:
+                self._plan_generation += 1
             report.plans_cleared = self._plans.clear()
         self._snapshot = snapshot
         with self._stats_lock:

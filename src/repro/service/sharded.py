@@ -83,6 +83,7 @@ from repro.core.matches import Match
 from repro.delta.records import records_from_updates
 from repro.delta.view import apply_records
 from repro.delta.wal import WriteAheadLog, scan_wal
+from repro.devtools.lockcheck import make_lock
 from repro.engine.config import EngineConfig
 from repro.exceptions import (
     DeadlineExceededError,
@@ -144,7 +145,7 @@ class _ShardWorker:
         self.replica = replica
         self._ctx = ctx
         self._boot = boot
-        self.lock = threading.Lock()
+        self.lock = make_lock("sharded.worker")
         self.restarts = 0
         #: Bumped by every (re)spawn.  A caller whose request just blew
         #: up captures the incarnation it failed against; restarting is
@@ -291,7 +292,7 @@ class _ShardGroup:
             self.shutdown()
             raise
         self._rr = 0
-        self._rr_lock = threading.Lock()
+        self._rr_lock = make_lock("sharded.rr")
         self.failovers = 0
         self.background_restarts = 0
 
@@ -557,8 +558,8 @@ class ShardedMatchService:
         self._config = config if config is not None else EngineConfig(**overrides)
         self._closed = False
         self._epoch = 0
-        self._update_lock = threading.Lock()
-        self._stats_lock = threading.Lock()
+        self._update_lock = make_lock("sharded.update")
+        self._stats_lock = make_lock("sharded.stats")
         self._requests = 0
         self._degraded_responses = 0
         self._epoch_retries = 0
@@ -682,97 +683,101 @@ class ShardedMatchService:
         is re-planned one epoch later, and the returned boot specs park
         each shard's replayed subgraph as a pending overlay.
         """
-        self._wal_dir.mkdir(parents=True, exist_ok=True)
-        base = self._epoch
-        self._wal_generation = base
-        wals: list[WriteAheadLog] = []
-        sequences: list[tuple] = []
-        try:
-            for index in range(len(boots)):
-                wal = WriteAheadLog(
-                    self._wal_segment_path(index), generation=base
-                )
-                wals.append(wal)
-                if wal.generation < base:
-                    wal.rewrite((), generation=base)
-                    self._wal_stale_discards += 1
-                elif wal.generation > base:
-                    raise ServiceError(
-                        f"WAL segment {wal.path} is stamped generation "
-                        f"{wal.generation}, ahead of the index epoch "
-                        f"{base}; it does not pair with this index"
+        # Boot runs before the service is shared, but the WAL/plan/graph
+        # fields it rebinds are _update_lock state everywhere else —
+        # hold it here too so the invariant is unconditional.
+        with self._update_lock:
+            self._wal_dir.mkdir(parents=True, exist_ok=True)
+            base = self._epoch
+            self._wal_generation = base
+            wals: list[WriteAheadLog] = []
+            sequences: list[tuple] = []
+            try:
+                for index in range(len(boots)):
+                    wal = WriteAheadLog(
+                        self._wal_segment_path(index), generation=base
+                    )
+                    wals.append(wal)
+                    if wal.generation < base:
+                        wal.rewrite((), generation=base)
+                        self._wal_stale_discards += 1
+                    elif wal.generation > base:
+                        raise ServiceError(
+                            f"WAL segment {wal.path} is stamped generation "
+                            f"{wal.generation}, ahead of the index epoch "
+                            f"{base}; it does not pair with this index"
+                        )
+                    else:
+                        sequences.append(wal.recovered_records)
+                # Segments past the shard count are a crashed resize's
+                # leftovers; they hold the same stream, so honour then
+                # drop them.
+                known = {wal.path for wal in wals}
+                for orphan in sorted(self._wal_dir.glob("shard-*.wal")):
+                    if orphan in known or orphan.suffix != ".wal":
+                        continue
+                    scan = scan_wal(orphan)
+                    if scan.generation == base:
+                        sequences.append(scan.records)
+                    orphan.unlink()
+                best: tuple = ()
+                for sequence in sequences:
+                    if len(sequence) > len(best):
+                        best = sequence
+                for sequence in sequences:
+                    if tuple(best[: len(sequence)]) != tuple(sequence):
+                        raise ServiceError(
+                            "per-shard WAL segments disagree (not prefixes "
+                            "of one stream); refusing to guess a replay "
+                            f"order under {self._wal_dir}"
+                        )
+            except BaseException:
+                for wal in wals:
+                    wal.close()
+                raise
+            self._wals = wals
+            self._wal_records = list(best)
+            self._wal_recovered_records = len(best)
+            if not best:
+                return boots
+            graph = self._materialize_graph().copy()
+            try:
+                apply_records(graph, best)
+            except (GraphError, TypeError, ValueError, IndexError) as exc:
+                raise ServiceError(
+                    f"recovered per-shard WAL does not apply to this "
+                    f"index: {exc}"
+                ) from exc
+            self._graph = graph
+            self._epoch = base + 1
+            plan = ShardPlan.from_graph(
+                graph, self.requested_shards, self.replication
+            )
+            self._plan = plan
+            self._owner = {
+                label: spec.index
+                for spec in plan.shards
+                for label in spec.labels
+            }
+            replayed: list[dict] = []
+            for spec in plan.shards:
+                subgraph = plan.subgraph(graph, spec.index)
+                old = boots[spec.index] if spec.index < len(boots) else None
+                if old is not None and old.get("mode") == "file":
+                    replayed.append(
+                        {**old, "epoch": self._epoch, "pending": subgraph}
                     )
                 else:
-                    sequences.append(wal.recovered_records)
-            # Segments past the shard count are a crashed resize's
-            # leftovers; they hold the same stream, so honour then
-            # drop them.
-            known = {wal.path for wal in wals}
-            for orphan in sorted(self._wal_dir.glob("shard-*.wal")):
-                if orphan in known or orphan.suffix != ".wal":
-                    continue
-                scan = scan_wal(orphan)
-                if scan.generation == base:
-                    sequences.append(scan.records)
-                orphan.unlink()
-            best: tuple = ()
-            for sequence in sequences:
-                if len(sequence) > len(best):
-                    best = sequence
-            for sequence in sequences:
-                if tuple(best[: len(sequence)]) != tuple(sequence):
-                    raise ServiceError(
-                        "per-shard WAL segments disagree (not prefixes "
-                        "of one stream); refusing to guess a replay "
-                        f"order under {self._wal_dir}"
+                    replayed.append(
+                        {
+                            "mode": "graph",
+                            "graph": subgraph,
+                            "config": self._config,
+                            "epoch": self._epoch,
+                        }
                     )
-        except BaseException:
-            for wal in wals:
-                wal.close()
-            raise
-        self._wals = wals
-        self._wal_records = list(best)
-        self._wal_recovered_records = len(best)
-        if not best:
-            return boots
-        graph = self._materialize_graph().copy()
-        try:
-            apply_records(graph, best)
-        except (GraphError, TypeError, ValueError, IndexError) as exc:
-            raise ServiceError(
-                f"recovered per-shard WAL does not apply to this "
-                f"index: {exc}"
-            ) from exc
-        self._graph = graph
-        self._epoch = base + 1
-        plan = ShardPlan.from_graph(
-            graph, self.requested_shards, self.replication
-        )
-        self._plan = plan
-        self._owner = {
-            label: spec.index
-            for spec in plan.shards
-            for label in spec.labels
-        }
-        replayed: list[dict] = []
-        for spec in plan.shards:
-            subgraph = plan.subgraph(graph, spec.index)
-            old = boots[spec.index] if spec.index < len(boots) else None
-            if old is not None and old.get("mode") == "file":
-                replayed.append(
-                    {**old, "epoch": self._epoch, "pending": subgraph}
-                )
-            else:
-                replayed.append(
-                    {
-                        "mode": "graph",
-                        "graph": subgraph,
-                        "config": self._config,
-                        "epoch": self._epoch,
-                    }
-                )
-        self._realign_wals(len(replayed))
-        return replayed
+            self._realign_wals(len(replayed))
+            return replayed
 
     def _realign_wals(self, count: int) -> None:
         """Match the segment set to ``count`` shards (resize support).
@@ -1135,6 +1140,9 @@ class ShardedMatchService:
             from repro.engine.core import MatchEngine
 
             document = load_manifest(self.manifest_path)
+            # Both callers (_boot_wals, apply_updates) hold _update_lock;
+            # this helper has no unlocked entry point.
+            # reprolint: disable=RL004
             self._graph = _union_graph(
                 MatchEngine.load(path).graph
                 for path in shard_paths(document, self.manifest_path)

@@ -158,7 +158,13 @@ class TestCLI:
     def test_validate_rejects_garbage(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
         bad.write_text(json.dumps({"kind": "nope"}))
-        assert main(["bench", "validate", str(bad)]) == 2
+        # Schema findings exit 1 (the CLI's uniform findings code);
+        # exit 2 is reserved for usage errors like a missing file.
+        assert main(["bench", "validate", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_validate_missing_file_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["bench", "validate", str(tmp_path / "ghost.json")]) == 2
         assert "error:" in capsys.readouterr().err
 
 

@@ -1,0 +1,13 @@
+"""The numpy acceleration flag stays optional (never required, never fatal)."""
+
+from repro.compact import accel
+
+
+def test_numpy_flag_is_optional(monkeypatch):
+    monkeypatch.setenv("REPRO_COMPACT_NUMPY", "0")
+    assert accel.numpy_or_none() is None
+    monkeypatch.setenv("REPRO_COMPACT_NUMPY", "1")
+    assert accel.numpy_enabled()
+    # numpy may or may not be installed; either answer is valid, but the
+    # call must never raise.
+    accel.numpy_or_none()

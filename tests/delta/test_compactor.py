@@ -6,6 +6,7 @@ import time
 import pytest
 
 from repro.delta import CompactionPolicy, Compactor
+from repro.exceptions import DeltaError
 
 
 class TestPolicy:
@@ -77,7 +78,7 @@ class TestCompactor:
         compactor.stop()
 
     def test_interval_must_be_positive(self):
-        with pytest.raises(ValueError, match="positive"):
+        with pytest.raises(DeltaError, match="positive"):
             Compactor(lambda: None, interval=0)
 
 

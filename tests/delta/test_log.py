@@ -3,7 +3,7 @@
 import pytest
 
 from repro.delta import DeltaLog, EdgeAdd, NodeAdd, WriteAheadLog, scan_wal
-from repro.exceptions import WalError
+from repro.exceptions import DeltaError, WalError
 
 BATCH_A = (NodeAdd("n", "L"), EdgeAdd("a", "n"))
 BATCH_B = (EdgeAdd("n", "b", 2),)
@@ -20,7 +20,7 @@ class TestMemoryOnly:
         assert log.records() == BATCH_A + BATCH_B
 
     def test_empty_batch_refused(self):
-        with pytest.raises(ValueError, match="at least one record"):
+        with pytest.raises(DeltaError, match="at least one record"):
             DeltaLog().append(())
 
     def test_drain_takes_everything_once(self):

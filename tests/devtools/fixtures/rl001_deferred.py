@@ -1,0 +1,19 @@
+"""Seeded RL001 defers violation: a sanctioned seam imported eagerly.
+
+Linted as ``repro.io.formats``: the fixture DAG lets ``repro.io``
+import ``repro.engine`` *only from function scope* (``defers``).
+"""
+
+import repro.engine  # seeded violation (line 7): top-level, defers-only
+
+
+def boot_engine():
+    from repro.engine import MatchEngine  # allowed: deferred seam
+
+    return MatchEngine
+
+
+def also_fine():
+    import repro.engine as engine  # allowed: deferred seam
+
+    return engine

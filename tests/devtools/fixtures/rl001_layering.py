@@ -1,0 +1,20 @@
+"""Seeded RL001 violation: a storage module reaching up into the engine.
+
+Linted as ``repro.storage.blocks`` against the fixture DAG, where
+``repro.storage`` depends only on ``repro.exceptions``.
+"""
+
+from repro.engine import MatchEngine  # seeded violation (line 7)
+from repro.exceptions import StorageError  # allowed: declared dep
+
+
+def lazy_is_still_checked():
+    # Function scope does not excuse an undeclared dependency — only
+    # entries listed in `defers` may be imported lazily.
+    from repro.engine import config  # seeded violation (line 14)
+
+    return config
+
+
+def allowed_dep():
+    raise StorageError(str(MatchEngine))

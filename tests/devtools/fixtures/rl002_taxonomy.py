@@ -1,0 +1,29 @@
+"""Seeded RL002 violation: bare builtin raises in a persistence layer.
+
+Linted as ``repro.storage.blocks`` — the taxonomy mandates
+``IndexFormatError`` / ``StorageError`` there.
+"""
+
+
+def bad_value(size):
+    if size < 0:
+        raise ValueError(f"negative size {size}")  # seeded violation (line 10)
+    return size
+
+
+def bad_key(mapping, key):
+    if key not in mapping:
+        raise KeyError(key)  # seeded violation (line 16)
+    return mapping[key]
+
+
+def fine(reason):
+    # Types outside the banned builtins are not this rule's business.
+    raise RuntimeError(reason)
+
+
+def re_raise_is_fine():
+    try:
+        return fine("x")
+    except RuntimeError:
+        raise

@@ -1,0 +1,25 @@
+"""Seeded RL003 violation: a rename that is never made durable.
+
+Linted as ``repro.storage.swap``.  ``unsafe_swap`` renames without
+fsyncing the directory; ``safe_swap`` follows the swap protocol.
+"""
+
+import os
+
+
+def fsync_dir(path):
+    """Stand-in for repro.delta.wal.fsync_dir (the rule matches by name)."""
+
+
+def unsafe_swap(tmp_path, final_path):
+    os.replace(tmp_path, final_path)  # seeded violation (line 15)
+
+
+def safe_swap(tmp_path, final_path):
+    os.replace(tmp_path, final_path)
+    fsync_dir(os.path.dirname(final_path))
+
+
+def fsync_too_early(tmp_path, final_path):
+    fsync_dir(os.path.dirname(final_path))
+    os.rename(tmp_path, final_path)  # seeded violation (line 25)

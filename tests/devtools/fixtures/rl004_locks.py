@@ -1,0 +1,25 @@
+"""Seeded RL004 violation: a guarded attribute rebound without its lock.
+
+Linted as ``repro.storage.cache``.  ``Counter._total`` is assigned
+under ``self._lock`` in ``add()``, so the bare rebind in ``reset()`` is
+flagged; ``__init__`` construction is exempt by design.
+"""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0  # exempt: construction precedes sharing
+
+    def add(self, amount):
+        with self._lock:
+            self._total += amount
+
+    def reset(self):
+        self._total = 0  # seeded violation (line 21)
+
+    def guarded_reset(self):
+        with self._lock:
+            self._total = 0  # fine: lock held

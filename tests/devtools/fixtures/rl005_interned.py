@@ -1,0 +1,29 @@
+"""Seeded RL005 violation: interned-id vocabulary in a public signature.
+
+Linted as ``repro.closure.api`` — above the interned-ID boundary in the
+fixture DAG (``repro.closure`` can see ``repro.compact``).
+"""
+
+
+def successors(store, iid):  # seeded violation (line 8)
+    return store.rows(iid)
+
+
+def distance(store, source_iid, target_iid):  # seeded violation (line 12)
+    return store.distance(source_iid, target_iid)
+
+
+def _decode(store, iid):
+    # Private helpers legitimately traffic in interned ids.
+    return store.decode(iid)
+
+
+class _Planner:
+    def lookup(self, node_iid):
+        # Enclosed in a private class: exempt.
+        return node_iid
+
+
+def neighbours(store, node):
+    # Public, but speaks NodeId — fine.
+    return store.neighbours(node)

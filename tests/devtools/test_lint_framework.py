@@ -1,0 +1,225 @@
+"""The reprolint framework itself: suppressions, baseline, reporters,
+config validation, and the TOML fallback parser.
+
+The JSON report shape asserted here is the documented CI artifact
+(``repro lint --format json``) — changing it is a breaking change.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import (
+    LintConfigError,
+    lint_sources,
+    load_baseline,
+    render_json,
+    render_text,
+    run_lint,
+    write_baseline,
+)
+from repro.devtools.lint.core import (
+    _parse_toml_subset,
+    load_layers,
+    select_rules,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+RAISE_SOURCE = (
+    "def check(size):\n"
+    "    if size < 0:\n"
+    "        raise ValueError('negative')\n"
+)
+
+
+@pytest.fixture(scope="module")
+def layers():
+    return load_layers(FIXTURES / "layers.toml")
+
+
+# ----------------------------------------------------------------------
+# Inline suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    def test_same_line_suppression(self, layers):
+        source = RAISE_SOURCE.replace(
+            "raise ValueError('negative')",
+            "raise ValueError('negative')  # reprolint: disable=RL002",
+        )
+        result = lint_sources([("repro.storage.blocks", source)], layers)
+        assert result.clean
+        assert [f.rule for f in result.suppressed] == ["RL002"]
+
+    def test_comment_line_covers_the_next_line(self, layers):
+        source = (
+            "def check(size):\n"
+            "    if size < 0:\n"
+            "        # reprolint: disable=RL002\n"
+            "        raise ValueError('negative')\n"
+        )
+        result = lint_sources([("repro.storage.blocks", source)], layers)
+        assert result.clean
+        assert len(result.suppressed) == 1
+
+    def test_wrong_rule_id_does_not_suppress(self, layers):
+        source = RAISE_SOURCE.replace(
+            "raise ValueError('negative')",
+            "raise ValueError('negative')  # reprolint: disable=RL001",
+        )
+        result = lint_sources([("repro.storage.blocks", source)], layers)
+        assert [f.rule for f in result.findings] == ["RL002"]
+        assert not result.suppressed
+
+    def test_disable_all(self, layers):
+        source = RAISE_SOURCE.replace(
+            "raise ValueError('negative')",
+            "raise ValueError('negative')  # reprolint: disable=all",
+        )
+        result = lint_sources([("repro.storage.blocks", source)], layers)
+        assert result.clean and len(result.suppressed) == 1
+
+
+# ----------------------------------------------------------------------
+# Rule selection / configuration errors
+# ----------------------------------------------------------------------
+class TestConfig:
+    def test_unknown_rule_is_a_usage_error(self):
+        with pytest.raises(LintConfigError, match="RL999"):
+            select_rules(["RL999"])
+
+    def test_rule_ids_are_case_insensitive(self):
+        (rule,) = select_rules(["rl002"])
+        assert rule.rule_id == "RL002"
+
+    def test_cyclic_dag_is_refused(self, tmp_path):
+        (tmp_path / "layers.toml").write_text(
+            '[[package]]\nname = "repro.a"\ndeps = ["repro.b"]\n\n'
+            '[[package]]\nname = "repro.b"\ndeps = ["repro.a"]\n'
+        )
+        with pytest.raises(LintConfigError, match="cycle"):
+            load_layers(tmp_path / "layers.toml")
+
+    def test_undeclared_dep_is_refused(self, tmp_path):
+        (tmp_path / "layers.toml").write_text(
+            '[[package]]\nname = "repro.a"\ndeps = ["repro.ghost"]\n'
+        )
+        with pytest.raises(LintConfigError, match="undeclared"):
+            load_layers(tmp_path / "layers.toml")
+
+    def test_toml_subset_parser_matches_tomllib(self):
+        # The 3.10 fallback must agree with the real parser on the
+        # exact dialect layers.toml uses.
+        import tomllib
+
+        text = (FIXTURES / "layers.toml").read_text(encoding="utf-8")
+        assert _parse_toml_subset(text) == tomllib.loads(text)
+
+    def test_syntax_error_becomes_a_finding(self, layers):
+        result = lint_sources([("repro.storage.blocks", "def broken(:\n")], layers)
+        assert [f.rule for f in result.findings] == ["RL000"]
+
+
+# ----------------------------------------------------------------------
+# Baseline round-trip (on a miniature on-disk repo)
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def mini_repo(tmp_path):
+    (tmp_path / "config").mkdir()
+    (tmp_path / "config" / "layers.toml").write_text(
+        (FIXTURES / "layers.toml").read_text(encoding="utf-8")
+    )
+    package = tmp_path / "src" / "repro" / "storage"
+    package.mkdir(parents=True)
+    (package / "__init__.py").write_text("")
+    (package / "blocks.py").write_text(RAISE_SOURCE)
+    return tmp_path
+
+
+class TestBaseline:
+    def test_round_trip_grandfathers_then_goes_stale(self, mini_repo):
+        first = run_lint(mini_repo)
+        assert [f.rule for f in first.findings] == ["RL002"]
+
+        baseline_path = mini_repo / "lint-baseline.json"
+        assert write_baseline(baseline_path, first.findings) == 1
+        entries = load_baseline(baseline_path)
+
+        second = run_lint(mini_repo, baseline=entries)
+        assert second.clean
+        assert [f.rule for f in second.baselined] == ["RL002"]
+        assert not second.stale_baseline
+
+        # Line moves do not invalidate the entry (matching ignores lines).
+        blocks = mini_repo / "src" / "repro" / "storage" / "blocks.py"
+        blocks.write_text("# a new leading comment\n" + RAISE_SOURCE)
+        third = run_lint(mini_repo, baseline=entries)
+        assert third.clean and len(third.baselined) == 1
+
+        # Fixing the violation makes the entry stale — reported, so the
+        # baseline file burns down instead of rotting.
+        blocks.write_text("def check(size):\n    return size\n")
+        fourth = run_lint(mini_repo, baseline=entries)
+        assert fourth.clean
+        assert len(fourth.stale_baseline) == 1
+        assert fourth.stale_baseline[0]["rule"] == "RL002"
+
+    def test_malformed_baseline_is_a_usage_error(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text('{"kind": "something-else", "findings": []}')
+        with pytest.raises(LintConfigError, match="reprolint-baseline"):
+            load_baseline(bad)
+        bad.write_text("not json")
+        with pytest.raises(LintConfigError, match="not valid JSON"):
+            load_baseline(bad)
+
+    def test_missing_lint_target_is_a_usage_error(self, mini_repo):
+        with pytest.raises(LintConfigError, match="no such path"):
+            run_lint(mini_repo, [mini_repo / "src" / "ghost"])
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+class TestReporters:
+    def test_json_schema(self, layers):
+        result = lint_sources([("repro.storage.blocks", RAISE_SOURCE)], layers)
+        document = json.loads(render_json(result))
+        assert document["kind"] == "reprolint-report"
+        assert document["version"] == 1
+        assert document["rules"] == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+        (finding,) = document["findings"]
+        assert set(finding) == {
+            "rule", "severity", "path", "line", "col",
+            "message", "suppressed", "baselined",
+        }
+        assert finding["rule"] == "RL002"
+        assert finding["path"] == "repro/storage/blocks.py"
+        assert finding["line"] == 3
+        assert finding["suppressed"] is False
+        assert set(document["summary"]) == {
+            "active", "error", "warning", "suppressed",
+            "baselined", "stale_baseline", "modules",
+        }
+        assert document["summary"]["active"] == 1
+        assert document["summary"]["error"] == 1
+
+    def test_text_report_lines(self, layers):
+        result = lint_sources([("repro.storage.blocks", RAISE_SOURCE)], layers)
+        text = render_text(result)
+        first, summary = text.splitlines()
+        assert first.startswith("repro/storage/blocks.py:3:")
+        assert "RL002" in first and "[error]" in first
+        assert summary.endswith("1 errors, 0 warnings")
+
+    def test_suppressed_findings_are_flagged_in_json(self, layers):
+        source = RAISE_SOURCE.replace(
+            "raise ValueError('negative')",
+            "raise ValueError('negative')  # reprolint: disable=RL002",
+        )
+        result = lint_sources([("repro.storage.blocks", source)], layers)
+        document = json.loads(render_json(result))
+        (finding,) = document["findings"]
+        assert finding["suppressed"] is True
+        assert document["summary"]["active"] == 0

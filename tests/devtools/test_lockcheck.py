@@ -1,0 +1,198 @@
+"""The runtime lock-order sanitizer: inversion detection and wiring.
+
+The decisive test constructs a genuine order inversion (``a`` before
+``b`` in one place, ``b`` before ``a`` in another) and asserts the
+second schedule raises :class:`LockOrderError` immediately — no actual
+deadlock or thread interleaving required.
+"""
+
+import threading
+
+import pytest
+
+from repro.devtools.lockcheck import (
+    CheckedLock,
+    LockOrderError,
+    enabled,
+    held_locks,
+    make_lock,
+    order_edges,
+    reset,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_graph():
+    reset()
+    yield
+    reset()
+
+
+class TestMakeLock:
+    def test_disabled_returns_a_plain_lock(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCKCHECK", raising=False)
+        assert not enabled()
+        lock = make_lock("x")
+        assert not isinstance(lock, CheckedLock)
+        with lock:
+            pass
+
+    def test_enabled_returns_a_checked_lock(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCKCHECK", "1")
+        assert enabled()
+        lock = make_lock("x")
+        assert isinstance(lock, CheckedLock)
+        assert lock.name == "x"
+
+    def test_decision_is_taken_at_creation_time(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCKCHECK", "1")
+        checked = make_lock("x")
+        monkeypatch.delenv("REPRO_LOCKCHECK")
+        assert isinstance(checked, CheckedLock)  # keeps what it was built as
+        assert not isinstance(make_lock("x"), CheckedLock)
+
+
+class TestOrderGraph:
+    def test_nested_acquisition_records_an_edge(self):
+        a, b = CheckedLock("lock.a"), CheckedLock("lock.b")
+        with a:
+            assert held_locks() == ("lock.a",)
+            with b:
+                assert held_locks() == ("lock.a", "lock.b")
+        assert held_locks() == ()
+        assert order_edges() == {"lock.a": ("lock.b",)}
+
+    def test_inversion_raises(self):
+        a, b = CheckedLock("lock.a"), CheckedLock("lock.b")
+        with a:
+            with b:
+                pass
+        with pytest.raises(LockOrderError, match="inversion"):
+            with b:
+                with a:
+                    pass  # pragma: no cover - never reached
+
+    def test_inversion_message_names_both_locks(self):
+        a, b = CheckedLock("lock.a"), CheckedLock("lock.b")
+        with a, b:
+            pass
+        with pytest.raises(LockOrderError, match="'lock.a'.*'lock.b'"):
+            with b, a:
+                pass  # pragma: no cover - never reached
+
+    def test_transitive_inversion_raises(self):
+        a, b, c = CheckedLock("a"), CheckedLock("b"), CheckedLock("c")
+        with a, b:
+            pass
+        with b, c:
+            pass
+        # a -> b -> c is on record; c -> a closes the cycle two hops out.
+        with pytest.raises(LockOrderError):
+            with c, a:
+                pass  # pragma: no cover - never reached
+
+    def test_consistent_order_never_raises(self):
+        a, b = CheckedLock("lock.a"), CheckedLock("lock.b")
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+
+    def test_same_name_reentry_records_no_edge(self):
+        # Two *instances* sharing a name (every _ShardGroup.lock, say):
+        # holding one while acquiring the other is not an ordering fact.
+        first, second = CheckedLock("group"), CheckedLock("group")
+        with first:
+            with second:
+                pass
+        assert order_edges() == {}
+
+    def test_release_out_of_acquisition_order(self):
+        a, b = CheckedLock("lock.a"), CheckedLock("lock.b")
+        a.acquire()
+        b.acquire()
+        a.release()
+        assert held_locks() == ("lock.b",)
+        b.release()
+        assert held_locks() == ()
+
+    def test_non_blocking_acquire_protocol(self):
+        a = CheckedLock("lock.a")
+        assert a.acquire(blocking=False)
+        assert a.locked()
+        a.release()
+        assert not a.locked()
+
+    def test_graph_is_shared_across_threads(self):
+        """The inversion is caught even when the two schedules run on
+        different threads — the order graph is process-global."""
+        a, b = CheckedLock("lock.a"), CheckedLock("lock.b")
+        errors: list[Exception] = []
+
+        def first():
+            with a:
+                with b:
+                    pass
+
+        def second():
+            try:
+                with b:
+                    with a:
+                        pass  # pragma: no cover - never reached
+            except LockOrderError as exc:
+                errors.append(exc)
+
+        one = threading.Thread(target=first)
+        one.start()
+        one.join()
+        two = threading.Thread(target=second)
+        two.start()
+        two.join()
+        assert len(errors) == 1
+
+    def test_many_threads_with_a_consistent_order(self):
+        a, b = CheckedLock("lock.a"), CheckedLock("lock.b")
+        failures: list[Exception] = []
+
+        def worker():
+            try:
+                for _ in range(50):
+                    with a:
+                        with b:
+                            pass
+            except LockOrderError as exc:  # pragma: no cover
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+        assert order_edges() == {"lock.a": ("lock.b",)}
+
+
+class TestServiceWiring:
+    def test_service_locks_are_checked_under_the_flag(self, monkeypatch):
+        """A MatchService built under REPRO_LOCKCHECK=1 runs the real
+        update/query/compact paths on CheckedLocks — the integration the
+        stress suite (tests/service/test_concurrency.py) exercises at
+        full thread count."""
+        monkeypatch.setenv("REPRO_LOCKCHECK", "1")
+        from repro.graph.digraph import graph_from_edges
+        from repro.service import MatchService
+
+        graph = graph_from_edges(
+            {"a1": "A", "a2": "A", "b1": "B", "b2": "B", "c1": "C"},
+            [("a1", "b1"), ("b1", "c1"), ("a2", "b2")],
+        )
+        with MatchService(graph, backend="full", max_workers=2) as service:
+            assert isinstance(service._update_lock, CheckedLock)
+            assert isinstance(service._stats_lock, CheckedLock)
+            before = service.request("A//B", k=4).matches
+            service.apply_updates(edges_added=[("b2", "c1")])
+            after = service.request("A//B", k=4).matches
+            assert len(after) == len(before)
+        # The service's documented internal order was recorded, not flagged.
+        edges = order_edges()
+        assert "service.stats" in edges.get("service.update", ())

@@ -1,0 +1,32 @@
+"""Meta-gate: ``repro lint`` exits 0 on the repository at HEAD.
+
+Every rule runs over the real tree; deliberate exceptions live as inline
+``# reprolint: disable=RLnnn`` suppressions next to a justifying comment
+(never in a baseline file), so a clean exit means the contracts hold
+everywhere else.
+"""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repro_lint_is_clean_at_head(capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["lint"]) == 0
+    out = capsys.readouterr().out
+    assert "0 errors, 0 warnings" in out
+
+
+def test_repro_lint_json_report_at_head(capsys, monkeypatch):
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(["lint", "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["summary"]["active"] == 0
+    assert document["rules"] == ["RL001", "RL002", "RL003", "RL004", "RL005"]
+    # Every suppressed finding in the tree is deliberate and justified;
+    # keep the count pinned so new suppressions are a conscious diff.
+    assert document["summary"]["suppressed"] == 2

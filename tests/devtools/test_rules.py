@@ -1,0 +1,141 @@
+"""Each reprolint rule catches its seeded fixture violation — and only it.
+
+The fixture files under ``fixtures/`` carry ``# seeded violation`` markers
+on the exact lines each rule must flag; the clean constructs in the same
+files double as negative controls (a finding on an unmarked line fails
+the golden comparison).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import lint_sources
+from repro.devtools.lint.core import load_layers
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture(scope="module")
+def layers():
+    return load_layers(FIXTURES / "layers.toml")
+
+
+#: (fixture file, module name it is linted as, rule, golden finding lines).
+GOLDEN = [
+    ("rl001_layering.py", "repro.storage.blocks", "RL001", [7, 14]),
+    ("rl001_deferred.py", "repro.io.formats", "RL001", [7]),
+    ("rl002_taxonomy.py", "repro.storage.blocks", "RL002", [10, 16]),
+    ("rl003_durability.py", "repro.storage.swap", "RL003", [15, 25]),
+    ("rl004_locks.py", "repro.storage.cache", "RL004", [21]),
+    # `distance()` leaks two interned params -> two findings on line 12.
+    ("rl005_interned.py", "repro.closure.api", "RL005", [8, 12, 12]),
+]
+
+
+@pytest.mark.parametrize(
+    "filename, module, rule, lines", GOLDEN, ids=[c[0] for c in GOLDEN]
+)
+def test_rule_catches_seeded_violations(layers, filename, module, rule, lines):
+    text = (FIXTURES / filename).read_text(encoding="utf-8")
+    result = lint_sources([(module, text)], layers, rules=[rule])
+    assert [(f.rule, f.line) for f in result.findings] == [
+        (rule, line) for line in lines
+    ]
+    # The marker comments and the rule agree on every flagged line.
+    marked = {
+        lineno
+        for lineno, source_line in enumerate(text.splitlines(), start=1)
+        if "seeded violation" in source_line
+    }
+    assert set(lines) == marked
+
+
+@pytest.mark.parametrize(
+    "filename, module, rule, lines", GOLDEN, ids=[c[0] for c in GOLDEN]
+)
+def test_other_rules_stay_quiet_on_the_fixture(layers, filename, module, rule, lines):
+    """Running *all* rules over a fixture adds no unrelated findings."""
+    text = (FIXTURES / filename).read_text(encoding="utf-8")
+    result = lint_sources([(module, text)], layers)
+    assert {f.rule for f in result.findings} == {rule}
+
+
+def test_rl001_uncovered_module_is_a_finding(layers):
+    result = lint_sources(
+        [("repro.orphan.thing", "import repro.exceptions\n")],
+        layers,
+        rules=["RL001"],
+    )
+    assert len(result.findings) == 1
+    assert "not covered" in result.findings[0].message
+
+
+def test_rl001_own_subtree_is_always_allowed(layers):
+    result = lint_sources(
+        [("repro.storage.blocks", "from repro.storage import iostats\n")],
+        layers,
+        rules=["RL001"],
+    )
+    assert result.clean
+
+
+def test_rl002_only_applies_to_covered_packages(layers):
+    source = "def f():\n    raise ValueError('fine up here')\n"
+    result = lint_sources(
+        [("repro.closure.store", source)], layers, rules=["RL002"]
+    )
+    assert result.clean
+
+
+def test_rl003_string_replace_is_not_a_rename(layers):
+    source = "def f(name):\n    return name.replace('a', 'b')\n"
+    result = lint_sources(
+        [("repro.storage.swap", source)], layers, rules=["RL003"]
+    )
+    assert result.clean
+
+
+def test_rl003_from_import_alias_is_tracked(layers):
+    source = (
+        "from os import replace\n"
+        "def f(a, b):\n"
+        "    replace(a, b)\n"
+    )
+    result = lint_sources(
+        [("repro.storage.swap", source)], layers, rules=["RL003"]
+    )
+    assert [f.line for f in result.findings] == [3]
+
+
+def test_rl004_unguarded_class_is_exempt(layers):
+    source = (
+        "class Plain:\n"
+        "    def __init__(self):\n"
+        "        self.total = 0\n"
+        "    def bump(self):\n"
+        "        self.total += 1\n"
+    )
+    result = lint_sources(
+        [("repro.storage.cache", source)], layers, rules=["RL004"]
+    )
+    assert result.clean
+
+
+def test_rl005_return_annotation_is_checked(layers):
+    source = (
+        "def row_for(node) -> 'int32':\n"
+        "    return 0\n"
+    )
+    result = lint_sources(
+        [("repro.closure.api", source)], layers, rules=["RL005"]
+    )
+    assert len(result.findings) == 1
+    assert "returns int32" in result.findings[0].message
+
+
+def test_rl005_layers_below_the_boundary_are_exempt(layers):
+    source = "def successors(iid):\n    return iid\n"
+    for module in ("repro.compact.csr", "repro.storage.blocks"):
+        result = lint_sources([(module, source)], layers, rules=["RL005"])
+        assert result.clean, module

@@ -1,11 +1,7 @@
 """Lowering: opcode programs, listings, and the supports() predicate."""
 
-import ast
-from pathlib import Path
-
 import pytest
 
-import repro.kernel
 from repro.kernel import (
     KERNEL_ALGORITHMS,
     KernelUnsupported,
@@ -108,39 +104,6 @@ class TestSupports:
         assert kernel_enabled()
 
 
-#: The only repro modules the kernel layer may depend on (the CI lint
-#: job enforces the same rule via config/ruff-kernel-layering.toml).
-ALLOWED_PREFIXES = (
-    "repro.kernel",
-    "repro.compact",
-    "repro.core",
-    "repro.graph",
-    "repro.query",
-    "repro.exceptions",
-    "repro.utils",
-)
-
-
-def iter_repro_imports(path: Path):
-    tree = ast.parse(path.read_text(encoding="utf-8"))
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name.startswith("repro"):
-                    yield alias.name
-        elif isinstance(node, ast.ImportFrom):
-            if node.module and node.module.startswith("repro"):
-                yield node.module
-
-
-def test_kernel_only_imports_lower_layers():
-    package_dir = Path(repro.kernel.__file__).parent
-    violations = []
-    for source in sorted(package_dir.glob("*.py")):
-        for module in iter_repro_imports(source):
-            if not module.startswith(ALLOWED_PREFIXES):
-                violations.append(f"{source.name}: {module}")
-    assert not violations, (
-        "repro.kernel must stay below the engine and serving layers; "
-        f"offending imports: {violations}"
-    )
+# The kernel layering contract (kernel never imports engine/serving) is
+# enforced by `repro lint` rule RL001 via config/layers.toml, covered by
+# tests/devtools/test_layering_dag.py.

@@ -11,6 +11,12 @@ invariants:
   answering exactly what it answered before them.
 * **Counter consistency** — cache hit/miss counters add up against the
   request counts even under contention.
+
+The whole module runs with the lock-order sanitizer armed
+(``REPRO_LOCKCHECK=1``): every service/delta/engine lock is a
+:class:`repro.devtools.lockcheck.CheckedLock`, so an acquisition order
+inversion anywhere under this load fails the test immediately instead
+of deadlocking one CI run in a thousand.
 """
 
 from __future__ import annotations
@@ -19,9 +25,20 @@ import random
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
+import pytest
+
+from repro.devtools import lockcheck
 from repro.graph.digraph import graph_from_edges
 from repro.graph.generators import citation_graph
 from repro.service import MatchService
+
+
+@pytest.fixture(autouse=True)
+def _lockcheck(monkeypatch):
+    monkeypatch.setenv("REPRO_LOCKCHECK", "1")
+    lockcheck.reset()
+    yield
+    lockcheck.reset()
 
 
 def canonical(matches):

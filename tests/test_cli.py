@@ -660,3 +660,80 @@ class TestDeltaCli:
     def test_delta_info_rejects_unrelated_files(self, graph_file, capsys):
         assert main(["delta", "info", str(graph_file)]) == 2
         assert "neither a WAL segment" in capsys.readouterr().err
+
+
+class TestLint:
+    """`repro lint` exit codes: 0 clean / 1 findings / 2 usage errors —
+    the uniform contract the module docstring documents (shared with
+    `bench validate`, pinned in tests/bench/test_suite.py)."""
+
+    @pytest.fixture
+    def dirty_repo(self, tmp_path):
+        """A miniature repo whose one module violates RL002."""
+        (tmp_path / "config").mkdir()
+        (tmp_path / "config" / "layers.toml").write_text(
+            '[[package]]\nname = "repro.exceptions"\ndeps = []\n\n'
+            '[[package]]\nname = "repro.storage"\n'
+            'deps = ["repro.exceptions"]\n'
+        )
+        package = tmp_path / "src" / "repro" / "storage"
+        package.mkdir(parents=True)
+        (package / "__init__.py").write_text("")
+        (package / "blocks.py").write_text(
+            "def check(size):\n"
+            "    if size < 0:\n"
+            "        raise ValueError('negative')\n"
+        )
+        return tmp_path
+
+    def test_clean_repo_exits_0(self, monkeypatch, capsys):
+        import repro
+
+        root = __import__("pathlib").Path(repro.__file__).parents[2]
+        monkeypatch.chdir(root)
+        assert main(["lint"]) == 0
+        assert "0 errors" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, dirty_repo, capsys):
+        assert main(["lint", "--root", str(dirty_repo)]) == 1
+        out = capsys.readouterr().out
+        assert "RL002" in out and "1 errors" in out
+
+    def test_unknown_rule_exits_2(self, dirty_repo, capsys):
+        assert main(["lint", "--root", str(dirty_repo), "--rule", "RL999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_root_exits_2(self, tmp_path, capsys):
+        assert main(["lint", "--root", str(tmp_path / "ghost")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_rule_filter_narrows_the_run(self, dirty_repo, capsys):
+        assert main(["lint", "--root", str(dirty_repo), "--rule", "RL001"]) == 0
+        assert "1 rules" in capsys.readouterr().out
+
+    def test_json_format(self, dirty_repo, capsys):
+        assert main(["lint", "--root", str(dirty_repo), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["kind"] == "reprolint-report"
+        assert document["summary"]["active"] == 1
+
+    def test_baseline_lifecycle_through_the_cli(self, dirty_repo, capsys):
+        baseline = dirty_repo / "lint-baseline.json"
+        # --update-baseline without --baseline is a usage error.
+        assert main(["lint", "--root", str(dirty_repo),
+                     "--update-baseline"]) == 2
+        capsys.readouterr()
+        # Write the baseline, then the gate goes green.
+        assert main(["lint", "--root", str(dirty_repo),
+                     "--baseline", str(baseline), "--update-baseline"]) == 0
+        capsys.readouterr()
+        assert main(["lint", "--root", str(dirty_repo),
+                     "--baseline", str(baseline)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+        # Fixing the violation turns the entry stale -> exit 1 until the
+        # baseline is regenerated.
+        blocks = dirty_repo / "src" / "repro" / "storage" / "blocks.py"
+        blocks.write_text("def check(size):\n    return size\n")
+        assert main(["lint", "--root", str(dirty_repo),
+                     "--baseline", str(baseline)]) == 1
+        assert "stale baseline" in capsys.readouterr().out

@@ -26,13 +26,35 @@ raises it via ``REPRO_FUZZ_EXAMPLES``).
 
 from __future__ import annotations
 
+import os
+
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.devtools import lockcheck
 from repro.engine import MatchEngine
 from repro.query import to_dsl
 from repro.service import MatchService
 from tests.strategies import FUZZ_EXAMPLES, graph_and_query
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _lockcheck():
+    """Run the whole fuzz suite with the lock-order sanitizer armed.
+
+    Module-scoped (not monkeypatch) so Hypothesis's function-scoped
+    fixture health check stays quiet across @given examples.
+    """
+    previous = os.environ.get("REPRO_LOCKCHECK")
+    os.environ["REPRO_LOCKCHECK"] = "1"
+    lockcheck.reset()
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_LOCKCHECK", None)
+    else:
+        os.environ["REPRO_LOCKCHECK"] = previous
+    lockcheck.reset()
 
 BACKENDS = ("full", "ondemand", "hybrid", "pll")
 TREE_ALGORITHMS = ("dp-b", "dp-p", "topk", "topk-en")
